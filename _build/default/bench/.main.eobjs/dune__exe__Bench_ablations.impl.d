@@ -1,0 +1,1 @@
+bench/bench_ablations.ml: Array Bench_util Bitvec Dsdg_bits Dsdg_core Dsdg_delbits Dsdg_workload Fm_static Hashtbl List Option Printf Random Reporter Text_gen Transform1 Transform2

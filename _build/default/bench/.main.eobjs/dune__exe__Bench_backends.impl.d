@@ -1,0 +1,1 @@
+bench/bench_backends.ml: Array Bench_util Csa_static Dsdg_core Dsdg_workload Fm_static List Printf Sa_static String Sys Text_gen

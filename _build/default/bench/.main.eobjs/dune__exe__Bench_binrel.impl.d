@@ -1,0 +1,1 @@
+bench/bench_binrel.ml: Array Bench_util Digraph Dsdg_binrel Dsdg_dynseq Dsdg_workload Dyn_binrel Dyn_bitvec Dyn_wavelet Graph_gen Printf Random

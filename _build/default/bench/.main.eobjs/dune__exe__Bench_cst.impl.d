@@ -1,0 +1,1 @@
+bench/bench_cst.ml: Array Bench_util Cst Dsdg_bp Dsdg_workload Printf Random String Sys Text_gen

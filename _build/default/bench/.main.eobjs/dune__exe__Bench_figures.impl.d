@@ -1,0 +1,1 @@
+bench/bench_figures.ml: Bench_util Dsdg_core Dsdg_workload Fm_static List Printf Random String Text_gen Transform1 Transform2

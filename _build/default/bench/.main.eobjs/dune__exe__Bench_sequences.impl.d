@@ -1,0 +1,1 @@
+bench/bench_sequences.ml: Alphabet_partition Array Bench_util Dsdg_entropy Dsdg_wavelet Dsdg_workload Entropy Huffman_wavelet List Printf Random Wavelet_tree

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Array Bechamel Benchmark Float Int64 List Measure Monotonic_clock Printf String Sys Test Time Toolkit

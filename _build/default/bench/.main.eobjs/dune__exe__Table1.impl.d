@@ -1,0 +1,1 @@
+bench/table1.ml: Array Bench_util Dsdg_core Dsdg_entropy Dsdg_fm Dsdg_workload Entropy Fm_index List Option Printf Sa_static Static_index String Sys Text_gen

@@ -1,0 +1,1 @@
+bench/table2.ml: Array Bench_util Dsdg_core Dsdg_dynseq Dsdg_fm Dsdg_workload Dyn_fm Fm_index Fm_static List Printf String Text_gen Transform1 Transform2

@@ -1,0 +1,1 @@
+bench/table3.ml: Array Bench_util Dsdg_core Dsdg_workload Fm_static List Printf Sa_static String Text_gen Transform2

@@ -1,0 +1,1 @@
+bench/table4.ml: Array Bench_util Dsdg_core Dsdg_workload Fm_static List Printf String Text_gen Transform1

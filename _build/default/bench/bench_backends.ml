@@ -1,0 +1,95 @@
+(* Cross-index comparison of the three static backends -- the rows of the
+   paper's Table 1 (and Table 3) side by side on the same corpus:
+
+     fm   BWT + Huffman wavelet        (Ferragina-Manzini class, rows [14]/[5]/[3]/[7])
+     csa  psi in per-block Elias-Fano  (Sadakane class, row [39])
+     sa   plain suffix array           (Grossi-Vitter stand-in, Table 3)
+
+   Expected shape: sa fastest and largest; fm and csa compressed with
+   s-dependent locate; csa's count pays |P| log n (binary search), fm's
+   pays |P| backward steps. *)
+
+open Dsdg_core
+open Dsdg_workload
+
+type backend = {
+  bname : string;
+  range : string -> (int * int) option;
+  locate : int -> int * int;
+  extract : doc:int -> off:int -> len:int -> string;
+  space : int;
+}
+
+let make_backends docs =
+  let fm = Fm_static.build ~sample:8 docs in
+  let csa = Csa_static.build ~sample:8 docs in
+  let sa = Sa_static.build ~sample:8 docs in
+  [
+    {
+      bname = "fm (BWT+wavelet)";
+      range = Fm_static.range fm;
+      locate = Fm_static.locate fm;
+      extract = (fun ~doc ~off ~len -> Fm_static.extract fm ~doc ~off ~len);
+      space = Fm_static.space_bits fm;
+    };
+    {
+      bname = "csa (psi/Elias-Fano)";
+      range = Csa_static.range csa;
+      locate = Csa_static.locate csa;
+      extract = (fun ~doc ~off ~len -> Csa_static.extract csa ~doc ~off ~len);
+      space = Csa_static.space_bits csa;
+    };
+    {
+      bname = "sa (plain)";
+      range = Sa_static.range sa;
+      locate = Sa_static.locate sa;
+      extract = (fun ~doc ~off ~len -> Sa_static.extract sa ~doc ~off ~len);
+      space = Sa_static.space_bits sa;
+    };
+  ]
+
+let run () =
+  let st = Text_gen.rng 51 in
+  let docs = Text_gen.corpus st ~count:100 ~avg_len:2000 ~kind:(`Markov (8, 0.7)) in
+  let n = Array.fold_left (fun a d -> a + String.length d + 1) 0 docs in
+  Printf.printf "\n[backends] corpus: %d docs, %d symbols; all indexes at s=8\n" (Array.length docs) n;
+  let backends = make_backends docs in
+  let pats plen =
+    List.init 40 (fun _ ->
+        match Text_gen.planted_pattern st docs ~len:plen with
+        | Some p -> p
+        | None -> Text_gen.miss_pattern ~len:plen)
+  in
+  let short = pats 4 and long = pats 32 in
+  let rows =
+    List.map
+      (fun b ->
+        let count ps =
+          Bench_util.per_op ~iters:20 (fun () -> List.iter (fun p -> ignore (b.range p)) ps)
+          /. float_of_int (List.length ps)
+        in
+        let c_short = count short and c_long = count long in
+        (* locate per occurrence on one frequent pattern *)
+        let pat = List.hd short in
+        let occ, loc_ns =
+          match b.range pat with
+          | None -> (0, nan)
+          | Some (sp, ep) ->
+            let ns =
+              Bench_util.per_op ~iters:5 (fun () ->
+                  for row = sp to ep - 1 do
+                    ignore (Sys.opaque_identity (b.locate row))
+                  done)
+            in
+            (ep - sp, ns /. float_of_int (max 1 (ep - sp)))
+        in
+        ignore occ;
+        let ext = Bench_util.per_op ~iters:50 (fun () -> b.extract ~doc:0 ~off:0 ~len:64) in
+        [ b.bname; Bench_util.ns_str c_short; Bench_util.ns_str c_long; Bench_util.ns_str loc_ns;
+          Bench_util.ns_str ext; Bench_util.bits_per_sym b.space n ])
+      backends
+  in
+  Bench_util.print_table
+    ~title:"Static backends on one corpus  [expect: sa fastest+largest; fm/csa compressed]"
+    ~header:[ "index"; "count |P|=4"; "count |P|=32"; "locate/occ"; "extract l=64"; "bits/sym" ]
+    rows

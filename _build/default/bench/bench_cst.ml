@@ -1,0 +1,62 @@
+(* Succinct-tree substrate micro-benchmark: balanced-parentheses
+   navigation and compressed-suffix-tree operations ([37], the machinery
+   of the static index whose construction A.6 walks through). *)
+
+open Dsdg_bp
+open Dsdg_workload
+
+let run () =
+  let st = Text_gen.rng 71 in
+  let text = Text_gen.markov st ~sigma:8 ~len:100_000 ~skew:0.6 in
+  let n = String.length text in
+  let (), build_ns = Bench_util.time_ns (fun () -> ignore (Sys.opaque_identity (Cst.build_string text))) in
+  let cst = Cst.build_string text in
+  Printf.printf "\n[cst] text n=%d; CST build %s (%.0f ns/char); %d leaves\n" n
+    (Bench_util.ns_str build_ns)
+    (build_ns /. float_of_int n)
+    (Cst.leaf_count cst);
+  let leaves = Array.init 1000 (fun _ -> Cst.leaf cst (Random.State.int st n)) in
+  let sink = ref 0 in
+  let parent_walk_ns =
+    Bench_util.per_op ~iters:10 (fun () ->
+        Array.iter
+          (fun v ->
+            let cur = ref v in
+            let continue = ref true in
+            while !continue do
+              match Cst.parent cst !cur with
+              | None -> continue := false
+              | Some p ->
+                incr sink;
+                cur := p
+            done)
+          leaves)
+    /. 1000.
+  in
+  let lca_ns =
+    Bench_util.per_op ~iters:10 (fun () ->
+        for i = 0 to 998 do
+          sink := !sink + Cst.lca cst leaves.(i) leaves.(i + 1)
+        done)
+    /. 999.
+  in
+  let interval_ns =
+    Bench_util.per_op ~iters:10 (fun () ->
+        Array.iter (fun v -> sink := !sink + fst (Cst.sa_interval cst v)) leaves)
+    /. 1000.
+  in
+  let depth_ns =
+    Bench_util.per_op ~iters:10 (fun () ->
+        Array.iter (fun v -> sink := !sink + Cst.depth cst v) leaves)
+    /. 1000.
+  in
+  Bench_util.print_table ~title:"CST / balanced-parentheses operations"
+    ~header:[ "operation"; "time" ]
+    [
+      [ "leaf -> root parent walk"; Bench_util.ns_str parent_walk_ns ];
+      [ "lca(leaf, leaf)"; Bench_util.ns_str lca_ns ];
+      [ "sa_interval"; Bench_util.ns_str interval_ns ];
+      [ "depth"; Bench_util.ns_str depth_ns ];
+    ];
+  Printf.printf "topology space: %s bits per text symbol (incl. plain SA+LCP arrays)\n"
+    (Bench_util.bits_per_sym (Cst.space_bits cst) n)

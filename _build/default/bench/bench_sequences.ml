@@ -1,0 +1,77 @@
+(* Compressed sequence representations head-to-head: balanced wavelet
+   tree vs Huffman-shaped wavelet tree vs the alphabet-partitioned
+   structure of Appendix A.6 / [3].  These are the rank/select/access
+   engines inside every index here; the paper's Section 4 plugs [3] into
+   the Transformations, and A.6 shows how to build it. *)
+
+open Dsdg_wavelet
+open Dsdg_entropy
+
+type seq_impl = {
+  sname : string;
+  access : int -> int;
+  rank : int -> int -> int;
+  select : int -> int -> int;
+  space : int;
+}
+
+let impls (a : int array) sigma =
+  let wt = Wavelet_tree.build ~sigma a in
+  let hw = Huffman_wavelet.build ~sigma a in
+  let ap = Alphabet_partition.build ~sigma a in
+  [
+    { sname = "balanced wavelet"; access = Wavelet_tree.access wt;
+      rank = Wavelet_tree.rank wt; select = Wavelet_tree.select wt;
+      space = Wavelet_tree.space_bits wt };
+    { sname = "huffman wavelet"; access = Huffman_wavelet.access hw;
+      rank = Huffman_wavelet.rank hw; select = Huffman_wavelet.select hw;
+      space = Huffman_wavelet.space_bits hw };
+    { sname = "alphabet partition (A.6)"; access = Alphabet_partition.access ap;
+      rank = Alphabet_partition.rank ap; select = Alphabet_partition.select ap;
+      space = Alphabet_partition.space_bits ap };
+  ]
+
+let run () =
+  let st = Random.State.make [| 61 |] in
+  let n = 200_000 and sigma = 200 in
+  (* Zipf-ish symbol distribution: low H0 relative to log sigma *)
+  let a =
+    Array.init n (fun _ ->
+        let z = Dsdg_workload.Text_gen.zipf st ~max:sigma in
+        z - 1)
+  in
+  let h0 = Entropy.h0_ints a in
+  Printf.printf "\n[sequences] n=%d sigma=%d H0=%.2f (log sigma = %.2f)\n" n sigma h0
+    (log (float_of_int sigma) /. log 2.);
+  let queries = Array.init 2000 (fun _ -> Random.State.int st n) in
+  let syms = Array.init 2000 (fun _ -> a.(Random.State.int st n)) in
+  let sink = ref 0 in
+  let rows =
+    List.map
+      (fun impl ->
+        let acc_ns =
+          Bench_util.per_op ~iters:20 (fun () ->
+              Array.iter (fun q -> sink := !sink + impl.access q) queries)
+          /. 2000.
+        in
+        let rank_ns =
+          Bench_util.per_op ~iters:20 (fun () ->
+              Array.iteri (fun i c -> sink := !sink + impl.rank c queries.(i)) syms)
+          /. 2000.
+        in
+        let sel_ns =
+          Bench_util.per_op ~iters:20 (fun () ->
+              Array.iter (fun c -> sink := !sink + impl.select c 0) syms)
+          /. 2000.
+        in
+        [ impl.sname; Bench_util.ns_str acc_ns; Bench_util.ns_str rank_ns;
+          Bench_util.ns_str sel_ns; Bench_util.bits_per_sym impl.space n ])
+      (impls a sigma)
+  in
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf
+         "Sequence representations  [expect huffman & A.6 near H0=%.2f bits/sym; balanced near log sigma]"
+         h0)
+    ~header:[ "representation"; "access"; "rank"; "select"; "bits/sym" ]
+    rows

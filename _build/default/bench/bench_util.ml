@@ -1,0 +1,79 @@
+(* Shared benchmark plumbing: a thin wrapper over Bechamel for per-op
+   micro-benchmarks, a monotonic stopwatch for macro sweeps, and aligned
+   table printing. *)
+
+open Bechamel
+
+(* ns/run estimates for a list of Bechamel tests. *)
+let run_tests ?(quota = 0.5) (tests : Test.t list) : (string * float) list =
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.concat_map
+    (fun test ->
+      List.map
+        (fun elt ->
+          let b = Benchmark.run cfg [ instance ] elt in
+          let r = Analyze.one ols instance b in
+          let ns = match Analyze.OLS.estimates r with Some [ e ] -> e | _ -> nan in
+          (Test.Elt.name elt, ns))
+        (Test.elements test))
+    tests
+
+(* Monotonic stopwatch in nanoseconds. *)
+let now_ns () = Monotonic_clock.now ()
+
+let time_ns f =
+  let t0 = now_ns () in
+  let r = f () in
+  let t1 = now_ns () in
+  (r, Int64.to_float (Int64.sub t1 t0))
+
+(* Time [f] and return ns per iteration over [iters] runs. *)
+let per_op ~iters f =
+  let t0 = now_ns () in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t1 = now_ns () in
+  Int64.to_float (Int64.sub t1 t0) /. float_of_int iters
+
+(* --- table printing --- *)
+
+let hr width = String.make width '-'
+
+let print_table ~title ~header rows =
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) header;
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell)
+        row)
+    rows;
+  let total = Array.fold_left ( + ) (3 * (ncols - 1)) widths in
+  Printf.printf "\n== %s ==\n%s\n" title (hr (max total (String.length title + 6)));
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then print_string " | ";
+        Printf.printf "%-*s" widths.(i) cell)
+      cells;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.mapi (fun i _ -> hr widths.(i)) header);
+  List.iter print_row rows;
+  print_newline ();
+  flush stdout
+
+let ns_str ns =
+  if Float.is_nan ns then "n/a"
+  else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let bits_per_sym bits syms =
+  if syms = 0 then "n/a" else Printf.sprintf "%.2f" (float_of_int bits /. float_of_int syms)

@@ -1,0 +1,93 @@
+(* Table 1: static compressed indexing.
+
+   The paper's Table 1 lists static indexes whose costs are
+     trange  ~ |P| (x small factors),
+     tlocate ~ s  per occurrence,
+     textract ~ s + l,
+   in nHk + O(n log n / s) bits.  We reproduce the *shape* with the
+   FM-index: query time linear in |P|; locate cost per occurrence linear
+   in s; extraction linear in l + s; space falling with s toward nHk. *)
+
+open Dsdg_core
+open Dsdg_fm
+open Dsdg_workload
+open Dsdg_entropy
+
+let corpus () =
+  let st = Text_gen.rng 42 in
+  Text_gen.corpus st ~count:64 ~avg_len:4096 ~kind:(`Markov (8, 0.7))
+
+let run () =
+  let docs = corpus () in
+  let n = Array.fold_left (fun a d -> a + String.length d + 1) 0 docs in
+  let text = String.concat "" (Array.to_list docs) in
+  let h0 = Entropy.h0 text and h2 = Entropy.hk ~k:2 text in
+  Printf.printf "\n[table1] corpus: %d docs, %d symbols, H0=%.3f H2=%.3f bits/sym\n" (Array.length docs) n h0 h2;
+  let st = Text_gen.rng 43 in
+
+  (* (a) trange: count time vs |P| at fixed s *)
+  let fm = Fm_index.build ~sample:8 docs in
+  let rows_a =
+    List.map
+      (fun plen ->
+        let pats =
+          List.init 50 (fun _ ->
+              match Text_gen.planted_pattern st docs ~len:plen with
+              | Some p -> p
+              | None -> Text_gen.miss_pattern ~len:plen)
+        in
+        let ns =
+          Bench_util.per_op ~iters:200 (fun () ->
+              List.iter (fun p -> ignore (Fm_index.count fm p)) pats)
+          /. 50.
+        in
+        [ string_of_int plen; Bench_util.ns_str ns; Bench_util.ns_str (ns /. float_of_int plen) ])
+      [ 2; 4; 8; 16; 32; 64 ]
+  in
+  Bench_util.print_table ~title:"Table 1a: trange (count) vs |P|  [expect ~linear in |P|]"
+    ~header:[ "|P|"; "count time"; "per pattern symbol" ] rows_a;
+
+  (* (b) tlocate per occurrence and space, vs sample rate s *)
+  let pat = Option.get (Text_gen.planted_pattern st docs ~len:3) in
+  let rows_b =
+    List.map
+      (fun s ->
+        let fm = Fm_index.build ~sample:s docs in
+        let occ = Fm_index.count fm pat in
+        let ns =
+          Bench_util.per_op ~iters:5 (fun () ->
+              match Fm_index.range fm pat with
+              | None -> ()
+              | Some (sp, ep) ->
+                for row = sp to ep - 1 do
+                  ignore (Sys.opaque_identity (Fm_index.locate fm row))
+                done)
+        in
+        let per_occ = if occ = 0 then nan else ns /. float_of_int occ in
+        (* extraction of l=64 *)
+        let ext_ns =
+          Bench_util.per_op ~iters:50 (fun () -> Fm_index.extract fm ~doc:0 ~off:0 ~len:64)
+        in
+        [ string_of_int s; string_of_int occ; Bench_util.ns_str per_occ; Bench_util.ns_str ext_ns;
+          Bench_util.bits_per_sym (Fm_index.space_bits fm) n ])
+      [ 1; 2; 4; 8; 16; 32; 64 ]
+  in
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf
+         "Table 1b: tlocate/occ, textract(l=64), space vs s  [expect locate ~ s; space -> nHk=%.2f]"
+         h2)
+    ~header:[ "s"; "occ"; "locate/occ"; "extract l=64"; "bits/sym" ] rows_b;
+
+  (* (c) textract vs l at fixed s *)
+  let fm = Fm_index.build ~sample:8 docs in
+  let rows_c =
+    List.map
+      (fun l ->
+        let ns = Bench_util.per_op ~iters:100 (fun () -> Fm_index.extract fm ~doc:0 ~off:0 ~len:l) in
+        [ string_of_int l; Bench_util.ns_str ns; Bench_util.ns_str (ns /. float_of_int l) ])
+      [ 8; 32; 128; 512 ]
+  in
+  Bench_util.print_table ~title:"Table 1c: textract vs l at s=8  [expect ~linear in l]"
+    ~header:[ "l"; "extract time"; "per char" ] rows_c;
+  ignore (module Sa_static : Static_index.S)

@@ -1,0 +1,135 @@
+(* dsdg: command-line front end for the dynamic compressed document index.
+
+     dsdg index FILE...           index files (one document per line of each
+                                  file, or whole files with --whole), then
+                                  answer queries from stdin
+     dsdg demo                    run a synthetic churn demo with stats
+
+   Query language on stdin (after `dsdg index`):
+     ?PATTERN      report occurrences
+     #PATTERN      count occurrences
+     +TEXT         insert TEXT as a new document
+     -ID           delete document ID
+     =ID OFF LEN   extract a substring
+     .             print stats and exit *)
+
+open Dsdg_core
+open Cmdliner
+
+let variant_of_string = function
+  | "amortized" -> Dynamic_index.Amortized
+  | "loglog" -> Dynamic_index.Amortized_loglog
+  | "worst-case" -> Dynamic_index.Worst_case
+  | s -> invalid_arg ("unknown variant: " ^ s)
+
+let backend_of_string = function
+  | "fm" -> Dynamic_index.Fm
+  | "sa" -> Dynamic_index.Plain_sa
+  | s -> invalid_arg ("unknown backend: " ^ s)
+
+let print_stats idx =
+  Printf.printf "documents : %d\n" (Dynamic_index.doc_count idx);
+  Printf.printf "symbols   : %d\n" (Dynamic_index.total_symbols idx);
+  Printf.printf "space     : %d bits (%.2f bits/symbol)\n" (Dynamic_index.space_bits idx)
+    (if Dynamic_index.total_symbols idx = 0 then 0.
+     else float_of_int (Dynamic_index.space_bits idx) /. float_of_int (Dynamic_index.total_symbols idx));
+  Printf.printf "engine    : %s\n" (Dynamic_index.describe idx)
+
+let repl idx =
+  (try
+     while true do
+       let line = input_line stdin in
+       if String.length line > 0 then begin
+         let arg = String.sub line 1 (String.length line - 1) in
+         match line.[0] with
+         | '?' ->
+           let hits = Dynamic_index.search idx arg in
+           List.iter (fun (d, o) -> Printf.printf "doc %d off %d\n" d o) hits;
+           Printf.printf "%d occurrence(s)\n%!" (List.length hits)
+         | '#' -> Printf.printf "%d\n%!" (Dynamic_index.count idx arg)
+         | '+' -> Printf.printf "doc %d\n%!" (Dynamic_index.insert idx arg)
+         | '-' ->
+           let ok = Dynamic_index.delete idx (int_of_string (String.trim arg)) in
+           Printf.printf "%s\n%!" (if ok then "deleted" else "no such document")
+         | '=' -> (
+           match String.split_on_char ' ' (String.trim arg) with
+           | [ id; off; len ] -> (
+             match
+               Dynamic_index.extract idx ~doc:(int_of_string id) ~off:(int_of_string off)
+                 ~len:(int_of_string len)
+             with
+             | Some s -> Printf.printf "%S\n%!" s
+             | None -> Printf.printf "out of range or deleted\n%!")
+           | _ -> Printf.printf "usage: =ID OFF LEN\n%!")
+         | '.' -> raise Exit
+         | _ -> Printf.printf "commands: ?PAT #PAT +TEXT -ID =ID OFF LEN .\n%!"
+       end
+     done
+   with End_of_file | Exit -> ());
+  print_stats idx
+
+let index_cmd files whole variant backend sample tau =
+  let idx =
+    Dynamic_index.create ~variant:(variant_of_string variant)
+      ~backend:(backend_of_string backend) ~sample ~tau ()
+  in
+  List.iter
+    (fun file ->
+      let ic = open_in file in
+      if whole then begin
+        let n = in_channel_length ic in
+        ignore (Dynamic_index.insert idx (really_input_string ic n))
+      end
+      else begin
+        try
+          while true do
+            let line = input_line ic in
+            if String.length line > 0 then ignore (Dynamic_index.insert idx line)
+          done
+        with End_of_file -> ()
+      end;
+      close_in ic)
+    files;
+  Printf.printf "indexed %d document(s) from %d file(s)\n%!" (Dynamic_index.doc_count idx)
+    (List.length files);
+  repl idx
+
+let demo_cmd ops =
+  let open Dsdg_workload in
+  let st = Text_gen.rng 7 in
+  let idx = Dynamic_index.create () in
+  let live = ref [] in
+  for _ = 1 to ops do
+    if Random.State.float st 1.0 < 0.7 || !live = [] then
+      live := Dynamic_index.insert idx (Text_gen.english_like st ~len:(30 + Random.State.int st 100)) :: !live
+    else begin
+      match !live with
+      | id :: rest ->
+        ignore (Dynamic_index.delete idx id);
+        live := rest
+      | [] -> ()
+    end
+  done;
+  List.iter
+    (fun w -> Printf.printf "count %-8S = %d\n" w (Dynamic_index.count idx w))
+    [ "data"; "index"; "query" ];
+  print_stats idx
+
+let files_arg = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
+let whole_arg = Arg.(value & flag & info [ "whole" ] ~doc:"Index whole files instead of lines.")
+let variant_arg =
+  Arg.(value & opt string "worst-case" & info [ "variant" ] ~doc:"amortized | loglog | worst-case")
+let backend_arg = Arg.(value & opt string "fm" & info [ "backend" ] ~doc:"fm | sa")
+let sample_arg = Arg.(value & opt int 8 & info [ "sample" ] ~doc:"SA sampling rate s.")
+let tau_arg = Arg.(value & opt int 8 & info [ "tau" ] ~doc:"Lazy-deletion threshold tau.")
+let ops_arg = Arg.(value & opt int 500 & info [ "ops" ] ~doc:"Demo operations.")
+
+let index_t =
+  Cmd.v (Cmd.info "index" ~doc:"Index files and answer queries interactively")
+    Term.(const index_cmd $ files_arg $ whole_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg)
+
+let demo_t = Cmd.v (Cmd.info "demo" ~doc:"Synthetic churn demo") Term.(const demo_cmd $ ops_arg)
+
+let () =
+  let doc = "dynamic compressed document collection index (Munro-Nekrich-Vitter, PODS 2015)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "dsdg" ~doc) [ index_t; demo_t ]))

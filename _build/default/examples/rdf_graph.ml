@@ -1,0 +1,54 @@
+(* RDF-style triples in dynamic compact structures (Section 5): the
+   triple set lives in per-predicate compact digraphs plus two binary
+   relations, supporting exactly the paper's example queries:
+   - all triples in which x occurs as a subject;
+   - given x and p, all triples with subject x and predicate p;
+   - all triples in which y occurs as an object.
+
+   Run with:  dune exec examples/rdf_graph.exe *)
+
+open Dsdg_binrel
+open Dsdg_workload
+
+let pred_names = [| "knows"; "likes"; "cites"; "links"; "owns"; "near"; "follows"; "reads" |]
+
+let () =
+  let st = Random.State.make [| 77 |] in
+  let ts = Triple_store.create () in
+
+  let triples = Graph_gen.rdf_triples st ~subjects:300 ~predicates:8 ~count:3000 in
+  Array.iter (fun (s, p, o) -> ignore (Triple_store.add ts ~s ~p ~o)) triples;
+  Printf.printf "loaded %d distinct triples (of %d raw) in %d bits\n"
+    (Triple_store.triple_count ts) (Array.length triples) (Triple_store.space_bits ts);
+
+  let x = 42 in
+  (* "enumerate all the triples in which x occurs as a subject" *)
+  let subj = Triple_store.triples_with_subject ts x in
+  Printf.printf "\ntriples with subject %d: %d, e.g.\n" x (List.length subj);
+  List.iteri
+    (fun i (s, p, o) -> if i < 5 then Printf.printf "  (%d, %s, %d)\n" s pred_names.(p) o)
+    subj;
+
+  (* "given x and p, enumerate all triples in which x occurs as a subject
+     and p as a predicate" *)
+  let sp = Triple_store.triples_with_subject_predicate ts x 2 in
+  Printf.printf "\ntriples (%d, %s, ?): %d:%s\n" x pred_names.(2) (List.length sp)
+    (String.concat "" (List.map (fun (_, _, o) -> Printf.sprintf " %d" o) sp));
+
+  (* reverse direction *)
+  Printf.printf "\ntriples with object %d: %d (across predicates:%s)\n" x
+    (Triple_store.count_with_object ts x)
+    (String.concat ""
+       (List.map (fun p -> " " ^ pred_names.(p)) (Triple_store.predicates_of_object ts x)));
+
+  (* counting per predicate *)
+  Printf.printf "\ntriples per predicate:\n";
+  Array.iteri
+    (fun p name -> Printf.printf "  %-8s %d\n" name (Triple_store.count_with_predicate ts p))
+    pred_names;
+
+  (* dynamic: retract everything subject 42 asserted *)
+  List.iter (fun (s, p, o) -> ignore (Triple_store.remove ts ~s ~p ~o))
+    (Triple_store.triples_with_subject ts x);
+  Printf.printf "\nafter retracting subject %d: %d triples remain, count_with_subject = %d\n" x
+    (Triple_store.triple_count ts) (Triple_store.count_with_subject ts x)

@@ -1,0 +1,1 @@
+lib/binrel/digraph.ml: Dyn_binrel

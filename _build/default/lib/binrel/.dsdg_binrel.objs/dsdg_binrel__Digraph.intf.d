@@ -1,0 +1,1 @@
+lib/binrel/digraph.mli: Dyn_binrel

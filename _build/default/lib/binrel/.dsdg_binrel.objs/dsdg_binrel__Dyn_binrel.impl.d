@@ -1,0 +1,1 @@
+lib/binrel/dyn_binrel.ml: Array Hashtbl List Static_binrel

@@ -1,0 +1,1 @@
+lib/binrel/static_binrel.ml: Array Bitvec Dsdg_bits Dsdg_delbits Dsdg_wavelet Huffman_wavelet List Rank_select Reporter

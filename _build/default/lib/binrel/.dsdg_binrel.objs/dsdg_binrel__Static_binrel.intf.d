@@ -1,0 +1,1 @@
+lib/binrel/static_binrel.mli:

@@ -1,0 +1,1 @@
+lib/binrel/triple_store.ml: Digraph Dyn_binrel Hashtbl List

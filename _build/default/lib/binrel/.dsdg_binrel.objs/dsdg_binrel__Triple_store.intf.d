@@ -1,0 +1,1 @@
+lib/binrel/triple_store.mli:

@@ -1,0 +1,30 @@
+(* Dynamic directed graph (Theorem 3): a binary relation on the node set
+   where object u related to label v encodes the edge u -> v.  Neighbor
+   enumeration, reverse neighbors, adjacency tests and degree counting all
+   reduce to relation queries. *)
+
+type t = { rel : Dyn_binrel.t }
+
+let create ?tau () = { rel = Dyn_binrel.create ?tau () }
+
+(* Add edge u -> v; false if already present. *)
+let add_edge t u v = Dyn_binrel.add t.rel u v
+
+(* Remove edge u -> v; false if absent. *)
+let remove_edge t u v = Dyn_binrel.remove t.rel u v
+
+let mem_edge t u v = Dyn_binrel.related t.rel u v
+let edge_count t = Dyn_binrel.live_pairs t.rel
+
+(* Out-neighbors of u. *)
+let successors t u = Dyn_binrel.labels_of_object_list t.rel u
+
+(* In-neighbors of v. *)
+let predecessors t v = Dyn_binrel.objects_of_label_list t.rel v
+
+let iter_successors t u ~f = Dyn_binrel.labels_of_object t.rel u ~f
+let iter_predecessors t v ~f = Dyn_binrel.objects_of_label t.rel v ~f
+let out_degree t u = Dyn_binrel.count_labels_of_object t.rel u
+let in_degree t v = Dyn_binrel.count_objects_of_label t.rel v
+let space_bits t = Dyn_binrel.space_bits t.rel
+let stats t = Dyn_binrel.stats t.rel

@@ -1,0 +1,28 @@
+(** Dynamic directed graph (Theorem 3): a binary relation on the node
+    set; edge u -> v is "object u related to label v". *)
+
+type t
+
+val create : ?tau:int -> unit -> t
+
+(** [add_edge t u v]; [false] if the edge exists. *)
+val add_edge : t -> int -> int -> bool
+
+(** [remove_edge t u v]; [false] if absent. *)
+val remove_edge : t -> int -> int -> bool
+
+val mem_edge : t -> int -> int -> bool
+val edge_count : t -> int
+
+(** Sorted out-neighbors of [u]. *)
+val successors : t -> int -> int list
+
+(** Sorted in-neighbors of [v]. *)
+val predecessors : t -> int -> int list
+
+val iter_successors : t -> int -> f:(int -> unit) -> unit
+val iter_predecessors : t -> int -> f:(int -> unit) -> unit
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+val space_bits : t -> int
+val stats : t -> Dyn_binrel.stats

@@ -1,0 +1,231 @@
+(* Fully-dynamic compact binary relation (Theorem 2).
+
+   Layout mirrors Transformation 1 applied to object-label pairs:
+   - C0: an uncompressed buffer (nested hashtables, O(log n) bits/pair)
+     holding at most ~ 2n/log^2 n pairs;
+   - C1..Cr: geometrically growing deletion-only Static_binrel structures;
+   - lazy pair deletion with per-structure purge at the 1/tau threshold;
+   - global rebuild when the live size doubles or halves.
+
+   External object and label ids are arbitrary ints; each static
+   sub-structure stores only its effective alphabet (the role of the
+   paper's SN/NS tables and GC bitmaps).  Merging is synchronous
+   (amortized bounds); DESIGN.md records this as a deviation from the
+   paper's worst-case background variant, which lib/core/transform2.ml
+   realizes for document collections. *)
+
+type buffer = {
+  by_obj : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  by_lab : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable pairs : int;
+}
+
+let buffer_create () = { by_obj = Hashtbl.create 32; by_lab = Hashtbl.create 32; pairs = 0 }
+
+let buffer_add b o a =
+  let row =
+    match Hashtbl.find_opt b.by_obj o with
+    | Some r -> r
+    | None ->
+      let r = Hashtbl.create 4 in
+      Hashtbl.replace b.by_obj o r;
+      r
+  in
+  if Hashtbl.mem row a then false
+  else begin
+    Hashtbl.replace row a ();
+    let col =
+      match Hashtbl.find_opt b.by_lab a with
+      | Some c -> c
+      | None ->
+        let c = Hashtbl.create 4 in
+        Hashtbl.replace b.by_lab a c;
+        c
+    in
+    Hashtbl.replace col o ();
+    b.pairs <- b.pairs + 1;
+    true
+  end
+
+let buffer_mem b o a =
+  match Hashtbl.find_opt b.by_obj o with None -> false | Some r -> Hashtbl.mem r a
+
+let buffer_remove b o a =
+  if not (buffer_mem b o a) then false
+  else begin
+    let row = Hashtbl.find b.by_obj o in
+    Hashtbl.remove row a;
+    if Hashtbl.length row = 0 then Hashtbl.remove b.by_obj o;
+    let col = Hashtbl.find b.by_lab a in
+    Hashtbl.remove col o;
+    if Hashtbl.length col = 0 then Hashtbl.remove b.by_lab a;
+    b.pairs <- b.pairs - 1;
+    true
+  end
+
+let buffer_pairs b =
+  Hashtbl.fold (fun o row acc -> Hashtbl.fold (fun a () acc -> (o, a) :: acc) row acc) b.by_obj []
+
+type stats = { mutable merges : int; mutable purges : int; mutable global_rebuilds : int }
+
+type t = {
+  tau : int;
+  mutable c0 : buffer;
+  subs : Static_binrel.t option array;
+  mutable nf : int;
+  mutable live : int;
+  stats : stats;
+}
+
+let max_slots = 8
+
+let create ?(tau = 8) () =
+  {
+    tau;
+    c0 = buffer_create ();
+    subs = Array.make (max_slots + 1) None;
+    nf = 256;
+    live = 0;
+    stats = { merges = 0; purges = 0; global_rebuilds = 0 };
+  }
+
+let stats t = t.stats
+let live_pairs t = t.live
+
+let max_size t j =
+  let nff = float_of_int (max t.nf 256) in
+  let lg = max 2. (log nff /. log 2.) in
+  let base = 2. *. nff /. (lg *. lg) in
+  max 32 (int_of_float (base *. (lg ** (0.5 *. float_of_int j))))
+
+let sub_live t j = match t.subs.(j) with None -> 0 | Some sb -> Static_binrel.live_pairs sb
+
+let build_sub t pairs = Static_binrel.build ~tau:t.tau (Array.of_list pairs)
+
+let global_rebuild t ~extra =
+  t.stats.global_rebuilds <- t.stats.global_rebuilds + 1;
+  let pairs = ref (buffer_pairs t.c0) in
+  for j = 1 to max_slots do
+    (match t.subs.(j) with
+    | None -> ()
+    | Some sb -> pairs := Static_binrel.live_pairs_list sb @ !pairs);
+    t.subs.(j) <- None
+  done;
+  let pairs = match extra with None -> !pairs | Some p -> p :: !pairs in
+  t.c0 <- buffer_create ();
+  t.nf <- max 256 (List.length pairs);
+  t.live <- List.length pairs;
+  if pairs <> [] then t.subs.(max_slots) <- Some (build_sub t pairs)
+
+let related t o a =
+  buffer_mem t.c0 o a
+  || Array.exists (function None -> false | Some sb -> Static_binrel.related sb o a) t.subs
+
+(* Add pair (o, a); false if already present. *)
+let add t o a =
+  if related t o a then false
+  else begin
+    if t.c0.pairs + 1 <= max_size t 0 then ignore (buffer_add t.c0 o a)
+    else begin
+      (* cascade: smallest j that can absorb C0..Cj plus the new pair *)
+      let rec find j acc =
+        if j > max_slots then None
+        else begin
+          let acc = acc + sub_live t j in
+          if acc + 1 <= max_size t j then Some j else find (j + 1) acc
+        end
+      in
+      match find 1 t.c0.pairs with
+      | Some j ->
+        t.stats.merges <- t.stats.merges + 1;
+        let pairs = ref [ (o, a) ] in
+        pairs := buffer_pairs t.c0 @ !pairs;
+        for i = 1 to j do
+          (match t.subs.(i) with
+          | None -> ()
+          | Some sb -> pairs := Static_binrel.live_pairs_list sb @ !pairs);
+          t.subs.(i) <- None
+        done;
+        t.c0 <- buffer_create ();
+        t.subs.(j) <- Some (build_sub t !pairs)
+      | None -> global_rebuild t ~extra:(Some (o, a))
+    end;
+    t.live <- t.live + 1;
+    if t.live > 2 * t.nf then global_rebuild t ~extra:None;
+    true
+  end
+
+let purge t j =
+  match t.subs.(j) with
+  | None -> ()
+  | Some sb ->
+    t.stats.purges <- t.stats.purges + 1;
+    let pairs = Static_binrel.live_pairs_list sb in
+    t.subs.(j) <- (if pairs = [] then None else Some (build_sub t pairs))
+
+(* Remove pair (o, a); false if absent. *)
+let remove t o a =
+  if buffer_remove t.c0 o a then begin
+    t.live <- t.live - 1;
+    if 2 * t.live < t.nf && t.nf > 256 then global_rebuild t ~extra:None;
+    true
+  end
+  else begin
+    let done_ = ref false in
+    for j = 1 to max_slots do
+      match t.subs.(j) with
+      | Some sb when not !done_ ->
+        if Static_binrel.delete sb o a then begin
+          done_ := true;
+          t.live <- t.live - 1;
+          if Static_binrel.needs_purge sb then purge t j
+        end
+      | _ -> ()
+    done;
+    if !done_ && 2 * t.live < t.nf && t.nf > 256 then global_rebuild t ~extra:None;
+    !done_
+  end
+
+let labels_of_object t o ~f =
+  (match Hashtbl.find_opt t.c0.by_obj o with
+  | None -> ()
+  | Some row -> Hashtbl.iter (fun a () -> f a) row);
+  Array.iter
+    (function None -> () | Some sb -> Static_binrel.labels_of_object sb o ~f)
+    t.subs
+
+let objects_of_label t a ~f =
+  (match Hashtbl.find_opt t.c0.by_lab a with
+  | None -> ()
+  | Some col -> Hashtbl.iter (fun o () -> f o) col);
+  Array.iter
+    (function None -> () | Some sb -> Static_binrel.objects_of_label sb a ~f)
+    t.subs
+
+let labels_of_object_list t o =
+  let acc = ref [] in
+  labels_of_object t o ~f:(fun a -> acc := a :: !acc);
+  List.sort compare !acc
+
+let objects_of_label_list t a =
+  let acc = ref [] in
+  objects_of_label t a ~f:(fun o -> acc := o :: !acc);
+  List.sort compare !acc
+
+let count_labels_of_object t o =
+  let c0 = match Hashtbl.find_opt t.c0.by_obj o with None -> 0 | Some row -> Hashtbl.length row in
+  Array.fold_left
+    (fun acc -> function None -> acc | Some sb -> acc + Static_binrel.count_labels_of_object sb o)
+    c0 t.subs
+
+let count_objects_of_label t a =
+  let c0 = match Hashtbl.find_opt t.c0.by_lab a with None -> 0 | Some col -> Hashtbl.length col in
+  Array.fold_left
+    (fun acc -> function None -> acc | Some sb -> acc + Static_binrel.count_objects_of_label sb a)
+    c0 t.subs
+
+let space_bits t =
+  let c0_bits = t.c0.pairs * 4 * 63 in
+  Array.fold_left
+    (fun acc -> function None -> acc | Some sb -> acc + Static_binrel.space_bits sb)
+    c0_bits t.subs

@@ -1,0 +1,42 @@
+(** Fully-dynamic compact binary relation (Theorem 2): object-label
+    pairs with reporting/counting in both directions.
+
+    Transformation-1 layout over pairs: an uncompressed buffer C0 plus
+    geometrically growing deletion-only {!Static_binrel} structures with
+    lazy deletion and 1/tau purging. Object and label ids are arbitrary
+    ints. *)
+
+type t
+
+type stats = {
+  mutable merges : int;
+  mutable purges : int;
+  mutable global_rebuilds : int;
+}
+
+val create : ?tau:int -> unit -> t
+val stats : t -> stats
+
+(** Number of live pairs. *)
+val live_pairs : t -> int
+
+(** [add t o a] relates object [o] to label [a]; [false] if already
+    related. *)
+val add : t -> int -> int -> bool
+
+(** [remove t o a]; [false] if not related. *)
+val remove : t -> int -> int -> bool
+
+(** Membership test. *)
+val related : t -> int -> int -> bool
+
+val labels_of_object : t -> int -> f:(int -> unit) -> unit
+val objects_of_label : t -> int -> f:(int -> unit) -> unit
+
+(** Sorted list versions of the iterators. *)
+val labels_of_object_list : t -> int -> int list
+
+val objects_of_label_list : t -> int -> int list
+val count_labels_of_object : t -> int -> int
+val count_objects_of_label : t -> int -> int
+val space_bits : t -> int

@@ -1,0 +1,44 @@
+(** Deletion-only compact binary relation (Section 5): the string S in an
+    H0-compressed wavelet tree, unary degrees N, and Lemma-3 liveness
+    structures. Built once from a pair set; supports lazy pair deletion
+    and the 1/tau purge signal. Objects/labels are arbitrary external
+    ints (mapped internally to the effective alphabet). *)
+
+type t
+
+(** Raises [Invalid_argument] on duplicate pairs. *)
+val build : ?tick:(unit -> unit) -> tau:int -> (int * int) array -> t
+
+val live_pairs : t -> int
+val dead_pairs : t -> int
+val total_pairs : t -> int
+
+(** Dead fraction exceeded 1/tau: the owner should rebuild. *)
+val needs_purge : t -> bool
+
+val is_empty : t -> bool
+
+(** Membership of a live pair; O(log log + rank). *)
+val related : t -> int -> int -> bool
+
+(** Report live labels related to an object: O(1) per result after the
+    range lookup. *)
+val labels_of_object : t -> int -> f:(int -> unit) -> unit
+
+(** Report live objects related to a label (select on S + rank on N per
+    result). *)
+val objects_of_label : t -> int -> f:(int -> unit) -> unit
+
+(** O(log n) via the liveness counter. *)
+val count_labels_of_object : t -> int -> int
+
+(** O(1) (per-label live totals). *)
+val count_objects_of_label : t -> int -> int
+
+(** Lazy deletion of one pair; [false] if absent or already dead. *)
+val delete : t -> int -> int -> bool
+
+(** All live pairs, for rebuilds; [tick] charged per pair. *)
+val live_pairs_list : ?tick:(unit -> unit) -> t -> (int * int) list
+
+val space_bits : t -> int

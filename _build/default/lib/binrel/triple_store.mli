@@ -1,0 +1,35 @@
+(** Dynamic RDF-style triple store (the paper's Section 1 database
+    motivation): per-predicate compact digraphs plus subject/object to
+    predicate relations. Supports the paper's example queries — all
+    triples with a given subject, and all triples with a given subject
+    and predicate — under insertions and deletions. *)
+
+type t
+
+val create : ?tau:int -> unit -> t
+val triple_count : t -> int
+val mem : t -> s:int -> p:int -> o:int -> bool
+
+(** [add t ~s ~p ~o]; [false] if present. *)
+val add : t -> s:int -> p:int -> o:int -> bool
+
+(** [remove t ~s ~p ~o]; [false] if absent. *)
+val remove : t -> s:int -> p:int -> o:int -> bool
+
+val predicates_of_subject : t -> int -> int list
+val predicates_of_object : t -> int -> int list
+
+(** All triples with subject [s] (the paper's first example query). *)
+val triples_with_subject : t -> int -> (int * int * int) list
+
+val triples_with_object : t -> int -> (int * int * int) list
+
+(** All triples with subject [s] and predicate [p] (the second example
+    query). *)
+val triples_with_subject_predicate : t -> int -> int -> (int * int * int) list
+
+val triples_with_object_predicate : t -> int -> int -> (int * int * int) list
+val count_with_subject : t -> int -> int
+val count_with_object : t -> int -> int
+val count_with_predicate : t -> int -> int
+val space_bits : t -> int

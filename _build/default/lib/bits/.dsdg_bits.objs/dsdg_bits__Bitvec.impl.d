@@ -1,0 +1,1 @@
+lib/bits/bitvec.ml: Array Format List Popcount

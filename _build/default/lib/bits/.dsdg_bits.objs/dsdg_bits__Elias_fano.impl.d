@@ -1,0 +1,1 @@
+lib/bits/elias_fano.ml: Array Bitvec Int_vec Popcount Rank_select

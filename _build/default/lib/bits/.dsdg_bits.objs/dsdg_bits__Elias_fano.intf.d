@@ -1,0 +1,1 @@
+lib/bits/elias_fano.mli:

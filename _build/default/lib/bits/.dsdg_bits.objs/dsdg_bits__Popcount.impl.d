@@ -1,0 +1,1 @@
+lib/bits/popcount.ml: Bytes Char

@@ -1,0 +1,1 @@
+lib/bits/rank_select.ml: Array Bitvec Popcount

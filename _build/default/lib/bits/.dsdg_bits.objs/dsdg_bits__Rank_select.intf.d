@@ -1,0 +1,1 @@
+lib/bits/rank_select.mli: Bitvec

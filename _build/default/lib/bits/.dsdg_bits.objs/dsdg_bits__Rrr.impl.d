@@ -1,0 +1,1 @@
+lib/bits/rrr.ml: Array Bitvec Int_vec Popcount

@@ -1,0 +1,1 @@
+lib/bits/rrr.mli: Bitvec

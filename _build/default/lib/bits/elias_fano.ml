@@ -1,0 +1,62 @@
+(* Elias-Fano encoding of a monotone non-decreasing integer sequence.
+   Access in O(1); ~ n (2 + log(u/n)) bits.  Used for sparse monotone
+   sequences such as cumulative document offsets. *)
+
+type t = {
+  n : int;
+  low_width : int;
+  low : Int_vec.t option; (* None when low_width = 0 *)
+  high : Rank_select.t;   (* unary-coded high parts: bit (v_i >> l) + i set *)
+}
+
+let build values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Elias_fano.build: empty";
+  let u = values.(n - 1) + 1 in
+  (* check monotone *)
+  for i = 1 to n - 1 do
+    if values.(i) < values.(i - 1) then invalid_arg "Elias_fano.build: not monotone"
+  done;
+  let rec log2 x = if x <= 1 then 0 else 1 + log2 (x / 2) in
+  let low_width = max 0 (log2 (u / n)) in
+  let low =
+    if low_width = 0 then None
+    else begin
+      let lv = Int_vec.create ~width:low_width n in
+      let mask = Popcount.low_mask low_width in
+      Array.iteri (fun i v -> Int_vec.set lv i (v land mask)) values;
+      Some lv
+    end
+  in
+  let high_len = n + (u lsr low_width) + 1 in
+  let hb = Bitvec.create high_len in
+  Array.iteri (fun i v -> Bitvec.set hb ((v lsr low_width) + i)) values;
+  { n; low_width; low; high = Rank_select.build hb }
+
+let length t = t.n
+
+let get t i =
+  if i < 0 || i >= t.n then invalid_arg "Elias_fano.get";
+  let hi = Rank_select.select1 t.high i - i in
+  match t.low with
+  | None -> hi
+  | Some low -> (hi lsl t.low_width) lor Int_vec.get low i
+
+(* Number of elements strictly less than [v]. *)
+let rank_lt t v =
+  let hv = v lsr t.low_width in
+  (* elements with high part < hv: all ones before the hv-th zero *)
+  let zeros = Rank_select.zeros t.high in
+  let start = if hv = 0 then 0 else if hv > zeros then t.n else Rank_select.select0 t.high (hv - 1) - (hv - 1) in
+  let stop = if hv >= zeros then t.n else Rank_select.select0 t.high hv - hv in
+  (* binary search within [start, stop) on full values *)
+  let lo = ref start and hi = ref stop in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if get t mid < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let space_bits t =
+  (match t.low with None -> 0 | Some l -> Int_vec.space_bits l)
+  + Rank_select.space_bits t.high + (2 * 63)

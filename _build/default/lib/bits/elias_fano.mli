@@ -1,0 +1,18 @@
+(** Elias-Fano encoding of a monotone non-decreasing integer sequence:
+    n (2 + log(u/n)) + o(n) bits with O(1) access. *)
+
+type t
+
+(** [build values] encodes a non-decreasing array. Raises
+    [Invalid_argument] on an empty or non-monotone input. *)
+val build : int array -> t
+
+val length : t -> int
+
+(** [get t i] is the [i]-th value. O(1). *)
+val get : t -> int -> int
+
+(** [rank_lt t v] is the number of elements strictly below [v]. *)
+val rank_lt : t -> int -> int
+
+val space_bits : t -> int

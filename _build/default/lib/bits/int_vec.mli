@@ -1,0 +1,27 @@
+(** Packed vector of fixed-width non-negative integers (width <= 62),
+    used for suffix-array samples and other o(n log n)-bit payloads. *)
+
+type t
+
+(** [create ~width n] is a zero-filled vector of [n] [width]-bit cells. *)
+val create : width:int -> int -> t
+
+val length : t -> int
+val width : t -> int
+
+(** Smallest width (>= 1) able to hold value [v]. *)
+val width_for : int -> int
+
+val get : t -> int -> int
+
+(** [set t i v] stores [v]; raises [Invalid_argument] if [v] does not fit
+    in the vector's width. *)
+val set : t -> int -> int -> unit
+
+val of_array : width:int -> int array -> t
+
+(** [of_array_auto a] picks the minimal width for the largest element. *)
+val of_array_auto : int array -> t
+
+val to_array : t -> int array
+val space_bits : t -> int

@@ -1,0 +1,44 @@
+(* Population count and in-word select for 63-bit OCaml native integers.
+
+   All bit-packed structures in this library use 63-bit words (the tagged
+   native [int]).  Counting uses a 16-bit lookup table: four probes per
+   word.  In-word select walks bytes using the same table. *)
+
+let word_bits = 62
+
+let table16 =
+  let t = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec count x acc = if x = 0 then acc else count (x lsr 1) (acc + (x land 1)) in
+    Bytes.unsafe_set t i (Char.chr (count i 0))
+  done;
+  t
+
+let[@inline] popcount16 x = Char.code (Bytes.unsafe_get table16 (x land 0xffff))
+
+let[@inline] count x =
+  popcount16 x + popcount16 (x lsr 16) + popcount16 (x lsr 32) + popcount16 (x lsr 48)
+
+(* Position (0-based, from LSB) of the [k]-th (0-based) set bit of [x].
+   Requires [k < count x]. *)
+let select x k =
+  let k = ref k and pos = ref 0 and x = ref x in
+  let c = ref (popcount16 !x) in
+  while !k >= !c do
+    k := !k - !c;
+    pos := !pos + 16;
+    x := !x lsr 16;
+    c := popcount16 !x
+  done;
+  (* scan the 16-bit chunk bit by bit *)
+  let chunk = ref (!x land 0xffff) in
+  while !k > 0 || !chunk land 1 = 0 do
+    if !chunk land 1 = 1 then decr k;
+    chunk := !chunk lsr 1;
+    incr pos
+  done;
+  !pos
+
+(* Mask keeping the [n] lowest bits, 0 <= n <= 62.  Note (1 lsl 62) - 1
+   wraps to max_int, which is exactly the 62-bit mask. *)
+let[@inline] low_mask n = (1 lsl n) - 1

@@ -1,0 +1,115 @@
+(* Static rank/select directory over an (immutable from here on) Bitvec.
+
+   Layout: superblocks of [sb_words] words; [super.(k)] is the number of
+   1-bits strictly before superblock [k].  rank scans at most [sb_words]
+   words; select binary-searches superblocks then scans. *)
+
+let w = Popcount.word_bits
+let sb_words = 8
+let sb_bits = sb_words * w
+
+type t = {
+  bv : Bitvec.t;
+  super : int array;
+  ones : int;
+}
+
+let build bv =
+  let nw = Bitvec.num_words bv in
+  let nsb = (nw + sb_words - 1) / sb_words in
+  let super = Array.make (nsb + 1) 0 in
+  let acc = ref 0 in
+  for j = 0 to nw - 1 do
+    if j mod sb_words = 0 then super.(j / sb_words) <- !acc;
+    acc := !acc + Popcount.count (Bitvec.word bv j)
+  done;
+  super.(nsb) <- !acc;
+  { bv; super; ones = !acc }
+
+let of_bitvec = build
+let length t = Bitvec.length t.bv
+let ones t = t.ones
+let zeros t = Bitvec.length t.bv - t.ones
+let get t i = Bitvec.get t.bv i
+let bitvec t = t.bv
+
+(* Number of 1-bits in positions [0, i). *)
+let rank1 t i =
+  if i < 0 || i > Bitvec.length t.bv then invalid_arg "Rank_select.rank1";
+  if i = 0 then 0
+  else begin
+    let word = (i - 1) / w in
+    let sb = word / sb_words in
+    let acc = ref t.super.(sb) in
+    for j = sb * sb_words to word - 1 do
+      acc := !acc + Popcount.count (Bitvec.word t.bv j)
+    done;
+    let rem = i - (word * w) in
+    !acc + Popcount.count (Bitvec.word t.bv word land Popcount.low_mask rem)
+  end
+
+let rank0 t i = i - rank1 t i
+
+(* Position of the [k]-th (0-based) 1-bit.  Requires [0 <= k < ones]. *)
+let select1 t k =
+  if k < 0 || k >= t.ones then invalid_arg "Rank_select.select1";
+  (* binary search: largest sb with super.(sb) <= k *)
+  let lo = ref 0 and hi = ref (Array.length t.super - 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if t.super.(mid) <= k then lo := mid else hi := mid
+  done;
+  let sb = !lo in
+  let acc = ref t.super.(sb) in
+  let nw = Bitvec.num_words t.bv in
+  let j = ref (sb * sb_words) in
+  let rec find () =
+    let c = Popcount.count (Bitvec.word t.bv !j) in
+    if !acc + c > k then ()
+    else begin
+      acc := !acc + c;
+      incr j;
+      if !j >= nw then invalid_arg "Rank_select.select1: corrupt directory";
+      find ()
+    end
+  in
+  find ();
+  (!j * w) + Popcount.select (Bitvec.word t.bv !j) (k - !acc)
+
+(* Position of the [k]-th (0-based) 0-bit. *)
+let select0 t k =
+  let nzeros = zeros t in
+  if k < 0 || k >= nzeros then invalid_arg "Rank_select.select0";
+  let zeros_before_sb sb =
+    let bits = min (sb * sb_bits) (Bitvec.length t.bv) in
+    bits - t.super.(sb)
+  in
+  let lo = ref 0 and hi = ref (Array.length t.super - 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if zeros_before_sb mid <= k then lo := mid else hi := mid
+  done;
+  let sb = !lo in
+  let acc = ref (zeros_before_sb sb) in
+  let nw = Bitvec.num_words t.bv in
+  let j = ref (sb * sb_words) in
+  let word_zeros j =
+    let mask = Bitvec.word_mask t.bv j in
+    Popcount.count (mask land lnot (Bitvec.word t.bv j))
+  in
+  let rec find () =
+    let c = word_zeros !j in
+    if !acc + c > k then ()
+    else begin
+      acc := !acc + c;
+      incr j;
+      if !j >= nw then invalid_arg "Rank_select.select0: corrupt directory";
+      find ()
+    end
+  in
+  find ();
+  let inv = Bitvec.word_mask t.bv !j land lnot (Bitvec.word t.bv !j) in
+  (!j * w) + Popcount.select inv (k - !acc)
+
+let space_bits t =
+  Bitvec.space_bits t.bv + (Array.length t.super * 63) + (2 * 63)

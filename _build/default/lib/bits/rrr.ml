@@ -1,0 +1,194 @@
+(* RRR (Raman-Raman-Rao) H0-compressed bit vector with rank/select.
+
+   The vector is cut into blocks of [b] = 15 bits; each block is encoded
+   as a (class, offset) pair where the class is its popcount (4 bits) and
+   the offset indexes the block within the enumeration of all 15-bit
+   words of that class (combinatorial number system,
+   ceil(log2 C(15, c)) bits).  Superblocks of 32 blocks store absolute
+   ranks and offset-stream positions.  Total space approaches n H0 + o(n)
+   and all queries stay O(1)-ish (superblock + one 32-block scan).
+
+   Used where the paper's indexes assume entropy-compressed bit vectors
+   (e.g. degree sequences of very skewed relations). *)
+
+let b = 15
+let sb_blocks = 32
+
+(* binomials C(0..15, 0..15) *)
+let binom =
+  let t = Array.make_matrix (b + 1) (b + 1) 0 in
+  for n = 0 to b do
+    t.(n).(0) <- 1;
+    for k = 1 to n do
+      t.(n).(k) <- t.(n - 1).(k - 1) + (if k <= n - 1 then t.(n - 1).(k) else 0)
+    done
+  done;
+  t
+
+(* bits needed for the offset of class c *)
+let class_bits =
+  Array.init (b + 1) (fun c ->
+      let v = binom.(b).(c) in
+      let rec go acc x = if x <= 1 then acc else go (acc + 1) ((x + 1) / 2) in
+      if v <= 1 then 0 else go 0 v)
+
+(* offset of word [x] (b bits, class c) in the canonical enumeration:
+   combinatorial number system, scanning from the high bit *)
+let offset_of_word x =
+  let c = Popcount.count x in
+  let off = ref 0 in
+  let remaining = ref c in
+  for pos = b - 1 downto 0 do
+    if (x lsr pos) land 1 = 1 then begin
+      (* all words with a 0 here (and the same prefix) come first *)
+      off := !off + binom.(pos).(!remaining);
+      decr remaining
+    end
+  done;
+  (c, !off)
+
+(* inverse: word of class [c] with offset [off] *)
+let word_of_offset c off =
+  let x = ref 0 in
+  let off = ref off and remaining = ref c in
+  for pos = b - 1 downto 0 do
+    if !remaining > 0 && !off >= binom.(pos).(!remaining) then begin
+      off := !off - binom.(pos).(!remaining);
+      decr remaining;
+      x := !x lor (1 lsl pos)
+    end
+  done;
+  !x
+
+type t = {
+  len : int;
+  nblocks : int;
+  classes : Int_vec.t; (* 4 bits per block *)
+  offsets : Bitvec.t; (* variable-width offset stream *)
+  sb_rank : int array; (* ones before each superblock *)
+  sb_pos : int array; (* offset-stream bit position of each superblock *)
+  ones : int;
+}
+
+(* read [nbits] bits at [pos] from the offset stream *)
+let read_bits bv pos nbits =
+  let v = ref 0 in
+  for k = 0 to nbits - 1 do
+    if Bitvec.unsafe_get bv (pos + k) then v := !v lor (1 lsl k)
+  done;
+  !v
+
+let of_bitvec src =
+  let len = Bitvec.length src in
+  let nblocks = (len + b - 1) / b in
+  let classes = Int_vec.create ~width:4 (max 1 nblocks) in
+  let block_word i =
+    let x = ref 0 in
+    let base = i * b in
+    for k = 0 to b - 1 do
+      if base + k < len && Bitvec.unsafe_get src (base + k) then x := !x lor (1 lsl k)
+    done;
+    !x
+  in
+  (* first pass: total offset bits *)
+  let total_off_bits = ref 0 in
+  for i = 0 to nblocks - 1 do
+    let c, _ = offset_of_word (block_word i) in
+    total_off_bits := !total_off_bits + class_bits.(c)
+  done;
+  let offsets = Bitvec.create (max 1 !total_off_bits) in
+  let nsb = (nblocks + sb_blocks - 1) / sb_blocks in
+  let sb_rank = Array.make (nsb + 1) 0 in
+  let sb_pos = Array.make (nsb + 1) 0 in
+  let rank = ref 0 and pos = ref 0 in
+  for i = 0 to nblocks - 1 do
+    if i mod sb_blocks = 0 then begin
+      sb_rank.(i / sb_blocks) <- !rank;
+      sb_pos.(i / sb_blocks) <- !pos
+    end;
+    let w = block_word i in
+    let c, off = offset_of_word w in
+    Int_vec.set classes i c;
+    for k = 0 to class_bits.(c) - 1 do
+      if (off lsr k) land 1 = 1 then Bitvec.set offsets (!pos + k)
+    done;
+    pos := !pos + class_bits.(c);
+    rank := !rank + c
+  done;
+  sb_rank.(nsb) <- !rank;
+  sb_pos.(nsb) <- !pos;
+  { len; nblocks; classes; offsets; sb_rank; sb_pos; ones = !rank }
+
+let length t = t.len
+let ones t = t.ones
+let zeros t = t.len - t.ones
+
+(* decode block [i] given its offset-stream position *)
+let decode_block t i pos =
+  let c = Int_vec.get t.classes i in
+  let off = read_bits t.offsets pos class_bits.(c) in
+  word_of_offset c off
+
+(* rank1 over [0, i) *)
+let rank1 t i =
+  if i < 0 || i > t.len then invalid_arg "Rrr.rank1";
+  if i = 0 || t.nblocks = 0 then 0
+  else begin
+    let blk = min ((i - 1) / b) (t.nblocks - 1) in
+    let sb = blk / sb_blocks in
+    let rank = ref t.sb_rank.(sb) and pos = ref t.sb_pos.(sb) in
+    for j = sb * sb_blocks to blk - 1 do
+      let c = Int_vec.get t.classes j in
+      rank := !rank + c;
+      pos := !pos + class_bits.(c)
+    done;
+    let w = decode_block t blk !pos in
+    let within = i - (blk * b) in
+    !rank + Popcount.count (w land Popcount.low_mask (min within b))
+  end
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Rrr.get";
+  rank1 t (i + 1) - rank1 t i = 1
+
+let rank0 t i = i - rank1 t i
+
+(* position of the k-th (0-based) one *)
+let select1 t k =
+  if k < 0 || k >= t.ones then invalid_arg "Rrr.select1";
+  (* binary search superblocks *)
+  let lo = ref 0 and hi = ref (Array.length t.sb_rank - 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if t.sb_rank.(mid) <= k then lo := mid else hi := mid
+  done;
+  let sb = !lo in
+  let rank = ref t.sb_rank.(sb) and pos = ref t.sb_pos.(sb) in
+  let blk = ref (sb * sb_blocks) in
+  let c = ref (Int_vec.get t.classes !blk) in
+  while !rank + !c <= k do
+    rank := !rank + !c;
+    pos := !pos + class_bits.(!c);
+    incr blk;
+    c := Int_vec.get t.classes !blk
+  done;
+  let w = decode_block t !blk !pos in
+  (!blk * b) + Popcount.select w (k - !rank)
+
+let select0 t k =
+  if k < 0 || k >= zeros t then invalid_arg "Rrr.select0";
+  (* binary search on rank0 over positions (simple O(log n) fallback) *)
+  let lo = ref 0 and hi = ref t.len in
+  (* invariant: rank0(lo) <= k < rank0(hi) *)
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if rank0 t mid <= k then lo := mid else hi := mid
+  done;
+  !lo
+
+let space_bits t =
+  (* superblock directories counted at their packed width *)
+  let sb_width a = Array.length a * max 1 (Int_vec.width_for (max 1 a.(Array.length a - 1))) in
+  Int_vec.space_bits t.classes + Bitvec.space_bits t.offsets
+  + sb_width t.sb_rank + sb_width t.sb_pos
+  + (4 * 63)

@@ -1,0 +1,22 @@
+(** RRR (Raman-Raman-Rao) H0-compressed bit vector with rank/select:
+    15-bit blocks stored as (class, offset) pairs in the combinatorial
+    number system; space approaches n H0 + o(n). *)
+
+type t
+
+val of_bitvec : Bitvec.t -> t
+val length : t -> int
+val ones : t -> int
+val zeros : t -> int
+val get : t -> int -> bool
+
+(** Ones in [0, i). *)
+val rank1 : t -> int -> int
+
+val rank0 : t -> int -> int
+
+(** Position of the k-th (0-based) one. *)
+val select1 : t -> int -> int
+
+val select0 : t -> int -> int
+val space_bits : t -> int

@@ -1,0 +1,1 @@
+lib/bp/balanced_parens.ml: Array Bitvec Dsdg_bits Rank_select String

@@ -1,0 +1,1 @@
+lib/bp/balanced_parens.mli: Dsdg_bits

@@ -1,0 +1,1 @@
+lib/bp/cst.ml: Array Balanced_parens Bitvec Buffer Char Dsdg_bits Dsdg_sa Float Lcp List Rank_select Sais String

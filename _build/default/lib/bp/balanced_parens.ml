@@ -1,0 +1,258 @@
+(* Balanced parentheses with a range min-max (rmM) directory, after
+   Navarro-Sadakane [37] ("fully-functional succinct trees") -- the
+   substrate of compressed suffix trees such as the one inside the
+   Belazzougui-Navarro index whose construction Appendix A.6 describes.
+
+   A bit vector (1 = open paren) is cut into blocks; a perfect binary
+   segment tree over blocks stores each block's total excess and minimum
+   prefix excess.  fwd_search / bwd_search / rmq run in O(block + log)
+   and give find_close, find_open, enclose, and LCA machinery. *)
+
+open Dsdg_bits
+
+let block_bits = 128
+
+type t = {
+  bv : Bitvec.t; (* 1 = '(' *)
+  rs : Rank_select.t;
+  n : int;
+  nblocks : int;
+  base : int; (* leaves of the segment tree start at [base] *)
+  tot : int array; (* per segment-tree node: total excess *)
+  mins : int array; (* per segment-tree node: min prefix excess (>= 1 positions in) *)
+}
+
+let[@inline] bit_excess b = if b then 1 else -1
+
+let build bv =
+  let n = Bitvec.length bv in
+  let nblocks = max 1 ((n + block_bits - 1) / block_bits) in
+  let base =
+    let rec go b = if b >= nblocks then b else go (2 * b) in
+    go 1
+  in
+  let size = 2 * base in
+  let tot = Array.make size 0 in
+  let mins = Array.make size max_int in
+  for blk = 0 to nblocks - 1 do
+    let lo = blk * block_bits in
+    let hi = min n (lo + block_bits) in
+    let e = ref 0 and m = ref max_int in
+    for i = lo to hi - 1 do
+      e := !e + bit_excess (Bitvec.unsafe_get bv i);
+      if !e < !m then m := !e
+    done;
+    tot.(base + blk) <- !e;
+    mins.(base + blk) <- !m
+  done;
+  for v = base - 1 downto 1 do
+    let l = 2 * v and r = (2 * v) + 1 in
+    tot.(v) <- tot.(l) + tot.(r);
+    mins.(v) <- min mins.(l) (if mins.(r) = max_int then max_int else tot.(l) + mins.(r))
+  done;
+  { bv; rs = Rank_select.build bv; n; nblocks; base; tot; mins }
+
+let of_string s =
+  let bv = Bitvec.create (String.length s) in
+  String.iteri
+    (fun i ch ->
+      match ch with
+      | '(' -> Bitvec.set bv i
+      | ')' -> ()
+      | _ -> invalid_arg "Balanced_parens.of_string")
+    s;
+  build bv
+
+let length t = t.n
+let is_open t i = Bitvec.get t.bv i
+
+(* E(i): excess of the prefix [0..i]. *)
+let excess t i =
+  if i < 0 then 0 else (2 * Rank_select.rank1 t.rs (i + 1)) - (i + 1)
+
+(* smallest j > from with E(j) = target, for target < E(from) (the only
+   regime find_close / enclose need): excess moves by +-1, so the first
+   block whose minimum reaches the target contains the answer. *)
+let fwd_search t from target =
+  if target >= excess t from then invalid_arg "Balanced_parens.fwd_search: target >= E(from)";
+  let scan_block lo hi e0 =
+    (* e0 = E(lo - 1); returns the first hit in [lo, hi) or -1 *)
+    let e = ref e0 and res = ref (-1) and i = ref lo in
+    while !res < 0 && !i < hi do
+      e := !e + bit_excess (Bitvec.unsafe_get t.bv !i);
+      if !e = target then res := !i;
+      incr i
+    done;
+    !res
+  in
+  if from + 1 >= t.n then None
+  else begin
+    let b0 = (from + 1) / block_bits in
+    let first_hi = min t.n ((b0 + 1) * block_bits) in
+    let r = scan_block (from + 1) first_hi (excess t from) in
+    if r >= 0 then Some r
+    else begin
+      (* walk later blocks; [e] = E just before the block *)
+      let e = ref (excess t (first_hi - 1)) in
+      let blk = ref (b0 + 1) in
+      let res = ref None in
+      while !res = None && !blk < t.nblocks do
+        let bmin = t.mins.(t.base + !blk) in
+        if bmin <> max_int && !e + bmin <= target then begin
+          let lo = !blk * block_bits and hi = min t.n ((!blk + 1) * block_bits) in
+          let r = scan_block lo hi !e in
+          if r >= 0 then res := Some r
+        end;
+        e := !e + t.tot.(t.base + !blk);
+        incr blk
+      done;
+      !res
+    end
+  end
+
+(* largest j < from with E(j) = target, or None; j = -1 (E(-1) = 0) is a
+   valid answer.  Exact block gate: a block can hold E = target iff its
+   minimum excess reaches the target. *)
+let bwd_search t from target =
+  (* test j = last, last-1, ..., lo-1; [e_last] = E(last); hit or min_int *)
+  let scan_back lo last e_last =
+    let e = ref e_last and res = ref min_int and j = ref last in
+    while !res = min_int && !j >= lo - 1 do
+      if !e = target then res := !j
+      else begin
+        if !j >= 0 then e := !e - bit_excess (Bitvec.unsafe_get t.bv !j);
+        decr j
+      end
+    done;
+    !res
+  in
+  if from <= 0 then (if target = 0 then Some (-1) else None)
+  else begin
+    let b0 = (from - 1) / block_bits in
+    let lo0 = b0 * block_bits in
+    let r = scan_back lo0 (from - 1) (excess t (from - 1)) in
+    if r > min_int then Some r
+    else begin
+      let rec go blk =
+        if blk < 0 then if target = 0 then Some (-1) else None
+        else begin
+          let e_before = if blk = 0 then 0 else excess t ((blk * block_bits) - 1) in
+          let bmin = t.mins.(t.base + blk) in
+          if bmin <> max_int && e_before + bmin <= target then begin
+            let lo = blk * block_bits in
+            let hi = min t.n ((blk + 1) * block_bits) in
+            let r = scan_back lo (hi - 1) (excess t (hi - 1)) in
+            if r > min_int then Some r else go (blk - 1)
+          end
+          else go (blk - 1)
+        end
+      in
+      go (b0 - 1)
+    end
+  end
+
+(* matching close of the open at [i] *)
+let find_close t i =
+  if not (is_open t i) then invalid_arg "Balanced_parens.find_close: not an open";
+  match fwd_search t i (excess t i - 1) with
+  | Some j -> j
+  | None -> invalid_arg "Balanced_parens.find_close: unbalanced"
+
+(* matching open of the close at [j] *)
+let find_open t j =
+  if is_open t j then invalid_arg "Balanced_parens.find_open: not a close";
+  match bwd_search t j (excess t j) with
+  | Some i -> i + 1
+  | None -> invalid_arg "Balanced_parens.find_open: unbalanced"
+
+(* open position of the tightest pair strictly enclosing the open at [i] *)
+let enclose t i =
+  if not (is_open t i) then invalid_arg "Balanced_parens.enclose: not an open";
+  match bwd_search t i (excess t i - 2) with
+  | Some j -> Some (j + 1)
+  | None -> None
+
+(* position of the leftmost minimum of E over [i..j]: partial edge
+   blocks are scanned; the run of full blocks is resolved through the
+   segment tree in O(log n), then the single winning block is scanned. *)
+let rmq t i j =
+  if i > j then invalid_arg "Balanced_parens.rmq";
+  let best_pos = ref (-1) and best = ref max_int in
+  let scan_range lo hi =
+    (* positions lo..hi inclusive, strict < keeps the leftmost winner *)
+    if lo <= hi then begin
+      let e = ref (excess t (lo - 1)) in
+      for p = lo to hi do
+        e := !e + bit_excess (Bitvec.unsafe_get t.bv p);
+        if !e < !best then begin
+          best := !e;
+          best_pos := p
+        end
+      done
+    end
+  in
+  let bi = i / block_bits and bj = j / block_bits in
+  if bi = bj then scan_range i j
+  else begin
+    (* left partial edge *)
+    scan_range i ((bi + 1) * block_bits - 1);
+    (* full blocks bi+1 .. bj-1 via the tree *)
+    let ba = bi + 1 and bb = bj - 1 in
+    if ba <= bb then begin
+      (* find the leftmost block whose (base + min) is strictly below the
+         current best; O(log) nodes, O(1) rank calls each *)
+      let node_value v first_blk =
+        if t.mins.(v) = max_int then max_int
+        else begin
+          let base = if first_blk = 0 then 0 else excess t ((first_blk * block_bits) - 1) in
+          base + t.mins.(v)
+        end
+      in
+      let best_blk = ref (-1) and best_blk_val = ref max_int in
+      let rec go v vlo vhi =
+        (* node v covers blocks [vlo, vhi) *)
+        if vhi <= ba || vlo > bb || vlo >= t.nblocks then ()
+        else if ba <= vlo && vhi - 1 <= bb then begin
+          let value = node_value v vlo in
+          if value < !best_blk_val then begin
+            (* descend to the leftmost block realizing this minimum *)
+            let rec down v vlo vhi =
+              if v >= t.base then (v - t.base, node_value v vlo)
+              else begin
+                let mid = (vlo + vhi) / 2 in
+                let lv = node_value (2 * v) vlo in
+                if lv = value then down (2 * v) vlo mid else down ((2 * v) + 1) mid vhi
+              end
+            in
+            let blk, bv = down v vlo vhi in
+            if bv < !best_blk_val then begin
+              best_blk_val := bv;
+              best_blk := blk
+            end
+          end
+        end
+        else begin
+          let mid = (vlo + vhi) / 2 in
+          go (2 * v) vlo mid;
+          go ((2 * v) + 1) mid vhi
+        end
+      in
+      go 1 0 t.base;
+      if !best_blk >= 0 && !best_blk_val < !best then begin
+        let lo = !best_blk * block_bits in
+        scan_range lo (min (t.n - 1) (lo + block_bits - 1))
+      end
+    end;
+    (* right partial edge *)
+    scan_range (bj * block_bits) j
+  end;
+  !best_pos
+
+(* number of opens in [0, i) *)
+let rank_open t i = Rank_select.rank1 t.rs i
+
+(* position of the k-th (0-based) open *)
+let select_open t k = Rank_select.select1 t.rs k
+
+let depth t i = excess t i
+let space_bits t = Rank_select.space_bits t.rs + ((Array.length t.tot + Array.length t.mins) * 63)

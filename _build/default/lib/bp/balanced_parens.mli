@@ -1,0 +1,47 @@
+(** Balanced parentheses with a range min-max directory (after
+    Navarro-Sadakane [37]): the succinct-tree substrate under compressed
+    suffix trees. Positions with an open paren are tree nodes. *)
+
+type t
+
+(** Build from a bit vector (1 = open paren). *)
+val build : Dsdg_bits.Bitvec.t -> t
+
+(** Build from a string of ['('] / [')']. *)
+val of_string : string -> t
+
+val length : t -> int
+val is_open : t -> int -> bool
+
+(** E(i): number of opens minus closes in positions [0..i]; E(-1) = 0. *)
+val excess : t -> int -> int
+
+(** Smallest j > from with E(j) = target; requires target < E(from). *)
+val fwd_search : t -> int -> int -> int option
+
+(** Largest j < from with E(j) = target (j = -1 allowed). *)
+val bwd_search : t -> int -> int -> int option
+
+(** Matching close of the open at [i]. *)
+val find_close : t -> int -> int
+
+(** Matching open of the close at [j]. *)
+val find_open : t -> int -> int
+
+(** Open position of the tightest enclosing pair, or [None] at the
+    root. *)
+val enclose : t -> int -> int option
+
+(** Leftmost position of the minimum excess in [i..j] (LCA machinery). *)
+val rmq : t -> int -> int -> int
+
+(** Opens in [0, i). *)
+val rank_open : t -> int -> int
+
+(** Position of the k-th (0-based) open. *)
+val select_open : t -> int -> int
+
+(** Tree depth of position [i] (= its excess). *)
+val depth : t -> int -> int
+
+val space_bits : t -> int

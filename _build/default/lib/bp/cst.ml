@@ -1,0 +1,217 @@
+(* Compressed suffix tree (Sadakane-style): suffix-tree *topology* as
+   balanced parentheses + the LCP array + the suffix array.  This is the
+   "compressed suffix tree" component of the Belazzougui-Navarro index
+   whose construction Appendix A.6 walks through (built there in
+   O(n log^eps n) via Hon-Sadakane-Sung; here from the LCP-interval tree
+   in linear time, which matches the SA-IS construction budget).
+
+   Node identifiers are open-parenthesis positions in the BP sequence.
+   Supported: parent / LCA / subtree leaf interval (= suffix-array
+   range) / string depth / child navigation -- the navigation toolkit
+   compressed indexes build on. *)
+
+open Dsdg_bits
+open Dsdg_sa
+
+type t = {
+  bp : Balanced_parens.t;
+  leaves : Rank_select.t; (* marks the "(" of each leaf "()", in BP order *)
+  sa : int array;
+  lcp : int array;
+  text_len : int;
+}
+
+(* --- construction: recursive lcp-interval decomposition ---
+
+   The node over suffix-array interval [l, r) has string depth
+   d = min lcp(l, r); its children are the segments between the
+   positions where the lcp equals d.  A sparse-table RMQ on the lcp
+   array makes each split O(1), so emission is linear in the number of
+   parentheses. *)
+
+module Rmq = struct
+  (* sparse table over an int array: position of the minimum (leftmost) *)
+  type t = { a : int array; table : int array array }
+
+  let build a =
+    let n = Array.length a in
+    let levels = max 1 (int_of_float (Float.log2 (float_of_int (max 2 n))) + 1) in
+    let table = Array.make levels [||] in
+    table.(0) <- Array.init n (fun i -> i);
+    for k = 1 to levels - 1 do
+      let half = 1 lsl (k - 1) in
+      let len = n - (1 lsl k) + 1 in
+      if len > 0 then
+        table.(k) <-
+          Array.init len (fun i ->
+              let x = table.(k - 1).(i) and y = table.(k - 1).(i + half) in
+              if a.(x) <= a.(y) then x else y)
+    done;
+    { a; table }
+
+  (* leftmost position of the minimum in [i, j] *)
+  let query t i j =
+    let len = j - i + 1 in
+    let k = int_of_float (Float.log2 (float_of_int len)) in
+    let x = t.table.(k).(i) and y = t.table.(k).(j - (1 lsl k) + 1) in
+    if t.a.(x) <= t.a.(y) then x
+    else if t.a.(y) < t.a.(x) then y
+    else min x y
+end
+
+let build_from_sa (s : int array) (sa : int array) : t =
+  let n = Array.length s in
+  if n = 0 then invalid_arg "Cst.build: empty text";
+  let lcp = Lcp.of_sa s sa in
+  let buf = Buffer.create (4 * n) in
+  if n = 1 then Buffer.add_string buf "(())"
+  else begin
+    let rmq = Rmq.build lcp in
+    (* split positions of interval (l, r): all i in [l+1, r-1] with
+       lcp.(i) = d (the minimum) *)
+    let splits l r d =
+      let acc = ref [] in
+      let rec go lo hi =
+        if lo <= hi then begin
+          let m = Rmq.query rmq lo hi in
+          if lcp.(m) = d then begin
+            go (m + 1) hi;
+            acc := m :: !acc;
+            go lo (m - 1)
+          end
+        end
+      in
+      go (l + 1) (r - 1);
+      !acc
+    in
+    (* explicit DFS: `Open/`Seg/`Close work items *)
+    let stack = ref [ `Seg (0, n) ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | item :: rest ->
+        stack := rest;
+        (match item with
+        | `Close -> Buffer.add_char buf ')'
+        | `Seg (l, r) ->
+          if r - l = 1 then Buffer.add_string buf "()"
+          else begin
+            Buffer.add_char buf '(';
+            let d = lcp.(Rmq.query rmq (l + 1) (r - 1)) in
+            let cuts = splits l r d in
+            (* children segments: [l, c1), [c1, c2), ..., [ck, r) *)
+            let bounds = (l :: cuts) @ [ r ] in
+            let rec segs = function
+              | a :: (b :: _ as rest) -> `Seg (a, b) :: segs rest
+              | _ -> [ `Close ]
+            in
+            stack := segs bounds @ !stack
+          end)
+    done
+  end;
+  let str = Buffer.contents buf in
+  let m = String.length str in
+  let bv = Bitvec.create m in
+  let leaves_bv = Bitvec.create m in
+  String.iteri (fun i ch -> if ch = '(' then Bitvec.set bv i) str;
+  for i = 0 to m - 2 do
+    if str.[i] = '(' && str.[i + 1] = ')' then Bitvec.set leaves_bv i
+  done;
+  {
+    bp = Balanced_parens.build bv;
+    leaves = Rank_select.build leaves_bv;
+    sa;
+    lcp;
+    text_len = n;
+  }
+
+let build (s : int array) : t = build_from_sa s (Sais.suffix_array s)
+
+let build_string (str : string) : t =
+  build (Array.init (String.length str) (fun i -> Char.code str.[i]))
+
+(* --- navigation; a node is its open-paren position --- *)
+
+let root _t = 0
+let leaf_count t = Rank_select.ones t.leaves
+let is_leaf t v = Rank_select.get t.leaves v
+
+(* the k-th (0-based) leaf in BP order = suffix-array rank k *)
+let leaf t k = Rank_select.select1 t.leaves k
+
+(* number of leaves strictly before BP position v *)
+let leaf_rank t v = Rank_select.rank1 t.leaves v
+
+let parent t v = if v = 0 then None else Balanced_parens.enclose t.bp v
+
+(* suffix-array interval [l, r) of the subtree at v *)
+let sa_interval t v =
+  let close = Balanced_parens.find_close t.bp v in
+  (leaf_rank t v, leaf_rank t close)
+
+let subtree_leaves t v =
+  let l, r = sa_interval t v in
+  r - l
+
+(* string depth: leaves know their suffix length; internal nodes take the
+   minimum lcp strictly inside their leaf interval *)
+let string_depth t v =
+  if is_leaf t v then t.text_len - t.sa.(leaf_rank t v)
+  else begin
+    let l, r = sa_interval t v in
+    (* min over lcp[l+1 .. r-1] *)
+    let m = ref max_int in
+    for i = l + 1 to r - 1 do
+      if t.lcp.(i) < !m then m := t.lcp.(i)
+    done;
+    if !m = max_int then 0 else !m
+  end
+
+(* first child, next sibling: standard BP hops *)
+let first_child t v = if is_leaf t v then None else Some (v + 1)
+
+let next_sibling t v =
+  let close = Balanced_parens.find_close t.bp v in
+  if close + 1 < Balanced_parens.length t.bp && Balanced_parens.is_open t.bp (close + 1) then
+    Some (close + 1)
+  else None
+
+let children t v =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some c -> go (c :: acc) (next_sibling t c)
+  in
+  go [] (first_child t v)
+
+(* LCA of two nodes (open positions): standard BP formula via rmq on the
+   excess sequence *)
+let lca t u v =
+  let u, v = if u <= v then (u, v) else (v, u) in
+  if u = v then u
+  else begin
+    let close_u = Balanced_parens.find_close t.bp u in
+    if v <= close_u then u (* u is an ancestor of v *)
+    else begin
+      let k = Balanced_parens.rmq t.bp u v in
+      (* k is the position of minimum excess in [u, v]: the close paren
+         of the last child of the LCA before v; its enclosing open is
+         the LCA *)
+      if Balanced_parens.is_open t.bp k then
+        match Balanced_parens.enclose t.bp k with Some p -> p | None -> 0
+      else begin
+        let o = Balanced_parens.find_open t.bp k in
+        match Balanced_parens.enclose t.bp o with Some p -> p | None -> 0
+      end
+    end
+  end
+
+(* the suffix-tree locus spelling of the paper's two-step queries: the
+   suffix-array interval of a node IS its pattern range *)
+let depth t v = Balanced_parens.depth t.bp v
+
+let space_bits t =
+  Balanced_parens.space_bits t.bp + Rank_select.space_bits t.leaves
+  + (Array.length t.sa * 63) + (Array.length t.lcp * 63) + (3 * 63)
+
+(* Expose the suffix array (for tests and integrations). *)
+let sa t = t.sa

@@ -1,0 +1,54 @@
+(** Compressed suffix tree (Sadakane-style): suffix-tree topology as
+    balanced parentheses over the LCP-interval tree, plus the suffix and
+    LCP arrays — the CST component of the index whose construction
+    Appendix A.6 describes. A node is the BP position of its open
+    parenthesis; leaves appear in suffix-array order. *)
+
+type t
+
+(** Build from a non-negative int array (suffix array computed with
+    SA-IS). Raises on empty input. *)
+val build : int array -> t
+
+val build_string : string -> t
+
+(** Build reusing an existing suffix array. *)
+val build_from_sa : int array -> int array -> t
+
+(** The root node (BP position 0). *)
+val root : t -> int
+
+val leaf_count : t -> int
+val is_leaf : t -> int -> bool
+
+(** [leaf t k]: the node of the suffix with suffix-array rank [k]. *)
+val leaf : t -> int -> int
+
+(** Leaves strictly before BP position [v]. *)
+val leaf_rank : t -> int -> int
+
+val parent : t -> int -> int option
+
+(** Suffix-array interval [l, r) of the subtree at [v] — the node's
+    pattern range, the paper's range-finding output. *)
+val sa_interval : t -> int -> int * int
+
+val subtree_leaves : t -> int -> int
+
+(** Length of the string spelled from the root to [v]. *)
+val string_depth : t -> int -> int
+
+val first_child : t -> int -> int option
+val next_sibling : t -> int -> int option
+val children : t -> int -> int list
+
+(** Lowest common ancestor of two nodes. *)
+val lca : t -> int -> int -> int
+
+(** Tree depth (number of ancestors). *)
+val depth : t -> int -> int
+
+(** The underlying suffix array. *)
+val sa : t -> int array
+
+val space_bits : t -> int

@@ -1,0 +1,1 @@
+lib/core/csa_static.ml: Array Bitvec Bwt Bytes Char Doc_map Dsdg_bits Dsdg_fm Dsdg_sa Elias_fano Int_vec Rank_select Sais String

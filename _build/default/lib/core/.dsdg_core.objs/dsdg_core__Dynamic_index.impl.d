@@ -1,0 +1,1 @@
+lib/core/dynamic_index.ml: Csa_static Fm_static List Sa_static Transform1 Transform2

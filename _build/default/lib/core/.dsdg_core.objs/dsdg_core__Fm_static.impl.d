@@ -1,0 +1,1 @@
+lib/core/fm_static.ml: Dsdg_fm Fm_index

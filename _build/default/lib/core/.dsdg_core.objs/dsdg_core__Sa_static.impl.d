@@ -1,0 +1,1 @@
+lib/core/sa_static.ml: Array Char Doc_map Dsdg_fm Dsdg_sa Sais String

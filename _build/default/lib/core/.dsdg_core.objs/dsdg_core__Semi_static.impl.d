@@ -1,0 +1,1 @@
+lib/core/semi_static.ml: Array Dsdg_delbits Hashtbl List Reporter Static_index

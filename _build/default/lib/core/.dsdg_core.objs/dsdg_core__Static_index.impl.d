@@ -1,0 +1,1 @@
+lib/core/static_index.ml:

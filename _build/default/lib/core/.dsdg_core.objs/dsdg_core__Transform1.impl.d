@@ -1,0 +1,1 @@
+lib/core/transform1.ml: Array Dsdg_gst Gsuffix_tree Hashtbl List Option Printf Semi_static Static_index String

@@ -1,0 +1,1 @@
+lib/core/transform2.ml: Array Dsdg_gst Dsdg_incr Gsuffix_tree Hashtbl Incremental List Option Printf Semi_static Static_index String

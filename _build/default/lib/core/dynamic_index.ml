@@ -1,0 +1,158 @@
+(* Top-level convenience API over the Transformations: a dynamic
+   compressed document index with pluggable dynamization strategy and
+   static-index backend.
+
+   {[
+     let idx = Dynamic_index.create () in
+     let id = Dynamic_index.insert idx "some document text" in
+     Dynamic_index.search idx "cument"   (* [(id, 4)] *)
+   ]} *)
+
+type variant =
+  | Amortized (* Transformation 1, geometric schedule *)
+  | Amortized_loglog (* Transformation 3 (Appendix A.4), doubling schedule *)
+  | Worst_case (* Transformation 2 *)
+
+type backend =
+  | Fm (* compressed: FM-index (BWT + wavelet), nHk-style space *)
+  | Plain_sa (* fast/large: plain suffix array, Table 3 class *)
+  | Csa (* compressed: Sadakane-style psi-based CSA, Table 1 row [39] *)
+
+type ops = {
+  op_insert : string -> int;
+  op_delete : int -> bool;
+  op_mem : int -> bool;
+  op_search : string -> f:(doc:int -> off:int -> unit) -> unit;
+  op_count : string -> int;
+  op_extract : doc:int -> off:int -> len:int -> string option;
+  op_doc_count : unit -> int;
+  op_total_symbols : unit -> int;
+  op_space_bits : unit -> int;
+  op_describe : unit -> string;
+}
+
+type t = ops
+
+module T1_fm = Transform1.Make (Fm_static)
+module T1_sa = Transform1.Make (Sa_static)
+module T1_csa = Transform1.Make (Csa_static)
+module T2_fm = Transform2.Make (Fm_static)
+module T2_sa = Transform2.Make (Sa_static)
+module T2_csa = Transform2.Make (Csa_static)
+
+
+let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () : t =
+  let t1 schedule name =
+    match backend with
+    | Fm ->
+      let t = T1_fm.create ~schedule ~sample ~tau () in
+      {
+        op_insert = T1_fm.insert t;
+        op_delete = T1_fm.delete t;
+        op_mem = T1_fm.mem t;
+        op_search = (fun p ~f -> T1_fm.search t p ~f);
+        op_count = T1_fm.count t;
+        op_extract = (fun ~doc ~off ~len -> T1_fm.extract t ~doc ~off ~len);
+        op_doc_count = (fun () -> T1_fm.doc_count t);
+        op_total_symbols = (fun () -> T1_fm.total_symbols t);
+        op_space_bits = (fun () -> T1_fm.space_bits t);
+        op_describe = (fun () -> name ^ "/fm");
+      }
+    | Plain_sa ->
+      let t = T1_sa.create ~schedule ~sample ~tau () in
+      {
+        op_insert = T1_sa.insert t;
+        op_delete = T1_sa.delete t;
+        op_mem = T1_sa.mem t;
+        op_search = (fun p ~f -> T1_sa.search t p ~f);
+        op_count = T1_sa.count t;
+        op_extract = (fun ~doc ~off ~len -> T1_sa.extract t ~doc ~off ~len);
+        op_doc_count = (fun () -> T1_sa.doc_count t);
+        op_total_symbols = (fun () -> T1_sa.total_symbols t);
+        op_space_bits = (fun () -> T1_sa.space_bits t);
+        op_describe = (fun () -> name ^ "/sa");
+      }
+    | Csa ->
+      let t = T1_csa.create ~schedule ~sample ~tau () in
+      {
+        op_insert = T1_csa.insert t;
+        op_delete = T1_csa.delete t;
+        op_mem = T1_csa.mem t;
+        op_search = (fun p ~f -> T1_csa.search t p ~f);
+        op_count = T1_csa.count t;
+        op_extract = (fun ~doc ~off ~len -> T1_csa.extract t ~doc ~off ~len);
+        op_doc_count = (fun () -> T1_csa.doc_count t);
+        op_total_symbols = (fun () -> T1_csa.total_symbols t);
+        op_space_bits = (fun () -> T1_csa.space_bits t);
+        op_describe = (fun () -> name ^ "/csa");
+      }
+  in
+  match variant with
+  | Amortized -> t1 (Transform1.geometric ()) "transform1"
+  | Amortized_loglog -> t1 (Transform1.doubling ()) "transform3"
+  | Worst_case -> (
+    match backend with
+    | Fm ->
+      let t = T2_fm.create ~sample ~tau () in
+      {
+        op_insert = T2_fm.insert t;
+        op_delete = T2_fm.delete t;
+        op_mem = T2_fm.mem t;
+        op_search = (fun p ~f -> T2_fm.search t p ~f);
+        op_count = T2_fm.count t;
+        op_extract = (fun ~doc ~off ~len -> T2_fm.extract t ~doc ~off ~len);
+        op_doc_count = (fun () -> T2_fm.doc_count t);
+        op_total_symbols = (fun () -> T2_fm.total_symbols t);
+        op_space_bits = (fun () -> T2_fm.space_bits t);
+        op_describe = (fun () -> "transform2/fm");
+      }
+    | Plain_sa ->
+      let t = T2_sa.create ~sample ~tau () in
+      {
+        op_insert = T2_sa.insert t;
+        op_delete = T2_sa.delete t;
+        op_mem = T2_sa.mem t;
+        op_search = (fun p ~f -> T2_sa.search t p ~f);
+        op_count = T2_sa.count t;
+        op_extract = (fun ~doc ~off ~len -> T2_sa.extract t ~doc ~off ~len);
+        op_doc_count = (fun () -> T2_sa.doc_count t);
+        op_total_symbols = (fun () -> T2_sa.total_symbols t);
+        op_space_bits = (fun () -> T2_sa.space_bits t);
+        op_describe = (fun () -> "transform2/sa");
+      }
+    | Csa ->
+      let t = T2_csa.create ~sample ~tau () in
+      {
+        op_insert = T2_csa.insert t;
+        op_delete = T2_csa.delete t;
+        op_mem = T2_csa.mem t;
+        op_search = (fun p ~f -> T2_csa.search t p ~f);
+        op_count = T2_csa.count t;
+        op_extract = (fun ~doc ~off ~len -> T2_csa.extract t ~doc ~off ~len);
+        op_doc_count = (fun () -> T2_csa.doc_count t);
+        op_total_symbols = (fun () -> T2_csa.total_symbols t);
+        op_space_bits = (fun () -> T2_csa.space_bits t);
+        op_describe = (fun () -> "transform2/csa");
+      })
+
+(* Insert a document; returns its id. *)
+let insert t text = t.op_insert text
+
+(* Delete a document by id; false if absent. *)
+let delete t id = t.op_delete id
+
+let mem t id = t.op_mem id
+
+(* All (doc, off) occurrences, sorted. *)
+let search t p =
+  let acc = ref [] in
+  t.op_search p ~f:(fun ~doc ~off -> acc := (doc, off) :: !acc);
+  List.sort compare !acc
+
+let iter_matches t p ~f = t.op_search p ~f
+let count t p = t.op_count p
+let extract t ~doc ~off ~len = t.op_extract ~doc ~off ~len
+let doc_count t = t.op_doc_count ()
+let total_symbols t = t.op_total_symbols ()
+let space_bits t = t.op_space_bits ()
+let describe t = t.op_describe ()

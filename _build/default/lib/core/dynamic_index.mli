@@ -1,0 +1,60 @@
+(** Dynamic compressed document index: the library's front door.
+
+    A changing collection of documents supporting pattern search,
+    counting, substring extraction, insertion and deletion -- the
+    paper's "library management" problem, with the dynamization strategy
+    and the static backend pluggable at creation time. *)
+
+(** Dynamization strategy. *)
+type variant =
+  | Amortized  (** Transformation 1: geometric schedule, amortized updates. *)
+  | Amortized_loglog
+      (** Transformation 3 (Appendix A.4): doubling schedule, cheaper
+          amortized insertions, O(log log n) sub-collections. *)
+  | Worst_case
+      (** Transformation 2: locked copies + background incremental
+          rebuilds; worst-case update bounds. *)
+
+(** Static index plugged into the transformation. *)
+type backend =
+  | Fm  (** FM-index: compressed (nHk-style) space. *)
+  | Plain_sa  (** Plain suffix array: Table 3's fast/large class. *)
+  | Csa  (** Sadakane-style psi-based CSA: Table 1's row [39]. *)
+
+type t
+
+(** [create ()] defaults to [Worst_case] over [Fm]. [sample] is the
+    suffix-array sampling rate s (locate cost vs space); [tau] the
+    lazy-deletion threshold (dead fraction tolerated before purge). *)
+val create : ?variant:variant -> ?backend:backend -> ?sample:int -> ?tau:int -> unit -> t
+
+(** [insert t text] adds a document and returns its id. *)
+val insert : t -> string -> int
+
+(** [delete t id]; [false] if no such live document. *)
+val delete : t -> int -> bool
+
+val mem : t -> int -> bool
+
+(** All (document, offset) occurrences, sorted. *)
+val search : t -> string -> (int * int) list
+
+val iter_matches : t -> string -> f:(doc:int -> off:int -> unit) -> unit
+
+(** Number of occurrences; cheaper than reporting (Theorem 1). *)
+val count : t -> string -> int
+
+(** Substring of a live document; [None] if the document is dead or the
+    range is invalid. *)
+val extract : t -> doc:int -> off:int -> len:int -> string option
+
+val doc_count : t -> int
+
+(** Live symbols including one separator per document. *)
+val total_symbols : t -> int
+
+(** Measured space of all live structures. *)
+val space_bits : t -> int
+
+(** e.g. ["transform2/fm"]. *)
+val describe : t -> string

@@ -1,0 +1,136 @@
+(* Semi-static deletion-only index (Section 2, first half): a static index
+   augmented with
+
+   - a Reporter (Lemma 3) over suffix-array rows so that surviving
+     occurrences in a query range are reported in O(1) each,
+   - the Reporter's integrated word-level counter so that surviving
+     occurrences are *counted* in O(log n) (Theorem 1),
+   - document liveness bookkeeping and the n/tau purge threshold.
+
+   Deleting a document walks the rows of its suffixes (O(|T| + tSA)) and
+   zeroes them.  When dead symbols exceed live/tau the owner is expected
+   to rebuild (see [needs_purge]); this module never rebuilds itself. *)
+
+open Dsdg_delbits
+
+module Make (I : Static_index.S) = struct
+  type t = {
+    index : I.t;
+    ids : int array; (* slot -> external doc id *)
+    slot_of : (int, int) Hashtbl.t; (* external doc id -> slot *)
+    dead : bool array;
+    alive_rows : Reporter.t;
+    mutable live_syms : int;
+    mutable dead_syms : int;
+    tau : int;
+  }
+
+  let build ?tick ~sample ~tau (docs : (int * string) array) : t =
+    if tau < 1 then invalid_arg "Semi_static.build: tau < 1";
+    let texts = Array.map snd docs in
+    let index = I.build ?tick ~sample texts in
+    let ids = Array.map fst docs in
+    let slot_of = Hashtbl.create (Array.length ids) in
+    Array.iteri
+      (fun slot id ->
+        if Hashtbl.mem slot_of id then invalid_arg "Semi_static.build: duplicate doc id";
+        Hashtbl.replace slot_of id slot)
+      ids;
+    let m = I.row_count index in
+    {
+      index;
+      ids;
+      slot_of;
+      dead = Array.make (Array.length ids) false;
+      alive_rows = Reporter.create_full m;
+      live_syms = I.total_len index;
+      dead_syms = 0;
+      tau;
+    }
+
+  let mem t id =
+    match Hashtbl.find_opt t.slot_of id with
+    | None -> false
+    | Some slot -> not t.dead.(slot)
+
+  let live_symbols t = t.live_syms
+  let dead_symbols t = t.dead_syms
+  let total_symbols t = t.live_syms + t.dead_syms
+  let doc_count t = Hashtbl.length t.slot_of - Array.fold_left (fun a d -> if d then a + 1 else a) 0 t.dead
+  let needs_purge t = t.dead_syms * t.tau > total_symbols t
+  let is_empty t = t.live_syms = 0
+
+  let delete t id =
+    match Hashtbl.find_opt t.slot_of id with
+    | None -> false
+    | Some slot ->
+      if t.dead.(slot) then false
+      else begin
+        t.dead.(slot) <- true;
+        I.iter_doc_rows t.index slot ~f:(fun row -> Reporter.zero t.alive_rows row);
+        let syms = I.doc_len t.index slot + 1 in
+        t.live_syms <- t.live_syms - syms;
+        t.dead_syms <- t.dead_syms + syms;
+        true
+      end
+
+  (* Report (doc, off) for every surviving occurrence of [p]. *)
+  let search t p ~f =
+    match I.range t.index p with
+    | None -> ()
+    | Some (sp, ep) ->
+      Reporter.report t.alive_rows sp ep (fun row ->
+          let slot, off = I.locate t.index row in
+          f ~doc:t.ids.(slot) ~off)
+
+  (* Count surviving occurrences in O(trange + log n) (Theorem 1): the
+     Reporter's word-level Fenwick counts live rows in the range. *)
+  let count t p =
+    match I.range t.index p with
+    | None -> 0
+    | Some (sp, ep) -> Reporter.count_range t.alive_rows sp ep
+
+  let extract t ~doc ~off ~len =
+    match Hashtbl.find_opt t.slot_of doc with
+    | None -> None
+    | Some slot ->
+      if t.dead.(slot) || off < 0 || len < 0 || off + len > I.doc_len t.index slot then None
+      else Some (I.extract t.index ~doc:slot ~off ~len)
+
+  let doc_len t id =
+    match Hashtbl.find_opt t.slot_of id with
+    | None -> None
+    | Some slot -> if t.dead.(slot) then None else Some (I.doc_len t.index slot)
+
+  let live_ids t =
+    let acc = ref [] in
+    Array.iteri (fun slot id -> if not t.dead.(slot) then acc := id :: !acc) t.ids;
+    !acc
+
+  (* Live documents with their contents, re-extracted from the index
+     itself (the dynamic structures never retain plaintext for compressed
+     sub-collections).  [tick] is charged once per extracted symbol so
+     this can run inside an Incremental job. *)
+  let live_docs ?(tick = fun () -> ()) t : (int * string) list =
+    let acc = ref [] in
+    Array.iteri
+      (fun slot id ->
+        if not t.dead.(slot) then begin
+          let len = I.doc_len t.index slot in
+          let text = I.extract t.index ~doc:slot ~off:0 ~len in
+          for _ = 0 to len do
+            tick ()
+          done;
+          acc := (id, text) :: !acc
+        end)
+      t.ids;
+    List.rev !acc
+
+  let space_bits t =
+    I.space_bits t.index + Reporter.space_bits t.alive_rows
+    + (Array.length t.ids * 2 * 63)
+    + (Array.length t.dead * 8)
+    + (4 * 63)
+
+  let index t = t.index
+end

@@ -1,0 +1,276 @@
+(* Transformation 1 (Section 2): static index -> fully-dynamic index with
+   amortized update bounds.
+
+   The collection is split into C0 (an uncompressed generalized suffix
+   tree) and sub-collections C1..Cr held in semi-static deletion-only
+   indexes whose maximum sizes grow geometrically:
+
+       max_j = 2 (nf / log^2 nf) * log^(eps*j) nf.
+
+   A new document goes to the smallest Cj that can absorb it together
+   with all smaller sub-collections (logarithmic method).  Deletions are
+   lazy; a sub-collection is purged when a 1/tau fraction of its symbols
+   is dead.  A global rebuild re-snapshots nf when the live size doubles
+   or halves.
+
+   The schedule is pluggable: [geometric] gives the paper's
+   Transformation 1 (O(1) sub-collections, O(u log^eps n) insertion);
+   [doubling] gives Transformation 3 from Appendix A.4 (O(log log n)
+   sub-collections, O(u log log n) insertion). *)
+
+open Dsdg_gst
+
+type schedule = {
+  schedule_name : string;
+  slots : int -> int; (* nf -> index r of the last sub-collection *)
+  max_size : int -> int -> int; (* nf -> j -> max_j *)
+}
+
+let log2 x = log x /. log 2.
+
+let geometric ?(epsilon = 0.5) () =
+  let r = int_of_float (ceil (2. /. epsilon)) + 1 in
+  {
+    schedule_name = Printf.sprintf "geometric(eps=%.2f)" epsilon;
+    slots = (fun _nf -> r);
+    max_size =
+      (fun nf j ->
+        let nff = float_of_int (max nf 256) in
+        let lg = max 2. (log2 nff) in
+        let base = 2. *. nff /. (lg *. lg) in
+        max 64 (int_of_float (base *. (lg ** (epsilon *. float_of_int j)))));
+  }
+
+let doubling () =
+  {
+    schedule_name = "doubling";
+    slots =
+      (fun nf ->
+        let nff = float_of_int (max nf 256) in
+        let lg = max 2. (log2 nff) in
+        max 2 (int_of_float (ceil (2. *. log2 lg)) + 1));
+    max_size =
+      (fun nf j ->
+        let nff = float_of_int (max nf 256) in
+        let lg = max 2. (log2 nff) in
+        let base = 2. *. nff /. (lg *. lg) in
+        max 64 (int_of_float (base *. (2. ** float_of_int j))));
+  }
+
+type location = In_buffer | In_sub of int
+
+type stats = {
+  mutable merges : int;
+  mutable purges : int;
+  mutable global_rebuilds : int;
+  mutable symbols_rebuilt : int;
+}
+
+module Make (I : Static_index.S) = struct
+  module SS = Semi_static.Make (I)
+
+  (* Sub-collection slots are stored in a fixed array of generous size;
+     the live prefix in use is [1 .. slots nf]. *)
+  let max_slots = 64
+
+  type t = {
+    schedule : schedule;
+    sample : int;
+    tau : int;
+    mutable gst : Gsuffix_tree.t; (* C0 *)
+    subs : SS.t option array; (* C_1 .. C_r *)
+    locs : (int, location) Hashtbl.t;
+    mutable next_id : int;
+    mutable nf : int;
+    mutable live : int; (* live symbols including separators *)
+    stats : stats;
+  }
+
+  let create ?(schedule = geometric ()) ?(sample = 8) ?(tau = 8) () =
+    {
+      schedule;
+      sample;
+      tau;
+      gst = Gsuffix_tree.create ();
+      subs = Array.make (max_slots + 1) None;
+      locs = Hashtbl.create 64;
+      next_id = 0;
+      nf = 256;
+      live = 0;
+      stats = { merges = 0; purges = 0; global_rebuilds = 0; symbols_rebuilt = 0 };
+    }
+
+  let r_of t = min max_slots (t.schedule.slots t.nf)
+  let max_size t j = t.schedule.max_size t.nf j
+  let sub_size t j = match t.subs.(j) with None -> 0 | Some ss -> SS.live_symbols ss
+
+  let doc_count t = Hashtbl.length t.locs
+  let total_symbols t = t.live
+  let stats t = t.stats
+  let schedule_name t = t.schedule.schedule_name
+
+  (* Gather all live documents of slot [j] (None -> []). *)
+  let sub_docs t j =
+    match t.subs.(j) with
+    | None -> []
+    | Some ss -> SS.live_docs ss
+
+  let gst_docs t =
+    List.filter_map (fun d -> Option.map (fun s -> (d, s)) (Gsuffix_tree.get_doc t.gst d))
+      (Gsuffix_tree.doc_ids t.gst)
+
+  let build_sub t (docs : (int * string) list) : SS.t =
+    let arr = Array.of_list docs in
+    t.stats.symbols_rebuilt <-
+      t.stats.symbols_rebuilt + Array.fold_left (fun a (_, s) -> a + String.length s + 1) 0 arr;
+    SS.build ~sample:t.sample ~tau:t.tau arr
+
+  let set_locations t docs loc = List.iter (fun (id, _) -> Hashtbl.replace t.locs id loc) docs
+
+  (* Move every live document into the top sub-collection and re-snapshot
+     nf (the paper's global re-build). *)
+  let global_rebuild t ~extra =
+    t.stats.global_rebuilds <- t.stats.global_rebuilds + 1;
+    let docs = ref (gst_docs t) in
+    for j = 1 to max_slots do
+      docs := sub_docs t j @ !docs;
+      t.subs.(j) <- None
+    done;
+    let docs = (match extra with None -> !docs | Some d -> d :: !docs) in
+    t.gst <- Gsuffix_tree.create ();
+    let total = List.fold_left (fun a (_, s) -> a + String.length s + 1) 0 docs in
+    t.nf <- max 256 total;
+    t.live <- total;
+    let r = r_of t in
+    if docs <> [] then begin
+      t.subs.(r) <- Some (build_sub t docs);
+      set_locations t docs (In_sub r)
+    end
+
+  let insert t (text : string) : int =
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    let tlen = String.length text + 1 in
+    let r = r_of t in
+    if Gsuffix_tree.live_symbols t.gst + tlen <= max_size t 0 then begin
+      Gsuffix_tree.insert t.gst ~doc:id text;
+      Hashtbl.replace t.locs id In_buffer;
+      t.live <- t.live + tlen
+    end
+    else begin
+      (* smallest j with |C0| + .. + |Cj| + |T| <= max_j *)
+      let rec find j acc =
+        if j > r then None
+        else begin
+          let acc = acc + sub_size t j in
+          if acc + tlen <= max_size t j then Some (j, acc) else find (j + 1) acc
+        end
+      in
+      match find 1 (Gsuffix_tree.live_symbols t.gst) with
+      | Some (j, _) ->
+        t.stats.merges <- t.stats.merges + 1;
+        let docs = ref [ (id, text) ] in
+        docs := gst_docs t @ !docs;
+        for i = 1 to j do
+          docs := sub_docs t i @ !docs;
+          t.subs.(i) <- None
+        done;
+        t.gst <- Gsuffix_tree.create ();
+        t.subs.(j) <- Some (build_sub t !docs);
+        set_locations t !docs (In_sub j);
+        t.live <- t.live + tlen
+      | None -> global_rebuild t ~extra:(Some (id, text))
+    end;
+    if t.live > 2 * t.nf then global_rebuild t ~extra:None;
+    id
+
+  (* Purge a sub-collection that has accumulated too many dead symbols:
+     rebuild it in place from its live documents. *)
+  let purge t j =
+    match t.subs.(j) with
+    | None -> ()
+    | Some ss ->
+      t.stats.purges <- t.stats.purges + 1;
+      let docs = SS.live_docs ss in
+      if docs = [] then t.subs.(j) <- None
+      else begin
+        t.subs.(j) <- Some (build_sub t docs);
+        set_locations t docs (In_sub j)
+      end
+
+  let delete t id =
+    match Hashtbl.find_opt t.locs id with
+    | None -> false
+    | Some In_buffer ->
+      let len = String.length (Option.get (Gsuffix_tree.get_doc t.gst id)) + 1 in
+      ignore (Gsuffix_tree.delete t.gst id);
+      Hashtbl.remove t.locs id;
+      t.live <- t.live - len;
+      if t.live * 2 < t.nf && t.nf > 256 then global_rebuild t ~extra:None;
+      true
+    | Some (In_sub j) -> (
+      match t.subs.(j) with
+      | None -> false
+      | Some ss ->
+        let len = match SS.doc_len ss id with None -> 0 | Some l -> l + 1 in
+        let ok = SS.delete ss id in
+        if ok then begin
+          Hashtbl.remove t.locs id;
+          t.live <- t.live - len;
+          if SS.needs_purge ss then purge t j;
+          if t.live * 2 < t.nf && t.nf > 256 then global_rebuild t ~extra:None
+        end;
+        ok)
+
+  let mem t id = Hashtbl.mem t.locs id
+
+  let search t p ~f =
+    Gsuffix_tree.search t.gst p ~f;
+    for j = 1 to max_slots do
+      match t.subs.(j) with None -> () | Some ss -> SS.search ss p ~f
+    done
+
+  let matches t p =
+    let acc = ref [] in
+    search t p ~f:(fun ~doc ~off -> acc := (doc, off) :: !acc);
+    List.sort compare !acc
+
+  let count t p =
+    let c = ref (Gsuffix_tree.count t.gst p) in
+    for j = 1 to max_slots do
+      match t.subs.(j) with None -> () | Some ss -> c := !c + SS.count ss p
+    done;
+    !c
+
+  let extract t ~doc ~off ~len =
+    match Hashtbl.find_opt t.locs doc with
+    | None -> None
+    | Some In_buffer -> (
+      match Gsuffix_tree.get_doc t.gst doc with
+      | None -> None
+      | Some s -> if off < 0 || len < 0 || off + len > String.length s then None else Some (String.sub s off len))
+    | Some (In_sub j) -> (
+      match t.subs.(j) with None -> None | Some ss -> SS.extract ss ~doc ~off ~len)
+
+  (* Merge everything into one sub-collection now (an explicit global
+     rebuild): afterwards queries probe a single static index plus the
+     empty C0.  The library-management analogue of a force-merge. *)
+  let consolidate t = global_rebuild t ~extra:None
+
+  (* Live sizes of all sub-collections: the measured counterpart of the
+     paper's Figure 1. *)
+  let census t =
+    let acc = ref [ ("C0", Gsuffix_tree.live_symbols t.gst) ] in
+    for j = 1 to max_slots do
+      match t.subs.(j) with
+      | None -> ()
+      | Some ss -> acc := (Printf.sprintf "C%d" j, SS.live_symbols ss) :: !acc
+    done;
+    List.rev !acc
+
+  let space_bits t =
+    let sub_space =
+      Array.fold_left (fun a -> function None -> a | Some ss -> a + SS.space_bits ss) 0 t.subs
+    in
+    Gsuffix_tree.space_bits t.gst + sub_space + (Hashtbl.length t.locs * 3 * 63)
+end

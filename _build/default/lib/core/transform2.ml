@@ -1,0 +1,557 @@
+(* Transformation 2 (Section 3): static index -> fully-dynamic index with
+   worst-case update bounds.
+
+   On top of Transformation 1's layout this adds:
+
+   - locked copies: when C_j must be merged upward it is renamed L_j and a
+     fresh empty C_j takes its place; L_j keeps answering queries;
+   - background construction: the new N_{j+1} = L_j ∪ C_{j+1} ∪ {T} is an
+     Incremental job; every subsequent update steps all pending jobs by a
+     budget proportional to the update's size (work_factor * |T|), which is
+     the paper's "O(log^eps n * u(n)) time per symbol" accounting;
+   - Temp_{j+1}: a single-document index for the new text so it is
+     queryable while N_{j+1} is under construction (Figure 3);
+   - top collections T_1..T_g holding the bulk of the data (never the
+     target of insertions once finished), cleaned by the Dietz-Sleator
+     schedule: after every delta = nf/(2 tau log tau) deleted symbols, the
+     top with the most dead symbols is rebuilt in the background (Lemma 1
+     bounds every top's dead fraction by O(1/tau));
+   - oversized documents (|T| >= nf/tau) get their own top collection.
+
+   Deviations (documented in DESIGN.md): the L'_r staging collection is
+   folded into the generic top-construction path; the nf-resnapshot
+   restructure runs synchronously (a rare amortized event); and if an
+   update needs a slot whose background job has not finished, the job is
+   force-completed (counted in stats.forced -- the paper's scheduling
+   lemma makes this rare, and the counter lets benches verify that). *)
+
+open Dsdg_gst
+open Dsdg_incr
+
+type stats = {
+  mutable jobs_started : int;
+  mutable jobs_completed : int;
+  mutable forced : int;
+  mutable restructures : int;
+  mutable top_cleanings : int;
+  mutable sync_merges : int;
+  mutable max_job_step : int; (* largest single-update job work, for the worst-case claim *)
+}
+
+module Make (I : Static_index.S) = struct
+  module SS = Semi_static.Make (I)
+
+  let max_slots = 64
+
+  type job = {
+    task : SS.t Incremental.t;
+    target : [ `Sub of int | `Top | `Replace_top of int ];
+    frees_locked : int option; (* level whose L_j this job consumes; -1 = L0 *)
+    mutable deleted_during : int list;
+  }
+
+  type t = {
+    sample : int;
+    tau : int;
+    epsilon : float;
+    work_factor : int;
+    mutable gst : Gsuffix_tree.t; (* C0 *)
+    mutable locked_gst : Gsuffix_tree.t option; (* L0 *)
+    subs : SS.t option array; (* C_1..C_r *)
+    locked : SS.t option array; (* L_1..L_r *)
+    temps : SS.t option array; (* Temp_1..Temp_{r+1} *)
+    jobs : job option array; (* index j: builds the new C_j (or a top for j=r+1) *)
+    mutable tops : (int * SS.t) list;
+    mutable next_top_key : int;
+    mutable next_id : int;
+    mutable nf : int;
+    mutable live : int;
+    mutable doc_count : int;
+    mutable del_counter : int; (* deleted symbols since last top-clean dispatch *)
+    mutable events : string list; (* recent structural events, newest first *)
+    stats : stats;
+  }
+
+  let create ?(sample = 8) ?(tau = 8) ?(epsilon = 0.5) ?(work_factor = 64) () =
+    {
+      sample;
+      tau;
+      epsilon;
+      work_factor;
+      gst = Gsuffix_tree.create ();
+      locked_gst = None;
+      subs = Array.make (max_slots + 2) None;
+      locked = Array.make (max_slots + 2) None;
+      temps = Array.make (max_slots + 2) None;
+      jobs = Array.make (max_slots + 2) None;
+      tops = [];
+      next_top_key = 0;
+      next_id = 0;
+      nf = 256;
+      live = 0;
+      doc_count = 0;
+      del_counter = 0;
+      events = [];
+      stats =
+        {
+          jobs_started = 0;
+          jobs_completed = 0;
+          forced = 0;
+          restructures = 0;
+          top_cleanings = 0;
+          sync_merges = 0;
+          max_job_step = 0;
+        };
+    }
+
+  let log_event t fmt =
+    Printf.ksprintf
+      (fun s ->
+        t.events <- s :: (if List.length t.events > 200 then List.filteri (fun i _ -> i < 100) t.events else t.events))
+      fmt
+
+  let events t = t.events
+  let stats t = t.stats
+  let doc_count t = t.doc_count
+  let total_symbols t = t.live
+
+  let max_size t j =
+    let nff = float_of_int (max t.nf 256) in
+    let lg = max 2. (log nff /. log 2.) in
+    let base = 2. *. nff /. (lg *. lg) in
+    max 64 (int_of_float (base *. (lg ** (t.epsilon *. float_of_int j))))
+
+  (* r: first level whose capacity reaches the top-collection grain nf/tau. *)
+  let r_of t =
+    let target = max 64 (t.nf / t.tau) in
+    let rec go j = if j >= max_slots || max_size t j >= target then j else go (j + 1) in
+    go 1
+
+  let top_grain t = max 64 (t.nf / t.tau)
+
+  let sub_live t j = match t.subs.(j) with None -> 0 | Some ss -> SS.live_symbols ss
+
+  (* --- documents-of helpers (with tick accounting for job bodies) --- *)
+
+  let gst_docs ?(tick = fun () -> ()) g =
+    List.filter_map
+      (fun d ->
+        Option.map
+          (fun s ->
+            String.iter (fun _ -> tick ()) s;
+            tick ();
+            (d, s))
+          (Gsuffix_tree.get_doc g d))
+      (Gsuffix_tree.doc_ids g)
+
+  (* --- job management --- *)
+
+  let build_ss t ?tick docs = SS.build ?tick ~sample:t.sample ~tau:t.tau (Array.of_list docs)
+
+  let install t j job ss =
+    List.iter (fun id -> ignore (SS.delete ss id)) job.deleted_during;
+    (match job.frees_locked with
+    | Some 0 -> t.locked_gst <- None
+    | Some l -> t.locked.(l) <- None
+    | None -> ());
+    (match job.target with
+    | `Sub jj ->
+      t.subs.(jj) <- (if SS.is_empty ss then None else Some ss);
+      t.temps.(jj) <- None;
+      log_event t "install: N%d -> C%d (%d live syms)" jj jj (SS.live_symbols ss)
+    | `Top ->
+      t.temps.(j) <- None;
+      if not (SS.is_empty ss) then begin
+        let key = t.next_top_key in
+        t.next_top_key <- key + 1;
+        t.tops <- (key, ss) :: t.tops;
+        log_event t "install: new top T%d (%d live syms)" key (SS.live_symbols ss)
+      end
+    | `Replace_top key ->
+      t.tops <- List.filter (fun (k, _) -> k <> key) t.tops;
+      if not (SS.is_empty ss) then t.tops <- (key, ss) :: t.tops;
+      log_event t "install: rebuilt top T%d (%d live syms)" key (SS.live_symbols ss));
+    t.jobs.(j) <- None;
+    t.stats.jobs_completed <- t.stats.jobs_completed + 1
+
+  let force_job t j =
+    match t.jobs.(j) with
+    | None -> ()
+    | Some job ->
+      t.stats.forced <- t.stats.forced + 1;
+      log_event t "force: finishing job at slot %d synchronously" j;
+      let ss = Incremental.force job.task in
+      install t j job ss
+
+  (* Step every pending job by a budget proportional to the update size. *)
+  let pump t work =
+    let budget = max 1 (t.work_factor * work) in
+    for j = 0 to max_slots + 1 do
+      match t.jobs.(j) with
+      | None -> ()
+      | Some job -> (
+        let before = Incremental.work_spent job.task in
+        match Incremental.step job.task ~budget with
+        | `Done ss ->
+          let spent = Incremental.work_spent job.task - before in
+          if spent > t.stats.max_job_step then t.stats.max_job_step <- spent;
+          install t j job ss
+        | `More ->
+          let spent = Incremental.work_spent job.task - before in
+          if spent > t.stats.max_job_step then t.stats.max_job_step <- spent)
+    done
+
+  let register_deletion_with_jobs t id =
+    for j = 0 to max_slots + 1 do
+      match t.jobs.(j) with
+      | None -> ()
+      | Some job -> job.deleted_during <- id :: job.deleted_during
+    done
+
+  let start_job t j job =
+    assert (t.jobs.(j) = None);
+    t.stats.jobs_started <- t.stats.jobs_started + 1;
+    t.jobs.(j) <- Some job
+
+  (* --- queries --- *)
+
+  let iter_structures t ~fss ~fgst =
+    fgst t.gst;
+    (match t.locked_gst with None -> () | Some g -> fgst g);
+    for j = 1 to max_slots + 1 do
+      (match t.subs.(j) with None -> () | Some ss -> fss ss);
+      (match t.locked.(j) with None -> () | Some ss -> fss ss);
+      match t.temps.(j) with None -> () | Some ss -> fss ss
+    done;
+    List.iter (fun (_, ss) -> fss ss) t.tops
+
+  let search t p ~f =
+    iter_structures t
+      ~fss:(fun ss -> SS.search ss p ~f)
+      ~fgst:(fun g -> Gsuffix_tree.search g p ~f)
+
+  let matches t p =
+    let acc = ref [] in
+    search t p ~f:(fun ~doc ~off -> acc := (doc, off) :: !acc);
+    List.sort compare !acc
+
+  let count t p =
+    let c = ref 0 in
+    iter_structures t
+      ~fss:(fun ss -> c := !c + SS.count ss p)
+      ~fgst:(fun g -> c := !c + Gsuffix_tree.count g p);
+    !c
+
+  let extract t ~doc ~off ~len =
+    let result = ref None in
+    iter_structures t
+      ~fss:(fun ss ->
+        if !result = None && SS.mem ss doc then result := SS.extract ss ~doc ~off ~len)
+      ~fgst:(fun g ->
+        if !result = None then
+          match Gsuffix_tree.get_doc g doc with
+          | Some s when off >= 0 && len >= 0 && off + len <= String.length s ->
+            result := Some (String.sub s off len)
+          | _ -> ());
+    !result
+
+  let mem t doc =
+    let found = ref false in
+    iter_structures t
+      ~fss:(fun ss -> if SS.mem ss doc then found := true)
+      ~fgst:(fun g -> if Gsuffix_tree.mem g doc then found := true);
+    !found
+
+  (* --- restructuring (nf re-snapshot; synchronous, rare) --- *)
+
+  let all_docs t =
+    let acc = ref [] in
+    iter_structures t
+      ~fss:(fun ss -> acc := SS.live_docs ss @ !acc)
+      ~fgst:(fun g -> acc := gst_docs g @ !acc);
+    (* a document can appear both in a Temp and nowhere else; Temps are the
+       only queryable holders of their doc, so no dedup is needed except
+       defensively *)
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun (id, _) ->
+        if Hashtbl.mem seen id then false
+        else begin
+          Hashtbl.replace seen id ();
+          true
+        end)
+      !acc
+
+  let restructure t =
+    t.stats.restructures <- t.stats.restructures + 1;
+    (* finish pending jobs first so no work is lost *)
+    for j = 0 to max_slots + 1 do
+      force_job t j
+    done;
+    let docs = all_docs t in
+    t.gst <- Gsuffix_tree.create ();
+    t.locked_gst <- None;
+    Array.fill t.subs 0 (Array.length t.subs) None;
+    Array.fill t.locked 0 (Array.length t.locked) None;
+    Array.fill t.temps 0 (Array.length t.temps) None;
+    t.tops <- [];
+    let total = List.fold_left (fun a (_, s) -> a + String.length s + 1) 0 docs in
+    t.nf <- max 256 total;
+    t.live <- total;
+    let grain = 2 * top_grain t in
+    (* greedy partition into top collections of <= 2 nf/tau symbols
+       (oversized docs get their own) *)
+    let chunk = ref [] and chunk_size = ref 0 in
+    let flush () =
+      if !chunk <> [] then begin
+        let key = t.next_top_key in
+        t.next_top_key <- key + 1;
+        t.tops <- (key, build_ss t !chunk) :: t.tops;
+        chunk := [];
+        chunk_size := 0
+      end
+    in
+    List.iter
+      (fun (id, s) ->
+        let len = String.length s + 1 in
+        if len >= grain then begin
+          let key = t.next_top_key in
+          t.next_top_key <- key + 1;
+          t.tops <- (key, build_ss t [ (id, s) ]) :: t.tops
+        end
+        else begin
+          if !chunk_size + len > grain then flush ();
+          chunk := (id, s) :: !chunk;
+          chunk_size := !chunk_size + len
+        end)
+      docs;
+    flush ();
+    log_event t "restructure: nf=%d, %d tops" t.nf (List.length t.tops)
+
+  (* --- insertion --- *)
+
+  (* Lock level j (C_j becomes L_j, C_j empties) and start the background
+     job building the new C_{j+1} (or a new top if j = r). *)
+  let lock_and_start t j ~extra_doc ~target =
+    (match t.jobs.(match target with `Sub jj -> jj | `Top -> max_slots + 1 | `Replace_top _ -> assert false) with
+    | Some _ -> assert false
+    | None -> ());
+    let job_slot = match target with `Sub jj -> jj | `Top -> max_slots + 1 | `Replace_top _ -> assert false in
+    (* snapshot sources *)
+    let locked_source, frees_locked =
+      if j = 0 then begin
+        let g = t.gst in
+        t.locked_gst <- Some g;
+        t.gst <- Gsuffix_tree.create ();
+        (`Gst g, Some 0)
+      end
+      else begin
+        let ss = t.subs.(j) in
+        t.locked.(j) <- ss;
+        t.subs.(j) <- None;
+        (`Ss ss, Some j)
+      end
+    in
+    let absorbed =
+      match target with
+      | `Sub jj -> t.subs.(jj) (* the old C_{j+1}, rebuilt into the new one *)
+      | _ -> None
+    in
+    (* the new document is queryable through Temp while the job runs *)
+    (match extra_doc with
+    | None -> ()
+    | Some (id, text) -> t.temps.(job_slot) <- Some (build_ss t [ (id, text) ]));
+    log_event t "lock: C%d -> L%d; building %s in background" j j
+      (match target with `Sub jj -> Printf.sprintf "N%d" jj | _ -> "new top");
+    let task =
+      Incremental.create (fun tick ->
+          let docs0 =
+            match locked_source with
+            | `Gst g -> gst_docs ~tick g
+            | `Ss None -> []
+            | `Ss (Some ss) -> SS.live_docs ~tick ss
+          in
+          let docs1 = match absorbed with None -> [] | Some ss -> SS.live_docs ~tick ss in
+          let extra = match extra_doc with None -> [] | Some d -> [ d ] in
+          build_ss t ~tick (docs0 @ docs1 @ extra))
+    in
+    start_job t job_slot { task; target; frees_locked; deleted_during = [] }
+
+  let insert t (text : string) : int =
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    let tlen = String.length text + 1 in
+    pump t tlen;
+    let r = r_of t in
+    if tlen >= top_grain t then begin
+      (* oversized document: its own top collection, built now *)
+      let key = t.next_top_key in
+      t.next_top_key <- key + 1;
+      t.tops <- (key, build_ss t [ (id, text) ]) :: t.tops;
+      log_event t "insert: oversized doc %d as top T%d" id key
+    end
+    else if Gsuffix_tree.live_symbols t.gst + tlen <= max_size t 0 then
+      Gsuffix_tree.insert t.gst ~doc:id text
+    else begin
+      (* smallest j with |C_j| + |C_{j+1}| + |T| <= max_{j+1} *)
+      let size_of j = if j = 0 then Gsuffix_tree.live_symbols t.gst else sub_live t j in
+      let rec find j =
+        if j >= r then None
+        else if size_of j + size_of (j + 1) + tlen <= max_size t (j + 1) then Some j
+        else find (j + 1)
+      in
+      match find 0 with
+      | Some j ->
+        (* Invariant: before consuming or locking C_k, any pending job that
+           would rebuild C_k (slot k) must land first, otherwise its
+           snapshot would resurrect documents we are about to move. *)
+        if j > 0 then force_job t j;
+        force_job t (j + 1);
+        if (j = 0 && t.locked_gst <> None) || (j > 0 && t.locked.(j) <> None) then begin
+          (* L_j still alive: its job targets j+1; finish it *)
+          force_job t (j + 1);
+          (* if still locked the job lives elsewhere (top slot) *)
+          force_job t (max_slots + 1)
+        end;
+        if tlen >= max_size t j / 2 then begin
+          (* big enough to pay for a synchronous rebuild *)
+          t.stats.sync_merges <- t.stats.sync_merges + 1;
+          let docs0 = if j = 0 then gst_docs t.gst else match t.subs.(j) with None -> [] | Some ss -> SS.live_docs ss in
+          let docs1 = match t.subs.(j + 1) with None -> [] | Some ss -> SS.live_docs ss in
+          if j = 0 then t.gst <- Gsuffix_tree.create () else t.subs.(j) <- None;
+          t.subs.(j + 1) <- Some (build_ss t (docs0 @ docs1 @ [ (id, text) ]));
+          log_event t "sync merge: C%d ∪ C%d ∪ doc%d -> C%d" j (j + 1) id (j + 1)
+        end
+        else lock_and_start t j ~extra_doc:(Some (id, text)) ~target:(`Sub (j + 1))
+      | None ->
+        (* everything full: C_r (plus T) becomes a new top *)
+        force_job t r;
+        force_job t (max_slots + 1);
+        if t.locked.(r) <> None then force_job t (max_slots + 1);
+        lock_and_start t r ~extra_doc:(Some (id, text)) ~target:`Top
+    end;
+    t.live <- t.live + tlen;
+    t.doc_count <- t.doc_count + 1;
+    if t.live > 2 * t.nf then restructure t;
+    id
+
+  (* --- deletion --- *)
+
+  let doc_size t id =
+    let size = ref None in
+    iter_structures t
+      ~fss:(fun ss -> if !size = None then match SS.doc_len ss id with Some l -> size := Some (l + 1) | None -> ())
+      ~fgst:(fun g ->
+        if !size = None then
+          match Gsuffix_tree.get_doc g id with Some s -> size := Some (String.length s + 1) | None -> ());
+    !size
+
+  (* Dietz-Sleator top cleaning: after every delta deleted symbols, rebuild
+     the top with the most dead symbols (one background job at a time). *)
+  let maybe_clean_tops t =
+    let lg_tau = max 1 (int_of_float (ceil (log (float_of_int (max 2 t.tau)) /. log 2.))) in
+    let delta = max 64 (t.nf / (2 * t.tau * lg_tau)) in
+    if t.del_counter >= delta && t.jobs.(max_slots + 1) = None then begin
+      t.del_counter <- 0;
+      let worst =
+        List.fold_left
+          (fun acc (k, ss) ->
+            match acc with
+            | Some (_, best) when SS.dead_symbols best >= SS.dead_symbols ss -> acc
+            | _ -> if SS.dead_symbols ss > 0 then Some (k, ss) else acc)
+          None t.tops
+      in
+      match worst with
+      | None -> ()
+      | Some (key, ss) ->
+        t.stats.top_cleanings <- t.stats.top_cleanings + 1;
+        log_event t "clean: rebuilding top T%d in background (%d dead syms)" key (SS.dead_symbols ss);
+        let task = Incremental.create (fun tick -> build_ss t ~tick (SS.live_docs ~tick ss)) in
+        start_job t (max_slots + 1)
+          { task; target = `Replace_top key; frees_locked = None; deleted_during = [] }
+    end
+
+  let delete t id =
+    match doc_size t id with
+    | None -> false
+    | Some syms ->
+      pump t syms;
+      let deleted = ref false in
+      (* try the uncompressed buffers first, then every SS *)
+      if Gsuffix_tree.mem t.gst id then deleted := Gsuffix_tree.delete t.gst id
+      else begin
+        (match t.locked_gst with
+        | Some g when Gsuffix_tree.mem g id -> deleted := Gsuffix_tree.delete g id
+        | _ -> ());
+        if not !deleted then begin
+          let try_ss ss = if (not !deleted) && SS.mem ss id then deleted := SS.delete ss id in
+          for j = 1 to max_slots + 1 do
+            (match t.subs.(j) with None -> () | Some ss -> try_ss ss);
+            (match t.locked.(j) with None -> () | Some ss -> try_ss ss);
+            match t.temps.(j) with None -> () | Some ss -> try_ss ss
+          done;
+          List.iter (fun (_, ss) -> try_ss ss) t.tops
+        end
+      end;
+      if not !deleted then false
+      else begin
+        register_deletion_with_jobs t id;
+        t.live <- t.live - syms;
+        t.doc_count <- t.doc_count - 1;
+        t.del_counter <- t.del_counter + syms;
+        (* drop emptied one-document tops immediately *)
+        t.tops <- List.filter (fun (_, ss) -> not (SS.is_empty ss)) t.tops;
+        (* C_j purge rule: dead >= max_j / 2 -> merge into C_{j+1} (or top) *)
+        let r = r_of t in
+        for j = 1 to r do
+          match t.subs.(j) with
+          | Some ss when SS.dead_symbols ss >= max 32 (max_size t j / 2) && t.locked.(j) = None ->
+            let target = if j < r then `Sub (j + 1) else `Top in
+            let slot = match target with `Sub jj -> jj | _ -> max_slots + 1 in
+            if t.jobs.(slot) = None && t.jobs.(j) = None then begin
+              log_event t "purge: C%d has %d dead syms; merging up" j (SS.dead_symbols ss);
+              lock_and_start t j ~extra_doc:None ~target
+            end
+          | _ -> ()
+        done;
+        maybe_clean_tops t;
+        if 2 * t.live < t.nf && t.nf > 256 then restructure t;
+        true
+      end
+
+  (* Census of all structures: the measured counterpart of Figure 2. *)
+  let census t =
+    let acc = ref [] in
+    let add name live dead = acc := (name, live, dead) :: !acc in
+    add "C0" (Gsuffix_tree.live_symbols t.gst) (Gsuffix_tree.dead_symbols t.gst);
+    (match t.locked_gst with
+    | None -> ()
+    | Some g -> add "L0" (Gsuffix_tree.live_symbols g) (Gsuffix_tree.dead_symbols g));
+    for j = 1 to max_slots + 1 do
+      (match t.subs.(j) with
+      | None -> ()
+      | Some ss -> add (Printf.sprintf "C%d" j) (SS.live_symbols ss) (SS.dead_symbols ss));
+      (match t.locked.(j) with
+      | None -> ()
+      | Some ss -> add (Printf.sprintf "L%d" j) (SS.live_symbols ss) (SS.dead_symbols ss));
+      match t.temps.(j) with
+      | None -> ()
+      | Some ss -> add (Printf.sprintf "Temp%d" j) (SS.live_symbols ss) (SS.dead_symbols ss)
+    done;
+    List.iter (fun (k, ss) -> add (Printf.sprintf "T%d" k) (SS.live_symbols ss) (SS.dead_symbols ss)) t.tops;
+    List.rev !acc
+
+  let pending_jobs t =
+    let c = ref 0 in
+    for j = 0 to max_slots + 1 do
+      if t.jobs.(j) <> None then incr c
+    done;
+    !c
+
+  let space_bits t =
+    let total = ref 0 in
+    iter_structures t
+      ~fss:(fun ss -> total := !total + SS.space_bits ss)
+      ~fgst:(fun g -> total := !total + Gsuffix_tree.space_bits g);
+    !total
+end

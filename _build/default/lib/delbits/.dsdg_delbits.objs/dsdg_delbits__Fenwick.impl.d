@@ -1,0 +1,1 @@
+lib/delbits/fenwick.ml: Array

@@ -1,0 +1,1 @@
+lib/delbits/reporter.ml: Array Bitvec Dsdg_bits Fenwick List Popcount

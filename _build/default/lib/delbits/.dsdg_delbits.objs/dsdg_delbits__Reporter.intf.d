@@ -1,0 +1,1 @@
+lib/delbits/reporter.mli: Dsdg_bits

@@ -1,0 +1,60 @@
+(* Fenwick (binary indexed) tree over [n] integer cells: point update,
+   prefix sum in O(log n).  Substitute for the Navarro-Sadakane dynamic
+   counting structure: Theorem 1 uses it to count surviving suffixes in a
+   suffix-array range of a semi-static index. *)
+
+type t = {
+  n : int;
+  tree : int array; (* 1-based *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Fenwick.create";
+  { n; tree = Array.make (n + 1) 0 }
+
+let length t = t.n
+
+let add t i delta =
+  if i < 0 || i >= t.n then invalid_arg "Fenwick.add";
+  let i = ref (i + 1) in
+  while !i <= t.n do
+    t.tree.(!i) <- t.tree.(!i) + delta;
+    i := !i + (!i land - !i)
+  done
+
+(* Sum of cells [0, i). *)
+let prefix t i =
+  if i < 0 || i > t.n then invalid_arg "Fenwick.prefix";
+  let acc = ref 0 and i = ref i in
+  while !i > 0 do
+    acc := !acc + t.tree.(!i);
+    i := !i - (!i land - !i)
+  done;
+  !acc
+
+(* Sum of cells [l, r). *)
+let range t l r = prefix t r - prefix t l
+
+let total t = prefix t t.n
+
+(* Fenwick tree pre-filled with ones (used for "count live suffixes").
+   Closed form: node i of an all-ones tree holds lowbit(i) -- O(n). *)
+let create_ones n =
+  let t = create n in
+  for i = 1 to n do
+    t.tree.(i) <- i land (-i)
+  done;
+  t
+
+(* Linear-time construction from initial cell values. *)
+let of_array (a : int array) =
+  let n = Array.length a in
+  let t = create n in
+  Array.blit a 0 t.tree 1 n;
+  for i = 1 to n do
+    let j = i + (i land -i) in
+    if j <= n then t.tree.(j) <- t.tree.(j) + t.tree.(i)
+  done;
+  t
+
+let space_bits t = (Array.length t.tree + 1) * 63

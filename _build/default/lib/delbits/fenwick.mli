@@ -1,0 +1,28 @@
+(** Fenwick (binary indexed) tree: point update and prefix sum in
+    O(log n). Substitute for the Navarro-Sadakane dynamic counting
+    structure in Theorem 1 (counting surviving occurrences). *)
+
+type t
+
+(** [create n] is an all-zero tree over [n] cells. *)
+val create : int -> t
+
+(** [create_ones n] is pre-filled with 1 in every cell; O(n). *)
+val create_ones : int -> t
+
+(** Linear-time construction from initial cell values. *)
+val of_array : int array -> t
+
+val length : t -> int
+
+(** [add t i delta] adds [delta] to cell [i]. *)
+val add : t -> int -> int -> unit
+
+(** [prefix t i] is the sum of cells [[0, i)]. *)
+val prefix : t -> int -> int
+
+(** [range t l r] is the sum of cells [[l, r)]. *)
+val range : t -> int -> int -> int
+
+val total : t -> int
+val space_bits : t -> int

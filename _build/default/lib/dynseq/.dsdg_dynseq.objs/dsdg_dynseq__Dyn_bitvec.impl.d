@@ -1,0 +1,1 @@
+lib/dynseq/dyn_bitvec.ml: Array Dsdg_bits List Popcount

@@ -1,0 +1,1 @@
+lib/dynseq/dyn_fm.ml: Array Char Dsdg_delbits Dyn_wavelet Fenwick Hashtbl List String

@@ -1,0 +1,1 @@
+lib/dynseq/dyn_fm.mli:

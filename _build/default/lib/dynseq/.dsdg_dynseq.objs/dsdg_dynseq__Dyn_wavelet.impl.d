@@ -1,0 +1,1 @@
+lib/dynseq/dyn_wavelet.ml: Array Dyn_bitvec

@@ -1,0 +1,255 @@
+(* Dynamic bit vector: insert/delete/rank/select in O(log n).
+
+   This is the machinery underlying all pre-2015 dynamic compressed
+   indexes ([30], [35] in the paper): a balanced search tree whose leaves
+   are packed bit chunks.  The paper's whole point is that its
+   Transformations AVOID paying this O(log n) per symbol on queries; we
+   implement it as the baseline to compare against.
+
+   Representation: an AVL tree; leaves hold up to [max_bits] bits packed
+   in 62-bit words; every internal node caches length, popcount, height. *)
+
+open Dsdg_bits
+
+let w = Popcount.word_bits
+let max_words = 8
+let max_bits = max_words * w (* 496: split threshold *)
+
+type tree =
+  | Leaf of { len : int; data : int array }
+  | Node of { l : tree; r : tree; len : int; ones : int; h : int }
+
+type t = { mutable root : tree }
+
+(* --- chunk (leaf) primitives --- *)
+
+let chunk_ones data len =
+  let nw = (len + w - 1) / w in
+  let acc = ref 0 in
+  for j = 0 to nw - 1 do
+    acc := !acc + Popcount.count data.(j)
+  done;
+  !acc
+
+let chunk_get data i = (data.(i / w) lsr (i mod w)) land 1
+
+let chunk_set data i b =
+  let j = i / w in
+  if b = 1 then data.(j) <- data.(j) lor (1 lsl (i mod w))
+  else data.(j) <- data.(j) land lnot (1 lsl (i mod w))
+
+(* insert bit [b] at position [pos] in a chunk of [len] bits *)
+let chunk_insert data len pos b =
+  let nw = ((len + 1) + w - 1) / w in
+  let out = Array.make nw 0 in
+  let wi = pos / w and off = pos mod w in
+  Array.blit data 0 out 0 (min wi (Array.length data));
+  let mask_low = Popcount.low_mask off in
+  let cur = if wi < Array.length data then data.(wi) else 0 in
+  let low = cur land mask_low in
+  let high = cur lsr off in
+  out.(wi) <- (low lor (b lsl off) lor (high lsl (off + 1))) land Popcount.low_mask w;
+  let carry = ref (high lsr (w - off - 1)) in
+  for wj = wi + 1 to nw - 1 do
+    let cur = if wj < Array.length data then data.(wj) else 0 in
+    out.(wj) <- ((cur lsl 1) land Popcount.low_mask w) lor !carry;
+    carry := cur lsr (w - 1)
+  done;
+  out
+
+(* delete the bit at [pos] from a chunk of [len] bits *)
+let chunk_delete data len pos =
+  let nw = max 1 ((len - 1 + w - 1) / w) in
+  let out = Array.make nw 0 in
+  let wi = pos / w and off = pos mod w in
+  Array.blit data 0 out 0 (min wi nw);
+  let cur = data.(wi) in
+  let low = cur land Popcount.low_mask off in
+  let high = (cur lsr (off + 1)) lsl off in
+  let first = low lor high in
+  if wi < nw then out.(wi) <- first;
+  let old_nw = (len + w - 1) / w in
+  for wj = wi + 1 to old_nw - 1 do
+    let bit0 = data.(wj) land 1 in
+    if wj - 1 < nw then out.(wj - 1) <- out.(wj - 1) lor (bit0 lsl (w - 1));
+    if wj < nw then out.(wj) <- data.(wj) lsr 1
+  done;
+  out
+
+let chunk_rank1 data pos =
+  (* pos may equal the chunk length, which can be word-aligned: the last
+     word then lies past the array and contributes nothing *)
+  let wi = pos / w and off = pos mod w in
+  let acc = ref 0 in
+  for j = 0 to min wi (Array.length data) - 1 do
+    acc := !acc + Popcount.count data.(j)
+  done;
+  if off > 0 then acc := !acc + Popcount.count (data.(wi) land Popcount.low_mask off);
+  !acc
+
+(* --- tree helpers --- *)
+
+let length = function Leaf { len; _ } -> len | Node { len; _ } -> len
+let ones_of = function Leaf { len; data } -> chunk_ones data len | Node { ones; _ } -> ones
+let height = function Leaf _ -> 1 | Node { h; _ } -> h
+
+let mk_node l r =
+  Node { l; r; len = length l + length r; ones = ones_of l + ones_of r; h = 1 + max (height l) (height r) }
+
+let balance_factor = function Node { l; r; _ } -> height l - height r | Leaf _ -> 0
+
+let rotate_left = function
+  | Node { l; r = Node { l = rl; r = rr; _ }; _ } -> mk_node (mk_node l rl) rr
+  | t -> t
+
+let rotate_right = function
+  | Node { l = Node { l = ll; r = lr; _ }; r; _ } -> mk_node ll (mk_node lr r)
+  | t -> t
+
+let rebalance t =
+  match t with
+  | Leaf _ -> t
+  | Node { l; r; _ } ->
+    let bf = balance_factor t in
+    if bf > 1 then begin
+      let l = if balance_factor l < 0 then rotate_left l else l in
+      rotate_right (mk_node l r)
+    end
+    else if bf < -1 then begin
+      let r = if balance_factor r > 0 then rotate_right r else r in
+      rotate_left (mk_node l r)
+    end
+    else t
+
+let empty_leaf () = Leaf { len = 0; data = [| 0 |] }
+
+let split_leaf len data =
+  (* split a full chunk into two halves *)
+  let half = len / 2 in
+  let left = Array.make ((half + w - 1) / w) 0 in
+  let right = Array.make ((len - half + w - 1) / w) 0 in
+  (* simple O(len) bit copy; chunks are small *)
+  for i = 0 to half - 1 do
+    if chunk_get data i = 1 then left.(i / w) <- left.(i / w) lor (1 lsl (i mod w))
+  done;
+  for i = half to len - 1 do
+    let k = i - half in
+    if chunk_get data i = 1 then right.(k / w) <- right.(k / w) lor (1 lsl (k mod w))
+  done;
+  mk_node (Leaf { len = half; data = left }) (Leaf { len = len - half; data = right })
+
+let rec tree_insert t pos b =
+  match t with
+  | Leaf { len; data } ->
+    let data' = chunk_insert data len pos b in
+    if len + 1 > max_bits then split_leaf (len + 1) data' else Leaf { len = len + 1; data = data' }
+  | Node { l; r; _ } ->
+    let ll = length l in
+    let t' = if pos <= ll then mk_node (tree_insert l pos b) r else mk_node l (tree_insert r (pos - ll) b) in
+    rebalance t'
+
+let rec tree_delete t pos =
+  match t with
+  | Leaf { len; data } -> Leaf { len = len - 1; data = chunk_delete data len pos }
+  | Node { l; r; _ } ->
+    let ll = length l in
+    let t' =
+      if pos < ll then begin
+        let l' = tree_delete l pos in
+        if length l' = 0 then r else mk_node l' r
+      end
+      else begin
+        let r' = tree_delete r (pos - ll) in
+        if length r' = 0 then l else mk_node l r'
+      end
+    in
+    rebalance t'
+
+let rec tree_get t pos =
+  match t with
+  | Leaf { data; _ } -> chunk_get data pos
+  | Node { l; r; _ } ->
+    let ll = length l in
+    if pos < ll then tree_get l pos else tree_get r (pos - ll)
+
+let rec tree_set t pos b =
+  match t with
+  | Leaf { len; data } ->
+    let data = Array.copy data in
+    chunk_set data pos b;
+    Leaf { len; data }
+  | Node { l; r; _ } ->
+    let ll = length l in
+    if pos < ll then mk_node (tree_set l pos b) r else mk_node l (tree_set r (pos - ll) b)
+
+let rec tree_rank1 t pos =
+  match t with
+  | Leaf { data; _ } -> chunk_rank1 data pos
+  | Node { l; r; _ } ->
+    let ll = length l in
+    if pos <= ll then tree_rank1 l pos else ones_of l + tree_rank1 r (pos - ll)
+
+let rec tree_select t b k =
+  (* position of the k-th (0-based) bit equal to b *)
+  match t with
+  | Leaf { len; data } ->
+    let seen = ref 0 and res = ref (-1) in
+    let i = ref 0 in
+    while !res < 0 && !i < len do
+      if chunk_get data !i = b then begin
+        if !seen = k then res := !i;
+        incr seen
+      end;
+      incr i
+    done;
+    !res
+  | Node { l; r; _ } ->
+    let cl = if b = 1 then ones_of l else length l - ones_of l in
+    if k < cl then tree_select l b k else length l + tree_select r b (k - cl)
+
+(* --- public API --- *)
+
+let create () = { root = empty_leaf () }
+let len t = length t.root
+let ones t = ones_of t.root
+let zeros t = len t - ones t
+
+let get t i =
+  if i < 0 || i >= len t then invalid_arg "Dyn_bitvec.get";
+  tree_get t.root i = 1
+
+let set t i b =
+  if i < 0 || i >= len t then invalid_arg "Dyn_bitvec.set";
+  t.root <- tree_set t.root i (if b then 1 else 0)
+
+let insert t i b =
+  if i < 0 || i > len t then invalid_arg "Dyn_bitvec.insert";
+  t.root <- tree_insert t.root i (if b then 1 else 0)
+
+let delete t i =
+  if i < 0 || i >= len t then invalid_arg "Dyn_bitvec.delete";
+  t.root <- tree_delete t.root i
+
+let rank1 t i =
+  if i < 0 || i > len t then invalid_arg "Dyn_bitvec.rank1";
+  tree_rank1 t.root i
+
+let rank0 t i = i - rank1 t i
+
+let select1 t k =
+  if k < 0 || k >= ones t then raise Not_found;
+  tree_select t.root 1 k
+
+let select0 t k =
+  if k < 0 || k >= zeros t then raise Not_found;
+  tree_select t.root 0 k
+
+let push_back t b = insert t (len t) b
+
+let to_bools t = List.init (len t) (fun i -> get t i)
+
+let rec space_tree = function
+  | Leaf { data; _ } -> (Array.length data + 2) * 63
+  | Node { l; r; _ } -> space_tree l + space_tree r + (5 * 63)
+
+let space_bits t = space_tree t.root

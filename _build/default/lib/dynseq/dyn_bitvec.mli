@@ -1,0 +1,34 @@
+(** Dynamic bit vector: insert / delete / rank / select in O(log n).
+
+    An AVL tree over packed bit chunks -- the machinery of the pre-2015
+    dynamic compressed indexes the paper's framework replaces; kept here
+    as the baseline substrate. *)
+
+type t
+
+val create : unit -> t
+val len : t -> int
+val ones : t -> int
+val zeros : t -> int
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+(** [insert t i b] inserts bit [b] at position [i], shifting the
+    suffix. *)
+val insert : t -> int -> bool -> unit
+
+(** [delete t i] removes bit [i]. *)
+val delete : t -> int -> unit
+
+(** Ones in positions [[0, i)]. *)
+val rank1 : t -> int -> int
+
+val rank0 : t -> int -> int
+
+(** Position of the [k]-th one; raises [Not_found]. *)
+val select1 : t -> int -> int
+
+val select0 : t -> int -> int
+val push_back : t -> bool -> unit
+val to_bools : t -> bool list
+val space_bits : t -> int

@@ -1,0 +1,176 @@
+(* Baseline dynamic FM-index over a document collection, in the style of
+   Chan-Hon-Lam [9] / Makinen-Navarro [30] / Navarro-Nekrich [35]: the
+   BWT of the collection is maintained directly in a dynamic wavelet tree
+   under document insertions and deletions.
+
+   Every operation on the BWT costs O(log n log sigma) through the
+   dynamic rank/select machinery -- this is precisely the Fredman-Saks
+   bottleneck the paper's Transformations avoid.  Used as the comparison
+   baseline for Table 2.
+
+   Conventions: separator/sentinel symbol 1 terminates every document
+   (pattern characters are code+2 as elsewhere).  Sentinel rows occupy
+   the prefix [0, ndocs) of the row space; a new document's sentinel is
+   appended as the last of that block, and [sentinel_order] remembers
+   which document owns which sentinel row.
+
+   Counting queries (backward search) are fully supported.  Locating is
+   supported by walking LF to the document start (cost O(off * log n
+   log sigma)); the production-quality sampled-locate of the static side
+   is deliberately not replicated here -- the baseline exists to measure
+   count/update costs (see DESIGN.md). *)
+
+open Dsdg_delbits
+
+let sep = 1
+let sigma = 258
+let sym_of_char c = Char.code c + 2
+
+type t = {
+  wt : Dyn_wavelet.t; (* the BWT *)
+  alpha : Fenwick.t; (* symbol counts; C(c) = prefix sums *)
+  mutable sentinel_order : int list; (* doc ids in sentinel-row order *)
+  docs : (int, int) Hashtbl.t; (* doc id -> length *)
+}
+
+let create () =
+  {
+    wt = Dyn_wavelet.create ~sigma;
+    alpha = Fenwick.create sigma;
+    sentinel_order = [];
+    docs = Hashtbl.create 16;
+  }
+
+let doc_count t = Hashtbl.length t.docs
+let total_symbols t = Dyn_wavelet.length t.wt
+let mem t id = Hashtbl.mem t.docs id
+
+(* C(c): number of BWT symbols strictly smaller than c. *)
+let c_before t c = Fenwick.prefix t.alpha c
+
+let wt_insert t pos c =
+  Dyn_wavelet.insert t.wt pos c;
+  Fenwick.add t.alpha c 1
+
+let wt_delete t pos =
+  let c = Dyn_wavelet.access t.wt pos in
+  Dyn_wavelet.delete t.wt pos;
+  Fenwick.add t.alpha c (-1);
+  c
+
+(* Insert document [text] with id [id]: standard backward extension.  The
+   new sentinel becomes the last sentinel row; we then insert the
+   document's symbols from last to first, tracking the insertion point
+   with LF steps. *)
+let insert t ~doc (text : string) =
+  if Hashtbl.mem t.docs doc then invalid_arg "Dyn_fm.insert: duplicate doc id";
+  let m = String.length text in
+  let ndocs = doc_count t in
+  Hashtbl.replace t.docs doc m;
+  t.sentinel_order <- t.sentinel_order @ [ doc ];
+  (* the sentinel row of the new doc is row [ndocs]; its L-symbol is the
+     last character of the text (or the sentinel itself if empty) *)
+  let pos = ref ndocs in
+  for i = m - 1 downto 0 do
+    let c = sym_of_char text.[i] in
+    wt_insert t !pos c;
+    (* +1: the new document's sentinel-first row already exists (inserted
+       first, always inside the sentinel block hence before any char
+       block) but its sentinel symbol only enters L at the very end, so
+       C-based LF undercounts by exactly one *)
+    pos := c_before t c + Dyn_wavelet.rank t.wt c !pos + 1
+  done;
+  (* finally the row of the full suffix text[0..]: its L-symbol is the
+     sentinel *)
+  wt_insert t !pos sep
+
+(* Backward search; returns the BWT row range of suffixes prefixed by p. *)
+let range t (p : string) : (int * int) option =
+  let len = String.length p in
+  if len = 0 then invalid_arg "Dyn_fm.range: empty pattern";
+  let sp = ref 0 and ep = ref (Dyn_wavelet.length t.wt) in
+  let ok = ref true in
+  let i = ref (len - 1) in
+  while !ok && !i >= 0 do
+    let c = sym_of_char p.[!i] in
+    sp := c_before t c + Dyn_wavelet.rank t.wt c !sp;
+    ep := c_before t c + Dyn_wavelet.rank t.wt c !ep;
+    if !sp >= !ep then ok := false;
+    decr i
+  done;
+  if !ok then Some (!sp, !ep) else None
+
+let count t p = match range t p with None -> 0 | Some (sp, ep) -> ep - sp
+
+(* First symbol of the suffix in [row]: the c with C(c) <= row < C(c+1). *)
+let first_symbol t row =
+  let lo = ref 0 and hi = ref sigma in
+  (* largest c with C(c) <= row *)
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if c_before t mid <= row then lo := mid else hi := mid
+  done;
+  !lo
+
+(* One psi step: row of suffix T[j..] -> row of suffix T[j+1..].  This is
+   the exact inverse of the LF links the insertion walk created, so it is
+   consistent even across equal sentinels. *)
+let psi t row =
+  let c = first_symbol t row in
+  (c, Dyn_wavelet.select t.wt c (row - c_before t c))
+
+(* Delete document [id]: starting from its sentinel row (whose block
+   position is tracked exactly by [sentinel_order]), walk backward through
+   the document with char-LF steps -- these never select within the
+   sentinel class, where L-order and block order may disagree -- collect
+   the m+1 rows, then remove them in decreasing row order so earlier
+   removals do not shift later targets. *)
+let delete t id =
+  match Hashtbl.find_opt t.docs id with
+  | None -> false
+  | Some len ->
+    (* sentinel row index = position of id in sentinel_order *)
+    let rec index_of i = function
+      | [] -> invalid_arg "Dyn_fm.delete: corrupt sentinel order"
+      | d :: rest -> if d = id then i else index_of (i + 1) rest
+    in
+    let k = index_of 0 t.sentinel_order in
+    let rows = Array.make (len + 1) 0 in
+    rows.(0) <- k;
+    let cur = ref k in
+    for step = 1 to len do
+      (* L[cur] is a character of the document; LF to the previous row *)
+      let c = Dyn_wavelet.access t.wt !cur in
+      cur := c_before t c + Dyn_wavelet.rank t.wt c !cur;
+      rows.(step) <- !cur
+    done;
+    (* at the end, L[cur] must be the document's sentinel *)
+    Array.sort (fun a b -> compare b a) rows;
+    Array.iter (fun row -> ignore (wt_delete t row)) rows;
+    t.sentinel_order <- List.filter (fun d -> d <> id) t.sentinel_order;
+    Hashtbl.remove t.docs id;
+    true
+
+(* Locate one occurrence: psi-walk forward until the sentinel block
+   (rows [0, ndocs) hold the sentinel-first rotations, in sentinel_order).
+   Returns (doc, off).  O((len - off) * log n log sigma). *)
+let locate t row =
+  let row = ref row and steps = ref 0 in
+  (* rows [0, ndocs) are exactly the sentinel-first rotations *)
+  while !row >= doc_count t do
+    let _, next = psi t !row in
+    row := next;
+    incr steps
+  done;
+  let doc = List.nth t.sentinel_order !row in
+  let len = Hashtbl.find t.docs doc in
+  (doc, len - !steps)
+
+let search t p =
+  match range t p with
+  | None -> []
+  | Some (sp, ep) -> List.sort compare (List.init (ep - sp) (fun k -> locate t (sp + k)))
+
+let space_bits t =
+  Dyn_wavelet.space_bits t.wt + Fenwick.space_bits t.alpha
+  + (doc_count t * 2 * 63)

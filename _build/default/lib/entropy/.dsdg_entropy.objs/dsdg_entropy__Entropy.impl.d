@@ -1,0 +1,1 @@
+lib/entropy/entropy.ml: Array Char Hashtbl Option String

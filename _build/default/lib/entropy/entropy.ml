@@ -1,0 +1,76 @@
+(* Empirical entropy of symbol sequences.
+
+   [h0 s] is the zero-order empirical entropy in bits per symbol;
+   [hk ~k s] is the k-th order empirical entropy (the lower bound for any
+   statistical compressor that encodes each symbol from its k-symbol
+   context -- Manzini 2001).  Used for the space accounting reported in
+   EXPERIMENTS.md. *)
+
+let log2 x = log x /. log 2.
+
+let h0_of_counts counts n =
+  if n = 0 then 0.0
+  else
+    Array.fold_left
+      (fun acc c ->
+        if c = 0 then acc
+        else
+          let p = float_of_int c /. float_of_int n in
+          acc -. (p *. log2 p))
+      0.0 counts
+
+let h0_ints (s : int array) =
+  let n = Array.length s in
+  if n = 0 then 0.0
+  else begin
+    let m = Array.fold_left max 0 s in
+    let counts = Array.make (m + 1) 0 in
+    Array.iter (fun c -> counts.(c) <- counts.(c) + 1) s;
+    h0_of_counts counts n
+  end
+
+let h0 (s : string) =
+  let counts = Array.make 256 0 in
+  String.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1) s;
+  h0_of_counts counts (String.length s)
+
+(* k-th order: group symbols by their preceding k-gram context; Hk is the
+   length-weighted average of the H0 of each context class. *)
+let hk ~k (s : string) =
+  if k = 0 then h0 s
+  else begin
+    let n = String.length s in
+    if n <= k then 0.0
+    else begin
+      let ctxs : (string, (char, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 97 in
+      for i = k to n - 1 do
+        let ctx = String.sub s (i - k) k in
+        let tbl =
+          match Hashtbl.find_opt ctxs ctx with
+          | Some tbl -> tbl
+          | None ->
+            let tbl = Hashtbl.create 7 in
+            Hashtbl.add ctxs ctx tbl;
+            tbl
+        in
+        let c = s.[i] in
+        Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c))
+      done;
+      let total = ref 0.0 in
+      Hashtbl.iter
+        (fun _ tbl ->
+          let nc = Hashtbl.fold (fun _ c acc -> acc + c) tbl 0 in
+          let counts = Array.make 256 0 in
+          Hashtbl.iter (fun ch c -> counts.(Char.code ch) <- c) tbl;
+          total := !total +. (float_of_int nc *. h0_of_counts counts nc))
+        ctxs;
+      !total /. float_of_int (n - k)
+    end
+  end
+
+(* Entropy of a {0,1} sequence given the count of ones. *)
+let h0_binary ~ones ~len =
+  if len = 0 || ones = 0 || ones = len then 0.0
+  else
+    let p = float_of_int ones /. float_of_int len in
+    -.((p *. log2 p) +. ((1. -. p) *. log2 (1. -. p)))

@@ -1,0 +1,18 @@
+(** Empirical entropy of symbol sequences (Manzini 2001), used for the
+    space accounting in EXPERIMENTS.md. *)
+
+(** Zero-order empirical entropy, bits per symbol. *)
+val h0 : string -> float
+
+val h0_ints : int array -> float
+
+(** [h0_of_counts counts n]: entropy of a distribution given symbol
+    counts and total. *)
+val h0_of_counts : int array -> int -> float
+
+(** k-th order empirical entropy: length-weighted average H0 of each
+    k-gram context class. [hk ~k:0] = [h0]. *)
+val hk : k:int -> string -> float
+
+(** Entropy of a binary sequence with [ones] ones out of [len]. *)
+val h0_binary : ones:int -> len:int -> float

@@ -1,0 +1,1 @@
+lib/fm/doc_map.ml: Array

@@ -1,0 +1,1 @@
+lib/fm/fm_index.ml: Array Bitvec Bwt Char Doc_map Dsdg_bits Dsdg_sa Dsdg_wavelet Huffman_wavelet Int_vec Rank_select Sais String

@@ -1,0 +1,22 @@
+(** Mapping between global positions of a separator-joined document
+    concatenation and (document, offset) pairs. *)
+
+type t
+
+(** [of_lengths lens]: document [d] owns the half-open global range
+    starting at the sum of earlier lengths+1, its separator last. *)
+val of_lengths : int array -> t
+
+val doc_count : t -> int
+
+(** Total symbols including one separator per document. *)
+val total_len : t -> int
+
+val doc_start : t -> int -> int
+val doc_len : t -> int -> int
+
+(** Global position -> (document, offset); the offset equals the
+    document length when the position is its separator. *)
+val locate : t -> int -> int * int
+
+val space_bits : t -> int

@@ -1,0 +1,1 @@
+lib/gst/gsuffix_tree.mli:

@@ -1,0 +1,1 @@
+lib/incr/incremental.ml: Effect

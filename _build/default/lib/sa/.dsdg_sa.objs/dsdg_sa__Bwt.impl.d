@@ -1,0 +1,1 @@
+lib/sa/bwt.ml: Array Sais

@@ -1,0 +1,1 @@
+lib/sa/lcp.mli:

@@ -1,0 +1,1 @@
+lib/sa/sais.ml: Array Char String

@@ -1,0 +1,66 @@
+(* Burrows-Wheeler transform and LF-mapping utilities.
+
+   Conventions: the text [t] is an int array whose last symbol is a unique
+   smallest sentinel (0).  [sa] is its full suffix array (including the
+   sentinel suffix).  The BWT is then bwt.(i) = t.((sa.(i) + n - 1) mod n). *)
+
+let of_sa (t : int array) (sa : int array) : int array =
+  let n = Array.length t in
+  if Array.length sa <> n then invalid_arg "Bwt.of_sa: length mismatch";
+  Array.init n (fun i ->
+      let j = sa.(i) in
+      if j = 0 then t.(n - 1) else t.(j - 1))
+
+(* Build text+sentinel from a plain symbol array with values >= 0
+   (symbols get shifted by +1).  Returns (t, sigma). *)
+let with_sentinel (s : int array) : int array * int =
+  let n = Array.length s in
+  let t = Array.make (n + 1) 0 in
+  let sigma = ref 1 in
+  for i = 0 to n - 1 do
+    t.(i) <- s.(i) + 1;
+    if t.(i) >= !sigma then sigma := t.(i) + 1
+  done;
+  (t, !sigma)
+
+let transform ?tick (s : int array) : int array =
+  let t, sigma = with_sentinel s in
+  let sa = Sais.raw ?tick t sigma in
+  of_sa t sa
+
+(* Counts-before array: c_before.(c) = number of symbols in [bwt] that are
+   strictly smaller than [c]. *)
+let counts_before (bwt : int array) (sigma : int) : int array =
+  let counts = Array.make sigma 0 in
+  Array.iter (fun c -> counts.(c) <- counts.(c) + 1) bwt;
+  let before = Array.make (sigma + 1) 0 in
+  for c = 1 to sigma do
+    before.(c) <- before.(c - 1) + counts.(c - 1)
+  done;
+  before
+
+(* Invert a BWT produced by [transform]; returns the original array [s].
+   Quadratic-free: uses an occurrence-count walk (O(n) time, O(n) space). *)
+let inverse (bwt : int array) : int array =
+  let n = Array.length bwt in
+  if n = 0 then [||]
+  else begin
+    let sigma = 1 + Array.fold_left max 0 bwt in
+    let before = counts_before bwt sigma in
+    (* occ.(i) = number of occurrences of bwt.(i) in bwt[0..i-1] *)
+    let occ = Array.make n 0 in
+    let seen = Array.make sigma 0 in
+    for i = 0 to n - 1 do
+      occ.(i) <- seen.(bwt.(i));
+      seen.(bwt.(i)) <- seen.(bwt.(i)) + 1
+    done;
+    let lf i = before.(bwt.(i)) + occ.(i) in
+    (* Row 0 is the sentinel suffix; walk backwards recovering symbols. *)
+    let out = Array.make (n - 1) 0 in
+    let row = ref 0 in
+    for k = n - 2 downto 0 do
+      out.(k) <- bwt.(!row) - 1;
+      row := lf !row
+    done;
+    out
+  end

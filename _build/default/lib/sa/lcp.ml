@@ -1,0 +1,32 @@
+(* LCP array construction (Kasai et al. 2001), O(n).
+
+   lcp.(i) = length of the longest common prefix of the suffixes at
+   sa.(i-1) and sa.(i); lcp.(0) = 0. *)
+
+let of_sa (s : int array) (sa : int array) : int array =
+  let n = Array.length s in
+  if Array.length sa <> n then invalid_arg "Lcp.of_sa: length mismatch";
+  let rank = Array.make n 0 in
+  Array.iteri (fun i p -> rank.(p) <- i) sa;
+  let lcp = Array.make n 0 in
+  let h = ref 0 in
+  for i = 0 to n - 1 do
+    if rank.(i) > 0 then begin
+      let j = sa.(rank.(i) - 1) in
+      while i + !h < n && j + !h < n && s.(i + !h) = s.(j + !h) do
+        incr h
+      done;
+      lcp.(rank.(i)) <- !h;
+      if !h > 0 then decr h
+    end
+    else h := 0
+  done;
+  lcp
+
+let naive (s : int array) (sa : int array) : int array =
+  let n = Array.length s in
+  let common i j =
+    let rec go d = if i + d < n && j + d < n && s.(i + d) = s.(j + d) then go (d + 1) else d in
+    go 0
+  in
+  Array.init n (fun k -> if k = 0 then 0 else common sa.(k - 1) sa.(k))

@@ -1,0 +1,8 @@
+(** LCP array construction (Kasai et al. 2001), O(n).
+    [lcp.(i)] is the longest common prefix length of the suffixes in
+    suffix-array rows [i-1] and [i]; [lcp.(0) = 0]. *)
+
+val of_sa : int array -> int array -> int array
+
+(** Quadratic reference, for tests. *)
+val naive : int array -> int array -> int array

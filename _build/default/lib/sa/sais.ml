@@ -1,0 +1,198 @@
+(* Linear-time suffix array construction (SA-IS, Nong-Zhang-Chan 2009).
+
+   [raw t sigma] computes the suffix array of [t], which must end with a
+   unique, smallest sentinel (conventionally 0) and contain values in
+   [0, sigma).  [suffix_array s] is the user entry point: it accepts any
+   non-negative int array, appends a sentinel internally, and returns the
+   order of the suffixes of [s] itself.
+
+   The optional [tick] callback is invoked once per processed position in
+   the main loops; Transformation 2 uses it to run construction inside an
+   incremental background job with bounded per-update work. *)
+
+let no_tick () = ()
+
+(* Induced sort: given LMS positions already placed (or to place), fill in
+   L-type then S-type suffixes. *)
+let rec raw ?(tick = no_tick) (t : int array) (sigma : int) : int array =
+  let n = Array.length t in
+  if n = 0 then [||]
+  else if n = 1 then [| 0 |]
+  else begin
+    let sa = Array.make n (-1) in
+    (* stype.(i) = true iff suffix i is S-type *)
+    let stype = Array.make n false in
+    stype.(n - 1) <- true;
+    for i = n - 2 downto 0 do
+      tick ();
+      stype.(i) <- t.(i) < t.(i + 1) || (t.(i) = t.(i + 1) && stype.(i + 1))
+    done;
+    let is_lms i = i > 0 && stype.(i) && not stype.(i - 1) in
+    let bucket_sizes = Array.make sigma 0 in
+    Array.iter (fun c -> bucket_sizes.(c) <- bucket_sizes.(c) + 1) t;
+    let bucket_heads () =
+      let b = Array.make sigma 0 in
+      let acc = ref 0 in
+      for c = 0 to sigma - 1 do
+        b.(c) <- !acc;
+        acc := !acc + bucket_sizes.(c)
+      done;
+      b
+    in
+    let bucket_tails () =
+      let b = Array.make sigma 0 in
+      let acc = ref 0 in
+      for c = 0 to sigma - 1 do
+        acc := !acc + bucket_sizes.(c);
+        b.(c) <- !acc
+      done;
+      b
+    in
+    let induce () =
+      (* L-type left-to-right *)
+      let heads = bucket_heads () in
+      for i = 0 to n - 1 do
+        tick ();
+        let j = sa.(i) in
+        if j > 0 && not stype.(j - 1) then begin
+          let c = t.(j - 1) in
+          sa.(heads.(c)) <- j - 1;
+          heads.(c) <- heads.(c) + 1
+        end
+      done;
+      (* S-type right-to-left *)
+      let tails = bucket_tails () in
+      for i = n - 1 downto 0 do
+        tick ();
+        let j = sa.(i) in
+        if j > 0 && stype.(j - 1) then begin
+          let c = t.(j - 1) in
+          tails.(c) <- tails.(c) - 1;
+          sa.(tails.(c)) <- j - 1
+        end
+      done
+    in
+    (* Step 1: place LMS suffixes at bucket tails in text order, induce. *)
+    let tails = bucket_tails () in
+    for i = n - 1 downto 0 do
+      tick ();
+      if is_lms i then begin
+        let c = t.(i) in
+        tails.(c) <- tails.(c) - 1;
+        sa.(tails.(c)) <- i
+      end
+    done;
+    induce ();
+    (* Step 2: name LMS substrings in the order they appear in sa. *)
+    let lms_count = ref 0 in
+    for i = 0 to n - 1 do
+      if is_lms i then incr lms_count
+    done;
+    let lms_count = !lms_count in
+    if lms_count > 0 then begin
+      (* Collect sorted LMS positions. *)
+      let sorted_lms = Array.make lms_count 0 in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        tick ();
+        if sa.(i) >= 0 && is_lms sa.(i) then begin
+          sorted_lms.(!k) <- sa.(i);
+          incr k
+        end
+      done;
+      (* Assign names by comparing consecutive LMS substrings. *)
+      let names = Array.make n (-1) in
+      let lms_substring_equal a b =
+        (* compare LMS substrings starting at a and b *)
+        if a = b then true
+        else begin
+          let rec go d =
+            let ia = a + d and ib = b + d in
+            if ia >= n || ib >= n then false
+            else if t.(ia) <> t.(ib) || stype.(ia) <> stype.(ib) then false
+            else if d > 0 && (is_lms ia || is_lms ib) then is_lms ia && is_lms ib
+            else go (d + 1)
+          in
+          go 0
+        end
+      in
+      let name = ref 0 in
+      names.(sorted_lms.(0)) <- 0;
+      for i = 1 to lms_count - 1 do
+        tick ();
+        if not (lms_substring_equal sorted_lms.(i - 1) sorted_lms.(i)) then incr name;
+        names.(sorted_lms.(i)) <- !name
+      done;
+      let distinct = !name + 1 in
+      (* Build the reduced problem: names of LMS positions in text order. *)
+      let lms_in_order = Array.make lms_count 0 in
+      let reduced = Array.make lms_count 0 in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        if is_lms i then begin
+          lms_in_order.(!k) <- i;
+          reduced.(!k) <- names.(i);
+          incr k
+        end
+      done;
+      let reduced_sa =
+        if distinct = lms_count then begin
+          (* names already unique: direct inverse *)
+          let rsa = Array.make lms_count 0 in
+          Array.iteri (fun i nm -> rsa.(nm) <- i) reduced;
+          rsa
+        end
+        else raw ~tick reduced distinct
+      in
+      (* Step 3: place LMS suffixes in their final order and re-induce. *)
+      Array.fill sa 0 n (-1);
+      let tails = bucket_tails () in
+      for i = lms_count - 1 downto 0 do
+        tick ();
+        let j = lms_in_order.(reduced_sa.(i)) in
+        let c = t.(j) in
+        tails.(c) <- tails.(c) - 1;
+        sa.(tails.(c)) <- j
+      done;
+      induce ()
+    end;
+    sa
+  end
+
+(* Suffix array of an arbitrary non-negative int array (no sentinel
+   required; one is appended internally and dropped from the result). *)
+let suffix_array ?tick (s : int array) : int array =
+  let n = Array.length s in
+  if n = 0 then [||]
+  else begin
+    let sigma = ref 0 in
+    let t = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      if s.(i) < 0 then invalid_arg "Sais.suffix_array: negative symbol";
+      t.(i) <- s.(i) + 1;
+      if t.(i) >= !sigma then sigma := t.(i) + 1
+    done;
+    let sa = raw ?tick t !sigma in
+    (* sa.(0) = n (the sentinel suffix); drop it *)
+    Array.sub sa 1 n
+  end
+
+let suffix_array_of_string ?tick (s : string) : int array =
+  suffix_array ?tick (Array.init (String.length s) (fun i -> Char.code s.[i]))
+
+(* Quadratic reference implementation used by the test suite. *)
+let naive (s : int array) : int array =
+  let n = Array.length s in
+  let idx = Array.init n (fun i -> i) in
+  let cmp i j =
+    let rec go i j =
+      if i >= n && j >= n then 0
+      else if i >= n then -1
+      else if j >= n then 1
+      else if s.(i) <> s.(j) then compare s.(i) s.(j)
+      else go (i + 1) (j + 1)
+    in
+    go i j
+  in
+  Array.sort cmp idx;
+  idx

@@ -1,0 +1,18 @@
+(** Linear-time suffix array construction (SA-IS, Nong-Zhang-Chan 2009).
+
+    The optional [tick] callback is invoked once per O(1) of work, so the
+    construction can run inside an {!Dsdg_incr.Incremental} background
+    job -- the paper's (u(n), w(n))-constructibility requirement. *)
+
+(** [raw t sigma] is the suffix array of [t], which must end with a
+    unique smallest sentinel and hold values in [[0, sigma)]. *)
+val raw : ?tick:(unit -> unit) -> int array -> int -> int array
+
+(** [suffix_array s] is the suffix order of an arbitrary non-negative
+    array (a sentinel is appended internally and dropped). *)
+val suffix_array : ?tick:(unit -> unit) -> int array -> int array
+
+val suffix_array_of_string : ?tick:(unit -> unit) -> string -> int array
+
+(** Quadratic reference implementation, for tests. *)
+val naive : int array -> int array

@@ -1,0 +1,1 @@
+lib/wavelet/alphabet_partition.ml: Array Dsdg_bits Int_vec Wavelet_tree

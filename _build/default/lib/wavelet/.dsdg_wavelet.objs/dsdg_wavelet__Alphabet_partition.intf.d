@@ -1,0 +1,1 @@
+lib/wavelet/alphabet_partition.mli:

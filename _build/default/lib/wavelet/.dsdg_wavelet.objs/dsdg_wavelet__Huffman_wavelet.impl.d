@@ -1,0 +1,1 @@
+lib/wavelet/huffman_wavelet.ml: Array Bitvec Dsdg_bits Huffman Rank_select

@@ -1,0 +1,1 @@
+lib/wavelet/huffman_wavelet.mli:

@@ -1,0 +1,1 @@
+lib/wavelet/wavelet_tree.ml: Array Bitvec Dsdg_bits Rank_select

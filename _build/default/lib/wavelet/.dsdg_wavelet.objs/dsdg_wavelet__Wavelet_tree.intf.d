@@ -1,0 +1,1 @@
+lib/wavelet/wavelet_tree.mli:

@@ -1,0 +1,122 @@
+(* Alphabet partitioning (Barbay-Gagie-Navarro-Nekrich [3]): the
+   compressed sequence representation whose construction the paper walks
+   through in Appendix A.6.
+
+   Symbols are grouped by frequency: group g holds the symbols occurring
+   between 2^g and 2^{g+1} - 1 times.  The structure stores
+   - G: the per-position group index sequence ("Cs(G)" in A.6), and
+   - for each group, the subsequence induced by its symbols over the
+     group's small effective alphabet.
+
+   Queries reduce to one operation on G plus one on the group
+   subsequence; space is nH0 + o(nH0) + O(sigma log n) because symbols of
+   similar frequency share a group whose alphabet entropy matches their
+   code length.  Functionally interchangeable with {!Huffman_wavelet};
+   kept as the faithful realization of A.6 and benched against it. *)
+
+open Dsdg_bits
+
+type t = {
+  len : int;
+  sigma : int;
+  g_seq : Wavelet_tree.t; (* position -> group *)
+  groups : Wavelet_tree.t array; (* group -> induced subsequence over local alphabet *)
+  group_of : Int_vec.t; (* symbol -> group *)
+  local_of : Int_vec.t; (* symbol -> index within its group's alphabet *)
+  global_of : int array array; (* group -> local index -> symbol *)
+}
+
+let length t = t.len
+let sigma t = t.sigma
+
+let build ?(tick = fun () -> ()) ~sigma (seq : int array) : t =
+  Array.iter
+    (fun c -> if c < 0 || c >= sigma then invalid_arg "Alphabet_partition.build: symbol out of range")
+    seq;
+  let n = Array.length seq in
+  let freq = Array.make (max 1 sigma) 0 in
+  Array.iter (fun c -> freq.(c) <- freq.(c) + 1) seq;
+  let group_of_freq f =
+    (* 0 unused for absent symbols; group = floor(log2 f) *)
+    let rec go g x = if x <= 1 then g else go (g + 1) (x / 2) in
+    go 0 f
+  in
+  let ngroups = 1 + group_of_freq (max 1 n) in
+  let group_of = Int_vec.create ~width:(max 1 (Int_vec.width_for ngroups)) (max 1 sigma) in
+  let local_of = Int_vec.create ~width:(max 1 (Int_vec.width_for (max 1 sigma))) (max 1 sigma) in
+  let members = Array.make ngroups [] in
+  for c = sigma - 1 downto 0 do
+    if freq.(c) > 0 then begin
+      let g = group_of_freq freq.(c) in
+      Int_vec.set group_of c g;
+      members.(g) <- c :: members.(g)
+    end
+  done;
+  let global_of = Array.map Array.of_list members in
+  Array.iteri
+    (fun _g syms -> Array.iteri (fun local c -> Int_vec.set local_of c local) syms)
+    global_of;
+  (* group sequence + per-group subsequences *)
+  let g_arr = Array.make n 0 in
+  let subs = Array.make ngroups [] in
+  for p = n - 1 downto 0 do
+    tick ();
+    let c = seq.(p) in
+    let g = Int_vec.get group_of c in
+    g_arr.(p) <- g;
+    subs.(g) <- Int_vec.get local_of c :: subs.(g)
+  done;
+  let g_seq = Wavelet_tree.build ~tick ~sigma:(max 1 ngroups) g_arr in
+  let groups =
+    Array.mapi
+      (fun g sub ->
+        let alpha = max 1 (Array.length global_of.(g)) in
+        Wavelet_tree.build ~tick ~sigma:alpha (Array.of_list sub))
+      subs
+  in
+  { len = n; sigma; g_seq; groups; group_of; local_of; global_of }
+
+let access t p =
+  if p < 0 || p >= t.len then invalid_arg "Alphabet_partition.access";
+  let g = Wavelet_tree.access t.g_seq p in
+  let k = Wavelet_tree.rank t.g_seq g p in
+  t.global_of.(g).(Wavelet_tree.access t.groups.(g) k)
+
+(* Occurrences of [c] in positions [0, p). *)
+let rank t c p =
+  if p < 0 || p > t.len then invalid_arg "Alphabet_partition.rank";
+  if c < 0 || c >= t.sigma then 0
+  else begin
+    let g = Int_vec.get t.group_of c in
+    if g >= Array.length t.groups || Array.length t.global_of.(g) = 0 then 0
+    else begin
+      let local = Int_vec.get t.local_of c in
+      if t.global_of.(g).(local) <> c then 0 (* absent symbol *)
+      else begin
+        let k = Wavelet_tree.rank t.g_seq g p in
+        Wavelet_tree.rank t.groups.(g) local k
+      end
+    end
+  end
+
+(* Position of the [j]-th (0-based) occurrence of [c]. *)
+let select t c j =
+  if j < 0 then invalid_arg "Alphabet_partition.select";
+  if c < 0 || c >= t.sigma then raise Not_found;
+  let g = Int_vec.get t.group_of c in
+  if g >= Array.length t.groups || Array.length t.global_of.(g) = 0 then raise Not_found;
+  let local = Int_vec.get t.local_of c in
+  if t.global_of.(g).(local) <> c then raise Not_found;
+  let k = Wavelet_tree.select t.groups.(g) local j in
+  Wavelet_tree.select t.g_seq g k
+
+let count t c = rank t c t.len
+let rank_range t c l r = rank t c r - rank t c l
+let to_array t = Array.init t.len (access t)
+
+let space_bits t =
+  Wavelet_tree.space_bits t.g_seq
+  + Array.fold_left (fun a g -> a + Wavelet_tree.space_bits g) 0 t.groups
+  + Int_vec.space_bits t.group_of + Int_vec.space_bits t.local_of
+  + Array.fold_left (fun a g -> a + (Array.length g * 63)) 0 t.global_of
+  + (3 * 63)

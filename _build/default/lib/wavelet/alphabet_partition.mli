@@ -1,0 +1,23 @@
+(** Alphabet-partitioned compressed sequence (Barbay et al. [3]; built
+    exactly as the paper's Appendix A.6 describes): symbols grouped by
+    frequency, one small-alphabet subsequence per group plus the group
+    index sequence. Space nH0 + o(nH0) + O(sigma log n); same interface
+    as {!Huffman_wavelet}. *)
+
+type t
+
+val build : ?tick:(unit -> unit) -> sigma:int -> int array -> t
+val length : t -> int
+val sigma : t -> int
+val access : t -> int -> int
+
+(** Occurrences of [c] in [0, p); 0 for absent symbols. *)
+val rank : t -> int -> int -> int
+
+(** Raises [Not_found] past the last occurrence / for absent symbols. *)
+val select : t -> int -> int -> int
+
+val count : t -> int -> int
+val rank_range : t -> int -> int -> int -> int
+val to_array : t -> int array
+val space_bits : t -> int

@@ -1,0 +1,123 @@
+(* Canonical Huffman code construction from symbol frequencies.
+
+   Codes are returned MSB-first as (bits, length) pairs; the code tree is
+   also exposed so that Huffman_wavelet can shape itself on it. *)
+
+type tree =
+  | Sym of int
+  | Branch of tree * tree
+
+(* Simple binary min-heap over (weight, tiebreak, tree). *)
+module Heap = struct
+  type elt = int * int * tree
+  type t = { mutable a : elt array; mutable n : int }
+
+  let create () = { a = Array.make 16 (0, 0, Sym 0); n = 0 }
+  let less (w1, t1, _) (w2, t2, _) = w1 < w2 || (w1 = w2 && t1 < t2)
+
+  let push h e =
+    if h.n = Array.length h.a then begin
+      let a' = Array.make (2 * h.n) h.a.(0) in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    h.a.(h.n) <- e;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while !i > 0 && less h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.n && less h.a.(l) h.a.(!smallest) then smallest := l;
+      if r < h.n && less h.a.(r) h.a.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.a.(!smallest) in
+        h.a.(!smallest) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+
+  let size h = h.n
+end
+
+(* Build the Huffman tree for symbols with freqs.(c) > 0.  A single-symbol
+   alphabet yields a one-bit code (Branch (Sym c, Sym c) would be wasteful;
+   we special-case it with a degenerate branch so every code has length
+   >= 1 and the wavelet shape stays a proper tree). *)
+let build_tree (freqs : int array) : tree option =
+  let h = Heap.create () in
+  let tie = ref 0 in
+  Array.iteri
+    (fun c f ->
+      if f > 0 then begin
+        Heap.push h (f, !tie, Sym c);
+        incr tie
+      end)
+    freqs;
+  if Heap.size h = 0 then None
+  else begin
+    if Heap.size h = 1 then begin
+      (* degenerate: pair the symbol with itself on the right of a branch *)
+      let (f, _, t) = Heap.pop h in
+      ignore f;
+      match t with
+      | Sym c -> Some (Branch (Sym c, Sym c))
+      | Branch _ -> assert false
+    end
+    else begin
+      while Heap.size h > 1 do
+        let (f1, _, t1) = Heap.pop h in
+        let (f2, _, t2) = Heap.pop h in
+        Heap.push h (f1 + f2, !tie, Branch (t1, t2));
+        incr tie
+      done;
+      let (_, _, t) = Heap.pop h in
+      Some t
+    end
+  end
+
+type code = { bits : int; len : int }
+
+(* codes.(c) is meaningful only for symbols with non-zero frequency. *)
+let codes_of_tree ~sigma tree =
+  let codes = Array.make sigma { bits = 0; len = 0 } in
+  let rec go t bits len =
+    match t with
+    | Sym c -> if codes.(c).len = 0 then codes.(c) <- { bits; len }
+    | Branch (l, r) ->
+      go l (bits lsl 1) (len + 1);
+      go r ((bits lsl 1) lor 1) (len + 1)
+  in
+  go tree 0 0;
+  codes
+
+let codes ~sigma (freqs : int array) =
+  match build_tree freqs with
+  | None -> Array.make sigma { bits = 0; len = 0 }
+  | Some t -> codes_of_tree ~sigma t
+
+(* Average code length in bits per symbol (equals within 1 bit of H0). *)
+let average_length (freqs : int array) (codes : code array) =
+  let total = Array.fold_left ( + ) 0 freqs in
+  if total = 0 then 0.0
+  else begin
+    let sum = ref 0 in
+    Array.iteri (fun c f -> sum := !sum + (f * codes.(c).len)) freqs;
+    float_of_int !sum /. float_of_int total
+  end

@@ -1,0 +1,25 @@
+(** Huffman-shaped wavelet tree: total bit-vector length n (H0 + 1), the
+    zero-order compressed sequence representation backing the FM-index
+    BWT and the binary-relation string S (Section 5). Same interface as
+    {!Wavelet_tree} with per-operation cost proportional to the symbol's
+    code length. *)
+
+type t
+
+val build : ?tick:(unit -> unit) -> sigma:int -> int array -> t
+val length : t -> int
+val sigma : t -> int
+val access : t -> int -> int
+
+(** [rank t c i]: occurrences of [c] in [[0, i)]; 0 for symbols that do
+    not occur in the sequence. *)
+val rank : t -> int -> int -> int
+
+(** Raises [Not_found] past the last occurrence (or for absent
+    symbols). *)
+val select : t -> int -> int -> int
+
+val rank_range : t -> int -> int -> int -> int
+val count : t -> int -> int
+val space_bits : t -> int
+val to_array : t -> int array

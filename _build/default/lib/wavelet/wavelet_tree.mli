@@ -1,0 +1,28 @@
+(** Balanced binary wavelet tree over an integer alphabet [[0, sigma)]:
+    access / rank / select in O(log sigma). *)
+
+type t
+
+(** [build ~sigma seq]; symbols must lie in [[0, sigma)]. [tick] is
+    charged once per symbol per level during construction. *)
+val build : ?tick:(unit -> unit) -> sigma:int -> int array -> t
+
+val length : t -> int
+val sigma : t -> int
+
+(** [access t i] is the [i]-th symbol. *)
+val access : t -> int -> int
+
+(** [rank t c i] counts occurrences of [c] in positions [[0, i)]. *)
+val rank : t -> int -> int -> int
+
+(** [select t c k] is the position of the [k]-th (0-based) occurrence of
+    [c]. Raises [Not_found] if there are at most [k]. *)
+val select : t -> int -> int -> int
+
+(** Occurrences of [c] in [[l, r)]. *)
+val rank_range : t -> int -> int -> int -> int
+
+val count : t -> int -> int
+val space_bits : t -> int
+val to_array : t -> int array

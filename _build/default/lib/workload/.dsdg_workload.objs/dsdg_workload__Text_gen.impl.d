@@ -1,0 +1,1 @@
+lib/workload/text_gen.ml: Array Buffer Bytes Char List Printf Random Stdlib String

@@ -1,0 +1,59 @@
+(* Synthetic graph / binary-relation generators for the Section 5
+   benchmarks: Erdos-Renyi digraphs, preferential-attachment digraphs
+   (power-law in-degrees, like web/RDF graphs), and RDF-ish triple
+   streams (subject-predicate-object, the paper's motivating database
+   application, encoded as two binary relations). *)
+
+type rng = Random.State.t
+
+let erdos_renyi st ~nodes ~edges =
+  let seen = Hashtbl.create (2 * edges) in
+  let out = ref [] in
+  let made = ref 0 in
+  while !made < edges do
+    let u = Random.State.int st nodes and v = Random.State.int st nodes in
+    if not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.replace seen (u, v) ();
+      out := (u, v) :: !out;
+      incr made
+    end
+  done;
+  Array.of_list !out
+
+(* Preferential attachment: node i attaches [out_deg] edges to targets
+   chosen proportionally to in-degree + 1. *)
+let preferential st ~nodes ~out_deg =
+  let targets = ref [] in
+  let ntargets = ref 0 in
+  let edges = ref [] in
+  for u = 0 to nodes - 1 do
+    for _ = 1 to out_deg do
+      let v =
+        if !ntargets = 0 || Random.State.float st 1.0 < 0.2 then Random.State.int st (u + 1)
+        else List.nth !targets (Random.State.int st !ntargets)
+      in
+      edges := (u, v) :: !edges;
+      targets := v :: !targets;
+      incr ntargets
+    done
+  done;
+  (* dedup *)
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun e ->
+      if Hashtbl.mem seen e then false
+      else begin
+        Hashtbl.replace seen e ();
+        true
+      end)
+    !edges
+  |> Array.of_list
+
+(* RDF-ish triples: few predicates, Zipf-ish subjects/objects.  Returned
+   as (subject, predicate, object). *)
+let rdf_triples st ~subjects ~predicates ~count =
+  Array.init count (fun _ ->
+      let s = Random.State.int st subjects in
+      let p = Random.State.int st predicates in
+      let o = Random.State.int st subjects in
+      (s, p, o))

@@ -1,0 +1,12 @@
+(** Synthetic graph and triple generators for the Section 5 benchmarks. *)
+
+type rng = Random.State.t
+
+(** Distinct directed edges, uniform endpoints. *)
+val erdos_renyi : rng -> nodes:int -> edges:int -> (int * int) array
+
+(** Preferential attachment: power-law in-degrees (web/RDF-like). *)
+val preferential : rng -> nodes:int -> out_deg:int -> (int * int) array
+
+(** (subject, predicate, object) triples; duplicates possible. *)
+val rdf_triples : rng -> subjects:int -> predicates:int -> count:int -> (int * int * int) array

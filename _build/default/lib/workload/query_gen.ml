@@ -1,0 +1,55 @@
+(* Mixed operation streams for driving a dynamic index: the "library
+   management" workload (inserts, deletes, pattern queries in given
+   proportions).  Deterministic given the seed. *)
+
+type op =
+  | Insert of string
+  | Delete_random (* delete a uniformly random live document *)
+  | Search of string
+  | Count of string
+
+type mix = {
+  p_insert : float;
+  p_delete : float;
+  p_search : float; (* remainder = count *)
+}
+
+let default_mix = { p_insert = 0.4; p_delete = 0.2; p_search = 0.3 }
+
+let stream st ~mix ~ops ~doc_gen ~pattern_gen =
+  List.init ops (fun _ ->
+      let r = Random.State.float st 1.0 in
+      if r < mix.p_insert then Insert (doc_gen ())
+      else if r < mix.p_insert +. mix.p_delete then Delete_random
+      else if r < mix.p_insert +. mix.p_delete +. mix.p_search then Search (pattern_gen ())
+      else Count (pattern_gen ()))
+
+(* Drive an index through a stream given closures; returns per-op class
+   counters (useful for reporting ops/s per class). *)
+type counters = {
+  mutable inserts : int;
+  mutable deletes : int;
+  mutable searches : int;
+  mutable counts : int;
+  mutable matches_reported : int;
+}
+
+let run st stream ~insert ~delete_random ~search ~count =
+  let c = { inserts = 0; deletes = 0; searches = 0; counts = 0; matches_reported = 0 } in
+  ignore st;
+  List.iter
+    (fun op ->
+      match op with
+      | Insert text ->
+        insert text;
+        c.inserts <- c.inserts + 1
+      | Delete_random ->
+        if delete_random () then c.deletes <- c.deletes + 1
+      | Search p ->
+        c.matches_reported <- c.matches_reported + search p;
+        c.searches <- c.searches + 1
+      | Count p ->
+        c.matches_reported <- c.matches_reported + count p;
+        c.counts <- c.counts + 1)
+    stream;
+  c

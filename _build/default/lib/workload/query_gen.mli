@@ -1,0 +1,44 @@
+(** Mixed operation streams: the library-management workload (inserts,
+    deletes, searches, counts in given proportions). *)
+
+type op =
+  | Insert of string
+  | Delete_random  (** delete a uniformly random live document *)
+  | Search of string
+  | Count of string
+
+type mix = {
+  p_insert : float;
+  p_delete : float;
+  p_search : float; (* remainder = count queries *)
+}
+
+val default_mix : mix
+
+(** Deterministic op stream given the rng state. *)
+val stream :
+  Random.State.t ->
+  mix:mix ->
+  ops:int ->
+  doc_gen:(unit -> string) ->
+  pattern_gen:(unit -> string) ->
+  op list
+
+type counters = {
+  mutable inserts : int;
+  mutable deletes : int;
+  mutable searches : int;
+  mutable counts : int;
+  mutable matches_reported : int;
+}
+
+(** Drive an index through a stream; [search]/[count] return the number
+    of matches they saw. *)
+val run :
+  Random.State.t ->
+  op list ->
+  insert:(string -> unit) ->
+  delete_random:(unit -> bool) ->
+  search:(string -> int) ->
+  count:(string -> int) ->
+  counters

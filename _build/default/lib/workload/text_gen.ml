@@ -1,0 +1,98 @@
+(* Synthetic document generators.
+
+   The paper has no experimental section, so benchmarks run on synthetic
+   corpora whose statistics are controllable:
+   - [uniform]: i.i.d. symbols over a given alphabet (H0 = log sigma);
+   - [markov]: order-k chain with skewed transitions, giving Hk < H0
+     (exercises the "compressible text" regime of the nHk space claims);
+   - [zipf_lengths]: document length distribution with a heavy tail;
+   - [url_log]: URL-shaped strings, the paper's search-log motivation;
+   - [english_like]: word-based text from a small vocabulary. *)
+
+type rng = Random.State.t
+
+let rng seed = Random.State.make [| seed; 0x5eed |]
+
+let uniform st ~sigma ~len =
+  if sigma < 1 || sigma > 26 then invalid_arg "Text_gen.uniform: sigma in [1,26]";
+  String.init len (fun _ -> Char.chr (97 + Random.State.int st sigma))
+
+(* Order-1 Markov chain: from each symbol, one "favourite" successor has
+   probability [skew]; others share the rest.  Higher skew -> lower H1. *)
+let markov st ~sigma ~len ~skew =
+  if sigma < 2 || sigma > 26 then invalid_arg "Text_gen.markov: sigma in [2,26]";
+  let favourite = Array.init sigma (fun c -> (c + 7) mod sigma) in
+  let buf = Bytes.create len in
+  let cur = ref (Random.State.int st sigma) in
+  for i = 0 to len - 1 do
+    Bytes.set buf i (Char.chr (97 + !cur));
+    cur :=
+      (if Random.State.float st 1.0 < skew then favourite.(!cur)
+       else Random.State.int st sigma)
+  done;
+  Bytes.to_string buf
+
+(* Zipf-ish value in [1, max]: P(v) ~ 1/v. *)
+let zipf st ~max =
+  let u = Random.State.float st 1.0 in
+  let v = int_of_float (exp (u *. log (float_of_int max))) in
+  min max (Stdlib.max 1 v)
+
+let zipf_lengths st ~count ~max_len = Array.init count (fun _ -> zipf st ~max:max_len)
+
+let words =
+  [| "data"; "index"; "query"; "search"; "page"; "user"; "click"; "shop"; "cart"; "item";
+     "view"; "list"; "home"; "blog"; "post"; "news"; "wiki"; "docs"; "api"; "help" |]
+
+let url_log st ~count =
+  Array.init count (fun _ ->
+      let host = words.(Random.State.int st (Array.length words)) in
+      let tld = [| "com"; "org"; "net"; "io" |].(Random.State.int st 4) in
+      let depth = 1 + Random.State.int st 3 in
+      let path =
+        String.concat "/"
+          (List.init depth (fun _ ->
+               words.(Random.State.int st (Array.length words))
+               ^ string_of_int (Random.State.int st 100)))
+      in
+      Printf.sprintf "https://www.%s.%s/%s" host tld path)
+
+let english_like st ~len =
+  let buf = Buffer.create len in
+  while Buffer.length buf < len do
+    Buffer.add_string buf words.(Random.State.int st (Array.length words));
+    Buffer.add_char buf ' '
+  done;
+  String.sub (Buffer.contents buf) 0 len
+
+(* A corpus: [count] documents with the given length distribution and
+   symbol source. *)
+let corpus st ~count ~avg_len ~kind =
+  let gen_one len =
+    match kind with
+    | `Uniform sigma -> uniform st ~sigma ~len
+    | `Markov (sigma, skew) -> markov st ~sigma ~len ~skew
+    | `English -> english_like st ~len
+  in
+  Array.init count (fun _ ->
+      let len = Stdlib.max 1 (zipf st ~max:(2 * avg_len)) in
+      gen_one len)
+
+(* A pattern that occurs in the corpus: a random substring of a random
+   document (guaranteed hits); [miss] instead gives a pattern unlikely to
+   occur. *)
+let planted_pattern st (docs : string array) ~len =
+  let candidates = Array.to_list (Array.map (fun d -> String.length d >= len) docs) in
+  if not (List.mem true candidates) then None
+  else begin
+    let rec pick () =
+      let d = docs.(Random.State.int st (Array.length docs)) in
+      if String.length d < len then pick ()
+      else
+        let off = Random.State.int st (String.length d - len + 1) in
+        String.sub d off len
+    in
+    Some (pick ())
+  end
+
+let miss_pattern ~len = String.make len 'Z'

@@ -1,0 +1,45 @@
+(** Synthetic document generators with controllable statistics. The
+    paper has no datasets; benches use these (Markov text for Hk < H0,
+    Zipf document lengths, URL-shaped strings for the search-log
+    motivation). All deterministic given the seed. *)
+
+type rng = Random.State.t
+
+val rng : int -> rng
+
+(** i.i.d. symbols over ['a'..'a'+sigma); H0 = log2 sigma. *)
+val uniform : rng -> sigma:int -> len:int -> string
+
+(** Order-1 Markov chain with a skewed favourite transition: higher
+    [skew] lowers H1 below H0. *)
+val markov : rng -> sigma:int -> len:int -> skew:float -> string
+
+(** Zipf-ish value in [1, max] (P(v) ~ 1/v). *)
+val zipf : rng -> max:int -> int
+
+val zipf_lengths : rng -> count:int -> max_len:int -> int array
+
+(** Small word vocabulary used by [english_like] and [url_log]. *)
+val words : string array
+
+(** Synthetic https URLs. *)
+val url_log : rng -> count:int -> string array
+
+(** Space-separated words from a small vocabulary. *)
+val english_like : rng -> len:int -> string
+
+(** [corpus st ~count ~avg_len ~kind] draws [count] documents with
+    Zipf-distributed lengths. *)
+val corpus :
+  rng ->
+  count:int ->
+  avg_len:int ->
+  kind:[ `Uniform of int | `Markov of int * float | `English ] ->
+  string array
+
+(** A pattern guaranteed to occur (a random substring of a random
+    document); [None] if every document is shorter than [len]. *)
+val planted_pattern : rng -> string array -> len:int -> string option
+
+(** A pattern that cannot occur in generated corpora. *)
+val miss_pattern : len:int -> string

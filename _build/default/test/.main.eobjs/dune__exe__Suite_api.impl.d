@@ -1,0 +1,1 @@
+test/suite_api.ml: Alcotest Char Dsdg_core Dynamic_index Hashtbl List Printf Random String

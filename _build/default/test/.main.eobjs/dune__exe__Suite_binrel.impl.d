@@ -1,0 +1,1 @@
+test/suite_binrel.ml: Alcotest Digraph Dsdg_binrel Dyn_binrel Hashtbl List QCheck QCheck_alcotest Random Static_binrel Triple_store

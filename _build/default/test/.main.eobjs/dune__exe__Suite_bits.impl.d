@@ -1,0 +1,1 @@
+test/suite_bits.ml: Alcotest Array Bitvec Dsdg_bits Elias_fano Gen Int_vec List Popcount Printf QCheck QCheck_alcotest Random Rank_select

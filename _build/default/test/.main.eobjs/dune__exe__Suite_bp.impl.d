@@ -1,0 +1,1 @@
+test/suite_bp.ml: Alcotest Array Balanced_parens Buffer Char Cst Dsdg_bp Dsdg_fm Gen List Printf QCheck QCheck_alcotest Random String

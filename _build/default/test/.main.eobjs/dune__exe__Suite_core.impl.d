@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Array Char Csa_static Dsdg_core Fm_static Gen Hashtbl List Printf QCheck QCheck_alcotest Random Sa_static Semi_static String Transform1

@@ -1,0 +1,1 @@
+test/suite_delbits.ml: Alcotest Array Bitvec Dsdg_bits Dsdg_delbits Dsdg_incr Dsdg_sa Fenwick Fun Incremental List QCheck QCheck_alcotest Reporter Sais

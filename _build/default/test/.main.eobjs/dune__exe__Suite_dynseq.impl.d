@@ -1,0 +1,1 @@
+test/suite_dynseq.ml: Alcotest Array Char Dsdg_dynseq Dyn_bitvec Dyn_fm Dyn_wavelet Hashtbl List Printf QCheck QCheck_alcotest Random String

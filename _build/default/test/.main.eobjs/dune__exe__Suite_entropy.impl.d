@@ -1,0 +1,1 @@
+test/suite_entropy.ml: Alcotest Dsdg_entropy Entropy Gen Hashtbl List QCheck QCheck_alcotest String

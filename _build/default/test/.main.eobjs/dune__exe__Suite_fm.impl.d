@@ -1,0 +1,1 @@
+test/suite_fm.ml: Alcotest Array Char Dsdg_fm Fm_index Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_gst.ml: Alcotest Char Dsdg_gst Gen Gsuffix_tree Hashtbl List Printf QCheck QCheck_alcotest String

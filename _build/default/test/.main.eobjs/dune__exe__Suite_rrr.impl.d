@@ -1,0 +1,1 @@
+test/suite_rrr.ml: Alcotest Bitvec Dsdg_bits Gen List Printf QCheck QCheck_alcotest Random Rank_select Rrr

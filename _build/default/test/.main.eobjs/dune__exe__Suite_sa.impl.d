@@ -1,0 +1,1 @@
+test/suite_sa.ml: Alcotest Array Bwt Char Dsdg_sa Gen Lcp List Printf QCheck QCheck_alcotest Random Sais String

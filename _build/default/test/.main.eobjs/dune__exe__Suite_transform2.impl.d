@@ -1,0 +1,1 @@
+test/suite_transform2.ml: Alcotest Char Dsdg_core Fm_static Hashtbl List Printf QCheck QCheck_alcotest Random String Transform2

@@ -1,0 +1,1 @@
+test/suite_wavelet.ml: Alcotest Alphabet_partition Array Dsdg_wavelet Gen Huffman Huffman_wavelet List Printf QCheck QCheck_alcotest Random Wavelet_tree

@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Array Dsdg_entropy Dsdg_workload Entropy Graph_gen Hashtbl List Printf QCheck QCheck_alcotest Query_gen Random String Text_gen

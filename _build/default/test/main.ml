@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "dsdg"
+    [ ("bits", Suite_bits.suite);
+      ("entropy", Suite_entropy.suite);
+      ("sa", Suite_sa.suite);
+      ("wavelet", Suite_wavelet.suite);
+      ("fm", Suite_fm.suite);
+      ("gst", Suite_gst.suite);
+      ("delbits", Suite_delbits.suite);
+      ("core", Suite_core.suite);
+      ("transform2", Suite_transform2.suite);
+      ("dynseq", Suite_dynseq.suite);
+      ("binrel", Suite_binrel.suite);
+      ("workload", Suite_workload.suite);
+      ("api", Suite_api.suite);
+      ("rrr", Suite_rrr.suite);
+      ("bp", Suite_bp.suite) ]

@@ -1,0 +1,94 @@
+(* Tests for the public Dynamic_index API: every variant x backend
+   combination must behave identically on the same operation stream. *)
+
+open Dsdg_core
+
+let check = Alcotest.(check int)
+
+let all_configs =
+  [ (Dynamic_index.Amortized, Dynamic_index.Fm, "t1/fm");
+    (Dynamic_index.Amortized, Dynamic_index.Plain_sa, "t1/sa");
+    (Dynamic_index.Amortized_loglog, Dynamic_index.Fm, "t3/fm");
+    (Dynamic_index.Worst_case, Dynamic_index.Fm, "t2/fm");
+    (Dynamic_index.Worst_case, Dynamic_index.Plain_sa, "t2/sa");
+    (Dynamic_index.Amortized, Dynamic_index.Csa, "t1/csa");
+    (Dynamic_index.Worst_case, Dynamic_index.Csa, "t2/csa") ]
+
+let naive_search (docs : (int * string) list) (p : string) : (int * int) list =
+  let res = ref [] in
+  let pl = String.length p in
+  List.iter
+    (fun (d, str) ->
+      for off = 0 to String.length str - pl do
+        if String.sub str off pl = p then res := (d, off) :: !res
+      done)
+    docs;
+  List.sort compare !res
+
+let battery (variant, backend, name) () =
+  let idx = Dynamic_index.create ~variant ~backend ~sample:2 ~tau:4 () in
+  Alcotest.(check bool) (name ^ " describe nonempty") true (String.length (Dynamic_index.describe idx) > 0);
+  let st = Random.State.make [| 1234 |] in
+  let model = Hashtbl.create 32 in
+  for step = 1 to 80 do
+    if Random.State.float st 1.0 < 0.65 || Hashtbl.length model = 0 then begin
+      let len = Random.State.int st 50 in
+      let text = String.init len (fun _ -> Char.chr (97 + Random.State.int st 3)) in
+      let id = Dynamic_index.insert idx text in
+      Alcotest.(check bool) (name ^ " fresh id") false (Hashtbl.mem model id);
+      Hashtbl.replace model id text
+    end
+    else begin
+      let ids = Hashtbl.fold (fun d _ acc -> d :: acc) model [] in
+      let id = List.nth ids (Random.State.int st (List.length ids)) in
+      Alcotest.(check bool) (name ^ " delete") true (Dynamic_index.delete idx id);
+      Hashtbl.remove model id
+    end;
+    if step mod 16 = 0 then begin
+      let live = Hashtbl.fold (fun d s acc -> (d, s) :: acc) model [] in
+      List.iter
+        (fun p ->
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "%s step %d %s" name step p)
+            (naive_search live p) (Dynamic_index.search idx p);
+          check (Printf.sprintf "%s count %s" name p) (List.length (naive_search live p))
+            (Dynamic_index.count idx p))
+        [ "a"; "ab"; "ba" ]
+    end
+  done;
+  check (name ^ " doc_count") (Hashtbl.length model) (Dynamic_index.doc_count idx);
+  Hashtbl.iter
+    (fun id text ->
+      Alcotest.(check bool) (name ^ " mem") true (Dynamic_index.mem idx id);
+      Alcotest.(check (option string)) (name ^ " extract") (Some text)
+        (Dynamic_index.extract idx ~doc:id ~off:0 ~len:(String.length text)))
+    model;
+  Alcotest.(check bool) (name ^ " space positive") true
+    (Dynamic_index.doc_count idx = 0 || Dynamic_index.space_bits idx > 0)
+
+let test_iter_matches () =
+  let idx = Dynamic_index.create () in
+  let id = Dynamic_index.insert idx "abcabc" in
+  let acc = ref [] in
+  Dynamic_index.iter_matches idx "abc" ~f:(fun ~doc ~off -> acc := (doc, off) :: !acc);
+  Alcotest.(check (list (pair int int))) "iter" [ (id, 0); (id, 3) ] (List.sort compare !acc)
+
+let test_delete_unknown () =
+  let idx = Dynamic_index.create () in
+  Alcotest.(check bool) "delete unknown" false (Dynamic_index.delete idx 42);
+  Alcotest.(check bool) "mem unknown" false (Dynamic_index.mem idx 42)
+
+let test_unicode_bytes () =
+  (* the index is byte-oriented: any byte except none is fine *)
+  let idx = Dynamic_index.create () in
+  let text = "caf\xc3\xa9 na\xc3\xafve" in
+  let id = Dynamic_index.insert idx text in
+  check "count byte seq" 2 (Dynamic_index.count idx "\xc3\xa9" + Dynamic_index.count idx "\xc3\xaf");
+  Alcotest.(check (option string)) "extract roundtrip" (Some text)
+    (Dynamic_index.extract idx ~doc:id ~off:0 ~len:(String.length text))
+
+let suite =
+  List.map (fun cfg -> (let _, _, n = cfg in n ^ " churn battery"), `Quick, battery cfg) all_configs
+  @ [ ("iter_matches", `Quick, test_iter_matches);
+      ("delete unknown", `Quick, test_delete_unknown);
+      ("unicode bytes", `Quick, test_unicode_bytes) ]

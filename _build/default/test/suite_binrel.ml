@@ -1,0 +1,253 @@
+(* Tests for dsdg_binrel: static deletion-only relation, fully-dynamic
+   relation, and the directed graph view -- against naive set models. *)
+
+open Dsdg_binrel
+
+let check = Alcotest.(check int)
+let check_l = Alcotest.(check (list int))
+
+(* --- Static_binrel --- *)
+
+let sample_pairs = [| (10, 1); (10, 3); (20, 1); (30, 2); (30, 1); (30, 3); (40, 7) |]
+
+let test_static_queries () =
+  let sb = Static_binrel.build ~tau:4 sample_pairs in
+  check "live" 7 (Static_binrel.live_pairs sb);
+  Alcotest.(check bool) "related 10 1" true (Static_binrel.related sb 10 1);
+  Alcotest.(check bool) "related 10 2" false (Static_binrel.related sb 10 2);
+  Alcotest.(check bool) "related 99 1" false (Static_binrel.related sb 99 1);
+  Alcotest.(check bool) "related 10 99" false (Static_binrel.related sb 10 99);
+  let labs o =
+    let acc = ref [] in
+    Static_binrel.labels_of_object sb o ~f:(fun a -> acc := a :: !acc);
+    List.sort compare !acc
+  in
+  let objs a =
+    let acc = ref [] in
+    Static_binrel.objects_of_label sb a ~f:(fun o -> acc := o :: !acc);
+    List.sort compare !acc
+  in
+  check_l "labels 10" [ 1; 3 ] (labs 10);
+  check_l "labels 30" [ 1; 2; 3 ] (labs 30);
+  check_l "labels 40" [ 7 ] (labs 40);
+  check_l "labels 99" [] (labs 99);
+  check_l "objects 1" [ 10; 20; 30 ] (objs 1);
+  check_l "objects 3" [ 10; 30 ] (objs 3);
+  check_l "objects 7" [ 40 ] (objs 7);
+  check_l "objects 9" [] (objs 9);
+  check "count labels 30" 3 (Static_binrel.count_labels_of_object sb 30);
+  check "count objects 1" 3 (Static_binrel.count_objects_of_label sb 1)
+
+let test_static_delete () =
+  let sb = Static_binrel.build ~tau:4 sample_pairs in
+  Alcotest.(check bool) "delete" true (Static_binrel.delete sb 30 1);
+  Alcotest.(check bool) "delete twice" false (Static_binrel.delete sb 30 1);
+  Alcotest.(check bool) "related gone" false (Static_binrel.related sb 30 1);
+  Alcotest.(check bool) "sibling intact" true (Static_binrel.related sb 30 2);
+  check "count labels 30" 2 (Static_binrel.count_labels_of_object sb 30);
+  check "count objects 1" 2 (Static_binrel.count_objects_of_label sb 1);
+  let objs1 = ref [] in
+  Static_binrel.objects_of_label sb 1 ~f:(fun o -> objs1 := o :: !objs1);
+  check_l "objects 1 after" [ 10; 20 ] (List.sort compare !objs1);
+  (* purge accounting *)
+  ignore (Static_binrel.delete sb 10 1);
+  Alcotest.(check bool) "needs purge at 2/7 dead (tau=4)" true (Static_binrel.needs_purge sb);
+  Alcotest.(check (list (pair int int))) "live list"
+    [ (10, 3); (20, 1); (30, 2); (30, 3); (40, 7) ]
+    (List.sort compare (Static_binrel.live_pairs_list sb))
+
+let test_static_duplicate_rejected () =
+  Alcotest.check_raises "dup" (Invalid_argument "Static_binrel.build: duplicate pair") (fun () ->
+      ignore (Static_binrel.build ~tau:4 [| (1, 2); (1, 2) |]))
+
+(* --- Dyn_binrel under churn --- *)
+
+let naive_labels model o = List.sort compare (List.filter_map (fun (o', a) -> if o' = o then Some a else None) model)
+let naive_objects model a = List.sort compare (List.filter_map (fun (o, a') -> if a' = a then Some o else None) model)
+
+let test_dyn_basic () =
+  let r = Dyn_binrel.create ~tau:4 () in
+  Alcotest.(check bool) "add" true (Dyn_binrel.add r 5 100);
+  Alcotest.(check bool) "add dup" false (Dyn_binrel.add r 5 100);
+  Alcotest.(check bool) "related" true (Dyn_binrel.related r 5 100);
+  Alcotest.(check bool) "remove" true (Dyn_binrel.remove r 5 100);
+  Alcotest.(check bool) "remove again" false (Dyn_binrel.remove r 5 100);
+  Alcotest.(check bool) "not related" false (Dyn_binrel.related r 5 100);
+  check "live" 0 (Dyn_binrel.live_pairs r)
+
+let test_dyn_cascade () =
+  (* enough inserts to overflow C0 and cascade into static structures *)
+  let r = Dyn_binrel.create ~tau:4 () in
+  for o = 0 to 99 do
+    for a = 0 to 9 do
+      ignore (Dyn_binrel.add r o ((o + a) mod 37))
+    done
+  done;
+  Alcotest.(check bool) "merges happened" true ((Dyn_binrel.stats r).Dyn_binrel.merges > 0);
+  check "labels of 50" 10 (Dyn_binrel.count_labels_of_object r 50);
+  check_l "labels of 0" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (Dyn_binrel.labels_of_object_list r 0)
+
+let prop_dyn_matches_model =
+  QCheck.Test.make ~name:"dyn_binrel matches naive model under churn" ~count:30
+    QCheck.(pair (int_bound 10000) (int_range 50 400))
+    (fun (seed, ops) ->
+      let st = Random.State.make [| seed; 41 |] in
+      let r = Dyn_binrel.create ~tau:4 () in
+      let model = ref [] in
+      for _ = 1 to ops do
+        let o = Random.State.int st 20 and a = Random.State.int st 15 in
+        if Random.State.float st 1.0 < 0.65 then begin
+          let added = Dyn_binrel.add r o a in
+          let expected = not (List.mem (o, a) !model) in
+          if added <> expected then failwith "add mismatch";
+          if added then model := (o, a) :: !model
+        end
+        else begin
+          let removed = Dyn_binrel.remove r o a in
+          let expected = List.mem (o, a) !model in
+          if removed <> expected then failwith "remove mismatch";
+          if removed then model := List.filter (fun p -> p <> (o, a)) !model
+        end
+      done;
+      let ok = ref (Dyn_binrel.live_pairs r = List.length !model) in
+      for o = 0 to 19 do
+        if Dyn_binrel.labels_of_object_list r o <> naive_labels !model o then ok := false;
+        if Dyn_binrel.count_labels_of_object r o <> List.length (naive_labels !model o) then ok := false
+      done;
+      for a = 0 to 14 do
+        if Dyn_binrel.objects_of_label_list r a <> naive_objects !model a then ok := false;
+        if Dyn_binrel.count_objects_of_label r a <> List.length (naive_objects !model a) then ok := false
+      done;
+      !ok)
+
+(* --- Digraph --- *)
+
+let test_graph_basic () =
+  let g = Digraph.create ~tau:4 () in
+  Alcotest.(check bool) "add" true (Digraph.add_edge g 1 2);
+  ignore (Digraph.add_edge g 1 3);
+  ignore (Digraph.add_edge g 2 3);
+  ignore (Digraph.add_edge g 3 1);
+  check "edges" 4 (Digraph.edge_count g);
+  check_l "succ 1" [ 2; 3 ] (Digraph.successors g 1);
+  check_l "pred 3" [ 1; 2 ] (Digraph.predecessors g 3);
+  check "out 1" 2 (Digraph.out_degree g 1);
+  check "in 3" 2 (Digraph.in_degree g 3);
+  Alcotest.(check bool) "mem" true (Digraph.mem_edge g 2 3);
+  Alcotest.(check bool) "not mem" false (Digraph.mem_edge g 3 2);
+  ignore (Digraph.remove_edge g 1 3);
+  check_l "succ 1 after" [ 2 ] (Digraph.successors g 1);
+  check_l "pred 3 after" [ 2 ] (Digraph.predecessors g 3)
+
+let test_graph_self_loops_and_churn () =
+  let g = Digraph.create ~tau:4 () in
+  for u = 0 to 30 do
+    ignore (Digraph.add_edge g u u);
+    ignore (Digraph.add_edge g u ((u + 1) mod 31))
+  done;
+  Alcotest.(check bool) "self loop" true (Digraph.mem_edge g 5 5);
+  check "out 5" 2 (Digraph.out_degree g 5);
+  ignore (Digraph.remove_edge g 5 5);
+  Alcotest.(check bool) "self loop gone" false (Digraph.mem_edge g 5 5);
+  check "out 5 after" 1 (Digraph.out_degree g 5)
+
+let prop_graph_vs_model =
+  QCheck.Test.make ~name:"digraph matches edge-set model" ~count:30
+    QCheck.(pair (int_bound 10000) (int_range 50 300))
+    (fun (seed, ops) ->
+      let st = Random.State.make [| seed; 43 |] in
+      let g = Digraph.create ~tau:4 () in
+      let model = Hashtbl.create 64 in
+      for _ = 1 to ops do
+        let u = Random.State.int st 12 and v = Random.State.int st 12 in
+        if Random.State.float st 1.0 < 0.65 then begin
+          ignore (Digraph.add_edge g u v);
+          Hashtbl.replace model (u, v) ()
+        end
+        else begin
+          ignore (Digraph.remove_edge g u v);
+          Hashtbl.remove model (u, v)
+        end
+      done;
+      let ok = ref (Digraph.edge_count g = Hashtbl.length model) in
+      for u = 0 to 11 do
+        let succ = List.sort compare (Hashtbl.fold (fun (a, b) () acc -> if a = u then b :: acc else acc) model []) in
+        let pred = List.sort compare (Hashtbl.fold (fun (a, b) () acc -> if b = u then a :: acc else acc) model []) in
+        if Digraph.successors g u <> succ then ok := false;
+        if Digraph.predecessors g u <> pred then ok := false;
+        if Digraph.out_degree g u <> List.length succ then ok := false;
+        if Digraph.in_degree g u <> List.length pred then ok := false
+      done;
+      !ok)
+
+(* --- Triple_store --- *)
+
+let test_triples_basic () =
+  let ts = Triple_store.create ~tau:4 () in
+  Alcotest.(check bool) "add" true (Triple_store.add ts ~s:1 ~p:10 ~o:2);
+  Alcotest.(check bool) "dup" false (Triple_store.add ts ~s:1 ~p:10 ~o:2);
+  ignore (Triple_store.add ts ~s:1 ~p:10 ~o:3);
+  ignore (Triple_store.add ts ~s:1 ~p:11 ~o:2);
+  ignore (Triple_store.add ts ~s:4 ~p:10 ~o:2);
+  check "count" 4 (Triple_store.triple_count ts);
+  Alcotest.(check bool) "mem" true (Triple_store.mem ts ~s:1 ~p:10 ~o:3);
+  Alcotest.(check bool) "not mem" false (Triple_store.mem ts ~s:4 ~p:11 ~o:2);
+  Alcotest.(check (list (triple int int int))) "subject 1"
+    [ (1, 10, 2); (1, 10, 3); (1, 11, 2) ]
+    (List.sort compare (Triple_store.triples_with_subject ts 1));
+  Alcotest.(check (list (triple int int int))) "object 2"
+    [ (1, 10, 2); (1, 11, 2); (4, 10, 2) ]
+    (List.sort compare (Triple_store.triples_with_object ts 2));
+  Alcotest.(check (list (triple int int int))) "subject 1, pred 10"
+    [ (1, 10, 2); (1, 10, 3) ]
+    (List.sort compare (Triple_store.triples_with_subject_predicate ts 1 10));
+  check "count subject 1" 3 (Triple_store.count_with_subject ts 1);
+  check "count object 2" 3 (Triple_store.count_with_object ts 2);
+  check "count pred 10" 3 (Triple_store.count_with_predicate ts 10);
+  (* removal cleans up predicate links *)
+  Alcotest.(check bool) "remove" true (Triple_store.remove ts ~s:1 ~p:11 ~o:2);
+  check_l "preds of 1 after" [ 10 ] (Triple_store.predicates_of_subject ts 1);
+  Alcotest.(check bool) "remove gone" false (Triple_store.remove ts ~s:1 ~p:11 ~o:2)
+
+let prop_triples_vs_model =
+  QCheck.Test.make ~name:"triple store matches naive set model" ~count:25
+    QCheck.(pair (int_bound 10000) (int_range 50 250))
+    (fun (seed, ops) ->
+      let st = Random.State.make [| seed; 47 |] in
+      let ts = Triple_store.create ~tau:4 () in
+      let model = Hashtbl.create 64 in
+      for _ = 1 to ops do
+        let s = Random.State.int st 10 and p = Random.State.int st 4 and o = Random.State.int st 10 in
+        if Random.State.float st 1.0 < 0.65 then begin
+          ignore (Triple_store.add ts ~s ~p ~o);
+          Hashtbl.replace model (s, p, o) ()
+        end
+        else begin
+          ignore (Triple_store.remove ts ~s ~p ~o);
+          Hashtbl.remove model (s, p, o)
+        end
+      done;
+      let ok = ref (Triple_store.triple_count ts = Hashtbl.length model) in
+      for x = 0 to 9 do
+        let subj = List.sort compare (Hashtbl.fold (fun (s, p, o) () acc -> if s = x then (s, p, o) :: acc else acc) model []) in
+        let obj = List.sort compare (Hashtbl.fold (fun (s, p, o) () acc -> if o = x then (s, p, o) :: acc else acc) model []) in
+        if List.sort compare (Triple_store.triples_with_subject ts x) <> subj then ok := false;
+        if List.sort compare (Triple_store.triples_with_object ts x) <> obj then ok := false;
+        if Triple_store.count_with_subject ts x <> List.length subj then ok := false
+      done;
+      !ok)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_dyn_matches_model; prop_graph_vs_model; prop_triples_vs_model ]
+
+let suite =
+  [ ("static queries", `Quick, test_static_queries);
+    ("static delete", `Quick, test_static_delete);
+    ("static duplicate rejected", `Quick, test_static_duplicate_rejected);
+    ("dyn basic", `Quick, test_dyn_basic);
+    ("dyn cascade", `Quick, test_dyn_cascade);
+    ("graph basic", `Quick, test_graph_basic);
+    ("graph self loops", `Quick, test_graph_self_loops_and_churn);
+    ("triple store basic", `Quick, test_triples_basic) ]
+  @ qsuite

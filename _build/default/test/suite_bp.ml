@@ -1,0 +1,287 @@
+(* Tests for dsdg_bp: balanced parentheses (vs a naive matcher) and the
+   compressed suffix tree (structural invariants vs definitions). *)
+
+open Dsdg_bp
+
+let check = Alcotest.(check int)
+
+(* --- naive paren helpers --- *)
+
+let naive_match (s : string) =
+  (* position -> matching position *)
+  let n = String.length s in
+  let m = Array.make n (-1) in
+  let stack = ref [] in
+  String.iteri
+    (fun i ch ->
+      if ch = '(' then stack := i :: !stack
+      else
+        match !stack with
+        | j :: rest ->
+          m.(i) <- j;
+          m.(j) <- i;
+          stack := rest
+        | [] -> failwith "unbalanced")
+    s;
+  m
+
+let naive_excess s i =
+  let e = ref 0 in
+  for j = 0 to i do
+    e := !e + (if s.[j] = '(' then 1 else -1)
+  done;
+  !e
+
+(* random balanced string via random tree walk *)
+let random_balanced st n_pairs =
+  let buf = Buffer.create (2 * n_pairs) in
+  let opens = ref 0 and closes = ref 0 in
+  while !closes < n_pairs do
+    if
+      !opens < n_pairs
+      && (!opens = !closes || Random.State.float st 1.0 < 0.55)
+    then begin
+      Buffer.add_char buf '(';
+      incr opens
+    end
+    else begin
+      Buffer.add_char buf ')';
+      incr closes
+    end
+  done;
+  (* wrap in a root so enclose is defined for inner nodes *)
+  "(" ^ Buffer.contents buf ^ ")"
+
+let test_bp_basic () =
+  let s = "((()())(()))" in
+  let bp = Balanced_parens.of_string s in
+  let m = naive_match s in
+  for i = 0 to String.length s - 1 do
+    if s.[i] = '(' then check (Printf.sprintf "close %d" i) m.(i) (Balanced_parens.find_close bp i)
+    else check (Printf.sprintf "open %d" i) m.(i) (Balanced_parens.find_open bp i)
+  done;
+  (* enclose *)
+  Alcotest.(check (option int)) "enclose root" None (Balanced_parens.enclose bp 0);
+  Alcotest.(check (option int)) "enclose 1" (Some 0) (Balanced_parens.enclose bp 1);
+  Alcotest.(check (option int)) "enclose 2" (Some 1) (Balanced_parens.enclose bp 2)
+
+let test_bp_excess () =
+  let s = "(()(()))" in
+  let bp = Balanced_parens.of_string s in
+  for i = 0 to String.length s - 1 do
+    check (Printf.sprintf "excess %d" i) (naive_excess s i) (Balanced_parens.excess bp i)
+  done
+
+let prop_bp_matching =
+  QCheck.Test.make ~name:"bp find_close/find_open/enclose match naive" ~count:100
+    QCheck.(pair (int_bound 10000) (int_range 1 300))
+    (fun (seed, pairs) ->
+      let st = Random.State.make [| seed; 17 |] in
+      let s = random_balanced st pairs in
+      let bp = Balanced_parens.of_string s in
+      let m = naive_match s in
+      let ok = ref true in
+      String.iteri
+        (fun i ch ->
+          if ch = '(' then begin
+            if Balanced_parens.find_close bp i <> m.(i) then ok := false;
+            (* naive enclose: scan left for the nearest unmatched open *)
+            let rec up j depth =
+              if j < 0 then None
+              else if s.[j] = ')' then up (j - 1) (depth + 1)
+              else if depth > 0 then up (j - 1) (depth - 1)
+              else Some j
+            in
+            if Balanced_parens.enclose bp i <> up (i - 1) 0 then ok := false
+          end
+          else if Balanced_parens.find_open bp i <> m.(i) then ok := false)
+        s;
+      !ok)
+
+let prop_bp_rmq =
+  QCheck.Test.make ~name:"bp rmq matches naive excess minimum" ~count:100
+    QCheck.(triple (int_bound 10000) (int_range 1 200) (pair (int_bound 500) (int_bound 500)))
+    (fun (seed, pairs, (a, b)) ->
+      let st = Random.State.make [| seed; 19 |] in
+      let s = random_balanced st pairs in
+      let n = String.length s in
+      let bp = Balanced_parens.of_string s in
+      let i = min (a mod n) (b mod n) and j = max (a mod n) (b mod n) in
+      let naive_pos = ref i and naive_min = ref (naive_excess s i) in
+      for p = i to j do
+        let e = naive_excess s p in
+        if e < !naive_min then begin
+          naive_min := e;
+          naive_pos := p
+        end
+      done;
+      Balanced_parens.rmq bp i j = !naive_pos)
+
+(* --- CST --- *)
+
+let test_cst_banana () =
+  let cst = Cst.build_string "banana" in
+  check "leaves" 6 (Cst.leaf_count cst);
+  let root = Cst.root cst in
+  let l, r = Cst.sa_interval cst root in
+  check "root interval lo" 0 l;
+  check "root interval hi" 6 r;
+  (* the "ana" node: suffixes ana, anana share prefix of length 3 *)
+  let leaf_ana = Cst.leaf cst 1 (* SA rank of "ana" *) in
+  let leaf_anana = Cst.leaf cst 2 in
+  let v = Cst.lca cst leaf_ana leaf_anana in
+  check "string_depth(lca(ana, anana))" 3 (Cst.string_depth cst v);
+  check "subtree leaves" 2 (Cst.subtree_leaves cst v);
+  (* the "a" node covers a, ana, anana *)
+  let leaf_a = Cst.leaf cst 0 in
+  let va = Cst.lca cst leaf_a leaf_anana in
+  check "string_depth(a-node)" 1 (Cst.string_depth cst va);
+  check "a-node leaves" 3 (Cst.subtree_leaves cst va)
+
+let test_cst_children_partition () =
+  let cst = Cst.build_string "mississippi" in
+  let rec visit v =
+    if not (Cst.is_leaf cst v) then begin
+      let l, r = Cst.sa_interval cst v in
+      let kids = Cst.children cst v in
+      Alcotest.(check bool) "at least 2 children" true (List.length kids >= 2);
+      (* children intervals partition the parent interval, in order *)
+      let cur = ref l in
+      List.iter
+        (fun c ->
+          let cl, cr = Cst.sa_interval cst c in
+          check "contiguous" !cur cl;
+          Alcotest.(check bool) "nonempty" true (cr > cl);
+          cur := cr;
+          (* parent pointer consistent *)
+          Alcotest.(check (option int)) "parent" (Some v) (Cst.parent cst c);
+          visit c)
+        kids;
+      check "covers" r !cur
+    end
+  in
+  visit (Cst.root cst)
+
+let test_cst_string_depth_prefix_property () =
+  (* every pair of suffixes below a node shares a prefix of length >=
+     string_depth, and some pair realizes it exactly *)
+  let text = "abracadabra" in
+  let cst = Cst.build_string text in
+  let n = String.length text in
+  let suffix k = String.sub text k (n - k) in
+  let common a b =
+    let rec go i = if i < String.length a && i < String.length b && a.[i] = b.[i] then go (i + 1) else i in
+    go 0
+  in
+  let rec visit v =
+    if not (Cst.is_leaf cst v) then begin
+      let l, r = Cst.sa_interval cst v in
+      let d = Cst.string_depth cst v in
+      let sa_of k = suffix (Cst.sa cst).(k) in
+      let m = ref max_int in
+      for i = l to r - 2 do
+        let c = common (sa_of i) (sa_of (i + 1)) in
+        if c < !m then m := c
+      done;
+      check (Printf.sprintf "depth at %d" v) !m d;
+      List.iter visit (Cst.children cst v)
+    end
+  in
+  visit (Cst.root cst)
+
+let prop_cst_lca =
+  QCheck.Test.make ~name:"cst lca agrees with parent-walk lca" ~count:60
+    QCheck.(pair (int_bound 10000) (string_of_size Gen.(2 -- 60)))
+    (fun (seed, raw) ->
+      QCheck.assume (String.length raw >= 2);
+      let text = String.map (fun c -> Char.chr (97 + (Char.code c mod 3))) raw in
+      let cst = Cst.build_string text in
+      let st = Random.State.make [| seed; 23 |] in
+      let n = Cst.leaf_count cst in
+      let ancestors v =
+        let rec go acc v = match Cst.parent cst v with None -> v :: acc | Some p -> go (v :: acc) p in
+        go [] v
+      in
+      let naive_lca u v =
+        let au = ancestors u and av = ancestors v in
+        let rec common last = function
+          | x :: xs, y :: ys when x = y -> common x (xs, ys)
+          | _ -> last
+        in
+        common (Cst.root cst) (au, av)
+      in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let u = Cst.leaf cst (Random.State.int st n) in
+        let v = Cst.leaf cst (Random.State.int st n) in
+        if Cst.lca cst u v <> naive_lca u v then ok := false
+      done;
+      !ok)
+
+(* cross-validation: descending the CST by a pattern must land on the
+   same suffix-array interval that the FM-index's backward search finds *)
+let prop_cst_locus_matches_fm =
+  QCheck.Test.make ~name:"cst pattern locus = fm-index range" ~count:60
+    QCheck.(triple (int_bound 10000) (string_of_size Gen.(3 -- 80)) (string_of_size Gen.(1 -- 4)))
+    (fun (seed, raw, p_raw) ->
+      QCheck.assume (String.length raw >= 3 && String.length p_raw >= 1);
+      ignore seed;
+      let text = String.map (fun c -> Char.chr (97 + (Char.code c mod 3))) raw in
+      let p = String.map (fun c -> Char.chr (97 + (Char.code c mod 3))) p_raw in
+      let cst = Cst.build_string text in
+      (* locus by explicit interval narrowing over the CST's suffix array *)
+      let sa = Cst.sa cst in
+      let n = String.length text in
+      let rec descend v matched =
+        if matched >= String.length p then Some v
+        else if Cst.is_leaf cst v then begin
+          (* compare the rest of the pattern against the single suffix *)
+          let l, _ = Cst.sa_interval cst v in
+          let suf = sa.(l) in
+          let rec cmp k =
+            if matched + k >= String.length p then Some v
+            else if suf + matched + k >= n then None
+            else if text.[suf + matched + k] = p.[matched + k] then cmp (k + 1)
+            else None
+          in
+          cmp 0
+        end
+        else begin
+          let d = min (Cst.string_depth cst v) (String.length p) in
+          (* verify the edge part up to d using any suffix below v *)
+          let l, _ = Cst.sa_interval cst v in
+          let suf = sa.(l) in
+          let rec edge_ok k = k >= d || (suf + k < n && text.[suf + k] = p.[k] && edge_ok (k + 1)) in
+          if not (edge_ok matched) then None
+          else if d >= String.length p then Some v
+          else begin
+            (* pick the child whose first letter at depth d matches *)
+            let rec pick = function
+              | [] -> None
+              | c :: rest ->
+                let cl, _ = Cst.sa_interval cst c in
+                if sa.(cl) + d < n && text.[sa.(cl) + d] = p.[d] then descend c d else pick rest
+            in
+            pick (Cst.children cst v)
+          end
+        end
+      in
+      let fm = Dsdg_fm.Fm_index.build ~sample:2 [| text |] in
+      let fm_count = Dsdg_fm.Fm_index.count fm p in
+      match descend (Cst.root cst) 0 with
+      | None -> fm_count = 0
+      | Some v ->
+        let l, r = Cst.sa_interval cst v in
+        r - l = fm_count)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_bp_matching; prop_bp_rmq; prop_cst_lca; prop_cst_locus_matches_fm ]
+
+let suite =
+  [ ("bp basic", `Quick, test_bp_basic);
+    ("bp excess", `Quick, test_bp_excess);
+    ("cst banana", `Quick, test_cst_banana);
+    ("cst children partition", `Quick, test_cst_children_partition);
+    ("cst string depth", `Quick, test_cst_string_depth_prefix_property) ]
+  @ qsuite

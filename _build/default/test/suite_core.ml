@@ -1,0 +1,277 @@
+(* Tests for dsdg_core: Sa_static, Semi_static, Transform1 (both
+   schedules) checked against a naive model under churn. *)
+
+open Dsdg_core
+
+let check = Alcotest.(check int)
+
+(* naive model: association list of live (id, text) *)
+let naive_search (docs : (int * string) list) (p : string) : (int * int) list =
+  let res = ref [] in
+  let pl = String.length p in
+  List.iter
+    (fun (d, str) ->
+      for off = 0 to String.length str - pl do
+        if String.sub str off pl = p then res := (d, off) :: !res
+      done)
+    docs;
+  List.sort compare !res
+
+(* --- Sa_static conformance --- *)
+
+let test_sa_static_basic () =
+  let docs = [| "banana"; "bandana"; "ananas" |] in
+  let idx = Sa_static.build ~sample:4 docs in
+  check "doc_count" 3 (Sa_static.doc_count idx);
+  List.iter
+    (fun p ->
+      let expected = naive_search (Array.to_list (Array.mapi (fun i s -> (i, s)) docs)) p in
+      match Sa_static.range idx p with
+      | None -> check ("none " ^ p) 0 (List.length expected)
+      | Some (sp, ep) ->
+        check ("width " ^ p) (List.length expected) (ep - sp);
+        let got = ref [] in
+        for row = sp to ep - 1 do
+          got := Sa_static.locate idx row :: !got
+        done;
+        Alcotest.(check (list (pair int int))) ("locs " ^ p) expected (List.sort compare !got))
+    [ "a"; "an"; "ana"; "ban"; "nd"; "s"; "zz"; "banana" ]
+
+let test_sa_static_extract () =
+  let idx = Sa_static.build ~sample:1 [| "hello world"; "foo" |] in
+  Alcotest.(check string) "extract" "world" (Sa_static.extract idx ~doc:0 ~off:6 ~len:5);
+  Alcotest.(check string) "extract2" "foo" (Sa_static.extract idx ~doc:1 ~off:0 ~len:3)
+
+let prop_sa_static_vs_fm =
+  let gen_doc = QCheck.Gen.(string_size ~gen:(map (fun i -> Char.chr (97 + i)) (int_bound 2)) (0 -- 30)) in
+  QCheck.Test.make ~name:"sa_static range width = fm count" ~count:150
+    QCheck.(pair (make Gen.(list_size (1 -- 5) gen_doc)) (string_of_size Gen.(1 -- 4)))
+    (fun (docs_l, p_raw) ->
+      QCheck.assume (String.length p_raw > 0);
+      let p = String.map (fun c -> Char.chr (97 + (Char.code c mod 3))) p_raw in
+      let docs = Array.of_list docs_l in
+      let sa = Sa_static.build ~sample:2 docs in
+      let fm = Fm_static.build ~sample:2 docs in
+      let w = function None -> 0 | Some (a, b) -> b - a in
+      w (Sa_static.range sa p) = w (Fm_static.range fm p))
+
+(* --- Csa_static conformance --- *)
+
+let test_csa_static_basic () =
+  let docs = [| "banana"; "bandana"; "ananas" |] in
+  let idx = Csa_static.build ~sample:3 docs in
+  Alcotest.(check int) "doc_count" 3 (Csa_static.doc_count idx);
+  List.iter
+    (fun p ->
+      let expected = naive_search (Array.to_list (Array.mapi (fun i s -> (i, s)) docs)) p in
+      match Csa_static.range idx p with
+      | None -> check ("none " ^ p) 0 (List.length expected)
+      | Some (sp, ep) ->
+        check ("width " ^ p) (List.length expected) (ep - sp);
+        let got = ref [] in
+        for row = sp to ep - 1 do
+          got := Csa_static.locate idx row :: !got
+        done;
+        Alcotest.(check (list (pair int int))) ("locs " ^ p) expected (List.sort compare !got))
+    [ "a"; "an"; "ana"; "ban"; "nd"; "s"; "zz"; "banana"; "ananas" ]
+
+let test_csa_static_extract () =
+  let idx = Csa_static.build ~sample:4 [| "hello world"; "compressed suffix array" |] in
+  Alcotest.(check string) "extract" "world" (Csa_static.extract idx ~doc:0 ~off:6 ~len:5);
+  Alcotest.(check string) "extract2" "suffix" (Csa_static.extract idx ~doc:1 ~off:11 ~len:6);
+  (* iter_doc_rows covers every suffix exactly once *)
+  let rows = ref [] in
+  Csa_static.iter_doc_rows idx 0 ~f:(fun r -> rows := r :: !rows);
+  check "rows" 12 (List.length (List.sort_uniq compare !rows))
+
+let prop_csa_vs_fm =
+  let gen_doc = QCheck.Gen.(string_size ~gen:(map (fun i -> Char.chr (97 + i)) (int_bound 2)) (0 -- 30)) in
+  QCheck.Test.make ~name:"csa range width = fm count" ~count:120
+    QCheck.(pair (make Gen.(list_size (1 -- 5) gen_doc)) (string_of_size Gen.(1 -- 4)))
+    (fun (docs_l, p_raw) ->
+      QCheck.assume (String.length p_raw > 0);
+      let p = String.map (fun c -> Char.chr (97 + (Char.code c mod 3))) p_raw in
+      let docs = Array.of_list docs_l in
+      let csa = Csa_static.build ~sample:2 docs in
+      let fm = Fm_static.build ~sample:2 docs in
+      let w = function None -> 0 | Some (a, b) -> b - a in
+      w (Csa_static.range csa p) = w (Fm_static.range fm p))
+
+(* --- Semi_static battery, shared across static indexes --- *)
+
+module SS_fm = Semi_static.Make (Fm_static)
+module SS_sa = Semi_static.Make (Sa_static)
+module SS_csa = Semi_static.Make (Csa_static)
+
+module type SEMI = sig
+  type t
+  val build : ?tick:(unit -> unit) -> sample:int -> tau:int -> (int * string) array -> t
+  val search : t -> string -> f:(doc:int -> off:int -> unit) -> unit
+  val count : t -> string -> int
+  val delete : t -> int -> bool
+  val mem : t -> int -> bool
+  val needs_purge : t -> bool
+  val live_docs : ?tick:(unit -> unit) -> t -> (int * string) list
+  val extract : t -> doc:int -> off:int -> len:int -> string option
+end
+
+let semi_static_battery (type a) (module M : SEMI with type t = a) name () =
+  let docs = [| (10, "banana"); (20, "bandana"); (30, "ananas"); (40, "band") |] in
+  let ss = M.build ~sample:2 ~tau:4 docs in
+  let live () = List.filter (fun (d, _) -> M.mem ss d) (Array.to_list docs) in
+  let matches p =
+    let acc = ref [] in
+    M.search ss p ~f:(fun ~doc ~off -> acc := (doc, off) :: !acc);
+    List.sort compare !acc
+  in
+  let verify p = Alcotest.(check (list (pair int int))) (name ^ " " ^ p) (naive_search (live ()) p) (matches p) in
+  List.iter verify [ "an"; "ana"; "band"; "na"; "s" ];
+  check (name ^ " count an") (List.length (naive_search (live ()) "an")) (M.count ss "an");
+  (* delete the middle doc *)
+  Alcotest.(check bool) (name ^ " delete") true (M.delete ss 20);
+  Alcotest.(check bool) (name ^ " delete twice") false (M.delete ss 20);
+  Alcotest.(check bool) (name ^ " mem") false (M.mem ss 20);
+  List.iter verify [ "an"; "ana"; "band"; "nd"; "d" ];
+  check (name ^ " count after") (List.length (naive_search (live ()) "an")) (M.count ss "an");
+  (* extraction respects liveness *)
+  Alcotest.(check (option string)) (name ^ " extract live") (Some "anan") (M.extract ss ~doc:30 ~off:0 ~len:4);
+  Alcotest.(check (option string)) (name ^ " extract dead") None (M.extract ss ~doc:20 ~off:0 ~len:3);
+  (* live_docs returns exactly the live set *)
+  Alcotest.(check (list (pair int string))) (name ^ " live_docs") (live ())
+    (List.sort compare (M.live_docs ss));
+  (* purge threshold: tau=4, deleting enough must trip it *)
+  ignore (M.delete ss 10);
+  ignore (M.delete ss 30);
+  Alcotest.(check bool) (name ^ " needs purge") true (M.needs_purge ss);
+  List.iter verify [ "an"; "band" ]
+
+let test_semi_static_fm = semi_static_battery (module SS_fm) "fm"
+let test_semi_static_sa = semi_static_battery (module SS_sa) "sa"
+let test_semi_static_csa = semi_static_battery (module SS_csa) "csa"
+
+(* --- Transform1 battery --- *)
+
+module T1 = Transform1.Make (Fm_static)
+
+let rand_doc st =
+  let n = Random.State.int st 40 in
+  String.init n (fun _ -> Char.chr (97 + Random.State.int st 3))
+
+(* Drive a Transform1 instance and a naive model through a random op
+   stream, checking search/count/extract agreement along the way. *)
+let churn_battery ?schedule ~ops ~seed name () =
+  let st = Random.State.make [| seed |] in
+  let t = T1.create ?schedule ~sample:2 ~tau:4 () in
+  let model : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let patterns = [ "a"; "ab"; "ba"; "abc"; "ca"; "bb" ] in
+  let verify step =
+    let live = Hashtbl.fold (fun d s acc -> (d, s) :: acc) model [] in
+    List.iter
+      (fun p ->
+        let expected = naive_search live p in
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "%s step %d search %s" name step p)
+          expected (T1.matches t p);
+        check (Printf.sprintf "%s step %d count %s" name step p) (List.length expected)
+          (T1.count t p))
+      patterns
+  in
+  for step = 1 to ops do
+    let roll = Random.State.float st 1.0 in
+    if roll < 0.6 || Hashtbl.length model = 0 then begin
+      let text = rand_doc st in
+      let id = T1.insert t text in
+      Hashtbl.replace model id text
+    end
+    else begin
+      (* delete a random live doc *)
+      let ids = Hashtbl.fold (fun d _ acc -> d :: acc) model [] in
+      let id = List.nth ids (Random.State.int st (List.length ids)) in
+      Alcotest.(check bool) (Printf.sprintf "%s delete %d" name id) true (T1.delete t id);
+      Hashtbl.remove model id
+    end;
+    if step mod 7 = 0 then verify step
+  done;
+  verify ops;
+  (* extraction of every live doc *)
+  Hashtbl.iter
+    (fun id text ->
+      Alcotest.(check (option string)) (Printf.sprintf "%s extract %d" name id) (Some text)
+        (T1.extract t ~doc:id ~off:0 ~len:(String.length text)))
+    model;
+  check (name ^ " doc_count") (Hashtbl.length model) (T1.doc_count t)
+
+let test_t1_geometric = churn_battery ~ops:120 ~seed:3 "t1-geo"
+let test_t1_doubling = churn_battery ~schedule:(Transform1.doubling ()) ~ops:120 ~seed:4 "t1-dbl"
+
+let test_t1_insert_only_growth () =
+  let t = T1.create ~sample:4 ~tau:8 () in
+  for i = 0 to 199 do
+    ignore (T1.insert t (Printf.sprintf "document-%d-padding-padding" i))
+  done;
+  check "doc_count" 200 (T1.doc_count t);
+  check "count document" 200 (T1.count t "document");
+  (* the census must show a geometric profile: at least two collections *)
+  Alcotest.(check bool) "census nonempty" true (List.length (T1.census t) >= 2);
+  let stats = T1.stats t in
+  Alcotest.(check bool) "merges happened" true (stats.Transform1.merges > 0)
+
+let test_t1_delete_everything () =
+  let t = T1.create ~sample:2 ~tau:4 () in
+  let ids = List.init 50 (fun i -> T1.insert t (Printf.sprintf "text number %d" i)) in
+  List.iter (fun id -> Alcotest.(check bool) "del" true (T1.delete t id)) ids;
+  check "empty" 0 (T1.doc_count t);
+  check "no matches" 0 (T1.count t "text");
+  Alcotest.(check bool) "delete missing" false (T1.delete t 999)
+
+let test_t1_large_doc_goes_high () =
+  let t = T1.create ~sample:4 ~tau:8 () in
+  ignore (T1.insert t (String.make 5000 'x'));
+  check "count x" 5000 (T1.count t "x");
+  ignore (T1.insert t "small");
+  check "count small" 1 (T1.count t "small")
+
+let prop_t1_vs_model =
+  QCheck.Test.make ~name:"transform1 agrees with model on random streams" ~count:25
+    QCheck.(pair (int_bound 1000) (int_range 20 60))
+    (fun (seed, ops) ->
+      let st = Random.State.make [| seed; 77 |] in
+      let t = T1.create ~sample:2 ~tau:4 () in
+      let model = Hashtbl.create 32 in
+      let ok = ref true in
+      for _ = 1 to ops do
+        if Random.State.float st 1.0 < 0.65 || Hashtbl.length model = 0 then begin
+          let text = rand_doc st in
+          let id = T1.insert t text in
+          Hashtbl.replace model id text
+        end
+        else begin
+          let ids = Hashtbl.fold (fun d _ acc -> d :: acc) model [] in
+          let id = List.nth ids (Random.State.int st (List.length ids)) in
+          ignore (T1.delete t id);
+          Hashtbl.remove model id
+        end
+      done;
+      let live = Hashtbl.fold (fun d s acc -> (d, s) :: acc) model [] in
+      List.iter
+        (fun p -> if T1.matches t p <> naive_search live p then ok := false)
+        [ "a"; "ab"; "ba"; "ca" ];
+      !ok)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_sa_static_vs_fm; prop_csa_vs_fm; prop_t1_vs_model ]
+
+let suite =
+  [ ("sa_static basic", `Quick, test_sa_static_basic);
+    ("sa_static extract", `Quick, test_sa_static_extract);
+    ("semi_static over fm", `Quick, test_semi_static_fm);
+    ("semi_static over sa", `Quick, test_semi_static_sa);
+    ("semi_static over csa", `Quick, test_semi_static_csa);
+    ("csa_static basic", `Quick, test_csa_static_basic);
+    ("csa_static extract", `Quick, test_csa_static_extract);
+    ("transform1 churn (geometric)", `Quick, test_t1_geometric);
+    ("transform1 churn (doubling)", `Quick, test_t1_doubling);
+    ("transform1 insert-only growth", `Quick, test_t1_insert_only_growth);
+    ("transform1 delete everything", `Quick, test_t1_delete_everything);
+    ("transform1 large doc", `Quick, test_t1_large_doc_goes_high) ]
+  @ qsuite

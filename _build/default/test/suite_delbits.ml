@@ -1,0 +1,258 @@
+(* Tests for dsdg_delbits (Reporter, Fenwick) and dsdg_incr (Incremental). *)
+
+open Dsdg_delbits
+open Dsdg_incr
+
+let check = Alcotest.(check int)
+
+(* --- Reporter --- *)
+
+let test_reporter_basic () =
+  let r = Reporter.create_full 200 in
+  check "ones" 200 (Reporter.ones r);
+  Reporter.zero r 5;
+  Reporter.zero r 100;
+  Reporter.zero r 199;
+  check "ones after" 197 (Reporter.ones r);
+  Alcotest.(check bool) "get 5" false (Reporter.get r 5);
+  Alcotest.(check bool) "get 6" true (Reporter.get r 6);
+  (* idempotent zero *)
+  Reporter.zero r 5;
+  check "idempotent" 197 (Reporter.ones r)
+
+let test_reporter_report_range () =
+  let r = Reporter.create_full 100 in
+  for i = 0 to 99 do
+    if i mod 3 <> 0 then Reporter.zero r i
+  done;
+  (* surviving: multiples of 3 *)
+  let got = ref [] in
+  Reporter.report r 10 50 (fun i -> got := i :: !got);
+  let expected = List.filter (fun i -> i >= 10 && i < 50) (List.init 34 (fun k -> 3 * k)) in
+  Alcotest.(check (list int)) "range" expected (List.rev !got)
+
+let test_reporter_next_one () =
+  let r = Reporter.create_full 500 in
+  for i = 0 to 499 do
+    if i <> 0 && i <> 250 && i <> 499 then Reporter.zero r i
+  done;
+  Alcotest.(check (option int)) "from 0" (Some 0) (Reporter.next_one r 0);
+  Alcotest.(check (option int)) "from 1" (Some 250) (Reporter.next_one r 1);
+  Alcotest.(check (option int)) "from 251" (Some 499) (Reporter.next_one r 251);
+  Alcotest.(check (option int)) "past end" None (Reporter.next_one r 500);
+  Reporter.zero r 499;
+  Alcotest.(check (option int)) "after zero" None (Reporter.next_one r 251)
+
+let test_reporter_empty_words () =
+  (* zero out whole aligned word regions; summaries must skip them fast *)
+  let r = Reporter.create_full 10000 in
+  for i = 0 to 9999 do
+    if i <> 9999 then Reporter.zero r i
+  done;
+  Alcotest.(check (option int)) "survivor" (Some 9999) (Reporter.next_one r 0);
+  check "ones" 1 (Reporter.ones r)
+
+let test_reporter_of_bitvec () =
+  let open Dsdg_bits in
+  let bv = Bitvec.of_bools [ true; false; true; true; false; false; true ] in
+  let r = Reporter.of_bitvec bv in
+  Alcotest.(check (list int)) "init" [ 0; 2; 3; 6 ] (Reporter.to_list r);
+  Reporter.zero r 3;
+  Alcotest.(check (list int)) "after zero" [ 0; 2; 6 ] (Reporter.to_list r)
+
+let prop_reporter_count_range =
+  QCheck.Test.make ~name:"reporter count_range matches naive" ~count:200
+    QCheck.(triple (int_range 1 500) (list (int_bound 499)) (pair (int_bound 520) (int_bound 520)))
+    (fun (n, zeros, (a, b)) ->
+      let r = Reporter.create_full n in
+      let alive = Array.make n true in
+      List.iter
+        (fun i ->
+          if i < n then begin
+            Reporter.zero r i;
+            alive.(i) <- false
+          end)
+        zeros;
+      let s = min a b and e = max a b in
+      let naive = ref 0 in
+      for i = max 0 s to min n (e + 1) - 1 do
+        if i < e && alive.(i) then incr naive
+      done;
+      Reporter.count_range r s e = !naive)
+
+let prop_reporter_vs_naive =
+  QCheck.Test.make ~name:"reporter report/next_one match naive set" ~count:200
+    QCheck.(pair (int_range 1 400) (list (int_bound 399)))
+    (fun (n, zeros) ->
+      let r = Reporter.create_full n in
+      let alive = Array.make n true in
+      List.iter
+        (fun i ->
+          if i < n then begin
+            Reporter.zero r i;
+            alive.(i) <- false
+          end)
+        zeros;
+      let naive = List.filter (fun i -> alive.(i)) (List.init n (fun i -> i)) in
+      let ok = ref (Reporter.to_list r = naive) in
+      (* next_one from a few positions *)
+      for p = 0 to min (n - 1) 50 do
+        let naive_next =
+          let rec go i = if i >= n then None else if alive.(i) then Some i else go (i + 1) in
+          go p
+        in
+        if Reporter.next_one r p <> naive_next then ok := false
+      done;
+      !ok)
+
+(* --- Fenwick --- *)
+
+let test_fenwick_basic () =
+  let f = Fenwick.create 10 in
+  Fenwick.add f 0 5;
+  Fenwick.add f 3 2;
+  Fenwick.add f 9 1;
+  check "prefix 0" 0 (Fenwick.prefix f 0);
+  check "prefix 1" 5 (Fenwick.prefix f 1);
+  check "prefix 4" 7 (Fenwick.prefix f 4);
+  check "total" 8 (Fenwick.total f);
+  check "range 1 10" 3 (Fenwick.range f 1 10);
+  Fenwick.add f 3 (-2);
+  check "after negative" 6 (Fenwick.total f)
+
+let test_fenwick_ones () =
+  let f = Fenwick.create_ones 100 in
+  check "total" 100 (Fenwick.total f);
+  check "prefix 37" 37 (Fenwick.prefix f 37);
+  Fenwick.add f 10 (-1);
+  check "range" 49 (Fenwick.range f 10 60)
+
+let prop_fenwick =
+  QCheck.Test.make ~name:"fenwick prefix sums match naive" ~count:200
+    QCheck.(pair (int_range 1 100) (list (pair (int_bound 99) (int_range (-5) 5))))
+    (fun (n, updates) ->
+      let f = Fenwick.create n in
+      let arr = Array.make n 0 in
+      List.iter
+        (fun (i, d) ->
+          if i < n then begin
+            Fenwick.add f i d;
+            arr.(i) <- arr.(i) + d
+          end)
+        updates;
+      let ok = ref true in
+      let acc = ref 0 in
+      for i = 0 to n do
+        if Fenwick.prefix f i <> !acc then ok := false;
+        if i < n then acc := !acc + arr.(i)
+      done;
+      !ok)
+
+(* --- Incremental --- *)
+
+let test_incremental_steps () =
+  (* a job that needs exactly 100 ticks *)
+  let job =
+    Incremental.create (fun tick ->
+        let acc = ref 0 in
+        for i = 1 to 100 do
+          tick ();
+          acc := !acc + i
+        done;
+        !acc)
+  in
+  Alcotest.(check bool) "not finished" false (Incremental.is_finished job);
+  (* 30 + 30 + 30 budgets: not yet done *)
+  let r1 = Incremental.step job ~budget:30 in
+  Alcotest.(check bool) "more 1" true (r1 = `More);
+  let r2 = Incremental.step job ~budget:30 in
+  Alcotest.(check bool) "more 2" true (r2 = `More);
+  let r3 = Incremental.step job ~budget:30 in
+  Alcotest.(check bool) "more 3" true (r3 = `More);
+  (match Incremental.step job ~budget:30 with
+  | `Done v -> check "sum" 5050 v
+  | `More -> Alcotest.fail "should be done");
+  check "spent" 100 (Incremental.work_spent job);
+  (* stepping a finished job returns its value *)
+  (match Incremental.step job ~budget:1 with
+  | `Done v -> check "again" 5050 v
+  | `More -> Alcotest.fail "finished job said More")
+
+let test_incremental_force () =
+  let job = Incremental.create (fun tick -> for _ = 1 to 1000 do tick () done; "done") in
+  ignore (Incremental.step job ~budget:10);
+  Alcotest.(check string) "force" "done" (Incremental.force job)
+
+let test_incremental_zero_work () =
+  let job = Incremental.create (fun _tick -> 42) in
+  (match Incremental.step job ~budget:1 with
+  | `Done v -> check "imm" 42 v
+  | `More -> Alcotest.fail "no ticks should finish immediately")
+
+let test_incremental_abandon () =
+  let cleanup = ref false in
+  let job =
+    Incremental.create (fun tick ->
+        Fun.protect ~finally:(fun () -> cleanup := true) (fun () ->
+            for _ = 1 to 1000 do tick () done;
+            0))
+  in
+  ignore (Incremental.step job ~budget:5);
+  Incremental.abandon job;
+  Alcotest.(check bool) "finalizer ran" true !cleanup;
+  Alcotest.check_raises "step after abandon" (Invalid_argument "Incremental.step: abandoned job")
+    (fun () -> ignore (Incremental.step job ~budget:1))
+
+let test_incremental_sais () =
+  (* a real builder run incrementally must give the same result *)
+  let open Dsdg_sa in
+  let s = Array.init 500 (fun i -> (i * 7) mod 5) in
+  let job = Incremental.create (fun tick -> Sais.suffix_array ~tick s) in
+  let steps = ref 0 in
+  let rec drive () =
+    match Incremental.step job ~budget:97 with
+    | `Done sa -> sa
+    | `More ->
+      incr steps;
+      drive ()
+  in
+  let sa = drive () in
+  Alcotest.(check bool) "many steps" true (!steps > 10);
+  Alcotest.(check (array int)) "same result" (Sais.naive s) sa
+
+let prop_incremental_budget_respected =
+  QCheck.Test.make ~name:"incremental: per-step work <= budget" ~count:50
+    QCheck.(pair (int_range 1 50) (int_range 51 500))
+    (fun (budget, work) ->
+      let job = Incremental.create (fun tick -> for _ = 1 to work do tick () done) in
+      let ok = ref true in
+      let rec drive () =
+        let before = Incremental.work_spent job in
+        match Incremental.step job ~budget with
+        | `Done () -> if Incremental.work_spent job - before > budget then ok := false
+        | `More ->
+          if Incremental.work_spent job - before > budget then ok := false;
+          drive ()
+      in
+      drive ();
+      !ok && Incremental.work_spent job = work)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_reporter_vs_naive; prop_reporter_count_range; prop_fenwick;
+      prop_incremental_budget_respected ]
+
+let suite =
+  [ ("reporter basic", `Quick, test_reporter_basic);
+    ("reporter report range", `Quick, test_reporter_report_range);
+    ("reporter next_one", `Quick, test_reporter_next_one);
+    ("reporter empty words", `Quick, test_reporter_empty_words);
+    ("reporter of_bitvec", `Quick, test_reporter_of_bitvec);
+    ("fenwick basic", `Quick, test_fenwick_basic);
+    ("fenwick ones", `Quick, test_fenwick_ones);
+    ("incremental steps", `Quick, test_incremental_steps);
+    ("incremental force", `Quick, test_incremental_force);
+    ("incremental zero work", `Quick, test_incremental_zero_work);
+    ("incremental abandon", `Quick, test_incremental_abandon);
+    ("incremental sais", `Quick, test_incremental_sais) ]
+  @ qsuite

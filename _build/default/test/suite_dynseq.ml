@@ -1,0 +1,244 @@
+(* Tests for dsdg_dynseq: dynamic bit vector, dynamic wavelet tree and
+   the baseline dynamic FM-index, all against naive models. *)
+
+open Dsdg_dynseq
+
+let check = Alcotest.(check int)
+
+(* --- Dyn_bitvec vs a naive bool list --- *)
+
+let test_dbv_push_and_get () =
+  let bv = Dyn_bitvec.create () in
+  for i = 0 to 999 do
+    Dyn_bitvec.push_back bv (i mod 3 = 0)
+  done;
+  check "len" 1000 (Dyn_bitvec.len bv);
+  check "ones" 334 (Dyn_bitvec.ones bv);
+  for i = 0 to 999 do
+    Alcotest.(check bool) (Printf.sprintf "get %d" i) (i mod 3 = 0) (Dyn_bitvec.get bv i)
+  done
+
+let test_dbv_insert_middle () =
+  let bv = Dyn_bitvec.create () in
+  (* build 0,1,0,1,... by always inserting at position 1 *)
+  Dyn_bitvec.push_back bv false;
+  for _ = 1 to 100 do
+    Dyn_bitvec.insert bv 1 true;
+    Dyn_bitvec.insert bv 1 false
+  done;
+  check "len" 201 (Dyn_bitvec.len bv);
+  check "ones" 100 (Dyn_bitvec.ones bv)
+
+let test_dbv_delete () =
+  let bv = Dyn_bitvec.create () in
+  for i = 0 to 499 do
+    Dyn_bitvec.push_back bv (i mod 2 = 0)
+  done;
+  (* delete all odd positions (the false bits), from the back *)
+  for i = 249 downto 0 do
+    Dyn_bitvec.delete bv ((2 * i) + 1)
+  done;
+  check "len" 250 (Dyn_bitvec.len bv);
+  check "ones" 250 (Dyn_bitvec.ones bv)
+
+let dbv_model_ops st n =
+  let bv = Dyn_bitvec.create () in
+  let model = ref [] in
+  let insert_at l i b =
+    let rec go l i = match (l, i) with xs, 0 -> b :: xs | x :: xs, i -> x :: go xs (i - 1) | [], _ -> [ b ] in
+    go l i
+  in
+  let delete_at l i =
+    let rec go l i = match (l, i) with _ :: xs, 0 -> xs | x :: xs, i -> x :: go xs (i - 1) | [], _ -> [] in
+    go l i
+  in
+  for _ = 1 to n do
+    let len = List.length !model in
+    if Random.State.float st 1.0 < 0.7 || len = 0 then begin
+      let pos = Random.State.int st (len + 1) in
+      let b = Random.State.bool st in
+      Dyn_bitvec.insert bv pos b;
+      model := insert_at !model pos b
+    end
+    else begin
+      let pos = Random.State.int st len in
+      Dyn_bitvec.delete bv pos;
+      model := delete_at !model pos
+    end
+  done;
+  (bv, !model)
+
+let prop_dbv_matches_model =
+  QCheck.Test.make ~name:"dyn_bitvec matches naive model under churn" ~count:60
+    QCheck.(pair (int_bound 10000) (int_range 50 600))
+    (fun (seed, ops) ->
+      let st = Random.State.make [| seed; 13 |] in
+      let bv, model = dbv_model_ops st ops in
+      let ok = ref (Dyn_bitvec.to_bools bv = model) in
+      (* rank at every position *)
+      let acc = ref 0 in
+      List.iteri
+        (fun i b ->
+          if Dyn_bitvec.rank1 bv i <> !acc then ok := false;
+          if b then incr acc)
+        model;
+      (* select of every one and zero *)
+      let ones = List.filteri (fun _ b -> b) model in
+      ignore ones;
+      let kth_pos which k =
+        let rec go i seen = function
+          | [] -> raise Not_found
+          | b :: rest -> if b = which then (if seen = k then i else go (i + 1) (seen + 1) rest) else go (i + 1) seen rest
+        in
+        go 0 0 model
+      in
+      (try
+         for k = 0 to Dyn_bitvec.ones bv - 1 do
+           if Dyn_bitvec.select1 bv k <> kth_pos true k then ok := false
+         done;
+         for k = 0 to Dyn_bitvec.zeros bv - 1 do
+           if Dyn_bitvec.select0 bv k <> kth_pos false k then ok := false
+         done
+       with Not_found -> ok := false);
+      !ok)
+
+(* --- Dyn_wavelet vs naive int list --- *)
+
+let prop_dwt_matches_model =
+  QCheck.Test.make ~name:"dyn_wavelet matches naive model under churn" ~count:50
+    QCheck.(triple (int_bound 10000) (int_range 2 17) (int_range 30 300))
+    (fun (seed, sigma, ops) ->
+      let st = Random.State.make [| seed; 29 |] in
+      let wt = Dyn_wavelet.create ~sigma in
+      let model = ref [||] in
+      for _ = 1 to ops do
+        let len = Array.length !model in
+        if Random.State.float st 1.0 < 0.7 || len = 0 then begin
+          let pos = Random.State.int st (len + 1) in
+          let sym = Random.State.int st sigma in
+          Dyn_wavelet.insert wt pos sym;
+          model := Array.concat [ Array.sub !model 0 pos; [| sym |]; Array.sub !model pos (len - pos) ]
+        end
+        else begin
+          let pos = Random.State.int st len in
+          Dyn_wavelet.delete wt pos;
+          model := Array.concat [ Array.sub !model 0 pos; Array.sub !model (pos + 1) (len - pos - 1) ]
+        end
+      done;
+      let a = !model in
+      let ok = ref (Dyn_wavelet.to_array wt = a) in
+      for c = 0 to sigma - 1 do
+        let cnt = ref 0 in
+        Array.iteri
+          (fun i x ->
+            if Dyn_wavelet.rank wt c i <> !cnt then ok := false;
+            if x = c then incr cnt)
+          a;
+        if Dyn_wavelet.rank wt c (Array.length a) <> !cnt then ok := false;
+        let seen = ref 0 in
+        Array.iteri
+          (fun i x ->
+            if x = c then begin
+              if Dyn_wavelet.select wt c !seen <> i then ok := false;
+              incr seen
+            end)
+          a
+      done;
+      !ok)
+
+(* --- Dyn_fm vs naive search --- *)
+
+let naive_count docs p =
+  let pl = String.length p in
+  Hashtbl.fold
+    (fun _ str acc ->
+      let c = ref 0 in
+      for off = 0 to String.length str - pl do
+        if String.sub str off pl = p then incr c
+      done;
+      acc + !c)
+    docs 0
+
+let naive_matches docs p =
+  let pl = String.length p in
+  let res = ref [] in
+  Hashtbl.iter
+    (fun d str ->
+      for off = 0 to String.length str - pl do
+        if String.sub str off pl = p then res := (d, off) :: !res
+      done)
+    docs;
+  List.sort compare !res
+
+let test_dynfm_basic () =
+  let fm = Dyn_fm.create () in
+  Dyn_fm.insert fm ~doc:0 "banana";
+  Dyn_fm.insert fm ~doc:1 "bandana";
+  Dyn_fm.insert fm ~doc:2 "ananas";
+  check "count ana" 5 (Dyn_fm.count fm "ana");
+  check "count ban" 2 (Dyn_fm.count fm "ban");
+  check "count zz" 0 (Dyn_fm.count fm "zz");
+  let docs = Hashtbl.create 4 in
+  Hashtbl.replace docs 0 "banana";
+  Hashtbl.replace docs 1 "bandana";
+  Hashtbl.replace docs 2 "ananas";
+  Alcotest.(check (list (pair int int))) "locate ana" (naive_matches docs "ana") (Dyn_fm.search fm "ana")
+
+let test_dynfm_delete () =
+  let fm = Dyn_fm.create () in
+  Dyn_fm.insert fm ~doc:0 "banana";
+  Dyn_fm.insert fm ~doc:1 "bandana";
+  Alcotest.(check bool) "delete" true (Dyn_fm.delete fm 0);
+  check "count ana after" 1 (Dyn_fm.count fm "ana");
+  check "count ban after" 1 (Dyn_fm.count fm "ban");
+  Alcotest.(check bool) "delete gone" false (Dyn_fm.delete fm 0);
+  Alcotest.(check bool) "delete other" true (Dyn_fm.delete fm 1);
+  check "empty" 0 (Dyn_fm.total_symbols fm)
+
+let test_dynfm_empty_doc () =
+  let fm = Dyn_fm.create () in
+  Dyn_fm.insert fm ~doc:7 "";
+  check "one symbol" 1 (Dyn_fm.total_symbols fm);
+  Alcotest.(check bool) "delete empty doc" true (Dyn_fm.delete fm 7);
+  check "zero" 0 (Dyn_fm.total_symbols fm)
+
+let prop_dynfm_matches_naive =
+  QCheck.Test.make ~name:"dyn_fm count+locate match naive under churn" ~count:40
+    QCheck.(pair (int_bound 10000) (int_range 10 40))
+    (fun (seed, ops) ->
+      let st = Random.State.make [| seed; 31 |] in
+      let fm = Dyn_fm.create () in
+      let docs = Hashtbl.create 16 in
+      let next = ref 0 in
+      for _ = 1 to ops do
+        if Random.State.float st 1.0 < 0.7 || Hashtbl.length docs = 0 then begin
+          let len = Random.State.int st 25 in
+          let text = String.init len (fun _ -> Char.chr (97 + Random.State.int st 3)) in
+          Dyn_fm.insert fm ~doc:!next text;
+          Hashtbl.replace docs !next text;
+          incr next
+        end
+        else begin
+          let ids = Hashtbl.fold (fun d _ acc -> d :: acc) docs [] in
+          let id = List.nth ids (Random.State.int st (List.length ids)) in
+          ignore (Dyn_fm.delete fm id);
+          Hashtbl.remove docs id
+        end
+      done;
+      List.for_all
+        (fun p ->
+          Dyn_fm.count fm p = naive_count docs p && Dyn_fm.search fm p = naive_matches docs p)
+        [ "a"; "b"; "ab"; "ba"; "ca"; "abc" ])
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_dbv_matches_model; prop_dwt_matches_model; prop_dynfm_matches_naive ]
+
+let suite =
+  [ ("dyn_bitvec push/get", `Quick, test_dbv_push_and_get);
+    ("dyn_bitvec insert middle", `Quick, test_dbv_insert_middle);
+    ("dyn_bitvec delete", `Quick, test_dbv_delete);
+    ("dyn_fm basic", `Quick, test_dynfm_basic);
+    ("dyn_fm delete", `Quick, test_dynfm_delete);
+    ("dyn_fm empty doc", `Quick, test_dynfm_empty_doc) ]
+  @ qsuite

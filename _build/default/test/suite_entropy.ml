@@ -1,0 +1,72 @@
+(* Tests for dsdg_entropy. *)
+
+open Dsdg_entropy
+
+let checkf msg a b = Alcotest.(check (float 1e-9)) msg a b
+
+let test_h0_uniform () =
+  (* two symbols, equal counts -> 1 bit/symbol *)
+  checkf "ab" 1.0 (Entropy.h0 "abababab");
+  (* four symbols uniform -> 2 bits *)
+  checkf "abcd" 2.0 (Entropy.h0 "abcdabcd")
+
+let test_h0_degenerate () =
+  checkf "constant" 0.0 (Entropy.h0 "aaaaaaa");
+  checkf "empty" 0.0 (Entropy.h0 "");
+  checkf "single" 0.0 (Entropy.h0 "x")
+
+let test_h0_skewed () =
+  (* p=3/4, 1/4 -> H = 0.811278... *)
+  let h = Entropy.h0 "aaab" in
+  Alcotest.(check (float 1e-6)) "skewed" 0.8112781244591328 h
+
+let test_hk_le_h0 () =
+  (* Hk <= H0 always; strict for structured text *)
+  let s = String.concat "" (List.init 50 (fun _ -> "abcabd")) in
+  let h0 = Entropy.h0 s in
+  let h1 = Entropy.hk ~k:1 s in
+  let h2 = Entropy.hk ~k:2 s in
+  Alcotest.(check bool) "h1<=h0" true (h1 <= h0 +. 0.02);
+  Alcotest.(check bool) "h2<=h1" true (h2 <= h1 +. 0.02);
+  Alcotest.(check bool) "h2 strictly smaller" true (h2 < h0)
+
+let test_hk_k0 () =
+  let s = "mississippi" in
+  checkf "k=0 is h0" (Entropy.h0 s) (Entropy.hk ~k:0 s)
+
+let test_h0_binary () =
+  checkf "balanced" 1.0 (Entropy.h0_binary ~ones:50 ~len:100);
+  checkf "all ones" 0.0 (Entropy.h0_binary ~ones:100 ~len:100);
+  checkf "none" 0.0 (Entropy.h0_binary ~ones:0 ~len:100)
+
+let prop_h0_bounds =
+  QCheck.Test.make ~name:"0 <= H0 <= log2 sigma" ~count:200
+    QCheck.(string_of_size Gen.(1 -- 500))
+    (fun s ->
+      let h = Entropy.h0 s in
+      let distinct =
+        let seen = Hashtbl.create 16 in
+        String.iter (fun c -> Hashtbl.replace seen c ()) s;
+        Hashtbl.length seen
+      in
+      h >= -1e-9 && h <= (log (float_of_int (max 1 distinct)) /. log 2.) +. 1e-9)
+
+let prop_hk_decreasing =
+  QCheck.Test.make ~name:"Hk is non-increasing in k" ~count:100
+    QCheck.(string_of_size Gen.(10 -- 300))
+    (fun s ->
+      let h0 = Entropy.hk ~k:0 s in
+      let h1 = Entropy.hk ~k:1 s in
+      let h2 = Entropy.hk ~k:2 s in
+      h1 <= h0 +. 0.02 && h2 <= h1 +. 0.02)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_h0_bounds; prop_hk_decreasing ]
+
+let suite =
+  [ ("h0 uniform", `Quick, test_h0_uniform);
+    ("h0 degenerate", `Quick, test_h0_degenerate);
+    ("h0 skewed", `Quick, test_h0_skewed);
+    ("hk <= h0", `Quick, test_hk_le_h0);
+    ("hk k=0", `Quick, test_hk_k0);
+    ("h0 binary", `Quick, test_h0_binary) ]
+  @ qsuite

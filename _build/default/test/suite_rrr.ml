@@ -1,0 +1,106 @@
+(* Tests for the RRR H0-compressed bit vector. *)
+
+open Dsdg_bits
+
+let check = Alcotest.(check int)
+
+let naive_rank1 bools i =
+  let acc = ref 0 in
+  List.iteri (fun j x -> if j < i && x then incr acc) bools;
+  !acc
+
+let naive_select bools which k =
+  let rec go j seen = function
+    | [] -> raise Not_found
+    | x :: rest ->
+      if x = which then if seen = k then j else go (j + 1) (seen + 1) rest
+      else go (j + 1) seen rest
+  in
+  go 0 0 bools
+
+let battery bools name =
+  let n = List.length bools in
+  let rrr = Rrr.of_bitvec (Bitvec.of_bools bools) in
+  check (name ^ " length") n (Rrr.length rrr);
+  check (name ^ " ones") (naive_rank1 bools n) (Rrr.ones rrr);
+  for i = 0 to n do
+    check (Printf.sprintf "%s rank1 %d" name i) (naive_rank1 bools i) (Rrr.rank1 rrr i)
+  done;
+  List.iteri
+    (fun i x -> Alcotest.(check bool) (Printf.sprintf "%s get %d" name i) x (Rrr.get rrr i))
+    bools;
+  for k = 0 to Rrr.ones rrr - 1 do
+    check (Printf.sprintf "%s select1 %d" name k) (naive_select bools true k) (Rrr.select1 rrr k)
+  done;
+  for k = 0 to Rrr.zeros rrr - 1 do
+    check (Printf.sprintf "%s select0 %d" name k) (naive_select bools false k) (Rrr.select0 rrr k)
+  done
+
+let test_small_patterns () =
+  battery [ true ] "one";
+  battery [ false ] "zero";
+  battery [ true; false; true; true; false ] "tiny";
+  battery (List.init 64 (fun i -> i mod 3 = 0)) "mod3";
+  battery (List.init 200 (fun _ -> true)) "all ones";
+  battery (List.init 200 (fun _ -> false)) "all zeros"
+
+let test_block_boundaries () =
+  (* lengths around the 15-bit block and 32-block superblock boundaries *)
+  List.iter
+    (fun n -> battery (List.init n (fun i -> i mod 7 < 2)) (Printf.sprintf "n=%d" n))
+    [ 14; 15; 16; 449; 450; 451; 480; 481 ]
+
+let test_compression_on_sparse () =
+  let n = 100_000 in
+  let bv = Bitvec.create n in
+  let st = Random.State.make [| 5 |] in
+  for _ = 1 to n / 100 do
+    Bitvec.set bv (Random.State.int st n)
+  done;
+  let rrr = Rrr.of_bitvec bv in
+  let plain = Rank_select.space_bits (Rank_select.build bv) in
+  let packed = Rrr.space_bits rrr in
+  Alcotest.(check bool)
+    (Printf.sprintf "rrr (%d) < 50%% of plain (%d) on 1%% density" packed plain)
+    true
+    (float_of_int packed < 0.5 *. float_of_int plain)
+
+let prop_rrr_vs_naive =
+  QCheck.Test.make ~name:"rrr matches naive rank/select" ~count:150
+    QCheck.(list_of_size Gen.(1 -- 400) bool)
+    (fun bools ->
+      let n = List.length bools in
+      let rrr = Rrr.of_bitvec (Bitvec.of_bools bools) in
+      let ok = ref true in
+      for i = 0 to n do
+        if Rrr.rank1 rrr i <> naive_rank1 bools i then ok := false
+      done;
+      for k = 0 to Rrr.ones rrr - 1 do
+        if Rrr.select1 rrr k <> naive_select bools true k then ok := false
+      done;
+      for k = 0 to Rrr.zeros rrr - 1 do
+        if Rrr.select0 rrr k <> naive_select bools false k then ok := false
+      done;
+      !ok)
+
+let prop_rrr_matches_rank_select =
+  QCheck.Test.make ~name:"rrr agrees with plain Rank_select" ~count:100
+    QCheck.(pair (int_range 1 2000) (int_range 1 99))
+    (fun (n, density) ->
+      let st = Random.State.make [| n; density |] in
+      let bv = Bitvec.init n (fun _ -> Random.State.int st 100 < density) in
+      let rrr = Rrr.of_bitvec bv in
+      let rs = Rank_select.build bv in
+      let ok = ref true in
+      for i = 0 to n do
+        if Rrr.rank1 rrr i <> Rank_select.rank1 rs i then ok := false
+      done;
+      !ok)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_rrr_vs_naive; prop_rrr_matches_rank_select ]
+
+let suite =
+  [ ("small patterns", `Quick, test_small_patterns);
+    ("block boundaries", `Quick, test_block_boundaries);
+    ("compression on sparse", `Quick, test_compression_on_sparse) ]
+  @ qsuite

@@ -1,0 +1,222 @@
+(* Tests for Transformation 2: worst-case dynamization with locked
+   copies, background incremental rebuilds, Temp indexes and top
+   collections -- checked against a naive model under heavy churn. *)
+
+open Dsdg_core
+
+module T2 = Transform2.Make (Fm_static)
+
+let check = Alcotest.(check int)
+
+let naive_search (docs : (int * string) list) (p : string) : (int * int) list =
+  let res = ref [] in
+  let pl = String.length p in
+  List.iter
+    (fun (d, str) ->
+      for off = 0 to String.length str - pl do
+        if String.sub str off pl = p then res := (d, off) :: !res
+      done)
+    docs;
+  List.sort compare !res
+
+let rand_doc st max_len =
+  let n = Random.State.int st max_len in
+  String.init n (fun _ -> Char.chr (97 + Random.State.int st 3))
+
+let test_insert_search () =
+  let t = T2.create ~sample:2 ~tau:4 () in
+  let model = Hashtbl.create 16 in
+  for i = 0 to 59 do
+    let text = Printf.sprintf "payload %d abc" i in
+    let id = T2.insert t text in
+    Hashtbl.replace model id text
+  done;
+  check "doc_count" 60 (T2.doc_count t);
+  let live = Hashtbl.fold (fun d s acc -> (d, s) :: acc) model [] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (list (pair int int))) ("search " ^ p) (naive_search live p) (T2.matches t p);
+      check ("count " ^ p) (List.length (naive_search live p)) (T2.count t p))
+    [ "payload"; "abc"; "5"; "1 abc"; "zz" ]
+
+let test_background_jobs_run () =
+  let t = T2.create ~sample:2 ~tau:4 ~work_factor:4 () in
+  for i = 0 to 299 do
+    ignore (T2.insert t (Printf.sprintf "document number %d with some padding text" i))
+  done;
+  let s = T2.stats t in
+  Alcotest.(check bool) "jobs started" true (s.Transform2.jobs_started > 0);
+  Alcotest.(check bool) "jobs completed" true (s.Transform2.jobs_completed > 0);
+  check "count document" 300 (T2.count t "document");
+  (* events were logged *)
+  Alcotest.(check bool) "events" true (List.length (T2.events t) > 0)
+
+let test_oversized_doc_becomes_top () =
+  let t = T2.create ~sample:4 ~tau:4 () in
+  (* make nf large enough to matter, then add a huge doc *)
+  for i = 0 to 49 do
+    ignore (T2.insert t (Printf.sprintf "filler doc %d" i))
+  done;
+  let big = String.make 4000 'q' in
+  ignore (T2.insert t big);
+  check "count q" 4000 (T2.count t "q");
+  let census = T2.census t in
+  Alcotest.(check bool) "some top exists" true
+    (List.exists (fun (name, _, _) -> String.length name > 0 && name.[0] = 'T') census)
+
+let test_delete_with_pending_jobs () =
+  (* documents deleted while a background rebuild is in flight must not
+     resurrect when the job lands *)
+  let t = T2.create ~sample:2 ~tau:4 ~work_factor:1 () in
+  let ids = ref [] in
+  for i = 0 to 199 do
+    ids := T2.insert t (Printf.sprintf "churn document %d" i) :: !ids
+  done;
+  (* delete half while jobs may be pending *)
+  let deleted = ref [] in
+  List.iteri
+    (fun i id ->
+      if i mod 2 = 0 then begin
+        Alcotest.(check bool) "delete ok" true (T2.delete t id);
+        deleted := id :: !deleted
+      end)
+    !ids;
+  (* force everything to settle by doing more work *)
+  for i = 0 to 49 do
+    ignore (T2.insert t (Printf.sprintf "settle %d" i))
+  done;
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (Printf.sprintf "doc %d stays dead" id) false (T2.mem t id))
+    !deleted;
+  check "count churn" 100 (T2.count t "churn document")
+
+let churn ~ops ~seed ~max_len () =
+  let st = Random.State.make [| seed |] in
+  let t = T2.create ~sample:2 ~tau:4 ~work_factor:4 () in
+  let model = Hashtbl.create 64 in
+  let patterns = [ "a"; "ab"; "ba"; "ca"; "bb" ] in
+  let verify step =
+    let live = Hashtbl.fold (fun d s acc -> (d, s) :: acc) model [] in
+    List.iter
+      (fun p ->
+        let expected = naive_search live p in
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "step %d search %s" step p)
+          expected (T2.matches t p);
+        check (Printf.sprintf "step %d count %s" step p) (List.length expected) (T2.count t p))
+      patterns
+  in
+  for step = 1 to ops do
+    let roll = Random.State.float st 1.0 in
+    if roll < 0.6 || Hashtbl.length model = 0 then begin
+      let text = rand_doc st max_len in
+      let id = T2.insert t text in
+      Hashtbl.replace model id text
+    end
+    else begin
+      let ids = Hashtbl.fold (fun d _ acc -> d :: acc) model [] in
+      let id = List.nth ids (Random.State.int st (List.length ids)) in
+      Alcotest.(check bool) (Printf.sprintf "delete %d" id) true (T2.delete t id);
+      Hashtbl.remove model id
+    end;
+    if step mod 9 = 0 then verify step
+  done;
+  verify ops;
+  Hashtbl.iter
+    (fun id text ->
+      Alcotest.(check (option string)) (Printf.sprintf "extract %d" id) (Some text)
+        (T2.extract t ~doc:id ~off:0 ~len:(String.length text)))
+    model;
+  check "doc_count" (Hashtbl.length model) (T2.doc_count t)
+
+let test_churn_small = churn ~ops:150 ~seed:5 ~max_len:30
+let test_churn_bigger_docs = churn ~ops:80 ~seed:6 ~max_len:200
+
+let test_delete_everything () =
+  let t = T2.create ~sample:2 ~tau:4 () in
+  let ids = List.init 80 (fun i -> T2.insert t (Printf.sprintf "erase me %d" i)) in
+  List.iter (fun id -> Alcotest.(check bool) "del" true (T2.delete t id)) ids;
+  check "empty" 0 (T2.doc_count t);
+  check "no matches" 0 (T2.count t "erase")
+
+let test_census_shape () =
+  let t = T2.create ~sample:4 ~tau:4 () in
+  for i = 0 to 499 do
+    ignore (T2.insert t (Printf.sprintf "census doc %d with padding" i))
+  done;
+  let census = T2.census t in
+  (* C0 always reported; total live symbols must match *)
+  Alcotest.(check bool) "has C0" true (List.exists (fun (n, _, _) -> n = "C0") census);
+  let live_total = List.fold_left (fun a (_, l, _) -> a + l) 0 census in
+  check "census live total" (T2.total_symbols t) live_total
+
+let prop_t2_vs_model =
+  QCheck.Test.make ~name:"transform2 agrees with model on random streams" ~count:20
+    QCheck.(pair (int_bound 1000) (int_range 30 70))
+    (fun (seed, ops) ->
+      let st = Random.State.make [| seed; 99 |] in
+      let t = T2.create ~sample:2 ~tau:4 ~work_factor:2 () in
+      let model = Hashtbl.create 32 in
+      for _ = 1 to ops do
+        if Random.State.float st 1.0 < 0.65 || Hashtbl.length model = 0 then begin
+          let text = rand_doc st 40 in
+          let id = T2.insert t text in
+          Hashtbl.replace model id text
+        end
+        else begin
+          let ids = Hashtbl.fold (fun d _ acc -> d :: acc) model [] in
+          let id = List.nth ids (Random.State.int st (List.length ids)) in
+          ignore (T2.delete t id);
+          Hashtbl.remove model id
+        end
+      done;
+      let live = Hashtbl.fold (fun d s acc -> (d, s) :: acc) model [] in
+      List.for_all (fun p -> T2.matches t p = naive_search live p) [ "a"; "ab"; "ba"; "ca" ])
+
+(* longer soak: 2500 mixed ops with sparse verification -- exercises many
+   lock/install cycles, top cleanings and at least one restructure *)
+let test_soak () =
+  let st = Random.State.make [| 2025 |] in
+  let t = T2.create ~sample:4 ~tau:8 ~work_factor:32 () in
+  let model = Hashtbl.create 256 in
+  for step = 1 to 2500 do
+    if Random.State.float st 1.0 < 0.62 || Hashtbl.length model = 0 then begin
+      let text = rand_doc st 120 in
+      let id = T2.insert t text in
+      Hashtbl.replace model id text
+    end
+    else begin
+      let ids = Hashtbl.fold (fun d _ acc -> d :: acc) model [] in
+      let id = List.nth ids (Random.State.int st (List.length ids)) in
+      ignore (T2.delete t id);
+      Hashtbl.remove model id
+    end;
+    if step mod 250 = 0 then begin
+      let live = Hashtbl.fold (fun d s acc -> (d, s) :: acc) model [] in
+      List.iter
+        (fun p ->
+          check (Printf.sprintf "soak %d count %s" step p)
+            (List.length (naive_search live p))
+            (T2.count t p))
+        [ "ab"; "ca" ]
+    end
+  done;
+  check "soak doc_count" (Hashtbl.length model) (T2.doc_count t);
+  let s = T2.stats t in
+  Alcotest.(check bool) "soak exercised jobs" true (s.Transform2.jobs_completed > 20);
+  Alcotest.(check bool) "soak exercised cleaning" true (s.Transform2.top_cleanings > 0)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_t2_vs_model ]
+
+let suite =
+  [ ("insert & search", `Quick, test_insert_search);
+    ("background jobs run", `Quick, test_background_jobs_run);
+    ("oversized doc becomes top", `Quick, test_oversized_doc_becomes_top);
+    ("deletes with pending jobs", `Quick, test_delete_with_pending_jobs);
+    ("churn small docs", `Quick, test_churn_small);
+    ("churn bigger docs", `Quick, test_churn_bigger_docs);
+    ("delete everything", `Quick, test_delete_everything);
+    ("census shape", `Quick, test_census_shape);
+    ("soak 2500 ops", `Slow, test_soak) ]
+  @ qsuite

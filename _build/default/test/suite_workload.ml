@@ -1,0 +1,110 @@
+(* Tests for dsdg_workload: determinism, value ranges, planted patterns. *)
+
+open Dsdg_workload
+
+let check = Alcotest.(check int)
+
+let test_deterministic () =
+  let a = Text_gen.uniform (Text_gen.rng 1) ~sigma:4 ~len:100 in
+  let b = Text_gen.uniform (Text_gen.rng 1) ~sigma:4 ~len:100 in
+  Alcotest.(check string) "same seed same text" a b;
+  let c = Text_gen.uniform (Text_gen.rng 2) ~sigma:4 ~len:100 in
+  Alcotest.(check bool) "different seed different text" true (a <> c)
+
+let test_uniform_alphabet () =
+  let s = Text_gen.uniform (Text_gen.rng 3) ~sigma:3 ~len:2000 in
+  String.iter (fun ch -> Alcotest.(check bool) "in range" true (ch >= 'a' && ch <= 'c')) s;
+  check "len" 2000 (String.length s)
+
+let test_markov_lowers_entropy () =
+  let open Dsdg_entropy in
+  let st = Text_gen.rng 4 in
+  let skewed = Text_gen.markov st ~sigma:8 ~len:20000 ~skew:0.9 in
+  let h0 = Entropy.h0 skewed and h1 = Entropy.hk ~k:1 skewed in
+  Alcotest.(check bool)
+    (Printf.sprintf "H1 (%.3f) well below H0 (%.3f)" h1 h0)
+    true
+    (h1 < 0.7 *. h0)
+
+let test_zipf_bounds () =
+  let st = Text_gen.rng 5 in
+  let ls = Text_gen.zipf_lengths st ~count:1000 ~max_len:500 in
+  Array.iter (fun l -> Alcotest.(check bool) "in [1,500]" true (l >= 1 && l <= 500)) ls;
+  (* heavy head: small values dominate *)
+  let small = Array.fold_left (fun a l -> if l <= 50 then a + 1 else a) 0 ls in
+  Alcotest.(check bool) (Printf.sprintf "%d/1000 small" small) true (small > 400)
+
+let test_url_log_shape () =
+  let urls = Text_gen.url_log (Text_gen.rng 6) ~count:50 in
+  check "count" 50 (Array.length urls);
+  Array.iter
+    (fun u ->
+      Alcotest.(check bool) ("https prefix: " ^ u) true
+        (String.length u > 12 && String.sub u 0 12 = "https://www."))
+    urls
+
+let test_planted_pattern_occurs () =
+  let st = Text_gen.rng 7 in
+  let docs = Text_gen.corpus st ~count:20 ~avg_len:100 ~kind:(`Uniform 4) in
+  for _ = 1 to 30 do
+    match Text_gen.planted_pattern st docs ~len:5 with
+    | None -> Alcotest.fail "no pattern found"
+    | Some p ->
+      let occurs =
+        Array.exists
+          (fun d ->
+            let found = ref false in
+            for off = 0 to String.length d - 5 do
+              if String.sub d off 5 = p then found := true
+            done;
+            !found)
+          docs
+      in
+      Alcotest.(check bool) ("planted occurs: " ^ p) true occurs
+  done
+
+let test_graph_gen () =
+  let st = Random.State.make [| 8 |] in
+  let edges = Graph_gen.erdos_renyi st ~nodes:100 ~edges:300 in
+  check "edge count" 300 (Array.length edges);
+  let seen = Hashtbl.create 300 in
+  Array.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "nodes in range" true (u >= 0 && u < 100 && v >= 0 && v < 100);
+      Alcotest.(check bool) "no dup" false (Hashtbl.mem seen (u, v));
+      Hashtbl.replace seen (u, v) ())
+    edges;
+  let pref = Graph_gen.preferential st ~nodes:200 ~out_deg:4 in
+  Alcotest.(check bool) "pref nonempty" true (Array.length pref > 200)
+
+let test_query_stream_mix () =
+  let st = Random.State.make [| 9 |] in
+  let ops =
+    Query_gen.stream st ~mix:Query_gen.default_mix ~ops:2000
+      ~doc_gen:(fun () -> "doc")
+      ~pattern_gen:(fun () -> "p")
+  in
+  check "length" 2000 (List.length ops);
+  let ins = List.length (List.filter (function Query_gen.Insert _ -> true | _ -> false) ops) in
+  Alcotest.(check bool) (Printf.sprintf "inserts ~40%% (%d)" ins) true (ins > 600 && ins < 1000)
+
+let prop_corpus_sizes =
+  QCheck.Test.make ~name:"corpus respects count and nonempty docs" ~count:50
+    QCheck.(pair (int_range 1 30) (int_range 5 200))
+    (fun (count, avg_len) ->
+      let st = Text_gen.rng (count * 1000 + avg_len) in
+      let docs = Text_gen.corpus st ~count ~avg_len ~kind:(`Uniform 4) in
+      Array.length docs = count && Array.for_all (fun d -> String.length d >= 1) docs)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_corpus_sizes ]
+
+let suite =
+  [ ("deterministic", `Quick, test_deterministic);
+    ("uniform alphabet", `Quick, test_uniform_alphabet);
+    ("markov lowers entropy", `Quick, test_markov_lowers_entropy);
+    ("zipf bounds", `Quick, test_zipf_bounds);
+    ("url log shape", `Quick, test_url_log_shape);
+    ("planted pattern occurs", `Quick, test_planted_pattern_occurs);
+    ("graph generators", `Quick, test_graph_gen);
+    ("query stream mix", `Quick, test_query_stream_mix) ]
+  @ qsuite
