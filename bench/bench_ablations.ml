@@ -120,6 +120,8 @@ let ablation_work_factor () =
           end
         done;
         let s = T2.stats t in
+        Bench_util.emit_json_row ~scope:(T2.obs t) ~bench:"ablation_work_factor"
+          [ ("work_factor", Bench_util.I wf) ];
         let jobs = max 1 s.Transform2.jobs_started in
         [ string_of_int wf; string_of_int s.Transform2.jobs_started;
           string_of_int s.Transform2.forced;
@@ -179,3 +181,49 @@ let lemma23 () =
   let i = ref 0 in
   let zero_ns = Bench_util.per_op ~iters:100000 (fun () -> Reporter.zero r !i; i := (!i + 7919) mod n) in
   Printf.printf "zero(): %s per call\n" (Bench_util.ns_str zero_ns)
+
+(* A5: cost of the observability layer itself.  The same churn workload
+   with Obs recording on vs off; the acceptance bar is < 5% overhead
+   when disabled (every probe then is one load-and-branch). *)
+let ablation_obs_overhead () =
+  Printf.printf "\n[ablation obs] observability layer overhead on a churn workload\n";
+  let churn () =
+    let st = Text_gen.rng 131 in
+    let t = T2.create ~sample:8 ~tau:8 () in
+    let live = ref [] and nlive = ref 0 in
+    for _ = 1 to 1500 do
+      if Random.State.float st 1.0 < 0.7 || !nlive = 0 then begin
+        live := T2.insert t (Text_gen.english_like st ~len:(20 + Random.State.int st 80)) :: !live;
+        incr nlive
+      end
+      else begin
+        let id = List.hd !live in
+        ignore (T2.delete t id);
+        live := List.tl !live;
+        decr nlive
+      end
+    done
+  in
+  let open Dsdg_obs in
+  let was = !Obs.enabled in
+  (* warm up allocators and caches once before timing either mode *)
+  churn ();
+  Obs.set_enabled true;
+  let _, on_ns = Bench_util.time_ns churn in
+  let _, on_ns2 = Bench_util.time_ns churn in
+  let on_ns = min on_ns on_ns2 in
+  Obs.set_enabled false;
+  let _, off_ns = Bench_util.time_ns churn in
+  let _, off_ns2 = Bench_util.time_ns churn in
+  let off_ns = min off_ns off_ns2 in
+  Obs.set_enabled was;
+  let overhead = 100. *. (on_ns -. off_ns) /. off_ns in
+  Bench_util.print_table ~title:"Ablation A5: Obs enabled vs disabled  [expect < 5% when disabled]"
+    ~header:[ "mode"; "churn time"; "overhead" ]
+    [
+      [ "disabled"; Bench_util.ns_str off_ns; "baseline" ];
+      [ "enabled"; Bench_util.ns_str on_ns; Printf.sprintf "%+.1f%%" overhead ];
+    ];
+  Bench_util.emit_json_row ~bench:"ablation_obs_overhead"
+    [ ("enabled_ns", Bench_util.F on_ns); ("disabled_ns", Bench_util.F off_ns);
+      ("overhead_pct", Bench_util.F overhead) ]

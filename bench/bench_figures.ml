@@ -28,7 +28,9 @@ let fig1 () =
   let s = T1.stats t in
   Printf.printf "merges=%d purges=%d global_rebuilds=%d symbols_rebuilt=%d (amortized %.1f rebuilt syms per inserted sym)\n"
     s.Transform1.merges s.Transform1.purges s.Transform1.global_rebuilds s.Transform1.symbols_rebuilt
-    (float_of_int s.Transform1.symbols_rebuilt /. float_of_int (T1.total_symbols t))
+    (float_of_int s.Transform1.symbols_rebuilt /. float_of_int (T1.total_symbols t));
+  Bench_util.emit_json_row ~scope:(T1.obs t) ~bench:"fig1_insert_stream"
+    [ ("inserts", Bench_util.I 4000) ]
 
 (* Figure 2: Transformation 2's structure census under mixed churn. *)
 let fig2 () =
@@ -69,7 +71,15 @@ let fig2 () =
   Bench_util.print_table
     ~title:"Figure 2: live symbols per structure kind  [expect bulk in tops; C/L/Temp small; dead bounded]"
     ~header:[ "ops"; "C*"; "L*"; "Temp*"; "tops"; "dead frac"; "jobs" ]
-    (List.rev !rows)
+    (List.rev !rows);
+  let census = T2.census t in
+  let total = List.fold_left (fun a (_, l, _) -> a + l) 0 census in
+  let dead = List.fold_left (fun a (_, _, d) -> a + d) 0 census in
+  Bench_util.emit_json_row ~scope:(T2.obs t) ~bench:"fig2_churn"
+    [ ("ops", Bench_util.I 5000);
+      ("live_syms", Bench_util.I total);
+      ("dead_syms", Bench_util.I dead);
+      ("dead_permille", Bench_util.I (if total + dead = 0 then 0 else dead * 1000 / (total + dead))) ]
 
 (* Figure 3: the lock -> background build -> install protocol, as an
    event trace. *)

@@ -4,6 +4,58 @@
 
 open Bechamel
 
+(* --- machine-readable results --- *)
+
+(* One JSON object per line, appended to $DSDG_BENCH_JSON (default
+   BENCH_RESULTS.json in the working directory).  When [scope] is given,
+   its full Obs snapshot -- jobs_started/completed, forced, max_job_step,
+   purge_dead_permille percentiles, latency histograms -- is merged into
+   the row, so every bench run carries the observability counters that
+   back the paper's scheduling claims. *)
+let json_path () =
+  match Sys.getenv_opt "DSDG_BENCH_JSON" with Some p -> p | None -> "BENCH_RESULTS.json"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+type json_field = S of string | I of int | F of float
+
+let emit_json_row ?scope ~bench (fields : (string * json_field) list) =
+  let fields =
+    match scope with
+    | None -> fields
+    | Some sc ->
+      fields
+      @ List.map (fun (k, v) -> (Dsdg_obs.Obs.scope_name sc ^ "." ^ k, I v))
+          (Dsdg_obs.Obs.snapshot sc)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "{\"bench\":\"%s\"" (json_escape bench));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf ",\"%s\":" (json_escape k));
+      Buffer.add_string buf
+        (match v with
+        | S s -> Printf.sprintf "\"%s\"" (json_escape s)
+        | I i -> string_of_int i
+        | F f -> if Float.is_nan f then "null" else Printf.sprintf "%.3f" f))
+    fields;
+  Buffer.add_string buf "}\n";
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 (json_path ()) in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+
 (* ns/run estimates for a list of Bechamel tests. *)
 let run_tests ?(quota = 0.5) (tests : Test.t list) : (string * float) list =
   let instance = Toolkit.Instance.monotonic_clock in
@@ -16,6 +68,7 @@ let run_tests ?(quota = 0.5) (tests : Test.t list) : (string * float) list =
           let b = Benchmark.run cfg [ instance ] elt in
           let r = Analyze.one ols instance b in
           let ns = match Analyze.OLS.estimates r with Some [ e ] -> e | _ -> nan in
+          emit_json_row ~bench:(Test.Elt.name elt) [ ("ns_per_op", F ns) ];
           (Test.Elt.name elt, ns))
         (Test.elements test))
     tests

@@ -65,6 +65,7 @@ let experiments =
     ("ablation_s", Bench_ablations.ablation_s);
     ("ablation_t3", Bench_ablations.ablation_t3);
     ("ablation_work", Bench_ablations.ablation_work_factor);
+    ("ablation_obs", Bench_ablations.ablation_obs_overhead);
     ("lemma23", Bench_ablations.lemma23);
     ("microbench", micro);
   ]

@@ -4,6 +4,10 @@
                                   file, or whole files with --whole), then
                                   answer queries from stdin
      dsdg demo                    run a synthetic churn demo with stats
+     dsdg stats                   run a scripted churn workload and dump the
+                                  observability layer (counters, latency
+                                  histograms, structural events, space vs
+                                  the entropy budget)
 
    Query language on stdin (after `dsdg index`):
      ?PATTERN      report occurrences
@@ -25,6 +29,7 @@ let variant_of_string = function
 let backend_of_string = function
   | "fm" -> Dynamic_index.Fm
   | "sa" -> Dynamic_index.Plain_sa
+  | "csa" -> Dynamic_index.Csa
   | s -> invalid_arg ("unknown backend: " ^ s)
 
 let print_stats idx =
@@ -115,11 +120,78 @@ let demo_cmd ops =
     [ "data"; "index"; "query" ];
   print_stats idx
 
+(* Scripted churn workload + full observability dump: the living
+   counterpart of DESIGN.md's "Observability" section. *)
+let stats_cmd ops variant backend sample tau no_obs =
+  let open Dsdg_workload in
+  let open Dsdg_obs in
+  if no_obs then Obs.set_enabled false;
+  let idx =
+    Dynamic_index.create ~variant:(variant_of_string variant)
+      ~backend:(backend_of_string backend) ~sample ~tau ()
+  in
+  let st = Text_gen.rng 42 in
+  let live = ref [] in
+  let searches = ref 0 and hits = ref 0 in
+  for i = 1 to ops do
+    let r = Random.State.float st 1.0 in
+    if r < 0.55 || !live = [] then
+      live := Dynamic_index.insert idx (Text_gen.english_like st ~len:(30 + Random.State.int st 120)) :: !live
+    else if r < 0.8 then begin
+      (* delete a random live doc; occasionally retry a dead id to
+         exercise the failed-delete path *)
+      match !live with
+      | id :: rest ->
+        ignore (Dynamic_index.delete idx id);
+        if i mod 17 = 0 then ignore (Dynamic_index.delete idx id);
+        live := rest
+      | [] -> ()
+    end
+    else begin
+      incr searches;
+      hits := !hits + Dynamic_index.count idx (if i mod 2 = 0 then "data" else "query")
+    end
+  done;
+  Printf.printf "workload  : %d ops (%d searches, %d pattern hits)
+" ops !searches !hits;
+  print_stats idx;
+  let syms = Dynamic_index.total_symbols idx in
+  if syms > 0 then begin
+    (* Entropy budget: reconstruct the live text through the index itself
+       and compare measured bits/symbol with H0 and H2. *)
+    let buf = Buffer.create syms in
+    List.iter
+      (fun id ->
+        (* documents have unknown length: binary-search down from a
+           generous cap until extract accepts the range *)
+        let rec grab len =
+          if len >= 1 then
+            match Dynamic_index.extract idx ~doc:id ~off:0 ~len with
+            | Some s -> Buffer.add_string buf s
+            | None -> grab (len / 2)
+        in
+        grab 4096)
+      !live;
+    let text = Buffer.contents buf in
+    if String.length text > 0 then begin
+      let open Dsdg_entropy in
+      Printf.printf "entropy   : H0=%.3f H2=%.3f bits/symbol (paper budget nHk + o(n))
+"
+        (Entropy.h0 text) (Entropy.hk ~k:2 text)
+    end
+  end;
+  print_newline ();
+  if no_obs then print_endline "observability disabled (--no-obs): no counters recorded"
+  else begin
+    print_string (Obs.render (Dynamic_index.obs_scope idx));
+    List.iter (fun s -> print_string (Obs.render s)) (Obs.registered ())
+  end
+
 let files_arg = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
 let whole_arg = Arg.(value & flag & info [ "whole" ] ~doc:"Index whole files instead of lines.")
 let variant_arg =
   Arg.(value & opt string "worst-case" & info [ "variant" ] ~doc:"amortized | loglog | worst-case")
-let backend_arg = Arg.(value & opt string "fm" & info [ "backend" ] ~doc:"fm | sa")
+let backend_arg = Arg.(value & opt string "fm" & info [ "backend" ] ~doc:"fm | sa | csa")
 let sample_arg = Arg.(value & opt int 8 & info [ "sample" ] ~doc:"SA sampling rate s.")
 let tau_arg = Arg.(value & opt int 8 & info [ "tau" ] ~doc:"Lazy-deletion threshold tau.")
 let ops_arg = Arg.(value & opt int 500 & info [ "ops" ] ~doc:"Demo operations.")
@@ -130,6 +202,14 @@ let index_t =
 
 let demo_t = Cmd.v (Cmd.info "demo" ~doc:"Synthetic churn demo") Term.(const demo_cmd $ ops_arg)
 
+let no_obs_arg =
+  Arg.(value & flag & info [ "no-obs" ] ~doc:"Disable the observability layer (overhead demo).")
+
+let stats_t =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Scripted churn workload + observability dump")
+    Term.(const stats_cmd $ ops_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg $ no_obs_arg)
+
 let () =
   let doc = "dynamic compressed document collection index (Munro-Nekrich-Vitter, PODS 2015)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "dsdg" ~doc) [ index_t; demo_t ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "dsdg" ~doc) [ index_t; demo_t; stats_t ]))

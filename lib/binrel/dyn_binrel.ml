@@ -66,7 +66,10 @@ let buffer_remove b o a =
 let buffer_pairs b =
   Hashtbl.fold (fun o row acc -> Hashtbl.fold (fun a () acc -> (o, a) :: acc) row acc) b.by_obj []
 
-type stats = { mutable merges : int; mutable purges : int; mutable global_rebuilds : int }
+open Dsdg_obs
+
+(* Read-only snapshot of the amortization counters. *)
+type stats = { merges : int; purges : int; global_rebuilds : int }
 
 type t = {
   tau : int;
@@ -74,22 +77,40 @@ type t = {
   subs : Static_binrel.t option array;
   mutable nf : int;
   mutable live : int;
-  stats : stats;
+  obs : Obs.scope;
+  c_merges : Obs.counter;
+  c_purges : Obs.counter;
+  c_global_rebuilds : Obs.counter;
+  c_adds : Obs.counter;
+  c_removes : Obs.counter;
 }
 
 let max_slots = 8
 
 let create ?(tau = 8) () =
+  let obs = Obs.private_scope "binrel" in
   {
     tau;
     c0 = buffer_create ();
     subs = Array.make (max_slots + 1) None;
     nf = 256;
     live = 0;
-    stats = { merges = 0; purges = 0; global_rebuilds = 0 };
+    obs;
+    c_merges = Obs.counter obs "merges";
+    c_purges = Obs.counter obs "purges";
+    c_global_rebuilds = Obs.counter obs "global_rebuilds";
+    c_adds = Obs.counter obs "adds";
+    c_removes = Obs.counter obs "removes";
   }
 
-let stats t = t.stats
+let obs t = t.obs
+
+let stats t =
+  {
+    merges = Obs.value t.c_merges;
+    purges = Obs.value t.c_purges;
+    global_rebuilds = Obs.value t.c_global_rebuilds;
+  }
 let live_pairs t = t.live
 
 let max_size t j =
@@ -103,7 +124,7 @@ let sub_live t j = match t.subs.(j) with None -> 0 | Some sb -> Static_binrel.li
 let build_sub t pairs = Static_binrel.build ~tau:t.tau (Array.of_list pairs)
 
 let global_rebuild t ~extra =
-  t.stats.global_rebuilds <- t.stats.global_rebuilds + 1;
+  Obs.incr t.c_global_rebuilds;
   let pairs = ref (buffer_pairs t.c0) in
   for j = 1 to max_slots do
     (match t.subs.(j) with
@@ -115,7 +136,8 @@ let global_rebuild t ~extra =
   t.c0 <- buffer_create ();
   t.nf <- max 256 (List.length pairs);
   t.live <- List.length pairs;
-  if pairs <> [] then t.subs.(max_slots) <- Some (build_sub t pairs)
+  if pairs <> [] then t.subs.(max_slots) <- Some (build_sub t pairs);
+  Obs.record t.obs (Obs.Restructure { nf = t.nf; structures = (if pairs = [] then 0 else 1) })
 
 let related t o a =
   buffer_mem t.c0 o a
@@ -137,7 +159,8 @@ let add t o a =
       in
       match find 1 t.c0.pairs with
       | Some j ->
-        t.stats.merges <- t.stats.merges + 1;
+        Obs.incr t.c_merges;
+        Obs.record t.obs (Obs.Merge { from_level = 0; into_level = j; sync = true });
         let pairs = ref [ (o, a) ] in
         pairs := buffer_pairs t.c0 @ !pairs;
         for i = 1 to j do
@@ -152,6 +175,7 @@ let add t o a =
     end;
     t.live <- t.live + 1;
     if t.live > 2 * t.nf then global_rebuild t ~extra:None;
+    Obs.incr t.c_adds;
     true
   end
 
@@ -159,7 +183,10 @@ let purge t j =
   match t.subs.(j) with
   | None -> ()
   | Some sb ->
-    t.stats.purges <- t.stats.purges + 1;
+    Obs.incr t.c_purges;
+    let live = Static_binrel.live_pairs sb in
+    let dead = Static_binrel.total_pairs sb - live in
+    Obs.record t.obs (Obs.Purge { level = j; dead; total = live + dead });
     let pairs = Static_binrel.live_pairs_list sb in
     t.subs.(j) <- (if pairs = [] then None else Some (build_sub t pairs))
 
@@ -168,6 +195,7 @@ let remove t o a =
   if buffer_remove t.c0 o a then begin
     t.live <- t.live - 1;
     if 2 * t.live < t.nf && t.nf > 256 then global_rebuild t ~extra:None;
+    Obs.incr t.c_removes;
     true
   end
   else begin
@@ -183,6 +211,7 @@ let remove t o a =
       | _ -> ()
     done;
     if !done_ && 2 * t.live < t.nf && t.nf > 256 then global_rebuild t ~extra:None;
+    if !done_ then Obs.incr t.c_removes;
     !done_
   end
 

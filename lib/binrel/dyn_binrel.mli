@@ -8,14 +8,21 @@
 
 type t
 
+(** Read-only snapshot of the amortization counters (backed by the
+    structure's {!Dsdg_obs.Obs} scope). *)
 type stats = {
-  mutable merges : int;
-  mutable purges : int;
-  mutable global_rebuilds : int;
+  merges : int;
+  purges : int;
+  global_rebuilds : int;
 }
 
 val create : ?tau:int -> unit -> t
 val stats : t -> stats
+
+(** The relation's private observability scope: counters
+    [merges]/[purges]/[global_rebuilds]/[adds]/[removes] plus the
+    structural event ring. *)
+val obs : t -> Dsdg_obs.Obs.scope
 
 (** Number of live pairs. *)
 val live_pairs : t -> int

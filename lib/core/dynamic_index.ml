@@ -29,6 +29,8 @@ type ops = {
   op_total_symbols : unit -> int;
   op_space_bits : unit -> int;
   op_describe : unit -> string;
+  op_obs : unit -> Dsdg_obs.Obs.scope;
+  op_events : unit -> string list;
 }
 
 type t = ops
@@ -57,6 +59,8 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () :
         op_total_symbols = (fun () -> T1_fm.total_symbols t);
         op_space_bits = (fun () -> T1_fm.space_bits t);
         op_describe = (fun () -> name ^ "/fm");
+        op_obs = (fun () -> T1_fm.obs t);
+        op_events = (fun () -> T1_fm.events t);
       }
     | Plain_sa ->
       let t = T1_sa.create ~schedule ~sample ~tau () in
@@ -71,6 +75,8 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () :
         op_total_symbols = (fun () -> T1_sa.total_symbols t);
         op_space_bits = (fun () -> T1_sa.space_bits t);
         op_describe = (fun () -> name ^ "/sa");
+        op_obs = (fun () -> T1_sa.obs t);
+        op_events = (fun () -> T1_sa.events t);
       }
     | Csa ->
       let t = T1_csa.create ~schedule ~sample ~tau () in
@@ -85,6 +91,8 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () :
         op_total_symbols = (fun () -> T1_csa.total_symbols t);
         op_space_bits = (fun () -> T1_csa.space_bits t);
         op_describe = (fun () -> name ^ "/csa");
+        op_obs = (fun () -> T1_csa.obs t);
+        op_events = (fun () -> T1_csa.events t);
       }
   in
   match variant with
@@ -105,6 +113,8 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () :
         op_total_symbols = (fun () -> T2_fm.total_symbols t);
         op_space_bits = (fun () -> T2_fm.space_bits t);
         op_describe = (fun () -> "transform2/fm");
+        op_obs = (fun () -> T2_fm.obs t);
+        op_events = (fun () -> T2_fm.events t);
       }
     | Plain_sa ->
       let t = T2_sa.create ~sample ~tau () in
@@ -119,6 +129,8 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () :
         op_total_symbols = (fun () -> T2_sa.total_symbols t);
         op_space_bits = (fun () -> T2_sa.space_bits t);
         op_describe = (fun () -> "transform2/sa");
+        op_obs = (fun () -> T2_sa.obs t);
+        op_events = (fun () -> T2_sa.events t);
       }
     | Csa ->
       let t = T2_csa.create ~sample ~tau () in
@@ -133,6 +145,8 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () :
         op_total_symbols = (fun () -> T2_csa.total_symbols t);
         op_space_bits = (fun () -> T2_csa.space_bits t);
         op_describe = (fun () -> "transform2/csa");
+        op_obs = (fun () -> T2_csa.obs t);
+        op_events = (fun () -> T2_csa.events t);
       })
 
 (* Insert a document; returns its id. *)
@@ -156,3 +170,8 @@ let doc_count t = t.op_doc_count ()
 let total_symbols t = t.op_total_symbols ()
 let space_bits t = t.op_space_bits ()
 let describe t = t.op_describe ()
+
+(* The underlying transformation's observability scope (counters,
+   histograms, event ring) and its rendered recent-event log. *)
+let obs_scope t = t.op_obs ()
+let events t = t.op_events ()

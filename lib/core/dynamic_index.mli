@@ -58,3 +58,12 @@ val space_bits : t -> int
 
 (** e.g. ["transform2/fm"]. *)
 val describe : t -> string
+
+(** The underlying transformation's observability scope: counters
+    (inserts, deletes, merges/purges or jobs/forced), latency and
+    dead-fraction histograms, and the structural event ring. See
+    {!Dsdg_obs.Obs} and the "Observability" section of DESIGN.md. *)
+val obs_scope : t -> Dsdg_obs.Obs.scope
+
+(** Human-readable recent structural events, newest first. *)
+val events : t -> string list

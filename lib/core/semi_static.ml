@@ -12,6 +12,17 @@
    to rebuild (see [needs_purge]); this module never rebuilds itself. *)
 
 open Dsdg_delbits
+open Dsdg_obs
+
+(* Process-wide scope shared by every Semi_static instance: build/delete/
+   search/count totals and a build-size histogram.  Per-instance detail
+   lives in the owning transformation's private scope. *)
+let obs = Obs.scope "semi_static"
+let c_builds = Obs.counter obs "builds"
+let c_deletes = Obs.counter obs "deletes"
+let c_searches = Obs.counter obs "searches"
+let c_counts = Obs.counter obs "counts"
+let h_build_syms = Obs.histogram obs "build_syms"
 
 module Make (I : Static_index.S) = struct
   type t = {
@@ -37,6 +48,8 @@ module Make (I : Static_index.S) = struct
         Hashtbl.replace slot_of id slot)
       ids;
     let m = I.row_count index in
+    Obs.incr c_builds;
+    Obs.observe h_build_syms (I.total_len index);
     {
       index;
       ids;
@@ -71,11 +84,13 @@ module Make (I : Static_index.S) = struct
         let syms = I.doc_len t.index slot + 1 in
         t.live_syms <- t.live_syms - syms;
         t.dead_syms <- t.dead_syms + syms;
+        Obs.incr c_deletes;
         true
       end
 
   (* Report (doc, off) for every surviving occurrence of [p]. *)
   let search t p ~f =
+    Obs.incr c_searches;
     match I.range t.index p with
     | None -> ()
     | Some (sp, ep) ->
@@ -86,6 +101,7 @@ module Make (I : Static_index.S) = struct
   (* Count surviving occurrences in O(trange + log n) (Theorem 1): the
      Reporter's word-level Fenwick counts live rows in the range. *)
   let count t p =
+    Obs.incr c_counts;
     match I.range t.index p with
     | None -> 0
     | Some (sp, ep) -> Reporter.count_range t.alive_rows sp ep

@@ -16,9 +16,13 @@
    The schedule is pluggable: [geometric] gives the paper's
    Transformation 1 (O(1) sub-collections, O(u log^eps n) insertion);
    [doubling] gives Transformation 3 from Appendix A.4 (O(log log n)
-   sub-collections, O(u log log n) insertion). *)
+   sub-collections, O(u log log n) insertion).
+
+   Merge/purge/rebuild accounting goes through the shared Dsdg_obs.Obs
+   layer; [stats] is a read-only view over those counters. *)
 
 open Dsdg_gst
+open Dsdg_obs
 
 type schedule = {
   schedule_name : string;
@@ -59,11 +63,12 @@ let doubling () =
 
 type location = In_buffer | In_sub of int
 
+(* Read-only snapshot of the amortization counters. *)
 type stats = {
-  mutable merges : int;
-  mutable purges : int;
-  mutable global_rebuilds : int;
-  mutable symbols_rebuilt : int;
+  merges : int;
+  purges : int;
+  global_rebuilds : int;
+  symbols_rebuilt : int;
 }
 
 module Make (I : Static_index.S) = struct
@@ -83,10 +88,20 @@ module Make (I : Static_index.S) = struct
     mutable next_id : int;
     mutable nf : int;
     mutable live : int; (* live symbols including separators *)
-    stats : stats;
+    obs : Obs.scope;
+    c_merges : Obs.counter;
+    c_purges : Obs.counter;
+    c_global_rebuilds : Obs.counter;
+    c_symbols_rebuilt : Obs.counter;
+    c_inserts : Obs.counter;
+    c_deletes : Obs.counter;
+    h_insert_ns : Obs.histogram;
+    h_delete_ns : Obs.histogram;
+    h_purge_dead_frac : Obs.histogram; (* per-mille dead fraction at purge time *)
   }
 
   let create ?(schedule = geometric ()) ?(sample = 8) ?(tau = 8) () =
+    let obs = Obs.private_scope ("transform1/" ^ I.name) in
     {
       schedule;
       sample;
@@ -97,7 +112,27 @@ module Make (I : Static_index.S) = struct
       next_id = 0;
       nf = 256;
       live = 0;
-      stats = { merges = 0; purges = 0; global_rebuilds = 0; symbols_rebuilt = 0 };
+      obs;
+      c_merges = Obs.counter obs "merges";
+      c_purges = Obs.counter obs "purges";
+      c_global_rebuilds = Obs.counter obs "global_rebuilds";
+      c_symbols_rebuilt = Obs.counter obs "symbols_rebuilt";
+      c_inserts = Obs.counter obs "inserts";
+      c_deletes = Obs.counter obs "deletes";
+      h_insert_ns = Obs.histogram obs "insert_ns";
+      h_delete_ns = Obs.histogram obs "delete_ns";
+      h_purge_dead_frac = Obs.histogram obs "purge_dead_permille";
+    }
+
+  let obs t = t.obs
+  let events t = List.map (fun (_, e) -> Obs.event_to_string e) (Obs.recent t.obs)
+
+  let stats t =
+    {
+      merges = Obs.value t.c_merges;
+      purges = Obs.value t.c_purges;
+      global_rebuilds = Obs.value t.c_global_rebuilds;
+      symbols_rebuilt = Obs.value t.c_symbols_rebuilt;
     }
 
   let r_of t = min max_slots (t.schedule.slots t.nf)
@@ -106,7 +141,6 @@ module Make (I : Static_index.S) = struct
 
   let doc_count t = Hashtbl.length t.locs
   let total_symbols t = t.live
-  let stats t = t.stats
   let schedule_name t = t.schedule.schedule_name
 
   (* Gather all live documents of slot [j] (None -> []). *)
@@ -121,8 +155,8 @@ module Make (I : Static_index.S) = struct
 
   let build_sub t (docs : (int * string) list) : SS.t =
     let arr = Array.of_list docs in
-    t.stats.symbols_rebuilt <-
-      t.stats.symbols_rebuilt + Array.fold_left (fun a (_, s) -> a + String.length s + 1) 0 arr;
+    Obs.add t.c_symbols_rebuilt
+      (Array.fold_left (fun a (_, s) -> a + String.length s + 1) 0 arr);
     SS.build ~sample:t.sample ~tau:t.tau arr
 
   let set_locations t docs loc = List.iter (fun (id, _) -> Hashtbl.replace t.locs id loc) docs
@@ -130,7 +164,7 @@ module Make (I : Static_index.S) = struct
   (* Move every live document into the top sub-collection and re-snapshot
      nf (the paper's global re-build). *)
   let global_rebuild t ~extra =
-    t.stats.global_rebuilds <- t.stats.global_rebuilds + 1;
+    Obs.incr t.c_global_rebuilds;
     let docs = ref (gst_docs t) in
     for j = 1 to max_slots do
       docs := sub_docs t j @ !docs;
@@ -145,9 +179,11 @@ module Make (I : Static_index.S) = struct
     if docs <> [] then begin
       t.subs.(r) <- Some (build_sub t docs);
       set_locations t docs (In_sub r)
-    end
+    end;
+    Obs.record t.obs (Obs.Restructure { nf = t.nf; structures = (if docs = [] then 0 else 1) })
 
   let insert t (text : string) : int =
+    let t0 = Obs.start () in
     let id = t.next_id in
     t.next_id <- t.next_id + 1;
     let tlen = String.length text + 1 in
@@ -168,7 +204,8 @@ module Make (I : Static_index.S) = struct
       in
       match find 1 (Gsuffix_tree.live_symbols t.gst) with
       | Some (j, _) ->
-        t.stats.merges <- t.stats.merges + 1;
+        Obs.incr t.c_merges;
+        Obs.record t.obs (Obs.Merge { from_level = 0; into_level = j; sync = true });
         let docs = ref [ (id, text) ] in
         docs := gst_docs t @ !docs;
         for i = 1 to j do
@@ -182,6 +219,8 @@ module Make (I : Static_index.S) = struct
       | None -> global_rebuild t ~extra:(Some (id, text))
     end;
     if t.live > 2 * t.nf then global_rebuild t ~extra:None;
+    Obs.incr t.c_inserts;
+    Obs.stop t.h_insert_ns t0;
     id
 
   (* Purge a sub-collection that has accumulated too many dead symbols:
@@ -190,7 +229,11 @@ module Make (I : Static_index.S) = struct
     match t.subs.(j) with
     | None -> ()
     | Some ss ->
-      t.stats.purges <- t.stats.purges + 1;
+      Obs.incr t.c_purges;
+      let dead = SS.dead_symbols ss in
+      let total = SS.live_symbols ss + dead in
+      Obs.observe t.h_purge_dead_frac (if total = 0 then 0 else dead * 1000 / total);
+      Obs.record t.obs (Obs.Purge { level = j; dead; total });
       let docs = SS.live_docs ss in
       if docs = [] then t.subs.(j) <- None
       else begin
@@ -198,27 +241,38 @@ module Make (I : Static_index.S) = struct
         set_locations t docs (In_sub j)
       end
 
+  (* Deleting a nonexistent (or stale-location) document returns false
+     and leaves every counter and structure untouched. *)
   let delete t id =
     match Hashtbl.find_opt t.locs id with
     | None -> false
-    | Some In_buffer ->
-      let len = String.length (Option.get (Gsuffix_tree.get_doc t.gst id)) + 1 in
-      ignore (Gsuffix_tree.delete t.gst id);
-      Hashtbl.remove t.locs id;
-      t.live <- t.live - len;
-      if t.live * 2 < t.nf && t.nf > 256 then global_rebuild t ~extra:None;
-      true
+    | Some In_buffer -> (
+      match Gsuffix_tree.get_doc t.gst id with
+      | None -> false (* stale location: treat as absent, mutate nothing *)
+      | Some contents ->
+        let t0 = Obs.start () in
+        let len = String.length contents + 1 in
+        ignore (Gsuffix_tree.delete t.gst id);
+        Hashtbl.remove t.locs id;
+        t.live <- t.live - len;
+        if t.live * 2 < t.nf && t.nf > 256 then global_rebuild t ~extra:None;
+        Obs.incr t.c_deletes;
+        Obs.stop t.h_delete_ns t0;
+        true)
     | Some (In_sub j) -> (
       match t.subs.(j) with
       | None -> false
       | Some ss ->
         let len = match SS.doc_len ss id with None -> 0 | Some l -> l + 1 in
+        let t0 = Obs.start () in
         let ok = SS.delete ss id in
         if ok then begin
           Hashtbl.remove t.locs id;
           t.live <- t.live - len;
           if SS.needs_purge ss then purge t j;
-          if t.live * 2 < t.nf && t.nf > 256 then global_rebuild t ~extra:None
+          if t.live * 2 < t.nf && t.nf > 256 then global_rebuild t ~extra:None;
+          Obs.incr t.c_deletes;
+          Obs.stop t.h_delete_ns t0
         end;
         ok)
 

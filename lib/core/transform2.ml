@@ -22,20 +22,29 @@
    folded into the generic top-construction path; the nf-resnapshot
    restructure runs synchronously (a rare amortized event); and if an
    update needs a slot whose background job has not finished, the job is
-   force-completed (counted in stats.forced -- the paper's scheduling
-   lemma makes this rare, and the counter lets benches verify that). *)
+   force-completed (counted in the [forced] counter -- the paper's
+   scheduling lemma makes this rare, and the counter lets benches verify
+   that).
+
+   All scheduling-health accounting (counters, per-update latency
+   histograms, purge-time dead fractions, the structural event trace)
+   goes through the shared Dsdg_obs.Obs layer; [stats] is a read-only
+   view assembled from those counters. *)
 
 open Dsdg_gst
 open Dsdg_incr
+open Dsdg_obs
 
+(* Read-only snapshot of the scheduling counters (all maintained in the
+   instance's Obs scope; see [obs]). *)
 type stats = {
-  mutable jobs_started : int;
-  mutable jobs_completed : int;
-  mutable forced : int;
-  mutable restructures : int;
-  mutable top_cleanings : int;
-  mutable sync_merges : int;
-  mutable max_job_step : int; (* largest single-update job work, for the worst-case claim *)
+  jobs_started : int;
+  jobs_completed : int;
+  forced : int;
+  restructures : int;
+  top_cleanings : int;
+  sync_merges : int;
+  max_job_step : int; (* largest single-update job work, for the worst-case claim *)
 }
 
 module Make (I : Static_index.S) = struct
@@ -68,11 +77,23 @@ module Make (I : Static_index.S) = struct
     mutable live : int;
     mutable doc_count : int;
     mutable del_counter : int; (* deleted symbols since last top-clean dispatch *)
-    mutable events : string list; (* recent structural events, newest first *)
-    stats : stats;
+    obs : Obs.scope;
+    c_jobs_started : Obs.counter;
+    c_jobs_completed : Obs.counter;
+    c_forced : Obs.counter;
+    c_restructures : Obs.counter;
+    c_top_cleanings : Obs.counter;
+    c_sync_merges : Obs.counter;
+    c_inserts : Obs.counter;
+    c_deletes : Obs.counter;
+    g_max_job_step : Obs.gauge;
+    h_insert_ns : Obs.histogram;
+    h_delete_ns : Obs.histogram;
+    h_purge_dead_frac : Obs.histogram; (* per-mille dead fraction at purge/clean time *)
   }
 
   let create ?(sample = 8) ?(tau = 8) ?(epsilon = 0.5) ?(work_factor = 64) () =
+    let obs = Obs.private_scope ("transform2/" ^ I.name) in
     {
       sample;
       tau;
@@ -91,27 +112,35 @@ module Make (I : Static_index.S) = struct
       live = 0;
       doc_count = 0;
       del_counter = 0;
-      events = [];
-      stats =
-        {
-          jobs_started = 0;
-          jobs_completed = 0;
-          forced = 0;
-          restructures = 0;
-          top_cleanings = 0;
-          sync_merges = 0;
-          max_job_step = 0;
-        };
+      obs;
+      c_jobs_started = Obs.counter obs "jobs_started";
+      c_jobs_completed = Obs.counter obs "jobs_completed";
+      c_forced = Obs.counter obs "forced";
+      c_restructures = Obs.counter obs "restructures";
+      c_top_cleanings = Obs.counter obs "top_cleanings";
+      c_sync_merges = Obs.counter obs "sync_merges";
+      c_inserts = Obs.counter obs "inserts";
+      c_deletes = Obs.counter obs "deletes";
+      g_max_job_step = Obs.gauge obs "max_job_step";
+      h_insert_ns = Obs.histogram obs "insert_ns";
+      h_delete_ns = Obs.histogram obs "delete_ns";
+      h_purge_dead_frac = Obs.histogram obs "purge_dead_permille";
     }
 
-  let log_event t fmt =
-    Printf.ksprintf
-      (fun s ->
-        t.events <- s :: (if List.length t.events > 200 then List.filteri (fun i _ -> i < 100) t.events else t.events))
-      fmt
+  let obs t = t.obs
+  let events t = List.map (fun (_, e) -> Obs.event_to_string e) (Obs.recent t.obs)
 
-  let events t = t.events
-  let stats t = t.stats
+  let stats t =
+    {
+      jobs_started = Obs.value t.c_jobs_started;
+      jobs_completed = Obs.value t.c_jobs_completed;
+      forced = Obs.value t.c_forced;
+      restructures = Obs.value t.c_restructures;
+      top_cleanings = Obs.value t.c_top_cleanings;
+      sync_merges = Obs.value t.c_sync_merges;
+      max_job_step = Obs.gauge_value t.g_max_job_step;
+    }
+
   let doc_count t = t.doc_count
   let total_symbols t = t.live
 
@@ -148,6 +177,11 @@ module Make (I : Static_index.S) = struct
 
   let build_ss t ?tick docs = SS.build ?tick ~sample:t.sample ~tau:t.tau (Array.of_list docs)
 
+  let target_name = function
+    | `Sub jj -> Printf.sprintf "N%d" jj
+    | `Top -> "new top"
+    | `Replace_top key -> Printf.sprintf "rebuilt T%d" key
+
   let install t j job ss =
     List.iter (fun id -> ignore (SS.delete ss id)) job.deleted_during;
     (match job.frees_locked with
@@ -157,30 +191,37 @@ module Make (I : Static_index.S) = struct
     (match job.target with
     | `Sub jj ->
       t.subs.(jj) <- (if SS.is_empty ss then None else Some ss);
-      t.temps.(jj) <- None;
-      log_event t "install: N%d -> C%d (%d live syms)" jj jj (SS.live_symbols ss)
+      t.temps.(jj) <- None
     | `Top ->
       t.temps.(j) <- None;
       if not (SS.is_empty ss) then begin
         let key = t.next_top_key in
         t.next_top_key <- key + 1;
-        t.tops <- (key, ss) :: t.tops;
-        log_event t "install: new top T%d (%d live syms)" key (SS.live_symbols ss)
+        t.tops <- (key, ss) :: t.tops
       end
     | `Replace_top key ->
       t.tops <- List.filter (fun (k, _) -> k <> key) t.tops;
-      if not (SS.is_empty ss) then t.tops <- (key, ss) :: t.tops;
-      log_event t "install: rebuilt top T%d (%d live syms)" key (SS.live_symbols ss));
+      if not (SS.is_empty ss) then t.tops <- (key, ss) :: t.tops);
+    Obs.record t.obs
+      (Obs.Install { slot = j; target = target_name job.target; live = SS.live_symbols ss });
     t.jobs.(j) <- None;
-    t.stats.jobs_completed <- t.stats.jobs_completed + 1
+    Obs.incr t.c_jobs_completed
 
+  (* A job force-completed during an update counts as [forced] exactly
+     once, and the synchronous work it performs still feeds the
+     max-single-update-work gauge (the worst-case claim covers forced
+     completions too). *)
   let force_job t j =
     match t.jobs.(j) with
     | None -> ()
     | Some job ->
-      t.stats.forced <- t.stats.forced + 1;
-      log_event t "force: finishing job at slot %d synchronously" j;
+      Obs.incr t.c_forced;
+      Obs.record t.obs (Obs.Job_force { slot = j });
+      let before = Incremental.work_spent job.task in
       let ss = Incremental.force job.task in
+      let spent = Incremental.work_spent job.task - before in
+      Obs.set_max t.g_max_job_step spent;
+      Obs.record t.obs (Obs.Job_finish { slot = j; work = Incremental.work_spent job.task });
       install t j job ss
 
   (* Step every pending job by a budget proportional to the update size. *)
@@ -194,11 +235,14 @@ module Make (I : Static_index.S) = struct
         match Incremental.step job.task ~budget with
         | `Done ss ->
           let spent = Incremental.work_spent job.task - before in
-          if spent > t.stats.max_job_step then t.stats.max_job_step <- spent;
+          Obs.set_max t.g_max_job_step spent;
+          Obs.record t.obs (Obs.Job_step { slot = j; work = spent });
+          Obs.record t.obs (Obs.Job_finish { slot = j; work = Incremental.work_spent job.task });
           install t j job ss
         | `More ->
           let spent = Incremental.work_spent job.task - before in
-          if spent > t.stats.max_job_step then t.stats.max_job_step <- spent)
+          Obs.set_max t.g_max_job_step spent;
+          Obs.record t.obs (Obs.Job_step { slot = j; work = spent }))
     done
 
   let register_deletion_with_jobs t id =
@@ -210,7 +254,8 @@ module Make (I : Static_index.S) = struct
 
   let start_job t j job =
     assert (t.jobs.(j) = None);
-    t.stats.jobs_started <- t.stats.jobs_started + 1;
+    Obs.incr t.c_jobs_started;
+    Obs.record t.obs (Obs.Job_start { slot = j; target = target_name job.target });
     t.jobs.(j) <- Some job
 
   (* --- queries --- *)
@@ -283,7 +328,7 @@ module Make (I : Static_index.S) = struct
       !acc
 
   let restructure t =
-    t.stats.restructures <- t.stats.restructures + 1;
+    Obs.incr t.c_restructures;
     (* finish pending jobs first so no work is lost *)
     for j = 0 to max_slots + 1 do
       force_job t j
@@ -326,7 +371,7 @@ module Make (I : Static_index.S) = struct
         end)
       docs;
     flush ();
-    log_event t "restructure: nf=%d, %d tops" t.nf (List.length t.tops)
+    Obs.record t.obs (Obs.Restructure { nf = t.nf; structures = List.length t.tops })
 
   (* --- insertion --- *)
 
@@ -361,8 +406,7 @@ module Make (I : Static_index.S) = struct
     (match extra_doc with
     | None -> ()
     | Some (id, text) -> t.temps.(job_slot) <- Some (build_ss t [ (id, text) ]));
-    log_event t "lock: C%d -> L%d; building %s in background" j j
-      (match target with `Sub jj -> Printf.sprintf "N%d" jj | _ -> "new top");
+    Obs.record t.obs (Obs.Lock { level = j; target = target_name target });
     let task =
       Incremental.create (fun tick ->
           let docs0 =
@@ -378,6 +422,7 @@ module Make (I : Static_index.S) = struct
     start_job t job_slot { task; target; frees_locked; deleted_during = [] }
 
   let insert t (text : string) : int =
+    let t0 = Obs.start () in
     let id = t.next_id in
     t.next_id <- t.next_id + 1;
     let tlen = String.length text + 1 in
@@ -388,7 +433,8 @@ module Make (I : Static_index.S) = struct
       let key = t.next_top_key in
       t.next_top_key <- key + 1;
       t.tops <- (key, build_ss t [ (id, text) ]) :: t.tops;
-      log_event t "insert: oversized doc %d as top T%d" id key
+      Obs.record t.obs
+        (Obs.Note (Printf.sprintf "insert: oversized doc %d as top T%d" id key))
     end
     else if Gsuffix_tree.live_symbols t.gst + tlen <= max_size t 0 then
       Gsuffix_tree.insert t.gst ~doc:id text
@@ -415,12 +461,12 @@ module Make (I : Static_index.S) = struct
         end;
         if tlen >= max_size t j / 2 then begin
           (* big enough to pay for a synchronous rebuild *)
-          t.stats.sync_merges <- t.stats.sync_merges + 1;
+          Obs.incr t.c_sync_merges;
           let docs0 = if j = 0 then gst_docs t.gst else match t.subs.(j) with None -> [] | Some ss -> SS.live_docs ss in
           let docs1 = match t.subs.(j + 1) with None -> [] | Some ss -> SS.live_docs ss in
           if j = 0 then t.gst <- Gsuffix_tree.create () else t.subs.(j) <- None;
           t.subs.(j + 1) <- Some (build_ss t (docs0 @ docs1 @ [ (id, text) ]));
-          log_event t "sync merge: C%d ∪ C%d ∪ doc%d -> C%d" j (j + 1) id (j + 1)
+          Obs.record t.obs (Obs.Merge { from_level = j; into_level = j + 1; sync = true })
         end
         else lock_and_start t j ~extra_doc:(Some (id, text)) ~target:(`Sub (j + 1))
       | None ->
@@ -433,6 +479,8 @@ module Make (I : Static_index.S) = struct
     t.live <- t.live + tlen;
     t.doc_count <- t.doc_count + 1;
     if t.live > 2 * t.nf then restructure t;
+    Obs.incr t.c_inserts;
+    Obs.stop t.h_insert_ns t0;
     id
 
   (* --- deletion --- *)
@@ -464,18 +512,25 @@ module Make (I : Static_index.S) = struct
       match worst with
       | None -> ()
       | Some (key, ss) ->
-        t.stats.top_cleanings <- t.stats.top_cleanings + 1;
-        log_event t "clean: rebuilding top T%d in background (%d dead syms)" key (SS.dead_symbols ss);
+        Obs.incr t.c_top_cleanings;
+        let dead = SS.dead_symbols ss in
+        let total = SS.live_symbols ss + dead in
+        Obs.observe t.h_purge_dead_frac (if total = 0 then 0 else dead * 1000 / total);
+        Obs.record t.obs (Obs.Top_clean { key; dead });
         let task = Incremental.create (fun tick -> build_ss t ~tick (SS.live_docs ~tick ss)) in
         start_job t (max_slots + 1)
           { task; target = `Replace_top key; frees_locked = None; deleted_during = [] }
     end
 
+  (* Deleting a nonexistent or already-deleted document must return false
+     without pumping jobs, touching counters or running purge checks --
+     so the structure is located and marked dead first, and all side
+     effects happen only on success. *)
   let delete t id =
     match doc_size t id with
     | None -> false
     | Some syms ->
-      pump t syms;
+      let t0 = Obs.start () in
       let deleted = ref false in
       (* try the uncompressed buffers first, then every SS *)
       if Gsuffix_tree.mem t.gst id then deleted := Gsuffix_tree.delete t.gst id
@@ -495,7 +550,10 @@ module Make (I : Static_index.S) = struct
       end;
       if not !deleted then false
       else begin
+        (* in-flight snapshots must learn about the deletion before any
+           pending job is allowed to land, or the job would resurrect it *)
         register_deletion_with_jobs t id;
+        pump t syms;
         t.live <- t.live - syms;
         t.doc_count <- t.doc_count - 1;
         t.del_counter <- t.del_counter + syms;
@@ -509,13 +567,18 @@ module Make (I : Static_index.S) = struct
             let target = if j < r then `Sub (j + 1) else `Top in
             let slot = match target with `Sub jj -> jj | _ -> max_slots + 1 in
             if t.jobs.(slot) = None && t.jobs.(j) = None then begin
-              log_event t "purge: C%d has %d dead syms; merging up" j (SS.dead_symbols ss);
+              let dead = SS.dead_symbols ss in
+              let total = SS.live_symbols ss + dead in
+              Obs.observe t.h_purge_dead_frac (if total = 0 then 0 else dead * 1000 / total);
+              Obs.record t.obs (Obs.Purge { level = j; dead; total });
               lock_and_start t j ~extra_doc:None ~target
             end
           | _ -> ()
         done;
         maybe_clean_tops t;
         if 2 * t.live < t.nf && t.nf > 256 then restructure t;
+        Obs.incr t.c_deletes;
+        Obs.stop t.h_delete_ns t0;
         true
       end
 
@@ -539,6 +602,22 @@ module Make (I : Static_index.S) = struct
       | Some ss -> add (Printf.sprintf "Temp%d" j) (SS.live_symbols ss) (SS.dead_symbols ss)
     done;
     List.iter (fun (k, ss) -> add (Printf.sprintf "T%d" k) (SS.live_symbols ss) (SS.dead_symbols ss)) t.tops;
+    List.rev !acc
+
+  (* Space per structure, for the nHk + o(n) accounting. *)
+  let space_census t =
+    let acc = ref [] in
+    let add name bits = acc := (name, bits) :: !acc in
+    add "C0" (Gsuffix_tree.space_bits t.gst);
+    (match t.locked_gst with None -> () | Some g -> add "L0" (Gsuffix_tree.space_bits g));
+    for j = 1 to max_slots + 1 do
+      (match t.subs.(j) with None -> () | Some ss -> add (Printf.sprintf "C%d" j) (SS.space_bits ss));
+      (match t.locked.(j) with None -> () | Some ss -> add (Printf.sprintf "L%d" j) (SS.space_bits ss));
+      match t.temps.(j) with
+      | None -> ()
+      | Some ss -> add (Printf.sprintf "Temp%d" j) (SS.space_bits ss)
+    done;
+    List.iter (fun (k, ss) -> add (Printf.sprintf "T%d" k) (SS.space_bits ss)) t.tops;
     List.rev !acc
 
   let pending_jobs t =

@@ -56,7 +56,13 @@ let of_bitvec bv =
   let len = Bitvec.length bv in
   let nw = words_for len in
   let level0 = Array.init nw (fun j -> if j < Bitvec.num_words bv then Bitvec.word bv j else 0) in
-  { len; levels = build_levels level0; ones = Bitvec.count bv; counts = counts_of_level0 level0 }
+  (* Stray bits above [len] in the last raw word would corrupt the summary
+     pyramid, the Fenwick word counts and [ones]; mask them off. *)
+  let rem = len mod w in
+  if rem <> 0 || len = 0 then
+    level0.(nw - 1) <- level0.(nw - 1) land Popcount.low_mask (if len = 0 then 0 else rem);
+  let ones = Array.fold_left (fun a x -> a + Popcount.count x) 0 level0 in
+  { len; levels = build_levels level0; ones; counts = counts_of_level0 level0 }
 
 let length t = t.len
 let ones t = t.ones

@@ -237,11 +237,11 @@ let rank1 t i =
 let rank0 t i = i - rank1 t i
 
 let select1 t k =
-  if k < 0 || k >= ones t then raise Not_found;
+  if k < 0 || k >= ones t then invalid_arg "Dyn_bitvec.select1";
   tree_select t.root 1 k
 
 let select0 t k =
-  if k < 0 || k >= zeros t then raise Not_found;
+  if k < 0 || k >= zeros t then invalid_arg "Dyn_bitvec.select0";
   tree_select t.root 0 k
 
 let push_back t b = insert t (len t) b

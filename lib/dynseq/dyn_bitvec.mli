@@ -25,9 +25,12 @@ val rank1 : t -> int -> int
 
 val rank0 : t -> int -> int
 
-(** Position of the [k]-th one; raises [Not_found]. *)
+(** Position of the [k]-th one (0-based); raises [Invalid_argument] if
+    [k < 0] or [k >= ones t] — the same out-of-range convention as
+    {!insert}/{!delete}/{!rank1}. *)
 val select1 : t -> int -> int
 
+(** Position of the [k]-th zero; raises [Invalid_argument] out of range. *)
 val select0 : t -> int -> int
 val push_back : t -> bool -> unit
 val to_bools : t -> bool list

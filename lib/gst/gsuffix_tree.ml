@@ -15,6 +15,17 @@
      cost of skipping dead leaves (bounded on average by the <= 1/2 dead
      fraction). *)
 
+open Dsdg_obs
+
+(* Process-wide scope shared by every tree instance (C0 buffers are
+   created and discarded constantly by the dynamization layers). *)
+let obs = Obs.scope "gst"
+let c_inserts = Obs.counter obs "inserts"
+let c_deletes = Obs.counter obs "deletes"
+let c_rebuilds = Obs.counter obs "rebuilds"
+let c_searches = Obs.counter obs "searches"
+let h_rebuild_syms = Obs.histogram obs "rebuild_syms"
+
 type text = {
   doc : int;
   chars : string;
@@ -184,9 +195,12 @@ let insert t ~doc (contents : string) =
   let txt = { doc; chars = contents } in
   Hashtbl.replace t.docs doc contents;
   t.live_syms <- t.live_syms + text_len txt;
+  Obs.incr c_inserts;
   ukkonen_insert t txt
 
 let rebuild t =
+  Obs.incr c_rebuilds;
+  Obs.observe h_rebuild_syms t.live_syms;
   let docs = Hashtbl.fold (fun d s acc -> (d, s) :: acc) t.docs [] in
   t.root <- new_root ();
   t.node_count <- 1;
@@ -203,6 +217,7 @@ let delete t doc =
     let len = String.length contents + 1 in
     t.live_syms <- t.live_syms - len;
     t.dead_syms <- t.dead_syms + len;
+    Obs.incr c_deletes;
     if t.dead_syms > t.live_syms then rebuild t;
     true
 
@@ -249,6 +264,7 @@ let iter_live_leaves t nd ~f =
 
 (* Report all (doc, off) occurrences of [p] among live documents. *)
 let search t (p : string) ~f =
+  Obs.incr c_searches;
   match locus t p with
   | None -> ()
   | Some nd ->

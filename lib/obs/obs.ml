@@ -1,0 +1,279 @@
+(* Shared instrumentation for the dynamization machinery: counters,
+   max-gauges, log-bucketed histograms and a structured event ring.
+
+   Everything funnels through [!enabled]: when the flag is off every
+   probe is a single load-and-branch, and nothing allocates. When it is
+   on, counter/gauge/histogram updates are a few stores (histograms
+   bucket by bit length, no allocation); only event recording allocates
+   (one constructor per rare structural event). *)
+
+let enabled = ref true
+let set_enabled b = enabled := b
+
+(* Default nanosecond clock.  gettimeofday is wall-clock, not monotonic,
+   but it is dependency-light and the histograms only feed statistics;
+   bench harnesses install their monotonic clock via [set_clock]. *)
+let default_clock () = int_of_float (Unix.gettimeofday () *. 1e9)
+let clock = ref default_clock
+let set_clock f = clock := f
+let now_ns () = !clock ()
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable gv : int }
+
+let hist_buckets = 63
+
+type histogram = {
+  h_name : string;
+  buckets : int array; (* bucket b: values v with bit-length b, i.e. [2^(b-1), 2^b) *)
+  mutable h_n : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+}
+
+type event =
+  | Purge of { level : int; dead : int; total : int }
+  | Merge of { from_level : int; into_level : int; sync : bool }
+  | Lock of { level : int; target : string }
+  | Job_start of { slot : int; target : string }
+  | Job_step of { slot : int; work : int }
+  | Job_force of { slot : int }
+  | Job_finish of { slot : int; work : int }
+  | Install of { slot : int; target : string; live : int }
+  | Top_clean of { key : int; dead : int }
+  | Restructure of { nf : int; structures : int }
+  | Note of string
+
+let ring_capacity = 512
+
+type scope = {
+  s_name : string;
+  mutable cs : counter list; (* newest first; reversed on read *)
+  mutable gs : gauge list;
+  mutable hs : histogram list;
+  ring : (int * event) option array;
+  mutable ring_next : int; (* next write slot *)
+  mutable seq : int; (* events recorded since creation/reset *)
+}
+
+let make_scope name =
+  {
+    s_name = name;
+    cs = [];
+    gs = [];
+    hs = [];
+    ring = Array.make ring_capacity None;
+    ring_next = 0;
+    seq = 0;
+  }
+
+let registry : (string, scope) Hashtbl.t = Hashtbl.create 16
+let registry_order : scope list ref = ref []
+
+let scope name =
+  match Hashtbl.find_opt registry name with
+  | Some s -> s
+  | None ->
+    let s = make_scope name in
+    Hashtbl.replace registry name s;
+    registry_order := s :: !registry_order;
+    s
+
+let private_scope name = make_scope name
+let scope_name s = s.s_name
+let registered () = List.rev !registry_order
+
+(* --- counters / gauges (get-or-create by name within a scope) --- *)
+
+let counter s name =
+  match List.find_opt (fun c -> c.c_name = name) s.cs with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    s.cs <- c :: s.cs;
+    c
+
+let[@inline] incr c = if !enabled then c.count <- c.count + 1
+let[@inline] add c n = if !enabled then c.count <- c.count + n
+let value c = c.count
+
+let gauge s name =
+  match List.find_opt (fun g -> g.g_name = name) s.gs with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; gv = 0 } in
+    s.gs <- g :: s.gs;
+    g
+
+let[@inline] set_gauge g v = if !enabled then g.gv <- v
+let[@inline] set_max g v = if !enabled && v > g.gv then g.gv <- v
+let gauge_value g = g.gv
+
+(* --- histograms --- *)
+
+let histogram s name =
+  match List.find_opt (fun h -> h.h_name = name) s.hs with
+  | Some h -> h
+  | None ->
+    let h = { h_name = name; buckets = Array.make hist_buckets 0; h_n = 0; h_sum = 0; h_max = 0 } in
+    s.hs <- h :: s.hs;
+    h
+
+(* bit length of v, clamped to the bucket range; bucket 0 holds v <= 0 *)
+let[@inline] bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and x = ref v in
+    while !x > 0 do
+      Stdlib.incr b;
+      x := !x lsr 1
+    done;
+    if !b >= hist_buckets then hist_buckets - 1 else !b
+  end
+
+let observe h v =
+  if !enabled then begin
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1;
+    h.h_n <- h.h_n + 1;
+    h.h_sum <- h.h_sum + v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let[@inline] start () = if !enabled then !clock () else 0
+let[@inline] stop h t0 = if !enabled then observe h (!clock () - t0)
+
+let time h f =
+  if !enabled then begin
+    let t0 = !clock () in
+    let r = f () in
+    observe h (!clock () - t0);
+    r
+  end
+  else f ()
+
+type histogram_summary = { n : int; sum : int; max : int; p50 : int; p90 : int; p99 : int }
+
+(* Upper bound of bucket [b]: the largest value with bit length b. *)
+let bucket_upper b = if b = 0 then 0 else (1 lsl b) - 1
+
+let percentile h q =
+  if h.h_n = 0 then 0
+  else begin
+    let target = max 1 (int_of_float (ceil (q *. float_of_int h.h_n))) in
+    let acc = ref 0 and res = ref (bucket_upper (hist_buckets - 1)) and found = ref false in
+    for b = 0 to hist_buckets - 1 do
+      if not !found then begin
+        acc := !acc + h.buckets.(b);
+        if !acc >= target then begin
+          res := bucket_upper b;
+          found := true
+        end
+      end
+    done;
+    !res
+  end
+
+let summarize h =
+  {
+    n = h.h_n;
+    sum = h.h_sum;
+    max = h.h_max;
+    p50 = percentile h 0.50;
+    p90 = percentile h 0.90;
+    p99 = percentile h 0.99;
+  }
+
+(* --- events --- *)
+
+let record s e =
+  if !enabled then begin
+    s.ring.(s.ring_next) <- Some (s.seq, e);
+    s.seq <- s.seq + 1;
+    s.ring_next <- (s.ring_next + 1) mod ring_capacity
+  end
+
+let recent s =
+  let acc = ref [] in
+  for i = 0 to ring_capacity - 1 do
+    (* walk forward from the oldest slot so [acc] ends newest-first *)
+    match s.ring.((s.ring_next + i) mod ring_capacity) with
+    | None -> ()
+    | Some entry -> acc := entry :: !acc
+  done;
+  !acc
+
+let event_to_string = function
+  | Purge { level; dead; total } ->
+    Printf.sprintf "purge: C%d has %d/%d dead syms; rebuilding without them" level dead total
+  | Merge { from_level; into_level; sync } ->
+    Printf.sprintf "%s: C%d -> C%d" (if sync then "sync merge" else "merge") from_level into_level
+  | Lock { level; target } ->
+    Printf.sprintf "lock: C%d -> L%d; building %s in background" level level target
+  | Job_start { slot; target } -> Printf.sprintf "job start: slot %d -> %s" slot target
+  | Job_step { slot; work } -> Printf.sprintf "job step: slot %d advanced %d ticks" slot work
+  | Job_force { slot } -> Printf.sprintf "force: finishing job at slot %d synchronously" slot
+  | Job_finish { slot; work } -> Printf.sprintf "job finish: slot %d after %d ticks" slot work
+  | Install { slot; target; live } ->
+    Printf.sprintf "install: slot %d -> %s (%d live syms)" slot target live
+  | Top_clean { key; dead } ->
+    Printf.sprintf "clean: rebuilding top T%d in background (%d dead syms)" key dead
+  | Restructure { nf; structures } ->
+    Printf.sprintf "restructure: nf=%d, %d structures" nf structures
+  | Note s -> s
+
+(* --- reporting --- *)
+
+let counters s =
+  List.rev_map (fun c -> (c.c_name, c.count)) s.cs
+  @ List.rev_map (fun g -> (g.g_name, g.gv)) s.gs
+
+let histograms s = List.rev_map (fun h -> (h.h_name, summarize h)) s.hs
+
+let snapshot s =
+  counters s
+  @ List.concat_map
+      (fun (name, sm) ->
+        [ (name ^ ".n", sm.n); (name ^ ".p50", sm.p50); (name ^ ".p99", sm.p99); (name ^ ".max", sm.max) ])
+      (histograms s)
+
+let reset s =
+  List.iter (fun c -> c.count <- 0) s.cs;
+  List.iter (fun g -> g.gv <- 0) s.gs;
+  List.iter
+    (fun h ->
+      Array.fill h.buckets 0 hist_buckets 0;
+      h.h_n <- 0;
+      h.h_sum <- 0;
+      h.h_max <- 0)
+    s.hs;
+  Array.fill s.ring 0 ring_capacity None;
+  s.ring_next <- 0;
+  s.seq <- 0
+
+let render ?(max_events = 20) s =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "[%s]\n" s.s_name);
+  let cs = counters s in
+  if cs <> [] then begin
+    let width = List.fold_left (fun a (n, _) -> max a (String.length n)) 0 cs in
+    List.iter (fun (n, v) -> Buffer.add_string b (Printf.sprintf "  %-*s %d\n" width n v)) cs
+  end;
+  List.iter
+    (fun (n, sm) ->
+      if sm.n > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "  %s: n=%d mean=%d p50<=%d p90<=%d p99<=%d max=%d\n" n sm.n
+             (sm.sum / sm.n) sm.p50 sm.p90 sm.p99 sm.max))
+    (histograms s);
+  let evs = recent s in
+  if evs <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "  recent events (%d total, newest first):\n" s.seq);
+    List.iteri
+      (fun i (seq, e) ->
+        if i < max_events then
+          Buffer.add_string b (Printf.sprintf "    #%-5d %s\n" seq (event_to_string e)))
+      evs
+  end;
+  Buffer.contents b

@@ -66,6 +66,22 @@ let battery (variant, backend, name) () =
   Alcotest.(check bool) (name ^ " space positive") true
     (Dynamic_index.doc_count idx = 0 || Dynamic_index.space_bits idx > 0)
 
+(* Double-delete regression: the second delete of the same id (and a
+   delete of a never-existing id) must return false and leave doc_count,
+   total_symbols and query results untouched -- in every variant. *)
+let double_delete (variant, backend, name) () =
+  let idx = Dynamic_index.create ~variant ~backend ~sample:2 ~tau:4 () in
+  let ids = List.init 25 (fun i -> Dynamic_index.insert idx (Printf.sprintf "twice doc %d" i)) in
+  let victim = List.nth ids 7 in
+  Alcotest.(check bool) (name ^ " first delete") true (Dynamic_index.delete idx victim);
+  let docs = Dynamic_index.doc_count idx and syms = Dynamic_index.total_symbols idx in
+  Alcotest.(check bool) (name ^ " double delete") false (Dynamic_index.delete idx victim);
+  Alcotest.(check bool) (name ^ " unknown delete") false (Dynamic_index.delete idx 99999);
+  check (name ^ " doc_count unchanged") docs (Dynamic_index.doc_count idx);
+  check (name ^ " symbols unchanged") syms (Dynamic_index.total_symbols idx);
+  Alcotest.(check bool) (name ^ " victim stays dead") false (Dynamic_index.mem idx victim);
+  check (name ^ " count intact") 24 (Dynamic_index.count idx "twice doc")
+
 let test_iter_matches () =
   let idx = Dynamic_index.create () in
   let id = Dynamic_index.insert idx "abcabc" in
@@ -89,6 +105,9 @@ let test_unicode_bytes () =
 
 let suite =
   List.map (fun cfg -> (let _, _, n = cfg in n ^ " churn battery"), `Quick, battery cfg) all_configs
+  @ List.map
+      (fun cfg -> (let _, _, n = cfg in n ^ " double delete"), `Quick, double_delete cfg)
+      all_configs
   @ [ ("iter_matches", `Quick, test_iter_matches);
       ("delete unknown", `Quick, test_delete_unknown);
       ("unicode bytes", `Quick, test_unicode_bytes) ]

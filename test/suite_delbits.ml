@@ -60,6 +60,34 @@ let test_reporter_of_bitvec () =
   Reporter.zero r 3;
   Alcotest.(check (list int)) "after zero" [ 0; 2; 6 ] (Reporter.to_list r)
 
+(* Word-boundary lengths: the 62-bit last word is partial (len mod 62 <> 0),
+   exactly full (len = 62), or absent (len = 0).  create_full and of_bitvec
+   must agree and never count bits above [len]. *)
+let test_reporter_partial_word_lengths () =
+  let open Dsdg_bits in
+  List.iter
+    (fun len ->
+      let r = Reporter.create_full len in
+      check (Printf.sprintf "create_full %d ones" len) len (Reporter.ones r);
+      check (Printf.sprintf "create_full %d count_range" len) len (Reporter.count_range r 0 len);
+      Alcotest.(check (option int))
+        (Printf.sprintf "create_full %d next_one" len)
+        (if len = 0 then None else Some 0)
+        (Reporter.next_one r 0);
+      let bv = Bitvec.create len in
+      Bitvec.fill_ones bv;
+      let r' = Reporter.of_bitvec bv in
+      check (Printf.sprintf "of_bitvec %d ones" len) len (Reporter.ones r');
+      check (Printf.sprintf "of_bitvec %d count_range" len) len (Reporter.count_range r' 0 len);
+      if len > 0 then begin
+        (* zero the last valid bit; the structures above it must agree *)
+        Reporter.zero r' (len - 1);
+        check (Printf.sprintf "of_bitvec %d after zero" len) (len - 1) (Reporter.ones r');
+        check (Printf.sprintf "of_bitvec %d count after zero" len) (len - 1)
+          (Reporter.count_range r' 0 len)
+      end)
+    [ 0; 1; 61; 62; 63; 123; 124; 200 ]
+
 let prop_reporter_count_range =
   QCheck.Test.make ~name:"reporter count_range matches naive" ~count:200
     QCheck.(triple (int_range 1 500) (list (int_bound 499)) (pair (int_bound 520) (int_bound 520)))
@@ -248,6 +276,7 @@ let suite =
     ("reporter next_one", `Quick, test_reporter_next_one);
     ("reporter empty words", `Quick, test_reporter_empty_words);
     ("reporter of_bitvec", `Quick, test_reporter_of_bitvec);
+    ("reporter partial last word", `Quick, test_reporter_partial_word_lengths);
     ("fenwick basic", `Quick, test_fenwick_basic);
     ("fenwick ones", `Quick, test_fenwick_ones);
     ("incremental steps", `Quick, test_incremental_steps);

@@ -102,6 +102,26 @@ let prop_dbv_matches_model =
        with Not_found -> ok := false);
       !ok)
 
+(* Out-of-range select raises Invalid_argument, matching
+   insert/delete/rank -- including on an empty vector. *)
+let test_dbv_select_out_of_range () =
+  let bv = Dyn_bitvec.create () in
+  Alcotest.check_raises "select1 on empty" (Invalid_argument "Dyn_bitvec.select1") (fun () ->
+      ignore (Dyn_bitvec.select1 bv 0));
+  Alcotest.check_raises "select0 on empty" (Invalid_argument "Dyn_bitvec.select0") (fun () ->
+      ignore (Dyn_bitvec.select0 bv 0));
+  List.iter (Dyn_bitvec.push_back bv) [ true; false; true; true; false ];
+  check "select1 k=0" 0 (Dyn_bitvec.select1 bv 0);
+  check "select1 last" 3 (Dyn_bitvec.select1 bv 2);
+  check "select0 k=0" 1 (Dyn_bitvec.select0 bv 0);
+  check "select0 last" 4 (Dyn_bitvec.select0 bv 1);
+  Alcotest.check_raises "select1 k=ones" (Invalid_argument "Dyn_bitvec.select1") (fun () ->
+      ignore (Dyn_bitvec.select1 bv 3));
+  Alcotest.check_raises "select0 k=zeros" (Invalid_argument "Dyn_bitvec.select0") (fun () ->
+      ignore (Dyn_bitvec.select0 bv 2));
+  Alcotest.check_raises "select1 k<0" (Invalid_argument "Dyn_bitvec.select1") (fun () ->
+      ignore (Dyn_bitvec.select1 bv (-1)))
+
 (* --- Dyn_wavelet vs naive int list --- *)
 
 let prop_dwt_matches_model =
@@ -238,6 +258,7 @@ let suite =
   [ ("dyn_bitvec push/get", `Quick, test_dbv_push_and_get);
     ("dyn_bitvec insert middle", `Quick, test_dbv_insert_middle);
     ("dyn_bitvec delete", `Quick, test_dbv_delete);
+    ("dyn_bitvec select out of range", `Quick, test_dbv_select_out_of_range);
     ("dyn_fm basic", `Quick, test_dynfm_basic);
     ("dyn_fm delete", `Quick, test_dynfm_delete);
     ("dyn_fm empty doc", `Quick, test_dynfm_empty_doc) ]

@@ -207,6 +207,40 @@ let test_soak () =
   Alcotest.(check bool) "soak exercised jobs" true (s.Transform2.jobs_completed > 20);
   Alcotest.(check bool) "soak exercised cleaning" true (s.Transform2.top_cleanings > 0)
 
+(* Forced completions must be accounted exactly once each and feed
+   max_job_step: with a starvation-level work budget nearly every lock
+   forces its job synchronously. *)
+let test_forced_accounting () =
+  let t = T2.create ~sample:2 ~tau:4 ~work_factor:1 () in
+  let i = ref 0 in
+  while (T2.stats t).Transform2.forced = 0 && !i < 2000 do
+    ignore (T2.insert t (Printf.sprintf "forced accounting doc %d with some filler" !i));
+    incr i
+  done;
+  let s = T2.stats t in
+  Alcotest.(check bool) "a force occurred" true (s.Transform2.forced > 0);
+  Alcotest.(check bool) "max_job_step recorded" true (s.Transform2.max_job_step > 0);
+  Alcotest.(check bool) "forced counted once per completion" true
+    (s.Transform2.forced <= s.Transform2.jobs_completed);
+  Alcotest.(check bool) "completions bounded by starts" true
+    (s.Transform2.jobs_completed <= s.Transform2.jobs_started)
+
+(* A failed delete (unknown or already-deleted id) must not mutate any
+   counter or structure state. *)
+let test_failed_delete_no_mutation () =
+  let t = T2.create ~sample:2 ~tau:4 () in
+  let ids = List.init 30 (fun i -> T2.insert t (Printf.sprintf "hold doc %d" i)) in
+  let victim = List.nth ids 3 in
+  Alcotest.(check bool) "first delete" true (T2.delete t victim);
+  let s0 = T2.stats t and d0 = T2.doc_count t and y0 = T2.total_symbols t in
+  Alcotest.(check bool) "double delete" false (T2.delete t victim);
+  Alcotest.(check bool) "unknown delete" false (T2.delete t 424242);
+  let s1 = T2.stats t in
+  check "doc_count unchanged" d0 (T2.doc_count t);
+  check "symbols unchanged" y0 (T2.total_symbols t);
+  Alcotest.(check bool) "stats unchanged" true (s0 = s1);
+  check "count intact" 29 (T2.count t "hold doc")
+
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_t2_vs_model ]
 
 let suite =
@@ -218,5 +252,7 @@ let suite =
     ("churn bigger docs", `Quick, test_churn_bigger_docs);
     ("delete everything", `Quick, test_delete_everything);
     ("census shape", `Quick, test_census_shape);
+    ("forced-completion accounting", `Quick, test_forced_accounting);
+    ("failed delete mutates nothing", `Quick, test_failed_delete_no_mutation);
     ("soak 2500 ops", `Slow, test_soak) ]
   @ qsuite
