@@ -8,6 +8,11 @@
                                   observability layer (counters, latency
                                   histograms, structural events, space vs
                                   the entropy budget)
+     dsdg fuzz                    differential checking: drive random op
+                                  streams through variant x backend pairs
+                                  against a naive model with paper-invariant
+                                  oracles; failures shrink to a minimal
+                                  trace replayable with --replay
 
    Query language on stdin (after `dsdg index`):
      ?PATTERN      report occurrences
@@ -187,6 +192,68 @@ let stats_cmd ops variant backend sample tau no_obs =
     List.iter (fun s -> print_string (Obs.render s)) (Obs.registered ())
   end
 
+(* Differential fuzzing: the CLI face of Dsdg_check (DESIGN.md section 6).
+   A failing stream is shrunk to a minimal trace, saved, and the replay
+   one-liner printed -- a CI failure reproduces with a single command. *)
+let fuzz_cmd seed ops streams variant backend sample tau fault profile replay trace_dir =
+  let open Dsdg_check in
+  let targets = Runner.select_targets ~variant ~backend () in
+  let config =
+    {
+      Runner.default_config with
+      Runner.sample;
+      tau;
+      fault =
+        (match fault with
+        | "none" -> None
+        | "skip-top-clean" -> Some `Skip_top_clean
+        | s -> invalid_arg ("unknown fault: " ^ s));
+    }
+  in
+  let profile =
+    match profile with
+    | "default" -> Opgen.default
+    | "churny" -> Opgen.churny
+    | s -> invalid_arg ("unknown profile: " ^ s)
+  in
+  let tnames = String.concat ", " (List.map (fun t -> t.Runner.tg_name) targets) in
+  let fail_with ~seed_used failure shrunk =
+    print_string (Runner.report ?seed:seed_used ~failure ~shrunk ());
+    let dir = match trace_dir with Some d -> d | None -> Filename.get_temp_dir_name () in
+    let path =
+      Filename.concat dir
+        (match seed_used with
+        | Some s -> Printf.sprintf "dsdg-fuzz-seed%d.trace" s
+        | None -> "dsdg-fuzz-replay.trace")
+    in
+    Trace.save path shrunk;
+    Printf.printf "minimal trace saved to %s\nreplay: dsdg fuzz --replay %s --variant %s --backend %s%s\n"
+      path path variant backend
+      (if config.Runner.fault <> None then " --fault " ^ fault else "");
+    exit 1
+  in
+  match replay with
+  | Some file ->
+    let trace = Trace.load file in
+    Printf.printf "replaying %d ops from %s against %s\n%!" (List.length trace) file tnames;
+    (match Runner.run_trace ~config ~targets trace with
+    | Ok () -> Printf.printf "replay OK: all targets agree with the model, all invariants hold\n"
+    | Error f ->
+      let prefix = List.filteri (fun i _ -> i < f.Runner.f_step) trace in
+      let shrunk = Runner.shrink ~config ~targets prefix in
+      fail_with ~seed_used:None f shrunk)
+  | None ->
+    Printf.printf "fuzzing %d stream(s) x %d ops against %s\n%!" streams ops tnames;
+    for s = 0 to streams - 1 do
+      let stream_seed = seed + s in
+      match Runner.run_stream ~config ~profile ~targets ~seed:stream_seed ~ops () with
+      | Runner.Pass ->
+        if streams > 1 then Printf.printf "stream seed=%d: ok\n%!" stream_seed
+      | Runner.Fail { failure; shrunk; _ } -> fail_with ~seed_used:(Some stream_seed) failure shrunk
+    done;
+    Printf.printf "fuzz OK: %d stream(s) x %d ops, %d target(s), model + invariants clean\n" streams
+      ops (List.length targets)
+
 let files_arg = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
 let whole_arg = Arg.(value & flag & info [ "whole" ] ~doc:"Index whole files instead of lines.")
 let variant_arg =
@@ -210,6 +277,32 @@ let stats_t =
     (Cmd.info "stats" ~doc:"Scripted churn workload + observability dump")
     Term.(const stats_cmd $ ops_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg $ no_obs_arg)
 
+let fuzz_seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed (stream i uses seed+i).")
+let fuzz_ops_arg = Arg.(value & opt int 1000 & info [ "ops" ] ~doc:"Operations per stream.")
+let fuzz_streams_arg = Arg.(value & opt int 1 & info [ "streams" ] ~doc:"Number of independent streams.")
+let fuzz_variant_arg =
+  Arg.(value & opt string "all" & info [ "variant" ] ~doc:"all | amortized | loglog | worst-case")
+let fuzz_backend_arg = Arg.(value & opt string "all" & info [ "backend" ] ~doc:"all | fm | sa | csa")
+let fuzz_sample_arg = Arg.(value & opt int 2 & info [ "sample" ] ~doc:"SA sampling rate s.")
+let fuzz_tau_arg = Arg.(value & opt int 4 & info [ "tau" ] ~doc:"Lazy-deletion threshold tau.")
+let fuzz_fault_arg =
+  Arg.(value & opt string "none"
+       & info [ "fault" ] ~doc:"Plant a scheduling defect: none | skip-top-clean (harness self-test).")
+let fuzz_profile_arg =
+  Arg.(value & opt string "default" & info [ "profile" ] ~doc:"Op-mix profile: default | churny.")
+let fuzz_replay_arg =
+  Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"TRACE" ~doc:"Replay a saved trace file instead of generating streams.")
+let fuzz_trace_dir_arg =
+  Arg.(value & opt (some dir) None & info [ "trace-dir" ] ~doc:"Where to save failing traces (default: system temp dir).")
+
+let fuzz_t =
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Differential checking with shrinking and invariant oracles")
+    Term.(
+      const fuzz_cmd $ fuzz_seed_arg $ fuzz_ops_arg $ fuzz_streams_arg $ fuzz_variant_arg
+      $ fuzz_backend_arg $ fuzz_sample_arg $ fuzz_tau_arg $ fuzz_fault_arg $ fuzz_profile_arg
+      $ fuzz_replay_arg $ fuzz_trace_dir_arg)
+
 let () =
   let doc = "dynamic compressed document collection index (Munro-Nekrich-Vitter, PODS 2015)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "dsdg" ~doc) [ index_t; demo_t; stats_t ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "dsdg" ~doc) [ index_t; demo_t; stats_t; fuzz_t ]))

@@ -1,0 +1,175 @@
+(* Adversarial op-stream generator; see opgen.mli.
+
+   Generation simulates id assignment (sequential from 0, like the
+   structures) so deletes/extracts/mems can aim at live ids, dead ids or
+   ids never assigned, with known proportions. *)
+
+type profile = {
+  w_insert : int;
+  w_delete : int;
+  w_search : int;
+  w_count : int;
+  w_extract : int;
+  w_mem : int;
+  doc_len_min : int;
+  doc_len_max : int;
+  alphabet : int;
+  oversized_permille : int;
+  empty_permille : int;
+  duplicate_permille : int;
+  reinsert_permille : int;
+}
+
+let default =
+  {
+    w_insert = 40;
+    w_delete = 20;
+    w_search = 14;
+    w_count = 12;
+    w_extract = 9;
+    w_mem = 5;
+    doc_len_min = 0;
+    doc_len_max = 60;
+    alphabet = 3;
+    oversized_permille = 30;
+    empty_permille = 40;
+    duplicate_permille = 120;
+    reinsert_permille = 250;
+  }
+
+let churny =
+  {
+    default with
+    w_insert = 34;
+    w_delete = 32;
+    doc_len_max = 120;
+    oversized_permille = 50;
+    reinsert_permille = 400;
+  }
+
+type sim = {
+  mutable next_id : int;
+  mutable live_syms : int;
+  live : (int, string) Hashtbl.t;
+  mutable live_ids : int list; (* cached keys of [live] *)
+  mutable dead_ids : int list;
+  mutable pool : string list; (* every text ever inserted *)
+  mutable pool_n : int;
+}
+
+let pick_live st sim = List.nth sim.live_ids (Random.State.int st (List.length sim.live_ids))
+
+let rand_text st p len =
+  String.init len (fun _ -> Char.chr (97 + Random.State.int st (max 1 p.alphabet)))
+
+let gen_insert_text st p sim =
+  let roll = Random.State.int st 1000 in
+  if roll < p.empty_permille then ""
+  else if roll < p.empty_permille + p.duplicate_permille && sim.pool_n > 0 then
+    List.nth sim.pool (Random.State.int st sim.pool_n)
+  else if roll < p.empty_permille + p.duplicate_permille + p.oversized_permille then
+    (* oversized: comparable to the whole live collection, so it crosses
+       the nf/tau own-top threshold of Transformation 2 *)
+    rand_text st p (min 2048 (max 256 sim.live_syms) + Random.State.int st 256)
+  else rand_text st p (p.doc_len_min + Random.State.int st (max 1 (p.doc_len_max - p.doc_len_min + 1)))
+
+(* A pattern is usually a substring of some inserted text (live or
+   already deleted), occasionally random or over letters never
+   inserted. *)
+let gen_pattern st p sim =
+  let roll = Random.State.int st 100 in
+  if roll < 60 && sim.pool_n > 0 then begin
+    let text = List.nth sim.pool (Random.State.int st sim.pool_n) in
+    let n = String.length text in
+    if n = 0 then rand_text st p (1 + Random.State.int st 3)
+    else begin
+      let len = min n (1 + Random.State.int st 6) in
+      let off = Random.State.int st (n - len + 1) in
+      String.sub text off len
+    end
+  end
+  else if roll < 85 then rand_text st p (1 + Random.State.int st 4)
+  else String.init (1 + Random.State.int st 3) (fun _ -> Char.chr (122 - Random.State.int st 2))
+
+(* Target id mix for delete/mem/extract: mostly live, sometimes dead,
+   sometimes never assigned. *)
+let gen_target_id st sim =
+  let roll = Random.State.int st 100 in
+  if roll < 72 && sim.live_ids <> [] then pick_live st sim
+  else if roll < 88 && sim.dead_ids <> [] then
+    List.nth sim.dead_ids (Random.State.int st (List.length sim.dead_ids))
+  else sim.next_id + 7 + Random.State.int st 1000
+
+let apply_insert sim text =
+  let id = sim.next_id in
+  sim.next_id <- id + 1;
+  Hashtbl.replace sim.live id text;
+  sim.live_ids <- id :: sim.live_ids;
+  sim.live_syms <- sim.live_syms + String.length text + 1;
+  sim.pool <- text :: sim.pool;
+  sim.pool_n <- sim.pool_n + 1;
+  id
+
+let apply_delete sim id =
+  match Hashtbl.find_opt sim.live id with
+  | None -> None
+  | Some text ->
+    Hashtbl.remove sim.live id;
+    sim.live_ids <- List.filter (fun i -> i <> id) sim.live_ids;
+    sim.dead_ids <- id :: sim.dead_ids;
+    sim.live_syms <- sim.live_syms - (String.length text + 1);
+    Some text
+
+let generate ?(profile = default) ~seed ~ops () =
+  let p = profile in
+  let st = Random.State.make [| seed; 0x5eed |] in
+  let sim =
+    { next_id = 0; live_syms = 0; live = Hashtbl.create 64; live_ids = []; dead_ids = []; pool = []; pool_n = 0 }
+  in
+  let total_w = p.w_insert + p.w_delete + p.w_search + p.w_count + p.w_extract + p.w_mem in
+  let acc = ref [] in
+  let emitted = ref 0 in
+  let emit op =
+    acc := op :: !acc;
+    incr emitted
+  in
+  while !emitted < ops do
+    let roll = Random.State.int st total_w in
+    if roll < p.w_insert || sim.live_ids = [] then begin
+      let text = gen_insert_text st p sim in
+      ignore (apply_insert sim text);
+      emit (Trace.Insert text)
+    end
+    else if roll < p.w_insert + p.w_delete then begin
+      let id = gen_target_id st sim in
+      let deleted = apply_delete sim id in
+      emit (Trace.Delete id);
+      match deleted with
+      | Some text when Random.State.int st 1000 < p.reinsert_permille ->
+        (* delete-reinsert churn: same text, fresh id *)
+        ignore (apply_insert sim text);
+        emit (Trace.Insert text)
+      | _ -> ()
+    end
+    else if roll < p.w_insert + p.w_delete + p.w_search then emit (Trace.Search (gen_pattern st p sim))
+    else if roll < p.w_insert + p.w_delete + p.w_search + p.w_count then
+      emit (Trace.Count (gen_pattern st p sim))
+    else if roll < p.w_insert + p.w_delete + p.w_search + p.w_count + p.w_extract then begin
+      let doc = gen_target_id st sim in
+      let off, len =
+        match Hashtbl.find_opt sim.live doc with
+        | Some text when Random.State.int st 100 < 80 ->
+          (* usually a valid range of a live document *)
+          let n = String.length text in
+          if n = 0 then (0, 0)
+          else begin
+            let len = Random.State.int st (n + 1) in
+            (Random.State.int st (n - len + 1), len)
+          end
+        | _ -> (Random.State.int st 64, Random.State.int st 64)
+      in
+      emit (Trace.Extract { doc; off; len })
+    end
+    else emit (Trace.Mem (gen_target_id st sim))
+  done;
+  List.rev !acc

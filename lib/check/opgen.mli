@@ -1,0 +1,35 @@
+(** Weighted, adversarial op-sequence generator with deterministic
+    seeds.
+
+    Beyond uniform churn it deliberately produces the inputs the
+    dynamization schedules are touchiest about: empty documents,
+    duplicate texts, delete-then-reinsert of the same text, oversized
+    documents (>= nf/tau, to force the own-top-collection path of
+    Transformation 2), patterns sampled from documents inserted at
+    different times (so query ranges straddle buffer-flush boundaries),
+    and deletes/extracts/mems aimed at dead or never-assigned ids. *)
+
+type profile = {
+  w_insert : int;
+  w_delete : int;
+  w_search : int;
+  w_count : int;
+  w_extract : int;
+  w_mem : int;  (** op weights, relative *)
+  doc_len_min : int;
+  doc_len_max : int;  (** regular document length range *)
+  alphabet : int;  (** letters used, from ['a'] *)
+  oversized_permille : int;  (** chance an insert is oversized *)
+  empty_permille : int;  (** chance an insert is the empty document *)
+  duplicate_permille : int;  (** chance an insert reuses an earlier text *)
+  reinsert_permille : int;  (** chance a delete is followed by reinsertion *)
+}
+
+val default : profile
+
+(** Heavier on deletions and reinsertion churn: drives purge and
+    top-cleaning schedules. *)
+val churny : profile
+
+(** [generate ~seed ~ops ()] is deterministic in [(profile, seed, ops)]. *)
+val generate : ?profile:profile -> seed:int -> ops:int -> unit -> Trace.op list

@@ -1,0 +1,32 @@
+(** Paper-invariant oracles, evaluated after every operation.
+
+    Each oracle checks a structural guarantee the paper's analysis
+    rests on, via {!Dsdg_core.Dynamic_index.probe}:
+
+    - {b buffer bound} (Section 2): C0 (and a locked L0) holds at most
+      the schedule's level-0 capacity, 2n/log^2 n symbols, and its lazy
+      deletions never let dead symbols outnumber live ones;
+    - {b capacity schedule} (Transformation 1 / 3): every C_j and L_j
+      holds at most max_j live symbols, and max_j is monotone in j
+      (geometric / doubling growth);
+    - {b cleaning schedule} (Lemma 1, Dietz-Sleator cleaning): one top
+      rebuild is dispatched per delta = nf/(2 tau lg tau) deleted
+      symbols, so the deleted-symbols counter never reaches twice the
+      period (a per-top dead bound would be wrong: a top legitimately
+      carries all its dead while its rebuild job is in flight);
+    - {b job accounting} (Transformation 2 scheduling): pending jobs =
+      started - completed, forced <= completed <= started, and all
+      three counters are monotone over time;
+    - {b size accounting}: the census's live symbols sum exactly to
+      [total_symbols], and a non-empty collection reports positive
+      measured space.
+
+    An oracle instance is stateful (it remembers the last job counters
+    to check monotonicity), so create one per structure under test. *)
+
+type t
+
+val create : unit -> t
+
+(** All violations after the latest operation; empty means healthy. *)
+val check : t -> Dsdg_core.Dynamic_index.t -> string list

@@ -1,0 +1,57 @@
+(* Replayable operation traces; format documented in trace.mli. *)
+
+type op =
+  | Insert of string
+  | Delete of int
+  | Search of string
+  | Count of string
+  | Extract of { doc : int; off : int; len : int }
+  | Mem of int
+
+let op_to_string = function
+  | Insert text -> Printf.sprintf "+ %S" text
+  | Delete id -> Printf.sprintf "- %d" id
+  | Search p -> Printf.sprintf "? %S" p
+  | Count p -> Printf.sprintf "# %S" p
+  | Extract { doc; off; len } -> Printf.sprintf "= %d %d %d" doc off len
+  | Mem id -> Printf.sprintf "@ %d" id
+
+let op_of_string line =
+  let fail () = invalid_arg (Printf.sprintf "Trace.op_of_string: %S" line) in
+  if String.length line < 2 then fail ()
+  else
+    try
+      match line.[0] with
+      | '+' -> Scanf.sscanf line "+ %S" (fun s -> Insert s)
+      | '-' -> Scanf.sscanf line "- %d" (fun id -> Delete id)
+      | '?' -> Scanf.sscanf line "? %S" (fun p -> Search p)
+      | '#' -> Scanf.sscanf line "# %S" (fun p -> Count p)
+      | '=' -> Scanf.sscanf line "= %d %d %d" (fun doc off len -> Extract { doc; off; len })
+      | '@' -> Scanf.sscanf line "@ %d" (fun id -> Mem id)
+      | _ -> fail ()
+    with Scanf.Scan_failure _ | End_of_file | Failure _ -> fail ()
+
+let render ops =
+  let buf = Buffer.create 256 in
+  List.iteri (fun i op -> Buffer.add_string buf (Printf.sprintf "%4d  %s\n" (i + 1) (op_to_string op))) ops;
+  Buffer.contents buf
+
+let save path ops =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun op -> output_string oc (op_to_string op ^ "\n")) ops)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let ops = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '%' then ops := op_of_string line :: !ops
+         done
+       with End_of_file -> ());
+      List.rev !ops)

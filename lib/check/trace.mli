@@ -1,0 +1,35 @@
+(** Operation traces: the replayable currency of the fuzzer.
+
+    A trace is a list of operations against a dynamic document
+    collection. Document ids are not stored at insertion time -- the
+    k-th [Insert] always receives id k from both the model and every
+    structure under test -- so a trace is position-independent data that
+    survives shrinking: deleting an [Insert] shifts later ids in the
+    model and in the structures identically.
+
+    The textual format is line-based (["+ \"text\""], ["- id"],
+    ["? \"pat\""], ["# \"pat\""], ["= doc off len"], ["@ id"]; blank
+    lines and [%]-comments ignored) so failing CI seeds replay as
+    one-liners: [dsdg fuzz --replay trace-file]. *)
+
+type op =
+  | Insert of string
+  | Delete of int
+  | Search of string
+  | Count of string
+  | Extract of { doc : int; off : int; len : int }
+  | Mem of int
+
+val op_to_string : op -> string
+
+(** Raises [Invalid_argument] on garbage. *)
+val op_of_string : string -> op
+
+(** Numbered, one op per line -- the shape printed with failures. *)
+val render : op list -> string
+
+val save : string -> op list -> unit
+
+(** Raises [Invalid_argument] (with the offending line) on parse
+    errors, [Sys_error] if unreadable. *)
+val load : string -> op list

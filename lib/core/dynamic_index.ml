@@ -18,6 +18,23 @@ type backend =
   | Plain_sa (* fast/large: plain suffix array, Table 3 class *)
   | Csa (* compressed: Sadakane-style psi-based CSA, Table 1 row [39] *)
 
+(* Read-only structural snapshot for the invariant oracles in Dsdg_check:
+   the per-structure census (with dead counts), the schedule's level
+   capacities, the current nf snapshot and, for Transformation 2, the
+   background-job counters. *)
+type probe = {
+  pr_census : (string * int * int) list; (* name, live, dead *)
+  pr_capacity : int -> int; (* level j -> schedule capacity under current nf *)
+  pr_nf : int;
+  pr_tau : int;
+  pr_pending_jobs : int; (* background jobs in flight (always 0 for T1/T3) *)
+  pr_jobs : (int * int * int) option; (* T2 only: started, completed, forced *)
+  pr_clean : (int * int) option;
+      (* T2 only: (deleted symbols since the last top-cleaning dispatch,
+         period delta); the Dietz-Sleator schedule keeps the counter
+         below twice the period *)
+}
+
 type ops = {
   op_insert : string -> int;
   op_delete : int -> bool;
@@ -31,6 +48,7 @@ type ops = {
   op_describe : unit -> string;
   op_obs : unit -> Dsdg_obs.Obs.scope;
   op_events : unit -> string list;
+  op_probe : unit -> probe;
 }
 
 type t = ops
@@ -43,7 +61,31 @@ module T2_sa = Transform2.Make (Sa_static)
 module T2_csa = Transform2.Make (Csa_static)
 
 
-let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () : t =
+let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fault () : t =
+  let t1_probe census_full level_capacity nf () =
+    {
+      pr_census = census_full ();
+      pr_capacity = level_capacity;
+      pr_nf = nf ();
+      pr_tau = tau;
+      pr_pending_jobs = 0;
+      pr_jobs = None;
+      pr_clean = None;
+    }
+  in
+  let t2_probe census level_capacity nf pending stats clean () =
+    let s : Transform2.stats = stats () in
+    {
+      pr_census = census ();
+      pr_capacity = level_capacity;
+      pr_nf = nf ();
+      pr_tau = tau;
+      pr_pending_jobs = pending ();
+      pr_jobs =
+        Some (s.Transform2.jobs_started, s.Transform2.jobs_completed, s.Transform2.forced);
+      pr_clean = Some (clean ());
+    }
+  in
   let t1 schedule name =
     match backend with
     | Fm ->
@@ -61,6 +103,8 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () :
         op_describe = (fun () -> name ^ "/fm");
         op_obs = (fun () -> T1_fm.obs t);
         op_events = (fun () -> T1_fm.events t);
+        op_probe =
+          t1_probe (fun () -> T1_fm.census_full t) (T1_fm.level_capacity t) (fun () -> T1_fm.nf t);
       }
     | Plain_sa ->
       let t = T1_sa.create ~schedule ~sample ~tau () in
@@ -77,6 +121,8 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () :
         op_describe = (fun () -> name ^ "/sa");
         op_obs = (fun () -> T1_sa.obs t);
         op_events = (fun () -> T1_sa.events t);
+        op_probe =
+          t1_probe (fun () -> T1_sa.census_full t) (T1_sa.level_capacity t) (fun () -> T1_sa.nf t);
       }
     | Csa ->
       let t = T1_csa.create ~schedule ~sample ~tau () in
@@ -93,6 +139,9 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () :
         op_describe = (fun () -> name ^ "/csa");
         op_obs = (fun () -> T1_csa.obs t);
         op_events = (fun () -> T1_csa.events t);
+        op_probe =
+          t1_probe (fun () -> T1_csa.census_full t) (T1_csa.level_capacity t)
+            (fun () -> T1_csa.nf t);
       }
   in
   match variant with
@@ -101,7 +150,7 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () :
   | Worst_case -> (
     match backend with
     | Fm ->
-      let t = T2_fm.create ~sample ~tau () in
+      let t = T2_fm.create ~sample ~tau ?fault () in
       {
         op_insert = T2_fm.insert t;
         op_delete = T2_fm.delete t;
@@ -115,9 +164,13 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () :
         op_describe = (fun () -> "transform2/fm");
         op_obs = (fun () -> T2_fm.obs t);
         op_events = (fun () -> T2_fm.events t);
+        op_probe =
+          t2_probe (fun () -> T2_fm.census t) (T2_fm.level_capacity t) (fun () -> T2_fm.nf t)
+            (fun () -> T2_fm.pending_jobs t) (fun () -> T2_fm.stats t)
+            (fun () -> T2_fm.clean_schedule t);
       }
     | Plain_sa ->
-      let t = T2_sa.create ~sample ~tau () in
+      let t = T2_sa.create ~sample ~tau ?fault () in
       {
         op_insert = T2_sa.insert t;
         op_delete = T2_sa.delete t;
@@ -131,9 +184,13 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () :
         op_describe = (fun () -> "transform2/sa");
         op_obs = (fun () -> T2_sa.obs t);
         op_events = (fun () -> T2_sa.events t);
+        op_probe =
+          t2_probe (fun () -> T2_sa.census t) (T2_sa.level_capacity t) (fun () -> T2_sa.nf t)
+            (fun () -> T2_sa.pending_jobs t) (fun () -> T2_sa.stats t)
+            (fun () -> T2_sa.clean_schedule t);
       }
     | Csa ->
-      let t = T2_csa.create ~sample ~tau () in
+      let t = T2_csa.create ~sample ~tau ?fault () in
       {
         op_insert = T2_csa.insert t;
         op_delete = T2_csa.delete t;
@@ -147,6 +204,10 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) () :
         op_describe = (fun () -> "transform2/csa");
         op_obs = (fun () -> T2_csa.obs t);
         op_events = (fun () -> T2_csa.events t);
+        op_probe =
+          t2_probe (fun () -> T2_csa.census t) (T2_csa.level_capacity t) (fun () -> T2_csa.nf t)
+            (fun () -> T2_csa.pending_jobs t) (fun () -> T2_csa.stats t)
+            (fun () -> T2_csa.clean_schedule t);
       })
 
 (* Insert a document; returns its id. *)
@@ -175,3 +236,4 @@ let describe t = t.op_describe ()
    histograms, event ring) and its rendered recent-event log. *)
 let obs_scope t = t.op_obs ()
 let events t = t.op_events ()
+let probe t = t.op_probe ()

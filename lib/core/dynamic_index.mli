@@ -25,8 +25,18 @@ type t
 
 (** [create ()] defaults to [Worst_case] over [Fm]. [sample] is the
     suffix-array sampling rate s (locate cost vs space); [tau] the
-    lazy-deletion threshold (dead fraction tolerated before purge). *)
-val create : ?variant:variant -> ?backend:backend -> ?sample:int -> ?tau:int -> unit -> t
+    lazy-deletion threshold (dead fraction tolerated before purge).
+    [fault] plants a deliberate scheduling defect (see
+    {!Transform2.fault}) so the differential checker can prove it
+    catches real bugs; it only affects [Worst_case] instances. *)
+val create :
+  ?variant:variant ->
+  ?backend:backend ->
+  ?sample:int ->
+  ?tau:int ->
+  ?fault:Transform2.fault ->
+  unit ->
+  t
 
 (** [insert t text] adds a document and returns its id. *)
 val insert : t -> string -> int
@@ -67,3 +77,29 @@ val obs_scope : t -> Dsdg_obs.Obs.scope
 
 (** Human-readable recent structural events, newest first. *)
 val events : t -> string list
+
+(** Read-only structural snapshot for invariant checking (consumed by
+    the differential-checking oracles in [Dsdg_check.Oracle]). *)
+type probe = {
+  pr_census : (string * int * int) list;
+      (** per-structure [(name, live, dead)] symbol counts; names follow
+          the paper's Figure 2: ["C0"], ["C3"], ["L2"], ["Temp4"],
+          ["T7"]. *)
+  pr_capacity : int -> int;
+      (** level [j] -> the schedule's max size under the current [nf]
+          snapshot ([2 nf / log^2 nf * log^(eps j) nf] for the geometric
+          schedule). *)
+  pr_nf : int;  (** the current global size snapshot nf *)
+  pr_tau : int;  (** lazy-deletion threshold the instance was built with *)
+  pr_pending_jobs : int;
+      (** background construction jobs in flight; always [0] for the
+          amortized variants. *)
+  pr_jobs : (int * int * int) option;
+      (** [Worst_case] only: [(jobs_started, jobs_completed, forced)]. *)
+  pr_clean : (int * int) option;
+      (** [Worst_case] only: [(deleted symbols since the last
+          Dietz-Sleator top-cleaning dispatch, period delta)]. The
+          schedule keeps the counter below twice the period. *)
+}
+
+val probe : t -> probe

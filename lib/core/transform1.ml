@@ -137,6 +137,11 @@ module Make (I : Static_index.S) = struct
 
   let r_of t = min max_slots (t.schedule.slots t.nf)
   let max_size t j = t.schedule.max_size t.nf j
+
+  (* Read-only introspection for the differential checker (Dsdg_check):
+     the current nf snapshot and the schedule's capacity for level j. *)
+  let nf t = t.nf
+  let level_capacity t j = max_size t j
   let sub_size t j = match t.subs.(j) with None -> 0 | Some ss -> SS.live_symbols ss
 
   let doc_count t = Hashtbl.length t.locs
@@ -319,6 +324,18 @@ module Make (I : Static_index.S) = struct
       match t.subs.(j) with
       | None -> ()
       | Some ss -> acc := (Printf.sprintf "C%d" j, SS.live_symbols ss) :: !acc
+    done;
+    List.rev !acc
+
+  (* [census] plus dead-symbol counts, for the invariant oracles. *)
+  let census_full t =
+    let acc =
+      ref [ ("C0", Gsuffix_tree.live_symbols t.gst, Gsuffix_tree.dead_symbols t.gst) ]
+    in
+    for j = 1 to max_slots do
+      match t.subs.(j) with
+      | None -> ()
+      | Some ss -> acc := (Printf.sprintf "C%d" j, SS.live_symbols ss, SS.dead_symbols ss) :: !acc
     done;
     List.rev !acc
 

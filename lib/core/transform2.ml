@@ -35,6 +35,13 @@ open Dsdg_gst
 open Dsdg_incr
 open Dsdg_obs
 
+(* Deliberate scheduling defects, injectable for differential-checker
+   self-tests (Dsdg_check): a harness that cannot catch a planted bug
+   proves nothing.  [`Skip_top_clean] disables the Dietz-Sleator top
+   cleaning so deleted symbols accumulate in top collections and the
+   Lemma 1 dead-fraction bound is eventually violated. *)
+type fault = [ `Skip_top_clean ]
+
 (* Read-only snapshot of the scheduling counters (all maintained in the
    instance's Obs scope; see [obs]). *)
 type stats = {
@@ -77,6 +84,7 @@ module Make (I : Static_index.S) = struct
     mutable live : int;
     mutable doc_count : int;
     mutable del_counter : int; (* deleted symbols since last top-clean dispatch *)
+    fault : fault option;
     obs : Obs.scope;
     c_jobs_started : Obs.counter;
     c_jobs_completed : Obs.counter;
@@ -92,9 +100,10 @@ module Make (I : Static_index.S) = struct
     h_purge_dead_frac : Obs.histogram; (* per-mille dead fraction at purge/clean time *)
   }
 
-  let create ?(sample = 8) ?(tau = 8) ?(epsilon = 0.5) ?(work_factor = 64) () =
+  let create ?(sample = 8) ?(tau = 8) ?(epsilon = 0.5) ?(work_factor = 64) ?fault () =
     let obs = Obs.private_scope ("transform2/" ^ I.name) in
     {
+      fault;
       sample;
       tau;
       epsilon;
@@ -144,6 +153,9 @@ module Make (I : Static_index.S) = struct
   let doc_count t = t.doc_count
   let total_symbols t = t.live
 
+  (* Read-only introspection for the differential checker (Dsdg_check). *)
+  let nf t = t.nf
+
   let max_size t j =
     let nff = float_of_int (max t.nf 256) in
     let lg = max 2. (log nff /. log 2.) in
@@ -157,6 +169,7 @@ module Make (I : Static_index.S) = struct
     go 1
 
   let top_grain t = max 64 (t.nf / t.tau)
+  let level_capacity t j = max_size t j
 
   let sub_live t j = match t.subs.(j) with None -> 0 | Some ss -> SS.live_symbols ss
 
@@ -343,6 +356,9 @@ module Make (I : Static_index.S) = struct
     let total = List.fold_left (fun a (_, s) -> a + String.length s + 1) 0 docs in
     t.nf <- max 256 total;
     t.live <- total;
+    (* every top is rebuilt dead-free below, so the cleaning epoch
+       restarts (nf, and with it the period delta, just changed too) *)
+    t.del_counter <- 0;
     let grain = 2 * top_grain t in
     (* greedy partition into top collections of <= 2 nf/tau symbols
        (oversized docs get their own) *)
@@ -446,35 +462,47 @@ module Make (I : Static_index.S) = struct
         else if size_of j + size_of (j + 1) + tlen <= max_size t (j + 1) then Some j
         else find (j + 1)
       in
-      match find 0 with
-      | Some j ->
-        (* Invariant: before consuming or locking C_k, any pending job that
-           would rebuild C_k (slot k) must land first, otherwise its
-           snapshot would resurrect documents we are about to move. *)
-        if j > 0 then force_job t j;
-        force_job t (j + 1);
-        if (j = 0 && t.locked_gst <> None) || (j > 0 && t.locked.(j) <> None) then begin
-          (* L_j still alive: its job targets j+1; finish it *)
+      (* Forcing pending jobs below installs new sub-collections, so the
+         sizes [find] saw can be stale by the time the slot is locked --
+         locking anyway can overflow max_{j+1} (the differential checker
+         caught exactly that). Hence the placement loop: pick j, land the
+         conflicting jobs, and only proceed if the capacity condition
+         still holds under the post-install sizes; otherwise re-find.
+         Each retry has strictly fewer pending jobs, so it terminates. *)
+      let rec place () =
+        match find 0 with
+        | Some j ->
+          (* Invariant: before consuming or locking C_k, any pending job that
+             would rebuild C_k (slot k) must land first, otherwise its
+             snapshot would resurrect documents we are about to move. *)
+          if j > 0 then force_job t j;
           force_job t (j + 1);
-          (* if still locked the job lives elsewhere (top slot) *)
-          force_job t (max_slots + 1)
-        end;
-        if tlen >= max_size t j / 2 then begin
-          (* big enough to pay for a synchronous rebuild *)
-          Obs.incr t.c_sync_merges;
-          let docs0 = if j = 0 then gst_docs t.gst else match t.subs.(j) with None -> [] | Some ss -> SS.live_docs ss in
-          let docs1 = match t.subs.(j + 1) with None -> [] | Some ss -> SS.live_docs ss in
-          if j = 0 then t.gst <- Gsuffix_tree.create () else t.subs.(j) <- None;
-          t.subs.(j + 1) <- Some (build_ss t (docs0 @ docs1 @ [ (id, text) ]));
-          Obs.record t.obs (Obs.Merge { from_level = j; into_level = j + 1; sync = true })
-        end
-        else lock_and_start t j ~extra_doc:(Some (id, text)) ~target:(`Sub (j + 1))
-      | None ->
-        (* everything full: C_r (plus T) becomes a new top *)
-        force_job t r;
-        force_job t (max_slots + 1);
-        if t.locked.(r) <> None then force_job t (max_slots + 1);
-        lock_and_start t r ~extra_doc:(Some (id, text)) ~target:`Top
+          if (j = 0 && t.locked_gst <> None) || (j > 0 && t.locked.(j) <> None) then begin
+            (* L_j still alive: its job targets j+1; finish it *)
+            force_job t (j + 1);
+            (* if still locked the job lives elsewhere (top slot) *)
+            force_job t (max_slots + 1)
+          end;
+          if size_of j + size_of (j + 1) + tlen > max_size t (j + 1) then place ()
+          else if tlen >= max_size t j / 2 then begin
+            (* big enough to pay for a synchronous rebuild *)
+            Obs.incr t.c_sync_merges;
+            let docs0 = if j = 0 then gst_docs t.gst else match t.subs.(j) with None -> [] | Some ss -> SS.live_docs ss in
+            let docs1 = match t.subs.(j + 1) with None -> [] | Some ss -> SS.live_docs ss in
+            if j = 0 then t.gst <- Gsuffix_tree.create () else t.subs.(j) <- None;
+            t.subs.(j + 1) <- Some (build_ss t (docs0 @ docs1 @ [ (id, text) ]));
+            Obs.record t.obs (Obs.Merge { from_level = j; into_level = j + 1; sync = true })
+          end
+          else lock_and_start t j ~extra_doc:(Some (id, text)) ~target:(`Sub (j + 1))
+        | None ->
+          (* everything full: C_r (plus T) becomes a new top *)
+          force_job t r;
+          force_job t (max_slots + 1);
+          if t.locked.(r) <> None then force_job t (max_slots + 1);
+          if find 0 <> None then place ()
+          else lock_and_start t r ~extra_doc:(Some (id, text)) ~target:`Top
+      in
+      place ()
     end;
     t.live <- t.live + tlen;
     t.doc_count <- t.doc_count + 1;
@@ -494,11 +522,27 @@ module Make (I : Static_index.S) = struct
           match Gsuffix_tree.get_doc g id with Some s -> size := Some (String.length s + 1) | None -> ());
     !size
 
+  (* Dietz-Sleator cleaning period: one top rebuild is dispatched per
+     delta = nf / (2 tau lg tau) deleted symbols. *)
+  let clean_period t =
+    let lg_tau = max 1 (int_of_float (ceil (log (float_of_int (max 2 t.tau)) /. log 2.))) in
+    max 64 (t.nf / (2 * t.tau * lg_tau))
+
+  (* Deleted symbols since the last cleaning dispatch, and the period.
+     Schedule invariant: the counter stays below twice the period. *)
+  let clean_schedule t = (t.del_counter, clean_period t)
+
   (* Dietz-Sleator top cleaning: after every delta deleted symbols, rebuild
      the top with the most dead symbols (one background job at a time). *)
   let maybe_clean_tops t =
-    let lg_tau = max 1 (int_of_float (ceil (log (float_of_int (max 2 t.tau)) /. log 2.))) in
-    let delta = max 64 (t.nf / (2 * t.tau * lg_tau)) in
+    if t.fault = Some `Skip_top_clean then ()
+    else begin
+    let delta = clean_period t in
+    (* if the previous cleaning is still in flight after a full second
+       period of deletions, land it now -- otherwise the schedule (and the
+       dead-space bound that rests on it) can fall arbitrarily behind *)
+    if t.del_counter >= 2 * delta && t.jobs.(max_slots + 1) <> None then
+      force_job t (max_slots + 1);
     if t.del_counter >= delta && t.jobs.(max_slots + 1) = None then begin
       t.del_counter <- 0;
       let worst =
@@ -520,6 +564,7 @@ module Make (I : Static_index.S) = struct
         let task = Incremental.create (fun tick -> build_ss t ~tick (SS.live_docs ~tick ss)) in
         start_job t (max_slots + 1)
           { task; target = `Replace_top key; frees_locked = None; deleted_during = [] }
+    end
     end
 
   (* Deleting a nonexistent or already-deleted document must return false
@@ -559,12 +604,20 @@ module Make (I : Static_index.S) = struct
         t.del_counter <- t.del_counter + syms;
         (* drop emptied one-document tops immediately *)
         t.tops <- List.filter (fun (_, ss) -> not (SS.is_empty ss)) t.tops;
-        (* C_j purge rule: dead >= max_j / 2 -> merge into C_{j+1} (or top) *)
+        (* C_j purge rule: dead >= max_j / 2 -> merge into C_{j+1} (or top).
+           The merge is only legal if the live symbols actually fit in the
+           next level's schedule capacity; otherwise rebuild C_j in place
+           ([`Sub j]: the lock empties the slot, so the job reinstalls the
+           live documents at the same level). *)
         let r = r_of t in
         for j = 1 to r do
           match t.subs.(j) with
           | Some ss when SS.dead_symbols ss >= max 32 (max_size t j / 2) && t.locked.(j) = None ->
-            let target = if j < r then `Sub (j + 1) else `Top in
+            let target =
+              if j >= r then `Top
+              else if SS.live_symbols ss + sub_live t (j + 1) <= max_size t (j + 1) then `Sub (j + 1)
+              else `Sub j
+            in
             let slot = match target with `Sub jj -> jj | _ -> max_slots + 1 in
             if t.jobs.(slot) = None && t.jobs.(j) = None then begin
               let dead = SS.dead_symbols ss in

@@ -9,6 +9,7 @@ let () =
       ("delbits", Suite_delbits.suite);
       ("core", Suite_core.suite);
       ("transform2", Suite_transform2.suite);
+      ("check", Suite_check.suite);
       ("dynseq", Suite_dynseq.suite);
       ("binrel", Suite_binrel.suite);
       ("workload", Suite_workload.suite);

@@ -1,0 +1,12 @@
+(* Deterministic QCheck -> Alcotest adapter.
+
+   Without QCHECK_SEED in the environment, qcheck-alcotest falls back to
+   [Random.self_init], so plain [dune runtest] exercised different cases
+   on every run. Tier-1 must be reproducible: every suite routes its
+   properties through here, which pins the generator state (QCHECK_SEED
+   still wins when set, for exploratory runs). *)
+
+let to_alcotest t =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some _ -> QCheck_alcotest.to_alcotest t
+  | None -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xd5d6 |]) t

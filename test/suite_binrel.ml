@@ -180,6 +180,60 @@ let prop_graph_vs_model =
       done;
       !ok)
 
+(* --- random streams against the shared Dsdg_check relation model --- *)
+
+module Rel = Dsdg_check.Model.Rel
+
+let prop_dyn_vs_shared_model =
+  QCheck.Test.make ~name:"dyn_binrel matches shared Rel model on random streams" ~count:60
+    QCheck.(pair (int_bound 10000) (int_range 80 400))
+    (fun (seed, ops) ->
+      let st = Random.State.make [| seed; 53 |] in
+      let r = Dyn_binrel.create ~tau:4 () in
+      let m = Rel.create () in
+      let ok = ref true in
+      for _ = 1 to ops do
+        let o = Random.State.int st 16 and a = Random.State.int st 12 in
+        if Random.State.float st 1.0 < 0.6 then begin
+          if Dyn_binrel.add r o a <> Rel.add m o a then ok := false
+        end
+        else if Dyn_binrel.remove r o a <> Rel.remove m o a then ok := false;
+        (* interleave queries with the churn, not only at the end *)
+        if Random.State.int st 8 = 0 then begin
+          let o' = Random.State.int st 16 and a' = Random.State.int st 12 in
+          if Dyn_binrel.related r o' a' <> Rel.related m o' a' then ok := false;
+          if Dyn_binrel.labels_of_object_list r o' <> Rel.labels_of_object m o' then ok := false;
+          if Dyn_binrel.objects_of_label_list r a' <> Rel.objects_of_label m a' then ok := false;
+          if Dyn_binrel.count_labels_of_object r o' <> Rel.count_labels_of_object m o' then
+            ok := false
+        end
+      done;
+      !ok && Dyn_binrel.live_pairs r = Rel.size m)
+
+let prop_graph_vs_shared_model =
+  QCheck.Test.make ~name:"digraph matches shared Rel model on random streams" ~count:60
+    QCheck.(pair (int_bound 10000) (int_range 80 400))
+    (fun (seed, ops) ->
+      let st = Random.State.make [| seed; 59 |] in
+      let g = Digraph.create ~tau:4 () in
+      let m = Rel.create () in
+      let ok = ref true in
+      for _ = 1 to ops do
+        let u = Random.State.int st 14 and v = Random.State.int st 14 in
+        if Random.State.float st 1.0 < 0.6 then begin
+          if Digraph.add_edge g u v <> Rel.add m u v then ok := false
+        end
+        else if Digraph.remove_edge g u v <> Rel.remove m u v then ok := false;
+        if Random.State.int st 8 = 0 then begin
+          let w = Random.State.int st 14 in
+          if Digraph.successors g w <> Rel.labels_of_object m w then ok := false;
+          if Digraph.predecessors g w <> Rel.objects_of_label m w then ok := false;
+          if Digraph.out_degree g w <> Rel.count_labels_of_object m w then ok := false;
+          if Digraph.in_degree g w <> Rel.count_objects_of_label m w then ok := false
+        end
+      done;
+      !ok && Digraph.edge_count g = Rel.size m)
+
 (* --- Triple_store --- *)
 
 let test_triples_basic () =
@@ -238,8 +292,9 @@ let prop_triples_vs_model =
       !ok)
 
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest
-    [ prop_dyn_matches_model; prop_graph_vs_model; prop_triples_vs_model ]
+  List.map Qc.to_alcotest
+    [ prop_dyn_matches_model; prop_graph_vs_model; prop_dyn_vs_shared_model;
+      prop_graph_vs_shared_model; prop_triples_vs_model ]
 
 let suite =
   [ ("static queries", `Quick, test_static_queries);

@@ -239,7 +239,7 @@ let prop_elias_fano_rank =
       let naive = Array.fold_left (fun acc x -> if x < v then acc + 1 else acc) 0 a in
       Elias_fano.rank_lt ef v = naive)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest
+let qsuite = List.map Qc.to_alcotest
   [ prop_popcount_select; prop_bitvec_roundtrip; prop_rank_select;
     prop_select_rank_inverse; prop_int_vec_roundtrip; prop_elias_fano;
     prop_elias_fano_rank ]

@@ -275,7 +275,7 @@ let prop_cst_locus_matches_fm =
         r - l = fm_count)
 
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Qc.to_alcotest
     [ prop_bp_matching; prop_bp_rmq; prop_cst_lca; prop_cst_locus_matches_fm ]
 
 let suite =

@@ -1,0 +1,166 @@
+(* Differential checking suite (lib/check wired into dune runtest):
+   bounded fuzz streams across the variant x backend matrix, unit tests
+   for the trace / opgen / shrink machinery, and a planted-fault
+   self-test proving the harness catches real scheduling bugs.
+
+   Budget knobs for nightly CI: FUZZ_STREAMS, FUZZ_OPS, FUZZ_SEED. *)
+
+open Dsdg_check
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+
+let base_seed = env_int "FUZZ_SEED" 42
+let n_streams = env_int "FUZZ_STREAMS" 200
+let ops_per_stream = env_int "FUZZ_OPS" 60
+
+(* On failure, print everything needed to reproduce without rerunning
+   the suite: the seed, the saved minimal trace and the replay command. *)
+let fail_stream ~seed ~failure ~shrunk =
+  let path = Filename.temp_file "dsdg-fuzz-runtest" ".trace" in
+  Trace.save path shrunk;
+  let variant, backend =
+    match String.index_opt failure.Runner.f_target '/' with
+    | Some i ->
+      ( String.sub failure.Runner.f_target 0 i,
+        String.sub failure.Runner.f_target (i + 1)
+          (String.length failure.Runner.f_target - i - 1) )
+    | None -> ("all", "all")
+  in
+  Alcotest.failf "%strace saved to %s\nreplay: dsdg fuzz --replay %s --variant %s --backend %s"
+    (Runner.report ~seed ~failure ~shrunk ())
+    path path variant backend
+
+(* The bulk run: each stream drives one variant x backend pair
+   (round-robin over all nine) so the whole matrix is covered every
+   nine streams; every third stream uses the delete-heavy profile. *)
+let test_fuzz_matrix () =
+  let n_targets = List.length Runner.all_targets in
+  for i = 0 to n_streams - 1 do
+    let seed = base_seed + i in
+    let targets = [ List.nth Runner.all_targets (i mod n_targets) ] in
+    let profile = if i mod 3 = 2 then Opgen.churny else Opgen.default in
+    match Runner.run_stream ~targets ~profile ~seed ~ops:ops_per_stream () with
+    | Runner.Pass -> ()
+    | Runner.Fail { failure; shrunk; _ } -> fail_stream ~seed ~failure ~shrunk
+  done
+
+(* A few streams against all nine targets at once: cross-structure
+   disagreement (not just structure vs model) is only visible here. *)
+let test_fuzz_cross_targets () =
+  for i = 0 to 2 do
+    let seed = base_seed + 1000 + i in
+    match
+      Runner.run_stream ~targets:Runner.all_targets ~seed ~ops:(2 * ops_per_stream) ()
+    with
+    | Runner.Pass -> ()
+    | Runner.Fail { failure; shrunk; _ } -> fail_stream ~seed ~failure ~shrunk
+  done
+
+(* --- machinery unit tests --- *)
+
+let test_trace_roundtrip () =
+  let ops =
+    [ Trace.Insert "plain";
+      Trace.Insert "";
+      Trace.Insert "with \"quotes\" and \\ and \n newline";
+      Trace.Delete 3;
+      Trace.Search "ab\"cd";
+      Trace.Count "";
+      Trace.Extract { doc = 2; off = 0; len = 5 };
+      Trace.Mem 17 ]
+  in
+  let reparsed = List.map (fun op -> Trace.op_of_string (Trace.op_to_string op)) ops in
+  Alcotest.(check bool) "to_string/of_string round-trips" true (reparsed = ops);
+  let path = Filename.temp_file "dsdg-trace" ".trace" in
+  Trace.save path ops;
+  let loaded = Trace.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "save/load round-trips" true (loaded = ops)
+
+let test_opgen_deterministic () =
+  let a = Opgen.generate ~seed:7 ~ops:300 () in
+  let b = Opgen.generate ~seed:7 ~ops:300 () in
+  let c = Opgen.generate ~seed:8 ~ops:300 () in
+  Alcotest.(check int) "requested length" 300 (List.length a);
+  Alcotest.(check bool) "same seed, same stream" true (a = b);
+  Alcotest.(check bool) "different seed, different stream" true (a <> c)
+
+let test_opgen_adversarial_cases () =
+  (* the generator must actually produce its advertised edge cases *)
+  let ops = Opgen.generate ~seed:11 ~ops:4000 () in
+  let inserts = List.filter_map (function Trace.Insert s -> Some s | _ -> None) ops in
+  Alcotest.(check bool) "empty docs appear" true (List.exists (fun s -> s = "") inserts);
+  Alcotest.(check bool) "oversized docs appear" true
+    (List.exists (fun s -> String.length s >= 256) inserts);
+  let tbl = Hashtbl.create 64 in
+  let dup = ref false in
+  List.iter
+    (fun s ->
+      if s <> "" then begin
+        if Hashtbl.mem tbl s then dup := true;
+        Hashtbl.replace tbl s ()
+      end)
+    inserts;
+  Alcotest.(check bool) "duplicate texts appear" true !dup;
+  Alcotest.(check bool) "deletes appear" true
+    (List.exists (function Trace.Delete _ -> true | _ -> false) ops)
+
+let test_model_semantics () =
+  let m = Model.create () in
+  let a = Model.insert m "banana" in
+  let b = Model.insert m "bandana" in
+  Alcotest.(check int) "sequential ids" 1 b;
+  Alcotest.(check (list (pair int int))) "search"
+    [ (a, 1); (a, 3); (b, 1); (b, 4) ]
+    (Model.search m "an");
+  Alcotest.(check int) "count" 4 (Model.count m "an");
+  Alcotest.(check (option string)) "extract" (Some "nan") (Model.extract m ~doc:a ~off:2 ~len:3);
+  Alcotest.(check (option string)) "extract out of range" None (Model.extract m ~doc:a ~off:4 ~len:5);
+  Alcotest.(check bool) "delete" true (Model.delete m a);
+  Alcotest.(check bool) "delete twice" false (Model.delete m a);
+  Alcotest.(check (option string)) "extract dead" None (Model.extract m ~doc:a ~off:0 ~len:1);
+  Alcotest.(check int) "doc_count" 1 (Model.doc_count m);
+  Alcotest.(check int) "total_symbols" 8 (Model.total_symbols m)
+
+(* Plant the skip-top-clean fault and demand the whole pipeline works:
+   the schedule oracle trips, the trace shrinks, the minimal trace
+   replays to a failure with the fault and runs clean without it. *)
+let test_planted_fault_caught () =
+  let config = { Runner.default_config with Runner.fault = Some `Skip_top_clean } in
+  let targets = Runner.select_targets ~variant:"worst-case" ~backend:"fm" () in
+  let rec hunt seed =
+    if seed > base_seed + 9 then
+      Alcotest.fail "planted skip-top-clean fault never caught in 10 churny streams"
+    else
+      match Runner.run_stream ~config ~targets ~profile:Opgen.churny ~seed ~ops:600 () with
+      | Runner.Pass -> hunt (seed + 1)
+      | Runner.Fail { failure = _; shrunk; trace } ->
+        Alcotest.(check bool) "shrunk trace nonempty" true (shrunk <> []);
+        Alcotest.(check bool) "shrinking did not grow the trace" true
+          (List.length shrunk <= List.length trace);
+        let path = Filename.temp_file "dsdg-fault" ".trace" in
+        Trace.save path shrunk;
+        let reloaded = Trace.load path in
+        Sys.remove path;
+        Alcotest.(check bool) "minimal trace round-trips" true (reloaded = shrunk);
+        (match Runner.run_trace ~config ~targets reloaded with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "replayed minimal trace no longer fails under the fault");
+        (match Runner.run_trace ~targets reloaded with
+        | Ok () -> ()
+        | Error f ->
+          Alcotest.failf "minimal trace fails even without the fault: %s" f.Runner.f_message)
+  in
+  hunt base_seed
+
+let suite =
+  [ ("trace round-trip", `Quick, test_trace_roundtrip);
+    ("opgen deterministic", `Quick, test_opgen_deterministic);
+    ("opgen adversarial cases", `Quick, test_opgen_adversarial_cases);
+    ("model semantics", `Quick, test_model_semantics);
+    ("planted fault caught & shrunk", `Slow, test_planted_fault_caught);
+    ("fuzz cross-target streams", `Slow, test_fuzz_cross_targets);
+    ("fuzz matrix streams", `Slow, test_fuzz_matrix) ]

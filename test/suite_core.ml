@@ -5,17 +5,8 @@ open Dsdg_core
 
 let check = Alcotest.(check int)
 
-(* naive model: association list of live (id, text) *)
-let naive_search (docs : (int * string) list) (p : string) : (int * int) list =
-  let res = ref [] in
-  let pl = String.length p in
-  List.iter
-    (fun (d, str) ->
-      for off = 0 to String.length str - pl do
-        if String.sub str off pl = p then res := (d, off) :: !res
-      done)
-    docs;
-  List.sort compare !res
+(* naive search over live (id, text) pairs, shared with the fuzzer *)
+let naive_search = Dsdg_check.Model.occurrences
 
 (* --- Sa_static conformance --- *)
 
@@ -232,7 +223,7 @@ let test_t1_large_doc_goes_high () =
   check "count small" 1 (T1.count t "small")
 
 let prop_t1_vs_model =
-  QCheck.Test.make ~name:"transform1 agrees with model on random streams" ~count:25
+  QCheck.Test.make ~name:"transform1 agrees with model on random streams" ~count:100
     QCheck.(pair (int_bound 1000) (int_range 20 60))
     (fun (seed, ops) ->
       let st = Random.State.make [| seed; 77 |] in
@@ -258,8 +249,31 @@ let prop_t1_vs_model =
         [ "a"; "ab"; "ba"; "ca" ];
       !ok)
 
+(* Regression: counts must already be consistent on the very operation
+   that triggered an eager purge, not only once the dust settles. *)
+let test_t1_count_right_after_purge () =
+  let t = T1.create ~sample:2 ~tau:4 () in
+  let model = Hashtbl.create 64 in
+  for i = 0 to 119 do
+    let text = Printf.sprintf "purge fodder %d ab" i in
+    Hashtbl.replace model (T1.insert t text) text
+  done;
+  let purges0 = (T1.stats t).Transform1.purges in
+  for id = 0 to 89 do
+    Alcotest.(check bool) (Printf.sprintf "delete %d" id) true (T1.delete t id);
+    Hashtbl.remove model id;
+    let live = Hashtbl.fold (fun d s acc -> (d, s) :: acc) model [] in
+    List.iter
+      (fun p ->
+        check (Printf.sprintf "count %s after delete %d" p id)
+          (List.length (naive_search live p))
+          (T1.count t p))
+      [ "ab"; "fodder"; "purge fodder 9" ]
+  done;
+  Alcotest.(check bool) "purges actually happened" true ((T1.stats t).Transform1.purges > purges0)
+
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest [ prop_sa_static_vs_fm; prop_csa_vs_fm; prop_t1_vs_model ]
+  List.map Qc.to_alcotest [ prop_sa_static_vs_fm; prop_csa_vs_fm; prop_t1_vs_model ]
 
 let suite =
   [ ("sa_static basic", `Quick, test_sa_static_basic);
@@ -273,5 +287,6 @@ let suite =
     ("transform1 churn (doubling)", `Quick, test_t1_doubling);
     ("transform1 insert-only growth", `Quick, test_t1_insert_only_growth);
     ("transform1 delete everything", `Quick, test_t1_delete_everything);
-    ("transform1 large doc", `Quick, test_t1_large_doc_goes_high) ]
+    ("transform1 large doc", `Quick, test_t1_large_doc_goes_high);
+    ("transform1 count right after purge", `Quick, test_t1_count_right_after_purge) ]
   @ qsuite

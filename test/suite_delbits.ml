@@ -266,7 +266,7 @@ let prop_incremental_budget_respected =
       !ok && Incremental.work_spent job = work)
 
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Qc.to_alcotest
     [ prop_reporter_vs_naive; prop_reporter_count_range; prop_fenwick;
       prop_incremental_budget_respected ]
 

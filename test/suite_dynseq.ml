@@ -251,7 +251,7 @@ let prop_dynfm_matches_naive =
         [ "a"; "b"; "ab"; "ba"; "ca"; "abc" ])
 
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Qc.to_alcotest
     [ prop_dbv_matches_model; prop_dwt_matches_model; prop_dynfm_matches_naive ]
 
 let suite =

@@ -60,7 +60,7 @@ let prop_hk_decreasing =
       let h2 = Entropy.hk ~k:2 s in
       h1 <= h0 +. 0.02 && h2 <= h1 +. 0.02)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_h0_bounds; prop_hk_decreasing ]
+let qsuite = List.map Qc.to_alcotest [ prop_h0_bounds; prop_hk_decreasing ]
 
 let suite =
   [ ("h0 uniform", `Quick, test_h0_uniform);

@@ -155,7 +155,7 @@ let prop_count_equals_range_width =
       | Some (sp, ep) -> c = ep - sp && c > 0)
 
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Qc.to_alcotest
     [ prop_search_matches_naive; prop_extract_roundtrip; prop_count_equals_range_width ]
 
 let suite =

@@ -149,7 +149,7 @@ let prop_count_matches_occurrences =
       Gsuffix_tree.count gst p = List.length (Gsuffix_tree.occurrences gst p))
 
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Qc.to_alcotest
     [ prop_search_matches_naive; prop_search_after_deletes; prop_count_matches_occurrences ]
 
 let suite =

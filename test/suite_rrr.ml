@@ -97,7 +97,7 @@ let prop_rrr_matches_rank_select =
       done;
       !ok)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_rrr_vs_naive; prop_rrr_matches_rank_select ]
+let qsuite = List.map Qc.to_alcotest [ prop_rrr_vs_naive; prop_rrr_matches_rank_select ]
 
 let suite =
   [ ("small patterns", `Quick, test_small_patterns);

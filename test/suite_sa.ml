@@ -115,7 +115,7 @@ let prop_lcp =
       Lcp.of_sa s sa = Lcp.naive s sa)
 
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Qc.to_alcotest
     [ prop_sais; prop_sais_is_permutation; prop_bwt_roundtrip;
       prop_bwt_is_permutation_of_text; prop_lcp ]
 

@@ -8,16 +8,8 @@ module T2 = Transform2.Make (Fm_static)
 
 let check = Alcotest.(check int)
 
-let naive_search (docs : (int * string) list) (p : string) : (int * int) list =
-  let res = ref [] in
-  let pl = String.length p in
-  List.iter
-    (fun (d, str) ->
-      for off = 0 to String.length str - pl do
-        if String.sub str off pl = p then res := (d, off) :: !res
-      done)
-    docs;
-  List.sort compare !res
+(* naive search over live (id, text) pairs, shared with the fuzzer *)
+let naive_search = Dsdg_check.Model.occurrences
 
 let rand_doc st max_len =
   let n = Random.State.int st max_len in
@@ -152,7 +144,7 @@ let test_census_shape () =
   check "census live total" (T2.total_symbols t) live_total
 
 let prop_t2_vs_model =
-  QCheck.Test.make ~name:"transform2 agrees with model on random streams" ~count:20
+  QCheck.Test.make ~name:"transform2 agrees with model on random streams" ~count:100
     QCheck.(pair (int_bound 1000) (int_range 30 70))
     (fun (seed, ops) ->
       let st = Random.State.make [| seed; 99 |] in
@@ -241,7 +233,37 @@ let test_failed_delete_no_mutation () =
   Alcotest.(check bool) "stats unchanged" true (s0 = s1);
   check "count intact" 29 (T2.count t "hold doc")
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_t2_vs_model ]
+(* Regression: a document that currently lives in a locked copy L_j
+   (its rebuild job still in flight) must remain fully extractable. *)
+let test_extract_from_locked_copy () =
+  let t = T2.create ~sample:2 ~tau:4 ~work_factor:1 () in
+  let model = Hashtbl.create 64 in
+  let checked_mid_rebuild = ref 0 in
+  for i = 0 to 249 do
+    let text = Printf.sprintf "locked copy probe %d with padding text" i in
+    let id = T2.insert t text in
+    Hashtbl.replace model id text;
+    let locked_live =
+      List.exists (fun (n, _, _) -> String.length n > 0 && n.[0] = 'L') (T2.census t)
+    in
+    if locked_live && i mod 10 = 0 then begin
+      incr checked_mid_rebuild;
+      Hashtbl.iter
+        (fun id text ->
+          Alcotest.(check (option string))
+            (Printf.sprintf "extract %d mid-rebuild" id)
+            (Some text)
+            (T2.extract t ~doc:id ~off:0 ~len:(String.length text));
+          Alcotest.(check (option string))
+            (Printf.sprintf "extract %d tail mid-rebuild" id)
+            (Some (String.sub text 7 8))
+            (T2.extract t ~doc:id ~off:7 ~len:8))
+        model
+    end
+  done;
+  Alcotest.(check bool) "locked copies were actually observed" true (!checked_mid_rebuild > 0)
+
+let qsuite = List.map Qc.to_alcotest [ prop_t2_vs_model ]
 
 let suite =
   [ ("insert & search", `Quick, test_insert_search);
@@ -254,5 +276,6 @@ let suite =
     ("census shape", `Quick, test_census_shape);
     ("forced-completion accounting", `Quick, test_forced_accounting);
     ("failed delete mutates nothing", `Quick, test_failed_delete_no_mutation);
+    ("extract from locked copy mid-rebuild", `Quick, test_extract_from_locked_copy);
     ("soak 2500 ops", `Slow, test_soak) ]
   @ qsuite

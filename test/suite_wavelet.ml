@@ -223,7 +223,7 @@ let prop_ap_matches_hwt =
       !ok)
 
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Qc.to_alcotest
     [ prop_wt; prop_hwt; prop_ap; prop_ap_matches_hwt; prop_select_rank_inverse;
       prop_huffman_codes_prefix_free; prop_huffman_optimal_vs_entropy ]
 

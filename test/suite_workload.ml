@@ -96,7 +96,7 @@ let prop_corpus_sizes =
       let docs = Text_gen.corpus st ~count ~avg_len ~kind:(`Uniform 4) in
       Array.length docs = count && Array.for_all (fun d -> String.length d >= 1) docs)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_corpus_sizes ]
+let qsuite = List.map Qc.to_alcotest [ prop_corpus_sizes ]
 
 let suite =
   [ ("deterministic", `Quick, test_deterministic);
