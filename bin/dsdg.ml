@@ -52,6 +52,10 @@ let repl idx =
        if String.length line > 0 then begin
          let arg = String.sub line 1 (String.length line - 1) in
          match line.[0] with
+         | ('?' | '#') when arg = "" ->
+           (* the index uniformly rejects the empty pattern; say so
+              instead of dying on Invalid_argument *)
+           Printf.printf "empty pattern (matches everywhere); give at least one symbol\n%!"
          | '?' ->
            let hits = Dynamic_index.search idx arg in
            List.iter (fun (d, o) -> Printf.printf "doc %d off %d\n" d o) hits;
@@ -78,10 +82,10 @@ let repl idx =
    with End_of_file | Exit -> ());
   print_stats idx
 
-let index_cmd files whole variant backend sample tau =
+let index_cmd files whole variant backend sample tau jobs =
   let idx =
     Dynamic_index.create ~variant:(variant_of_string variant)
-      ~backend:(backend_of_string backend) ~sample ~tau ()
+      ~backend:(backend_of_string backend) ~sample ~tau ~jobs ()
   in
   List.iter
     (fun file ->
@@ -102,7 +106,7 @@ let index_cmd files whole variant backend sample tau =
     files;
   Printf.printf "indexed %d document(s) from %d file(s)\n%!" (Dynamic_index.doc_count idx)
     (List.length files);
-  repl idx
+  Fun.protect ~finally:(fun () -> Dynamic_index.close idx) (fun () -> repl idx)
 
 let demo_cmd ops =
   let open Dsdg_workload in
@@ -127,13 +131,13 @@ let demo_cmd ops =
 
 (* Scripted churn workload + full observability dump: the living
    counterpart of DESIGN.md's "Observability" section. *)
-let stats_cmd ops variant backend sample tau no_obs =
+let stats_cmd ops variant backend sample tau no_obs jobs =
   let open Dsdg_workload in
   let open Dsdg_obs in
   if no_obs then Obs.set_enabled false;
   let idx =
     Dynamic_index.create ~variant:(variant_of_string variant)
-      ~backend:(backend_of_string backend) ~sample ~tau ()
+      ~backend:(backend_of_string backend) ~sample ~tau ~jobs ()
   in
   let st = Text_gen.rng 42 in
   let live = ref [] in
@@ -186,6 +190,10 @@ let stats_cmd ops variant backend sample tau no_obs =
     end
   end;
   print_newline ();
+  (* join worker domains before rendering so the executor counters
+     (exec_submitted/completed/..., queue depth, wall/handoff latency)
+     are final; they live in the same scope as the transformation's *)
+  Dynamic_index.close idx;
   if no_obs then print_endline "observability disabled (--no-obs): no counters recorded"
   else begin
     print_string (Obs.render (Dynamic_index.obs_scope idx));
@@ -195,7 +203,7 @@ let stats_cmd ops variant backend sample tau no_obs =
 (* Differential fuzzing: the CLI face of Dsdg_check (DESIGN.md section 6).
    A failing stream is shrunk to a minimal trace, saved, and the replay
    one-liner printed -- a CI failure reproduces with a single command. *)
-let fuzz_cmd seed ops streams variant backend sample tau fault profile replay trace_dir =
+let fuzz_cmd seed ops streams variant backend sample tau fault profile replay trace_dir jobs =
   let open Dsdg_check in
   let targets = Runner.select_targets ~variant ~backend () in
   let config =
@@ -203,13 +211,17 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
       Runner.default_config with
       Runner.sample;
       tau;
+      jobs;
       fault =
         (match fault with
         | "none" -> None
         | "skip-top-clean" -> Some `Skip_top_clean
+        | "worker-crash" -> Some `Worker_crash
         | s -> invalid_arg ("unknown fault: " ^ s));
     }
   in
+  if config.Runner.fault = Some `Worker_crash && jobs = 0 then
+    invalid_arg "--fault worker-crash requires --jobs >= 1 (it sabotages the pooled executor)";
   let profile =
     match profile with
     | "default" -> Opgen.default
@@ -227,9 +239,10 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
         | None -> "dsdg-fuzz-replay.trace")
     in
     Trace.save path shrunk;
-    Printf.printf "minimal trace saved to %s\nreplay: dsdg fuzz --replay %s --variant %s --backend %s%s\n"
+    Printf.printf "minimal trace saved to %s\nreplay: dsdg fuzz --replay %s --variant %s --backend %s%s%s\n"
       path path variant backend
-      (if config.Runner.fault <> None then " --fault " ^ fault else "");
+      (if config.Runner.fault <> None then " --fault " ^ fault else "")
+      (if jobs > 0 then Printf.sprintf " --jobs %d" jobs else "");
     exit 1
   in
   match replay with
@@ -262,10 +275,16 @@ let backend_arg = Arg.(value & opt string "fm" & info [ "backend" ] ~doc:"fm | s
 let sample_arg = Arg.(value & opt int 8 & info [ "sample" ] ~doc:"SA sampling rate s.")
 let tau_arg = Arg.(value & opt int 8 & info [ "tau" ] ~doc:"Lazy-deletion threshold tau.")
 let ops_arg = Arg.(value & opt int 500 & info [ "ops" ] ~doc:"Demo operations.")
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "jobs" ]
+           ~doc:"Background-rebuild worker domains (0 = deterministic synchronous mode).")
 
 let index_t =
   Cmd.v (Cmd.info "index" ~doc:"Index files and answer queries interactively")
-    Term.(const index_cmd $ files_arg $ whole_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg)
+    Term.(
+      const index_cmd $ files_arg $ whole_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg
+      $ jobs_arg)
 
 let demo_t = Cmd.v (Cmd.info "demo" ~doc:"Synthetic churn demo") Term.(const demo_cmd $ ops_arg)
 
@@ -275,7 +294,9 @@ let no_obs_arg =
 let stats_t =
   Cmd.v
     (Cmd.info "stats" ~doc:"Scripted churn workload + observability dump")
-    Term.(const stats_cmd $ ops_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg $ no_obs_arg)
+    Term.(
+      const stats_cmd $ ops_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg $ no_obs_arg
+      $ jobs_arg)
 
 let fuzz_seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed (stream i uses seed+i).")
 let fuzz_ops_arg = Arg.(value & opt int 1000 & info [ "ops" ] ~doc:"Operations per stream.")
@@ -287,7 +308,8 @@ let fuzz_sample_arg = Arg.(value & opt int 2 & info [ "sample" ] ~doc:"SA sampli
 let fuzz_tau_arg = Arg.(value & opt int 4 & info [ "tau" ] ~doc:"Lazy-deletion threshold tau.")
 let fuzz_fault_arg =
   Arg.(value & opt string "none"
-       & info [ "fault" ] ~doc:"Plant a scheduling defect: none | skip-top-clean (harness self-test).")
+       & info [ "fault" ]
+           ~doc:"Plant a deliberate defect: none | skip-top-clean | worker-crash (harness self-tests; worker-crash needs --jobs >= 1).")
 let fuzz_profile_arg =
   Arg.(value & opt string "default" & info [ "profile" ] ~doc:"Op-mix profile: default | churny.")
 let fuzz_replay_arg =
@@ -301,7 +323,7 @@ let fuzz_t =
     Term.(
       const fuzz_cmd $ fuzz_seed_arg $ fuzz_ops_arg $ fuzz_streams_arg $ fuzz_variant_arg
       $ fuzz_backend_arg $ fuzz_sample_arg $ fuzz_tau_arg $ fuzz_fault_arg $ fuzz_profile_arg
-      $ fuzz_replay_arg $ fuzz_trace_dir_arg)
+      $ fuzz_replay_arg $ fuzz_trace_dir_arg $ jobs_arg)
 
 let () =
   let doc = "dynamic compressed document collection index (Munro-Nekrich-Vitter, PODS 2015)" in

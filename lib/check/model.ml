@@ -37,13 +37,21 @@ let occurrences (docs : (int * string) list) (p : string) : (int * int) list =
     docs;
   List.sort compare !res
 
-let search m p = occurrences (live m) p
+(* The Dynamic_index conventions, mirrored: the empty pattern is
+   rejected, and a zero-length extract depends only on liveness. *)
+let search m p =
+  if p = "" then invalid_arg "Model: empty pattern";
+  occurrences (live m) p
+
 let count m p = List.length (search m p)
 
 let extract m ~doc ~off ~len =
   match Hashtbl.find_opt m.docs doc with
   | None -> None
-  | Some s -> if off < 0 || len < 0 || off + len > String.length s then None else Some (String.sub s off len)
+  | Some s ->
+    if len = 0 then Some ""
+    else if off < 0 || len < 0 || off + len > String.length s then None
+    else Some (String.sub s off len)
 
 module Rel = struct
   type r = (int * int, unit) Hashtbl.t

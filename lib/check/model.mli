@@ -33,7 +33,12 @@ val total_symbols : t -> int
     on any document list (the test suites drive it directly). *)
 val occurrences : (int * string) list -> string -> (int * int) list
 
+(** {!search}/{!count} raise [Invalid_argument] on the empty pattern and
+    {!extract} with [len = 0] is [Some ""] iff the document is live --
+    the same conventions [Dynamic_index] enforces, so the runner can
+    compare outcomes (including the rejection) one-to-one. *)
 val search : t -> string -> (int * int) list
+
 val count : t -> string -> int
 val extract : t -> doc:int -> off:int -> len:int -> string option
 

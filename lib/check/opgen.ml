@@ -11,6 +11,7 @@ type profile = {
   w_count : int;
   w_extract : int;
   w_mem : int;
+  w_drain : int;
   doc_len_min : int;
   doc_len_max : int;
   alphabet : int;
@@ -18,6 +19,7 @@ type profile = {
   empty_permille : int;
   duplicate_permille : int;
   reinsert_permille : int;
+  empty_pattern_permille : int;
 }
 
 let default =
@@ -28,6 +30,7 @@ let default =
     w_count = 12;
     w_extract = 9;
     w_mem = 5;
+    w_drain = 3;
     doc_len_min = 0;
     doc_len_max = 60;
     alphabet = 3;
@@ -35,6 +38,7 @@ let default =
     empty_permille = 40;
     duplicate_permille = 120;
     reinsert_permille = 250;
+    empty_pattern_permille = 20;
   }
 
 let churny =
@@ -74,9 +78,11 @@ let gen_insert_text st p sim =
   else rand_text st p (p.doc_len_min + Random.State.int st (max 1 (p.doc_len_max - p.doc_len_min + 1)))
 
 (* A pattern is usually a substring of some inserted text (live or
-   already deleted), occasionally random or over letters never
-   inserted. *)
+   already deleted), occasionally random, over letters never inserted,
+   or empty (which every structure must uniformly reject). *)
 let gen_pattern st p sim =
+  if Random.State.int st 1000 < p.empty_pattern_permille then ""
+  else
   let roll = Random.State.int st 100 in
   if roll < 60 && sim.pool_n > 0 then begin
     let text = List.nth sim.pool (Random.State.int st sim.pool_n) in
@@ -126,7 +132,9 @@ let generate ?(profile = default) ~seed ~ops () =
   let sim =
     { next_id = 0; live_syms = 0; live = Hashtbl.create 64; live_ids = []; dead_ids = []; pool = []; pool_n = 0 }
   in
-  let total_w = p.w_insert + p.w_delete + p.w_search + p.w_count + p.w_extract + p.w_mem in
+  let total_w =
+    p.w_insert + p.w_delete + p.w_search + p.w_count + p.w_extract + p.w_mem + p.w_drain
+  in
   let acc = ref [] in
   let emitted = ref 0 in
   let emit op =
@@ -145,7 +153,7 @@ let generate ?(profile = default) ~seed ~ops () =
       let deleted = apply_delete sim id in
       emit (Trace.Delete id);
       match deleted with
-      | Some text when Random.State.int st 1000 < p.reinsert_permille ->
+      | Some text when !emitted < ops && Random.State.int st 1000 < p.reinsert_permille ->
         (* delete-reinsert churn: same text, fresh id *)
         ignore (apply_insert sim text);
         emit (Trace.Insert text)
@@ -170,6 +178,8 @@ let generate ?(profile = default) ~seed ~ops () =
       in
       emit (Trace.Extract { doc; off; len })
     end
-    else emit (Trace.Mem (gen_target_id st sim))
+    else if roll < p.w_insert + p.w_delete + p.w_search + p.w_count + p.w_extract + p.w_mem
+    then emit (Trace.Mem (gen_target_id st sim))
+    else emit Trace.Drain
   done;
   List.rev !acc

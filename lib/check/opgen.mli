@@ -15,7 +15,8 @@ type profile = {
   w_search : int;
   w_count : int;
   w_extract : int;
-  w_mem : int;  (** op weights, relative *)
+  w_mem : int;
+  w_drain : int;  (** op weights, relative; drain = random forced-completion point *)
   doc_len_min : int;
   doc_len_max : int;  (** regular document length range *)
   alphabet : int;  (** letters used, from ['a'] *)
@@ -23,6 +24,7 @@ type profile = {
   empty_permille : int;  (** chance an insert is the empty document *)
   duplicate_permille : int;  (** chance an insert reuses an earlier text *)
   reinsert_permille : int;  (** chance a delete is followed by reinsertion *)
+  empty_pattern_permille : int;  (** chance a search/count pattern is [""] *)
 }
 
 val default : profile

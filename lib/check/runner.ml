@@ -37,9 +37,10 @@ type config = {
   tau : int;
   fault : Transform2.fault option;
   check_invariants : bool;
+  jobs : int; (* executor workers per index under test; 0 = Sync *)
 }
 
-let default_config = { sample = 2; tau = 4; fault = None; check_invariants = true }
+let default_config = { sample = 2; tau = 4; fault = None; check_invariants = true; jobs = 0 }
 
 type failure = {
   f_step : int;
@@ -63,6 +64,16 @@ let pp_str_opt = function
   | Some s ->
     if String.length s > 24 then Printf.sprintf "Some %S..." (String.sub s 0 24) else Printf.sprintf "Some %S" s
 
+(* Queries and the model must agree on outcomes including the uniform
+   empty-pattern rejection, so both sides run through [Ok]/[`Rejected]
+   capture: a structure that *answers* the empty pattern (or rejects a
+   legitimate one) disagrees with the model and fails the trace. *)
+let capture f = try Ok (f ()) with Invalid_argument _ -> Error `Rejected
+
+let pp_outcome pp = function
+  | Ok v -> pp v
+  | Error `Rejected -> "Invalid_argument"
+
 let run_trace ?(config = default_config) ~targets ops =
   let model = Model.create () in
   let insts =
@@ -70,10 +81,13 @@ let run_trace ?(config = default_config) ~targets ops =
       (fun tg ->
         ( tg,
           Dynamic_index.create ~variant:tg.tg_variant ~backend:tg.tg_backend ~sample:config.sample
-            ~tau:config.tau ?fault:config.fault (),
+            ~tau:config.tau ?fault:config.fault ~jobs:config.jobs (),
           Oracle.create () ))
       targets
   in
+  (* pooled indexes own worker domains; leak none, whatever the verdict *)
+  Fun.protect ~finally:(fun () -> List.iter (fun (_, idx, _) -> Dynamic_index.close idx) insts)
+  @@ fun () ->
   let step = ref 0 in
   try
     List.iter
@@ -113,25 +127,30 @@ let run_trace ?(config = default_config) ~targets ops =
                 fail_on idx tg.tg_name "delete %d returned %b, model %b" id got expected)
             insts
         | Trace.Search p ->
-          let expected = Model.search model p in
+          let expected = capture (fun () -> Model.search model p) in
           List.iter
             (fun (tg, idx, _) ->
               let got =
-                try Dynamic_index.search idx p
-                with exn -> fail_on idx tg.tg_name "search %S raised %s" p (Printexc.to_string exn)
+                try Ok (Dynamic_index.search idx p) with
+                | Invalid_argument _ -> Error `Rejected
+                | exn -> fail_on idx tg.tg_name "search %S raised %s" p (Printexc.to_string exn)
               in
               if got <> expected then
-                fail_on idx tg.tg_name "search %S -> %s, model %s" p (pp_hits got) (pp_hits expected))
+                fail_on idx tg.tg_name "search %S -> %s, model %s" p (pp_outcome pp_hits got)
+                  (pp_outcome pp_hits expected))
             insts
         | Trace.Count p ->
-          let expected = Model.count model p in
+          let expected = capture (fun () -> Model.count model p) in
           List.iter
             (fun (tg, idx, _) ->
               let got =
-                try Dynamic_index.count idx p
-                with exn -> fail_on idx tg.tg_name "count %S raised %s" p (Printexc.to_string exn)
+                try Ok (Dynamic_index.count idx p) with
+                | Invalid_argument _ -> Error `Rejected
+                | exn -> fail_on idx tg.tg_name "count %S raised %s" p (Printexc.to_string exn)
               in
-              if got <> expected then fail_on idx tg.tg_name "count %S -> %d, model %d" p got expected)
+              if got <> expected then
+                fail_on idx tg.tg_name "count %S -> %s, model %s" p
+                  (pp_outcome string_of_int got) (pp_outcome string_of_int expected))
             insts
         | Trace.Extract { doc; off; len } ->
           let expected = Model.extract model ~doc ~off ~len in
@@ -156,6 +175,14 @@ let run_trace ?(config = default_config) ~targets ops =
                 with exn -> fail_on idx tg.tg_name "mem %d raised %s" id (Printexc.to_string exn)
               in
               if got <> expected then fail_on idx tg.tg_name "mem %d -> %b, model %b" id got expected)
+            insts
+        | Trace.Drain ->
+          (* a random forced-completion point; the model has nothing to
+             do, but every post-op equivalence below must still hold *)
+          List.iter
+            (fun (tg, idx, _) ->
+              try Dynamic_index.drain idx
+              with exn -> fail_on idx tg.tg_name "drain raised %s" (Printexc.to_string exn))
             insts);
         (* after every op: size accounting vs the model, then the paper
            invariants *)

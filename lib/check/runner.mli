@@ -22,6 +22,10 @@ type config = {
   tau : int;
   fault : Dsdg_core.Transform2.fault option;  (** planted defect, for self-tests *)
   check_invariants : bool;
+  jobs : int;
+      (** executor worker domains per index under test (default [0] =
+          deterministic Sync mode). Pooled indexes are closed -- domains
+          joined -- before [run_trace] returns, pass or fail. *)
 }
 
 val default_config : config

@@ -7,6 +7,7 @@ type op =
   | Count of string
   | Extract of { doc : int; off : int; len : int }
   | Mem of int
+  | Drain
 
 let op_to_string = function
   | Insert text -> Printf.sprintf "+ %S" text
@@ -15,6 +16,7 @@ let op_to_string = function
   | Count p -> Printf.sprintf "# %S" p
   | Extract { doc; off; len } -> Printf.sprintf "= %d %d %d" doc off len
   | Mem id -> Printf.sprintf "@ %d" id
+  | Drain -> "!!"
 
 let op_of_string line =
   let fail () = invalid_arg (Printf.sprintf "Trace.op_of_string: %S" line) in
@@ -28,6 +30,7 @@ let op_of_string line =
       | '#' -> Scanf.sscanf line "# %S" (fun p -> Count p)
       | '=' -> Scanf.sscanf line "= %d %d %d" (fun doc off len -> Extract { doc; off; len })
       | '@' -> Scanf.sscanf line "@ %d" (fun id -> Mem id)
+      | '!' -> if line = "!!" then Drain else fail ()
       | _ -> fail ()
     with Scanf.Scan_failure _ | End_of_file | Failure _ -> fail ()
 

@@ -8,8 +8,8 @@
     model and in the structures identically.
 
     The textual format is line-based (["+ \"text\""], ["- id"],
-    ["? \"pat\""], ["# \"pat\""], ["= doc off len"], ["@ id"]; blank
-    lines and [%]-comments ignored) so failing CI seeds replay as
+    ["? \"pat\""], ["# \"pat\""], ["= doc off len"], ["@ id"], ["!!"];
+    blank lines and [%]-comments ignored) so failing CI seeds replay as
     one-liners: [dsdg fuzz --replay trace-file]. *)
 
 type op =
@@ -19,6 +19,10 @@ type op =
   | Count of string
   | Extract of { doc : int; off : int; len : int }
   | Mem of int
+  | Drain
+      (** Land every in-flight background job now
+          ([Dynamic_index.drain]) -- a random forced-completion point,
+          meaningful mostly for the pooled executor. *)
 
 val op_to_string : op -> string
 

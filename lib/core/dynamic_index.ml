@@ -49,6 +49,8 @@ type ops = {
   op_obs : unit -> Dsdg_obs.Obs.scope;
   op_events : unit -> string list;
   op_probe : unit -> probe;
+  op_drain : unit -> unit; (* land every in-flight background job now *)
+  op_close : unit -> unit; (* drain + stop/join executor domains, if any *)
 }
 
 type t = ops
@@ -61,7 +63,37 @@ module T2_sa = Transform2.Make (Sa_static)
 module T2_csa = Transform2.Make (Csa_static)
 
 
-let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fault () : t =
+(* API conventions enforced uniformly across every variant x backend
+   (the backends disagree on these edge cases, which is exactly the kind
+   of drift the differential checker exists to catch):
+
+   - the empty pattern is rejected with [Invalid_argument]: under the
+     paper's occurrence definition [""] would match at every position of
+     every live document (live symbols + one sentinel per document), a
+     degenerate query no backend answers in sublinear time -- and the
+     three static indexes each rejected it with a *different* message;
+   - [extract ~len:0] is [Some ""] for a live document and [None] for a
+     dead/absent one, regardless of [off] and of which sub-collection
+     (including a locked [L_j] mid-rebuild) owns the document. *)
+let enforce_conventions ops =
+  {
+    ops with
+    op_search =
+      (fun p ~f ->
+        if p = "" then invalid_arg "Dynamic_index: empty pattern";
+        ops.op_search p ~f);
+    op_count =
+      (fun p ->
+        if p = "" then invalid_arg "Dynamic_index: empty pattern";
+        ops.op_count p);
+    op_extract =
+      (fun ~doc ~off ~len ->
+        if len = 0 then (if ops.op_mem doc then Some "" else None)
+        else ops.op_extract ~doc ~off ~len);
+  }
+
+let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fault
+    ?(jobs = 0) () : t =
   let t1_probe census_full level_capacity nf () =
     {
       pr_census = census_full ();
@@ -89,7 +121,7 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
   let t1 schedule name =
     match backend with
     | Fm ->
-      let t = T1_fm.create ~schedule ~sample ~tau () in
+      let t = T1_fm.create ~schedule ~sample ~tau ~jobs () in
       {
         op_insert = T1_fm.insert t;
         op_delete = T1_fm.delete t;
@@ -105,9 +137,11 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
         op_events = (fun () -> T1_fm.events t);
         op_probe =
           t1_probe (fun () -> T1_fm.census_full t) (T1_fm.level_capacity t) (fun () -> T1_fm.nf t);
+        op_drain = (fun () -> ());
+        op_close = (fun () -> T1_fm.close t);
       }
     | Plain_sa ->
-      let t = T1_sa.create ~schedule ~sample ~tau () in
+      let t = T1_sa.create ~schedule ~sample ~tau ~jobs () in
       {
         op_insert = T1_sa.insert t;
         op_delete = T1_sa.delete t;
@@ -123,9 +157,11 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
         op_events = (fun () -> T1_sa.events t);
         op_probe =
           t1_probe (fun () -> T1_sa.census_full t) (T1_sa.level_capacity t) (fun () -> T1_sa.nf t);
+        op_drain = (fun () -> ());
+        op_close = (fun () -> T1_sa.close t);
       }
     | Csa ->
-      let t = T1_csa.create ~schedule ~sample ~tau () in
+      let t = T1_csa.create ~schedule ~sample ~tau ~jobs () in
       {
         op_insert = T1_csa.insert t;
         op_delete = T1_csa.delete t;
@@ -142,15 +178,18 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
         op_probe =
           t1_probe (fun () -> T1_csa.census_full t) (T1_csa.level_capacity t)
             (fun () -> T1_csa.nf t);
+        op_drain = (fun () -> ());
+        op_close = (fun () -> T1_csa.close t);
       }
   in
-  match variant with
+  enforce_conventions
+  @@ match variant with
   | Amortized -> t1 (Transform1.geometric ()) "transform1"
   | Amortized_loglog -> t1 (Transform1.doubling ()) "transform3"
   | Worst_case -> (
     match backend with
     | Fm ->
-      let t = T2_fm.create ~sample ~tau ?fault () in
+      let t = T2_fm.create ~sample ~tau ?fault ~jobs () in
       {
         op_insert = T2_fm.insert t;
         op_delete = T2_fm.delete t;
@@ -168,9 +207,11 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
           t2_probe (fun () -> T2_fm.census t) (T2_fm.level_capacity t) (fun () -> T2_fm.nf t)
             (fun () -> T2_fm.pending_jobs t) (fun () -> T2_fm.stats t)
             (fun () -> T2_fm.clean_schedule t);
+        op_drain = (fun () -> T2_fm.drain t);
+        op_close = (fun () -> T2_fm.close t);
       }
     | Plain_sa ->
-      let t = T2_sa.create ~sample ~tau ?fault () in
+      let t = T2_sa.create ~sample ~tau ?fault ~jobs () in
       {
         op_insert = T2_sa.insert t;
         op_delete = T2_sa.delete t;
@@ -188,9 +229,11 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
           t2_probe (fun () -> T2_sa.census t) (T2_sa.level_capacity t) (fun () -> T2_sa.nf t)
             (fun () -> T2_sa.pending_jobs t) (fun () -> T2_sa.stats t)
             (fun () -> T2_sa.clean_schedule t);
+        op_drain = (fun () -> T2_sa.drain t);
+        op_close = (fun () -> T2_sa.close t);
       }
     | Csa ->
-      let t = T2_csa.create ~sample ~tau ?fault () in
+      let t = T2_csa.create ~sample ~tau ?fault ~jobs () in
       {
         op_insert = T2_csa.insert t;
         op_delete = T2_csa.delete t;
@@ -208,6 +251,8 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
           t2_probe (fun () -> T2_csa.census t) (T2_csa.level_capacity t) (fun () -> T2_csa.nf t)
             (fun () -> T2_csa.pending_jobs t) (fun () -> T2_csa.stats t)
             (fun () -> T2_csa.clean_schedule t);
+        op_drain = (fun () -> T2_csa.drain t);
+        op_close = (fun () -> T2_csa.close t);
       })
 
 (* Insert a document; returns its id. *)
@@ -237,3 +282,12 @@ let describe t = t.op_describe ()
 let obs_scope t = t.op_obs ()
 let events t = t.op_events ()
 let probe t = t.op_probe ()
+
+(* Land every in-flight background job now (a forced completion of each;
+   no-op for the amortized variants, whose rebuilds are synchronous). *)
+let drain t = t.op_drain ()
+
+(* Drain, then stop and join the executor's worker domains.  Required
+   for a clean exit when [create ~jobs:(n > 0)]; harmless otherwise.
+   The index remains usable -- subsequent rebuilds run inline. *)
+let close t = t.op_close ()

@@ -28,13 +28,23 @@ type t
     lazy-deletion threshold (dead fraction tolerated before purge).
     [fault] plants a deliberate scheduling defect (see
     {!Transform2.fault}) so the differential checker can prove it
-    catches real bugs; it only affects [Worst_case] instances. *)
+    catches real bugs; it only affects [Worst_case] instances.
+
+    [jobs] (default [0]) sets the background-rebuild executor: [0] is
+    the deterministic Sync mode (rebuild jobs stepped cooperatively
+    inside updates, bit-for-bit the historical behaviour); [n >= 1]
+    spawns [n] worker domains ({!Dsdg_exec.Executor}) that run
+    [Worst_case] rebuild jobs (and the amortized variants'
+    purge/global-rebuild constructions) off the update path, with
+    results installed at exactly the paper's install points. Call
+    {!close} when done with a pooled index. *)
 val create :
   ?variant:variant ->
   ?backend:backend ->
   ?sample:int ->
   ?tau:int ->
   ?fault:Transform2.fault ->
+  ?jobs:int ->
   unit ->
   t
 
@@ -46,16 +56,25 @@ val delete : t -> int -> bool
 
 val mem : t -> int -> bool
 
-(** All (document, offset) occurrences, sorted. *)
+(** All (document, offset) occurrences, sorted. Raises
+    [Invalid_argument] on the empty pattern (uniformly across variants
+    and backends; under the paper's occurrence definition [""] would
+    degenerately match every position). *)
 val search : t -> string -> (int * int) list
 
+(** Same occurrences as {!search}, streamed. Raises [Invalid_argument]
+    on the empty pattern. *)
 val iter_matches : t -> string -> f:(doc:int -> off:int -> unit) -> unit
 
-(** Number of occurrences; cheaper than reporting (Theorem 1). *)
+(** Number of occurrences; cheaper than reporting (Theorem 1). Raises
+    [Invalid_argument] on the empty pattern. *)
 val count : t -> string -> int
 
 (** Substring of a live document; [None] if the document is dead or the
-    range is invalid. *)
+    range is invalid. [len = 0] is uniformly [Some ""] for a live
+    document and [None] otherwise, regardless of [off] and of which
+    sub-collection (including a locked [L_j] mid-rebuild) holds the
+    document. *)
 val extract : t -> doc:int -> off:int -> len:int -> string option
 
 val doc_count : t -> int
@@ -103,3 +122,13 @@ type probe = {
 }
 
 val probe : t -> probe
+
+(** Land every in-flight background job now (each counts as a forced
+    completion); no-op for the amortized variants. *)
+val drain : t -> unit
+
+(** Drain, then stop and join the executor's worker domains. Required
+    for a clean exit when the index was created with [jobs >= 1];
+    harmless (and idempotent) otherwise. The index stays usable --
+    subsequent rebuilds simply run inline. *)
+val close : t -> unit

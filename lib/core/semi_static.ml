@@ -17,6 +17,14 @@ open Dsdg_obs
 (* Process-wide scope shared by every Semi_static instance: build/delete/
    search/count totals and a build-size histogram.  Per-instance detail
    lives in the owning transformation's private scope. *)
+(* The n/tau purge rule as a standalone predicate: dead * tau > total,
+   computed as a division so the product cannot overflow for
+   collections (or tau values) near max_int.  For dead, total >= 0 and
+   tau >= 1,  dead * tau > total  <=>  dead > total / tau  (floor
+   division): both say dead >= floor(total/tau) + 1. *)
+let purge_threshold_exceeded ~dead_syms ~total_symbols ~tau =
+  dead_syms > total_symbols / tau
+
 let obs = Obs.scope "semi_static"
 let c_builds = Obs.counter obs "builds"
 let c_deletes = Obs.counter obs "deletes"
@@ -70,7 +78,9 @@ module Make (I : Static_index.S) = struct
   let dead_symbols t = t.dead_syms
   let total_symbols t = t.live_syms + t.dead_syms
   let doc_count t = Hashtbl.length t.slot_of - Array.fold_left (fun a d -> if d then a + 1 else a) 0 t.dead
-  let needs_purge t = t.dead_syms * t.tau > total_symbols t
+  let needs_purge t =
+    purge_threshold_exceeded ~dead_syms:t.dead_syms ~total_symbols:(total_symbols t)
+      ~tau:t.tau
   let is_empty t = t.live_syms = 0
 
   let delete t id =

@@ -73,6 +73,7 @@ type stats = {
 
 module Make (I : Static_index.S) = struct
   module SS = Semi_static.Make (I)
+  module Exec = Dsdg_exec.Executor
 
   (* Sub-collection slots are stored in a fixed array of generous size;
      the live prefix in use is [1 .. slots nf]. *)
@@ -88,11 +89,13 @@ module Make (I : Static_index.S) = struct
     mutable next_id : int;
     mutable nf : int;
     mutable live : int; (* live symbols including separators *)
+    exec : Exec.t option; (* purge/global-rebuild offload; None = all inline *)
     obs : Obs.scope;
     c_merges : Obs.counter;
     c_purges : Obs.counter;
     c_global_rebuilds : Obs.counter;
     c_symbols_rebuilt : Obs.counter;
+    c_crash_fallbacks : Obs.counter;
     c_inserts : Obs.counter;
     c_deletes : Obs.counter;
     h_insert_ns : Obs.histogram;
@@ -100,9 +103,10 @@ module Make (I : Static_index.S) = struct
     h_purge_dead_frac : Obs.histogram; (* per-mille dead fraction at purge time *)
   }
 
-  let create ?(schedule = geometric ()) ?(sample = 8) ?(tau = 8) () =
+  let create ?(schedule = geometric ()) ?(sample = 8) ?(tau = 8) ?(jobs = 0) () =
     let obs = Obs.private_scope ("transform1/" ^ I.name) in
     {
+      exec = (if jobs > 0 then Some (Exec.create ~obs ~workers:jobs ()) else None);
       schedule;
       sample;
       tau;
@@ -117,6 +121,7 @@ module Make (I : Static_index.S) = struct
       c_purges = Obs.counter obs "purges";
       c_global_rebuilds = Obs.counter obs "global_rebuilds";
       c_symbols_rebuilt = Obs.counter obs "symbols_rebuilt";
+      c_crash_fallbacks = Obs.counter obs "crash_fallbacks";
       c_inserts = Obs.counter obs "inserts";
       c_deletes = Obs.counter obs "deletes";
       h_insert_ns = Obs.histogram obs "insert_ns";
@@ -164,6 +169,21 @@ module Make (I : Static_index.S) = struct
       (Array.fold_left (fun a (_, s) -> a + String.length s + 1) 0 arr);
     SS.build ~sample:t.sample ~tau:t.tau arr
 
+  (* Purge/global-rebuild offload: run the build on a worker domain when
+     a pool is attached (the docs list is immutable, so the job is
+     trivially domain-safe), falling back to an inline build if the
+     worker crashes.  With no pool this IS [build_sub]. *)
+  let offload_build t ~name docs =
+    match t.exec with
+    | None -> build_sub t docs
+    | Some exec -> (
+      match Exec.await exec (Exec.submit exec ~name (fun _tick -> build_sub t docs)) with
+      | `Done ss -> ss
+      | `Failed _ | `Cancelled ->
+        Obs.incr t.c_crash_fallbacks;
+        Obs.record t.obs (Obs.Note ("worker crash: " ^ name ^ " rebuilt inline"));
+        build_sub t docs)
+
   let set_locations t docs loc = List.iter (fun (id, _) -> Hashtbl.replace t.locs id loc) docs
 
   (* Move every live document into the top sub-collection and re-snapshot
@@ -182,7 +202,7 @@ module Make (I : Static_index.S) = struct
     t.live <- total;
     let r = r_of t in
     if docs <> [] then begin
-      t.subs.(r) <- Some (build_sub t docs);
+      t.subs.(r) <- Some (offload_build t ~name:"global_rebuild" docs);
       set_locations t docs (In_sub r)
     end;
     Obs.record t.obs (Obs.Restructure { nf = t.nf; structures = (if docs = [] then 0 else 1) })
@@ -242,7 +262,7 @@ module Make (I : Static_index.S) = struct
       let docs = SS.live_docs ss in
       if docs = [] then t.subs.(j) <- None
       else begin
-        t.subs.(j) <- Some (build_sub t docs);
+        t.subs.(j) <- Some (offload_build t ~name:(Printf.sprintf "purge C%d" j) docs);
         set_locations t docs (In_sub j)
       end
 
@@ -344,4 +364,8 @@ module Make (I : Static_index.S) = struct
       Array.fold_left (fun a -> function None -> a | Some ss -> a + SS.space_bits ss) 0 t.subs
     in
     Gsuffix_tree.space_bits t.gst + sub_space + (Hashtbl.length t.locs * 3 * 63)
+
+  (* Stop and join the worker domains (no-op without a pool); the index
+     stays usable, rebuilds simply run inline afterwards. *)
+  let close t = match t.exec with None -> () | Some exec -> Exec.shutdown exec
 end

@@ -5,10 +5,16 @@
 
    - locked copies: when C_j must be merged upward it is renamed L_j and a
      fresh empty C_j takes its place; L_j keeps answering queries;
-   - background construction: the new N_{j+1} = L_j ∪ C_{j+1} ∪ {T} is an
-     Incremental job; every subsequent update steps all pending jobs by a
+   - background construction: the new N_{j+1} = L_j ∪ C_{j+1} ∪ {T} is a
+     background job.  In the default Sync mode (jobs = 0) it is an
+     Incremental job: every subsequent update steps all pending jobs by a
      budget proportional to the update's size (work_factor * |T|), which is
-     the paper's "O(log^eps n * u(n)) time per symbol" accounting;
+     the paper's "O(log^eps n * u(n)) time per symbol" accounting.  With
+     jobs >= 1 the build runs on a Dsdg_exec.Executor worker domain
+     instead: updates merely poll for finished results and install them
+     at exactly the same points, so the Dietz-Sleator schedule and the
+     max_j capacity invariants are enforced unchanged while construction
+     work leaves the update critical path;
    - Temp_{j+1}: a single-document index for the new text so it is
      queryable while N_{j+1} is under construction (Figure 3);
    - top collections T_1..T_g holding the bulk of the data (never the
@@ -39,8 +45,13 @@ open Dsdg_obs
    self-tests (Dsdg_check): a harness that cannot catch a planted bug
    proves nothing.  [`Skip_top_clean] disables the Dietz-Sleator top
    cleaning so deleted symbols accumulate in top collections and the
-   Lemma 1 dead-fraction bound is eventually violated. *)
-type fault = [ `Skip_top_clean ]
+   Lemma 1 dead-fraction bound is eventually violated.  [`Worker_crash]
+   (pooled mode only, [jobs >= 1]) makes every executor job raise on its
+   first tick AND breaks the crash recovery: instead of the synchronous
+   in-place fallback rebuild the owner silently discards the job, so the
+   documents of the locked source (and any Temp riding on the job) are
+   lost -- the model comparison and the census oracle must catch it. *)
+type fault = [ `Skip_top_clean | `Worker_crash ]
 
 (* Read-only snapshot of the scheduling counters (all maintained in the
    instance's Obs scope; see [obs]). *)
@@ -52,15 +63,34 @@ type stats = {
   top_cleanings : int;
   sync_merges : int;
   max_job_step : int; (* largest single-update job work, for the worst-case claim *)
+  crash_fallbacks : int; (* pooled jobs that failed and were rebuilt synchronously *)
 }
 
 module Make (I : Static_index.S) = struct
   module SS = Semi_static.Make (I)
+  module Exec = Dsdg_exec.Executor
 
   let max_slots = 64
 
+  (* Per-query cap on the processor time donated to pooled workers (in
+     job work units; see [donate]).  Small enough that a single query's
+     latency stays bounded, large enough that a read-heavy interleaving
+     keeps the workers ahead of their install deadlines on a machine
+     with fewer cores than domains. *)
+  let query_grain = 2048
+
+  (* How a background job is being run: [Incr] is the cooperative
+     effects-based realization stepped inside updates (the only mode
+     when [jobs = 0], bit-for-bit the pre-executor behaviour); [Pooled]
+     is a handle into the domain-pool executor plus the same build
+     closure kept caller-side, so a crashed worker can be recovered by
+     rebuilding synchronously in place. *)
+  type job_run =
+    | Incr of SS.t Incremental.t
+    | Pooled of { handle : SS.t Exec.handle; builder : (unit -> unit) -> SS.t }
+
   type job = {
-    task : SS.t Incremental.t;
+    run : job_run;
     target : [ `Sub of int | `Top | `Replace_top of int ];
     frees_locked : int option; (* level whose L_j this job consumes; -1 = L0 *)
     mutable deleted_during : int list;
@@ -85,6 +115,7 @@ module Make (I : Static_index.S) = struct
     mutable doc_count : int;
     mutable del_counter : int; (* deleted symbols since last top-clean dispatch *)
     fault : fault option;
+    exec : Exec.t option; (* None = Sync mode: jobs stepped cooperatively *)
     obs : Obs.scope;
     c_jobs_started : Obs.counter;
     c_jobs_completed : Obs.counter;
@@ -92,18 +123,22 @@ module Make (I : Static_index.S) = struct
     c_restructures : Obs.counter;
     c_top_cleanings : Obs.counter;
     c_sync_merges : Obs.counter;
+    c_crash_fallbacks : Obs.counter;
     c_inserts : Obs.counter;
     c_deletes : Obs.counter;
     g_max_job_step : Obs.gauge;
     h_insert_ns : Obs.histogram;
     h_delete_ns : Obs.histogram;
+    h_merge_ns : Obs.histogram; (* synchronous carry-propagation merges inside insert *)
     h_purge_dead_frac : Obs.histogram; (* per-mille dead fraction at purge/clean time *)
   }
 
-  let create ?(sample = 8) ?(tau = 8) ?(epsilon = 0.5) ?(work_factor = 64) ?fault () =
+  let create ?(sample = 8) ?(tau = 8) ?(epsilon = 0.5) ?(work_factor = 64) ?fault
+      ?(jobs = 0) () =
     let obs = Obs.private_scope ("transform2/" ^ I.name) in
     {
       fault;
+      exec = (if jobs > 0 then Some (Exec.create ~obs ~workers:jobs ()) else None);
       sample;
       tau;
       epsilon;
@@ -128,11 +163,13 @@ module Make (I : Static_index.S) = struct
       c_restructures = Obs.counter obs "restructures";
       c_top_cleanings = Obs.counter obs "top_cleanings";
       c_sync_merges = Obs.counter obs "sync_merges";
+      c_crash_fallbacks = Obs.counter obs "crash_fallbacks";
       c_inserts = Obs.counter obs "inserts";
       c_deletes = Obs.counter obs "deletes";
       g_max_job_step = Obs.gauge obs "max_job_step";
       h_insert_ns = Obs.histogram obs "insert_ns";
       h_delete_ns = Obs.histogram obs "delete_ns";
+      h_merge_ns = Obs.histogram obs "sync_merge_ns";
       h_purge_dead_frac = Obs.histogram obs "purge_dead_permille";
     }
 
@@ -148,7 +185,10 @@ module Make (I : Static_index.S) = struct
       top_cleanings = Obs.value t.c_top_cleanings;
       sync_merges = Obs.value t.c_sync_merges;
       max_job_step = Obs.gauge_value t.g_max_job_step;
+      crash_fallbacks = Obs.value t.c_crash_fallbacks;
     }
+
+  let jobs_mode t = match t.exec with None -> `Sync | Some e -> Exec.mode e
 
   let doc_count t = t.doc_count
   let total_symbols t = t.live
@@ -195,6 +235,23 @@ module Make (I : Static_index.S) = struct
     | `Top -> "new top"
     | `Replace_top key -> Printf.sprintf "rebuilt T%d" key
 
+  (* Wrap a build closure as a job in the current mode.  The planted
+     [`Worker_crash] fault sabotages only the worker-side copy (raises
+     on the first tick); the caller-side [builder] copy stays intact --
+     though the fault's broken drop recovery never runs it. *)
+  let make_run t ~name body =
+    match t.exec with
+    | None -> Incr (Incremental.create body)
+    | Some exec ->
+      let worker_body tick =
+        if t.fault = Some `Worker_crash then begin
+          tick ();
+          failwith "planted worker crash"
+        end;
+        body tick
+      in
+      Pooled { handle = Exec.submit exec ~name worker_body; builder = body }
+
   let install t j job ss =
     List.iter (fun id -> ignore (SS.delete ss id)) job.deleted_during;
     (match job.frees_locked with
@@ -220,42 +277,103 @@ module Make (I : Static_index.S) = struct
     t.jobs.(j) <- None;
     Obs.incr t.c_jobs_completed
 
+  (* Recovery for a pooled job whose worker raised (or was cancelled):
+     the owner rebuilds synchronously in place with the very closure the
+     worker was running, then installs normally -- queries never observe
+     a gap because the locked sources stayed queryable the whole time.
+     Under the planted [`Worker_crash] fault the recovery is deliberately
+     broken: the job is discarded wholesale (locked source, Temp and --
+     for a cleaning job -- the top being rebuilt all dropped), which
+     loses documents and must trip the differential checker. *)
+  let crash_recover t j job builder =
+    if t.fault = Some `Worker_crash then begin
+      (match job.frees_locked with
+      | Some 0 -> t.locked_gst <- None
+      | Some l -> t.locked.(l) <- None
+      | None -> ());
+      (match job.target with
+      | `Sub jj -> t.temps.(jj) <- None
+      | `Top -> t.temps.(max_slots + 1) <- None
+      | `Replace_top key -> t.tops <- List.filter (fun (k, _) -> k <> key) t.tops);
+      Obs.record t.obs (Obs.Note (Printf.sprintf "worker crash: job %d dropped" j));
+      t.jobs.(j) <- None;
+      Obs.incr t.c_jobs_completed
+    end
+    else begin
+      Obs.incr t.c_crash_fallbacks;
+      Obs.record t.obs (Obs.Note (Printf.sprintf "worker crash: slot %d rebuilt in place" j));
+      let spent = ref 0 in
+      let ss = builder (fun () -> incr spent) in
+      Obs.set_max t.g_max_job_step !spent;
+      Obs.record t.obs (Obs.Job_finish { slot = j; work = !spent });
+      install t j job ss
+    end
+
+  (* Land a pooled job from its terminal executor state. *)
+  let land_pooled t j job handle builder = function
+    | `Done ss ->
+      Obs.record t.obs (Obs.Job_finish { slot = j; work = Exec.work_spent handle });
+      install t j job ss
+    | `Failed _ | `Cancelled -> crash_recover t j job builder
+
   (* A job force-completed during an update counts as [forced] exactly
      once, and the synchronous work it performs still feeds the
      max-single-update-work gauge (the worst-case claim covers forced
-     completions too). *)
+     completions too).  Forcing a pooled job awaits the worker (or
+     steals the job from the queue and runs it on the caller). *)
   let force_job t j =
     match t.jobs.(j) with
     | None -> ()
-    | Some job ->
+    | Some job -> (
       Obs.incr t.c_forced;
       Obs.record t.obs (Obs.Job_force { slot = j });
-      let before = Incremental.work_spent job.task in
-      let ss = Incremental.force job.task in
-      let spent = Incremental.work_spent job.task - before in
-      Obs.set_max t.g_max_job_step spent;
-      Obs.record t.obs (Obs.Job_finish { slot = j; work = Incremental.work_spent job.task });
-      install t j job ss
+      match job.run with
+      | Incr task ->
+        let before = Incremental.work_spent task in
+        let ss = Incremental.force task in
+        let spent = Incremental.work_spent task - before in
+        Obs.set_max t.g_max_job_step spent;
+        Obs.record t.obs (Obs.Job_finish { slot = j; work = Incremental.work_spent task });
+        install t j job ss
+      | Pooled { handle; builder } ->
+        let exec = Option.get t.exec in
+        land_pooled t j job handle builder (Exec.await exec handle))
 
-  (* Step every pending job by a budget proportional to the update size. *)
+  (* Step every pending cooperative job by a budget proportional to the
+     update size; poll every pooled job and install the finished ones.
+     Under the planted [`Worker_crash] fault pooled jobs are awaited
+     instead of polled so the (deliberately broken) recovery lands at a
+     deterministic point in the op stream -- shrinking and replay of the
+     fault would otherwise be timing-dependent. *)
   let pump t work =
     let budget = max 1 (t.work_factor * work) in
     for j = 0 to max_slots + 1 do
       match t.jobs.(j) with
       | None -> ()
       | Some job -> (
-        let before = Incremental.work_spent job.task in
-        match Incremental.step job.task ~budget with
-        | `Done ss ->
-          let spent = Incremental.work_spent job.task - before in
-          Obs.set_max t.g_max_job_step spent;
-          Obs.record t.obs (Obs.Job_step { slot = j; work = spent });
-          Obs.record t.obs (Obs.Job_finish { slot = j; work = Incremental.work_spent job.task });
-          install t j job ss
-        | `More ->
-          let spent = Incremental.work_spent job.task - before in
-          Obs.set_max t.g_max_job_step spent;
-          Obs.record t.obs (Obs.Job_step { slot = j; work = spent }))
+        match job.run with
+        | Incr task -> (
+          let before = Incremental.work_spent task in
+          match Incremental.step task ~budget with
+          | `Done ss ->
+            let spent = Incremental.work_spent task - before in
+            Obs.set_max t.g_max_job_step spent;
+            Obs.record t.obs (Obs.Job_step { slot = j; work = spent });
+            Obs.record t.obs (Obs.Job_finish { slot = j; work = Incremental.work_spent task });
+            install t j job ss
+          | `More ->
+            let spent = Incremental.work_spent task - before in
+            Obs.set_max t.g_max_job_step spent;
+            Obs.record t.obs (Obs.Job_step { slot = j; work = spent }))
+        | Pooled { handle; builder } -> (
+          let exec = Option.get t.exec in
+          if t.fault = Some `Worker_crash then
+            land_pooled t j job handle builder (Exec.await exec handle)
+          else
+            match Exec.poll exec handle with
+            | `Pending -> ()
+            | (`Done _ | `Failed _ | `Cancelled) as terminal ->
+              land_pooled t j job handle builder terminal))
     done
 
   let register_deletion_with_jobs t id =
@@ -273,6 +391,22 @@ module Make (I : Static_index.S) = struct
 
   (* --- queries --- *)
 
+  (* Reader-assist donation.  Updates are the latency-critical path (they
+     hold the schedule's invariants), so pooled mode keeps them free of
+     construction work entirely: submission, polling and the occasional
+     forced completion at a missed deadline.  Queries instead donate a
+     bounded processor slice to the workers -- on a multicore machine the
+     background builds run during query time anyway; on a machine with
+     fewer cores than domains this makes that explicit, so the workers
+     keep pace with their install deadlines instead of being starved by
+     the update loop.  [Exec.breathe] returns immediately when no job is
+     queued or running, and never touches index state, so query results
+     are identical with or without the donation. *)
+  let donate t =
+    match t.exec with
+    | Some exec when t.fault <> Some `Worker_crash -> Exec.breathe exec ~ticks:query_grain
+    | _ -> ()
+
   let iter_structures t ~fss ~fgst =
     fgst t.gst;
     (match t.locked_gst with None -> () | Some g -> fgst g);
@@ -284,6 +418,7 @@ module Make (I : Static_index.S) = struct
     List.iter (fun (_, ss) -> fss ss) t.tops
 
   let search t p ~f =
+    donate t;
     iter_structures t
       ~fss:(fun ss -> SS.search ss p ~f)
       ~fgst:(fun g -> Gsuffix_tree.search g p ~f)
@@ -294,6 +429,7 @@ module Make (I : Static_index.S) = struct
     List.sort compare !acc
 
   let count t p =
+    donate t;
     let c = ref 0 in
     iter_structures t
       ~fss:(fun ss -> c := !c + SS.count ss p)
@@ -301,6 +437,7 @@ module Make (I : Static_index.S) = struct
     !c
 
   let extract t ~doc ~off ~len =
+    donate t;
     let result = ref None in
     iter_structures t
       ~fss:(fun ss ->
@@ -314,6 +451,7 @@ module Make (I : Static_index.S) = struct
     !result
 
   let mem t doc =
+    donate t;
     let found = ref false in
     iter_structures t
       ~fss:(fun ss -> if SS.mem ss doc then found := true)
@@ -423,21 +561,34 @@ module Make (I : Static_index.S) = struct
     | None -> ()
     | Some (id, text) -> t.temps.(job_slot) <- Some (build_ss t [ (id, text) ]));
     Obs.record t.obs (Obs.Lock { level = j; target = target_name target });
-    let task =
-      Incremental.create (fun tick ->
-          let docs0 =
-            match locked_source with
-            | `Gst g -> gst_docs ~tick g
-            | `Ss None -> []
-            | `Ss (Some ss) -> SS.live_docs ~tick ss
-          in
-          let docs1 = match absorbed with None -> [] | Some ss -> SS.live_docs ~tick ss in
-          let extra = match extra_doc with None -> [] | Some d -> [ d ] in
-          build_ss t ~tick (docs0 @ docs1 @ extra))
+    (* In pooled mode the L0 suffix tree cannot be read from a worker
+       domain (Hashtbl buckets plus whole-tree rebuilds are not
+       domain-safe), so its documents are materialized eagerly on the
+       caller; semi-static sources ARE read worker-side -- the only
+       concurrent mutation is the owner flipping dead bits, which is
+       memory-safe under the OCaml memory model and semantically repaired
+       by the deleted-during replay at the install point. *)
+    let source =
+      match (locked_source, t.exec) with
+      | `Gst g, Some _ -> `Docs (gst_docs g)
+      | (`Gst _ | `Ss _), _ -> locked_source
     in
-    start_job t job_slot { task; target; frees_locked; deleted_during = [] }
+    let body tick =
+      let docs0 =
+        match source with
+        | `Gst g -> gst_docs ~tick g
+        | `Docs docs -> docs
+        | `Ss None -> []
+        | `Ss (Some ss) -> SS.live_docs ~tick ss
+      in
+      let docs1 = match absorbed with None -> [] | Some ss -> SS.live_docs ~tick ss in
+      let extra = match extra_doc with None -> [] | Some d -> [ d ] in
+      build_ss t ~tick (docs0 @ docs1 @ extra)
+    in
+    let run = make_run t ~name:(target_name target) body in
+    start_job t job_slot { run; target; frees_locked; deleted_during = [] }
 
-  let insert t (text : string) : int =
+  let insert_body t (text : string) : int =
     let t0 = Obs.start () in
     let id = t.next_id in
     t.next_id <- t.next_id + 1;
@@ -487,10 +638,12 @@ module Make (I : Static_index.S) = struct
           else if tlen >= max_size t j / 2 then begin
             (* big enough to pay for a synchronous rebuild *)
             Obs.incr t.c_sync_merges;
+            let m0 = Obs.start () in
             let docs0 = if j = 0 then gst_docs t.gst else match t.subs.(j) with None -> [] | Some ss -> SS.live_docs ss in
             let docs1 = match t.subs.(j + 1) with None -> [] | Some ss -> SS.live_docs ss in
             if j = 0 then t.gst <- Gsuffix_tree.create () else t.subs.(j) <- None;
             t.subs.(j + 1) <- Some (build_ss t (docs0 @ docs1 @ [ (id, text) ]));
+            Obs.stop t.h_merge_ns m0;
             Obs.record t.obs (Obs.Merge { from_level = j; into_level = j + 1; sync = true })
           end
           else lock_and_start t j ~extra_doc:(Some (id, text)) ~target:(`Sub (j + 1))
@@ -561,9 +714,12 @@ module Make (I : Static_index.S) = struct
         let total = SS.live_symbols ss + dead in
         Obs.observe t.h_purge_dead_frac (if total = 0 then 0 else dead * 1000 / total);
         Obs.record t.obs (Obs.Top_clean { key; dead });
-        let task = Incremental.create (fun tick -> build_ss t ~tick (SS.live_docs ~tick ss)) in
+        let run =
+          make_run t ~name:(target_name (`Replace_top key)) (fun tick ->
+              build_ss t ~tick (SS.live_docs ~tick ss))
+        in
         start_job t (max_slots + 1)
-          { task; target = `Replace_top key; frees_locked = None; deleted_during = [] }
+          { run; target = `Replace_top key; frees_locked = None; deleted_during = [] }
     end
     end
 
@@ -571,7 +727,7 @@ module Make (I : Static_index.S) = struct
      without pumping jobs, touching counters or running purge checks --
      so the structure is located and marked dead first, and all side
      effects happen only on success. *)
-  let delete t id =
+  let delete_body t id =
     match doc_size t id with
     | None -> false
     | Some syms ->
@@ -635,6 +791,22 @@ module Make (I : Static_index.S) = struct
         true
       end
 
+  (* Updates are the schedule's synchronous critical sections: in pooled
+     mode they run under update-priority, so worker domains park at
+     their next tick instead of competing with the owner for processor
+     time and GC barriers mid-update.  [Exec.await] (forced completion)
+     and inline overflow release the priority internally, so landing a
+     job from inside an update cannot deadlock. *)
+  let insert t text =
+    match t.exec with
+    | Some exec -> Exec.with_priority exec (fun () -> insert_body t text)
+    | None -> insert_body t text
+
+  let delete t id =
+    match t.exec with
+    | Some exec -> Exec.with_priority exec (fun () -> delete_body t id)
+    | None -> delete_body t id
+
   (* Census of all structures: the measured counterpart of Figure 2. *)
   let census t =
     let acc = ref [] in
@@ -679,6 +851,22 @@ module Make (I : Static_index.S) = struct
       if t.jobs.(j) <> None then incr c
     done;
     !c
+
+  (* Land every in-flight job now (each counts as a forced completion,
+     exactly like a capacity conflict would). *)
+  let drain t =
+    for j = 0 to max_slots + 1 do
+      force_job t j
+    done
+
+  (* Drain, then stop and join the worker domains.  The index stays
+     fully usable afterwards; new jobs simply run synchronously. *)
+  let close t =
+    match t.exec with
+    | None -> ()
+    | Some exec ->
+      drain t;
+      Exec.shutdown exec
 
   let space_bits t =
     let total = ref 0 in

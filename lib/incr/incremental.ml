@@ -53,7 +53,7 @@ let step t ~budget =
   if budget < 1 then invalid_arg "Incremental.step: budget < 1";
   match t.state with
   | Finished v -> `Done v
-  | Abandoned -> invalid_arg "Incremental.step: abandoned job"
+  | Abandoned -> raise Cancelled
   | Not_started f ->
     t.budget := budget;
     let tick () =

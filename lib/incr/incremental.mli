@@ -21,7 +21,9 @@ val result : 'a t -> 'a option
 val work_spent : 'a t -> int
 
 (** [step t ~budget] runs the job for at most [budget] work units.
-    [`Done v] if it finished (now or earlier), [`More] otherwise. *)
+    [`Done v] if it finished (now or earlier), [`More] otherwise.
+    Raises {!Cancelled} if the job was {!abandon}ed (matching the
+    executor's contract: a cancelled job can never be resumed). *)
 val step : 'a t -> budget:int -> [ `Done of 'a | `More ]
 
 (** Run to completion regardless of budget. *)

@@ -7,6 +7,7 @@ let () =
       ("fm", Suite_fm.suite);
       ("gst", Suite_gst.suite);
       ("delbits", Suite_delbits.suite);
+      ("exec", Suite_exec.suite);
       ("core", Suite_core.suite);
       ("transform2", Suite_transform2.suite);
       ("check", Suite_check.suite);

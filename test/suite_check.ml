@@ -3,9 +3,12 @@
    for the trace / opgen / shrink machinery, and a planted-fault
    self-test proving the harness catches real scheduling bugs.
 
-   Budget knobs for nightly CI: FUZZ_STREAMS, FUZZ_OPS, FUZZ_SEED. *)
+   Budget knobs for nightly CI: FUZZ_STREAMS, FUZZ_OPS, FUZZ_SEED;
+   DSDG_JOBS (default 0 = deterministic Sync executor) reruns the whole
+   matrix with pooled background rebuilds. *)
 
 open Dsdg_check
+module DI = Dsdg_core.Dynamic_index
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -15,6 +18,8 @@ let env_int name default =
 let base_seed = env_int "FUZZ_SEED" 42
 let n_streams = env_int "FUZZ_STREAMS" 200
 let ops_per_stream = env_int "FUZZ_OPS" 60
+let jobs = env_int "DSDG_JOBS" 0
+let base_config = { Runner.default_config with Runner.jobs }
 
 (* On failure, print everything needed to reproduce without rerunning
    the suite: the seed, the saved minimal trace and the replay command. *)
@@ -42,7 +47,7 @@ let test_fuzz_matrix () =
     let seed = base_seed + i in
     let targets = [ List.nth Runner.all_targets (i mod n_targets) ] in
     let profile = if i mod 3 = 2 then Opgen.churny else Opgen.default in
-    match Runner.run_stream ~targets ~profile ~seed ~ops:ops_per_stream () with
+    match Runner.run_stream ~config:base_config ~targets ~profile ~seed ~ops:ops_per_stream () with
     | Runner.Pass -> ()
     | Runner.Fail { failure; shrunk; _ } -> fail_stream ~seed ~failure ~shrunk
   done
@@ -53,7 +58,8 @@ let test_fuzz_cross_targets () =
   for i = 0 to 2 do
     let seed = base_seed + 1000 + i in
     match
-      Runner.run_stream ~targets:Runner.all_targets ~seed ~ops:(2 * ops_per_stream) ()
+      Runner.run_stream ~config:base_config ~targets:Runner.all_targets ~seed
+        ~ops:(2 * ops_per_stream) ()
     with
     | Runner.Pass -> ()
     | Runner.Fail { failure; shrunk; _ } -> fail_stream ~seed ~failure ~shrunk
@@ -70,7 +76,8 @@ let test_trace_roundtrip () =
       Trace.Search "ab\"cd";
       Trace.Count "";
       Trace.Extract { doc = 2; off = 0; len = 5 };
-      Trace.Mem 17 ]
+      Trace.Mem 17;
+      Trace.Drain ]
   in
   let reparsed = List.map (fun op -> Trace.op_of_string (Trace.op_to_string op)) ops in
   Alcotest.(check bool) "to_string/of_string round-trips" true (reparsed = ops);
@@ -156,11 +163,90 @@ let test_planted_fault_caught () =
   in
   hunt base_seed
 
+(* Pooled executor smoke: a bounded batch of streams with worker
+   domains on, regardless of DSDG_JOBS, so tier-1 always exercises the
+   background-rebuild path (round-robin over the matrix). *)
+let test_fuzz_pooled_smoke () =
+  let config = { Runner.default_config with Runner.jobs = max 1 jobs } in
+  let n_targets = List.length Runner.all_targets in
+  for i = 0 to 19 do
+    let seed = base_seed + 2000 + i in
+    let targets = [ List.nth Runner.all_targets (i mod n_targets) ] in
+    let profile = if i mod 3 = 2 then Opgen.churny else Opgen.default in
+    match Runner.run_stream ~config ~targets ~profile ~seed ~ops:ops_per_stream () with
+    | Runner.Pass -> ()
+    | Runner.Fail { failure; shrunk; _ } -> fail_stream ~seed ~failure ~shrunk
+  done
+
+(* Plant the worker-crash fault (a pooled rebuild dies and its result is
+   dropped instead of recovered) and demand the full catch -> shrink ->
+   replay pipeline works, exactly as for the scheduling fault above. *)
+let test_planted_worker_crash_caught () =
+  let config = { Runner.default_config with Runner.fault = Some `Worker_crash; Runner.jobs = 1 } in
+  let clean_config = { Runner.default_config with Runner.jobs = 1 } in
+  let targets = Runner.select_targets ~variant:"worst-case" ~backend:"fm" () in
+  let rec hunt seed =
+    if seed > base_seed + 9 then
+      Alcotest.fail "planted worker-crash fault never caught in 10 streams"
+    else
+      match Runner.run_stream ~config ~targets ~seed ~ops:300 () with
+      | Runner.Pass -> hunt (seed + 1)
+      | Runner.Fail { failure = _; shrunk; trace } ->
+        Alcotest.(check bool) "shrunk trace nonempty" true (shrunk <> []);
+        Alcotest.(check bool) "shrinking did not grow the trace" true
+          (List.length shrunk <= List.length trace);
+        (match Runner.run_trace ~config ~targets shrunk with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "replayed minimal trace no longer fails under the fault");
+        (match Runner.run_trace ~config:clean_config ~targets shrunk with
+        | Ok () -> ()
+        | Error f ->
+          Alcotest.failf "minimal trace fails even without the fault: %s" f.Runner.f_message)
+  in
+  hunt base_seed
+
+(* Sync (jobs = 0) and pooled (jobs = 2) instances fed the same op
+   stream must answer every query identically -- directly, not only via
+   the model. *)
+let test_sync_vs_pooled_equivalence () =
+  let ops = Opgen.generate ~seed:(base_seed + 77) ~ops:300 () in
+  let mk jobs = DI.create ~variant:DI.Worst_case ~backend:DI.Fm ~sample:2 ~tau:4 ~jobs () in
+  let a = mk 0 and b = mk 2 in
+  Fun.protect ~finally:(fun () -> DI.close a; DI.close b) @@ fun () ->
+  let cap f = try Ok (f ()) with Invalid_argument _ -> Error `Rejected in
+  List.iteri
+    (fun i op ->
+      let ctx fmt = Printf.sprintf ("op %d: " ^^ fmt) i in
+      (match op with
+      | Trace.Insert s ->
+        Alcotest.(check int) (ctx "insert id") (DI.insert a s) (DI.insert b s)
+      | Trace.Delete id ->
+        Alcotest.(check bool) (ctx "delete %d" id) (DI.delete a id) (DI.delete b id)
+      | Trace.Search p ->
+        Alcotest.(check bool) (ctx "search %S" p) true
+          (cap (fun () -> DI.search a p) = cap (fun () -> DI.search b p))
+      | Trace.Count p ->
+        Alcotest.(check bool) (ctx "count %S" p) true
+          (cap (fun () -> DI.count a p) = cap (fun () -> DI.count b p))
+      | Trace.Extract { doc; off; len } ->
+        Alcotest.(check (option string)) (ctx "extract %d %d %d" doc off len)
+          (DI.extract a ~doc ~off ~len) (DI.extract b ~doc ~off ~len)
+      | Trace.Mem id -> Alcotest.(check bool) (ctx "mem %d" id) (DI.mem a id) (DI.mem b id)
+      | Trace.Drain ->
+        DI.drain a;
+        DI.drain b);
+      Alcotest.(check int) (ctx "doc_count") (DI.doc_count a) (DI.doc_count b);
+      Alcotest.(check int) (ctx "total_symbols") (DI.total_symbols a) (DI.total_symbols b))
+    ops
+
 let suite =
   [ ("trace round-trip", `Quick, test_trace_roundtrip);
     ("opgen deterministic", `Quick, test_opgen_deterministic);
     ("opgen adversarial cases", `Quick, test_opgen_adversarial_cases);
     ("model semantics", `Quick, test_model_semantics);
+    ("sync vs pooled equivalence", `Quick, test_sync_vs_pooled_equivalence);
     ("planted fault caught & shrunk", `Slow, test_planted_fault_caught);
+    ("planted worker-crash caught & shrunk", `Slow, test_planted_worker_crash_caught);
+    ("fuzz pooled smoke streams", `Slow, test_fuzz_pooled_smoke);
     ("fuzz cross-target streams", `Slow, test_fuzz_cross_targets);
     ("fuzz matrix streams", `Slow, test_fuzz_matrix) ]

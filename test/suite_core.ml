@@ -272,6 +272,87 @@ let test_t1_count_right_after_purge () =
   done;
   Alcotest.(check bool) "purges actually happened" true ((T1.stats t).Transform1.purges > purges0)
 
+(* --- satellite regressions: overflow-safe purge threshold and the
+   uniform query conventions enforced at the Dynamic_index boundary --- *)
+
+(* The n/tau rule must be computed without forming dead * tau: near
+   max_int the product wraps negative and a collection that is almost
+   entirely dead would never purge. *)
+let test_purge_threshold_no_overflow () =
+  let chk name expected ~dead_syms ~total_symbols ~tau =
+    Alcotest.(check bool) name expected
+      (Semi_static.purge_threshold_exceeded ~dead_syms ~total_symbols ~tau)
+  in
+  (* small-number semantics unchanged: dead * tau > total *)
+  chk "empty" false ~dead_syms:0 ~total_symbols:0 ~tau:4;
+  chk "below" false ~dead_syms:2 ~total_symbols:8 ~tau:4;
+  chk "just above" true ~dead_syms:3 ~total_symbols:8 ~tau:4;
+  chk "tau 1: any dead vs total" true ~dead_syms:5 ~total_symbols:4 ~tau:1;
+  chk "tau 1: dead = total" false ~dead_syms:4 ~total_symbols:4 ~tau:1;
+  (* regression: the old [dead * tau > total] overflows here (the
+     product wraps negative) and answers false; mathematically
+     dead * tau is about 2 * max_int, far above total *)
+  chk "near-max_int dead count" true ~dead_syms:(max_int / 2) ~total_symbols:(max_int - 1) ~tau:4;
+  chk "huge tau" true ~dead_syms:(max_int / 3) ~total_symbols:max_int ~tau:4;
+  chk "tau itself near max_int" true ~dead_syms:2 ~total_symbols:max_int ~tau:max_int;
+  chk "zero dead never purges, huge total" false ~dead_syms:0 ~total_symbols:max_int ~tau:2
+
+let all_pairs =
+  List.concat_map
+    (fun v -> List.map (fun b -> (v, b)) [ Dynamic_index.Fm; Dynamic_index.Plain_sa; Dynamic_index.Csa ])
+    [ Dynamic_index.Amortized; Dynamic_index.Amortized_loglog; Dynamic_index.Worst_case ]
+
+let pair_name (v, b) =
+  Printf.sprintf "%s/%s"
+    (match v with
+    | Dynamic_index.Amortized -> "amortized"
+    | Dynamic_index.Amortized_loglog -> "loglog"
+    | Dynamic_index.Worst_case -> "worst-case")
+    (match b with Dynamic_index.Fm -> "fm" | Dynamic_index.Plain_sa -> "sa" | Dynamic_index.Csa -> "csa")
+
+(* Every variant x backend pair must reject the empty pattern the same
+   way; before the sweep some backends answered it (with every position)
+   and some raised, so the differential oracle could not even compare. *)
+let test_empty_pattern_rejected_everywhere () =
+  List.iter
+    (fun pair ->
+      let v, b = pair in
+      let idx = Dynamic_index.create ~variant:v ~backend:b ~sample:2 ~tau:4 () in
+      Fun.protect ~finally:(fun () -> Dynamic_index.close idx) @@ fun () ->
+      ignore (Dynamic_index.insert idx "banana");
+      let expect_reject what f =
+        match f () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.failf "%s: %s \"\" must raise Invalid_argument" (pair_name pair) what
+      in
+      expect_reject "search" (fun () -> ignore (Dynamic_index.search idx ""));
+      expect_reject "count" (fun () -> ignore (Dynamic_index.count idx ""));
+      expect_reject "iter_matches" (fun () ->
+          Dynamic_index.iter_matches idx "" ~f:(fun ~doc:_ ~off:_ -> ())))
+    all_pairs
+
+(* extract with len = 0 is a liveness probe: Some "" for a live doc
+   (whatever the offset), None for dead or never-assigned ids. *)
+let test_extract_len0_convention () =
+  List.iter
+    (fun pair ->
+      let v, b = pair in
+      let name = pair_name pair in
+      let idx = Dynamic_index.create ~variant:v ~backend:b ~sample:2 ~tau:4 () in
+      Fun.protect ~finally:(fun () -> Dynamic_index.close idx) @@ fun () ->
+      let a = Dynamic_index.insert idx "banana" in
+      let d = Dynamic_index.insert idx "bandana" in
+      Alcotest.(check bool) (name ^ " delete") true (Dynamic_index.delete idx d);
+      let chk what expected ~doc ~off =
+        Alcotest.(check (option string)) (name ^ " " ^ what) expected
+          (Dynamic_index.extract idx ~doc ~off ~len:0)
+      in
+      chk "live len=0" (Some "") ~doc:a ~off:0;
+      chk "live len=0 off out of range" (Some "") ~doc:a ~off:99;
+      chk "dead len=0" None ~doc:d ~off:0;
+      chk "unassigned len=0" None ~doc:12345 ~off:0)
+    all_pairs
+
 let qsuite =
   List.map Qc.to_alcotest [ prop_sa_static_vs_fm; prop_csa_vs_fm; prop_t1_vs_model ]
 
@@ -288,5 +369,8 @@ let suite =
     ("transform1 insert-only growth", `Quick, test_t1_insert_only_growth);
     ("transform1 delete everything", `Quick, test_t1_delete_everything);
     ("transform1 large doc", `Quick, test_t1_large_doc_goes_high);
-    ("transform1 count right after purge", `Quick, test_t1_count_right_after_purge) ]
+    ("transform1 count right after purge", `Quick, test_t1_count_right_after_purge);
+    ("purge threshold: no overflow", `Quick, test_purge_threshold_no_overflow);
+    ("empty pattern rejected everywhere", `Quick, test_empty_pattern_rejected_everywhere);
+    ("extract len=0 convention", `Quick, test_extract_len0_convention) ]
   @ qsuite

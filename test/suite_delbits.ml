@@ -228,8 +228,8 @@ let test_incremental_abandon () =
   ignore (Incremental.step job ~budget:5);
   Incremental.abandon job;
   Alcotest.(check bool) "finalizer ran" true !cleanup;
-  Alcotest.check_raises "step after abandon" (Invalid_argument "Incremental.step: abandoned job")
-    (fun () -> ignore (Incremental.step job ~budget:1))
+  Alcotest.check_raises "step after abandon" Incremental.Cancelled (fun () ->
+      ignore (Incremental.step job ~budget:1))
 
 let test_incremental_sais () =
   (* a real builder run incrementally must give the same result *)

@@ -1,0 +1,264 @@
+(* Unit tests for the domain-pool executor (lib/exec) and for the
+   Incremental lifecycle contract the pooled rebuild path of
+   Transformation 2 depends on: finalizers run exactly once on abandon,
+   work accounting is monotone, and a cancelled job can never be
+   resumed. *)
+
+open Dsdg_exec
+
+(* A one-shot latch a job can block on; Mutex/Condition so the worker
+   domain really sleeps (the test box may have a single core). *)
+let latch () =
+  let mu = Mutex.create () and cv = Condition.create () and opened = ref false in
+  let wait () =
+    Mutex.lock mu;
+    while not !opened do
+      Condition.wait cv mu
+    done;
+    Mutex.unlock mu
+  and release () =
+    Mutex.lock mu;
+    opened := true;
+    Condition.broadcast cv;
+    Mutex.unlock mu
+  in
+  (wait, release)
+
+(* Spin until the single worker has pulled the blocker off the queue, so
+   the next submit is guaranteed to sit in the queue behind it. *)
+let wait_queue_empty p =
+  while Executor.pending p > 0 do
+    Domain.cpu_relax ()
+  done
+
+let test_sync_inline () =
+  let p = Executor.create ~workers:0 () in
+  Alcotest.(check bool) "mode is Sync" true (Executor.mode p = `Sync);
+  Alcotest.(check int) "no worker domains" 0 (Executor.workers p);
+  let ran = ref false in
+  let h =
+    Executor.submit p ~name:"sync" (fun tick ->
+        tick ();
+        ran := true;
+        41 + 1)
+  in
+  Alcotest.(check bool) "ran inline before submit returned" true !ran;
+  (match Executor.poll p h with
+  | `Done 42 -> ()
+  | _ -> Alcotest.fail "Sync submit must be terminal immediately");
+  Alcotest.(check int) "work_spent counts ticks" 1 (Executor.work_spent h);
+  Executor.shutdown p
+
+let test_pool_roundtrip () =
+  let p = Executor.create ~workers:2 () in
+  Alcotest.(check bool) "mode is Pool" true (Executor.mode p = `Pool 2);
+  let hs = List.init 8 (fun i -> Executor.submit p ~name:(Printf.sprintf "job %d" i) (fun tick -> tick (); i * i)) in
+  List.iteri
+    (fun i h ->
+      match Executor.await p h with
+      | `Done v -> Alcotest.(check int) (Printf.sprintf "result %d" i) (i * i) v
+      | `Failed e -> Alcotest.failf "job %d failed: %s" i (Printexc.to_string e)
+      | `Cancelled -> Alcotest.failf "job %d cancelled" i)
+    hs;
+  Executor.shutdown p
+
+(* await on a job still in the queue must steal it and run it on the
+   caller (the paper's synchronous forced completion), not wait for the
+   busy worker. *)
+let test_await_steals_queued () =
+  let p = Executor.create ~workers:1 () in
+  let wait, release = latch () in
+  let blocker = Executor.submit p ~name:"blocker" (fun _tick -> wait (); 0) in
+  wait_queue_empty p;
+  let me = Domain.self () in
+  let queued = Executor.submit p ~name:"queued" (fun tick -> tick (); Domain.self ()) in
+  (match Executor.await p queued with
+  | `Done d -> Alcotest.(check bool) "stolen job ran on the caller" true (d = me)
+  | _ -> Alcotest.fail "queued job did not complete");
+  release ();
+  (match Executor.await p blocker with
+  | `Done 0 -> ()
+  | _ -> Alcotest.fail "blocker did not finish");
+  Executor.shutdown p
+
+let test_cancel_queued_never_runs () =
+  let p = Executor.create ~workers:1 () in
+  let wait, release = latch () in
+  let blocker = Executor.submit p ~name:"blocker" (fun _tick -> wait ()) in
+  wait_queue_empty p;
+  let ran = Atomic.make false in
+  let doomed = Executor.submit p ~name:"doomed" (fun _tick -> Atomic.set ran true) in
+  Executor.cancel p doomed;
+  (match Executor.poll p doomed with
+  | `Cancelled -> ()
+  | _ -> Alcotest.fail "cancelling a queued job must be immediate");
+  release ();
+  (match Executor.await p blocker with
+  | `Done () -> ()
+  | _ -> Alcotest.fail "blocker did not finish");
+  Alcotest.(check bool) "cancelled job never ran" false (Atomic.get ran);
+  Executor.shutdown p
+
+let test_cancel_running_at_tick () =
+  let p = Executor.create ~workers:1 () in
+  let started = Atomic.make false in
+  let h =
+    Executor.submit p ~name:"spinner" (fun tick ->
+        Atomic.set started true;
+        while true do
+          tick ();
+          Domain.cpu_relax ()
+        done)
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  Executor.cancel p h;
+  (match Executor.await p h with
+  | `Cancelled -> ()
+  | _ -> Alcotest.fail "running job must observe cancel at its next tick");
+  Executor.shutdown p
+
+exception Boom
+
+let test_failure_propagates () =
+  let p = Executor.create ~workers:1 () in
+  let h = Executor.submit p ~name:"boom" (fun _tick -> raise Boom) in
+  (match Executor.await p h with
+  | `Failed Boom -> ()
+  | `Failed e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected `Failed");
+  (match Executor.run p ~name:"boom2" (fun _tick -> raise Boom) with
+  | exception Boom -> ()
+  | _ -> Alcotest.fail "run must re-raise the job's exception");
+  Executor.shutdown p
+
+(* Bounded submission: with the worker busy and the queue full, the next
+   submit pays for its job inline instead of growing the queue. *)
+let test_queue_overflow_runs_inline () =
+  let p = Executor.create ~workers:1 ~queue_cap:1 () in
+  let wait, release = latch () in
+  let blocker = Executor.submit p ~name:"blocker" (fun _tick -> wait (); 0) in
+  wait_queue_empty p;
+  let queued = Executor.submit p ~name:"queued" (fun tick -> tick (); 1) in
+  Alcotest.(check int) "queue holds exactly one job" 1 (Executor.pending p);
+  let ran_inline = ref false in
+  let overflow =
+    Executor.submit p ~name:"overflow" (fun tick ->
+        tick ();
+        ran_inline := true;
+        2)
+  in
+  Alcotest.(check bool) "overflow ran inline before submit returned" true !ran_inline;
+  (match Executor.poll p overflow with
+  | `Done 2 -> ()
+  | _ -> Alcotest.fail "overflow job result");
+  release ();
+  (match Executor.await p queued with `Done 1 -> () | _ -> Alcotest.fail "queued job");
+  (match Executor.await p blocker with `Done 0 -> () | _ -> Alcotest.fail "blocker");
+  Executor.shutdown p
+
+let test_shutdown_idempotent_then_inline () =
+  let p = Executor.create ~workers:2 () in
+  let h = Executor.submit p ~name:"before" (fun tick -> tick (); 7) in
+  (match Executor.await p h with `Done 7 -> () | _ -> Alcotest.fail "pre-shutdown job");
+  Executor.shutdown p;
+  Executor.shutdown p;
+  let ran = ref false in
+  let h2 =
+    Executor.submit p ~name:"after" (fun _tick ->
+        ran := true;
+        8)
+  in
+  Alcotest.(check bool) "post-shutdown submit runs inline" true !ran;
+  match Executor.poll p h2 with
+  | `Done 8 -> ()
+  | _ -> Alcotest.fail "post-shutdown job result"
+
+let test_work_spent_exact_when_terminal () =
+  let p = Executor.create ~workers:1 () in
+  let h =
+    Executor.submit p ~name:"ticker" (fun tick ->
+        for _ = 1 to 17 do
+          tick ()
+        done)
+  in
+  (match Executor.await p h with `Done () -> () | _ -> Alcotest.fail "ticker");
+  Alcotest.(check int) "work_spent counts every tick" 17 (Executor.work_spent h);
+  Executor.shutdown p
+
+(* --- Incremental lifecycle (the cooperative half of the contract) --- *)
+
+module I = Dsdg_incr.Incremental
+
+let test_incr_finalizer_runs_once_on_abandon () =
+  let finalized = ref 0 in
+  let job =
+    I.create (fun tick ->
+        Fun.protect
+          ~finally:(fun () -> incr finalized)
+          (fun () ->
+            for _ = 1 to 100 do
+              tick ()
+            done))
+  in
+  (match I.step job ~budget:10 with
+  | `More -> ()
+  | `Done () -> Alcotest.fail "job finished before its budget allowed");
+  Alcotest.(check int) "finalizer has not run while paused" 0 !finalized;
+  I.abandon job;
+  Alcotest.(check int) "finalizer ran exactly once on abandon" 1 !finalized;
+  I.abandon job;
+  Alcotest.(check int) "second abandon is a no-op" 1 !finalized
+
+let test_incr_work_spent_monotone () =
+  let job =
+    I.create (fun tick ->
+        for _ = 1 to 50 do
+          tick ()
+        done;
+        50)
+  in
+  Alcotest.(check int) "no work before the first step" 0 (I.work_spent job);
+  let last = ref 0 in
+  let rec go () =
+    match I.step job ~budget:7 with
+    | `More ->
+      let w = I.work_spent job in
+      Alcotest.(check bool) "work_spent is monotone across suspensions" true (w >= !last);
+      last := w;
+      go ()
+    | `Done v ->
+      Alcotest.(check int) "result" 50 v;
+      Alcotest.(check int) "every tick accounted for" 50 (I.work_spent job)
+  in
+  go ()
+
+let test_incr_step_after_abandon_raises () =
+  let job =
+    I.create (fun tick ->
+        for _ = 1 to 10 do
+          tick ()
+        done)
+  in
+  (match I.step job ~budget:3 with
+  | `More -> ()
+  | `Done () -> Alcotest.fail "job finished before its budget allowed");
+  I.abandon job;
+  match I.step job ~budget:1 with
+  | exception I.Cancelled -> ()
+  | _ -> Alcotest.fail "step after abandon must raise Cancelled"
+
+let suite =
+  [ ("sync pool runs inline", `Quick, test_sync_inline);
+    ("pooled submit/await round-trip", `Quick, test_pool_roundtrip);
+    ("await steals a queued job", `Quick, test_await_steals_queued);
+    ("cancel queued job never runs", `Quick, test_cancel_queued_never_runs);
+    ("cancel running job at tick", `Quick, test_cancel_running_at_tick);
+    ("failure propagates", `Quick, test_failure_propagates);
+    ("queue overflow runs inline", `Quick, test_queue_overflow_runs_inline);
+    ("shutdown idempotent, then inline", `Quick, test_shutdown_idempotent_then_inline);
+    ("work_spent exact when terminal", `Quick, test_work_spent_exact_when_terminal);
+    ("incremental: finalizer once on abandon", `Quick, test_incr_finalizer_runs_once_on_abandon);
+    ("incremental: work_spent monotone", `Quick, test_incr_work_spent_monotone);
+    ("incremental: step after abandon raises", `Quick, test_incr_step_after_abandon_raises) ]
