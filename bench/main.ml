@@ -62,6 +62,7 @@ let experiments =
     ("fig2", Bench_figures.fig2);
     ("fig3", Bench_figures.fig3);
     ("exec", Bench_exec.run);
+    ("readers", Bench_readers.run);
     ("ablation_tau", Bench_ablations.ablation_tau);
     ("ablation_s", Bench_ablations.ablation_s);
     ("ablation_t3", Bench_ablations.ablation_t3);

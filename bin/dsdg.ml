@@ -46,6 +46,17 @@ let print_stats idx =
   Printf.printf "engine    : %s\n" (Dynamic_index.describe idx)
 
 let repl idx =
+  (* with a reader pool the interactive queries exercise the read plane:
+     served from a reader domain against the latest published epoch *)
+  let pooled = Dynamic_index.readers idx > 0 in
+  let do_search arg =
+    if pooled then Dynamic_index.query idx (fun v -> Dynamic_index.view_search v arg)
+    else Dynamic_index.search idx arg
+  in
+  let do_count arg =
+    if pooled then Dynamic_index.query idx (fun v -> Dynamic_index.view_count v arg)
+    else Dynamic_index.count idx arg
+  in
   (try
      while true do
        let line = input_line stdin in
@@ -57,10 +68,10 @@ let repl idx =
               instead of dying on Invalid_argument *)
            Printf.printf "empty pattern (matches everywhere); give at least one symbol\n%!"
          | '?' ->
-           let hits = Dynamic_index.search idx arg in
+           let hits = do_search arg in
            List.iter (fun (d, o) -> Printf.printf "doc %d off %d\n" d o) hits;
            Printf.printf "%d occurrence(s)\n%!" (List.length hits)
-         | '#' -> Printf.printf "%d\n%!" (Dynamic_index.count idx arg)
+         | '#' -> Printf.printf "%d\n%!" (do_count arg)
          | '+' -> Printf.printf "doc %d\n%!" (Dynamic_index.insert idx arg)
          | '-' ->
            let ok = Dynamic_index.delete idx (int_of_string (String.trim arg)) in
@@ -82,10 +93,10 @@ let repl idx =
    with End_of_file | Exit -> ());
   print_stats idx
 
-let index_cmd files whole variant backend sample tau jobs =
+let index_cmd files whole variant backend sample tau jobs readers =
   let idx =
     Dynamic_index.create ~variant:(variant_of_string variant)
-      ~backend:(backend_of_string backend) ~sample ~tau ~jobs ()
+      ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ()
   in
   List.iter
     (fun file ->
@@ -131,13 +142,13 @@ let demo_cmd ops =
 
 (* Scripted churn workload + full observability dump: the living
    counterpart of DESIGN.md's "Observability" section. *)
-let stats_cmd ops variant backend sample tau no_obs jobs =
+let stats_cmd ops variant backend sample tau no_obs jobs readers =
   let open Dsdg_workload in
   let open Dsdg_obs in
   if no_obs then Obs.set_enabled false;
   let idx =
     Dynamic_index.create ~variant:(variant_of_string variant)
-      ~backend:(backend_of_string backend) ~sample ~tau ~jobs ()
+      ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ()
   in
   let st = Text_gen.rng 42 in
   let live = ref [] in
@@ -158,7 +169,12 @@ let stats_cmd ops variant backend sample tau no_obs jobs =
     end
     else begin
       incr searches;
-      hits := !hits + Dynamic_index.count idx (if i mod 2 = 0 then "data" else "query")
+      let p = if i mod 2 = 0 then "data" else "query" in
+      let c =
+        if readers > 0 then Dynamic_index.query idx (fun v -> Dynamic_index.view_count v p)
+        else Dynamic_index.count idx p
+      in
+      hits := !hits + c
     end
   done;
   Printf.printf "workload  : %d ops (%d searches, %d pattern hits)
@@ -203,7 +219,8 @@ let stats_cmd ops variant backend sample tau no_obs jobs =
 (* Differential fuzzing: the CLI face of Dsdg_check (DESIGN.md section 6).
    A failing stream is shrunk to a minimal trace, saved, and the replay
    one-liner printed -- a CI failure reproduces with a single command. *)
-let fuzz_cmd seed ops streams variant backend sample tau fault profile replay trace_dir jobs =
+let fuzz_cmd seed ops streams variant backend sample tau fault profile replay trace_dir jobs
+    readers =
   let open Dsdg_check in
   let targets = Runner.select_targets ~variant ~backend () in
   let config =
@@ -212,16 +229,21 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
       Runner.sample;
       tau;
       jobs;
+      readers;
       fault =
         (match fault with
         | "none" -> None
         | "skip-top-clean" -> Some `Skip_top_clean
         | "worker-crash" -> Some `Worker_crash
+        | "stale-epoch" -> Some `Stale_epoch
         | s -> invalid_arg ("unknown fault: " ^ s));
     }
   in
   if config.Runner.fault = Some `Worker_crash && jobs = 0 then
     invalid_arg "--fault worker-crash requires --jobs >= 1 (it sabotages the pooled executor)";
+  if config.Runner.fault = Some `Stale_epoch && readers = 0 then
+    invalid_arg
+      "--fault stale-epoch requires --readers >= 1 (it breaks only the read plane, which direct queries never touch)";
   let profile =
     match profile with
     | "default" -> Opgen.default
@@ -239,10 +261,11 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
         | None -> "dsdg-fuzz-replay.trace")
     in
     Trace.save path shrunk;
-    Printf.printf "minimal trace saved to %s\nreplay: dsdg fuzz --replay %s --variant %s --backend %s%s%s\n"
+    Printf.printf "minimal trace saved to %s\nreplay: dsdg fuzz --replay %s --variant %s --backend %s%s%s%s\n"
       path path variant backend
       (if config.Runner.fault <> None then " --fault " ^ fault else "")
-      (if jobs > 0 then Printf.sprintf " --jobs %d" jobs else "");
+      (if jobs > 0 then Printf.sprintf " --jobs %d" jobs else "")
+      (if readers > 0 then Printf.sprintf " --readers %d" readers else "");
     exit 1
   in
   match replay with
@@ -280,11 +303,16 @@ let jobs_arg =
        & info [ "jobs" ]
            ~doc:"Background-rebuild worker domains (0 = deterministic synchronous mode).")
 
+let readers_arg =
+  Arg.(value & opt int 0
+       & info [ "readers" ]
+           ~doc:"Reader-pool domains serving queries from the latest published snapshot (0 = queries run on the caller's domain).")
+
 let index_t =
   Cmd.v (Cmd.info "index" ~doc:"Index files and answer queries interactively")
     Term.(
       const index_cmd $ files_arg $ whole_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg
-      $ jobs_arg)
+      $ jobs_arg $ readers_arg)
 
 let demo_t = Cmd.v (Cmd.info "demo" ~doc:"Synthetic churn demo") Term.(const demo_cmd $ ops_arg)
 
@@ -296,7 +324,7 @@ let stats_t =
     (Cmd.info "stats" ~doc:"Scripted churn workload + observability dump")
     Term.(
       const stats_cmd $ ops_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg $ no_obs_arg
-      $ jobs_arg)
+      $ jobs_arg $ readers_arg)
 
 let fuzz_seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed (stream i uses seed+i).")
 let fuzz_ops_arg = Arg.(value & opt int 1000 & info [ "ops" ] ~doc:"Operations per stream.")
@@ -309,7 +337,7 @@ let fuzz_tau_arg = Arg.(value & opt int 4 & info [ "tau" ] ~doc:"Lazy-deletion t
 let fuzz_fault_arg =
   Arg.(value & opt string "none"
        & info [ "fault" ]
-           ~doc:"Plant a deliberate defect: none | skip-top-clean | worker-crash (harness self-tests; worker-crash needs --jobs >= 1).")
+           ~doc:"Plant a deliberate defect: none | skip-top-clean | worker-crash | stale-epoch (harness self-tests; worker-crash needs --jobs >= 1, stale-epoch needs --readers >= 1).")
 let fuzz_profile_arg =
   Arg.(value & opt string "default" & info [ "profile" ] ~doc:"Op-mix profile: default | churny.")
 let fuzz_replay_arg =
@@ -323,7 +351,7 @@ let fuzz_t =
     Term.(
       const fuzz_cmd $ fuzz_seed_arg $ fuzz_ops_arg $ fuzz_streams_arg $ fuzz_variant_arg
       $ fuzz_backend_arg $ fuzz_sample_arg $ fuzz_tau_arg $ fuzz_fault_arg $ fuzz_profile_arg
-      $ fuzz_replay_arg $ fuzz_trace_dir_arg $ jobs_arg)
+      $ fuzz_replay_arg $ fuzz_trace_dir_arg $ jobs_arg $ readers_arg)
 
 let () =
   let doc = "dynamic compressed document collection index (Munro-Nekrich-Vitter, PODS 2015)" in

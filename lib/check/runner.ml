@@ -38,9 +38,11 @@ type config = {
   fault : Transform2.fault option;
   check_invariants : bool;
   jobs : int; (* executor workers per index under test; 0 = Sync *)
+  readers : int; (* reader-pool domains; > 0 routes queries through views *)
 }
 
-let default_config = { sample = 2; tau = 4; fault = None; check_invariants = true; jobs = 0 }
+let default_config =
+  { sample = 2; tau = 4; fault = None; check_invariants = true; jobs = 0; readers = 0 }
 
 type failure = {
   f_step : int;
@@ -81,9 +83,31 @@ let run_trace ?(config = default_config) ~targets ops =
       (fun tg ->
         ( tg,
           Dynamic_index.create ~variant:tg.tg_variant ~backend:tg.tg_backend ~sample:config.sample
-            ~tau:config.tau ?fault:config.fault ~jobs:config.jobs (),
+            ~tau:config.tau ?fault:config.fault ~jobs:config.jobs ~readers:config.readers (),
           Oracle.create () ))
       targets
+  in
+  (* With a reader pool, queries run on reader domains against the
+     latest published view: the read plane itself is under test, so a
+     stale or incomplete epoch publication (e.g. the planted
+     [`Stale_epoch] fault) becomes a model disagreement even though the
+     write plane stays correct. *)
+  let q_search idx p =
+    if config.readers > 0 then Dynamic_index.query idx (fun v -> Dynamic_index.view_search v p)
+    else Dynamic_index.search idx p
+  in
+  let q_count idx p =
+    if config.readers > 0 then Dynamic_index.query idx (fun v -> Dynamic_index.view_count v p)
+    else Dynamic_index.count idx p
+  in
+  let q_extract idx ~doc ~off ~len =
+    if config.readers > 0 then
+      Dynamic_index.query idx (fun v -> Dynamic_index.view_extract v ~doc ~off ~len)
+    else Dynamic_index.extract idx ~doc ~off ~len
+  in
+  let q_mem idx id =
+    if config.readers > 0 then Dynamic_index.query idx (fun v -> Dynamic_index.view_mem v id)
+    else Dynamic_index.mem idx id
   in
   (* pooled indexes own worker domains; leak none, whatever the verdict *)
   Fun.protect ~finally:(fun () -> List.iter (fun (_, idx, _) -> Dynamic_index.close idx) insts)
@@ -131,7 +155,7 @@ let run_trace ?(config = default_config) ~targets ops =
           List.iter
             (fun (tg, idx, _) ->
               let got =
-                try Ok (Dynamic_index.search idx p) with
+                try Ok (q_search idx p) with
                 | Invalid_argument _ -> Error `Rejected
                 | exn -> fail_on idx tg.tg_name "search %S raised %s" p (Printexc.to_string exn)
               in
@@ -144,7 +168,7 @@ let run_trace ?(config = default_config) ~targets ops =
           List.iter
             (fun (tg, idx, _) ->
               let got =
-                try Ok (Dynamic_index.count idx p) with
+                try Ok (q_count idx p) with
                 | Invalid_argument _ -> Error `Rejected
                 | exn -> fail_on idx tg.tg_name "count %S raised %s" p (Printexc.to_string exn)
               in
@@ -157,7 +181,7 @@ let run_trace ?(config = default_config) ~targets ops =
           List.iter
             (fun (tg, idx, _) ->
               let got =
-                try Dynamic_index.extract idx ~doc ~off ~len
+                try q_extract idx ~doc ~off ~len
                 with exn ->
                   fail_on idx tg.tg_name "extract %d %d %d raised %s" doc off len
                     (Printexc.to_string exn)
@@ -171,7 +195,7 @@ let run_trace ?(config = default_config) ~targets ops =
           List.iter
             (fun (tg, idx, _) ->
               let got =
-                try Dynamic_index.mem idx id
+                try q_mem idx id
                 with exn -> fail_on idx tg.tg_name "mem %d raised %s" id (Printexc.to_string exn)
               in
               if got <> expected then fail_on idx tg.tg_name "mem %d -> %b, model %b" id got expected)
@@ -192,6 +216,17 @@ let run_trace ?(config = default_config) ~targets ops =
             if dc <> mdc then fail_on idx tg.tg_name "doc_count %d, model %d" dc mdc;
             let ts = Dynamic_index.total_symbols idx and mts = Model.total_symbols model in
             if ts <> mts then fail_on idx tg.tg_name "total_symbols %d, model %d" ts mts;
+            if config.readers > 0 then begin
+              (* the published view must agree with the write plane the
+                 moment the writer is quiescent *)
+              let vdc, vts =
+                Dynamic_index.query idx (fun v ->
+                    (Dynamic_index.view_doc_count v, Dynamic_index.view_total_symbols v))
+              in
+              if vdc <> mdc then fail_on idx tg.tg_name "view doc_count %d, model %d" vdc mdc;
+              if vts <> mts then
+                fail_on idx tg.tg_name "view total_symbols %d, model %d" vts mts
+            end;
             if config.check_invariants then
               match Oracle.check orc idx with
               | [] -> ()

@@ -26,6 +26,13 @@ type config = {
       (** executor worker domains per index under test (default [0] =
           deterministic Sync mode). Pooled indexes are closed -- domains
           joined -- before [run_trace] returns, pass or fail. *)
+  readers : int;
+      (** reader-pool domains per index under test (default [0]). With
+          [readers >= 1] every query op runs on a reader domain against
+          the latest published view, so the read plane itself is
+          differentially checked -- a stale or incomplete epoch
+          publication (e.g. the planted [`Stale_epoch] fault) becomes a
+          model disagreement. *)
 }
 
 val default_config : config

@@ -1,0 +1,5 @@
+(** Sadakane-style psi-based compressed suffix array (Table 1's row
+    [39]): psi function + sampled positions. Satisfies
+    {!Static_index.S}; immutable after [build]. *)
+
+include Static_index.S

@@ -35,6 +35,21 @@ type probe = {
          below twice the period *)
 }
 
+(* Read-plane snapshot, uniform across every variant x backend: the
+   underlying transformation's typed view captured in closures.  A view
+   is immutable end to end, so it can be queried from any domain (the
+   reader pool, or raw [Domain.spawn]) without synchronization. *)
+type view = {
+  vw_epoch : int;
+  vw_doc_count : int;
+  vw_total_symbols : int;
+  vw_census : (string * int * int) list;
+  vw_search : string -> f:(doc:int -> off:int -> unit) -> unit;
+  vw_count : string -> int;
+  vw_extract : doc:int -> off:int -> len:int -> string option;
+  vw_mem : int -> bool;
+}
+
 type ops = {
   op_insert : string -> int;
   op_delete : int -> bool;
@@ -49,11 +64,14 @@ type ops = {
   op_obs : unit -> Dsdg_obs.Obs.scope;
   op_events : unit -> string list;
   op_probe : unit -> probe;
+  op_view : unit -> view; (* latest published epoch: one Atomic.get *)
   op_drain : unit -> unit; (* land every in-flight background job now *)
   op_close : unit -> unit; (* drain + stop/join executor domains, if any *)
 }
 
-type t = ops
+module Exec = Dsdg_exec.Executor
+
+type t = { ops : ops; readers : Exec.t option }
 
 module T1_fm = Transform1.Make (Fm_static)
 module T1_sa = Transform1.Make (Sa_static)
@@ -92,8 +110,30 @@ let enforce_conventions ops =
         else ops.op_extract ~doc ~off ~len);
   }
 
+(* Views get the same conventions as the write-plane ops: a query must
+   behave identically whichever plane answers it. *)
+let mk_view ~epoch ~docs ~syms ~census ~search ~count ~extract ~mem =
+  {
+    vw_epoch = epoch;
+    vw_doc_count = docs;
+    vw_total_symbols = syms;
+    vw_census = census;
+    vw_search =
+      (fun p ~f ->
+        if p = "" then invalid_arg "Dynamic_index: empty pattern";
+        search p ~f);
+    vw_count =
+      (fun p ->
+        if p = "" then invalid_arg "Dynamic_index: empty pattern";
+        count p);
+    vw_extract =
+      (fun ~doc ~off ~len ->
+        if len = 0 then (if mem doc then Some "" else None) else extract ~doc ~off ~len);
+    vw_mem = mem;
+  }
+
 let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fault
-    ?(jobs = 0) () : t =
+    ?(jobs = 0) ?(readers = 0) () : t =
   let t1_probe census_full level_capacity nf () =
     {
       pr_census = census_full ();
@@ -137,6 +177,15 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
         op_events = (fun () -> T1_fm.events t);
         op_probe =
           t1_probe (fun () -> T1_fm.census_full t) (T1_fm.level_capacity t) (fun () -> T1_fm.nf t);
+        op_view =
+          (fun () ->
+            let v = T1_fm.view t in
+            mk_view ~epoch:(T1_fm.view_epoch v) ~docs:(T1_fm.view_doc_count v)
+              ~syms:(T1_fm.view_total_symbols v) ~census:(T1_fm.view_census v)
+              ~search:(fun p ~f -> T1_fm.view_search v p ~f)
+              ~count:(T1_fm.view_count v)
+              ~extract:(fun ~doc ~off ~len -> T1_fm.view_extract v ~doc ~off ~len)
+              ~mem:(T1_fm.view_mem v));
         op_drain = (fun () -> ());
         op_close = (fun () -> T1_fm.close t);
       }
@@ -157,6 +206,15 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
         op_events = (fun () -> T1_sa.events t);
         op_probe =
           t1_probe (fun () -> T1_sa.census_full t) (T1_sa.level_capacity t) (fun () -> T1_sa.nf t);
+        op_view =
+          (fun () ->
+            let v = T1_sa.view t in
+            mk_view ~epoch:(T1_sa.view_epoch v) ~docs:(T1_sa.view_doc_count v)
+              ~syms:(T1_sa.view_total_symbols v) ~census:(T1_sa.view_census v)
+              ~search:(fun p ~f -> T1_sa.view_search v p ~f)
+              ~count:(T1_sa.view_count v)
+              ~extract:(fun ~doc ~off ~len -> T1_sa.view_extract v ~doc ~off ~len)
+              ~mem:(T1_sa.view_mem v));
         op_drain = (fun () -> ());
         op_close = (fun () -> T1_sa.close t);
       }
@@ -178,12 +236,22 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
         op_probe =
           t1_probe (fun () -> T1_csa.census_full t) (T1_csa.level_capacity t)
             (fun () -> T1_csa.nf t);
+        op_view =
+          (fun () ->
+            let v = T1_csa.view t in
+            mk_view ~epoch:(T1_csa.view_epoch v) ~docs:(T1_csa.view_doc_count v)
+              ~syms:(T1_csa.view_total_symbols v) ~census:(T1_csa.view_census v)
+              ~search:(fun p ~f -> T1_csa.view_search v p ~f)
+              ~count:(T1_csa.view_count v)
+              ~extract:(fun ~doc ~off ~len -> T1_csa.view_extract v ~doc ~off ~len)
+              ~mem:(T1_csa.view_mem v));
         op_drain = (fun () -> ());
         op_close = (fun () -> T1_csa.close t);
       }
   in
-  enforce_conventions
-  @@ match variant with
+  let ops =
+    enforce_conventions
+    @@ match variant with
   | Amortized -> t1 (Transform1.geometric ()) "transform1"
   | Amortized_loglog -> t1 (Transform1.doubling ()) "transform3"
   | Worst_case -> (
@@ -207,6 +275,15 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
           t2_probe (fun () -> T2_fm.census t) (T2_fm.level_capacity t) (fun () -> T2_fm.nf t)
             (fun () -> T2_fm.pending_jobs t) (fun () -> T2_fm.stats t)
             (fun () -> T2_fm.clean_schedule t);
+        op_view =
+          (fun () ->
+            let v = T2_fm.view t in
+            mk_view ~epoch:(T2_fm.view_epoch v) ~docs:(T2_fm.view_doc_count v)
+              ~syms:(T2_fm.view_total_symbols v) ~census:(T2_fm.view_census v)
+              ~search:(fun p ~f -> T2_fm.view_search v p ~f)
+              ~count:(T2_fm.view_count v)
+              ~extract:(fun ~doc ~off ~len -> T2_fm.view_extract v ~doc ~off ~len)
+              ~mem:(T2_fm.view_mem v));
         op_drain = (fun () -> T2_fm.drain t);
         op_close = (fun () -> T2_fm.close t);
       }
@@ -229,6 +306,15 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
           t2_probe (fun () -> T2_sa.census t) (T2_sa.level_capacity t) (fun () -> T2_sa.nf t)
             (fun () -> T2_sa.pending_jobs t) (fun () -> T2_sa.stats t)
             (fun () -> T2_sa.clean_schedule t);
+        op_view =
+          (fun () ->
+            let v = T2_sa.view t in
+            mk_view ~epoch:(T2_sa.view_epoch v) ~docs:(T2_sa.view_doc_count v)
+              ~syms:(T2_sa.view_total_symbols v) ~census:(T2_sa.view_census v)
+              ~search:(fun p ~f -> T2_sa.view_search v p ~f)
+              ~count:(T2_sa.view_count v)
+              ~extract:(fun ~doc ~off ~len -> T2_sa.view_extract v ~doc ~off ~len)
+              ~mem:(T2_sa.view_mem v));
         op_drain = (fun () -> T2_sa.drain t);
         op_close = (fun () -> T2_sa.close t);
       }
@@ -251,43 +337,102 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
           t2_probe (fun () -> T2_csa.census t) (T2_csa.level_capacity t) (fun () -> T2_csa.nf t)
             (fun () -> T2_csa.pending_jobs t) (fun () -> T2_csa.stats t)
             (fun () -> T2_csa.clean_schedule t);
+        op_view =
+          (fun () ->
+            let v = T2_csa.view t in
+            mk_view ~epoch:(T2_csa.view_epoch v) ~docs:(T2_csa.view_doc_count v)
+              ~syms:(T2_csa.view_total_symbols v) ~census:(T2_csa.view_census v)
+              ~search:(fun p ~f -> T2_csa.view_search v p ~f)
+              ~count:(T2_csa.view_count v)
+              ~extract:(fun ~doc ~off ~len -> T2_csa.view_extract v ~doc ~off ~len)
+              ~mem:(T2_csa.view_mem v));
         op_drain = (fun () -> T2_csa.drain t);
         op_close = (fun () -> T2_csa.close t);
       })
+  in
+  let readers =
+    if readers > 0 then
+      Some
+        (Exec.create
+           ~obs:(Dsdg_obs.Obs.private_scope (ops.op_describe () ^ "/readers"))
+           ~workers:readers ())
+    else None
+  in
+  { ops; readers }
 
 (* Insert a document; returns its id. *)
-let insert t text = t.op_insert text
+let insert t text = t.ops.op_insert text
 
 (* Delete a document by id; false if absent. *)
-let delete t id = t.op_delete id
+let delete t id = t.ops.op_delete id
 
-let mem t id = t.op_mem id
+let mem t id = t.ops.op_mem id
 
 (* All (doc, off) occurrences, sorted. *)
 let search t p =
   let acc = ref [] in
-  t.op_search p ~f:(fun ~doc ~off -> acc := (doc, off) :: !acc);
+  t.ops.op_search p ~f:(fun ~doc ~off -> acc := (doc, off) :: !acc);
   List.sort compare !acc
 
-let iter_matches t p ~f = t.op_search p ~f
-let count t p = t.op_count p
-let extract t ~doc ~off ~len = t.op_extract ~doc ~off ~len
-let doc_count t = t.op_doc_count ()
-let total_symbols t = t.op_total_symbols ()
-let space_bits t = t.op_space_bits ()
-let describe t = t.op_describe ()
+let iter_matches t p ~f = t.ops.op_search p ~f
+let count t p = t.ops.op_count p
+let extract t ~doc ~off ~len = t.ops.op_extract ~doc ~off ~len
+let doc_count t = t.ops.op_doc_count ()
+let total_symbols t = t.ops.op_total_symbols ()
+let space_bits t = t.ops.op_space_bits ()
+let describe t = t.ops.op_describe ()
 
 (* The underlying transformation's observability scope (counters,
    histograms, event ring) and its rendered recent-event log. *)
-let obs_scope t = t.op_obs ()
-let events t = t.op_events ()
-let probe t = t.op_probe ()
+let obs_scope t = t.ops.op_obs ()
+let events t = t.ops.op_events ()
+let probe t = t.ops.op_probe ()
+
+(* --- read plane --- *)
+
+(* The latest published epoch: one Atomic.get plus closure allocation.
+   The returned view is immutable and never changes -- re-fetch to see
+   later updates. *)
+let view t = t.ops.op_view ()
+let view_epoch v = v.vw_epoch
+let view_doc_count v = v.vw_doc_count
+let view_total_symbols v = v.vw_total_symbols
+let view_census v = v.vw_census
+let view_mem v id = v.vw_mem id
+let view_iter_matches v p ~f = v.vw_search p ~f
+
+let view_search v p =
+  let acc = ref [] in
+  v.vw_search p ~f:(fun ~doc ~off -> acc := (doc, off) :: !acc);
+  List.sort compare !acc
+
+let view_count v p = v.vw_count p
+let view_extract v ~doc ~off ~len = v.vw_extract ~doc ~off ~len
+
+let readers t =
+  match t.readers with
+  | None -> 0
+  | Some ex -> ( match Exec.mode ex with `Sync -> 0 | `Pool n -> n)
+
+(* Run [f] against the latest published view -- on one of the reader
+   domains when the index was created with [readers >= 1], inline
+   otherwise.  The view is fetched inside the closure, on the reader
+   domain, so a pooled query always sees the epoch current at the moment
+   it actually runs.  Exceptions from [f] are re-raised on the caller. *)
+let query t f =
+  match t.readers with
+  | None -> f (view t)
+  | Some ex -> Exec.run ex ~name:"query" (fun _tick -> f (view t))
 
 (* Land every in-flight background job now (a forced completion of each;
    no-op for the amortized variants, whose rebuilds are synchronous). *)
-let drain t = t.op_drain ()
+let drain t = t.ops.op_drain ()
 
-(* Drain, then stop and join the executor's worker domains.  Required
-   for a clean exit when [create ~jobs:(n > 0)]; harmless otherwise.
-   The index remains usable -- subsequent rebuilds run inline. *)
-let close t = t.op_close ()
+(* Drain, then stop and join the executor's worker domains (background
+   rebuilds and the reader pool alike).  Required for a clean exit when
+   [create ~jobs:(n > 0)] or [~readers:(n > 0)]; harmless otherwise.
+   The index remains usable -- subsequent rebuilds run inline and
+   queries fall back to the caller's domain. *)
+let close t =
+  t.ops.op_close ();
+  match t.readers with None -> () | Some ex -> Exec.shutdown ex

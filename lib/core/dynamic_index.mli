@@ -36,8 +36,12 @@ type t
     spawns [n] worker domains ({!Dsdg_exec.Executor}) that run
     [Worst_case] rebuild jobs (and the amortized variants'
     purge/global-rebuild constructions) off the update path, with
-    results installed at exactly the paper's install points. Call
-    {!close} when done with a pooled index. *)
+    results installed at exactly the paper's install points.
+
+    [readers] (default [0]) sets the reader pool: [n >= 1] spawns [n]
+    domains that serve {!query} calls against the latest published
+    {!view} while updates stay exclusive on the caller's domain. Call
+    {!close} when done with a pooled index (jobs or readers). *)
 val create :
   ?variant:variant ->
   ?backend:backend ->
@@ -45,6 +49,7 @@ val create :
   ?tau:int ->
   ?fault:Transform2.fault ->
   ?jobs:int ->
+  ?readers:int ->
   unit ->
   t
 
@@ -123,12 +128,60 @@ type probe = {
 
 val probe : t -> probe
 
+(** {1 Read plane}
+
+    Every successful update publishes an immutable snapshot of the whole
+    index through an atomic epoch pointer. [view t] fetches the latest
+    one -- a single [Atomic.get] -- and the snapshot can then be queried
+    from any domain, without synchronization, while the writer keeps
+    mutating. See DESIGN.md section 9. *)
+
+(** An immutable point-in-time snapshot of the index. Queries on a view
+    follow the same conventions as their write-plane counterparts
+    (empty-pattern rejection, [len = 0] extraction). *)
+type view
+
+val view : t -> view
+
+(** Number of completed updates when the view was published (0 = the
+    empty index; with a single-threaded writer, epoch [e] is the state
+    after exactly [e] successful updates). *)
+val view_epoch : view -> int
+
+val view_doc_count : view -> int
+val view_total_symbols : view -> int
+
+(** Per-structure [(name, live, dead)] symbol counts frozen at publish
+    time (same names as {!probe}'s census). *)
+val view_census : view -> (string * int * int) list
+
+val view_mem : view -> int -> bool
+
+(** All (document, offset) occurrences, sorted. *)
+val view_search : view -> string -> (int * int) list
+
+val view_iter_matches : view -> string -> f:(doc:int -> off:int -> unit) -> unit
+val view_count : view -> string -> int
+val view_extract : view -> doc:int -> off:int -> len:int -> string option
+
+(** Size of the reader pool ([0] when queries run on the caller's
+    domain). *)
+val readers : t -> int
+
+(** [query t f] runs [f] against the latest published view -- on a
+    reader-pool domain when the index was created with [readers >= 1],
+    inline otherwise. The view is fetched on the serving domain, so a
+    pooled query sees the epoch current when it actually runs.
+    Exceptions from [f] are re-raised on the caller. *)
+val query : t -> (view -> 'a) -> 'a
+
 (** Land every in-flight background job now (each counts as a forced
     completion); no-op for the amortized variants. *)
 val drain : t -> unit
 
-(** Drain, then stop and join the executor's worker domains. Required
-    for a clean exit when the index was created with [jobs >= 1];
-    harmless (and idempotent) otherwise. The index stays usable --
-    subsequent rebuilds simply run inline. *)
+(** Drain, then stop and join the executor's worker domains (background
+    rebuilds and the reader pool alike). Required for a clean exit when
+    the index was created with [jobs >= 1] or [readers >= 1]; harmless
+    (and idempotent) otherwise. The index stays usable -- subsequent
+    rebuilds run inline and queries fall back to the caller's domain. *)
 val close : t -> unit

@@ -1,0 +1,5 @@
+(** FM-index static backend (compressed, nHk-style space): BWT +
+    wavelet tree with sampled locate. Satisfies {!Static_index.S};
+    immutable after [build]. *)
+
+include Static_index.S

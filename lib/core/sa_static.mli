@@ -1,0 +1,5 @@
+(** Plain suffix-array static index (Table 3's fast/large class):
+    SA-IS construction, binary-search range-finding, direct locate.
+    Satisfies {!Static_index.S}; immutable after [build]. *)
+
+include Static_index.S

@@ -33,6 +33,22 @@ let c_counts = Obs.counter obs "counts"
 let h_build_syms = Obs.histogram obs "build_syms"
 
 module Make (I : Static_index.S) = struct
+  (* Read-plane view: everything immutable.  The static index, the id
+     maps and [slot_of] never change after build and are shared by
+     reference; the deletion state ([dead], the Reporter and the census
+     counters) is copied at snapshot time, so a published view answers
+     queries -- including the census -- consistently while the write
+     plane keeps flipping dead bits. *)
+  type view = {
+    v_index : I.t;
+    v_ids : int array;
+    v_slot_of : (int, int) Hashtbl.t; (* read-only after build *)
+    v_dead : bool array;
+    v_alive : Reporter.t;
+    v_live_syms : int;
+    v_dead_syms : int;
+  }
+
   type t = {
     index : I.t;
     ids : int array; (* slot -> external doc id *)
@@ -42,6 +58,7 @@ module Make (I : Static_index.S) = struct
     mutable live_syms : int;
     mutable dead_syms : int;
     tau : int;
+    mutable view_cache : view option; (* invalidated by delete *)
   }
 
   let build ?tick ~sample ~tau (docs : (int * string) array) : t =
@@ -67,6 +84,7 @@ module Make (I : Static_index.S) = struct
       live_syms = I.total_len index;
       dead_syms = 0;
       tau;
+      view_cache = None;
     }
 
   let mem t id =
@@ -94,6 +112,7 @@ module Make (I : Static_index.S) = struct
         let syms = I.doc_len t.index slot + 1 in
         t.live_syms <- t.live_syms - syms;
         t.dead_syms <- t.dead_syms + syms;
+        t.view_cache <- None;
         Obs.incr c_deletes;
         true
       end
@@ -159,4 +178,65 @@ module Make (I : Static_index.S) = struct
     + (4 * 63)
 
   let index t = t.index
+
+  (* --- read-plane snapshots --- *)
+
+  (* Cached between deletes: only [delete] mutates a built instance, so
+     a snapshot after k deletes since the last one costs one Reporter +
+     dead-array copy, amortized against those deletes. *)
+  let snapshot t =
+    match t.view_cache with
+    | Some v -> v
+    | None ->
+      let v =
+        {
+          v_index = t.index;
+          v_ids = t.ids;
+          v_slot_of = t.slot_of;
+          v_dead = Array.copy t.dead;
+          v_alive = Reporter.copy t.alive_rows;
+          v_live_syms = t.live_syms;
+          v_dead_syms = t.dead_syms;
+        }
+      in
+      t.view_cache <- Some v;
+      v
+
+  let view_mem v id =
+    match Hashtbl.find_opt v.v_slot_of id with
+    | None -> false
+    | Some slot -> not v.v_dead.(slot)
+
+  let view_live_symbols v = v.v_live_syms
+  let view_dead_symbols v = v.v_dead_syms
+
+  let view_doc_count v =
+    Hashtbl.length v.v_slot_of - Array.fold_left (fun a d -> if d then a + 1 else a) 0 v.v_dead
+
+  let view_search v p ~f =
+    Obs.incr c_searches;
+    match I.range v.v_index p with
+    | None -> ()
+    | Some (sp, ep) ->
+      Reporter.report v.v_alive sp ep (fun row ->
+          let slot, off = I.locate v.v_index row in
+          f ~doc:v.v_ids.(slot) ~off)
+
+  let view_count v p =
+    Obs.incr c_counts;
+    match I.range v.v_index p with
+    | None -> 0
+    | Some (sp, ep) -> Reporter.count_range v.v_alive sp ep
+
+  let view_extract v ~doc ~off ~len =
+    match Hashtbl.find_opt v.v_slot_of doc with
+    | None -> None
+    | Some slot ->
+      if v.v_dead.(slot) || off < 0 || len < 0 || off + len > I.doc_len v.v_index slot then None
+      else Some (I.extract v.v_index ~doc:slot ~off ~len)
+
+  let view_doc_len v id =
+    match Hashtbl.find_opt v.v_slot_of id with
+    | None -> None
+    | Some slot -> if v.v_dead.(slot) then None else Some (I.doc_len v.v_index slot)
 end

@@ -1,0 +1,78 @@
+(** Semi-static deletion-only index (Section 2, first half): a static
+    index augmented with a Reporter (Lemma 3) over suffix-array rows, the
+    Reporter's integrated counter (Theorem 1), document liveness
+    bookkeeping and the n/tau purge threshold.
+
+    The only post-build mutation is {!Make.delete}; when dead symbols
+    exceed live/tau the owner is expected to rebuild (see
+    {!Make.needs_purge}) -- this module never rebuilds itself. *)
+
+(** The n/tau purge rule as a standalone predicate, computed in division
+    form so [dead * tau] cannot overflow near [max_int]. *)
+val purge_threshold_exceeded : dead_syms:int -> total_symbols:int -> tau:int -> bool
+
+module Make (I : Static_index.S) : sig
+  type t
+
+  (** Immutable read-plane snapshot: the static index and id maps shared
+      by reference, the deletion state (dead flags, Reporter, census
+      counters) copied at snapshot time. Safe to query from any domain
+      while the write plane keeps deleting. *)
+  type view
+
+  (** [build ~sample ~tau docs] indexes [(id, text)] pairs. Raises
+      [Invalid_argument] on duplicate ids or [tau < 1]. [tick] is called
+      once per O(1) construction work. *)
+  val build : ?tick:(unit -> unit) -> sample:int -> tau:int -> (int * string) array -> t
+
+  (** [false] for dead or absent documents. *)
+  val mem : t -> int -> bool
+
+  val live_symbols : t -> int
+  val dead_symbols : t -> int
+  val total_symbols : t -> int
+  val doc_count : t -> int
+
+  (** Whether dead symbols exceed the n/tau threshold. *)
+  val needs_purge : t -> bool
+
+  val is_empty : t -> bool
+
+  (** Lazy deletion: zeroes the document's rows; [false] if absent or
+      already dead. *)
+  val delete : t -> int -> bool
+
+  (** Report (doc, off) for every surviving occurrence of [p]. *)
+  val search : t -> string -> f:(doc:int -> off:int -> unit) -> unit
+
+  (** Count surviving occurrences in O(trange + log n) (Theorem 1). *)
+  val count : t -> string -> int
+
+  (** Substring of a live document; [None] if dead/absent/out of range. *)
+  val extract : t -> doc:int -> off:int -> len:int -> string option
+
+  val doc_len : t -> int -> int option
+  val live_ids : t -> int list
+
+  (** Live documents with contents re-extracted from the index; [tick]
+      is charged once per extracted symbol. *)
+  val live_docs : ?tick:(unit -> unit) -> t -> (int * string) list
+
+  val space_bits : t -> int
+  val index : t -> I.t
+
+  (** {1 Read plane} *)
+
+  (** Cached between deletes; a miss costs one Reporter + dead-array
+      copy, amortized against the deletes that invalidated it. *)
+  val snapshot : t -> view
+
+  val view_mem : view -> int -> bool
+  val view_live_symbols : view -> int
+  val view_dead_symbols : view -> int
+  val view_doc_count : view -> int
+  val view_search : view -> string -> f:(doc:int -> off:int -> unit) -> unit
+  val view_count : view -> string -> int
+  val view_extract : view -> doc:int -> off:int -> len:int -> string option
+  val view_doc_len : view -> int -> int option
+end

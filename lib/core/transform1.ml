@@ -79,6 +79,20 @@ module Make (I : Static_index.S) = struct
      the live prefix in use is [1 .. slots nf]. *)
   let max_slots = 64
 
+  (* Read-plane snapshot: the C0 buffer frozen as a Gsuffix_tree.view,
+     every sub-collection as an SS.view, plus the census scalars.  A
+     view is immutable end to end, so readers on any domain query it
+     without synchronization; the writer publishes a fresh one (epoch
+     +1) after every completed update via one [Atomic.set]. *)
+  type view = {
+    vw_epoch : int;
+    vw_gst : Gsuffix_tree.view;
+    vw_subs : (int * SS.view) list; (* level j, ascending *)
+    vw_nf : int;
+    vw_live : int;
+    vw_docs : int;
+  }
+
   type t = {
     schedule : schedule;
     sample : int;
@@ -90,7 +104,11 @@ module Make (I : Static_index.S) = struct
     mutable nf : int;
     mutable live : int; (* live symbols including separators *)
     exec : Exec.t option; (* purge/global-rebuild offload; None = all inline *)
+    published : view Atomic.t; (* the read plane: latest epoch *)
     obs : Obs.scope;
+    c_epoch_published : Obs.counter;
+    g_epoch_current : Obs.gauge;
+    h_epoch_publish_ns : Obs.histogram;
     c_merges : Obs.counter;
     c_purges : Obs.counter;
     c_global_rebuilds : Obs.counter;
@@ -105,12 +123,24 @@ module Make (I : Static_index.S) = struct
 
   let create ?(schedule = geometric ()) ?(sample = 8) ?(tau = 8) ?(jobs = 0) () =
     let obs = Obs.private_scope ("transform1/" ^ I.name) in
+    let gst = Gsuffix_tree.create () in
+    let view0 =
+      {
+        vw_epoch = 0;
+        vw_gst = Gsuffix_tree.snapshot gst;
+        vw_subs = [];
+        vw_nf = 256;
+        vw_live = 0;
+        vw_docs = 0;
+      }
+    in
     {
       exec = (if jobs > 0 then Some (Exec.create ~obs ~workers:jobs ()) else None);
       schedule;
       sample;
       tau;
-      gst = Gsuffix_tree.create ();
+      gst;
+      published = Atomic.make view0;
       subs = Array.make (max_slots + 1) None;
       locs = Hashtbl.create 64;
       next_id = 0;
@@ -127,6 +157,9 @@ module Make (I : Static_index.S) = struct
       h_insert_ns = Obs.histogram obs "insert_ns";
       h_delete_ns = Obs.histogram obs "delete_ns";
       h_purge_dead_frac = Obs.histogram obs "purge_dead_permille";
+      c_epoch_published = Obs.counter obs "exec_epoch_published";
+      g_epoch_current = Obs.gauge obs "exec_epoch_current";
+      h_epoch_publish_ns = Obs.histogram obs "exec_epoch_publish_ns";
     }
 
   let obs t = t.obs
@@ -186,6 +219,77 @@ module Make (I : Static_index.S) = struct
 
   let set_locations t docs loc = List.iter (fun (id, _) -> Hashtbl.replace t.locs id loc) docs
 
+  (* --- read plane --- *)
+
+  (* Build and publish the next epoch.  Structure snapshots are cached
+     inside the GST / each SS, so an update that touched only C0 pays
+     one buffer copy here and reuses every sub-collection's cached view;
+     the single [Atomic.set] is the linearization point readers see. *)
+  let publish t ~cause =
+    let t0 = Obs.start () in
+    let subs = ref [] in
+    for j = max_slots downto 1 do
+      match t.subs.(j) with None -> () | Some ss -> subs := (j, SS.snapshot ss) :: !subs
+    done;
+    let epoch = (Atomic.get t.published).vw_epoch + 1 in
+    let v =
+      {
+        vw_epoch = epoch;
+        vw_gst = Gsuffix_tree.snapshot t.gst;
+        vw_subs = !subs;
+        vw_nf = t.nf;
+        vw_live = t.live;
+        vw_docs = Hashtbl.length t.locs;
+      }
+    in
+    Atomic.set t.published v;
+    Obs.incr t.c_epoch_published;
+    Obs.set_gauge t.g_epoch_current epoch;
+    Obs.stop t.h_epoch_publish_ns t0;
+    if cause <> `Update then
+      Obs.record t.obs (Obs.Epoch_publish { epoch; cause = "consolidate" })
+
+  let view t = Atomic.get t.published
+  let view_epoch v = v.vw_epoch
+  let view_nf v = v.vw_nf
+  let view_doc_count v = v.vw_docs
+  let view_total_symbols v = v.vw_live
+
+  let view_search v p ~f =
+    Gsuffix_tree.view_search v.vw_gst p ~f;
+    List.iter (fun (_, sv) -> SS.view_search sv p ~f) v.vw_subs
+
+  let view_matches v p =
+    let acc = ref [] in
+    view_search v p ~f:(fun ~doc ~off -> acc := (doc, off) :: !acc);
+    List.sort compare !acc
+
+  let view_count v p =
+    Gsuffix_tree.view_count v.vw_gst p
+    + List.fold_left (fun a (_, sv) -> a + SS.view_count sv p) 0 v.vw_subs
+
+  let view_mem v doc =
+    Gsuffix_tree.view_mem v.vw_gst doc
+    || List.exists (fun (_, sv) -> SS.view_mem sv doc) v.vw_subs
+
+  let view_extract v ~doc ~off ~len =
+    match Gsuffix_tree.view_get_doc v.vw_gst doc with
+    | Some s ->
+      if off < 0 || len < 0 || off + len > String.length s then None
+      else Some (String.sub s off len)
+    | None ->
+      List.fold_left
+        (fun acc (_, sv) ->
+          if acc = None && SS.view_mem sv doc then SS.view_extract sv ~doc ~off ~len else acc)
+        None v.vw_subs
+
+  let view_census v =
+    ("C0", Gsuffix_tree.view_live_symbols v.vw_gst, Gsuffix_tree.view_dead_symbols v.vw_gst)
+    :: List.map
+         (fun (j, sv) ->
+           (Printf.sprintf "C%d" j, SS.view_live_symbols sv, SS.view_dead_symbols sv))
+         v.vw_subs
+
   (* Move every live document into the top sub-collection and re-snapshot
      nf (the paper's global re-build). *)
   let global_rebuild t ~extra =
@@ -244,6 +348,7 @@ module Make (I : Static_index.S) = struct
       | None -> global_rebuild t ~extra:(Some (id, text))
     end;
     if t.live > 2 * t.nf then global_rebuild t ~extra:None;
+    publish t ~cause:`Update;
     Obs.incr t.c_inserts;
     Obs.stop t.h_insert_ns t0;
     id
@@ -281,6 +386,7 @@ module Make (I : Static_index.S) = struct
         Hashtbl.remove t.locs id;
         t.live <- t.live - len;
         if t.live * 2 < t.nf && t.nf > 256 then global_rebuild t ~extra:None;
+        publish t ~cause:`Update;
         Obs.incr t.c_deletes;
         Obs.stop t.h_delete_ns t0;
         true)
@@ -296,6 +402,7 @@ module Make (I : Static_index.S) = struct
           t.live <- t.live - len;
           if SS.needs_purge ss then purge t j;
           if t.live * 2 < t.nf && t.nf > 256 then global_rebuild t ~extra:None;
+          publish t ~cause:`Update;
           Obs.incr t.c_deletes;
           Obs.stop t.h_delete_ns t0
         end;
@@ -334,7 +441,9 @@ module Make (I : Static_index.S) = struct
   (* Merge everything into one sub-collection now (an explicit global
      rebuild): afterwards queries probe a single static index plus the
      empty C0.  The library-management analogue of a force-merge. *)
-  let consolidate t = global_rebuild t ~extra:None
+  let consolidate t =
+    global_rebuild t ~extra:None;
+    publish t ~cause:`Consolidate
 
   (* Live sizes of all sub-collections: the measured counterpart of the
      paper's Figure 1. *)

@@ -1,0 +1,111 @@
+(** Transformation 1 (Section 2): static index -> fully-dynamic index
+    with amortized update bounds.
+
+    The collection is split into C0 (an uncompressed generalized suffix
+    tree) and sub-collections C1..Cr held in semi-static deletion-only
+    indexes whose maximum sizes follow a pluggable growth schedule:
+    {!geometric} is the paper's Transformation 1, {!doubling} is
+    Transformation 3 from Appendix A.4.
+
+    Every completed update additionally publishes an immutable
+    {!Make.view} through an atomic epoch pointer, so queries can run on
+    other domains against the latest snapshot while the single writer
+    keeps mutating (see DESIGN.md section 9). *)
+
+(** Growth schedule for the sub-collection capacities. Construct with
+    {!geometric} or {!doubling}. *)
+type schedule
+
+(** The paper's Transformation 1: max_j = 2(nf/log^2 nf) log^(eps*j) nf,
+    O(1) sub-collections. *)
+val geometric : ?epsilon:float -> unit -> schedule
+
+(** Transformation 3 (Appendix A.4): capacities double per level,
+    O(log log n) sub-collections. *)
+val doubling : unit -> schedule
+
+(** Read-only snapshot of the amortization counters. *)
+type stats = {
+  merges : int;
+  purges : int;
+  global_rebuilds : int;
+  symbols_rebuilt : int;
+}
+
+module Make (I : Static_index.S) : sig
+  type t
+
+  (** Immutable read-plane snapshot of the whole index: the C0 buffer
+      frozen as a GST view, every sub-collection as a semi-static view,
+      plus the census scalars. Safe to query from any domain. *)
+  type view
+
+  (** [jobs > 0] attaches a worker pool that runs purge / global-rebuild
+      index constructions off-thread. *)
+  val create : ?schedule:schedule -> ?sample:int -> ?tau:int -> ?jobs:int -> unit -> t
+
+  (** Returns the fresh document id. *)
+  val insert : t -> string -> int
+
+  (** [false] if the document is absent (or already deleted). *)
+  val delete : t -> int -> bool
+
+  val mem : t -> int -> bool
+  val search : t -> string -> f:(doc:int -> off:int -> unit) -> unit
+
+  (** All [(doc, off)] occurrences, sorted. *)
+  val matches : t -> string -> (int * int) list
+
+  val count : t -> string -> int
+  val extract : t -> doc:int -> off:int -> len:int -> string option
+  val doc_count : t -> int
+  val total_symbols : t -> int
+  val space_bits : t -> int
+
+  (** Merge everything into one sub-collection now (an explicit global
+      rebuild). *)
+  val consolidate : t -> unit
+
+  val stats : t -> stats
+  val obs : t -> Dsdg_obs.Obs.scope
+  val events : t -> string list
+
+  (** Current nf snapshot and schedule capacity of level [j], for the
+      differential checker's invariant oracles. *)
+  val nf : t -> int
+
+  val level_capacity : t -> int -> int
+  val schedule_name : t -> string
+
+  (** Live sizes of C0, C1..Cr (the measured counterpart of Figure 1). *)
+  val census : t -> (string * int) list
+
+  (** [census] plus dead-symbol counts. *)
+  val census_full : t -> (string * int * int) list
+
+  (** Stop and join the worker domains (no-op without a pool); the index
+      stays usable, rebuilds simply run inline afterwards. *)
+  val close : t -> unit
+
+  (** {1 Read plane}
+
+      [view t] is wait-free: one [Atomic.get]. The writer publishes a
+      fresh view (epoch + 1) after every completed update, so with a
+      single-threaded writer the epoch equals the number of completed
+      updates. *)
+
+  val view : t -> view
+  val view_epoch : view -> int
+  val view_nf : view -> int
+  val view_doc_count : view -> int
+  val view_total_symbols : view -> int
+  val view_search : view -> string -> f:(doc:int -> off:int -> unit) -> unit
+  val view_matches : view -> string -> (int * int) list
+  val view_count : view -> string -> int
+  val view_mem : view -> int -> bool
+  val view_extract : view -> doc:int -> off:int -> len:int -> string option
+
+  (** Per-structure (name, live, dead) symbol counts frozen at publish
+      time. *)
+  val view_census : view -> (string * int * int) list
+end

@@ -50,8 +50,13 @@ open Dsdg_obs
    first tick AND breaks the crash recovery: instead of the synchronous
    in-place fallback rebuild the owner silently discards the job, so the
    documents of the locked source (and any Temp riding on the job) are
-   lost -- the model comparison and the census oracle must catch it. *)
-type fault = [ `Skip_top_clean | `Worker_crash ]
+   lost -- the model comparison and the census oracle must catch it.
+   [`Stale_epoch] breaks the read plane only: successful deletes skip
+   the epoch publication, so the write plane stays correct (direct
+   queries see the deletion) while published views keep resurrecting
+   deleted documents -- only a concurrent-reader oracle comparing views
+   against the per-epoch model can catch it. *)
+type fault = [ `Skip_top_clean | `Worker_crash | `Stale_epoch ]
 
 (* Read-only snapshot of the scheduling counters (all maintained in the
    instance's Obs scope; see [obs]). *)
@@ -96,6 +101,21 @@ module Make (I : Static_index.S) = struct
     mutable deleted_during : int list;
   }
 
+  (* Read-plane snapshot: every queryable structure frozen under its
+     census name -- the C0/L0 buffers as GST views, the C_j / L_j /
+     Temp_j / T_k semi-static structures as SS views -- plus the census
+     scalars and scheduling gauges.  Immutable end to end; readers on
+     any domain query it without synchronization. *)
+  type view = {
+    vw_epoch : int;
+    vw_gsts : (string * Gsuffix_tree.view) list; (* C0 and, if locked, L0 *)
+    vw_sss : (string * SS.view) list; (* C_j, L_j, Temp_j, T_k *)
+    vw_nf : int;
+    vw_live : int;
+    vw_docs : int;
+    vw_pending : int; (* background jobs in flight at publish time *)
+  }
+
   type t = {
     sample : int;
     tau : int;
@@ -116,7 +136,11 @@ module Make (I : Static_index.S) = struct
     mutable del_counter : int; (* deleted symbols since last top-clean dispatch *)
     fault : fault option;
     exec : Exec.t option; (* None = Sync mode: jobs stepped cooperatively *)
+    published : view Atomic.t; (* the read plane: latest epoch *)
     obs : Obs.scope;
+    c_epoch_published : Obs.counter;
+    g_epoch_current : Obs.gauge;
+    h_epoch_publish_ns : Obs.histogram;
     c_jobs_started : Obs.counter;
     c_jobs_completed : Obs.counter;
     c_forced : Obs.counter;
@@ -136,14 +160,27 @@ module Make (I : Static_index.S) = struct
   let create ?(sample = 8) ?(tau = 8) ?(epsilon = 0.5) ?(work_factor = 64) ?fault
       ?(jobs = 0) () =
     let obs = Obs.private_scope ("transform2/" ^ I.name) in
+    let gst = Gsuffix_tree.create () in
+    let view0 =
+      {
+        vw_epoch = 0;
+        vw_gsts = [ ("C0", Gsuffix_tree.snapshot gst) ];
+        vw_sss = [];
+        vw_nf = 256;
+        vw_live = 0;
+        vw_docs = 0;
+        vw_pending = 0;
+      }
+    in
     {
       fault;
       exec = (if jobs > 0 then Some (Exec.create ~obs ~workers:jobs ()) else None);
+      published = Atomic.make view0;
       sample;
       tau;
       epsilon;
       work_factor;
-      gst = Gsuffix_tree.create ();
+      gst;
       locked_gst = None;
       subs = Array.make (max_slots + 2) None;
       locked = Array.make (max_slots + 2) None;
@@ -171,6 +208,9 @@ module Make (I : Static_index.S) = struct
       h_delete_ns = Obs.histogram obs "delete_ns";
       h_merge_ns = Obs.histogram obs "sync_merge_ns";
       h_purge_dead_frac = Obs.histogram obs "purge_dead_permille";
+      c_epoch_published = Obs.counter obs "exec_epoch_published";
+      g_epoch_current = Obs.gauge obs "exec_epoch_current";
+      h_epoch_publish_ns = Obs.histogram obs "exec_epoch_publish_ns";
     }
 
   let obs t = t.obs
@@ -791,21 +831,135 @@ module Make (I : Static_index.S) = struct
         true
       end
 
+  (* --- read plane --- *)
+
+  (* Build and publish the next epoch: freeze every queryable structure
+     under its census name.  Structure snapshots are cached inside the
+     GST / each SS, so only the structures the update actually touched
+     pay a copy; the single [Atomic.set] is the linearization point
+     readers see.  Published once per successful update (plus once by
+     [drain] if it landed jobs), so with a single-threaded writer the
+     epoch equals the number of completed updates. *)
+  let publish t ~cause =
+    let t0 = Obs.start () in
+    let gsts = ref [ ("C0", Gsuffix_tree.snapshot t.gst) ] in
+    (match t.locked_gst with
+    | None -> ()
+    | Some g -> gsts := !gsts @ [ ("L0", Gsuffix_tree.snapshot g) ]);
+    let sss = ref [] in
+    let add name ss = sss := (name, SS.snapshot ss) :: !sss in
+    List.iter (fun (k, ss) -> add (Printf.sprintf "T%d" k) ss) t.tops;
+    for j = max_slots + 1 downto 1 do
+      (match t.temps.(j) with None -> () | Some ss -> add (Printf.sprintf "Temp%d" j) ss);
+      (match t.locked.(j) with None -> () | Some ss -> add (Printf.sprintf "L%d" j) ss);
+      match t.subs.(j) with None -> () | Some ss -> add (Printf.sprintf "C%d" j) ss
+    done;
+    let pending = ref 0 in
+    for j = 0 to max_slots + 1 do
+      if t.jobs.(j) <> None then incr pending
+    done;
+    let epoch = (Atomic.get t.published).vw_epoch + 1 in
+    let v =
+      {
+        vw_epoch = epoch;
+        vw_gsts = !gsts;
+        vw_sss = !sss;
+        vw_nf = t.nf;
+        vw_live = t.live;
+        vw_docs = t.doc_count;
+        vw_pending = !pending;
+      }
+    in
+    Atomic.set t.published v;
+    Obs.incr t.c_epoch_published;
+    Obs.set_gauge t.g_epoch_current epoch;
+    Obs.stop t.h_epoch_publish_ns t0;
+    match cause with
+    | `Update -> ()
+    | `Drain -> Obs.record t.obs (Obs.Epoch_publish { epoch; cause = "drain" })
+
+  let view t = Atomic.get t.published
+  let view_epoch v = v.vw_epoch
+  let view_nf v = v.vw_nf
+  let view_doc_count v = v.vw_docs
+  let view_total_symbols v = v.vw_live
+  let view_pending_jobs v = v.vw_pending
+
+  let view_search v p ~f =
+    List.iter (fun (_, g) -> Gsuffix_tree.view_search g p ~f) v.vw_gsts;
+    List.iter (fun (_, sv) -> SS.view_search sv p ~f) v.vw_sss
+
+  let view_matches v p =
+    let acc = ref [] in
+    view_search v p ~f:(fun ~doc ~off -> acc := (doc, off) :: !acc);
+    List.sort compare !acc
+
+  let view_count v p =
+    List.fold_left (fun a (_, g) -> a + Gsuffix_tree.view_count g p) 0 v.vw_gsts
+    + List.fold_left (fun a (_, sv) -> a + SS.view_count sv p) 0 v.vw_sss
+
+  let view_mem v doc =
+    List.exists (fun (_, g) -> Gsuffix_tree.view_mem g doc) v.vw_gsts
+    || List.exists (fun (_, sv) -> SS.view_mem sv doc) v.vw_sss
+
+  let view_extract v ~doc ~off ~len =
+    let from_gst =
+      List.fold_left
+        (fun acc (_, g) ->
+          if acc <> None then acc
+          else
+            match Gsuffix_tree.view_get_doc g doc with
+            | Some s when off >= 0 && len >= 0 && off + len <= String.length s ->
+              Some (String.sub s off len)
+            | _ -> acc)
+        None v.vw_gsts
+    in
+    if from_gst <> None then from_gst
+    else
+      List.fold_left
+        (fun acc (_, sv) ->
+          if acc = None && SS.view_mem sv doc then SS.view_extract sv ~doc ~off ~len else acc)
+        None v.vw_sss
+
+  (* Per-structure (name, live, dead) symbol counts frozen at publish
+     time: the view-side counterpart of [census]. *)
+  let view_census v =
+    List.map
+      (fun (name, g) ->
+        (name, Gsuffix_tree.view_live_symbols g, Gsuffix_tree.view_dead_symbols g))
+      v.vw_gsts
+    @ List.map
+        (fun (name, sv) -> (name, SS.view_live_symbols sv, SS.view_dead_symbols sv))
+        v.vw_sss
+
   (* Updates are the schedule's synchronous critical sections: in pooled
      mode they run under update-priority, so worker domains park at
      their next tick instead of competing with the owner for processor
      time and GC barriers mid-update.  [Exec.await] (forced completion)
      and inline overflow release the priority internally, so landing a
-     job from inside an update cannot deadlock. *)
+     job from inside an update cannot deadlock.  The epoch publication
+     happens after the priority section: readers never contend with the
+     critical section itself. *)
   let insert t text =
-    match t.exec with
-    | Some exec -> Exec.with_priority exec (fun () -> insert_body t text)
-    | None -> insert_body t text
+    let id =
+      match t.exec with
+      | Some exec -> Exec.with_priority exec (fun () -> insert_body t text)
+      | None -> insert_body t text
+    in
+    publish t ~cause:`Update;
+    id
 
+  (* Under the planted [`Stale_epoch] fault a successful delete skips
+     the publication: the write plane stays correct while the read
+     plane serves stale views. *)
   let delete t id =
-    match t.exec with
-    | Some exec -> Exec.with_priority exec (fun () -> delete_body t id)
-    | None -> delete_body t id
+    let ok =
+      match t.exec with
+      | Some exec -> Exec.with_priority exec (fun () -> delete_body t id)
+      | None -> delete_body t id
+    in
+    if ok && t.fault <> Some `Stale_epoch then publish t ~cause:`Update;
+    ok
 
   (* Census of all structures: the measured counterpart of Figure 2. *)
   let census t =
@@ -853,11 +1007,15 @@ module Make (I : Static_index.S) = struct
     !c
 
   (* Land every in-flight job now (each counts as a forced completion,
-     exactly like a capacity conflict would). *)
+     exactly like a capacity conflict would).  Publishes a fresh epoch
+     only if jobs actually landed -- a no-op drain must not disturb the
+     epoch = completed-updates invariant. *)
   let drain t =
+    let pending = pending_jobs t in
     for j = 0 to max_slots + 1 do
       force_job t j
-    done
+    done;
+    if pending > 0 then publish t ~cause:`Drain
 
   (* Drain, then stop and join the worker domains.  The index stays
      fully usable afterwards; new jobs simply run synchronously. *)

@@ -57,4 +57,8 @@ let of_array (a : int array) =
   done;
   t
 
+(* Deep copy, O(n).  Snapshot publication (read-plane views) copies the
+   Fenwick summaries of structures whose deletion state keeps mutating. *)
+let copy t = { n = t.n; tree = Array.copy t.tree }
+
 let space_bits t = (Array.length t.tree + 1) * 63

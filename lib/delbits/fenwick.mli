@@ -25,4 +25,8 @@ val prefix : t -> int -> int
 val range : t -> int -> int -> int
 
 val total : t -> int
+
+(** Deep copy, O(n); used when publishing read-plane snapshots. *)
+val copy : t -> t
+
 val space_bits : t -> int

@@ -158,6 +158,16 @@ let count_range t s e =
     end
   end
 
+(* Deep copy: fresh pyramid and Fenwick, O(len / w) words.  This is the
+   per-delete snapshot cost of a semi-static structure's read plane. *)
+let copy t =
+  {
+    len = t.len;
+    levels = Array.map Array.copy t.levels;
+    ones = t.ones;
+    counts = Fenwick.copy t.counts;
+  }
+
 let to_list t =
   let acc = ref [] in
   report t 0 t.len (fun i -> acc := i :: !acc);

@@ -36,4 +36,9 @@ val report : t -> int -> int -> (int -> unit) -> unit
 val count_range : t -> int -> int -> int
 
 val to_list : t -> int list
+
+(** Deep copy (pyramid + Fenwick), O(length/62) words; used when
+    publishing read-plane snapshots. *)
+val copy : t -> t
+
 val space_bits : t -> int

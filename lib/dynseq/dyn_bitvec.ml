@@ -246,6 +246,14 @@ let select0 t k =
 
 let push_back t b = insert t (len t) b
 
+(* O(1) persistent snapshot: every tree node is immutable and
+   insert/delete/set are path-copying (fresh leaf arrays, fresh spine),
+   so capturing the root yields a frozen value that later mutations of
+   [t] can never reach.  This is the read-plane primitive: a snapshot
+   is safe to query from other domains while the original keeps
+   mutating. *)
+let snapshot t = { root = t.root }
+
 let to_bools t = List.init (len t) (fun i -> get t i)
 
 let rec space_tree = function

@@ -34,4 +34,9 @@ val select1 : t -> int -> int
 val select0 : t -> int -> int
 val push_back : t -> bool -> unit
 val to_bools : t -> bool list
+
+(** [snapshot t] is an O(1) frozen copy: updates are path-copying, so
+    the captured tree is immutable and safe to query from any domain
+    while [t] keeps mutating. *)
+val snapshot : t -> t
 val space_bits : t -> int

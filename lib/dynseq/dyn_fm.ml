@@ -171,6 +171,17 @@ let search t p =
   | None -> []
   | Some (sp, ep) -> List.sort compare (List.init (ep - sp) (fun k -> locate t (sp + k)))
 
+(* Read-plane snapshot: O(sigma + ndocs).  The wavelet snapshot shares
+   all bit data (path-copying underneath); alpha and the doc table are
+   small and copied outright; sentinel_order is an immutable list. *)
+let snapshot t =
+  {
+    wt = Dyn_wavelet.snapshot t.wt;
+    alpha = Fenwick.copy t.alpha;
+    sentinel_order = t.sentinel_order;
+    docs = Hashtbl.copy t.docs;
+  }
+
 let space_bits t =
   Dyn_wavelet.space_bits t.wt + Fenwick.space_bits t.alpha
   + (doc_count t * 2 * 63)

@@ -34,4 +34,8 @@ val locate : t -> int -> int * int
 (** All occurrences, sorted. *)
 val search : t -> string -> (int * int) list
 
+(** [snapshot t] is an O(sigma + docs) frozen copy sharing all BWT bit
+    data; safe to query from any domain while [t] keeps mutating. *)
+val snapshot : t -> t
+
 val space_bits : t -> int

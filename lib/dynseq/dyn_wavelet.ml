@@ -115,6 +115,18 @@ let select t sym k =
 
 let count t sym = rank t sym t.length
 
+(* Snapshot in O(sigma): the node shape is fixed at creation, so a
+   frozen copy only needs to capture each node's bitvec root
+   (Dyn_bitvec.snapshot is O(1)).  The result is an independent [t]
+   answering every query, safe to share across domains. *)
+let snapshot t =
+  let rec go = function
+    | Leaf _ as l -> l
+    | Node { bv; lo; hi; left; right } ->
+      Node { bv = Dyn_bitvec.snapshot bv; lo; hi; left = go left; right = go right }
+  in
+  { root = go t.root; sigma = t.sigma; length = t.length }
+
 let to_array t = Array.init t.length (access t)
 
 let space_bits t =

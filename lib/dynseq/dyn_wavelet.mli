@@ -20,5 +20,10 @@ val rank : t -> int -> int -> int
 val select : t -> int -> int -> int
 
 val count : t -> int -> int
+
+(** [snapshot t] is an O(sigma) frozen copy (per-node O(1) bitvec
+    captures) safe to query from any domain while [t] keeps mutating. *)
+val snapshot : t -> t
+
 val to_array : t -> int array
 val space_bits : t -> int

@@ -47,6 +47,18 @@ type node = {
   mutable suffix : int; (* for leaves: starting offset of the suffix; -1 otherwise *)
 }
 
+(* Read-plane view: a frozen copy of the live documents.  The Ukkonen
+   tree itself is too mutable to share across domains, but C0 is bounded
+   by 2n/log^2 n symbols, so a view answers queries by naive scanning
+   over the (few, short) buffered documents -- O(sum |doc|) per pattern,
+   within the paper's budget for the buffer, and entirely immutable. *)
+type view = {
+  v_docs : (int * string) array; (* live documents, frozen, sorted by id *)
+  v_tbl : (int, string) Hashtbl.t; (* id -> contents; never mutated after build *)
+  v_live_syms : int;
+  v_dead_syms : int;
+}
+
 type t = {
   mutable root : node;
   mutable docs : (int, string) Hashtbl.t; (* live documents *)
@@ -55,6 +67,7 @@ type t = {
   mutable dead_syms : int;
   mutable node_count : int;
   mutable leaf_end : int; (* end position of open edges during insertion *)
+  mutable view_cache : view option; (* invalidated by insert/delete *)
 }
 
 let dummy_text = { doc = min_int / 2; chars = "" }
@@ -78,6 +91,7 @@ let create () =
     dead_syms = 0;
     node_count = 1;
     leaf_end = 0;
+    view_cache = None;
   }
 
 let is_leaf nd = Hashtbl.length nd.children = 0
@@ -195,6 +209,7 @@ let insert t ~doc (contents : string) =
   let txt = { doc; chars = contents } in
   Hashtbl.replace t.docs doc contents;
   t.live_syms <- t.live_syms + text_len txt;
+  t.view_cache <- None;
   Obs.incr c_inserts;
   ukkonen_insert t txt
 
@@ -217,6 +232,7 @@ let delete t doc =
     let len = String.length contents + 1 in
     t.live_syms <- t.live_syms - len;
     t.dead_syms <- t.dead_syms + len;
+    t.view_cache <- None;
     Obs.incr c_deletes;
     if t.dead_syms > t.live_syms then rebuild t;
     true
@@ -282,6 +298,54 @@ let occurrences t p =
   let acc = ref [] in
   search t p ~f:(fun ~doc ~off -> acc := (doc, off) :: !acc);
   List.sort compare !acc
+
+(* --- read-plane snapshots --- *)
+
+(* Freeze the live documents.  O(doc_count) when cached (cache hit costs
+   nothing); a miss copies the live doc table -- C0 holds at most
+   2n/log^2 n symbols, so the copy amortizes against the update that
+   invalidated the cache. *)
+let snapshot t =
+  match t.view_cache with
+  | Some v -> v
+  | None ->
+    let docs = Hashtbl.fold (fun d s acc -> (d, s) :: acc) t.docs [] in
+    let arr = Array.of_list (List.sort compare docs) in
+    let tbl = Hashtbl.create (max 16 (Array.length arr)) in
+    Array.iter (fun (d, s) -> Hashtbl.replace tbl d s) arr;
+    let v = { v_docs = arr; v_tbl = tbl; v_live_syms = t.live_syms; v_dead_syms = t.dead_syms } in
+    t.view_cache <- Some v;
+    v
+
+let view_doc_count v = Array.length v.v_docs
+let view_live_symbols v = v.v_live_syms
+let view_dead_symbols v = v.v_dead_syms
+let view_mem v doc = Hashtbl.mem v.v_tbl doc
+let view_get_doc v doc = Hashtbl.find_opt v.v_tbl doc
+
+(* Naive per-document scan; fine because views only ever cover the
+   bounded C0 buffer (see module comment on [view]). *)
+let view_search v (p : string) ~f =
+  let pl = String.length p in
+  if pl = 0 then invalid_arg "Gsuffix_tree.view_search: empty pattern";
+  Array.iter
+    (fun (doc, s) ->
+      let n = String.length s in
+      for off = 0 to n - pl do
+        let rec eq k = k >= pl || (s.[off + k] = p.[k] && eq (k + 1)) in
+        if eq 0 then f ~doc ~off
+      done)
+    v.v_docs
+
+let view_count v p =
+  let c = ref 0 in
+  view_search v p ~f:(fun ~doc:_ ~off:_ -> incr c);
+  !c
+
+let view_occurrences v p =
+  let acc = ref [] in
+  view_search v p ~f:(fun ~doc ~off -> acc := (doc, off) :: !acc);
+  List.rev !acc
 
 (* Rough accounting: nodes dominate (hashtable + fields); count ~16 words
    per node plus the raw document bytes. *)

@@ -37,4 +37,30 @@ val count : t -> string -> int
 (** All occurrences, sorted by (doc, offset). *)
 val occurrences : t -> string -> (int * int) list
 
+(** {1 Read-plane views}
+
+    A {!view} is an immutable snapshot of the live documents, safe to
+    query from any domain while the tree keeps mutating. The buffer is
+    bounded by [2n / log^2 n] symbols, so views answer queries by naive
+    scanning within the paper's buffer budget, and the snapshot copy
+    amortizes against the update that invalidated it (snapshots are
+    cached until the next insert/delete). *)
+
+type view
+
+val snapshot : t -> view
+val view_doc_count : view -> int
+val view_live_symbols : view -> int
+val view_dead_symbols : view -> int
+val view_mem : view -> int -> bool
+val view_get_doc : view -> int -> string option
+
+(** Raises [Invalid_argument] on the empty pattern, like tree search. *)
+val view_search : view -> string -> f:(doc:int -> off:int -> unit) -> unit
+
+val view_count : view -> string -> int
+
+(** Sorted by (doc, offset). *)
+val view_occurrences : view -> string -> (int * int) list
+
 val space_bits : t -> int

@@ -18,7 +18,13 @@
 
     Every recording entry point checks {!enabled} first and is a no-op
     when the flag is off, so instrumented code pays one load-and-branch
-    per probe when disabled (< 5% of any indexing operation). *)
+    per probe when disabled (< 5% of any indexing operation).
+
+    All counters, gauges and histogram cells are [Atomic.t], so probes
+    may fire concurrently from worker and reader domains without losing
+    increments; registration, the event ring and [reset] serialize on a
+    per-scope lock. [enabled] itself is a configuration flag -- set it
+    before spawning domains. *)
 
 val enabled : bool ref
 
@@ -115,6 +121,8 @@ type event =
   | Install of { slot : int; target : string; live : int }
   | Top_clean of { key : int; dead : int }  (** Dietz-Sleator cleaning *)
   | Restructure of { nf : int; structures : int }  (** nf re-snapshot *)
+  | Epoch_publish of { epoch : int; cause : string }
+      (** a new read-plane snapshot became the current epoch *)
   | Note of string
 
 val record : scope -> event -> unit

@@ -5,7 +5,9 @@
 
    Budget knobs for nightly CI: FUZZ_STREAMS, FUZZ_OPS, FUZZ_SEED;
    DSDG_JOBS (default 0 = deterministic Sync executor) reruns the whole
-   matrix with pooled background rebuilds. *)
+   matrix with pooled background rebuilds; DSDG_READERS (default 0 =
+   queries on the caller's domain) reruns it with every query routed
+   through a reader pool against the latest published epoch. *)
 
 open Dsdg_check
 module DI = Dsdg_core.Dynamic_index
@@ -19,7 +21,8 @@ let base_seed = env_int "FUZZ_SEED" 42
 let n_streams = env_int "FUZZ_STREAMS" 200
 let ops_per_stream = env_int "FUZZ_OPS" 60
 let jobs = env_int "DSDG_JOBS" 0
-let base_config = { Runner.default_config with Runner.jobs }
+let readers = env_int "DSDG_READERS" 0
+let base_config = { Runner.default_config with Runner.jobs; Runner.readers }
 
 (* On failure, print everything needed to reproduce without rerunning
    the suite: the seed, the saved minimal trace and the replay command. *)
@@ -205,6 +208,60 @@ let test_planted_worker_crash_caught () =
   in
   hunt base_seed
 
+(* Reader-routed smoke: a bounded batch of streams with every query op
+   served from a reader-pool domain against the latest published epoch,
+   regardless of DSDG_READERS, so tier-1 always differentially checks
+   the read plane itself (round-robin over the matrix). *)
+let test_fuzz_readers_smoke () =
+  let config = { Runner.default_config with Runner.readers = max 1 readers } in
+  let n_targets = List.length Runner.all_targets in
+  for i = 0 to 19 do
+    let seed = base_seed + 3000 + i in
+    let targets = [ List.nth Runner.all_targets (i mod n_targets) ] in
+    let profile = if i mod 3 = 2 then Opgen.churny else Opgen.default in
+    match Runner.run_stream ~config ~targets ~profile ~seed ~ops:ops_per_stream () with
+    | Runner.Pass -> ()
+    | Runner.Fail { failure; shrunk; _ } -> fail_stream ~seed ~failure ~shrunk
+  done
+
+(* Plant the stale-epoch fault (successful deletes mutate the write
+   plane but skip epoch publication, so published views silently go
+   stale). Direct queries never touch the read plane, so the defect is
+   invisible without readers -- with readers >= 1 it must be caught,
+   shrunk, and deterministically replayable. *)
+let test_planted_stale_epoch_caught () =
+  let config =
+    { Runner.default_config with Runner.fault = Some `Stale_epoch; Runner.readers = 1 }
+  in
+  let clean_config = { Runner.default_config with Runner.readers = 1 } in
+  let blind_config = { Runner.default_config with Runner.fault = Some `Stale_epoch } in
+  let targets = Runner.select_targets ~variant:"worst-case" ~backend:"fm" () in
+  let rec hunt seed =
+    if seed > base_seed + 9 then
+      Alcotest.fail "planted stale-epoch fault never caught in 10 churny streams"
+    else
+      match Runner.run_stream ~config ~targets ~profile:Opgen.churny ~seed ~ops:300 () with
+      | Runner.Pass -> hunt (seed + 1)
+      | Runner.Fail { failure = _; shrunk; trace } ->
+        Alcotest.(check bool) "shrunk trace nonempty" true (shrunk <> []);
+        Alcotest.(check bool) "shrinking did not grow the trace" true
+          (List.length shrunk <= List.length trace);
+        (match Runner.run_trace ~config ~targets shrunk with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "replayed minimal trace no longer fails under the fault");
+        (match Runner.run_trace ~config:clean_config ~targets shrunk with
+        | Ok () -> ()
+        | Error f ->
+          Alcotest.failf "minimal trace fails even without the fault: %s" f.Runner.f_message);
+        (match Runner.run_trace ~config:blind_config ~targets shrunk with
+        | Ok () -> ()
+        | Error f ->
+          Alcotest.failf
+            "stale-epoch fault visible without readers -- it should only break the read plane: %s"
+            f.Runner.f_message)
+  in
+  hunt base_seed
+
 (* Sync (jobs = 0) and pooled (jobs = 2) instances fed the same op
    stream must answer every query identically -- directly, not only via
    the model. *)
@@ -247,6 +304,8 @@ let suite =
     ("sync vs pooled equivalence", `Quick, test_sync_vs_pooled_equivalence);
     ("planted fault caught & shrunk", `Slow, test_planted_fault_caught);
     ("planted worker-crash caught & shrunk", `Slow, test_planted_worker_crash_caught);
+    ("planted stale-epoch caught & shrunk", `Slow, test_planted_stale_epoch_caught);
     ("fuzz pooled smoke streams", `Slow, test_fuzz_pooled_smoke);
+    ("fuzz reader smoke streams", `Slow, test_fuzz_readers_smoke);
     ("fuzz cross-target streams", `Slow, test_fuzz_cross_targets);
     ("fuzz matrix streams", `Slow, test_fuzz_matrix) ]

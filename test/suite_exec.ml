@@ -249,6 +249,136 @@ let test_incr_step_after_abandon_raises () =
   | exception I.Cancelled -> ()
   | _ -> Alcotest.fail "step after abandon must raise Cancelled"
 
+(* --- domain-safety of the observability layer --- *)
+
+(* Two domains hammering the same counter / gauge / histogram: every
+   increment must land (Atomic cells, not racy int fields). *)
+let test_obs_two_domain_hammer () =
+  let open Dsdg_obs in
+  let scope = Obs.private_scope "test/hammer" in
+  let c = Obs.counter scope "hits" in
+  let g = Obs.gauge scope "peak" in
+  let h = Obs.histogram scope "obs" in
+  let n = 20_000 in
+  let body base () =
+    for i = 1 to n do
+      Obs.incr c;
+      Obs.set_max g (base + i);
+      Obs.observe h (1 + ((base + i) mod 1024))
+    done
+  in
+  let d1 = Domain.spawn (body 0) in
+  let d2 = Domain.spawn (body n) in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "no lost counter increments" (2 * n) (Obs.value c);
+  Alcotest.(check int) "set_max kept the maximum" (2 * n) (Obs.gauge_value g);
+  let s = Obs.summarize h in
+  Alcotest.(check int) "no lost histogram observations" (2 * n) s.Obs.n
+
+(* --- the read plane under concurrent readers --- *)
+
+(* Single writer applying a precomputed update stream; K raw
+   [Domain.spawn] readers continuously fetching the published view.
+   With [jobs = 0] every successful update publishes exactly once, so
+   the epoch IS the number of applied updates -- each reader checks its
+   epochs are monotone and that the view's answers (doc_count, the
+   occurrence list of a fixed pattern) equal the precomputed model state
+   for that exact epoch.  Any torn or stale snapshot shows up as a
+   mismatch. *)
+let test_concurrent_readers_per_epoch_oracle () =
+  let open Dsdg_core in
+  let n_updates = 150 in
+  let pat = "abc" in
+  (* generate the stream and the per-epoch expected states up front *)
+  let text_of id = Printf.sprintf "%04d abcde" id in
+  let ops = Array.make n_updates `Nop in
+  let expected = Array.make (n_updates + 1) (0, []) in
+  let live = ref [] and next_id = ref 0 in
+  expected.(0) <- (0, []);
+  for i = 0 to n_updates - 1 do
+    (match !live with
+    | id :: rest when i mod 3 = 2 ->
+      ops.(i) <- `Delete id;
+      live := rest
+    | _ ->
+      let id = !next_id in
+      incr next_id;
+      ops.(i) <- `Insert (text_of id);
+      live := id :: !live);
+    let matches = List.sort compare (List.map (fun id -> (id, 5)) !live) in
+    expected.(i + 1) <- (List.length !live, matches)
+  done;
+  let idx = Dynamic_index.create ~variant:Worst_case ~backend:Fm ~sample:2 ~tau:4 () in
+  let stop = Atomic.make false in
+  let reader () =
+    let errors = ref [] and last = ref (-1) and seen = ref 0 in
+    while not (Atomic.get stop) do
+      let v = Dynamic_index.view idx in
+      let e = Dynamic_index.view_epoch v in
+      incr seen;
+      if e < !last then errors := Printf.sprintf "epoch went backwards: %d -> %d" !last e :: !errors;
+      last := e;
+      if e > n_updates then errors := Printf.sprintf "epoch %d beyond update count" e :: !errors
+      else begin
+        let exp_docs, exp_matches = expected.(e) in
+        let docs = Dynamic_index.view_doc_count v in
+        if docs <> exp_docs then
+          errors := Printf.sprintf "epoch %d: doc_count %d, expected %d" e docs exp_docs :: !errors;
+        let hits = Dynamic_index.view_search v pat in
+        if hits <> exp_matches then
+          errors := Printf.sprintf "epoch %d: search mismatch (%d hits, expected %d)" e
+                      (List.length hits) (List.length exp_matches) :: !errors
+      end
+    done;
+    (!seen, List.rev !errors)
+  in
+  let readers = List.init 2 (fun _ -> Domain.spawn reader) in
+  Array.iter
+    (function
+      | `Insert text -> ignore (Dynamic_index.insert idx text)
+      | `Delete id -> ignore (Dynamic_index.delete idx id)
+      | `Nop -> ())
+    ops;
+  Atomic.set stop true;
+  let results = List.map Domain.join readers in
+  Dynamic_index.close idx;
+  List.iteri
+    (fun i (seen, errors) ->
+      Alcotest.(check bool) (Printf.sprintf "reader %d sampled views" i) true (seen > 0);
+      match errors with
+      | [] -> ()
+      | e :: _ ->
+        Alcotest.failf "reader %d: %d violation(s), first: %s" i (List.length errors) e)
+    results;
+  (* the writer is quiescent: the final published epoch is the update count *)
+  Alcotest.(check int) "final epoch = updates applied" n_updates
+    (Dynamic_index.view_epoch (Dynamic_index.view idx))
+
+(* Queries through a reader pool must agree with the write plane (and
+   enforce the same API conventions) once the writer is quiescent. *)
+let test_reader_pool_query () =
+  let open Dsdg_core in
+  let idx = Dynamic_index.create ~variant:Worst_case ~backend:Fm ~sample:2 ~tau:4 ~readers:2 () in
+  Alcotest.(check int) "pool size" 2 (Dynamic_index.readers idx);
+  let ids = List.init 20 (fun i -> Dynamic_index.insert idx (Printf.sprintf "%02d abcde" i)) in
+  List.iteri (fun i id -> if i mod 4 = 0 then ignore (Dynamic_index.delete idx id)) ids;
+  let direct = Dynamic_index.search idx "abc" in
+  let pooled = Dynamic_index.query idx (fun v -> Dynamic_index.view_search v "abc") in
+  Alcotest.(check bool) "pooled search = direct search" true (pooled = direct);
+  let c = Dynamic_index.query idx (fun v -> Dynamic_index.view_count v "abc") in
+  Alcotest.(check int) "pooled count" (List.length direct) c;
+  (match Dynamic_index.query idx (fun v -> Dynamic_index.view_extract v ~doc:(List.nth ids 1) ~off:0 ~len:0) with
+  | Some "" -> ()
+  | _ -> Alcotest.fail "len=0 extract convention must hold on views");
+  (match Dynamic_index.query idx (fun v -> Dynamic_index.view_count v "") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty pattern must be rejected through the pool");
+  Dynamic_index.close idx;
+  (* after close the pool is gone; queries fall back inline *)
+  let c' = Dynamic_index.query idx (fun v -> Dynamic_index.view_count v "abc") in
+  Alcotest.(check int) "post-close query falls back inline" c c'
+
 let suite =
   [ ("sync pool runs inline", `Quick, test_sync_inline);
     ("pooled submit/await round-trip", `Quick, test_pool_roundtrip);
@@ -261,4 +391,8 @@ let suite =
     ("work_spent exact when terminal", `Quick, test_work_spent_exact_when_terminal);
     ("incremental: finalizer once on abandon", `Quick, test_incr_finalizer_runs_once_on_abandon);
     ("incremental: work_spent monotone", `Quick, test_incr_work_spent_monotone);
-    ("incremental: step after abandon raises", `Quick, test_incr_step_after_abandon_raises) ]
+    ("incremental: step after abandon raises", `Quick, test_incr_step_after_abandon_raises);
+    ("obs: two-domain hammer loses nothing", `Quick, test_obs_two_domain_hammer);
+    ("read plane: concurrent readers, per-epoch oracle", `Quick,
+     test_concurrent_readers_per_epoch_oracle);
+    ("read plane: reader-pool query", `Quick, test_reader_pool_query) ]
