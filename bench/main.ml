@@ -63,6 +63,7 @@ let experiments =
     ("fig3", Bench_figures.fig3);
     ("exec", Bench_exec.run);
     ("readers", Bench_readers.run);
+    ("store", Bench_store.run);
     ("ablation_tau", Bench_ablations.ablation_tau);
     ("ablation_s", Bench_ablations.ablation_s);
     ("ablation_t3", Bench_ablations.ablation_t3);

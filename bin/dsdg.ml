@@ -2,7 +2,14 @@
 
      dsdg index FILE...           index files (one document per line of each
                                   file, or whole files with --whole), then
-                                  answer queries from stdin
+                                  answer queries from stdin; with --store DIR
+                                  every mutation is write-ahead-logged and the
+                                  session survives a crash
+     dsdg save DIR FILE...        index files into a durable store directory
+                                  and checkpoint (snapshot + empty WAL)
+     dsdg load DIR                recover an index from a store directory
+                                  (newest valid snapshot + WAL tail replay),
+                                  then answer queries from stdin
      dsdg demo                    run a synthetic churn demo with stats
      dsdg stats                   run a scripted churn workload and dump the
                                   observability layer (counters, latency
@@ -12,9 +19,12 @@
                                   streams through variant x backend pairs
                                   against a naive model with paper-invariant
                                   oracles; failures shrink to a minimal
-                                  trace replayable with --replay
+                                  trace replayable with --replay; with
+                                  --store DIR it instead runs the
+                                  kill-and-recover sweep (crash at every
+                                  k-th op, recover, diff against the model)
 
-   Query language on stdin (after `dsdg index`):
+   Query language on stdin (after `dsdg index` / `dsdg load`):
      ?PATTERN      report occurrences
      #PATTERN      count occurrences
      +TEXT         insert TEXT as a new document
@@ -24,6 +34,7 @@
 
 open Dsdg_core
 open Cmdliner
+module Store = Dsdg_store
 
 let variant_of_string = function
   | "amortized" -> Dynamic_index.Amortized
@@ -37,6 +48,41 @@ let backend_of_string = function
   | "csa" -> Dynamic_index.Csa
   | s -> invalid_arg ("unknown backend: " ^ s)
 
+let profile_of_string = function
+  | "default" -> Dsdg_check.Opgen.default
+  | "churny" -> Dsdg_check.Opgen.churny
+  | s -> invalid_arg ("unknown profile: " ^ s)
+
+(* Store-mode error envelope: a corrupt snapshot, an interior-corrupt
+   WAL or a snapshot/WAL serial gap is a problem with the files on
+   disk, not a crash -- report where, and exit 2 like a parse error. *)
+let with_store_errors ~dir f =
+  try f () with
+  | Dsdg_check.Trace.Parse_error e ->
+    prerr_endline
+      (Dsdg_check.Trace.parse_error_message ~file:(Store.Recovery.wal_path ~dir) e);
+    exit 2
+  | Store.Codec.Corrupt { file; section; reason } ->
+    Printf.eprintf "%s: corrupt %S section: %s\n" file section reason;
+    exit 2
+  | Store.Recovery.Gap { dir; snapshot_serial; wal_serial0 } ->
+    Printf.eprintf
+      "%s: WAL starts at serial %d but the newest loadable snapshot covers only serials < %d; \
+       the records in between are unrecoverable, refusing to open with silent data loss\n"
+      dir wal_serial0 snapshot_serial;
+    exit 2
+
+let store_config ~sync ~checkpoint_every ~jobs =
+  match Store.Wal.sync_of_string sync with
+  | Error msg -> invalid_arg ("--sync: " ^ msg)
+  | Ok s ->
+    {
+      Store.Durable.default_config with
+      Store.Durable.sync = s;
+      checkpoint_every;
+      checkpoint_jobs = (if jobs > 0 then 1 else 0);
+    }
+
 let print_stats idx =
   Printf.printf "documents : %d\n" (Dynamic_index.doc_count idx);
   Printf.printf "symbols   : %d\n" (Dynamic_index.total_symbols idx);
@@ -45,7 +91,11 @@ let print_stats idx =
      else float_of_int (Dynamic_index.space_bits idx) /. float_of_int (Dynamic_index.total_symbols idx));
   Printf.printf "engine    : %s\n" (Dynamic_index.describe idx)
 
-let repl idx =
+let repl ?insert:ins ?delete:del idx =
+  (* mutations go through the durable store when one is wired in, so an
+     interactive session is WAL-logged like any other client *)
+  let do_insert = match ins with Some f -> f | None -> Dynamic_index.insert idx in
+  let do_delete = match del with Some f -> f | None -> Dynamic_index.delete idx in
   (* with a reader pool the interactive queries exercise the read plane:
      served from a reader domain against the latest published epoch *)
   let pooled = Dynamic_index.readers idx > 0 in
@@ -72,9 +122,9 @@ let repl idx =
            List.iter (fun (d, o) -> Printf.printf "doc %d off %d\n" d o) hits;
            Printf.printf "%d occurrence(s)\n%!" (List.length hits)
          | '#' -> Printf.printf "%d\n%!" (do_count arg)
-         | '+' -> Printf.printf "doc %d\n%!" (Dynamic_index.insert idx arg)
+         | '+' -> Printf.printf "doc %d\n%!" (do_insert arg)
          | '-' ->
-           let ok = Dynamic_index.delete idx (int_of_string (String.trim arg)) in
+           let ok = do_delete (int_of_string (String.trim arg)) in
            Printf.printf "%s\n%!" (if ok then "deleted" else "no such document")
          | '=' -> (
            match String.split_on_char ' ' (String.trim arg) with
@@ -93,31 +143,95 @@ let repl idx =
    with End_of_file | Exit -> ());
   print_stats idx
 
-let index_cmd files whole variant backend sample tau jobs readers =
-  let idx =
-    Dynamic_index.create ~variant:(variant_of_string variant)
-      ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ()
-  in
+let index_files ~insert ~whole files =
   List.iter
     (fun file ->
       let ic = open_in file in
       if whole then begin
         let n = in_channel_length ic in
-        ignore (Dynamic_index.insert idx (really_input_string ic n))
+        ignore (insert (really_input_string ic n))
       end
       else begin
         try
           while true do
             let line = input_line ic in
-            if String.length line > 0 then ignore (Dynamic_index.insert idx line)
+            if String.length line > 0 then ignore (insert line)
           done
         with End_of_file -> ()
       end;
       close_in ic)
-    files;
-  Printf.printf "indexed %d document(s) from %d file(s)\n%!" (Dynamic_index.doc_count idx)
-    (List.length files);
-  Fun.protect ~finally:(fun () -> Dynamic_index.close idx) (fun () -> repl idx)
+    files
+
+let index_cmd files whole variant backend sample tau jobs readers store sync checkpoint_every =
+  match store with
+  | None ->
+    let idx =
+      Dynamic_index.create ~variant:(variant_of_string variant)
+        ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ()
+    in
+    index_files ~insert:(Dynamic_index.insert idx) ~whole files;
+    Printf.printf "indexed %d document(s) from %d file(s)\n%!" (Dynamic_index.doc_count idx)
+      (List.length files);
+    Fun.protect ~finally:(fun () -> Dynamic_index.close idx) (fun () -> repl idx)
+  | Some dir ->
+    with_store_errors ~dir (fun () ->
+        let config = store_config ~sync ~checkpoint_every ~jobs in
+        let d, info =
+          Store.Durable.open_ ~config ~variant:(variant_of_string variant)
+            ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~dir ()
+        in
+        print_endline (Store.Recovery.info_to_string info);
+        index_files ~insert:(Store.Durable.insert d) ~whole files;
+        Printf.printf "indexed %d document(s) from %d file(s) into %s (next WAL serial %d)\n%!"
+          (Dynamic_index.doc_count (Store.Durable.index d))
+          (List.length files) dir
+          (Store.Durable.wal_serial d);
+        Fun.protect
+          ~finally:(fun () -> Store.Durable.close d)
+          (fun () ->
+            repl ~insert:(Store.Durable.insert d) ~delete:(Store.Durable.delete d)
+              (Store.Durable.index d)))
+
+(* dsdg save: index files into a store directory, then checkpoint, so
+   the next open (dsdg load, or any --store run) starts from the
+   snapshot with zero WAL replay. Reuses prior state in the directory
+   if there is any -- `save` onto an existing store appends. *)
+let save_cmd dir files whole variant backend sample tau sync =
+  with_store_errors ~dir (fun () ->
+      let config = store_config ~sync ~checkpoint_every:0 ~jobs:0 in
+      let d, info =
+        Store.Durable.open_ ~config ~variant:(variant_of_string variant)
+          ~backend:(backend_of_string backend) ~sample ~tau ~dir ()
+      in
+      if info.Store.Recovery.ri_snapshot <> None || info.Store.Recovery.ri_replayed > 0 then
+        print_endline (Store.Recovery.info_to_string info);
+      index_files ~insert:(Store.Durable.insert d) ~whole files;
+      Store.Durable.checkpoint d;
+      let docs = Dynamic_index.doc_count (Store.Durable.index d) in
+      let serial = Store.Durable.wal_serial d in
+      Store.Durable.close d;
+      match Store.Snapshot.list ~dir with
+      | (path, _) :: _ ->
+        Printf.printf "saved %d document(s): %s (%d bytes, WAL serial %d)\n" docs path
+          (Unix.stat path).Unix.st_size serial
+      | [] -> Printf.printf "saved %d document(s) into %s (WAL serial %d)\n" docs dir serial)
+
+(* dsdg load: crash recovery (newest valid snapshot + WAL tail replay)
+   followed by the interactive query loop; mutations made in the loop
+   keep flowing through the WAL. *)
+let load_cmd dir variant backend sample tau jobs readers sync checkpoint_every =
+  with_store_errors ~dir (fun () ->
+      let config = store_config ~sync ~checkpoint_every ~jobs in
+      let d, info =
+        Store.Durable.open_ ~config ~variant:(variant_of_string variant)
+          ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~dir ()
+      in
+      print_endline (Store.Recovery.info_to_string info);
+      Fun.protect
+        ~finally:(fun () -> Store.Durable.close d)
+        (fun () ->
+          repl ~insert:(Store.Durable.insert d) ~delete:(Store.Durable.delete d)
+            (Store.Durable.index d)))
 
 let demo_cmd ops =
   let open Dsdg_workload in
@@ -141,14 +255,35 @@ let demo_cmd ops =
   print_stats idx
 
 (* Scripted churn workload + full observability dump: the living
-   counterpart of DESIGN.md's "Observability" section. *)
-let stats_cmd ops variant backend sample tau no_obs jobs readers =
+   counterpart of DESIGN.md's "Observability" section. With --store the
+   workload runs through the durable store, so the dump also shows the
+   store scope: WAL appends/fsyncs, checkpoint latency, snapshot bytes. *)
+let stats_cmd ops variant backend sample tau no_obs jobs readers store sync checkpoint_every =
   let open Dsdg_workload in
   let open Dsdg_obs in
   if no_obs then Obs.set_enabled false;
+  let durable =
+    match store with
+    | None -> None
+    | Some dir ->
+      Some
+        (with_store_errors ~dir (fun () ->
+             let config = store_config ~sync ~checkpoint_every ~jobs in
+             fst
+               (Store.Durable.open_ ~config ~variant:(variant_of_string variant)
+                  ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~dir ())))
+  in
   let idx =
-    Dynamic_index.create ~variant:(variant_of_string variant)
-      ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ()
+    match durable with
+    | Some d -> Store.Durable.index d
+    | None ->
+      Dynamic_index.create ~variant:(variant_of_string variant)
+        ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ()
+  in
+  let ins, del =
+    match durable with
+    | Some d -> (Store.Durable.insert d, Store.Durable.delete d)
+    | None -> (Dynamic_index.insert idx, Dynamic_index.delete idx)
   in
   let st = Text_gen.rng 42 in
   let live = ref [] in
@@ -156,14 +291,14 @@ let stats_cmd ops variant backend sample tau no_obs jobs readers =
   for i = 1 to ops do
     let r = Random.State.float st 1.0 in
     if r < 0.55 || !live = [] then
-      live := Dynamic_index.insert idx (Text_gen.english_like st ~len:(30 + Random.State.int st 120)) :: !live
+      live := ins (Text_gen.english_like st ~len:(30 + Random.State.int st 120)) :: !live
     else if r < 0.8 then begin
       (* delete a random live doc; occasionally retry a dead id to
          exercise the failed-delete path *)
       match !live with
       | id :: rest ->
-        ignore (Dynamic_index.delete idx id);
-        if i mod 17 = 0 then ignore (Dynamic_index.delete idx id);
+        ignore (del id);
+        if i mod 17 = 0 then ignore (del id);
         live := rest
       | [] -> ()
     end
@@ -177,8 +312,7 @@ let stats_cmd ops variant backend sample tau no_obs jobs readers =
       hits := !hits + c
     end
   done;
-  Printf.printf "workload  : %d ops (%d searches, %d pattern hits)
-" ops !searches !hits;
+  Printf.printf "workload  : %d ops (%d searches, %d pattern hits)\n" ops !searches !hits;
   print_stats idx;
   let syms = Dynamic_index.total_symbols idx in
   if syms > 0 then begin
@@ -200,8 +334,7 @@ let stats_cmd ops variant backend sample tau no_obs jobs readers =
     let text = Buffer.contents buf in
     if String.length text > 0 then begin
       let open Dsdg_entropy in
-      Printf.printf "entropy   : H0=%.3f H2=%.3f bits/symbol (paper budget nHk + o(n))
-"
+      Printf.printf "entropy   : H0=%.3f H2=%.3f bits/symbol (paper budget nHk + o(n))\n"
         (Entropy.h0 text) (Entropy.hk ~k:2 text)
     end
   end;
@@ -209,7 +342,12 @@ let stats_cmd ops variant backend sample tau no_obs jobs readers =
   (* join worker domains before rendering so the executor counters
      (exec_submitted/completed/..., queue depth, wall/handoff latency)
      are final; they live in the same scope as the transformation's *)
-  Dynamic_index.close idx;
+  (match durable with
+  | Some d ->
+    Printf.printf "store     : %s (next WAL serial %d)\n" (Store.Durable.dir d)
+      (Store.Durable.wal_serial d);
+    Store.Durable.close d
+  | None -> Dynamic_index.close idx);
   if no_obs then print_endline "observability disabled (--no-obs): no counters recorded"
   else begin
     print_string (Obs.render (Dynamic_index.obs_scope idx));
@@ -218,77 +356,135 @@ let stats_cmd ops variant backend sample tau no_obs jobs readers =
 
 (* Differential fuzzing: the CLI face of Dsdg_check (DESIGN.md section 6).
    A failing stream is shrunk to a minimal trace, saved, and the replay
-   one-liner printed -- a CI failure reproduces with a single command. *)
+   one-liner printed -- a CI failure reproduces with a single command.
+   With --store DIR the same op streams instead drive the
+   kill-and-recover sweep of Dsdg_store.Kill_check: crash (optionally
+   tearing the final WAL record) at every stride-th op, recover, and
+   diff the recovered index against the model. *)
 let fuzz_cmd seed ops streams variant backend sample tau fault profile replay trace_dir jobs
-    readers =
+    readers store sync checkpoint_every kill_stride =
   let open Dsdg_check in
-  let targets = Runner.select_targets ~variant ~backend () in
-  let config =
-    {
-      Runner.default_config with
-      Runner.sample;
-      tau;
-      jobs;
-      readers;
-      fault =
-        (match fault with
-        | "none" -> None
-        | "skip-top-clean" -> Some `Skip_top_clean
-        | "worker-crash" -> Some `Worker_crash
-        | "stale-epoch" -> Some `Stale_epoch
-        | s -> invalid_arg ("unknown fault: " ^ s));
-    }
+  let load_trace file =
+    try Trace.load file
+    with Trace.Parse_error e ->
+      prerr_endline (Trace.parse_error_message ~file e);
+      exit 2
   in
-  if config.Runner.fault = Some `Worker_crash && jobs = 0 then
-    invalid_arg "--fault worker-crash requires --jobs >= 1 (it sabotages the pooled executor)";
-  if config.Runner.fault = Some `Stale_epoch && readers = 0 then
-    invalid_arg
-      "--fault stale-epoch requires --readers >= 1 (it breaks only the read plane, which direct queries never touch)";
-  let profile =
-    match profile with
-    | "default" -> Opgen.default
-    | "churny" -> Opgen.churny
-    | s -> invalid_arg ("unknown profile: " ^ s)
-  in
-  let tnames = String.concat ", " (List.map (fun t -> t.Runner.tg_name) targets) in
-  let fail_with ~seed_used failure shrunk =
-    print_string (Runner.report ?seed:seed_used ~failure ~shrunk ());
-    let dir = match trace_dir with Some d -> d | None -> Filename.get_temp_dir_name () in
-    let path =
-      Filename.concat dir
-        (match seed_used with
-        | Some s -> Printf.sprintf "dsdg-fuzz-seed%d.trace" s
-        | None -> "dsdg-fuzz-replay.trace")
+  match store with
+  | Some dir ->
+    (* kill-and-recover mode: the scheduling faults do not apply here;
+       the planted fault is the torn write *)
+    let torn =
+      match fault with
+      | "none" -> false
+      | "torn-write" -> true
+      | s ->
+        invalid_arg ("--store kill-and-recover mode supports --fault none | torn-write, not " ^ s)
     in
-    Trace.save path shrunk;
-    Printf.printf "minimal trace saved to %s\nreplay: dsdg fuzz --replay %s --variant %s --backend %s%s%s%s\n"
-      path path variant backend
-      (if config.Runner.fault <> None then " --fault " ^ fault else "")
-      (if jobs > 0 then Printf.sprintf " --jobs %d" jobs else "")
-      (if readers > 0 then Printf.sprintf " --readers %d" readers else "");
-    exit 1
-  in
-  match replay with
-  | Some file ->
-    let trace = Trace.load file in
-    Printf.printf "replaying %d ops from %s against %s\n%!" (List.length trace) file tnames;
-    (match Runner.run_trace ~config ~targets trace with
-    | Ok () -> Printf.printf "replay OK: all targets agree with the model, all invariants hold\n"
-    | Error f ->
-      let prefix = List.filteri (fun i _ -> i < f.Runner.f_step) trace in
-      let shrunk = Runner.shrink ~config ~targets prefix in
-      fail_with ~seed_used:None f shrunk)
+    let sweep_ops =
+      match replay with
+      | Some file -> load_trace file
+      | None -> Opgen.generate ~profile:(profile_of_string profile) ~seed ~ops ()
+    in
+    let config =
+      store_config ~sync
+        ~checkpoint_every:(if checkpoint_every > 0 then checkpoint_every else 7)
+        ~jobs
+    in
+    let variants =
+      match variant with "all" -> [ "amortized"; "loglog"; "worst-case" ] | v -> [ v ]
+    in
+    let backends = match backend with "all" -> [ "fm"; "sa"; "csa" ] | b -> [ b ] in
+    let n = List.length sweep_ops in
+    let stride = if kill_stride > 0 then kill_stride else max 1 (n / 16) in
+    Printf.printf
+      "kill-and-recover: %d op(s), crash every %d op(s)%s, %d target(s), scratch under %s\n%!" n
+      stride
+      (if torn then " with a torn final WAL record" else "")
+      (List.length variants * List.length backends)
+      dir;
+    let failed = ref false in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun b ->
+            let scratch = Filename.concat dir (Printf.sprintf "kill-%s-%s" v b) in
+            let o =
+              Store.Kill_check.sweep ~variant:(variant_of_string v) ~backend:(backend_of_string b)
+                ~sample ~tau ~config ~torn ~stride ~dir:scratch ~ops:sweep_ops ()
+            in
+            Printf.printf "%-20s %s\n%!" (v ^ "/" ^ b) (Store.Kill_check.outcome_to_string o);
+            if o.Store.Kill_check.kc_failures <> [] then failed := true)
+          backends)
+      variants;
+    if !failed then exit 1;
+    Printf.printf "kill-and-recover OK: every crash point recovered to the model\n"
   | None ->
-    Printf.printf "fuzzing %d stream(s) x %d ops against %s\n%!" streams ops tnames;
-    for s = 0 to streams - 1 do
-      let stream_seed = seed + s in
-      match Runner.run_stream ~config ~profile ~targets ~seed:stream_seed ~ops () with
-      | Runner.Pass ->
-        if streams > 1 then Printf.printf "stream seed=%d: ok\n%!" stream_seed
-      | Runner.Fail { failure; shrunk; _ } -> fail_with ~seed_used:(Some stream_seed) failure shrunk
-    done;
-    Printf.printf "fuzz OK: %d stream(s) x %d ops, %d target(s), model + invariants clean\n" streams
-      ops (List.length targets)
+    let targets = Runner.select_targets ~variant ~backend () in
+    let config =
+      {
+        Runner.default_config with
+        Runner.sample;
+        tau;
+        jobs;
+        readers;
+        fault =
+          (match fault with
+          | "none" -> None
+          | "skip-top-clean" -> Some `Skip_top_clean
+          | "worker-crash" -> Some `Worker_crash
+          | "stale-epoch" -> Some `Stale_epoch
+          | "torn-write" ->
+            invalid_arg
+              "--fault torn-write plants a half-written WAL record in the durable store; add --store DIR"
+          | s -> invalid_arg ("unknown fault: " ^ s));
+      }
+    in
+    if config.Runner.fault = Some `Worker_crash && jobs = 0 then
+      invalid_arg "--fault worker-crash requires --jobs >= 1 (it sabotages the pooled executor)";
+    if config.Runner.fault = Some `Stale_epoch && readers = 0 then
+      invalid_arg
+        "--fault stale-epoch requires --readers >= 1 (it breaks only the read plane, which direct queries never touch)";
+    let profile = profile_of_string profile in
+    let tnames = String.concat ", " (List.map (fun t -> t.Runner.tg_name) targets) in
+    let fail_with ~seed_used failure shrunk =
+      print_string (Runner.report ?seed:seed_used ~failure ~shrunk ());
+      let dir = match trace_dir with Some d -> d | None -> Filename.get_temp_dir_name () in
+      let path =
+        Filename.concat dir
+          (match seed_used with
+          | Some s -> Printf.sprintf "dsdg-fuzz-seed%d.trace" s
+          | None -> "dsdg-fuzz-replay.trace")
+      in
+      Trace.save path shrunk;
+      Printf.printf "minimal trace saved to %s\nreplay: dsdg fuzz --replay %s --variant %s --backend %s%s%s%s\n"
+        path path variant backend
+        (if config.Runner.fault <> None then " --fault " ^ fault else "")
+        (if jobs > 0 then Printf.sprintf " --jobs %d" jobs else "")
+        (if readers > 0 then Printf.sprintf " --readers %d" readers else "");
+      exit 1
+    in
+    (match replay with
+    | Some file ->
+      let trace = load_trace file in
+      Printf.printf "replaying %d ops from %s against %s\n%!" (List.length trace) file tnames;
+      (match Runner.run_trace ~config ~targets trace with
+      | Ok () -> Printf.printf "replay OK: all targets agree with the model, all invariants hold\n"
+      | Error f ->
+        let prefix = List.filteri (fun i _ -> i < f.Runner.f_step) trace in
+        let shrunk = Runner.shrink ~config ~targets prefix in
+        fail_with ~seed_used:None f shrunk)
+    | None ->
+      Printf.printf "fuzzing %d stream(s) x %d ops against %s\n%!" streams ops tnames;
+      for s = 0 to streams - 1 do
+        let stream_seed = seed + s in
+        match Runner.run_stream ~config ~profile ~targets ~seed:stream_seed ~ops () with
+        | Runner.Pass ->
+          if streams > 1 then Printf.printf "stream seed=%d: ok\n%!" stream_seed
+        | Runner.Fail { failure; shrunk; _ } -> fail_with ~seed_used:(Some stream_seed) failure shrunk
+      done;
+      Printf.printf "fuzz OK: %d stream(s) x %d ops, %d target(s), model + invariants clean\n" streams
+        ops (List.length targets))
 
 let files_arg = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
 let whole_arg = Arg.(value & flag & info [ "whole" ] ~doc:"Index whole files instead of lines.")
@@ -301,18 +497,52 @@ let ops_arg = Arg.(value & opt int 500 & info [ "ops" ] ~doc:"Demo operations.")
 let jobs_arg =
   Arg.(value & opt int 0
        & info [ "jobs" ]
-           ~doc:"Background-rebuild worker domains (0 = deterministic synchronous mode).")
+           ~doc:"Background-rebuild worker domains (0 = deterministic synchronous mode). With --store, any value >= 1 also moves checkpoint serialization onto a worker domain.")
 
 let readers_arg =
   Arg.(value & opt int 0
        & info [ "readers" ]
            ~doc:"Reader-pool domains serving queries from the latest published snapshot (0 = queries run on the caller's domain).")
 
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Durable store directory: recover on open, write-ahead-log every mutation. For fuzz, switches to the kill-and-recover sweep using DIR as scratch space.")
+
+let sync_arg =
+  Arg.(value & opt string "always"
+       & info [ "sync" ] ~docv:"POLICY"
+           ~doc:"WAL fsync policy: always | never | N (fsync every N records).")
+
+let checkpoint_every_arg =
+  Arg.(value & opt int 0
+       & info [ "checkpoint-every" ] ~docv:"K"
+           ~doc:"Snapshot the index and compact the WAL every K updates (0 = never automatically; fuzz --store defaults to 7).")
+
+let store_dir_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Store directory.")
+
+let save_files_arg = Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"FILE")
+
 let index_t =
   Cmd.v (Cmd.info "index" ~doc:"Index files and answer queries interactively")
     Term.(
       const index_cmd $ files_arg $ whole_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg
-      $ jobs_arg $ readers_arg)
+      $ jobs_arg $ readers_arg $ store_arg $ sync_arg $ checkpoint_every_arg)
+
+let save_t =
+  Cmd.v
+    (Cmd.info "save" ~doc:"Index files into a durable store directory and checkpoint")
+    Term.(
+      const save_cmd $ store_dir_pos $ save_files_arg $ whole_arg $ variant_arg $ backend_arg
+      $ sample_arg $ tau_arg $ sync_arg)
+
+let load_t =
+  Cmd.v
+    (Cmd.info "load" ~doc:"Recover an index from a store directory and answer queries interactively")
+    Term.(
+      const load_cmd $ store_dir_pos $ variant_arg $ backend_arg $ sample_arg $ tau_arg $ jobs_arg
+      $ readers_arg $ sync_arg $ checkpoint_every_arg)
 
 let demo_t = Cmd.v (Cmd.info "demo" ~doc:"Synthetic churn demo") Term.(const demo_cmd $ ops_arg)
 
@@ -324,7 +554,7 @@ let stats_t =
     (Cmd.info "stats" ~doc:"Scripted churn workload + observability dump")
     Term.(
       const stats_cmd $ ops_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg $ no_obs_arg
-      $ jobs_arg $ readers_arg)
+      $ jobs_arg $ readers_arg $ store_arg $ sync_arg $ checkpoint_every_arg)
 
 let fuzz_seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed (stream i uses seed+i).")
 let fuzz_ops_arg = Arg.(value & opt int 1000 & info [ "ops" ] ~doc:"Operations per stream.")
@@ -337,13 +567,17 @@ let fuzz_tau_arg = Arg.(value & opt int 4 & info [ "tau" ] ~doc:"Lazy-deletion t
 let fuzz_fault_arg =
   Arg.(value & opt string "none"
        & info [ "fault" ]
-           ~doc:"Plant a deliberate defect: none | skip-top-clean | worker-crash | stale-epoch (harness self-tests; worker-crash needs --jobs >= 1, stale-epoch needs --readers >= 1).")
+           ~doc:"Plant a deliberate defect: none | skip-top-clean | worker-crash | stale-epoch | torn-write (harness self-tests; worker-crash needs --jobs >= 1, stale-epoch needs --readers >= 1, torn-write needs --store DIR).")
 let fuzz_profile_arg =
   Arg.(value & opt string "default" & info [ "profile" ] ~doc:"Op-mix profile: default | churny.")
 let fuzz_replay_arg =
-  Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"TRACE" ~doc:"Replay a saved trace file instead of generating streams.")
+  Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"TRACE" ~doc:"Replay a saved trace file instead of generating streams (with --store: use its ops for the kill sweep).")
 let fuzz_trace_dir_arg =
   Arg.(value & opt (some dir) None & info [ "trace-dir" ] ~doc:"Where to save failing traces (default: system temp dir).")
+let fuzz_kill_stride_arg =
+  Arg.(value & opt int 0
+       & info [ "kill-stride" ]
+           ~doc:"Kill-and-recover mode: crash at every N-th op (0 = auto, about 16 crash points across the stream).")
 
 let fuzz_t =
   Cmd.v
@@ -351,8 +585,11 @@ let fuzz_t =
     Term.(
       const fuzz_cmd $ fuzz_seed_arg $ fuzz_ops_arg $ fuzz_streams_arg $ fuzz_variant_arg
       $ fuzz_backend_arg $ fuzz_sample_arg $ fuzz_tau_arg $ fuzz_fault_arg $ fuzz_profile_arg
-      $ fuzz_replay_arg $ fuzz_trace_dir_arg $ jobs_arg $ readers_arg)
+      $ fuzz_replay_arg $ fuzz_trace_dir_arg $ jobs_arg $ readers_arg $ store_arg $ sync_arg
+      $ checkpoint_every_arg $ fuzz_kill_stride_arg)
 
 let () =
   let doc = "dynamic compressed document collection index (Munro-Nekrich-Vitter, PODS 2015)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "dsdg" ~doc) [ index_t; demo_t; stats_t; fuzz_t ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "dsdg" ~doc) [ index_t; save_t; load_t; demo_t; stats_t; fuzz_t ]))

@@ -28,3 +28,7 @@ let out_degree t u = Dyn_binrel.count_labels_of_object t.rel u
 let in_degree t v = Dyn_binrel.count_objects_of_label t.rel v
 let space_bits t = Dyn_binrel.space_bits t.rel
 let stats t = Dyn_binrel.stats t.rel
+
+(* Persistence: a graph is its edge set. *)
+let iter_edges t ~f = Dyn_binrel.iter_pairs t.rel ~f
+let edges t = Dyn_binrel.pairs_list t.rel

@@ -26,3 +26,14 @@ val out_degree : t -> int -> int
 val in_degree : t -> int -> int
 val space_bits : t -> int
 val stats : t -> Dyn_binrel.stats
+
+(** {1 Persistence}
+
+    A graph's snapshot unit is its edge set (see
+    {!Dyn_binrel.iter_pairs}). *)
+
+(** Every live edge [u -> v], in no particular order. *)
+val iter_edges : t -> f:(int -> int -> unit) -> unit
+
+(** {!iter_edges} collected and sorted. *)
+val edges : t -> (int * int) list

@@ -113,6 +113,25 @@ let stats t =
   }
 let live_pairs t = t.live
 
+(* --- persistence (Dsdg_store) --- *)
+
+(* Every live pair, across the C0 buffer and all sub-structures, in no
+   particular order.  The snapshot unit: a relation has no other state
+   worth persisting (nf is restored as the pair count, the slot layout
+   is an amortization artifact rebuilt on reinsertion). *)
+let iter_pairs t ~f =
+  List.iter (fun (o, a) -> f o a) (buffer_pairs t.c0);
+  Array.iter
+    (function
+      | None -> ()
+      | Some sb -> List.iter (fun (o, a) -> f o a) (Static_binrel.live_pairs_list sb))
+    t.subs
+
+let pairs_list t =
+  let acc = ref [] in
+  iter_pairs t ~f:(fun o a -> acc := (o, a) :: !acc);
+  List.sort compare !acc
+
 let max_size t j =
   let nff = float_of_int (max t.nf 256) in
   let lg = max 2. (log nff /. log 2.) in

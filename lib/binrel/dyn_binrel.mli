@@ -47,3 +47,16 @@ val objects_of_label_list : t -> int -> int list
 val count_labels_of_object : t -> int -> int
 val count_objects_of_label : t -> int -> int
 val space_bits : t -> int
+
+(** {1 Persistence}
+
+    The snapshot unit serialized by [Dsdg_store]: the live pair set. A
+    relation has no other state worth persisting -- the sub-structure
+    layout is an amortization artifact, rebuilt on reinsertion. *)
+
+(** Every live [(object, label)] pair, across the C0 buffer and all
+    sub-structures, in no particular order. *)
+val iter_pairs : t -> f:(int -> int -> unit) -> unit
+
+(** {!iter_pairs} collected and sorted. *)
+val pairs_list : t -> (int * int) list

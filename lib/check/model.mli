@@ -50,7 +50,7 @@ module Rel : sig
   val create : unit -> r
 
   (** [false] if the pair is already present, mirroring
-      {!Dsdg_binrel.Dyn_binrel.add}. *)
+      [Dsdg_binrel.Dyn_binrel.add]. *)
   val add : r -> int -> int -> bool
 
   val remove : r -> int -> int -> bool

@@ -9,6 +9,20 @@ type op =
   | Mem of int
   | Drain
 
+type parse_error = { pe_line : int; pe_text : string; pe_reason : string }
+
+exception Parse_error of parse_error
+
+let parse_error_message ?file e =
+  Printf.sprintf "%sline %d: %s (offending record: %S)"
+    (match file with None -> "" | Some f -> f ^ ":")
+    e.pe_line e.pe_reason e.pe_text
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error e -> Some ("Trace.Parse_error: " ^ parse_error_message e)
+    | _ -> None)
+
 let op_to_string = function
   | Insert text -> Printf.sprintf "+ %S" text
   | Delete id -> Printf.sprintf "- %d" id
@@ -18,21 +32,34 @@ let op_to_string = function
   | Mem id -> Printf.sprintf "@ %d" id
   | Drain -> "!!"
 
-let op_of_string line =
-  let fail () = invalid_arg (Printf.sprintf "Trace.op_of_string: %S" line) in
-  if String.length line < 2 then fail ()
+(* One line -> op, with a field-level reason on failure.  The reasons
+   name the field that failed to scan so that located errors (WAL
+   recovery, --replay) can say *what* is corrupt, not just where. *)
+let parse_op line : (op, string) result =
+  let scan fmt k ~expect =
+    try Ok (Scanf.sscanf line fmt k)
+    with Scanf.Scan_failure _ | End_of_file | Failure _ -> Error expect
+  in
+  if String.length line < 2 then Error "record shorter than an opcode + argument"
   else
-    try
-      match line.[0] with
-      | '+' -> Scanf.sscanf line "+ %S" (fun s -> Insert s)
-      | '-' -> Scanf.sscanf line "- %d" (fun id -> Delete id)
-      | '?' -> Scanf.sscanf line "? %S" (fun p -> Search p)
-      | '#' -> Scanf.sscanf line "# %S" (fun p -> Count p)
-      | '=' -> Scanf.sscanf line "= %d %d %d" (fun doc off len -> Extract { doc; off; len })
-      | '@' -> Scanf.sscanf line "@ %d" (fun id -> Mem id)
-      | '!' -> if line = "!!" then Drain else fail ()
-      | _ -> fail ()
-    with Scanf.Scan_failure _ | End_of_file | Failure _ -> fail ()
+    match line.[0] with
+    | '+' -> scan "+ %S" (fun s -> Insert s) ~expect:"expected a quoted document after '+'"
+    | '-' -> scan "- %d" (fun id -> Delete id) ~expect:"expected a document id after '-'"
+    | '?' -> scan "? %S" (fun p -> Search p) ~expect:"expected a quoted pattern after '?'"
+    | '#' -> scan "# %S" (fun p -> Count p) ~expect:"expected a quoted pattern after '#'"
+    | '=' ->
+      scan "= %d %d %d"
+        (fun doc off len -> Extract { doc; off; len })
+        ~expect:"expected 'doc off len' integers after '='"
+    | '@' -> scan "@ %d" (fun id -> Mem id) ~expect:"expected a document id after '@'"
+    | '!' -> if line = "!!" then Ok Drain else Error "expected the bare drain record \"!!\""
+    | c -> Error (Printf.sprintf "unknown opcode %C" c)
+
+let op_of_string line =
+  match parse_op line with
+  | Ok op -> op
+  | Error reason ->
+    invalid_arg (Printf.sprintf "Trace.op_of_string: %S (%s)" line reason)
 
 let render ops =
   let buf = Buffer.create 256 in
@@ -51,10 +78,16 @@ let load path =
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let ops = ref [] in
+      let lineno = ref 0 in
       (try
          while true do
            let line = String.trim (input_line ic) in
-           if line <> "" && line.[0] <> '%' then ops := op_of_string line :: !ops
+           incr lineno;
+           if line <> "" && line.[0] <> '%' then
+             match parse_op line with
+             | Ok op -> ops := op :: !ops
+             | Error reason ->
+               raise (Parse_error { pe_line = !lineno; pe_text = line; pe_reason = reason })
          done
        with End_of_file -> ());
       List.rev !ops)

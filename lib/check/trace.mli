@@ -24,9 +24,25 @@ type op =
           ([Dynamic_index.drain]) -- a random forced-completion point,
           meaningful mostly for the pooled executor. *)
 
+(** A located parse failure: the 1-based line number, the offending
+    record verbatim, and which field failed to scan. Raised by {!load}
+    (and by the write-ahead-log reader in [Dsdg_store.Wal], which shares
+    this format) so that a corrupt log reports {e where} it is corrupt. *)
+type parse_error = { pe_line : int; pe_text : string; pe_reason : string }
+
+exception Parse_error of parse_error
+
+(** Render as ["file:line N: reason (offending record: ...)"]. *)
+val parse_error_message : ?file:string -> parse_error -> string
+
 val op_to_string : op -> string
 
-(** Raises [Invalid_argument] on garbage. *)
+(** One-line parse with a field-level reason; the building block of
+    {!op_of_string}, {!load} and the WAL reader. *)
+val parse_op : string -> (op, string) result
+
+(** Raises [Invalid_argument] on garbage (with the offending field in
+    the message). *)
 val op_of_string : string -> op
 
 (** Numbered, one op per line -- the shape printed with failures. *)
@@ -34,6 +50,7 @@ val render : op list -> string
 
 val save : string -> op list -> unit
 
-(** Raises [Invalid_argument] (with the offending line) on parse
-    errors, [Sys_error] if unreadable. *)
+(** Raises {!Parse_error} (with the line number and offending field) on
+    parse errors, [Sys_error] if unreadable. Blank lines and
+    [%]-comments are skipped but still counted for line numbers. *)
 val load : string -> op list

@@ -48,6 +48,26 @@ type view = {
   vw_count : string -> int;
   vw_extract : doc:int -> off:int -> len:int -> string option;
   vw_mem : int -> bool;
+  vw_components : unit -> (string * (int * string) array * bool array) list;
+      (* persistence: per-structure resident docs + deletion bit vectors,
+         extracted lazily (O(n)) from the frozen structures -- safe to
+         call on a checkpoint worker domain *)
+}
+
+(* The logical state of one published epoch -- everything [Dsdg_store]
+   serializes.  Derived structures (suffix arrays, BWTs, wavelet trees,
+   Reporters) are deliberately absent: they are deterministic functions
+   of the components, rebuilt on [restore]. *)
+type dump = {
+  dm_variant : variant;
+  dm_backend : backend;
+  dm_sample : int;
+  dm_tau : int;
+  dm_epoch : int;
+  dm_next_id : int;
+  dm_nf : int;
+  dm_del_counter : int; (* Dietz-Sleator cleaning counter; 0 for T1/T3 *)
+  dm_components : (string * (int * string) array * bool array) list;
 }
 
 type ops = {
@@ -64,6 +84,7 @@ type ops = {
   op_obs : unit -> Dsdg_obs.Obs.scope;
   op_events : unit -> string list;
   op_probe : unit -> probe;
+  op_next_id : unit -> int; (* persistence: the next id the index would assign *)
   op_view : unit -> view; (* latest published epoch: one Atomic.get *)
   op_drain : unit -> unit; (* land every in-flight background job now *)
   op_close : unit -> unit; (* drain + stop/join executor domains, if any *)
@@ -71,7 +92,15 @@ type ops = {
 
 module Exec = Dsdg_exec.Executor
 
-type t = { ops : ops; readers : Exec.t option }
+type t = {
+  ops : ops;
+  readers : Exec.t option;
+  (* creation parameters, recorded verbatim into every dump *)
+  variant : variant;
+  backend : backend;
+  sample : int;
+  tau : int;
+}
 
 module T1_fm = Transform1.Make (Fm_static)
 module T1_sa = Transform1.Make (Sa_static)
@@ -112,12 +141,13 @@ let enforce_conventions ops =
 
 (* Views get the same conventions as the write-plane ops: a query must
    behave identically whichever plane answers it. *)
-let mk_view ~epoch ~docs ~syms ~census ~search ~count ~extract ~mem =
+let mk_view ~epoch ~docs ~syms ~census ~search ~count ~extract ~mem ~components =
   {
     vw_epoch = epoch;
     vw_doc_count = docs;
     vw_total_symbols = syms;
     vw_census = census;
+    vw_components = components;
     vw_search =
       (fun p ~f ->
         if p = "" then invalid_arg "Dynamic_index: empty pattern";
@@ -132,8 +162,11 @@ let mk_view ~epoch ~docs ~syms ~census ~search ~count ~extract ~mem =
     vw_mem = mem;
   }
 
-let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fault
-    ?(jobs = 0) ?(readers = 0) () : t =
+(* Shared constructor behind [create] and [restore]: when [restore_from]
+   is set, each branch rebuilds the transformation from the dump's
+   components instead of starting empty -- everything else (closure
+   wiring, conventions, reader pool) is identical. *)
+let make ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ?restore_from () : t =
   let t1_probe census_full level_capacity nf () =
     {
       pr_census = census_full ();
@@ -161,7 +194,13 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
   let t1 schedule name =
     match backend with
     | Fm ->
-      let t = T1_fm.create ~schedule ~sample ~tau ~jobs () in
+      let t =
+        match restore_from with
+        | None -> T1_fm.create ~schedule ~sample ~tau ~jobs ()
+        | Some d ->
+          T1_fm.restore ~schedule ~sample ~tau ~jobs ~next_id:d.dm_next_id ~nf:d.dm_nf
+            ~epoch:d.dm_epoch ~components:d.dm_components ()
+      in
       {
         op_insert = T1_fm.insert t;
         op_delete = T1_fm.delete t;
@@ -177,6 +216,7 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
         op_events = (fun () -> T1_fm.events t);
         op_probe =
           t1_probe (fun () -> T1_fm.census_full t) (T1_fm.level_capacity t) (fun () -> T1_fm.nf t);
+        op_next_id = (fun () -> T1_fm.next_id t);
         op_view =
           (fun () ->
             let v = T1_fm.view t in
@@ -185,12 +225,19 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
               ~search:(fun p ~f -> T1_fm.view_search v p ~f)
               ~count:(T1_fm.view_count v)
               ~extract:(fun ~doc ~off ~len -> T1_fm.view_extract v ~doc ~off ~len)
-              ~mem:(T1_fm.view_mem v));
+              ~mem:(T1_fm.view_mem v)
+              ~components:(fun () -> T1_fm.view_components v));
         op_drain = (fun () -> ());
         op_close = (fun () -> T1_fm.close t);
       }
     | Plain_sa ->
-      let t = T1_sa.create ~schedule ~sample ~tau ~jobs () in
+      let t =
+        match restore_from with
+        | None -> T1_sa.create ~schedule ~sample ~tau ~jobs ()
+        | Some d ->
+          T1_sa.restore ~schedule ~sample ~tau ~jobs ~next_id:d.dm_next_id ~nf:d.dm_nf
+            ~epoch:d.dm_epoch ~components:d.dm_components ()
+      in
       {
         op_insert = T1_sa.insert t;
         op_delete = T1_sa.delete t;
@@ -206,6 +253,7 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
         op_events = (fun () -> T1_sa.events t);
         op_probe =
           t1_probe (fun () -> T1_sa.census_full t) (T1_sa.level_capacity t) (fun () -> T1_sa.nf t);
+        op_next_id = (fun () -> T1_sa.next_id t);
         op_view =
           (fun () ->
             let v = T1_sa.view t in
@@ -214,12 +262,19 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
               ~search:(fun p ~f -> T1_sa.view_search v p ~f)
               ~count:(T1_sa.view_count v)
               ~extract:(fun ~doc ~off ~len -> T1_sa.view_extract v ~doc ~off ~len)
-              ~mem:(T1_sa.view_mem v));
+              ~mem:(T1_sa.view_mem v)
+              ~components:(fun () -> T1_sa.view_components v));
         op_drain = (fun () -> ());
         op_close = (fun () -> T1_sa.close t);
       }
     | Csa ->
-      let t = T1_csa.create ~schedule ~sample ~tau ~jobs () in
+      let t =
+        match restore_from with
+        | None -> T1_csa.create ~schedule ~sample ~tau ~jobs ()
+        | Some d ->
+          T1_csa.restore ~schedule ~sample ~tau ~jobs ~next_id:d.dm_next_id ~nf:d.dm_nf
+            ~epoch:d.dm_epoch ~components:d.dm_components ()
+      in
       {
         op_insert = T1_csa.insert t;
         op_delete = T1_csa.delete t;
@@ -236,6 +291,7 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
         op_probe =
           t1_probe (fun () -> T1_csa.census_full t) (T1_csa.level_capacity t)
             (fun () -> T1_csa.nf t);
+        op_next_id = (fun () -> T1_csa.next_id t);
         op_view =
           (fun () ->
             let v = T1_csa.view t in
@@ -244,7 +300,8 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
               ~search:(fun p ~f -> T1_csa.view_search v p ~f)
               ~count:(T1_csa.view_count v)
               ~extract:(fun ~doc ~off ~len -> T1_csa.view_extract v ~doc ~off ~len)
-              ~mem:(T1_csa.view_mem v));
+              ~mem:(T1_csa.view_mem v)
+              ~components:(fun () -> T1_csa.view_components v));
         op_drain = (fun () -> ());
         op_close = (fun () -> T1_csa.close t);
       }
@@ -257,7 +314,13 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
   | Worst_case -> (
     match backend with
     | Fm ->
-      let t = T2_fm.create ~sample ~tau ?fault ~jobs () in
+      let t =
+        match restore_from with
+        | None -> T2_fm.create ~sample ~tau ?fault ~jobs ()
+        | Some d ->
+          T2_fm.restore ~sample ~tau ?fault ~jobs ~next_id:d.dm_next_id ~nf:d.dm_nf
+            ~del_counter:d.dm_del_counter ~epoch:d.dm_epoch ~components:d.dm_components ()
+      in
       {
         op_insert = T2_fm.insert t;
         op_delete = T2_fm.delete t;
@@ -275,6 +338,7 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
           t2_probe (fun () -> T2_fm.census t) (T2_fm.level_capacity t) (fun () -> T2_fm.nf t)
             (fun () -> T2_fm.pending_jobs t) (fun () -> T2_fm.stats t)
             (fun () -> T2_fm.clean_schedule t);
+        op_next_id = (fun () -> T2_fm.next_id t);
         op_view =
           (fun () ->
             let v = T2_fm.view t in
@@ -283,12 +347,19 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
               ~search:(fun p ~f -> T2_fm.view_search v p ~f)
               ~count:(T2_fm.view_count v)
               ~extract:(fun ~doc ~off ~len -> T2_fm.view_extract v ~doc ~off ~len)
-              ~mem:(T2_fm.view_mem v));
+              ~mem:(T2_fm.view_mem v)
+              ~components:(fun () -> T2_fm.view_components v));
         op_drain = (fun () -> T2_fm.drain t);
         op_close = (fun () -> T2_fm.close t);
       }
     | Plain_sa ->
-      let t = T2_sa.create ~sample ~tau ?fault ~jobs () in
+      let t =
+        match restore_from with
+        | None -> T2_sa.create ~sample ~tau ?fault ~jobs ()
+        | Some d ->
+          T2_sa.restore ~sample ~tau ?fault ~jobs ~next_id:d.dm_next_id ~nf:d.dm_nf
+            ~del_counter:d.dm_del_counter ~epoch:d.dm_epoch ~components:d.dm_components ()
+      in
       {
         op_insert = T2_sa.insert t;
         op_delete = T2_sa.delete t;
@@ -306,6 +377,7 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
           t2_probe (fun () -> T2_sa.census t) (T2_sa.level_capacity t) (fun () -> T2_sa.nf t)
             (fun () -> T2_sa.pending_jobs t) (fun () -> T2_sa.stats t)
             (fun () -> T2_sa.clean_schedule t);
+        op_next_id = (fun () -> T2_sa.next_id t);
         op_view =
           (fun () ->
             let v = T2_sa.view t in
@@ -314,12 +386,19 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
               ~search:(fun p ~f -> T2_sa.view_search v p ~f)
               ~count:(T2_sa.view_count v)
               ~extract:(fun ~doc ~off ~len -> T2_sa.view_extract v ~doc ~off ~len)
-              ~mem:(T2_sa.view_mem v));
+              ~mem:(T2_sa.view_mem v)
+              ~components:(fun () -> T2_sa.view_components v));
         op_drain = (fun () -> T2_sa.drain t);
         op_close = (fun () -> T2_sa.close t);
       }
     | Csa ->
-      let t = T2_csa.create ~sample ~tau ?fault ~jobs () in
+      let t =
+        match restore_from with
+        | None -> T2_csa.create ~sample ~tau ?fault ~jobs ()
+        | Some d ->
+          T2_csa.restore ~sample ~tau ?fault ~jobs ~next_id:d.dm_next_id ~nf:d.dm_nf
+            ~del_counter:d.dm_del_counter ~epoch:d.dm_epoch ~components:d.dm_components ()
+      in
       {
         op_insert = T2_csa.insert t;
         op_delete = T2_csa.delete t;
@@ -337,6 +416,7 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
           t2_probe (fun () -> T2_csa.census t) (T2_csa.level_capacity t) (fun () -> T2_csa.nf t)
             (fun () -> T2_csa.pending_jobs t) (fun () -> T2_csa.stats t)
             (fun () -> T2_csa.clean_schedule t);
+        op_next_id = (fun () -> T2_csa.next_id t);
         op_view =
           (fun () ->
             let v = T2_csa.view t in
@@ -345,7 +425,8 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
               ~search:(fun p ~f -> T2_csa.view_search v p ~f)
               ~count:(T2_csa.view_count v)
               ~extract:(fun ~doc ~off ~len -> T2_csa.view_extract v ~doc ~off ~len)
-              ~mem:(T2_csa.view_mem v));
+              ~mem:(T2_csa.view_mem v)
+              ~components:(fun () -> T2_csa.view_components v));
         op_drain = (fun () -> T2_csa.drain t);
         op_close = (fun () -> T2_csa.close t);
       })
@@ -358,7 +439,11 @@ let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fau
            ~workers:readers ())
     else None
   in
-  { ops; readers }
+  { ops; readers; variant; backend; sample; tau }
+
+let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fault
+    ?(jobs = 0) ?(readers = 0) () : t =
+  make ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ()
 
 (* Insert a document; returns its id. *)
 let insert t text = t.ops.op_insert text
@@ -413,6 +498,63 @@ let readers t =
   match t.readers with
   | None -> 0
   | Some ex -> ( match Exec.mode ex with `Sync -> 0 | `Pool n -> n)
+
+(* --- persistence (Dsdg_store) --- *)
+
+let view_components v = v.vw_components ()
+
+(* Writer-side mutable scalars a checkpoint must capture synchronously
+   (on the writer, at the trigger update) before handing the immutable
+   view to a worker domain for serialization. *)
+let dump_scalars t =
+  let p = t.ops.op_probe () in
+  ( t.ops.op_next_id (),
+    p.pr_nf,
+    match p.pr_clean with Some (c, _) -> c | None -> 0 )
+
+(* Full synchronous dump: land in-flight jobs first so the snapshot is
+   canonical (C0/Cj/Tk only), then capture the published view plus the
+   writer scalars.  Background checkpoints skip the drain and dump the
+   raw view instead -- restore folds any L/Temp components it finds. *)
+let dump t : dump =
+  t.ops.op_drain ();
+  let v = t.ops.op_view () in
+  let next_id, nf, del_counter = dump_scalars t in
+  {
+    dm_variant = t.variant;
+    dm_backend = t.backend;
+    dm_sample = t.sample;
+    dm_tau = t.tau;
+    dm_epoch = v.vw_epoch;
+    dm_next_id = next_id;
+    dm_nf = nf;
+    dm_del_counter = del_counter;
+    dm_components = v.vw_components ();
+  }
+
+(* Two-phase capture for background checkpoints: [checkpoint_header] is
+   O(1) and must run on the writer domain (it reads writer-mutable
+   scalars); [checkpoint_body] is the O(n) document extraction over the
+   immutable view and may run on a checkpoint worker domain. *)
+let checkpoint_header t (v : view) : dump =
+  let next_id, nf, del_counter = dump_scalars t in
+  {
+    dm_variant = t.variant;
+    dm_backend = t.backend;
+    dm_sample = t.sample;
+    dm_tau = t.tau;
+    dm_epoch = v.vw_epoch;
+    dm_next_id = next_id;
+    dm_nf = nf;
+    dm_del_counter = del_counter;
+    dm_components = [];
+  }
+
+let checkpoint_body (d : dump) (v : view) : dump = { d with dm_components = v.vw_components () }
+
+let restore ?fault ?(jobs = 0) ?(readers = 0) (d : dump) : t =
+  make ~variant:d.dm_variant ~backend:d.dm_backend ~sample:d.dm_sample ~tau:d.dm_tau ?fault
+    ~jobs ~readers ~restore_from:d ()
 
 (* Run [f] against the latest published view -- on one of the reader
    domains when the index was created with [readers >= 1], inline

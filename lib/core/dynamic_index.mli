@@ -59,6 +59,7 @@ val insert : t -> string -> int
 (** [delete t id]; [false] if no such live document. *)
 val delete : t -> int -> bool
 
+(** Whether [id] names a live document. O(1). *)
 val mem : t -> int -> bool
 
 (** All (document, offset) occurrences, sorted. Raises
@@ -82,6 +83,7 @@ val count : t -> string -> int
     document. *)
 val extract : t -> doc:int -> off:int -> len:int -> string option
 
+(** Number of live documents. *)
 val doc_count : t -> int
 
 (** Live symbols including one separator per document. *)
@@ -126,6 +128,7 @@ type probe = {
           schedule keeps the counter below twice the period. *)
 }
 
+(** Capture the current structural state as a {!probe}. *)
 val probe : t -> probe
 
 (** {1 Read plane}
@@ -141,6 +144,7 @@ val probe : t -> probe
     (empty-pattern rejection, [len = 0] extraction). *)
 type view
 
+(** The latest published snapshot: one [Atomic.get], wait-free. *)
 val view : t -> view
 
 (** Number of completed updates when the view was published (0 = the
@@ -148,20 +152,29 @@ val view : t -> view
     after exactly [e] successful updates). *)
 val view_epoch : view -> int
 
+(** Live documents at publish time. *)
 val view_doc_count : view -> int
+
+(** Live symbols (one separator per document) at publish time. *)
 val view_total_symbols : view -> int
 
 (** Per-structure [(name, live, dead)] symbol counts frozen at publish
     time (same names as {!probe}'s census). *)
 val view_census : view -> (string * int * int) list
 
+(** Liveness at publish time, like {!mem}. *)
 val view_mem : view -> int -> bool
 
 (** All (document, offset) occurrences, sorted. *)
 val view_search : view -> string -> (int * int) list
 
+(** Streamed occurrences, like {!iter_matches}. *)
 val view_iter_matches : view -> string -> f:(doc:int -> off:int -> unit) -> unit
+
+(** Occurrence count, like {!count}. *)
 val view_count : view -> string -> int
+
+(** Substring extraction, like {!extract}. *)
 val view_extract : view -> doc:int -> off:int -> len:int -> string option
 
 (** Size of the reader pool ([0] when queries run on the caller's
@@ -174,6 +187,65 @@ val readers : t -> int
     pooled query sees the epoch current when it actually runs.
     Exceptions from [f] are re-raised on the caller. *)
 val query : t -> (view -> 'a) -> 'a
+
+(** {1 Persistence}
+
+    Hooks consumed by [Dsdg_store]: a {!dump} is the logical state of
+    one published epoch -- per-structure resident documents + deletion
+    bit vectors under their census names, plus the scalars that are not
+    derivable from them. Derived structures (suffix arrays, BWTs,
+    wavelet trees, Reporters) are deliberately absent from a dump: they
+    are deterministic functions of the components and are rebuilt by
+    {!restore}. See DESIGN.md section 10. *)
+
+type dump = {
+  dm_variant : variant;
+  dm_backend : backend;
+  dm_sample : int;
+  dm_tau : int;
+  dm_epoch : int;  (** completed updates at capture time *)
+  dm_next_id : int;  (** next document id the index would assign *)
+  dm_nf : int;  (** global size snapshot nf (schedule state) *)
+  dm_del_counter : int;
+      (** Dietz-Sleator cleaning counter ([Worst_case] only; [0]
+          otherwise) *)
+  dm_components : (string * (int * string) array * bool array) list;
+      (** per-structure (census name, resident docs, deletion bit
+          vector) *)
+}
+
+(** Full synchronous dump: drains in-flight background jobs first (so
+    the component list is canonical -- [C0]/[Cj]/[Tk] only), then
+    captures the published view and the writer scalars. O(n). *)
+val dump : t -> dump
+
+(** [(next_id, nf, del_counter)] -- the writer-mutable scalars a
+    checkpoint must capture synchronously on the writer domain. *)
+val dump_scalars : t -> int * int * int
+
+(** Per-structure (census name, resident documents, deletion bit
+    vector) of a published view. Reads only immutable data -- safe on
+    any domain. O(n). *)
+val view_components : view -> (string * (int * string) array * bool array) list
+
+(** Two-phase capture for background checkpoints: [checkpoint_header t
+    v] is O(1) and must run on the writer domain (it reads the mutable
+    scalars); it returns a dump with [dm_components = []]. *)
+val checkpoint_header : t -> view -> dump
+
+(** [checkpoint_body d v] fills [d.dm_components] from the immutable
+    view [v] -- the O(n) extraction, safe on a checkpoint worker
+    domain. *)
+val checkpoint_body : dump -> view -> dump
+
+(** Rebuild an equivalent index from a dump: same document ids, same
+    query answers, same schedule state, first published view continuing
+    [dm_epoch]. Locked-copy / staging components ([L*], [Temp*]) in the
+    dump mark rebuild jobs that died with the process; their live
+    documents are folded into fresh top collections. [fault], [jobs]
+    and [readers] are fresh runtime choices, not part of the dump.
+    O(n) index construction. *)
+val restore : ?fault:Transform2.fault -> ?jobs:int -> ?readers:int -> dump -> t
 
 (** Land every in-flight background job now (each counts as a forced
     completion); no-op for the amortized variants. *)

@@ -239,4 +239,36 @@ module Make (I : Static_index.S) = struct
     match Hashtbl.find_opt v.v_slot_of id with
     | None -> None
     | Some slot -> if v.v_dead.(slot) then None else Some (I.doc_len v.v_index slot)
+
+  (* --- persistence (Dsdg_store) --- *)
+
+  (* The snapshot unit: every resident document (live and dead, in slot
+     order, contents re-extracted from the static index) plus the
+     deletion bit vector.  Everything read here is immutable inside a
+     view, so [view_dump] may run on a checkpoint worker domain while
+     the write plane keeps flipping dead bits in the live structure. *)
+  let dump_of ~index ~ids ~(dead : bool array) =
+    let docs =
+      Array.mapi
+        (fun slot id ->
+          let len = I.doc_len index slot in
+          (id, I.extract index ~doc:slot ~off:0 ~len))
+        ids
+    in
+    (docs, Array.copy dead)
+
+  let dump t = dump_of ~index:t.index ~ids:t.ids ~dead:t.dead
+  let view_dump v = dump_of ~index:v.v_index ~ids:v.v_ids ~dead:v.v_dead
+
+  (* Inverse of [dump]: rebuild the static index over all resident
+     documents, then replay the deletion bit vector so the Reporter,
+     the census counters and every query answer come back exactly as
+     dumped.  (The Reporter is reconstructed, not serialized raw: it is
+     a deterministic function of the index and the dead set.) *)
+  let of_dump ~sample ~tau (docs : (int * string) array) (dead : bool array) =
+    if Array.length dead <> Array.length docs then
+      invalid_arg "Semi_static.of_dump: deletion bit vector length mismatch";
+    let t = build ~sample ~tau docs in
+    Array.iteri (fun slot d -> if d then ignore (delete t (fst docs.(slot)))) dead;
+    t
 end

@@ -3,9 +3,9 @@
     Reporter's integrated counter (Theorem 1), document liveness
     bookkeeping and the n/tau purge threshold.
 
-    The only post-build mutation is {!Make.delete}; when dead symbols
+    The only post-build mutation is [delete]; when dead symbols
     exceed live/tau the owner is expected to rebuild (see
-    {!Make.needs_purge}) -- this module never rebuilds itself. *)
+    [needs_purge]) -- this module never rebuilds itself. *)
 
 (** The n/tau purge rule as a standalone predicate, computed in division
     form so [dead * tau] cannot overflow near [max_int]. *)
@@ -28,14 +28,22 @@ module Make (I : Static_index.S) : sig
   (** [false] for dead or absent documents. *)
   val mem : t -> int -> bool
 
+  (** Symbols of live documents, separators included. O(1). *)
   val live_symbols : t -> int
+
+  (** Symbols of lazily-deleted documents still resident. O(1). *)
   val dead_symbols : t -> int
+
+  (** [live_symbols + dead_symbols] -- the built size. O(1). *)
   val total_symbols : t -> int
+
+  (** Live documents. O(1). *)
   val doc_count : t -> int
 
   (** Whether dead symbols exceed the n/tau threshold. *)
   val needs_purge : t -> bool
 
+  (** No live documents left. *)
   val is_empty : t -> bool
 
   (** Lazy deletion: zeroes the document's rows; [false] if absent or
@@ -51,14 +59,20 @@ module Make (I : Static_index.S) : sig
   (** Substring of a live document; [None] if dead/absent/out of range. *)
   val extract : t -> doc:int -> off:int -> len:int -> string option
 
+  (** Length of a live document; [None] if dead or absent. *)
   val doc_len : t -> int -> int option
+
+  (** Ids of the live documents, ascending. *)
   val live_ids : t -> int list
 
   (** Live documents with contents re-extracted from the index; [tick]
       is charged once per extracted symbol. *)
   val live_docs : ?tick:(unit -> unit) -> t -> (int * string) list
 
+  (** Measured bits: static index + Reporter + deletion bookkeeping. *)
   val space_bits : t -> int
+
+  (** The wrapped static index (shared, immutable). *)
   val index : t -> I.t
 
   (** {1 Read plane} *)
@@ -67,12 +81,47 @@ module Make (I : Static_index.S) : sig
       copy, amortized against the deletes that invalidated it. *)
   val snapshot : t -> view
 
+  (** Liveness at snapshot time, like [mem]. *)
   val view_mem : view -> int -> bool
+
+  (** Like [live_symbols], frozen at snapshot time. *)
   val view_live_symbols : view -> int
+
+  (** Like [dead_symbols], frozen at snapshot time. *)
   val view_dead_symbols : view -> int
+
+  (** Like [doc_count], frozen at snapshot time. *)
   val view_doc_count : view -> int
+
+  (** Like [search], against the snapshot's dead set. *)
   val view_search : view -> string -> f:(doc:int -> off:int -> unit) -> unit
+
+  (** Like [count], against the snapshot's Reporter. *)
   val view_count : view -> string -> int
+
+  (** Like [extract], against the snapshot's dead set. *)
   val view_extract : view -> doc:int -> off:int -> len:int -> string option
+
+  (** Like [doc_len], against the snapshot's dead set. *)
   val view_doc_len : view -> int -> int option
+
+  (** {1 Persistence}
+
+      The snapshot unit serialized by [Dsdg_store]: every resident
+      document (live and dead, in slot order, contents re-extracted from
+      the static index) plus the deletion bit vector. The Reporter is
+      not serialized -- it is a deterministic function of the index and
+      the dead set, reconstructed by {!of_dump}. *)
+
+  (** O(n) extraction; mutates nothing. *)
+  val dump : t -> (int * string) array * bool array
+
+  (** Same, from an immutable view -- safe on a checkpoint worker domain
+      while the write plane keeps deleting. *)
+  val view_dump : view -> (int * string) array * bool array
+
+  (** Inverse of {!dump}: rebuild, then replay the deletion bit vector,
+      restoring census counters and query answers exactly. Raises
+      [Invalid_argument] if the bit vector length does not match. *)
+  val of_dump : sample:int -> tau:int -> (int * string) array -> bool array -> t
 end

@@ -12,6 +12,7 @@
 module type S = sig
   type t
 
+  (** Short backend tag, e.g. ["fm"], used in [describe] strings. *)
   val name : string
 
   (** Construction; [tick] is called once per O(1) work so the build can
@@ -19,7 +20,11 @@ module type S = sig
       parameter s. *)
   val build : ?tick:(unit -> unit) -> sample:int -> string array -> t
 
+  (** Number of indexed documents (they are all resident: deletion is
+      the wrapping [Semi_static]'s job). *)
   val doc_count : t -> int
+
+  (** Length of document [i] in symbols, separator excluded. O(1). *)
   val doc_len : t -> int -> int
 
   (** Total symbols including one separator per document. *)
@@ -42,5 +47,7 @@ module type S = sig
       to implement lazy deletion: O(|doc| + tSA) total. *)
   val iter_doc_rows : t -> int -> f:(int -> unit) -> unit
 
+  (** Measured size of every component, in bits (the empirical side of
+      the paper's space claims). *)
   val space_bits : t -> int
 end

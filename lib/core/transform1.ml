@@ -290,6 +290,68 @@ module Make (I : Static_index.S) = struct
            (Printf.sprintf "C%d" j, SS.view_live_symbols sv, SS.view_dead_symbols sv))
          v.vw_subs
 
+  (* --- persistence (Dsdg_store) --- *)
+
+  (* The snapshot units of a published epoch, under their census names:
+     C0 as its frozen live documents, every sub-collection as resident
+     documents + deletion bit vector.  Everything here is immutable, so
+     a checkpoint job may serialize it on a worker domain. *)
+  let view_components v =
+    ("C0", Array.of_list (Gsuffix_tree.view_docs v.vw_gst), [||])
+    :: List.map
+         (fun (j, sv) ->
+           let docs, dead = SS.view_dump sv in
+           (Printf.sprintf "C%d" j, docs, dead))
+         v.vw_subs
+
+  let next_id t = t.next_id
+
+  (* Inverse of [view_components]: rebuild every structure where the
+     dump says it lived.  The capacity invariants hold by construction
+     -- each component held at most max_j live symbols under [nf] when
+     the dump was taken, and both the sizes and nf are restored
+     verbatim.  The first published view continues the dumped epoch so
+     that epoch = completed updates keeps holding across a restart. *)
+  let restore ?schedule ?sample ?tau ?jobs ~next_id:nid ~nf ~epoch ~components () =
+    let t = create ?schedule ?sample ?tau ?jobs () in
+    t.nf <- max 256 nf;
+    t.next_id <- nid;
+    List.iter
+      (fun (name, (docs : (int * string) array), (dead : bool array)) ->
+        if name = "C0" then
+          Array.iteri
+            (fun i (id, text) ->
+              if i >= Array.length dead || not dead.(i) then begin
+                Gsuffix_tree.insert t.gst ~doc:id text;
+                Hashtbl.replace t.locs id In_buffer;
+                t.live <- t.live + String.length text + 1
+              end)
+            docs
+        else
+          match
+            if String.length name >= 2 && name.[0] = 'C' then
+              int_of_string_opt (String.sub name 1 (String.length name - 1))
+            else None
+          with
+          | Some j when j >= 1 && j <= max_slots && t.subs.(j) = None ->
+            let ss = SS.of_dump ~sample:t.sample ~tau:t.tau docs dead in
+            if not (SS.is_empty ss) then begin
+              t.subs.(j) <- Some ss;
+              Array.iteri
+                (fun i (id, _) ->
+                  if not dead.(i) then Hashtbl.replace t.locs id (In_sub j))
+                docs;
+              t.live <- t.live + SS.live_symbols ss
+            end
+          | _ -> invalid_arg ("Transform1.restore: unknown or duplicate component " ^ name))
+      components;
+    publish t ~cause:`Update;
+    let v = Atomic.get t.published in
+    Atomic.set t.published { v with vw_epoch = epoch };
+    Obs.set_gauge t.g_epoch_current epoch;
+    Obs.record t.obs (Obs.Note (Printf.sprintf "restored %d component(s) at epoch %d" (List.length components) epoch));
+    t
+
   (* Move every live document into the top sub-collection and re-snapshot
      nf (the paper's global re-build). *)
   let global_rebuild t ~extra =

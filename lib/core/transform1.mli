@@ -8,7 +8,7 @@
     Transformation 3 from Appendix A.4.
 
     Every completed update additionally publishes an immutable
-    {!Make.view} through an atomic epoch pointer, so queries can run on
+    [view] through an atomic epoch pointer, so queries can run on
     other domains against the latest snapshot while the single writer
     keeps mutating (see DESIGN.md section 9). *)
 
@@ -50,31 +50,52 @@ module Make (I : Static_index.S) : sig
   (** [false] if the document is absent (or already deleted). *)
   val delete : t -> int -> bool
 
+  (** Whether [id] names a live document. O(1). *)
   val mem : t -> int -> bool
+
+  (** Report every surviving occurrence, querying C0 and each
+      sub-collection (Lemma 4's query decomposition). *)
   val search : t -> string -> f:(doc:int -> off:int -> unit) -> unit
 
   (** All [(doc, off)] occurrences, sorted. *)
   val matches : t -> string -> (int * int) list
 
+  (** Occurrence count, summed across sub-collections (Theorem 1). *)
   val count : t -> string -> int
+
+  (** Substring of a live document; [None] if dead or out of range. *)
   val extract : t -> doc:int -> off:int -> len:int -> string option
+
+  (** Live documents across C0 and all sub-collections. *)
   val doc_count : t -> int
+
+  (** Live symbols, one separator per document. *)
   val total_symbols : t -> int
+
+  (** Measured bits of every live structure. *)
   val space_bits : t -> int
 
   (** Merge everything into one sub-collection now (an explicit global
       rebuild). *)
   val consolidate : t -> unit
 
+  (** Amortization counters (merges, purges, global rebuilds). *)
   val stats : t -> stats
+
+  (** The instance's observability scope. *)
   val obs : t -> Dsdg_obs.Obs.scope
+
+  (** Recent structural events, newest first. *)
   val events : t -> string list
 
   (** Current nf snapshot and schedule capacity of level [j], for the
       differential checker's invariant oracles. *)
   val nf : t -> int
 
+  (** Schedule capacity of level [j] under the current [nf]. *)
   val level_capacity : t -> int -> int
+
+  (** ["geometric"] or ["doubling"]. *)
   val schedule_name : t -> string
 
   (** Live sizes of C0, C1..Cr (the measured counterpart of Figure 1). *)
@@ -95,17 +116,68 @@ module Make (I : Static_index.S) : sig
       updates. *)
 
   val view : t -> view
+
+  (** Completed updates when the view was published. *)
   val view_epoch : view -> int
+
+  (** The nf snapshot frozen at publish time. *)
   val view_nf : view -> int
+
+  (** Like [doc_count], frozen at publish time. *)
   val view_doc_count : view -> int
+
+  (** Like [total_symbols], frozen at publish time. *)
   val view_total_symbols : view -> int
+
+  (** Like [search], against the snapshot. *)
   val view_search : view -> string -> f:(doc:int -> off:int -> unit) -> unit
+
+  (** Like [matches], against the snapshot. *)
   val view_matches : view -> string -> (int * int) list
+
+  (** Like [count], against the snapshot. *)
   val view_count : view -> string -> int
+
+  (** Like [mem], against the snapshot. *)
   val view_mem : view -> int -> bool
+
+  (** Like [extract], against the snapshot. *)
   val view_extract : view -> doc:int -> off:int -> len:int -> string option
 
   (** Per-structure (name, live, dead) symbol counts frozen at publish
       time. *)
   val view_census : view -> (string * int * int) list
+
+  (** {1 Persistence}
+
+      Hooks for [Dsdg_store]: a dump is the logical state of a published
+      epoch -- per-structure resident documents + deletion bit vectors
+      under their census names -- from which {!restore} rebuilds an
+      equivalent index (same document ids, same query answers, same
+      schedule state). *)
+
+  (** The next document id the index would assign. *)
+  val next_id : t -> int
+
+  (** Snapshot units of a published epoch under their census names:
+      [("C0", live docs, [||])] plus [("Cj", resident docs, deletion bit
+      vector)] per sub-collection. Immutable inputs only -- safe to call
+      (and serialize from) a checkpoint worker domain. *)
+  val view_components : view -> (string * (int * string) array * bool array) list
+
+  (** Inverse of {!view_components}: rebuild every structure where the
+      dump says it lived, restore [nf] and the id counter, and publish a
+      first view continuing [epoch]. Raises [Invalid_argument] on a
+      component name that is not [C0]/[Cj]. O(n) index construction. *)
+  val restore :
+    ?schedule:schedule ->
+    ?sample:int ->
+    ?tau:int ->
+    ?jobs:int ->
+    next_id:int ->
+    nf:int ->
+    epoch:int ->
+    components:(string * (int * string) array * bool array) list ->
+    unit ->
+    t
 end

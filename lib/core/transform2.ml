@@ -518,28 +518,12 @@ module Make (I : Static_index.S) = struct
         end)
       !acc
 
-  let restructure t =
-    Obs.incr t.c_restructures;
-    (* finish pending jobs first so no work is lost *)
-    for j = 0 to max_slots + 1 do
-      force_job t j
-    done;
-    let docs = all_docs t in
-    t.gst <- Gsuffix_tree.create ();
-    t.locked_gst <- None;
-    Array.fill t.subs 0 (Array.length t.subs) None;
-    Array.fill t.locked 0 (Array.length t.locked) None;
-    Array.fill t.temps 0 (Array.length t.temps) None;
-    t.tops <- [];
-    let total = List.fold_left (fun a (_, s) -> a + String.length s + 1) 0 docs in
-    t.nf <- max 256 total;
-    t.live <- total;
-    (* every top is rebuilt dead-free below, so the cleaning epoch
-       restarts (nf, and with it the period delta, just changed too) *)
-    t.del_counter <- 0;
+  (* Greedy partition into top collections of <= 2 nf/tau symbols each
+     (oversized documents get their own); shared by the nf-resnapshot
+     restructure and crash-recovery restore, so a restored index obeys
+     the same top-grain the oracle expects of a restructured one. *)
+  let add_docs_as_tops t docs =
     let grain = 2 * top_grain t in
-    (* greedy partition into top collections of <= 2 nf/tau symbols
-       (oversized docs get their own) *)
     let chunk = ref [] and chunk_size = ref 0 in
     let flush () =
       if !chunk <> [] then begin
@@ -564,7 +548,28 @@ module Make (I : Static_index.S) = struct
           chunk_size := !chunk_size + len
         end)
       docs;
-    flush ();
+    flush ()
+
+  let restructure t =
+    Obs.incr t.c_restructures;
+    (* finish pending jobs first so no work is lost *)
+    for j = 0 to max_slots + 1 do
+      force_job t j
+    done;
+    let docs = all_docs t in
+    t.gst <- Gsuffix_tree.create ();
+    t.locked_gst <- None;
+    Array.fill t.subs 0 (Array.length t.subs) None;
+    Array.fill t.locked 0 (Array.length t.locked) None;
+    Array.fill t.temps 0 (Array.length t.temps) None;
+    t.tops <- [];
+    let total = List.fold_left (fun a (_, s) -> a + String.length s + 1) 0 docs in
+    t.nf <- max 256 total;
+    t.live <- total;
+    (* every top is rebuilt dead-free below, so the cleaning epoch
+       restarts (nf, and with it the period delta, just changed too) *)
+    t.del_counter <- 0;
+    add_docs_as_tops t docs;
     Obs.record t.obs (Obs.Restructure { nf = t.nf; structures = List.length t.tops })
 
   (* --- insertion --- *)
@@ -931,6 +936,109 @@ module Make (I : Static_index.S) = struct
     @ List.map
         (fun (name, sv) -> (name, SS.view_live_symbols sv, SS.view_dead_symbols sv))
         v.vw_sss
+
+  (* --- persistence (Dsdg_store) --- *)
+
+  (* The snapshot units of a published epoch, under their census names:
+     the C0/L0 buffers as frozen live documents, every semi-static
+     structure (C_j, L_j, Temp_j, T_k) as resident documents + deletion
+     bit vector.  Everything here is immutable, so a checkpoint job may
+     serialize it on a worker domain while the writer keeps mutating. *)
+  let view_components v =
+    List.map
+      (fun (name, g) -> (name, Array.of_list (Gsuffix_tree.view_docs g), [||]))
+      v.vw_gsts
+    @ List.map
+        (fun (name, sv) ->
+          let docs, dead = SS.view_dump sv in
+          (name, docs, dead))
+        v.vw_sss
+
+  let next_id t = t.next_id
+
+  (* Inverse of [view_components].  Canonical structures (C0, C_j, T_k)
+     are rebuilt exactly where the dump says they lived -- their sizes
+     were legal under [nf] pre-crash and both are restored verbatim, so
+     the capacity and buffer-bound invariants hold by construction.  A
+     locked copy (L0/L_j) or staging Temp_j in the dump means a rebuild
+     job was in flight when the snapshot was taken; the job died with
+     the process, so restore completes its work synchronously by folding
+     the live documents into fresh top collections under the same
+     top-grain partition restructure uses.  (Documents deleted while
+     that job was in flight are already marked dead in the dumped
+     deletion bit vector, so the fold cannot resurrect them -- the same
+     guarantee the deleted-during replay gives a live install.)  The
+     first published view continues the dumped epoch, preserving
+     epoch = completed updates across a restart. *)
+  let restore ?sample ?tau ?epsilon ?work_factor ?fault ?jobs ~next_id:nid ~nf ~del_counter
+      ~epoch ~components () =
+    let t = create ?sample ?tau ?epsilon ?work_factor ?fault ?jobs () in
+    t.nf <- max 256 nf;
+    t.next_id <- nid;
+    t.del_counter <- del_counter;
+    let level name prefix =
+      let pl = String.length prefix in
+      if String.length name > pl && String.sub name 0 pl = prefix then
+        int_of_string_opt (String.sub name pl (String.length name - pl))
+      else None
+    in
+    let leftovers = ref [] in
+    List.iter
+      (fun (name, (docs : (int * string) array), (dead : bool array)) ->
+        let live_docs () =
+          let acc = ref [] in
+          Array.iteri
+            (fun i d -> if i >= Array.length dead || not dead.(i) then acc := d :: !acc)
+            docs;
+          List.rev !acc
+        in
+        if name = "C0" then
+          List.iter
+            (fun (id, text) ->
+              Gsuffix_tree.insert t.gst ~doc:id text;
+              t.live <- t.live + String.length text + 1;
+              t.doc_count <- t.doc_count + 1)
+            (live_docs ())
+        else
+          match (level name "C", level name "T") with
+          | Some j, _ when j >= 1 && j <= max_slots && t.subs.(j) = None ->
+            let ss = SS.of_dump ~sample:t.sample ~tau:t.tau docs dead in
+            if not (SS.is_empty ss) then begin
+              t.subs.(j) <- Some ss;
+              t.live <- t.live + SS.live_symbols ss;
+              t.doc_count <- t.doc_count + SS.doc_count ss
+            end
+          | _, Some k ->
+            let ss = SS.of_dump ~sample:t.sample ~tau:t.tau docs dead in
+            if not (SS.is_empty ss) then begin
+              t.tops <- (k, ss) :: t.tops;
+              t.next_top_key <- max t.next_top_key (k + 1);
+              t.live <- t.live + SS.live_symbols ss;
+              t.doc_count <- t.doc_count + SS.doc_count ss
+            end
+          | _ ->
+            if level name "L" = None && level name "Temp" = None then
+              invalid_arg ("Transform2.restore: unknown component " ^ name);
+            leftovers := !leftovers @ live_docs ())
+      components;
+    (* complete the interrupted jobs: their sources fold into fresh tops
+       (defensively deduplicated, as all_docs does for Temps) *)
+    let fresh = List.filter (fun (id, _) -> not (mem t id)) !leftovers in
+    List.iter
+      (fun (_, s) ->
+        t.live <- t.live + String.length s + 1;
+        t.doc_count <- t.doc_count + 1)
+      fresh;
+    add_docs_as_tops t fresh;
+    publish t ~cause:`Update;
+    let v = Atomic.get t.published in
+    Atomic.set t.published { v with vw_epoch = epoch };
+    Obs.set_gauge t.g_epoch_current epoch;
+    Obs.record t.obs
+      (Obs.Note
+         (Printf.sprintf "restored %d component(s) (%d folded doc(s)) at epoch %d"
+            (List.length components) (List.length fresh) epoch));
+    t
 
   (* Updates are the schedule's synchronous critical sections: in pooled
      mode they run under update-priority, so worker domains park at

@@ -2,7 +2,7 @@
 
     Transformation 2 promises worst-case update bounds because the
     expensive [N_{j+1}] constructions happen "in the background". The
-    cooperative realization ({!Dsdg_incr.Incremental}) still pays that
+    cooperative realization ([Dsdg_incr.Incremental]) still pays that
     work inside the caller's [insert]/[delete]; this executor moves it
     onto OCaml 5 worker [Domain]s so the construction runs concurrently
     with queries and updates, while the owner keeps landing results only

@@ -318,6 +318,10 @@ let snapshot t =
     v
 
 let view_doc_count v = Array.length v.v_docs
+
+(* The frozen live documents, sorted by id: the C0 snapshot unit the
+   persistence layer serializes (Dsdg_store). *)
+let view_docs v = Array.to_list v.v_docs
 let view_live_symbols v = v.v_live_syms
 let view_dead_symbols v = v.v_dead_syms
 let view_mem v doc = Hashtbl.mem v.v_tbl doc

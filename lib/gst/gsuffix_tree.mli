@@ -55,6 +55,10 @@ val view_dead_symbols : view -> int
 val view_mem : view -> int -> bool
 val view_get_doc : view -> int -> string option
 
+(** The frozen live documents, sorted by id -- the C0 snapshot unit the
+    persistence layer ([Dsdg_store]) serializes. O(doc_count). *)
+val view_docs : view -> (int * string) list
+
 (** Raises [Invalid_argument] on the empty pattern, like tree search. *)
 val view_search : view -> string -> f:(doc:int -> off:int -> unit) -> unit
 

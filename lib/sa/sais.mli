@@ -1,7 +1,7 @@
 (** Linear-time suffix array construction (SA-IS, Nong-Zhang-Chan 2009).
 
     The optional [tick] callback is invoked once per O(1) of work, so the
-    construction can run inside an {!Dsdg_incr.Incremental} background
+    construction can run inside a [Dsdg_incr.Incremental] background
     job -- the paper's (u(n), w(n))-constructibility requirement. *)
 
 (** [raw t sigma] is the suffix array of [t], which must end with a

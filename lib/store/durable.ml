@@ -1,0 +1,214 @@
+(* Durable index wrapper: WAL-ahead updates, checkpoint scheduling,
+   crash simulation.  Contracts documented in durable.mli and DESIGN.md
+   section 10. *)
+
+module Di = Dsdg_core.Dynamic_index
+module Trace = Dsdg_check.Trace
+module Exec = Dsdg_exec.Executor
+open Dsdg_obs
+
+let obs = Obs.scope "store"
+let c_checkpoints = Obs.counter obs "checkpoints"
+let c_checkpoints_bg = Obs.counter obs "checkpoints_bg"
+let c_checkpoint_failures = Obs.counter obs "checkpoint_failures"
+let h_checkpoint_ns = Obs.histogram obs "checkpoint_ns"
+let h_install_ns = Obs.histogram obs "checkpoint_install_ns"
+
+type config = {
+  sync : Wal.sync;
+  checkpoint_every : int;
+  checkpoint_jobs : int;
+  keep_snapshots : int;
+}
+
+let default_config = { sync = Wal.Always; checkpoint_every = 0; checkpoint_jobs = 0; keep_snapshots = 2 }
+
+(* One in-flight background checkpoint: the worker serializes the view
+   into [p_tmp]; the writer buffers every mutation logged since the
+   trigger so WAL compaction at install time can rewrite the tail
+   without re-reading the file. *)
+type pending = {
+  p_handle : unit Exec.handle;
+  p_tmp : string;
+  p_serial : int;
+  mutable p_tail : Trace.op list; (* newest first *)
+}
+
+type t = {
+  dir : string;
+  idx : Di.t;
+  cfg : config;
+  exec : Exec.t option;
+  mutable wal : Wal.t;
+  mutable pending : pending option;
+  mutable updates_since_checkpoint : int;
+  mutable closed : bool;
+}
+
+let dir t = t.dir
+let index t = t.idx
+let wal_serial t = Wal.next_serial t.wal
+
+let open_ ?(config = default_config) ?variant ?backend ?sample ?tau ?fault ?jobs ?readers ~dir ()
+    =
+  let idx, info = Recovery.open_or_recover ?variant ?backend ?sample ?tau ?fault ?jobs ?readers ~dir () in
+  Snapshot.ensure_dir dir;
+  let wal_file = Recovery.wal_path ~dir in
+  let wal =
+    if Sys.file_exists wal_file then
+      Wal.open_append ~sync:config.sync wal_file ~next_serial:info.Recovery.ri_next_serial
+    else Wal.create ~sync:config.sync wal_file ~serial0:info.Recovery.ri_next_serial
+  in
+  let exec =
+    if config.checkpoint_jobs > 0 then
+      Some (Exec.create ~obs:(Obs.private_scope "store/checkpoint") ~workers:config.checkpoint_jobs ())
+    else None
+  in
+  ( {
+      dir;
+      idx;
+      cfg = { config with keep_snapshots = max 1 config.keep_snapshots };
+      exec;
+      wal;
+      pending = None;
+      updates_since_checkpoint = 0;
+      closed = false;
+    },
+    info )
+
+(* --- checkpointing --- *)
+
+(* Install a finished snapshot: rename the worker's scratch file to its
+   canonical name, prune old snapshots, compact the WAL down to the
+   records logged since the trigger.  Runs on the writer, at an update
+   boundary -- the paper's install-point pattern. *)
+let install t ~tmp ~serial ~tail =
+  let t0 = Obs.start () in
+  Unix.rename tmp (Snapshot.path_for ~dir:t.dir ~wal_serial:serial);
+  Snapshot.prune ~dir:t.dir ~keep:t.cfg.keep_snapshots;
+  t.wal <- Wal.rewrite ~sync:t.cfg.sync (Wal.path t.wal) ~serial0:serial (List.rev tail);
+  Obs.incr c_checkpoints;
+  Obs.stop h_install_ns t0
+
+let poll_pending t =
+  match (t.pending, t.exec) with
+  | Some p, Some ex -> (
+    match Exec.poll ex p.p_handle with
+    | `Pending -> ()
+    | `Done () ->
+      t.pending <- None;
+      install t ~tmp:p.p_tmp ~serial:p.p_serial ~tail:p.p_tail
+    | `Failed _ | `Cancelled ->
+      t.pending <- None;
+      Obs.incr c_checkpoint_failures;
+      (try Sys.remove p.p_tmp with Sys_error _ -> ()))
+  | _ -> ()
+
+let await_pending t =
+  match (t.pending, t.exec) with
+  | Some p, Some ex -> (
+    match Exec.await ex p.p_handle with
+    | `Done () ->
+      t.pending <- None;
+      install t ~tmp:p.p_tmp ~serial:p.p_serial ~tail:p.p_tail
+    | `Failed _ | `Cancelled ->
+      t.pending <- None;
+      Obs.incr c_checkpoint_failures;
+      (try Sys.remove p.p_tmp with Sys_error _ -> ()))
+  | _ -> ()
+
+(* Synchronous checkpoint of the current published state. *)
+let checkpoint_now t =
+  let t0 = Obs.start () in
+  let v = Di.view t.idx in
+  let serial = Wal.next_serial t.wal in
+  let dump = Di.checkpoint_body (Di.checkpoint_header t.idx v) v in
+  ignore (Snapshot.save ~dir:t.dir ~wal_serial:serial dump);
+  Snapshot.prune ~dir:t.dir ~keep:t.cfg.keep_snapshots;
+  t.wal <- Wal.rewrite ~sync:t.cfg.sync (Wal.path t.wal) ~serial0:serial [];
+  t.updates_since_checkpoint <- 0;
+  Obs.incr c_checkpoints;
+  Obs.stop h_checkpoint_ns t0
+
+(* Trigger a background checkpoint: capture the O(1) header on the
+   writer, hand the O(n) extraction + serialization of the immutable
+   view to a worker domain.  The scratch file carries a non-snapshot
+   suffix so a crash before install leaves debris recovery ignores. *)
+let checkpoint_bg t ex =
+  let v = Di.view t.idx in
+  let serial = Wal.next_serial t.wal in
+  let header = Di.checkpoint_header t.idx v in
+  let tmp = Filename.concat t.dir (Printf.sprintf "snap-%d.dsdg.bg" serial) in
+  let handle =
+    Exec.submit ex ~name:"checkpoint" (fun _tick ->
+        let t0 = Obs.start () in
+        let dump = Di.checkpoint_body header v in
+        Snapshot.write ~path:tmp ~wal_serial:serial dump;
+        Obs.incr c_checkpoints_bg;
+        Obs.stop h_checkpoint_ns t0)
+  in
+  t.pending <- Some { p_handle = handle; p_tmp = tmp; p_serial = serial; p_tail = [] }
+
+let after_update t op =
+  (match t.pending with Some p -> p.p_tail <- op :: p.p_tail | None -> ());
+  t.updates_since_checkpoint <- t.updates_since_checkpoint + 1;
+  poll_pending t;
+  if
+    t.cfg.checkpoint_every > 0
+    && t.updates_since_checkpoint >= t.cfg.checkpoint_every
+    && t.pending = None
+  then begin
+    t.updates_since_checkpoint <- 0;
+    match t.exec with None -> checkpoint_now t | Some ex -> checkpoint_bg t ex
+  end
+
+let check_open t = if t.closed then invalid_arg "Durable: store is closed"
+
+(* Log-ahead: the record reaches the WAL (and, under [Always], the
+   disk) before the index mutates, so no observable update can be lost
+   -- at worst a logged mutation is re-applied by recovery. *)
+let insert t text =
+  check_open t;
+  let op = Trace.Insert text in
+  ignore (Wal.append t.wal op);
+  let id = Di.insert t.idx text in
+  after_update t op;
+  id
+
+let delete t id =
+  check_open t;
+  let op = Trace.Delete id in
+  ignore (Wal.append t.wal op);
+  let ok = Di.delete t.idx id in
+  after_update t op;
+  ok
+
+let checkpoint t =
+  check_open t;
+  await_pending t;
+  checkpoint_now t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    await_pending t;
+    Wal.close t.wal;
+    (match t.exec with Some ex -> Exec.shutdown ex | None -> ());
+    Di.close t.idx
+  end
+
+(* Crash simulation: abandon everything.  An in-flight checkpoint job
+   is cancelled (its scratch file, if any, is crash debris recovery
+   ignores); the WAL gets no final fsync and, with [torn], a half
+   record.  Worker domains are joined only so the test process does not
+   leak them. *)
+let kill t ~torn =
+  if not t.closed then begin
+    t.closed <- true;
+    (match (t.pending, t.exec) with
+    | Some p, Some ex -> Exec.cancel ex p.p_handle
+    | _ -> ());
+    Wal.kill t.wal ~torn;
+    (match t.exec with Some ex -> Exec.shutdown ex | None -> ());
+    Di.close t.idx
+  end

@@ -1,0 +1,81 @@
+(** A {!Dsdg_core.Dynamic_index} with durability: write-ahead logging
+    of every mutation, periodic checkpoints, crash recovery on open.
+
+    Log-ahead contract: {!insert} and {!delete} append the mutation to
+    the WAL (and fsync, per the {!Wal.sync} policy) {e before} applying
+    it, so any update whose effect was ever observable is on stable
+    storage. Queries go straight to the index and are never logged.
+
+    Checkpointing: every [checkpoint_every] updates the index state is
+    snapshotted and the WAL is compacted to the records since. With
+    [checkpoint_jobs >= 1] the expensive part -- extracting and
+    serializing the documents of the published view -- runs on a
+    {!Dsdg_exec.Executor} worker domain against the immutable
+    read-plane view, Transformation 2 style: the writer only captures
+    the O(1) scalars at the trigger update and installs the finished
+    file (rename + WAL compaction) at a later update boundary, so
+    update latency stays flat while checkpoints happen. *)
+
+type config = {
+  sync : Wal.sync;  (** WAL fsync policy (default [Always]) *)
+  checkpoint_every : int;  (** updates between checkpoints; [0] = only explicit {!checkpoint} *)
+  checkpoint_jobs : int;  (** worker domains for checkpoint serialization; [0] = synchronous *)
+  keep_snapshots : int;  (** snapshots retained after a new one installs (>= 1) *)
+}
+
+(** [Always] fsync, checkpoint only on demand, synchronous
+    serialization, one retained snapshot. *)
+val default_config : config
+
+type t
+
+(** Open a store directory, running crash recovery if it has prior
+    state (see {!Recovery.open_or_recover} for parameter semantics and
+    exceptions). Creates the directory and a fresh WAL as needed. *)
+val open_ :
+  ?config:config ->
+  ?variant:Dsdg_core.Dynamic_index.variant ->
+  ?backend:Dsdg_core.Dynamic_index.backend ->
+  ?sample:int ->
+  ?tau:int ->
+  ?fault:Dsdg_core.Transform2.fault ->
+  ?jobs:int ->
+  ?readers:int ->
+  dir:string ->
+  unit ->
+  t * Recovery.info
+
+(** The store directory this handle was opened on. *)
+val dir : t -> string
+
+(** The wrapped index, for queries (search/count/extract/views/stats).
+    Mutating it directly bypasses the WAL -- use {!insert}/{!delete}. *)
+val index : t -> Dsdg_core.Dynamic_index.t
+
+(** WAL-append + fsync, then apply; returns the new document id. *)
+val insert : t -> string -> int
+
+(** WAL-append + fsync, then apply; [false] if the document was already
+    dead (the record still lands in the log and replays idempotently). *)
+val delete : t -> int -> bool
+
+(** Serial the next mutation will be logged under. *)
+val wal_serial : t -> int
+
+(** Force a checkpoint now, synchronously: any in-flight background
+    checkpoint is awaited and installed first, then a fresh snapshot of
+    the current state is written and the WAL is compacted to empty. *)
+val checkpoint : t -> unit
+
+(** Finish in-flight checkpoints, fsync the WAL, release worker
+    domains, close the index. The store reopens with zero replay work
+    after a {!checkpoint}; otherwise reopening replays the WAL tail. *)
+val close : t -> unit
+
+(** Crash simulation for the kill-and-recover harness: abandon the
+    store with no draining, no checkpoint install and no final fsync;
+    [torn:true] plants a half-written final WAL record ({!Wal.kill}).
+    Worker domains are joined (a process-level courtesy the real crash
+    would not extend) but no store file is touched beyond the torn
+    bytes. The [t] is unusable afterwards; reopen with {!open_}. *)
+val kill : t -> torn:bool -> unit

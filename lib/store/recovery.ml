@@ -1,0 +1,106 @@
+(* Crash recovery: newest valid snapshot + WAL tail replay; state
+   machine documented in recovery.mli and DESIGN.md section 10. *)
+
+module Di = Dsdg_core.Dynamic_index
+module Trace = Dsdg_check.Trace
+open Dsdg_obs
+
+let obs = Obs.scope "store"
+let c_recoveries = Obs.counter obs "recoveries"
+let c_recovered_ops = Obs.counter obs "recovered_ops"
+let c_skipped = Obs.counter obs "snapshots_skipped"
+let h_recovery_ns = Obs.histogram obs "recovery_ns"
+
+exception Gap of { dir : string; snapshot_serial : int; wal_serial0 : int }
+
+let () =
+  Printexc.register_printer (function
+    | Gap { dir; snapshot_serial; wal_serial0 } ->
+      Some
+        (Printf.sprintf
+           "Recovery.Gap: %s: WAL starts at serial %d but the newest loadable snapshot covers \
+            only serial %d -- records in between are lost"
+           dir wal_serial0 snapshot_serial)
+    | _ -> None)
+
+type info = {
+  ri_snapshot : string option;
+  ri_snapshot_serial : int;
+  ri_skipped : (string * string) list;
+  ri_replayed : int;
+  ri_truncated : bool;
+  ri_next_serial : int;
+}
+
+let info_to_string i =
+  Printf.sprintf "snapshot=%s serial=%d skipped=%d replayed=%d%s next_serial=%d"
+    (match i.ri_snapshot with None -> "none" | Some p -> Filename.basename p)
+    i.ri_snapshot_serial (List.length i.ri_skipped) i.ri_replayed
+    (if i.ri_truncated then " torn-tail-truncated" else "")
+    i.ri_next_serial
+
+let wal_path ~dir = Filename.concat dir "wal.log"
+
+(* Replay applies mutations only: queries in a hand-edited log are
+   legal trace lines but carry no state, so they are skipped. *)
+let apply_op idx (op : Trace.op) =
+  match op with
+  | Trace.Insert text -> ignore (Di.insert idx text)
+  | Trace.Delete id -> ignore (Di.delete idx id)
+  | Trace.Search _ | Trace.Count _ | Trace.Extract _ | Trace.Mem _ | Trace.Drain -> ()
+
+(* Newest snapshot that passes every checksum; corrupt ones are skipped
+   and reported, not fatal (the WAL may still cover their window). *)
+let load_newest ~dir =
+  let rec go skipped = function
+    | [] -> (None, List.rev skipped)
+    | (path, _serial) :: rest -> (
+      match Snapshot.load path with
+      | dump, wal_serial -> (Some (path, dump, wal_serial), List.rev skipped)
+      | exception Codec.Corrupt { section; reason; _ } ->
+        Obs.incr c_skipped;
+        go ((path, Printf.sprintf "%s: %s" section reason) :: skipped) rest)
+  in
+  go [] (Snapshot.list ~dir)
+
+let open_or_recover ?(variant = Di.Worst_case) ?(backend = Di.Fm) ?(sample = 8) ?(tau = 8)
+    ?fault ?(jobs = 0) ?(readers = 0) ~dir () =
+  let t0 = Obs.start () in
+  let loaded, skipped = load_newest ~dir in
+  let idx, snap_path, snap_serial =
+    match loaded with
+    | Some (path, dump, wal_serial) ->
+      (Di.restore ?fault ~jobs ~readers dump, Some path, wal_serial)
+    | None -> (Di.create ~variant ~backend ~sample ~tau ?fault ~jobs ~readers (), None, 0)
+  in
+  let wal = wal_path ~dir in
+  let replayed, truncated, next_serial =
+    if Sys.file_exists wal then begin
+      let c = Wal.read wal in
+      if c.Wal.wc_serial0 > snap_serial then
+        raise (Gap { dir; snapshot_serial = snap_serial; wal_serial0 = c.Wal.wc_serial0 });
+      Wal.truncate_torn wal c;
+      let n = ref 0 in
+      List.iter
+        (fun (serial, op) ->
+          if serial >= snap_serial then begin
+            apply_op idx op;
+            incr n
+          end)
+        c.Wal.wc_ops;
+      Obs.add c_recovered_ops !n;
+      (!n, c.Wal.wc_truncated, c.Wal.wc_serial0 + List.length c.Wal.wc_ops)
+    end
+    else (0, false, snap_serial)
+  in
+  Obs.incr c_recoveries;
+  Obs.stop h_recovery_ns t0;
+  ( idx,
+    {
+      ri_snapshot = snap_path;
+      ri_snapshot_serial = snap_serial;
+      ri_skipped = skipped;
+      ri_replayed = replayed;
+      ri_truncated = truncated;
+      ri_next_serial = next_serial;
+    } )

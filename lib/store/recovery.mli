@@ -1,0 +1,67 @@
+(** Crash recovery: newest valid snapshot + WAL tail replay.
+
+    The recovery state machine (DESIGN.md section 10):
+
+    + scan the store directory for snapshots, newest first; load the
+      first one that passes every {!Codec} checksum, skipping (and
+      reporting) corrupt ones;
+    + rebuild the index from the dump ({!Dsdg_core.Dynamic_index.restore}),
+      or start empty if no snapshot survives;
+    + read the WAL; drop a torn final record (truncating it on disk),
+      fail loudly on interior corruption
+      ({!Dsdg_check.Trace.Parse_error});
+    + replay every WAL mutation with serial [>= ] the snapshot's
+      serial. Replay is idempotent: a logged-but-failed delete fails
+      again, a logged-then-crashed-before-apply mutation is applied now.
+
+    Recovering twice from the same directory yields the same state --
+    recovery mutates nothing except the torn-tail truncation, which is
+    itself idempotent. *)
+
+(** The WAL starts after the newest loadable snapshot: records between
+    the snapshot serial and the WAL's first record are gone (this can
+    only happen when a newer snapshot file was corrupted {e and} the
+    WAL was already compacted past the older one). The store cannot be
+    opened without data loss, so recovery refuses. *)
+exception Gap of { dir : string; snapshot_serial : int; wal_serial0 : int }
+
+type info = {
+  ri_snapshot : string option;  (** snapshot file recovered from *)
+  ri_snapshot_serial : int;  (** its WAL serial ([0] when starting empty) *)
+  ri_skipped : (string * string) list;  (** corrupt snapshots skipped: (path, reason) *)
+  ri_replayed : int;  (** WAL records replayed *)
+  ri_truncated : bool;  (** a torn final WAL record was dropped *)
+  ri_next_serial : int;  (** serial the WAL should continue from *)
+}
+
+(** One-line summary, as printed by the CLI on open. *)
+val info_to_string : info -> string
+
+(** [wal.log] inside a store directory. *)
+val wal_path : dir:string -> string
+
+(** Apply one replayed mutation to the index; queries in a hand-edited
+    log are ignored. Exposed for the CLI's replay paths. *)
+val apply_op : Dsdg_core.Dynamic_index.t -> Dsdg_check.Trace.op -> unit
+
+(** [open_or_recover ~dir ()] runs the state machine above. The
+    creation parameters ([variant] .. [tau]) are used only when the
+    directory holds no usable snapshot {e and} no WAL -- a genuinely
+    fresh store; otherwise the dump's recorded parameters win. [fault],
+    [jobs] and [readers] are fresh runtime choices, never persisted.
+
+    Raises {!Gap} on a snapshot/WAL serial gap (including the case
+    where every snapshot is corrupt but the WAL was already compacted,
+    so its records cannot stand alone) and
+    {!Dsdg_check.Trace.Parse_error} on interior WAL corruption. *)
+val open_or_recover :
+  ?variant:Dsdg_core.Dynamic_index.variant ->
+  ?backend:Dsdg_core.Dynamic_index.backend ->
+  ?sample:int ->
+  ?tau:int ->
+  ?fault:Dsdg_core.Transform2.fault ->
+  ?jobs:int ->
+  ?readers:int ->
+  dir:string ->
+  unit ->
+  Dsdg_core.Dynamic_index.t * info

@@ -1,0 +1,70 @@
+(* Whole-index snapshots; layout documented in snapshot.mli. *)
+
+module Di = Dsdg_core.Dynamic_index
+open Dsdg_obs
+
+let obs = Obs.scope "store"
+let c_saves = Obs.counter obs "snapshot_saves"
+let c_loads = Obs.counter obs "snapshot_loads"
+let h_save_ns = Obs.histogram obs "snapshot_save_ns"
+let h_load_ns = Obs.histogram obs "snapshot_load_ns"
+let g_bytes = Obs.gauge obs "snapshot_bytes"
+
+let path_for ~dir ~wal_serial = Filename.concat dir (Printf.sprintf "snap-%d.dsdg" wal_serial)
+
+let serial_of_name name =
+  try Scanf.sscanf name "snap-%d.dsdg%!" (fun s -> Some s)
+  with Scanf.Scan_failure _ | End_of_file | Failure _ -> None
+
+let store_section ~wal_serial =
+  let b = Codec.W.create () in
+  Codec.W.int b wal_serial;
+  ("store", Codec.W.contents b)
+
+let write ~path ~wal_serial dump =
+  let t0 = Obs.start () in
+  Codec.write_file ~path ~kind:"snapshot" (store_section ~wal_serial :: Codec.encode_dump dump);
+  Obs.incr c_saves;
+  (try Obs.set_gauge g_bytes (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> ());
+  Obs.stop h_save_ns t0
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~dir ~wal_serial dump =
+  ensure_dir dir;
+  let path = path_for ~dir ~wal_serial in
+  write ~path ~wal_serial dump;
+  path
+
+let load path =
+  let t0 = Obs.start () in
+  let sections = Codec.read_file ~path ~kind:"snapshot" in
+  let wal_serial =
+    match List.assoc_opt "store" sections with
+    | None -> raise (Codec.Corrupt { file = path; section = "store"; reason = "section missing" })
+    | Some payload -> Codec.R.int (Codec.R.of_string ~file:path ~section:"store" payload)
+  in
+  let dump = Codec.decode_dump ~file:path sections in
+  Obs.incr c_loads;
+  Obs.stop h_load_ns t0;
+  (dump, wal_serial)
+
+let list ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           match serial_of_name name with
+           | Some s -> Some (Filename.concat dir name, s)
+           | None -> None)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let prune ~dir ~keep =
+  list ~dir
+  |> List.iteri (fun i (path, _) ->
+         if i >= keep then try Sys.remove path with Sys_error _ -> ())

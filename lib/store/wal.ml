@@ -1,0 +1,185 @@
+(* Write-ahead log on the Trace line format; semantics documented in
+   wal.mli and DESIGN.md section 10. *)
+
+module Trace = Dsdg_check.Trace
+open Dsdg_obs
+
+let obs = Obs.scope "store"
+let c_appends = Obs.counter obs "wal_appends"
+let c_fsyncs = Obs.counter obs "wal_fsyncs"
+let c_torn = Obs.counter obs "wal_torn_truncations"
+let h_append_ns = Obs.histogram obs "wal_append_ns"
+let g_serial = Obs.gauge obs "wal_serial"
+
+type sync = Always | Every of int | Never
+
+let sync_of_string = function
+  | "always" -> Ok Always
+  | "never" -> Ok Never
+  | s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok (Every n)
+    | _ -> Error (Printf.sprintf "bad sync policy %S (want always, never, or a record count)" s))
+
+let sync_to_string = function
+  | Always -> "always"
+  | Never -> "never"
+  | Every n -> string_of_int n
+
+type t = {
+  path : string;
+  oc : out_channel;
+  sync_policy : sync;
+  mutable next_serial : int;
+  mutable unsynced : int;
+}
+
+let header_of serial0 = Printf.sprintf "%% dsdg-wal 1 serial0=%d" serial0
+
+let parse_header line =
+  try Some (Scanf.sscanf line "%% dsdg-wal 1 serial0=%d%!" (fun s -> s))
+  with Scanf.Scan_failure _ | End_of_file | Failure _ -> None
+
+let fsync_oc oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
+  Obs.incr c_fsyncs
+
+let create ?(sync = Always) path ~serial0 =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
+  output_string oc (header_of serial0 ^ "\n");
+  fsync_oc oc;
+  { path; oc; sync_policy = sync; next_serial = serial0; unsynced = 0 }
+
+let next_serial t = t.next_serial
+let path t = t.path
+
+let sync t =
+  fsync_oc t.oc;
+  t.unsynced <- 0
+
+let append t op =
+  let t0 = Obs.start () in
+  let serial = t.next_serial in
+  output_string t.oc (Trace.op_to_string op ^ "\n");
+  flush t.oc;
+  t.next_serial <- serial + 1;
+  (match t.sync_policy with
+  | Always -> fsync_oc t.oc
+  | Every n ->
+    t.unsynced <- t.unsynced + 1;
+    if t.unsynced >= n then begin
+      fsync_oc t.oc;
+      t.unsynced <- 0
+    end
+  | Never -> ());
+  Obs.incr c_appends;
+  Obs.set_gauge g_serial t.next_serial;
+  Obs.stop h_append_ns t0;
+  serial
+
+let close t =
+  sync t;
+  close_out_noerr t.oc
+
+(* Crash simulation: no final fsync; [torn] plants a half-written final
+   record -- a newline-less prefix of a real Insert line, exactly what a
+   power cut mid-[write] leaves behind. *)
+let kill t ~torn =
+  if torn then begin
+    let line = Trace.op_to_string (Trace.Insert "lost to the torn final write") in
+    output_string t.oc (String.sub line 0 (String.length line / 2))
+  end;
+  flush t.oc;
+  close_out_noerr t.oc
+
+(* --- reading --- *)
+
+type contents = {
+  wc_serial0 : int;
+  wc_ops : (int * Trace.op) list;
+  wc_truncated : bool;
+  wc_valid_bytes : int;
+}
+
+let read path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> In_channel.input_all ic)
+  in
+  let len = String.length data in
+  let ops = ref [] in
+  let serial0 = ref 0 in
+  let seen_header = ref false in
+  let serial = ref 0 in
+  let lineno = ref 0 in
+  let valid = ref 0 in
+  let truncated = ref false in
+  let pos = ref 0 in
+  while !pos < len do
+    match String.index_from_opt data !pos '\n' with
+    | None ->
+      (* final bytes without a newline: a torn record, dropped -- even a
+         parseable prefix must not replay (["- 12"] torn from ["- 123"]) *)
+      truncated := true;
+      pos := len
+    | Some nl ->
+      incr lineno;
+      let line = String.trim (String.sub data !pos (nl - !pos)) in
+      pos := nl + 1;
+      (if line = "" then ()
+       else if line.[0] = '%' then begin
+         match parse_header line with
+         | Some s0 when not !seen_header ->
+           seen_header := true;
+           serial0 := s0;
+           serial := s0
+         | _ -> () (* later comments (and repeated headers) are inert *)
+       end
+       else
+         match Trace.parse_op line with
+         | Ok op ->
+           ops := (!serial, op) :: !ops;
+           incr serial
+         | Error reason ->
+           raise
+             (Trace.Parse_error { pe_line = !lineno; pe_text = line; pe_reason = reason }));
+      valid := !pos
+  done;
+  if not !seen_header then
+    raise
+      (Trace.Parse_error
+         {
+           pe_line = 1;
+           pe_text = (match String.index_opt data '\n' with
+                     | Some nl -> String.sub data 0 nl
+                     | None -> data);
+           pe_reason = "missing '% dsdg-wal 1 serial0=N' header";
+         });
+  { wc_serial0 = !serial0; wc_ops = List.rev !ops; wc_truncated = !truncated; wc_valid_bytes = !valid }
+
+let truncate_torn path c =
+  if c.wc_truncated then begin
+    Unix.truncate path c.wc_valid_bytes;
+    Obs.incr c_torn
+  end
+
+let open_append ?(sync = Always) path ~next_serial =
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  { path; oc; sync_policy = sync; next_serial; unsynced = 0 }
+
+(* Compaction: fresh log in a temporary file, fsynced, renamed over the
+   old one.  The returned handle holds the (still valid) fd of the
+   renamed file. *)
+let rewrite ?(sync = Always) path ~serial0 ops =
+  let tmp = path ^ ".tmp" in
+  let t = create ~sync tmp ~serial0 in
+  List.iter (fun op -> ignore (append t op)) ops;
+  fsync_oc t.oc;
+  t.unsynced <- 0;
+  Unix.rename tmp path;
+  (try
+     let dfd = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+     Fun.protect ~finally:(fun () -> Unix.close dfd) (fun () -> Unix.fsync dfd)
+   with Unix.Unix_error _ -> ());
+  { t with path }

@@ -1,0 +1,94 @@
+(** Write-ahead log for a durable index.
+
+    The record format {e is} the {!Dsdg_check.Trace} line format: one
+    mutation per line (["+ \"text\""], ["- id"]), preceded by a
+    [%]-comment header carrying the serial number of the first record.
+    A WAL is therefore a valid trace file -- [dsdg fuzz --replay
+    path/to/wal.log] replays it directly -- while the header keeps
+    replay aligned with snapshots: a snapshot taken at serial [s]
+    covers every record with serial [< s], and recovery replays the
+    records [>= s].
+
+    Serial numbers are positional: record [k] (0-based) of a file with
+    header serial [s0] has serial [s0 + k]. Failed mutations (a delete
+    of a dead id) are logged too -- append happens {e before} apply --
+    and replay idempotently re-fails them, so serials stay aligned
+    without per-record ids.
+
+    Torn-write rule: the final line of a crashed log may be a partial
+    record. Any final line {e not} terminated by a newline is torn and
+    is dropped by {!read} (even if its prefix happens to parse -- ["-
+    12"] torn from ["- 123"] would otherwise replay the wrong id).
+    A malformed line that {e is} newline-terminated was fully written,
+    so it is real corruption: {!read} raises
+    {!Dsdg_check.Trace.Parse_error} locating it. *)
+
+(** When [append] forces the record to stable storage. [Always] fsyncs
+    every record (full durability, the default); [Every n] fsyncs every
+    [n] records (bounded loss window, much cheaper); [Never] leaves
+    flushing to the OS (survives a process crash, not a power cut). *)
+type sync = Always | Every of int | Never
+
+(** Parses the CLI spellings ["always"] / ["every-N"] / ["never"];
+    [Error] explains the accepted forms. *)
+val sync_of_string : string -> (sync, string) result
+
+(** Inverse of {!sync_of_string}. *)
+val sync_to_string : sync -> string
+
+(** An open log, positioned for appending. *)
+type t
+
+(** [create ~sync path ~serial0] truncates/creates the file with a
+    fresh header. *)
+val create : ?sync:sync -> string -> serial0:int -> t
+
+(** Append one record; returns its serial. Flushes to the OS always,
+    fsyncs per the {!sync} policy. *)
+val append : t -> Dsdg_check.Trace.op -> int
+
+(** Serial the next {!append} will assign. *)
+val next_serial : t -> int
+
+(** The log file this handle appends to. *)
+val path : t -> string
+
+(** Force everything appended so far to stable storage. *)
+val sync : t -> unit
+
+(** [sync] then close. *)
+val close : t -> unit
+
+(** Crash simulation for the kill-and-recover harness: close the file
+    abruptly, with no final fsync; with [torn:true], first append a
+    deliberately half-written record (no newline) -- the planted
+    [`Torn_write] fault the recovery path must truncate. *)
+val kill : t -> torn:bool -> unit
+
+(** {1 Reading} *)
+
+type contents = {
+  wc_serial0 : int;  (** header serial *)
+  wc_ops : (int * Dsdg_check.Trace.op) list;  (** (serial, op), in order *)
+  wc_truncated : bool;  (** a torn final record was dropped *)
+  wc_valid_bytes : int;  (** file prefix ending at the last whole record *)
+}
+
+(** Parse a log. Raises {!Dsdg_check.Trace.Parse_error} on a missing /
+    malformed header or a malformed interior record, [Sys_error] if
+    unreadable. A torn final record is dropped, not an error. *)
+val read : string -> contents
+
+(** Truncate the file to [wc_valid_bytes], discarding the torn tail on
+    disk (idempotent when nothing was torn). *)
+val truncate_torn : string -> contents -> unit
+
+(** Reopen an existing (already {!read}, already truncated) log for
+    appending. [next_serial] is [wc_serial0 + length wc_ops]. *)
+val open_append : ?sync:sync -> string -> next_serial:int -> t
+
+(** [rewrite ~sync path ~serial0 ops] atomically replaces the log with
+    a fresh one whose header starts at [serial0] and whose records are
+    [ops] -- WAL compaction after a checkpoint installs. Returns the
+    reopened log. *)
+val rewrite : ?sync:sync -> string -> serial0:int -> Dsdg_check.Trace.op list -> t

@@ -11,6 +11,7 @@ let () =
       ("core", Suite_core.suite);
       ("transform2", Suite_transform2.suite);
       ("check", Suite_check.suite);
+      ("store", Suite_store.suite);
       ("dynseq", Suite_dynseq.suite);
       ("binrel", Suite_binrel.suite);
       ("workload", Suite_workload.suite);

@@ -1,0 +1,479 @@
+(* Tests for dsdg_store: the CRC-checked codec, snapshot save/load,
+   WAL append/read/torn-tail handling, crash recovery (including
+   idempotence and the kill-point differential sweep), and the located
+   trace parse errors shared by the WAL reader and --replay. *)
+
+open Dsdg_store
+module Di = Dsdg_core.Dynamic_index
+module Trace = Dsdg_check.Trace
+module Model = Dsdg_check.Model
+
+let tmp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  d
+
+let with_dir prefix f =
+  let d = tmp_dir prefix in
+  Fun.protect ~finally:(fun () -> Kill_check.reset_dir d) (fun () -> f d)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+let write_file path s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let all_variants = [ Di.Amortized; Di.Amortized_loglog; Di.Worst_case ]
+let all_backends = [ Di.Fm; Di.Plain_sa; Di.Csa ]
+
+let variant_name = function
+  | Di.Amortized -> "t1"
+  | Di.Amortized_loglog -> "t3"
+  | Di.Worst_case -> "t2"
+
+let backend_name = function Di.Fm -> "fm" | Di.Plain_sa -> "sa" | Di.Csa -> "csa"
+
+(* Drive [ops] into an index + model together; returns the number of
+   inserts (= next id) for dead-id checking. *)
+let drive idx m ops =
+  let inserts = ref 0 in
+  List.iter
+    (fun (op : Trace.op) ->
+      match op with
+      | Trace.Insert s ->
+        let a = Di.insert idx s in
+        let b = Model.insert m s in
+        incr inserts;
+        Alcotest.(check int) "insert id" b a
+      | Trace.Delete id ->
+        let a = Di.delete idx id in
+        let b = Model.delete m id in
+        Alcotest.(check bool) "delete result" b a
+      | _ -> ())
+    ops;
+  !inserts
+
+let assert_matches_model ~label idx m ~inserts =
+  Alcotest.(check int) (label ^ ": doc_count") (Model.doc_count m) (Di.doc_count idx);
+  Alcotest.(check int) (label ^ ": total_symbols") (Model.total_symbols m) (Di.total_symbols idx);
+  let live = Model.live m in
+  List.iter
+    (fun (id, text) ->
+      Alcotest.(check bool) (Printf.sprintf "%s: mem %d" label id) true (Di.mem idx id);
+      Alcotest.(check (option string))
+        (Printf.sprintf "%s: extract %d" label id)
+        (Some text)
+        (Di.extract idx ~doc:id ~off:0 ~len:(String.length text)))
+    live;
+  for id = 0 to inserts - 1 do
+    if not (List.mem_assoc id live) then
+      Alcotest.(check bool) (Printf.sprintf "%s: dead %d" label id) false (Di.mem idx id)
+  done;
+  List.iter
+    (fun p ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "%s: search %S" label p)
+        (Model.search m p) (Di.search idx p))
+    [ "ab"; "ba"; "a" ]
+
+let churn_ops =
+  [
+    Trace.Insert "abracadabra";
+    Trace.Insert "banana band";
+    Trace.Insert "";
+    Trace.Insert "cabbage";
+    Trace.Delete 1;
+    Trace.Insert "abba babble";
+    Trace.Delete 0;
+    Trace.Insert "dabble";
+    Trace.Insert "barbarossa";
+    Trace.Delete 3;
+    Trace.Delete 3;
+    Trace.Insert "a";
+    Trace.Insert "baobab";
+    Trace.Delete 5;
+    Trace.Insert "scarab beetle";
+  ]
+
+(* --- codec primitives --- *)
+
+let test_codec_primitives () =
+  let w = Codec.W.create () in
+  Codec.W.u8 w 0;
+  Codec.W.u8 w 255;
+  Codec.W.int w 0;
+  Codec.W.int w max_int;
+  Codec.W.int w min_int;
+  Codec.W.int w (-42);
+  Codec.W.string w "";
+  Codec.W.string w "hello \x00 binary \xff bytes";
+  Codec.W.bool_array w [||];
+  Codec.W.bool_array w [| true |];
+  Codec.W.bool_array w (Array.init 17 (fun i -> i mod 3 = 0));
+  let r = Codec.R.of_string ~file:"mem" ~section:"prim" (Codec.W.contents w) in
+  Alcotest.(check int) "u8 0" 0 (Codec.R.u8 r);
+  Alcotest.(check int) "u8 255" 255 (Codec.R.u8 r);
+  Alcotest.(check int) "int 0" 0 (Codec.R.int r);
+  Alcotest.(check int) "int max" max_int (Codec.R.int r);
+  Alcotest.(check int) "int min" min_int (Codec.R.int r);
+  Alcotest.(check int) "int -42" (-42) (Codec.R.int r);
+  Alcotest.(check string) "string empty" "" (Codec.R.string r);
+  Alcotest.(check string) "string binary" "hello \x00 binary \xff bytes" (Codec.R.string r);
+  Alcotest.(check (array bool)) "bools empty" [||] (Codec.R.bool_array r);
+  Alcotest.(check (array bool)) "bools one" [| true |] (Codec.R.bool_array r);
+  Alcotest.(check (array bool))
+    "bools 17"
+    (Array.init 17 (fun i -> i mod 3 = 0))
+    (Codec.R.bool_array r);
+  Alcotest.(check bool) "at_end" true (Codec.R.at_end r);
+  (* overrun is a located Corrupt, not a crash *)
+  (match Codec.R.int r with
+  | _ -> Alcotest.fail "overrun not detected"
+  | exception Codec.Corrupt _ -> ())
+
+let test_crc32_vector () =
+  (* the classic check value for the IEEE polynomial *)
+  Alcotest.(check int) "crc32(123456789)" 0xCBF43926 (Codec.crc32 "123456789");
+  Alcotest.(check int) "crc32 empty" 0 (Codec.crc32 "")
+
+(* --- container integrity --- *)
+
+let mk_small_store dir =
+  let idx = Di.create ~variant:Di.Worst_case ~backend:Di.Fm ~sample:4 ~tau:4 () in
+  let m = Model.create () in
+  let inserts = drive idx m churn_ops in
+  let path = Snapshot.save ~dir ~wal_serial:17 (Di.dump idx) in
+  (path, m, inserts)
+
+let test_snapshot_roundtrip () =
+  with_dir "dsdg-store-rt" (fun dir ->
+      let path, m, inserts = mk_small_store dir in
+      let dump, wal_serial = Snapshot.load path in
+      Alcotest.(check int) "wal serial" 17 wal_serial;
+      let idx = Di.restore dump in
+      assert_matches_model ~label:"loaded" idx m ~inserts;
+      Alcotest.(check int) "epoch survives" dump.Di.dm_epoch (Di.view_epoch (Di.view idx)))
+
+(* Every single-byte corruption must surface as Codec.Corrupt -- never
+   as a different decoded state, never as a random exception.  (The
+   format-version byte is the one legal flip: turning version 1 into 0
+   yields an older-versioned but otherwise intact file, which must then
+   decode to the identical dump.) *)
+let test_snapshot_corruption_rejected () =
+  with_dir "dsdg-store-corrupt" (fun dir ->
+      let path, _, _ = mk_small_store dir in
+      let good = read_file path in
+      let reference = Snapshot.load path in
+      let n = String.length good in
+      let step = max 1 (n / 251) in
+      let checked = ref 0 in
+      let i = ref 0 in
+      while !i < n do
+        let b = Bytes.of_string good in
+        Bytes.set b !i (Char.chr (Char.code (Bytes.get b !i) lxor 0x41));
+        write_file path (Bytes.to_string b);
+        (match Snapshot.load path with
+        | d -> if d <> reference then Alcotest.failf "flip at byte %d silently changed the dump" !i
+        | exception Codec.Corrupt _ -> ()
+        | exception e ->
+          Alcotest.failf "flip at byte %d raised %s, not Corrupt" !i (Printexc.to_string e));
+        incr checked;
+        i := !i + step
+      done;
+      Alcotest.(check bool) "flipped a few bytes" true (!checked > 100))
+
+let test_snapshot_truncation_rejected () =
+  with_dir "dsdg-store-trunc" (fun dir ->
+      let path, _, _ = mk_small_store dir in
+      let good = read_file path in
+      let n = String.length good in
+      List.iter
+        (fun len ->
+          write_file path (String.sub good 0 len);
+          match Snapshot.load path with
+          | _ -> Alcotest.failf "truncation to %d bytes not detected" len
+          | exception Codec.Corrupt _ -> ())
+        [ 0; 1; 3; 4; 5; n / 4; n / 2; n - 1 ])
+
+let test_relation_roundtrip () =
+  with_dir "dsdg-store-rel" (fun dir ->
+      let rel = Dsdg_binrel.Dyn_binrel.create ~tau:4 () in
+      let ops = [ (1, 2); (1, 3); (2, 2); (5, 9); (1, 2); (7, 1) ] in
+      List.iter (fun (o, a) -> ignore (Dsdg_binrel.Dyn_binrel.add rel o a)) ops;
+      ignore (Dsdg_binrel.Dyn_binrel.remove rel 2 2);
+      let path = Filename.concat dir "rel.dsdg" in
+      Snapshot.ensure_dir dir;
+      Codec.write_relation path (Dsdg_binrel.Dyn_binrel.pairs_list rel);
+      let pairs = Codec.read_relation path in
+      Alcotest.(check (list (pair int int))) "pairs" [ (1, 2); (1, 3); (5, 9); (7, 1) ] pairs;
+      (* digraph edge set goes through the same codec *)
+      let g = Dsdg_binrel.Digraph.create () in
+      List.iter (fun (u, v) -> ignore (Dsdg_binrel.Digraph.add_edge g u v)) pairs;
+      Alcotest.(check (list (pair int int))) "edges" pairs (Dsdg_binrel.Digraph.edges g))
+
+(* --- dump/restore across the matrix --- *)
+
+let test_dump_restore_matrix () =
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun backend ->
+          let label = variant_name variant ^ "/" ^ backend_name backend in
+          let idx = Di.create ~variant ~backend ~sample:4 ~tau:4 () in
+          let m = Model.create () in
+          let inserts = drive idx m churn_ops in
+          let dump = Di.dump idx in
+          let restored = Di.restore dump in
+          assert_matches_model ~label restored m ~inserts;
+          Alcotest.(check int)
+            (label ^ ": epoch survives")
+            dump.Di.dm_epoch
+            (Di.view_epoch (Di.view restored)))
+        all_backends)
+    all_variants
+
+(* --- WAL --- *)
+
+let test_wal_roundtrip () =
+  with_dir "dsdg-wal-rt" (fun dir ->
+      Snapshot.ensure_dir dir;
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.create ~sync:(Wal.Every 2) path ~serial0:5 in
+      Alcotest.(check int) "serial 5" 5 (Wal.append w (Trace.Insert "alpha"));
+      Alcotest.(check int) "serial 6" 6 (Wal.append w (Trace.Delete 0));
+      Alcotest.(check int) "serial 7" 7 (Wal.append w (Trace.Insert "beta \"quoted\"\nline"));
+      Wal.close w;
+      let c = Wal.read path in
+      Alcotest.(check int) "serial0" 5 c.Wal.wc_serial0;
+      Alcotest.(check bool) "not truncated" false c.Wal.wc_truncated;
+      Alcotest.(check (list (pair int string)))
+        "records"
+        [ (5, "+ \"alpha\""); (6, "- 0"); (7, Trace.op_to_string (Trace.Insert "beta \"quoted\"\nline")) ]
+        (List.map (fun (s, op) -> (s, Trace.op_to_string op)) c.Wal.wc_ops);
+      (* reopen for append continues the serials *)
+      let w2 = Wal.open_append path ~next_serial:8 in
+      Alcotest.(check int) "serial 8" 8 (Wal.append w2 (Trace.Insert "gamma"));
+      Wal.close w2;
+      Alcotest.(check int) "4 records" 4 (List.length (Wal.read path).Wal.wc_ops))
+
+let test_wal_torn_tail () =
+  with_dir "dsdg-wal-torn" (fun dir ->
+      Snapshot.ensure_dir dir;
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.create path ~serial0:0 in
+      ignore (Wal.append w (Trace.Insert "kept"));
+      ignore (Wal.append w (Trace.Delete 0));
+      Wal.kill w ~torn:true;
+      let c = Wal.read path in
+      Alcotest.(check bool) "truncated" true c.Wal.wc_truncated;
+      Alcotest.(check int) "2 whole records" 2 (List.length c.Wal.wc_ops);
+      Wal.truncate_torn path c;
+      let c2 = Wal.read path in
+      Alcotest.(check bool) "clean after truncation" false c2.Wal.wc_truncated;
+      Alcotest.(check int) "still 2 records" 2 (List.length c2.Wal.wc_ops);
+      (* a parseable-prefix torn record must also be dropped: "- 123"
+         torn to "- 12" parses, but replaying it would delete the wrong
+         id *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "- 12";
+      close_out oc;
+      let c3 = Wal.read path in
+      Alcotest.(check bool) "parseable prefix dropped" true c3.Wal.wc_truncated;
+      Alcotest.(check int) "still 2" 2 (List.length c3.Wal.wc_ops))
+
+let test_wal_interior_corruption_located () =
+  with_dir "dsdg-wal-bad" (fun dir ->
+      Snapshot.ensure_dir dir;
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.create path ~serial0:0 in
+      ignore (Wal.append w (Trace.Insert "ok"));
+      Wal.close w;
+      (* a malformed line *with* a newline was fully written: that is
+         real corruption and must be located, not dropped *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "+ unquoted garbage\n";
+      output_string oc "- 3\n";
+      close_out oc;
+      match Wal.read path with
+      | _ -> Alcotest.fail "interior corruption not detected"
+      | exception Trace.Parse_error e ->
+        Alcotest.(check int) "line number" 3 e.Trace.pe_line;
+        Alcotest.(check bool)
+          "reason names the field" true
+          (String.length e.Trace.pe_reason > 0))
+
+let test_wal_missing_header () =
+  with_dir "dsdg-wal-nohdr" (fun dir ->
+      Snapshot.ensure_dir dir;
+      let path = Filename.concat dir "wal.log" in
+      write_file path "+ \"no header\"\n";
+      match Wal.read path with
+      | _ -> Alcotest.fail "missing header not detected"
+      | exception Trace.Parse_error _ -> ())
+
+(* --- located trace errors in the --replay consumer --- *)
+
+let test_trace_load_located_error () =
+  let path = Filename.temp_file "dsdg-trace-bad" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path "% comment\n+ \"fine\"\n\n= 1 2\n";
+      match Trace.load path with
+      | _ -> Alcotest.fail "bad extract record not detected"
+      | exception Trace.Parse_error e ->
+        Alcotest.(check int) "line number" 4 e.Trace.pe_line;
+        Alcotest.(check string) "offending text" "= 1 2" e.Trace.pe_text;
+        let msg = Trace.parse_error_message ~file:"f.trace" e in
+        Alcotest.(check bool) "message locates" true
+          (String.length msg > 0
+          && String.sub msg 0 2 = "f."
+          && e.Trace.pe_reason <> ""))
+
+(* --- durable store + recovery --- *)
+
+let durable_cfg every =
+  { Durable.sync = Wal.Always; checkpoint_every = every; checkpoint_jobs = 0; keep_snapshots = 2 }
+
+let test_durable_reopen () =
+  with_dir "dsdg-durable" (fun dir ->
+      let d, info0 = Durable.open_ ~config:(durable_cfg 4) ~sample:4 ~tau:4 ~dir () in
+      Alcotest.(check int) "fresh: nothing replayed" 0 info0.Recovery.ri_replayed;
+      let m = Model.create () in
+      let inserts = ref 0 in
+      List.iter
+        (fun (op : Trace.op) ->
+          match op with
+          | Trace.Insert s ->
+            ignore (Model.insert m s);
+            incr inserts;
+            ignore (Durable.insert d s)
+          | Trace.Delete id ->
+            ignore (Model.delete m id);
+            ignore (Durable.delete d id)
+          | _ -> ())
+        churn_ops;
+      let epoch = Di.view_epoch (Di.view (Durable.index d)) in
+      Durable.close d;
+      let d2, info = Durable.open_ ~config:(durable_cfg 4) ~dir () in
+      Alcotest.(check bool) "recovered from a snapshot" true (info.Recovery.ri_snapshot <> None);
+      assert_matches_model ~label:"reopened" (Durable.index d2) m ~inserts:!inserts;
+      Alcotest.(check int) "epoch continues" epoch (Di.view_epoch (Di.view (Durable.index d2)));
+      (* a checkpoint compacts the WAL: the next reopen replays nothing *)
+      Durable.checkpoint d2;
+      Durable.close d2;
+      let d3, info3 = Durable.open_ ~dir () in
+      Alcotest.(check int) "no replay after checkpoint" 0 info3.Recovery.ri_replayed;
+      assert_matches_model ~label:"re-reopened" (Durable.index d3) m ~inserts:!inserts;
+      Durable.close d3)
+
+let test_recovery_idempotent () =
+  with_dir "dsdg-recover-idem" (fun dir ->
+      let d, _ = Durable.open_ ~config:(durable_cfg 5) ~sample:4 ~tau:4 ~dir () in
+      let m = Model.create () in
+      let inserts = ref 0 in
+      List.iter
+        (fun (op : Trace.op) ->
+          match op with
+          | Trace.Insert s ->
+            ignore (Model.insert m s);
+            incr inserts;
+            ignore (Durable.insert d s)
+          | Trace.Delete id ->
+            ignore (Model.delete m id);
+            ignore (Durable.delete d id)
+          | _ -> ())
+        churn_ops;
+      Durable.kill d ~torn:true;
+      (* recovering twice must land in the same state as recovering once *)
+      let idx1, info1 = Recovery.open_or_recover ~dir () in
+      let state idx =
+        ( Di.doc_count idx,
+          Di.total_symbols idx,
+          Di.view_epoch (Di.view idx),
+          List.filter_map
+            (fun id -> Di.extract idx ~doc:id ~off:0 ~len:1000 |> Option.map (fun s -> (id, s)))
+            (List.init !inserts (fun i -> i)) )
+      in
+      let s1 = state idx1 in
+      Alcotest.(check bool) "first recovery truncated the torn tail" true
+        info1.Recovery.ri_truncated;
+      Di.close idx1;
+      let idx2, info2 = Recovery.open_or_recover ~dir () in
+      Alcotest.(check bool) "second recovery sees a clean tail" false info2.Recovery.ri_truncated;
+      Alcotest.(check bool) "identical state" true (state idx2 = s1);
+      assert_matches_model ~label:"recovered" idx2 m ~inserts:!inserts;
+      Di.close idx2)
+
+let test_background_checkpoint () =
+  with_dir "dsdg-ckpt-bg" (fun dir ->
+      let config =
+        { Durable.sync = Wal.Every 4; checkpoint_every = 6; checkpoint_jobs = 1; keep_snapshots = 2 }
+      in
+      let d, _ = Durable.open_ ~config ~sample:4 ~tau:4 ~dir () in
+      let m = Model.create () in
+      let inserts = ref 0 in
+      for round = 0 to 39 do
+        let text = Printf.sprintf "document %d abab%s" round (String.make (round mod 7) 'c') in
+        ignore (Model.insert m text);
+        incr inserts;
+        ignore (Durable.insert d text);
+        if round mod 5 = 4 then begin
+          let id = round - 3 in
+          ignore (Model.delete m id);
+          ignore (Durable.delete d id)
+        end
+      done;
+      Durable.close d;
+      Alcotest.(check bool) "snapshots were installed" true (Snapshot.list ~dir <> []);
+      let d2, _ = Durable.open_ ~dir () in
+      assert_matches_model ~label:"bg-checkpointed" (Durable.index d2) m ~inserts:!inserts;
+      Durable.close d2)
+
+let test_kill_sweep_matrix () =
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun backend ->
+          let label = variant_name variant ^ "/" ^ backend_name backend in
+          let dir = tmp_dir ("dsdg-kill-" ^ variant_name variant ^ backend_name backend) in
+          let ops = Dsdg_check.Opgen.generate ~seed:7 ~ops:24 () in
+          let o = Kill_check.sweep ~variant ~backend ~sample:4 ~tau:4 ~stride:5 ~dir ~ops () in
+          if o.Kill_check.kc_failures <> [] then
+            Alcotest.failf "%s: %s" label (Kill_check.outcome_to_string o))
+        all_backends)
+    all_variants
+
+let test_gap_detected () =
+  with_dir "dsdg-gap" (fun dir ->
+      let d, _ = Durable.open_ ~config:(durable_cfg 4) ~sample:4 ~tau:4 ~dir () in
+      for i = 0 to 11 do
+        ignore (Durable.insert d (Printf.sprintf "doc %d" i))
+      done;
+      Durable.close d;
+      (* delete every snapshot: the WAL has been compacted past serial 0,
+         so its surviving records cannot stand alone *)
+      List.iter (fun (p, _) -> Sys.remove p) (Snapshot.list ~dir);
+      match Durable.open_ ~dir () with
+      | d2, _ ->
+        Durable.close d2;
+        Alcotest.fail "snapshot/WAL gap not detected"
+      | exception Recovery.Gap _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "codec primitives round-trip" `Quick test_codec_primitives;
+    Alcotest.test_case "crc32 check vector" `Quick test_crc32_vector;
+    Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot corruption rejected" `Quick test_snapshot_corruption_rejected;
+    Alcotest.test_case "snapshot truncation rejected" `Quick test_snapshot_truncation_rejected;
+    Alcotest.test_case "relation codec round-trip" `Quick test_relation_roundtrip;
+    Alcotest.test_case "dump/restore across variants x backends" `Quick test_dump_restore_matrix;
+    Alcotest.test_case "wal round-trip" `Quick test_wal_roundtrip;
+    Alcotest.test_case "wal torn tail dropped + truncated" `Quick test_wal_torn_tail;
+    Alcotest.test_case "wal interior corruption located" `Quick test_wal_interior_corruption_located;
+    Alcotest.test_case "wal missing header rejected" `Quick test_wal_missing_header;
+    Alcotest.test_case "trace load locates parse errors" `Quick test_trace_load_located_error;
+    Alcotest.test_case "durable reopen preserves state" `Quick test_durable_reopen;
+    Alcotest.test_case "recovery is idempotent" `Quick test_recovery_idempotent;
+    Alcotest.test_case "background checkpointing" `Quick test_background_checkpoint;
+    Alcotest.test_case "kill-point sweep vs model" `Quick test_kill_sweep_matrix;
+    Alcotest.test_case "snapshot/wal gap detected" `Quick test_gap_detected;
+  ]
