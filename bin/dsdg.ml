@@ -7,9 +7,17 @@
                                   session survives a crash
      dsdg save DIR FILE...        index files into a durable store directory
                                   and checkpoint (snapshot + empty WAL)
-     dsdg load DIR                recover an index from a store directory
+     dsdg open DIR                recover an index from a store directory
                                   (newest valid snapshot + WAL tail replay),
                                   then answer queries from stdin
+     dsdg serve DIR               recover a store and serve it over a Unix or
+                                  TCP socket: queries on the read plane,
+                                  mutations group-committed to the WAL
+                                  (one fsync per batch); SIGTERM/SIGINT
+                                  drain, checkpoint and exit 0
+     dsdg load                    load generator against a running server:
+                                  N client sessions, Zipf document
+                                  popularity, exact p50/p90/p99/p999
      dsdg demo                    run a synthetic churn demo with stats
      dsdg stats                   run a scripted churn workload and dump the
                                   observability layer (counters, latency
@@ -30,28 +38,47 @@
      +TEXT         insert TEXT as a new document
      -ID           delete document ID
      =ID OFF LEN   extract a substring
-     .             print stats and exit *)
+     .             print stats and exit
+
+   Exit codes (see the EXIT STATUS section of the man page):
+     0    success
+     1    a checker found a real divergence (fuzz, kill-and-recover),
+          or a load run finished with errors / zero completed ops
+     2    data error: corrupt store files or an unparseable trace
+     124  command-line usage error (Cmdliner's cli_error)
+     125  unexpected internal error *)
 
 open Dsdg_core
 open Cmdliner
 module Store = Dsdg_store
+module Serve = Dsdg_serve
+
+(* Usage errors that only surface once the command runs (a bad enum
+   value, an impossible flag combination) exit like Cmdliner's own
+   parse errors do, not as internal crashes. *)
+let die_usage fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("dsdg: " ^ msg);
+      exit Cmd.Exit.cli_error)
+    fmt
 
 let variant_of_string = function
   | "amortized" -> Dynamic_index.Amortized
   | "loglog" -> Dynamic_index.Amortized_loglog
   | "worst-case" -> Dynamic_index.Worst_case
-  | s -> invalid_arg ("unknown variant: " ^ s)
+  | s -> die_usage "unknown variant: %s" s
 
 let backend_of_string = function
   | "fm" -> Dynamic_index.Fm
   | "sa" -> Dynamic_index.Plain_sa
   | "csa" -> Dynamic_index.Csa
-  | s -> invalid_arg ("unknown backend: " ^ s)
+  | s -> die_usage "unknown backend: %s" s
 
 let profile_of_string = function
   | "default" -> Dsdg_check.Opgen.default
   | "churny" -> Dsdg_check.Opgen.churny
-  | s -> invalid_arg ("unknown profile: " ^ s)
+  | s -> die_usage "unknown profile: %s" s
 
 (* Store-mode error envelope: a corrupt snapshot, an interior-corrupt
    WAL or a snapshot/WAL serial gap is a problem with the files on
@@ -74,7 +101,7 @@ let with_store_errors ~dir f =
 
 let store_config ~sync ~checkpoint_every ~jobs =
   match Store.Wal.sync_of_string sync with
-  | Error msg -> invalid_arg ("--sync: " ^ msg)
+  | Error msg -> die_usage "--sync: %s" msg
   | Ok s ->
     {
       Store.Durable.default_config with
@@ -216,10 +243,10 @@ let save_cmd dir files whole variant backend sample tau sync =
           (Unix.stat path).Unix.st_size serial
       | [] -> Printf.printf "saved %d document(s) into %s (WAL serial %d)\n" docs dir serial)
 
-(* dsdg load: crash recovery (newest valid snapshot + WAL tail replay)
+(* dsdg open: crash recovery (newest valid snapshot + WAL tail replay)
    followed by the interactive query loop; mutations made in the loop
    keep flowing through the WAL. *)
-let load_cmd dir variant backend sample tau jobs readers sync checkpoint_every =
+let open_cmd dir variant backend sample tau jobs readers sync checkpoint_every =
   with_store_errors ~dir (fun () ->
       let config = store_config ~sync ~checkpoint_every ~jobs in
       let d, info =
@@ -232,6 +259,144 @@ let load_cmd dir variant backend sample tau jobs readers sync checkpoint_every =
         (fun () ->
           repl ~insert:(Store.Durable.insert d) ~delete:(Store.Durable.delete d)
             (Store.Durable.index d)))
+
+(* dsdg serve: the service plane. Recover the store, bind the socket,
+   then park the main thread until SIGTERM/SIGINT (or a quit of the
+   process): the graceful drain finishes in-flight requests, flushes
+   the write queue through a final group commit, checkpoints and exits
+   0 -- the next open replays nothing. *)
+let serve_cmd dir socket host port variant backend sample tau jobs readers sync checkpoint_every
+    max_batch max_frame max_conns timeout =
+  if max_batch < 1 then die_usage "--max-batch must be >= 1 (got %d)" max_batch;
+  if max_frame < 16 then die_usage "--max-frame must be >= 16 bytes (got %d)" max_frame;
+  if max_conns < 1 then die_usage "--max-conns must be >= 1 (got %d)" max_conns;
+  if timeout < 0. then die_usage "--timeout must be >= 0 seconds";
+  let listen =
+    match socket with Some path -> `Unix path | None -> `Tcp (host, port)
+  in
+  with_store_errors ~dir (fun () ->
+      let config = store_config ~sync ~checkpoint_every ~jobs in
+      let store, info =
+        Store.Durable.open_ ~config ~variant:(variant_of_string variant)
+          ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~dir ()
+      in
+      print_endline (Store.Recovery.info_to_string info);
+      let sconfig =
+        {
+          Serve.Server.max_frame;
+          max_batch;
+          max_conns;
+          read_timeout = timeout;
+          write_timeout = timeout;
+        }
+      in
+      let srv =
+        try Serve.Server.start ~config:sconfig ~store listen
+        with Unix.Unix_error (e, _, _) ->
+          Store.Durable.close store;
+          Printf.eprintf "dsdg: cannot bind %s: %s\n"
+            (match listen with
+            | `Unix p -> p
+            | `Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
+            (Unix.error_message e);
+          exit 1
+      in
+      (match (listen, Serve.Server.port srv) with
+      | `Unix path, _ -> Printf.printf "listening on unix socket %s\n%!" path
+      | `Tcp (h, _), Some p -> Printf.printf "listening on %s:%d\n%!" h p
+      | `Tcp (h, p), None -> Printf.printf "listening on %s:%d\n%!" h p);
+      Printf.printf "group commit: up to %d writes per fsync (--sync %s)\n%!" max_batch sync;
+      List.iter
+        (fun s ->
+          Sys.set_signal s (Sys.Signal_handle (fun _ -> Serve.Server.request_stop srv)))
+        [ Sys.sigterm; Sys.sigint ];
+      Serve.Server.wait srv;
+      Printf.printf "draining: finishing in-flight requests, checkpointing %s\n%!" dir;
+      Serve.Server.stop srv;
+      Printf.printf "served %d op(s); store checkpointed cleanly\n%!" (Serve.Server.ops_served srv))
+
+(* dsdg load: closed-loop load generator against a running server.
+   Human summary on stdout plus one BENCH JSON row appended to
+   $DSDG_BENCH_JSON (default BENCH_RESULTS.json), same convention as
+   bench/main.exe, so sweeps over --clients land in one results file. *)
+let bench_json_row ~bench fields =
+  let path =
+    match Sys.getenv_opt "DSDG_BENCH_JSON" with Some p -> p | None -> "BENCH_RESULTS.json"
+  in
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "{\"bench\":\"%s\"" (escape bench));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf ",\"%s\":" (escape k));
+      Buffer.add_string buf
+        (match v with
+        | `S s -> Printf.sprintf "\"%s\"" (escape s)
+        | `I i -> string_of_int i
+        | `F f -> if Float.is_nan f then "null" else Printf.sprintf "%.3f" f))
+    fields;
+  Buffer.add_string buf "}\n";
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let loadgen_cmd socket host port clients ops seed timeout w_insert w_delete w_search w_count
+    w_extract =
+  if clients < 1 then die_usage "--clients must be >= 1 (got %d)" clients;
+  if ops < 1 then die_usage "--ops must be >= 1 (got %d)" ops;
+  if timeout < 0. then die_usage "--timeout must be >= 0 seconds";
+  if w_insert < 0 || w_delete < 0 || w_search < 0 || w_count < 0 || w_extract < 0 then
+    die_usage "operation-mix weights must be >= 0";
+  if w_insert + w_delete + w_search + w_count + w_extract <= 0 then
+    die_usage "operation mix is empty: give at least one positive weight";
+  let addr = match socket with Some path -> `Unix path | None -> `Tcp (host, port) in
+  let mix =
+    {
+      Serve.Load_gen.insert = w_insert;
+      delete = w_delete;
+      search = w_search;
+      count = w_count;
+      extract = w_extract;
+    }
+  in
+  let r =
+    try Serve.Load_gen.run ~mix ~timeout addr ~clients ~ops ~seed
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "dsdg: cannot reach %s: %s\n"
+        (match addr with `Unix p -> p | `Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
+        (Unix.error_message e);
+      exit 1
+  in
+  print_endline (Serve.Load_gen.report_to_string r);
+  bench_json_row ~bench:"serve/load"
+    [
+      ("clients", `I r.Serve.Load_gen.clients);
+      ("ops", `I r.Serve.Load_gen.ops);
+      ("errors", `I r.Serve.Load_gen.errors);
+      ("writes", `I r.Serve.Load_gen.writes);
+      ("queries", `I r.Serve.Load_gen.queries);
+      ("elapsed_s", `F r.Serve.Load_gen.elapsed_s);
+      ("qps", `F r.Serve.Load_gen.qps);
+      ("p50_us", `F r.Serve.Load_gen.p50_us);
+      ("p90_us", `F r.Serve.Load_gen.p90_us);
+      ("p99_us", `F r.Serve.Load_gen.p99_us);
+      ("p999_us", `F r.Serve.Load_gen.p999_us);
+      ("max_us", `F r.Serve.Load_gen.max_us);
+      ("write_p99_us", `F r.Serve.Load_gen.write_p99_us);
+    ];
+  if r.Serve.Load_gen.ops = 0 || r.Serve.Load_gen.errors > 0 then exit 1
 
 let demo_cmd ops =
   let open Dsdg_workload in
@@ -364,6 +529,10 @@ let stats_cmd ops variant backend sample tau no_obs jobs readers store sync chec
 let fuzz_cmd seed ops streams variant backend sample tau fault profile replay trace_dir jobs
     readers store sync checkpoint_every kill_stride =
   let open Dsdg_check in
+  (* validate enums up front so a typo is a usage error (124), not an
+     internal crash from deep inside the runner *)
+  if variant <> "all" then ignore (variant_of_string variant);
+  if backend <> "all" then ignore (backend_of_string backend);
   let load_trace file =
     try Trace.load file
     with Trace.Parse_error e ->
@@ -379,7 +548,7 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
       | "none" -> false
       | "torn-write" -> true
       | s ->
-        invalid_arg ("--store kill-and-recover mode supports --fault none | torn-write, not " ^ s)
+        die_usage "--store kill-and-recover mode supports --fault none | torn-write, not %s" s
     in
     let sweep_ops =
       match replay with
@@ -435,15 +604,15 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
           | "worker-crash" -> Some `Worker_crash
           | "stale-epoch" -> Some `Stale_epoch
           | "torn-write" ->
-            invalid_arg
+            die_usage
               "--fault torn-write plants a half-written WAL record in the durable store; add --store DIR"
-          | s -> invalid_arg ("unknown fault: " ^ s));
+          | s -> die_usage "unknown fault: %s" s);
       }
     in
     if config.Runner.fault = Some `Worker_crash && jobs = 0 then
-      invalid_arg "--fault worker-crash requires --jobs >= 1 (it sabotages the pooled executor)";
+      die_usage "--fault worker-crash requires --jobs >= 1 (it sabotages the pooled executor)";
     if config.Runner.fault = Some `Stale_epoch && readers = 0 then
-      invalid_arg
+      die_usage
         "--fault stale-epoch requires --readers >= 1 (it breaks only the read plane, which direct queries never touch)";
     let profile = profile_of_string profile in
     let tnames = String.concat ", " (List.map (fun t -> t.Runner.tg_name) targets) in
@@ -537,12 +706,105 @@ let save_t =
       const save_cmd $ store_dir_pos $ save_files_arg $ whole_arg $ variant_arg $ backend_arg
       $ sample_arg $ tau_arg $ sync_arg)
 
+let open_t =
+  Cmd.v
+    (Cmd.info "open" ~doc:"Recover an index from a store directory and answer queries interactively")
+    Term.(
+      const open_cmd $ store_dir_pos $ variant_arg $ backend_arg $ sample_arg $ tau_arg $ jobs_arg
+      $ readers_arg $ sync_arg $ checkpoint_every_arg)
+
+(* --- service plane: serve + load --- *)
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on (serve) or dial (load) a Unix-domain socket at $(docv) instead of TCP.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"ADDR" ~doc:"TCP address to bind or dial (numeric).")
+
+let port_arg =
+  Arg.(value & opt int 7433
+       & info [ "port" ] ~docv:"PORT" ~doc:"TCP port; with $(b,serve), 0 picks an ephemeral port.")
+
+let max_batch_arg =
+  Arg.(value & opt int 256
+       & info [ "max-batch" ] ~docv:"N"
+           ~doc:"Writes per group commit: the writer drains up to $(docv) queued mutations into one WAL append + one fsync. 1 degenerates to per-op fsync.")
+
+let max_frame_arg =
+  Arg.(value & opt int (1 lsl 20)
+       & info [ "max-frame" ] ~docv:"BYTES"
+           ~doc:"Per-connection request frame size bound; an overlong frame closes that connection.")
+
+let max_conns_arg =
+  Arg.(value & opt int 1024
+       & info [ "max-conns" ] ~docv:"N" ~doc:"Concurrent connections before new accepts are rejected.")
+
+let timeout_arg =
+  Arg.(value & opt float 30.
+       & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-connection socket read/write timeout (0 = no timeout).")
+
+let serve_t =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a store over a socket with group-committed writes"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Recover the store in $(i,DIR) and serve it. Queries run against the \
+              epoch-published read plane (add $(b,--readers) for a reader-domain pool); \
+              mutations from all connections are funneled to one writer thread and \
+              committed in groups of up to $(b,--max-batch): one WAL append, one fsync, \
+              then every client in the batch gets its acknowledgment. SIGTERM or SIGINT \
+              triggers the graceful drain: in-flight requests finish, the write queue \
+              flushes, the store checkpoints, and the process exits 0.";
+         ])
+    Term.(
+      const serve_cmd $ store_dir_pos $ socket_arg $ host_arg $ port_arg $ variant_arg
+      $ backend_arg $ sample_arg $ tau_arg $ jobs_arg $ readers_arg $ sync_arg
+      $ checkpoint_every_arg $ max_batch_arg $ max_frame_arg $ max_conns_arg $ timeout_arg)
+
+let clients_arg =
+  Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client sessions.")
+
+let load_ops_arg =
+  Arg.(value & opt int 4000
+       & info [ "ops" ] ~docv:"N" ~doc:"Total operations, split across the client sessions.")
+
+let load_seed_arg =
+  Arg.(value & opt int 42
+       & info [ "seed" ] ~doc:"Base random seed (session i draws from seed + 31i).")
+
+let mix_weight name default doc = Arg.(value & opt int default & info [ name ] ~docv:"W" ~doc)
+let w_insert_arg = mix_weight "insert-weight" 20 "Relative weight of inserts in the op mix."
+let w_delete_arg = mix_weight "delete-weight" 5 "Relative weight of deletes in the op mix."
+let w_search_arg = mix_weight "search-weight" 50 "Relative weight of searches in the op mix."
+let w_count_arg = mix_weight "count-weight" 15 "Relative weight of counts in the op mix."
+let w_extract_arg = mix_weight "extract-weight" 10 "Relative weight of extracts in the op mix."
+
 let load_t =
   Cmd.v
-    (Cmd.info "load" ~doc:"Recover an index from a store directory and answer queries interactively")
+    (Cmd.info "load"
+       ~doc:"Generate client load against a running dsdg serve"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Closed-loop load generator: $(b,--clients) threads, each with its own \
+              connection and deterministic rng, firing a Zipf-skewed operation mix \
+              ($(b,--insert-weight) etc.). Latency is recorded raw per operation, so the \
+              reported p999 is exact, not a histogram-bucket bound. Prints a one-line \
+              summary and appends a BENCH JSON row to $(b,DSDG_BENCH_JSON) (default \
+              BENCH_RESULTS.json). Exits 1 if any operation errored or none completed.";
+         ])
     Term.(
-      const load_cmd $ store_dir_pos $ variant_arg $ backend_arg $ sample_arg $ tau_arg $ jobs_arg
-      $ readers_arg $ sync_arg $ checkpoint_every_arg)
+      const loadgen_cmd $ socket_arg $ host_arg $ port_arg $ clients_arg $ load_ops_arg
+      $ load_seed_arg $ timeout_arg $ w_insert_arg $ w_delete_arg $ w_search_arg $ w_count_arg
+      $ w_extract_arg)
 
 let demo_t = Cmd.v (Cmd.info "demo" ~doc:"Synthetic churn demo") Term.(const demo_cmd $ ops_arg)
 
@@ -590,6 +852,21 @@ let fuzz_t =
 
 let () =
   let doc = "dynamic compressed document collection index (Munro-Nekrich-Vitter, PODS 2015)" in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "$(tname) uses a fixed exit-code scheme across every subcommand:";
+      `I ("0", "success.");
+      `I
+        ( "1",
+          "a checker found a real divergence (fuzz, kill-and-recover), a server could not \
+           bind, or a load run finished with errors or zero completed operations." );
+      `I ("2", "data error: corrupt store files or an unparseable trace.");
+      `I ("124", "command-line usage error (bad flag value or impossible combination).");
+      `I ("125", "unexpected internal error.");
+    ]
+  in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "dsdg" ~doc) [ index_t; save_t; load_t; demo_t; stats_t; fuzz_t ]))
+       (Cmd.group (Cmd.info "dsdg" ~doc ~man)
+          [ index_t; save_t; open_t; serve_t; load_t; demo_t; stats_t; fuzz_t ]))

@@ -1,0 +1,105 @@
+module Trace = Dsdg_check.Trace
+
+type t = { fd : Unix.file_descr; rd : Protocol.reader; mutable closed : bool }
+
+exception Server_error of string
+exception Protocol_error of string
+
+let connect ?(timeout = 30.) ?(max_frame = 1 lsl 20) addr =
+  let domain, sockaddr =
+    match addr with
+    | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd sockaddr;
+     if timeout > 0. then begin
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+       Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+     end
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; rd = Protocol.reader ~max_frame fd; closed = false }
+
+let read_response t =
+  match Protocol.read_frame t.rd with
+  | `Eof -> raise (Protocol_error "connection closed before the response arrived")
+  | `Too_long -> raise (Protocol_error "response frame exceeds max_frame")
+  | `Frame line -> (
+    match Protocol.parse_response line with
+    | Ok (Protocol.Err reason) -> raise (Server_error reason)
+    | Ok resp -> resp
+    | Error reason -> raise (Protocol_error reason))
+
+let roundtrip t req =
+  if t.closed then raise (Protocol_error "client is closed");
+  Protocol.write_frame t.fd (Protocol.request_to_string req);
+  read_response t
+
+let unexpected what resp =
+  raise
+    (Protocol_error
+       (Printf.sprintf "expected %s, got %S" what (Protocol.response_to_string resp)))
+
+(* [Id] never comes back from [parse_response] (the wire spelling is
+   shared with [Int]), so integer-valued verbs match both. *)
+let insert t text =
+  match roundtrip t (Protocol.Op (Trace.Insert text)) with
+  | Protocol.Int id | Protocol.Id id -> id
+  | resp -> unexpected "a document id" resp
+
+let bool_of_resp what = function
+  | Protocol.Bool b -> b
+  | Protocol.Int 0 | Protocol.Id 0 -> false
+  | Protocol.Int 1 | Protocol.Id 1 -> true
+  | resp -> unexpected what resp
+
+let delete t id = bool_of_resp "a 0/1 delete result" (roundtrip t (Protocol.Op (Trace.Delete id)))
+
+let search t pat =
+  match roundtrip t (Protocol.Op (Trace.Search pat)) with
+  | Protocol.Hits l -> l
+  | resp -> unexpected "a hit list" resp
+
+let count t pat =
+  match roundtrip t (Protocol.Op (Trace.Count pat)) with
+  | Protocol.Int n | Protocol.Id n -> n
+  | resp -> unexpected "a count" resp
+
+let extract t ~doc ~off ~len =
+  match roundtrip t (Protocol.Op (Trace.Extract { doc; off; len })) with
+  | Protocol.Text s -> Some s
+  | Protocol.No_text -> None
+  | resp -> unexpected "text or none" resp
+
+let mem t id = bool_of_resp "a 0/1 membership result" (roundtrip t (Protocol.Op (Trace.Mem id)))
+
+let stats t =
+  match roundtrip t Protocol.Stats with
+  | Protocol.Stats_of kvs -> kvs
+  | resp -> unexpected "stats" resp
+
+let ping t =
+  match roundtrip t Protocol.Ping with
+  | Protocol.Pong -> ()
+  | resp -> unexpected "pong" resp
+
+let raw t line =
+  if t.closed then raise (Protocol_error "client is closed");
+  Protocol.write_frame t.fd line;
+  match Protocol.read_frame t.rd with
+  | `Eof -> raise (Protocol_error "connection closed before the response arrived")
+  | `Too_long -> raise (Protocol_error "response frame exceeds max_frame")
+  | `Frame line -> line
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try
+       Protocol.write_frame t.fd "quit";
+       match Protocol.read_frame t.rd with `Frame _ | `Eof | `Too_long -> ()
+     with Unix.Unix_error _ | Protocol_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

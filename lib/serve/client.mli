@@ -1,0 +1,55 @@
+(** Blocking client for the service plane: one socket, one outstanding
+    request at a time. Thread-safe use requires one client per thread
+    (the load generator does exactly that).
+
+    Each call writes one request frame and blocks for the one response
+    frame. A server-side [err] response raises {!Server_error} (the
+    connection stays usable); an unparseable or unexpected response, or
+    an EOF mid-request, raises {!Protocol_error} (the connection is
+    dead). Socket-level failures escape as [Unix.Unix_error]. *)
+
+type t
+
+(** The server answered [err "reason"]. *)
+exception Server_error of string
+
+(** The response stream is broken: unparseable frame, a response shape
+    that does not match the request verb, or EOF where a response was
+    due. *)
+exception Protocol_error of string
+
+(** [connect ?timeout addr] dials a {!Server.listen} address.
+    [timeout] (seconds, default [30.]) bounds each socket read and
+    write ([0.] = forever). Raises [Unix.Unix_error] on refusal. *)
+val connect : ?timeout:float -> ?max_frame:int -> [ `Unix of string | `Tcp of string * int ] -> t
+
+(** [insert t text] -> the new document id. The returned id has been
+    group-committed to the WAL under the server's sync policy before
+    this call returns. *)
+val insert : t -> string -> int
+
+(** [delete t id] -> [true] iff the document existed. Durable on
+    return, like {!insert}. *)
+val delete : t -> int -> bool
+
+(** [search t pat] -> (doc, offset) pairs, [(-1, -1)] sentinel pairs
+    included for tombstoned docs, exactly as
+    {!Dsdg_core.Dynamic_index.view_search} reports them. *)
+val search : t -> string -> (int * int) list
+
+val count : t -> string -> int
+val extract : t -> doc:int -> off:int -> len:int -> string option
+val mem : t -> int -> bool
+
+(** Server + index counters, as [key, value] pairs. *)
+val stats : t -> (string * int) list
+
+val ping : t -> unit
+
+(** Send a raw request line and return the raw response line --
+    the escape hatch the malformed-frame tests use. *)
+val raw : t -> string -> string
+
+(** Polite close: send [quit], await [ok bye], close the socket.
+    Idempotent; errors during the farewell are swallowed. *)
+val close : t -> unit

@@ -1,0 +1,231 @@
+module Text_gen = Dsdg_workload.Text_gen
+open Dsdg_obs
+
+type mix = { insert : int; delete : int; search : int; count : int; extract : int }
+
+let default_mix = { insert = 20; delete = 5; search = 50; count = 15; extract = 10 }
+
+type report = {
+  clients : int;
+  ops : int;
+  errors : int;
+  elapsed_s : float;
+  qps : float;
+  writes : int;
+  queries : int;
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+  p999_us : float;
+  max_us : float;
+  write_p99_us : float;
+}
+
+(* per-session tally, merged after the join *)
+type session = {
+  lat_ns : int array;  (* latency of op i, 0 = not completed *)
+  kind : Bytes.t;  (* 'w' write, 'q' query, '.' failed/skipped *)
+  mutable done_ops : int;
+  mutable errs : int;
+}
+
+type op_kind = K_insert | K_delete | K_search | K_count | K_extract
+
+let pick_op st mix =
+  let total = mix.insert + mix.delete + mix.search + mix.count + mix.extract in
+  let r = Random.State.int st total in
+  if r < mix.insert then K_insert
+  else if r < mix.insert + mix.delete then K_delete
+  else if r < mix.insert + mix.delete + mix.search then K_search
+  else if r < mix.insert + mix.delete + mix.search + mix.count then K_count
+  else K_extract
+
+(* Zipf-popular pick among this session's documents: rank 1 (hottest)
+   maps to the most recent insert. *)
+let pick_doc st ids n = ids.(n - Text_gen.zipf st ~max:n)
+
+let pick_pattern st =
+  let w = Text_gen.words in
+  w.(Text_gen.zipf st ~max:(Array.length w) - 1)
+
+let session_loop addr ~timeout ~mix ~seed ~index ~ops:n (s : session) barrier =
+  let st = Text_gen.rng (seed + (31 * index)) in
+  let cli = ref (Client.connect ~timeout addr) in
+  (* own inserts, for delete/extract targeting *)
+  let ids = Array.make (max 1 n) 0 in
+  let n_ids = ref 0 in
+  let remember id =
+    if !n_ids < Array.length ids then begin
+      ids.(!n_ids) <- id;
+      incr n_ids
+    end
+  in
+  barrier ();
+  for i = 0 to n - 1 do
+    let kind = if !n_ids = 0 then K_insert else pick_op st mix in
+    let t0 = Obs.now_ns () in
+    match
+      (match kind with
+      | K_insert ->
+        let len = Text_gen.zipf st ~max:200 in
+        remember (Client.insert !cli (Text_gen.english_like st ~len));
+        'w'
+      | K_delete ->
+        ignore (Client.delete !cli (pick_doc st ids !n_ids));
+        'w'
+      | K_search ->
+        ignore (Client.search !cli (pick_pattern st));
+        'q'
+      | K_count ->
+        ignore (Client.count !cli (pick_pattern st));
+        'q'
+      | K_extract ->
+        let doc = pick_doc st ids !n_ids in
+        let off = Random.State.int st 64 and len = 1 + Random.State.int st 16 in
+        ignore (Client.extract !cli ~doc ~off ~len);
+        'q')
+    with
+    | k ->
+      s.lat_ns.(i) <- Obs.now_ns () - t0;
+      Bytes.set s.kind i k;
+      s.done_ops <- s.done_ops + 1
+    | exception Client.Server_error _ ->
+      (* semantic refusal; the connection is still good *)
+      s.errs <- s.errs + 1
+    | exception (Client.Protocol_error _ | Unix.Unix_error _) ->
+      s.errs <- s.errs + 1;
+      Client.close !cli;
+      (* one redial; a second failure ends the session *)
+      (match Client.connect ~timeout addr with
+      | c -> cli := c
+      | exception (Unix.Unix_error _ as e) ->
+        ignore e;
+        raise Exit)
+  done;
+  Client.close !cli
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let idx = min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)) in
+    float_of_int sorted.(idx) /. 1e3
+  end
+
+let run ?(mix = default_mix) ?(timeout = 30.) addr ~clients ~ops ~seed =
+  if clients < 1 then invalid_arg "Load_gen.run: clients < 1";
+  if ops < 1 then invalid_arg "Load_gen.run: ops < 1";
+  if
+    mix.insert < 0 || mix.delete < 0 || mix.search < 0 || mix.count < 0 || mix.extract < 0
+    || mix.insert + mix.delete + mix.search + mix.count + mix.extract <= 0
+  then invalid_arg "Load_gen.run: mix needs nonnegative weights, at least one positive";
+  let per_client i = (ops / clients) + if i < ops mod clients then 1 else 0 in
+  let sessions =
+    Array.init clients (fun i ->
+        let n = per_client i in
+        { lat_ns = Array.make n 0; kind = Bytes.make n '.'; done_ops = 0; errs = 0 })
+  in
+  (* start barrier: connect everywhere first, measure from the release *)
+  let mu = Mutex.create () and cv = Condition.create () in
+  let ready = ref 0 and go = ref false in
+  let t_start = ref 0. in
+  let arrived = Array.make clients false in
+  let first_exn = ref None in
+  let arrive i =
+    if not arrived.(i) then begin
+      arrived.(i) <- true;
+      incr ready;
+      Condition.broadcast cv
+    end
+  in
+  let barrier i () =
+    Mutex.lock mu;
+    arrive i;
+    while not !go do
+      Condition.wait cv mu
+    done;
+    Mutex.unlock mu
+  in
+  let threads =
+    Array.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            (try
+               session_loop addr ~timeout ~mix ~seed ~index:i ~ops:(per_client i) sessions.(i)
+                 (barrier i)
+             with
+            | Exit -> ()
+            | e ->
+              (* e.g. the very connect failed; count it and remember
+                 the reason in case nobody got through at all *)
+              sessions.(i).errs <- sessions.(i).errs + 1;
+              Mutex.lock mu;
+              if !first_exn = None then first_exn := Some e;
+              Mutex.unlock mu);
+            (* a session that died before the barrier must still check
+               in, or the release below waits forever *)
+            Mutex.lock mu;
+            arrive i;
+            Mutex.unlock mu)
+          ())
+  in
+  Mutex.lock mu;
+  while !ready < clients do
+    Condition.wait cv mu
+  done;
+  t_start := Unix.gettimeofday ();
+  go := true;
+  Condition.broadcast cv;
+  Mutex.unlock mu;
+  Array.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. !t_start in
+  let done_ops = Array.fold_left (fun a s -> a + s.done_ops) 0 sessions in
+  (* nothing at all got through: surface the underlying failure
+     (server unreachable beats a report full of zeros) *)
+  if done_ops = 0 then Option.iter raise !first_exn;
+  let errors = Array.fold_left (fun a s -> a + s.errs) 0 sessions in
+  let all = Array.make done_ops 0 and wlat = ref [] in
+  let writes = ref 0 and queries = ref 0 and j = ref 0 in
+  Array.iter
+    (fun s ->
+      Array.iteri
+        (fun i l ->
+          match Bytes.get s.kind i with
+          | 'w' ->
+            incr writes;
+            wlat := l :: !wlat;
+            all.(!j) <- l;
+            incr j
+          | 'q' ->
+            incr queries;
+            all.(!j) <- l;
+            incr j
+          | _ -> ())
+        s.lat_ns)
+    sessions;
+  let all = Array.sub all 0 !j in
+  Array.sort compare all;
+  let wlat = Array.of_list !wlat in
+  Array.sort compare wlat;
+  {
+    clients;
+    ops = done_ops;
+    errors;
+    elapsed_s;
+    qps = (if elapsed_s > 0. then float_of_int done_ops /. elapsed_s else 0.);
+    writes = !writes;
+    queries = !queries;
+    p50_us = percentile all 0.50;
+    p90_us = percentile all 0.90;
+    p99_us = percentile all 0.99;
+    p999_us = percentile all 0.999;
+    max_us = (if Array.length all = 0 then 0. else float_of_int all.(Array.length all - 1) /. 1e3);
+    write_p99_us = percentile wlat 0.99;
+  }
+
+let report_to_string r =
+  Printf.sprintf
+    "clients=%d ops=%d (w=%d q=%d) errors=%d elapsed=%.3fs qps=%.0f p50=%.0fus p90=%.0fus \
+     p99=%.0fus p999=%.0fus max=%.0fus write_p99=%.0fus"
+    r.clients r.ops r.writes r.queries r.errors r.elapsed_s r.qps r.p50_us r.p90_us r.p99_us
+    r.p999_us r.max_us r.write_p99_us

@@ -1,0 +1,54 @@
+(** Closed-loop load generator for the service plane: [clients] threads,
+    each with its own {!Client} connection and its own deterministic
+    rng, firing a weighted operation mix back-to-back and recording
+    every operation's latency raw (no histogram bucketing), so the
+    report's p999 is exact.
+
+    Document popularity is Zipf-distributed ({!Dsdg_workload.Text_gen.zipf}):
+    deletes and extracts prefer a session's recently inserted documents,
+    and search/count patterns are Zipf-ranked draws from
+    {!Dsdg_workload.Text_gen.words} -- a few hot patterns dominate, the
+    tail is long, as in the paper's document-collection workloads. *)
+
+(** Relative operation weights; at least one must be positive. *)
+type mix = { insert : int; delete : int; search : int; count : int; extract : int }
+
+(** 20 / 5 / 50 / 15 / 10. *)
+val default_mix : mix
+
+type report = {
+  clients : int;
+  ops : int;  (** operations completed (acknowledged responses) *)
+  errors : int;  (** [err] responses + broken-connection incidents *)
+  elapsed_s : float;  (** wall clock from the synchronized start barrier *)
+  qps : float;
+  writes : int;  (** insert + delete among [ops] *)
+  queries : int;  (** search + count + extract among [ops] *)
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+  p999_us : float;  (** exact: computed from the sorted raw latencies *)
+  max_us : float;
+  write_p99_us : float;  (** p99 over the write ops alone *)
+}
+
+(** [run addr ~clients ~ops ~seed] connects [clients] sessions, splits
+    [ops] total operations across them, releases them through a start
+    barrier and blocks until all finish. Deterministic op sequence per
+    ([seed], client index); latencies of course are not. A connection
+    that breaks mid-run is counted in [errors] and redialed once. If
+    {e no} operation completes at all (e.g. the server is unreachable),
+    the underlying exception is re-raised instead of returning a report
+    of zeros. Raises [Invalid_argument] on [clients < 1], [ops < 1],
+    or a mix with no positive weight. *)
+val run :
+  ?mix:mix ->
+  ?timeout:float ->
+  [ `Unix of string | `Tcp of string * int ] ->
+  clients:int ->
+  ops:int ->
+  seed:int ->
+  report
+
+(** One-line human rendering of a report. *)
+val report_to_string : report -> string

@@ -86,7 +86,9 @@ let install t ~tmp ~serial ~tail =
   let t0 = Obs.start () in
   Unix.rename tmp (Snapshot.path_for ~dir:t.dir ~wal_serial:serial);
   Snapshot.prune ~dir:t.dir ~keep:t.cfg.keep_snapshots;
+  let old = t.wal in
   t.wal <- Wal.rewrite ~sync:t.cfg.sync (Wal.path t.wal) ~serial0:serial (List.rev tail);
+  Wal.abandon old;
   Obs.incr c_checkpoints;
   Obs.stop h_install_ns t0
 
@@ -125,7 +127,9 @@ let checkpoint_now t =
   let dump = Di.checkpoint_body (Di.checkpoint_header t.idx v) v in
   ignore (Snapshot.save ~dir:t.dir ~wal_serial:serial dump);
   Snapshot.prune ~dir:t.dir ~keep:t.cfg.keep_snapshots;
+  let old = t.wal in
   t.wal <- Wal.rewrite ~sync:t.cfg.sync (Wal.path t.wal) ~serial0:serial [];
+  Wal.abandon old;
   t.updates_since_checkpoint <- 0;
   Obs.incr c_checkpoints;
   Obs.stop h_checkpoint_ns t0
@@ -182,6 +186,34 @@ let delete t id =
   let ok = Di.delete t.idx id in
   after_update t op;
   ok
+
+type batch_result = Br_inserted of int | Br_deleted of bool
+
+(* Group commit: the whole batch is logged (and fsynced once, per the
+   policy) before any of it is applied, so a batch acknowledged to a
+   client is durable as a unit -- a crash either replays all of it or
+   none of the unacknowledged suffix. *)
+let apply_batch t ops =
+  check_open t;
+  List.iter
+    (function
+      | Trace.Insert _ | Trace.Delete _ -> ()
+      | op ->
+        invalid_arg
+          (Printf.sprintf "Durable.apply_batch: %S is not a mutation" (Trace.op_to_string op)))
+    ops;
+  ignore (Wal.append_batch t.wal ops);
+  List.map
+    (fun op ->
+      let r =
+        match op with
+        | Trace.Insert text -> Br_inserted (Di.insert t.idx text)
+        | Trace.Delete id -> Br_deleted (Di.delete t.idx id)
+        | _ -> assert false
+      in
+      after_update t op;
+      r)
+    ops
 
 let checkpoint t =
   check_open t;

@@ -59,6 +59,18 @@ val insert : t -> string -> int
     dead (the record still lands in the log and replays idempotently). *)
 val delete : t -> int -> bool
 
+(** Outcome of one mutation of a batch, in batch order. *)
+type batch_result = Br_inserted of int | Br_deleted of bool
+
+(** [apply_batch t ops] is the group-commit write path: the whole batch
+    is WAL-appended and the fsync policy runs {e once}
+    ({!Wal.append_batch}) before any mutation is applied, so under
+    [Always] an arbitrarily large batch costs a single fsync and every
+    acknowledged mutation is durable. Only [Insert]/[Delete] ops are
+    legal; anything else raises [Invalid_argument] before the log is
+    touched. [apply_batch t [op]] is equivalent to {!insert}/{!delete}. *)
+val apply_batch : t -> Dsdg_check.Trace.op list -> batch_result list
+
 (** Serial the next mutation will be logged under. *)
 val wal_serial : t -> int
 

@@ -47,6 +47,15 @@ val create : ?sync:sync -> string -> serial0:int -> t
     fsyncs per the {!sync} policy. *)
 val append : t -> Dsdg_check.Trace.op -> int
 
+(** [append_batch t ops] appends the whole batch, flushes once, and
+    runs the {!sync} policy {e once} for the batch -- under [Always]
+    that is a single fsync amortized over every record (group commit);
+    under [Every n] the pending-append counter advances by the batch
+    length, preserving the "fewer than [n] acknowledged records lost"
+    crash window. Returns the serial of the first record ([ops = []]
+    appends nothing and returns {!next_serial}). *)
+val append_batch : t -> Dsdg_check.Trace.op list -> int
+
 (** Serial the next {!append} will assign. *)
 val next_serial : t -> int
 
@@ -58,6 +67,17 @@ val sync : t -> unit
 
 (** [sync] then close. *)
 val close : t -> unit
+
+(** Close the descriptor of a handle whose file has been superseded (a
+    compaction renamed a fresh log over it) without any final fsync.
+    Using the handle afterwards is an error. *)
+val abandon : t -> unit
+
+(** The [Every n] pending-append counter: acknowledged appends since
+    the last fsync (always [0] under [Always] and [Never], which never
+    advance it). Exposed so regression tests can pin the accounting
+    across batches, compaction and reopen. *)
+val unsynced : t -> int
 
 (** Crash simulation for the kill-and-recover harness: close the file
     abruptly, with no final fsync; with [torn:true], first append a

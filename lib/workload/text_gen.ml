@@ -32,13 +32,27 @@ let markov st ~sigma ~len ~skew =
   done;
   Bytes.to_string buf
 
-(* Zipf-ish value in [1, max]: P(v) ~ 1/v. *)
+(* Zipf-ish value in [1, max]: P(v) ~ 1/v.  Guarded against the
+   degenerate ends of the parameter range: [max < 1] has an empty value
+   range and is a caller bug (previously it silently produced the
+   out-of-range 0); [max = 1] short-circuits (log 1 = 0 makes the draw
+   pointless); a huge [max] can push [exp] past [max_int] into +inf,
+   whose [int_of_float] is undefined -- clamp in float space first. *)
 let zipf st ~max =
-  let u = Random.State.float st 1.0 in
-  let v = int_of_float (exp (u *. log (float_of_int max))) in
-  min max (Stdlib.max 1 v)
+  if max < 1 then invalid_arg "Text_gen.zipf: max < 1 (the value range [1, max] is empty)";
+  if max = 1 then 1
+  else begin
+    let fmax = float_of_int max in
+    let u = Random.State.float st 1.0 in
+    let f = exp (u *. log fmax) in
+    if Float.is_nan f then 1
+    else if f >= fmax then max
+    else Stdlib.max 1 (int_of_float f)
+  end
 
-let zipf_lengths st ~count ~max_len = Array.init count (fun _ -> zipf st ~max:max_len)
+let zipf_lengths st ~count ~max_len =
+  if count < 0 then invalid_arg "Text_gen.zipf_lengths: count < 0";
+  Array.init count (fun _ -> zipf st ~max:max_len)
 
 let words =
   [| "data"; "index"; "query"; "search"; "page"; "user"; "click"; "shop"; "cart"; "item";

@@ -14,9 +14,14 @@ val uniform : rng -> sigma:int -> len:int -> string
     [skew] lowers H1 below H0. *)
 val markov : rng -> sigma:int -> len:int -> skew:float -> string
 
-(** Zipf-ish value in [1, max] (P(v) ~ 1/v). *)
+(** Zipf-ish value in [1, max] (P(v) ~ 1/v). Total on [max >= 1] --
+    the result is always within [1, max], including [max = 1] and
+    values of [max] large enough that the float draw overflows; raises
+    [Invalid_argument] on [max < 1] (an empty value range). *)
 val zipf : rng -> max:int -> int
 
+(** [count] draws of [zipf ~max:max_len]; raises [Invalid_argument] on
+    [count < 0] or [max_len < 1]. *)
 val zipf_lengths : rng -> count:int -> max_len:int -> int array
 
 (** Small word vocabulary used by [english_like] and [url_log]. *)

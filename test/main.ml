@@ -15,6 +15,8 @@ let () =
       ("dynseq", Suite_dynseq.suite);
       ("binrel", Suite_binrel.suite);
       ("workload", Suite_workload.suite);
+      ("serve", Suite_serve.suite);
+      ("cli", Suite_cli.suite);
       ("api", Suite_api.suite);
       ("rrr", Suite_rrr.suite);
       ("bp", Suite_bp.suite) ]

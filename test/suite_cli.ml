@@ -1,0 +1,172 @@
+(* CLI smoke tests against the real dsdg binary: the documented exit
+   code scheme (0 success / 1 runtime / 2 data / 124 usage), and a
+   serve -> load -> SIGTERM round-trip over a Unix socket that checks
+   graceful drain, checkpoint-on-stop, and the BENCH JSON row. *)
+
+module Durable = Dsdg_store.Durable
+module Recovery = Dsdg_store.Recovery
+module Client = Dsdg_serve.Client
+
+let dsdg_bin =
+  lazy
+    (let candidates =
+       (match Sys.getenv_opt "DSDG_BIN" with Some p -> [ p ] | None -> [])
+       @ [ "../bin/dsdg.exe"; "_build/default/bin/dsdg.exe"; "bin/dsdg.exe" ]
+     in
+     match List.find_opt Sys.file_exists candidates with
+     | Some p -> Some p
+     | None -> None)
+
+let with_bin f =
+  match Lazy.force dsdg_bin with
+  | Some bin -> f bin
+  | None -> () (* binary not built in this context; nothing to smoke *)
+
+let tmp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  d
+
+let with_dir prefix f =
+  let d = tmp_dir prefix in
+  Fun.protect ~finally:(fun () -> Dsdg_store.Kill_check.reset_dir d) (fun () -> f d)
+
+let dev_null_in () = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0
+let dev_null_out () = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0
+
+(* Run the binary to completion, stdin/stdout/stderr on /dev/null,
+   and return its exit code. *)
+let run_exit bin args =
+  let i = dev_null_in () and o = dev_null_out () and e = dev_null_out () in
+  let pid = Unix.create_process bin (Array.of_list (bin :: args)) i o e in
+  Unix.close i;
+  Unix.close o;
+  Unix.close e;
+  match snd (Unix.waitpid [] pid) with
+  | Unix.WEXITED c -> c
+  | Unix.WSIGNALED s -> Alcotest.failf "dsdg %s killed by signal %d" (String.concat " " args) s
+  | Unix.WSTOPPED _ -> Alcotest.fail "dsdg stopped"
+
+let check_exit bin ~what ~expect args =
+  Alcotest.(check int) what expect (run_exit bin args)
+
+let test_exit_codes () =
+  with_bin (fun bin ->
+      check_exit bin ~what:"demo exits 0" ~expect:0 [ "demo"; "--ops"; "40" ];
+      check_exit bin ~what:"clean fuzz exits 0" ~expect:0
+        [ "fuzz"; "--ops"; "50"; "--variant"; "worst-case"; "--backend"; "fm" ];
+      check_exit bin ~what:"unknown variant is usage (124)" ~expect:124
+        [ "fuzz"; "--variant"; "bogus" ];
+      check_exit bin ~what:"unknown backend is usage (124)" ~expect:124
+        [ "fuzz"; "--backend"; "bogus" ];
+      check_exit bin ~what:"impossible fault combo is usage (124)" ~expect:124
+        [ "fuzz"; "--fault"; "stale-epoch"; "--ops"; "10" ];
+      check_exit bin ~what:"bad --sync is usage (124)" ~expect:124
+        [ "save"; "/nonexistent-store"; "/dev/null"; "--sync"; "sometimes" ];
+      check_exit bin ~what:"load without server exits 1" ~expect:1
+        [ "load"; "--socket"; "/nonexistent.sock"; "--clients"; "1"; "--ops"; "1" ];
+      with_dir "dsdg-cli-corrupt" (fun dir ->
+          Unix.mkdir dir 0o755;
+          Out_channel.with_open_bin (Filename.concat dir "wal.log") (fun oc ->
+              Out_channel.output_string oc "not a wal\n");
+          check_exit bin ~what:"corrupt store is data error (2)" ~expect:2 [ "open"; dir ]);
+      check_exit bin ~what:"cmdliner rejects unknown flags (124)" ~expect:124
+        [ "demo"; "--no-such-flag" ])
+
+(* Spawn `dsdg serve`, wait for its socket, return the pid. *)
+let spawn_serve bin dir sock args =
+  let i = dev_null_in () and o = dev_null_out () and e = dev_null_out () in
+  let pid =
+    Unix.create_process bin
+      (Array.of_list ((bin :: [ "serve"; dir; "--socket"; sock ]) @ args))
+      i o e
+  in
+  Unix.close i;
+  Unix.close o;
+  Unix.close e;
+  let deadline = Unix.gettimeofday () +. 15. in
+  let rec wait_sock () =
+    if Sys.file_exists sock then ()
+    else if Unix.gettimeofday () > deadline then begin
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      Alcotest.fail "serve did not create its socket in time"
+    end
+    else begin
+      (* bail out early if the server died on startup *)
+      (match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ -> ()
+      | _, st ->
+        Alcotest.failf "serve exited prematurely (%s)"
+          (match st with
+          | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+          | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+          | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s));
+      Thread.delay 0.05;
+      wait_sock ()
+    end
+  in
+  wait_sock ();
+  pid
+
+let test_serve_load_roundtrip () =
+  with_bin (fun bin ->
+      with_dir "dsdg-cli-serve" (fun dir ->
+          let sock = Filename.concat (Filename.get_temp_dir_name ()) "dsdg-cli-serve.sock" in
+          if Sys.file_exists sock then Sys.remove sock;
+          let json = Filename.temp_file "dsdg-cli-bench" ".json" in
+          Sys.remove json;
+          let pid = spawn_serve bin dir sock [ "--max-batch"; "64" ] in
+          Fun.protect
+            ~finally:(fun () ->
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+              if Sys.file_exists json then Sys.remove json)
+            (fun () ->
+              (* direct client sanity against the subprocess *)
+              let c = Client.connect (`Unix sock) in
+              let id = Client.insert c "served by a subprocess" in
+              Alcotest.(check int) "first doc id" 0 id;
+              Alcotest.(check int) "count" 1 (Client.count c "subprocess");
+              Client.close c;
+              (* dsdg load against it: must exit 0 and write a BENCH row *)
+              let i = dev_null_in () and o = dev_null_out () and e = dev_null_out () in
+              let lpid =
+                Unix.create_process_env bin
+                  [| bin; "load"; "--socket"; sock; "--clients"; "3"; "--ops"; "120" |]
+                  (Array.append (Unix.environment ()) [| "DSDG_BENCH_JSON=" ^ json |])
+                  i o e
+              in
+              Unix.close i;
+              Unix.close o;
+              Unix.close e;
+              (match snd (Unix.waitpid [] lpid) with
+              | Unix.WEXITED 0 -> ()
+              | st ->
+                Alcotest.failf "dsdg load failed (%s)"
+                  (match st with
+                  | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+                  | _ -> "signal"));
+              let row = In_channel.with_open_bin json In_channel.input_all in
+              Alcotest.(check bool) "bench row written" true
+                (String.length row > 0
+                && String.sub row 0 22 = "{\"bench\":\"serve/load\",");
+              (* graceful shutdown on SIGTERM: exit 0 *)
+              Unix.kill pid Sys.sigterm;
+              (match snd (Unix.waitpid [] pid) with
+              | Unix.WEXITED 0 -> ()
+              | Unix.WEXITED c -> Alcotest.failf "serve exited %d on SIGTERM" c
+              | _ -> Alcotest.fail "serve killed by signal");
+              Alcotest.(check bool) "socket unlinked on drain" false (Sys.file_exists sock);
+              (* the drain checkpointed: reopen replays nothing *)
+              let store, info = Durable.open_ ~dir () in
+              Alcotest.(check int) "zero replay" 0 info.Recovery.ri_replayed;
+              Alcotest.(check bool) "documents survived" true
+                (Dsdg_core.Dynamic_index.doc_count (Durable.index store) > 0);
+              Durable.close store)))
+
+let suite =
+  [
+    Alcotest.test_case "exit codes: 0 / 1 / 2 / 124 scheme" `Slow test_exit_codes;
+    Alcotest.test_case "serve + load round-trip, SIGTERM drain" `Slow test_serve_load_roundtrip;
+  ]

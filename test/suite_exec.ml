@@ -175,6 +175,50 @@ let test_shutdown_idempotent_then_inline () =
   | `Done 8 -> ()
   | _ -> Alcotest.fail "post-shutdown job result"
 
+(* Shutdown is a drain, not an abort: jobs already queued behind a
+   slow one must still complete, and the call must not hang. *)
+let test_shutdown_drains_queued_jobs () =
+  let p = Executor.create ~workers:1 () in
+  let gate = Atomic.make false in
+  let slow =
+    Executor.submit p ~name:"slow" (fun tick ->
+        while not (Atomic.get gate) do
+          tick ();
+          Thread.yield ()
+        done;
+        1)
+  in
+  let queued = List.init 5 (fun i -> Executor.submit p ~name:"queued" (fun _tick -> 10 + i)) in
+  Alcotest.(check bool) "jobs pending at shutdown" true (Executor.pending p > 0);
+  Atomic.set gate true;
+  Executor.shutdown p;
+  (match Executor.poll p slow with `Done 1 -> () | _ -> Alcotest.fail "slow job lost");
+  List.iteri
+    (fun i h ->
+      match Executor.poll p h with
+      | `Done v -> Alcotest.(check int) "queued job value" (10 + i) v
+      | _ -> Alcotest.failf "queued job %d not completed by shutdown" i)
+    queued;
+  Alcotest.(check int) "nothing pending after drain" 0 (Executor.pending p)
+
+(* Every observation verb keeps a defined meaning on a closed pool. *)
+let test_closed_pool_observations () =
+  let p = Executor.create ~workers:2 () in
+  let h = Executor.submit p ~name:"done" (fun _tick -> 3) in
+  (match Executor.await p h with `Done 3 -> () | _ -> Alcotest.fail "job");
+  Executor.shutdown p;
+  (* terminal handles stay readable *)
+  (match Executor.poll p h with `Done 3 -> () | _ -> Alcotest.fail "poll after shutdown");
+  (match Executor.await p h with `Done 3 -> () | _ -> Alcotest.fail "await after shutdown");
+  (* cancel on a terminal handle is a no-op, not an error *)
+  Executor.cancel p h;
+  (match Executor.poll p h with `Done 3 -> () | _ -> Alcotest.fail "cancel flipped terminal state");
+  (* breathe returns immediately instead of waiting for dead workers *)
+  Executor.breathe p ~ticks:1000;
+  Alcotest.(check int) "pending is 0" 0 (Executor.pending p);
+  (* run falls back inline, like submit *)
+  Alcotest.(check int) "run after shutdown" 9 (Executor.run p ~name:"inline" (fun _tick -> 9))
+
 let test_work_spent_exact_when_terminal () =
   let p = Executor.create ~workers:1 () in
   let h =
@@ -388,6 +432,8 @@ let suite =
     ("failure propagates", `Quick, test_failure_propagates);
     ("queue overflow runs inline", `Quick, test_queue_overflow_runs_inline);
     ("shutdown idempotent, then inline", `Quick, test_shutdown_idempotent_then_inline);
+    ("shutdown drains queued jobs", `Quick, test_shutdown_drains_queued_jobs);
+    ("closed pool: poll/await/cancel/breathe/run defined", `Quick, test_closed_pool_observations);
     ("work_spent exact when terminal", `Quick, test_work_spent_exact_when_terminal);
     ("incremental: finalizer once on abandon", `Quick, test_incr_finalizer_runs_once_on_abandon);
     ("incremental: work_spent monotone", `Quick, test_incr_work_spent_monotone);

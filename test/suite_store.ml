@@ -441,6 +441,113 @@ let test_kill_sweep_matrix () =
         all_backends)
     all_variants
 
+(* --- group commit and the [Every n] pending-append accounting --- *)
+
+let fsyncs () =
+  match List.assoc_opt "wal_fsyncs" (Dsdg_obs.Obs.counters (Dsdg_obs.Obs.scope "store")) with
+  | Some n -> n
+  | None -> 0
+
+let test_wal_every_n_accounting () =
+  with_dir "dsdg-wal-everyn" (fun dir ->
+      Snapshot.ensure_dir dir;
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.create ~sync:(Wal.Every 3) path ~serial0:0 in
+      ignore (Wal.append w (Trace.Insert "a"));
+      ignore (Wal.append w (Trace.Insert "b"));
+      Alcotest.(check int) "2 pending" 2 (Wal.unsynced w);
+      ignore (Wal.append w (Trace.Insert "c"));
+      Alcotest.(check int) "threshold fsyncs, resets" 0 (Wal.unsynced w);
+      (* a batch counts every record it carries *)
+      ignore (Wal.append_batch w [ Trace.Insert "d"; Trace.Insert "e" ]);
+      Alcotest.(check int) "batch of 2 pending" 2 (Wal.unsynced w);
+      ignore (Wal.append_batch w [ Trace.Insert "f"; Trace.Insert "g" ]);
+      Alcotest.(check int) "batch crosses threshold" 0 (Wal.unsynced w);
+      (* explicit sync clears the counter *)
+      ignore (Wal.append w (Trace.Insert "h"));
+      Wal.sync w;
+      Alcotest.(check int) "sync resets" 0 (Wal.unsynced w);
+      Wal.close w;
+      (* compaction must not carry pending-append state into the new log *)
+      let w2 = Wal.rewrite ~sync:(Wal.Every 3) path ~serial0:8 [ Trace.Insert "tail" ] in
+      Alcotest.(check int) "rewrite starts clean" 0 (Wal.unsynced w2);
+      Wal.close w2;
+      (* reopen-for-append likewise *)
+      let w3 = Wal.open_append ~sync:(Wal.Every 3) path ~next_serial:9 in
+      Alcotest.(check int) "open_append starts clean" 0 (Wal.unsynced w3);
+      ignore (Wal.append w3 (Trace.Insert "i"));
+      Alcotest.(check int) "counts from zero after reopen" 1 (Wal.unsynced w3);
+      Wal.close w3)
+
+let test_wal_group_commit_single_fsync () =
+  with_dir "dsdg-wal-group" (fun dir ->
+      Snapshot.ensure_dir dir;
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.create ~sync:Wal.Always path ~serial0:0 in
+      let ops = List.init 16 (fun i -> Trace.Insert (Printf.sprintf "doc %d" i)) in
+      let before = fsyncs () in
+      let serial = Wal.append_batch w ops in
+      Alcotest.(check int) "batch serial" 0 serial;
+      Alcotest.(check int) "one fsync for 16 records" 1 (fsyncs () - before);
+      Alcotest.(check int) "serials advanced" 16 (Wal.next_serial w);
+      (* the empty batch is free: no record, no fsync *)
+      let before = fsyncs () in
+      Alcotest.(check int) "empty batch serial" 16 (Wal.append_batch w []);
+      Alcotest.(check int) "empty batch no fsync" 0 (fsyncs () - before);
+      Wal.close w;
+      let c = Wal.read path in
+      Alcotest.(check int) "all records durable" 16 (List.length c.Wal.wc_ops))
+
+let test_durable_apply_batch () =
+  with_dir "dsdg-durable-batch" (fun dir ->
+      let d, _ = Durable.open_ ~dir () in
+      let rs =
+        Durable.apply_batch d
+          [ Trace.Insert "alpha"; Trace.Insert "beta"; Trace.Delete 0; Trace.Delete 0 ]
+      in
+      Alcotest.(check bool) "results in op order" true
+        (rs
+        = [
+            Durable.Br_inserted 0; Durable.Br_inserted 1; Durable.Br_deleted true;
+            Durable.Br_deleted false;
+          ]);
+      (* queries are not mutations: the whole batch is rejected before
+         any WAL append *)
+      let serial = Durable.wal_serial d in
+      (match Durable.apply_batch d [ Trace.Insert "c"; Trace.Search "x" ] with
+      | _ -> Alcotest.fail "query accepted in a write batch"
+      | exception Invalid_argument _ -> ());
+      Alcotest.(check int) "rejected batch logged nothing" serial (Durable.wal_serial d);
+      Durable.close d;
+      (* the batch is in the WAL: reopen replays it *)
+      let d2, info = Durable.open_ ~dir () in
+      Alcotest.(check int) "replayed" 4 info.Recovery.ri_replayed;
+      Alcotest.(check int) "one live doc" 1 (Di.doc_count (Durable.index d2));
+      Alcotest.(check bool) "beta live" true (Di.mem (Durable.index d2) 1);
+      Durable.close d2)
+
+let open_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_checkpoint_no_fd_leak () =
+  if not (Sys.file_exists "/proc/self/fd") then ()
+  else
+    with_dir "dsdg-fd-leak" (fun dir ->
+        (* checkpoint_every 2: every other insert compacts the WAL,
+           which used to leak the superseded out_channel's fd *)
+        let d, _ = Durable.open_ ~config:(durable_cfg 2) ~dir () in
+        ignore (Durable.insert d "warmup one");
+        ignore (Durable.insert d "warmup two");
+        let before = open_fds () in
+        for i = 0 to 19 do
+          ignore (Durable.insert d (Printf.sprintf "doc %d" i))
+        done;
+        let after = open_fds () in
+        Alcotest.(check bool)
+          (Printf.sprintf "fds stable across 10 compactions (%d -> %d)" before after)
+          true
+          (after <= before + 1);
+        Durable.close d)
+
 let test_gap_detected () =
   with_dir "dsdg-gap" (fun dir ->
       let d, _ = Durable.open_ ~config:(durable_cfg 4) ~sample:4 ~tau:4 ~dir () in
@@ -475,5 +582,12 @@ let suite =
     Alcotest.test_case "recovery is idempotent" `Quick test_recovery_idempotent;
     Alcotest.test_case "background checkpointing" `Quick test_background_checkpoint;
     Alcotest.test_case "kill-point sweep vs model" `Quick test_kill_sweep_matrix;
+    Alcotest.test_case "wal Every-n accounting across batch/compaction/reopen" `Quick
+      test_wal_every_n_accounting;
+    Alcotest.test_case "wal group commit: one fsync per batch" `Quick
+      test_wal_group_commit_single_fsync;
+    Alcotest.test_case "durable apply_batch: order, rejection, replay" `Quick
+      test_durable_apply_batch;
+    Alcotest.test_case "checkpoint compaction leaks no fds" `Quick test_checkpoint_no_fd_leak;
     Alcotest.test_case "snapshot/wal gap detected" `Quick test_gap_detected;
   ]

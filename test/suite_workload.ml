@@ -34,6 +34,34 @@ let test_zipf_bounds () =
   let small = Array.fold_left (fun a l -> if l <= 50 then a + 1 else a) 0 ls in
   Alcotest.(check bool) (Printf.sprintf "%d/1000 small" small) true (small > 400)
 
+let test_zipf_edge_cases () =
+  let st = Text_gen.rng 7 in
+  (* max < 1 is an empty value range *)
+  Alcotest.check_raises "max=0 raises"
+    (Invalid_argument "Text_gen.zipf: max < 1 (the value range [1, max] is empty)") (fun () ->
+      ignore (Text_gen.zipf st ~max:0));
+  Alcotest.check_raises "max=-3 raises"
+    (Invalid_argument "Text_gen.zipf: max < 1 (the value range [1, max] is empty)") (fun () ->
+      ignore (Text_gen.zipf st ~max:(-3)));
+  (* max = 1: the only value, no float path involved *)
+  for _ = 1 to 100 do
+    Alcotest.(check int) "max=1 is 1" 1 (Text_gen.zipf st ~max:1)
+  done;
+  (* huge max: exp(u * log max) can overflow the int conversion; the
+     draw must still land in [1, max] *)
+  for _ = 1 to 1000 do
+    let v = Text_gen.zipf st ~max:max_int in
+    Alcotest.(check bool) "huge max in range" true (v >= 1 && v <= max_int)
+  done;
+  (* count validation and the count=0 corner *)
+  Alcotest.check_raises "count=-1 raises" (Invalid_argument "Text_gen.zipf_lengths: count < 0")
+    (fun () -> ignore (Text_gen.zipf_lengths st ~count:(-1) ~max_len:10));
+  Alcotest.(check int) "count=0 empty" 0 (Array.length (Text_gen.zipf_lengths st ~count:0 ~max_len:10));
+  (* zipf_lengths propagates the range check *)
+  match Text_gen.zipf_lengths st ~count:3 ~max_len:0 with
+  | _ -> Alcotest.fail "max_len=0 accepted"
+  | exception Invalid_argument _ -> ()
+
 let test_url_log_shape () =
   let urls = Text_gen.url_log (Text_gen.rng 6) ~count:50 in
   check "count" 50 (Array.length urls);
@@ -103,6 +131,7 @@ let suite =
     ("uniform alphabet", `Quick, test_uniform_alphabet);
     ("markov lowers entropy", `Quick, test_markov_lowers_entropy);
     ("zipf bounds", `Quick, test_zipf_bounds);
+    ("zipf edge cases", `Quick, test_zipf_edge_cases);
     ("url log shape", `Quick, test_url_log_shape);
     ("planted pattern occurs", `Quick, test_planted_pattern_occurs);
     ("graph generators", `Quick, test_graph_gen);
