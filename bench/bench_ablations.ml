@@ -82,6 +82,13 @@ let ablation_t3 () =
         in
         let s = T1.stats t in
         let q = Bench_util.per_op ~iters:30 (fun () -> T1.count t "index") in
+        Bench_util.emit_json_row ~bench:"ablation_t3"
+          [ ("schedule", Bench_util.S name);
+            ("insert_ns_per_sym", Bench_util.F (ins_ns /. float_of_int (T1.total_symbols t)));
+            ("merges", Bench_util.I s.Transform1.merges);
+            ("collections", Bench_util.I (List.length (T1.census t)));
+            ("symbols_rebuilt", Bench_util.I s.Transform1.symbols_rebuilt);
+            ("count_ns", Bench_util.F q) ];
         [ name; Bench_util.ns_str (ins_ns /. float_of_int (T1.total_symbols t));
           string_of_int s.Transform1.merges; string_of_int (List.length (T1.census t));
           string_of_int s.Transform1.symbols_rebuilt; Bench_util.ns_str q ])

@@ -52,6 +52,7 @@ open Dsdg_core
 open Cmdliner
 module Store = Dsdg_store
 module Serve = Dsdg_serve
+module Shard = Dsdg_shard
 
 (* Usage errors that only surface once the command runs (a bad enum
    value, an impossible flag combination) exit like Cmdliner's own
@@ -65,9 +66,14 @@ let die_usage fmt =
 
 let variant_of_string = function
   | "amortized" -> Dynamic_index.Amortized
-  | "loglog" -> Dynamic_index.Amortized_loglog
+  (* "t3" is the paper name: Transformation 3, the Appendix A.4
+     doubling schedule with O(log log n) sub-collections *)
+  | "loglog" | "t3" -> Dynamic_index.Amortized_loglog
   | "worst-case" -> Dynamic_index.Worst_case
   | s -> die_usage "unknown variant: %s" s
+
+(* Canonical spelling for target selection and replay lines. *)
+let normalize_variant = function "t3" -> "loglog" | v -> v
 
 let backend_of_string = function
   | "fm" -> Dynamic_index.Fm
@@ -110,6 +116,34 @@ let store_config ~sync ~checkpoint_every ~jobs =
       checkpoint_jobs = (if jobs > 0 then 1 else 0);
     }
 
+(* A sharded store directory records its K in shard.meta: refuse to
+   open it with a different --shards, and refuse to shard a directory
+   that already holds a plain single-index store. Both are invocation
+   errors (124), not data corruption. *)
+let check_shard_layout ~dir ~shards =
+  (match Shard.Sharded_index.store_shards ~dir with
+  | Some k when k <> shards ->
+    die_usage "store at %s is sharded with K=%d; pass --shards %d" dir k shards
+  | _ -> ());
+  if shards > 1 && Sys.file_exists (Store.Recovery.wal_path ~dir) then
+    die_usage "store at %s is a plain single-index store; it cannot be opened with --shards %d"
+      dir shards
+
+(* Open a sharded store, recovering the K shards in parallel on a
+   small executor pool, and report per-shard recovery. *)
+let open_sharded ~config ~variant ~backend ~sample ~tau ~jobs ~readers ~shards ~dir () =
+  check_shard_layout ~dir ~shards;
+  let sh, infos =
+    Shard.Sharded_index.open_store ~config ~variant:(variant_of_string variant)
+      ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers
+      ~recovery_jobs:(if shards > 1 then min shards 4 else 0)
+      ~shards ~dir ()
+  in
+  Array.iteri
+    (fun s info -> Printf.printf "shard %d: %s\n" s (Store.Recovery.info_to_string info))
+    infos;
+  sh
+
 let print_stats idx =
   Printf.printf "documents : %d\n" (Dynamic_index.doc_count idx);
   Printf.printf "symbols   : %d\n" (Dynamic_index.total_symbols idx);
@@ -118,22 +152,56 @@ let print_stats idx =
      else float_of_int (Dynamic_index.space_bits idx) /. float_of_int (Dynamic_index.total_symbols idx));
   Printf.printf "engine    : %s\n" (Dynamic_index.describe idx)
 
-let repl ?insert:ins ?delete:del idx =
-  (* mutations go through the durable store when one is wired in, so an
-     interactive session is WAL-logged like any other client *)
-  let do_insert = match ins with Some f -> f | None -> Dynamic_index.insert idx in
-  let do_delete = match del with Some f -> f | None -> Dynamic_index.delete idx in
+(* The interactive loop works against closures so one body serves a
+   plain index, a durable store, or a sharded collection. *)
+type repl_ops = {
+  r_insert : string -> int;
+  r_delete : int -> bool;
+  r_search : string -> (int * int) list;
+  r_count : string -> int;
+  r_extract : doc:int -> off:int -> len:int -> string option;
+  r_stats : unit -> unit;
+}
+
+let repl_of_index ?insert:ins ?delete:del idx =
   (* with a reader pool the interactive queries exercise the read plane:
      served from a reader domain against the latest published epoch *)
   let pooled = Dynamic_index.readers idx > 0 in
-  let do_search arg =
-    if pooled then Dynamic_index.query idx (fun v -> Dynamic_index.view_search v arg)
-    else Dynamic_index.search idx arg
-  in
-  let do_count arg =
-    if pooled then Dynamic_index.query idx (fun v -> Dynamic_index.view_count v arg)
-    else Dynamic_index.count idx arg
-  in
+  {
+    (* mutations go through the durable store when one is wired in, so an
+       interactive session is WAL-logged like any other client *)
+    r_insert = (match ins with Some f -> f | None -> Dynamic_index.insert idx);
+    r_delete = (match del with Some f -> f | None -> Dynamic_index.delete idx);
+    r_search =
+      (fun arg ->
+        if pooled then Dynamic_index.query idx (fun v -> Dynamic_index.view_search v arg)
+        else Dynamic_index.search idx arg);
+    r_count =
+      (fun arg ->
+        if pooled then Dynamic_index.query idx (fun v -> Dynamic_index.view_count v arg)
+        else Dynamic_index.count idx arg);
+    r_extract = (fun ~doc ~off ~len -> Dynamic_index.extract idx ~doc ~off ~len);
+    r_stats = (fun () -> print_stats idx);
+  }
+
+let print_sharded_stats sh =
+  Printf.printf "documents : %d\n" (Shard.Sharded_index.doc_count sh);
+  Printf.printf "symbols   : %d\n" (Shard.Sharded_index.total_symbols sh);
+  Printf.printf "engine    : %s\n" (Shard.Sharded_index.describe sh)
+
+let repl_of_sharded sh =
+  {
+    r_insert = Shard.Sharded_index.insert sh;
+    r_delete = Shard.Sharded_index.delete sh;
+    r_search = Shard.Sharded_index.search sh;
+    r_count = Shard.Sharded_index.count sh;
+    r_extract = (fun ~doc ~off ~len -> Shard.Sharded_index.extract sh ~doc ~off ~len);
+    r_stats = (fun () -> print_sharded_stats sh);
+  }
+
+let repl r =
+  let do_insert = r.r_insert and do_delete = r.r_delete in
+  let do_search = r.r_search and do_count = r.r_count in
   (try
      while true do
        let line = input_line stdin in
@@ -157,7 +225,7 @@ let repl ?insert:ins ?delete:del idx =
            match String.split_on_char ' ' (String.trim arg) with
            | [ id; off; len ] -> (
              match
-               Dynamic_index.extract idx ~doc:(int_of_string id) ~off:(int_of_string off)
+               r.r_extract ~doc:(int_of_string id) ~off:(int_of_string off)
                  ~len:(int_of_string len)
              with
              | Some s -> Printf.printf "%S\n%!" s
@@ -168,7 +236,7 @@ let repl ?insert:ins ?delete:del idx =
        end
      done
    with End_of_file | Exit -> ());
-  print_stats idx
+  r.r_stats ()
 
 let index_files ~insert ~whole files =
   List.iter
@@ -189,9 +257,11 @@ let index_files ~insert ~whole files =
       close_in ic)
     files
 
-let index_cmd files whole variant backend sample tau jobs readers store sync checkpoint_every =
-  match store with
-  | None ->
+let index_cmd files whole variant backend sample tau jobs readers shards store sync
+    checkpoint_every =
+  if shards < 1 then die_usage "--shards must be >= 1 (got %d)" shards;
+  match (store, shards) with
+  | None, 1 ->
     let idx =
       Dynamic_index.create ~variant:(variant_of_string variant)
         ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ()
@@ -199,9 +269,22 @@ let index_cmd files whole variant backend sample tau jobs readers store sync che
     index_files ~insert:(Dynamic_index.insert idx) ~whole files;
     Printf.printf "indexed %d document(s) from %d file(s)\n%!" (Dynamic_index.doc_count idx)
       (List.length files);
-    Fun.protect ~finally:(fun () -> Dynamic_index.close idx) (fun () -> repl idx)
-  | Some dir ->
+    Fun.protect ~finally:(fun () -> Dynamic_index.close idx) (fun () -> repl (repl_of_index idx))
+  | None, _ ->
+    let sh =
+      Shard.Sharded_index.create ~variant:(variant_of_string variant)
+        ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~shards ()
+    in
+    index_files ~insert:(Shard.Sharded_index.insert sh) ~whole files;
+    Printf.printf "indexed %d document(s) from %d file(s) across %d shard(s)\n%!"
+      (Shard.Sharded_index.doc_count sh)
+      (List.length files) shards;
+    Fun.protect
+      ~finally:(fun () -> Shard.Sharded_index.close sh)
+      (fun () -> repl (repl_of_sharded sh))
+  | Some dir, 1 ->
     with_store_errors ~dir (fun () ->
+        check_shard_layout ~dir ~shards;
         let config = store_config ~sync ~checkpoint_every ~jobs in
         let d, info =
           Store.Durable.open_ ~config ~variant:(variant_of_string variant)
@@ -216,8 +299,22 @@ let index_cmd files whole variant backend sample tau jobs readers store sync che
         Fun.protect
           ~finally:(fun () -> Store.Durable.close d)
           (fun () ->
-            repl ~insert:(Store.Durable.insert d) ~delete:(Store.Durable.delete d)
-              (Store.Durable.index d)))
+            repl
+              (repl_of_index ~insert:(Store.Durable.insert d) ~delete:(Store.Durable.delete d)
+                 (Store.Durable.index d))))
+  | Some dir, _ ->
+    with_store_errors ~dir (fun () ->
+        let config = store_config ~sync ~checkpoint_every ~jobs in
+        let sh =
+          open_sharded ~config ~variant ~backend ~sample ~tau ~jobs ~readers ~shards ~dir ()
+        in
+        index_files ~insert:(Shard.Sharded_index.insert sh) ~whole files;
+        Printf.printf "indexed %d document(s) from %d file(s) into %s across %d shard(s)\n%!"
+          (Shard.Sharded_index.doc_count sh)
+          (List.length files) dir shards;
+        Fun.protect
+          ~finally:(fun () -> Shard.Sharded_index.close sh)
+          (fun () -> repl (repl_of_sharded sh)))
 
 (* dsdg save: index files into a store directory, then checkpoint, so
    the next open (dsdg load, or any --store run) starts from the
@@ -248,6 +345,7 @@ let save_cmd dir files whole variant backend sample tau sync =
    keep flowing through the WAL. *)
 let open_cmd dir variant backend sample tau jobs readers sync checkpoint_every =
   with_store_errors ~dir (fun () ->
+      check_shard_layout ~dir ~shards:1;
       let config = store_config ~sync ~checkpoint_every ~jobs in
       let d, info =
         Store.Durable.open_ ~config ~variant:(variant_of_string variant)
@@ -257,16 +355,18 @@ let open_cmd dir variant backend sample tau jobs readers sync checkpoint_every =
       Fun.protect
         ~finally:(fun () -> Store.Durable.close d)
         (fun () ->
-          repl ~insert:(Store.Durable.insert d) ~delete:(Store.Durable.delete d)
-            (Store.Durable.index d)))
+          repl
+            (repl_of_index ~insert:(Store.Durable.insert d) ~delete:(Store.Durable.delete d)
+               (Store.Durable.index d))))
 
 (* dsdg serve: the service plane. Recover the store, bind the socket,
    then park the main thread until SIGTERM/SIGINT (or a quit of the
    process): the graceful drain finishes in-flight requests, flushes
    the write queue through a final group commit, checkpoints and exits
    0 -- the next open replays nothing. *)
-let serve_cmd dir socket host port variant backend sample tau jobs readers sync checkpoint_every
-    max_batch max_frame max_conns timeout =
+let serve_cmd dir socket host port variant backend sample tau jobs readers shards sync
+    checkpoint_every max_batch max_frame max_conns timeout =
+  if shards < 1 then die_usage "--shards must be >= 1 (got %d)" shards;
   if max_batch < 1 then die_usage "--max-batch must be >= 1 (got %d)" max_batch;
   if max_frame < 16 then die_usage "--max-frame must be >= 16 bytes (got %d)" max_frame;
   if max_conns < 1 then die_usage "--max-conns must be >= 1 (got %d)" max_conns;
@@ -276,11 +376,27 @@ let serve_cmd dir socket host port variant backend sample tau jobs readers sync 
   in
   with_store_errors ~dir (fun () ->
       let config = store_config ~sync ~checkpoint_every ~jobs in
-      let store, info =
-        Store.Durable.open_ ~config ~variant:(variant_of_string variant)
-          ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~dir ()
+      (* the engine the server fronts: a plain durable store, or K
+         shard stores behind one scatter-gather collection (the writer
+         thread then fans each batch across the shard WALs, one group
+         commit each) *)
+      let engine, close_engine =
+        if shards = 1 then begin
+          check_shard_layout ~dir ~shards;
+          let store, info =
+            Store.Durable.open_ ~config ~variant:(variant_of_string variant)
+              ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~dir ()
+          in
+          print_endline (Store.Recovery.info_to_string info);
+          (Serve.Server.engine_of_store store, fun () -> Store.Durable.close store)
+        end
+        else begin
+          let sh =
+            open_sharded ~config ~variant ~backend ~sample ~tau ~jobs ~readers ~shards ~dir ()
+          in
+          (Serve.Server.engine_of_sharded sh, fun () -> Shard.Sharded_index.close sh)
+        end
       in
-      print_endline (Store.Recovery.info_to_string info);
       let sconfig =
         {
           Serve.Server.max_frame;
@@ -291,9 +407,9 @@ let serve_cmd dir socket host port variant backend sample tau jobs readers sync 
         }
       in
       let srv =
-        try Serve.Server.start ~config:sconfig ~store listen
+        try Serve.Server.start_engine ~config:sconfig ~engine listen
         with Unix.Unix_error (e, _, _) ->
-          Store.Durable.close store;
+          close_engine ();
           Printf.eprintf "dsdg: cannot bind %s: %s\n"
             (match listen with
             | `Unix p -> p
@@ -305,6 +421,8 @@ let serve_cmd dir socket host port variant backend sample tau jobs readers sync 
       | `Unix path, _ -> Printf.printf "listening on unix socket %s\n%!" path
       | `Tcp (h, _), Some p -> Printf.printf "listening on %s:%d\n%!" h p
       | `Tcp (h, p), None -> Printf.printf "listening on %s:%d\n%!" h p);
+      if shards > 1 then
+        Printf.printf "sharded: %d shard stores under %s, scatter-gather queries\n%!" shards dir;
       Printf.printf "group commit: up to %d writes per fsync (--sync %s)\n%!" max_batch sync;
       List.iter
         (fun s ->
@@ -352,8 +470,9 @@ let bench_json_row ~bench fields =
   output_string oc (Buffer.contents buf);
   close_out oc
 
-let loadgen_cmd socket host port clients ops seed timeout w_insert w_delete w_search w_count
-    w_extract =
+let loadgen_cmd socket host port clients ops seed timeout shards w_insert w_delete w_search
+    w_count w_extract =
+  if shards < 1 then die_usage "--shards must be >= 1 (got %d)" shards;
   if clients < 1 then die_usage "--clients must be >= 1 (got %d)" clients;
   if ops < 1 then die_usage "--ops must be >= 1 (got %d)" ops;
   if timeout < 0. then die_usage "--timeout must be >= 0 seconds";
@@ -382,6 +501,9 @@ let loadgen_cmd socket host port clients ops seed timeout w_insert w_delete w_se
   print_endline (Serve.Load_gen.report_to_string r);
   bench_json_row ~bench:"serve/load"
     [
+      (* what the dialed server is sharded as, for sweep annotation --
+         the generator itself is shard-agnostic *)
+      ("shards", `I shards);
       ("clients", `I r.Serve.Load_gen.clients);
       ("ops", `I r.Serve.Load_gen.ops);
       ("errors", `I r.Serve.Load_gen.errors);
@@ -423,7 +545,68 @@ let demo_cmd ops =
    counterpart of DESIGN.md's "Observability" section. With --store the
    workload runs through the durable store, so the dump also shows the
    store scope: WAL appends/fsyncs, checkpoint latency, snapshot bytes. *)
-let stats_cmd ops variant backend sample tau no_obs jobs readers store sync checkpoint_every =
+(* The sharded variant of the stats workload: same churn, routed
+   through a Sharded_index (in memory, or over K shard stores with
+   --store), then the observability dump -- the "shard" scope shows
+   scatter/gather and migration counters next to each shard's own
+   core/store scopes. *)
+let stats_sharded ~ops ~variant ~backend ~sample ~tau ~no_obs ~jobs ~readers ~shards ~store ~sync
+    ~checkpoint_every =
+  let open Dsdg_workload in
+  let open Dsdg_obs in
+  if no_obs then Obs.set_enabled false;
+  let sh =
+    match store with
+    | None ->
+      Shard.Sharded_index.create ~variant:(variant_of_string variant)
+        ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~shards ()
+    | Some dir ->
+      with_store_errors ~dir (fun () ->
+          let config = store_config ~sync ~checkpoint_every ~jobs in
+          open_sharded ~config ~variant ~backend ~sample ~tau ~jobs ~readers ~shards ~dir ())
+  in
+  let st = Text_gen.rng 42 in
+  let live = ref [] in
+  let searches = ref 0 and hits = ref 0 in
+  for i = 1 to ops do
+    let r = Random.State.float st 1.0 in
+    if r < 0.55 || !live = [] then
+      live := Shard.Sharded_index.insert sh (Text_gen.english_like st ~len:(30 + Random.State.int st 120)) :: !live
+    else if r < 0.8 then begin
+      match !live with
+      | id :: rest ->
+        ignore (Shard.Sharded_index.delete sh id);
+        if i mod 17 = 0 then ignore (Shard.Sharded_index.delete sh id);
+        live := rest
+      | [] -> ()
+    end
+    else begin
+      incr searches;
+      let p = if i mod 2 = 0 then "data" else "query" in
+      hits := !hits + Shard.Sharded_index.count sh p
+    end;
+    (* stir documents between shards mid-workload so migration shows
+       up in the dump *)
+    if i mod 251 = 0 then ignore (Shard.Sharded_index.rebalance_hottest sh)
+  done;
+  Printf.printf "workload  : %d ops (%d searches, %d pattern hits) across %d shard(s)\n" ops
+    !searches !hits shards;
+  print_sharded_stats sh;
+  Printf.printf "epochs    : [%s]\n"
+    (String.concat "; "
+       (Array.to_list (Array.map string_of_int (Shard.Sharded_index.epoch_vector sh))));
+  print_newline ();
+  Shard.Sharded_index.close sh;
+  if no_obs then print_endline "observability disabled (--no-obs): no counters recorded"
+  else List.iter (fun s -> print_string (Obs.render s)) (Obs.registered ())
+
+let stats_cmd ops variant backend sample tau no_obs jobs readers shards store sync
+    checkpoint_every =
+  if shards < 1 then die_usage "--shards must be >= 1 (got %d)" shards;
+  if shards > 1 then
+    stats_sharded ~ops ~variant ~backend ~sample ~tau ~no_obs ~jobs ~readers ~shards ~store ~sync
+      ~checkpoint_every
+  else
   let open Dsdg_workload in
   let open Dsdg_obs in
   if no_obs then Obs.set_enabled false;
@@ -527,19 +710,98 @@ let stats_cmd ops variant backend sample tau no_obs jobs readers store sync chec
    tearing the final WAL record) at every stride-th op, recover, and
    diff the recovered index against the model. *)
 let fuzz_cmd seed ops streams variant backend sample tau fault profile replay trace_dir jobs
-    readers store sync checkpoint_every kill_stride =
+    readers shards store sync checkpoint_every kill_stride =
   let open Dsdg_check in
   (* validate enums up front so a typo is a usage error (124), not an
      internal crash from deep inside the runner *)
   if variant <> "all" then ignore (variant_of_string variant);
   if backend <> "all" then ignore (backend_of_string backend);
+  if shards < 1 then die_usage "--shards must be >= 1 (got %d)" shards;
+  let variant = normalize_variant variant in
   let load_trace file =
     try Trace.load file
     with Trace.Parse_error e ->
       prerr_endline (Trace.parse_error_message ~file e);
       exit 2
   in
+  (* A trace recorded under concurrency or sharding does not reproduce
+     under a different shape: silently replaying it with the flags
+     omitted would "pass" without testing anything. Mismatch (including
+     omission) is a usage error. *)
+  let enforce_hint file =
+    let h = Trace.load_hint file in
+    let need flag got = function
+      | Some want when got <> want ->
+        die_usage "trace %s was recorded with --%s %d (this invocation has --%s %d); pass --%s %d"
+          file flag want flag got flag want
+      | _ -> ()
+    in
+    need "shards" shards h.Trace.h_shards;
+    need "readers" readers h.Trace.h_readers;
+    need "jobs" jobs h.Trace.h_jobs
+  in
   match store with
+  | Some dir when shards > 1 ->
+    (* sharded kill-and-recover: the stride sweep plus the mid-split
+       migration sweep, per selected variant x backend *)
+    let torn =
+      match fault with
+      | "none" -> false
+      | "torn-write" -> true
+      | s ->
+        die_usage "--store kill-and-recover mode supports --fault none | torn-write, not %s" s
+    in
+    let sweep_ops =
+      match replay with
+      | Some file ->
+        enforce_hint file;
+        load_trace file
+      | None -> Opgen.generate ~profile:(profile_of_string profile) ~seed ~ops ()
+    in
+    let config =
+      store_config ~sync
+        ~checkpoint_every:(if checkpoint_every > 0 then checkpoint_every else 7)
+        ~jobs
+    in
+    let variants =
+      match variant with "all" -> [ "amortized"; "loglog"; "worst-case" ] | v -> [ v ]
+    in
+    let backends = match backend with "all" -> [ "fm"; "sa"; "csa" ] | b -> [ b ] in
+    let n = List.length sweep_ops in
+    let stride = if kill_stride > 0 then kill_stride else max 1 (n / 16) in
+    Printf.printf
+      "sharded kill-and-recover: K=%d, %d op(s), crash every %d op(s)%s plus every mid-split \
+       kill point, %d target(s), scratch under %s\n%!"
+      shards n stride
+      (if torn then " with torn final WAL records" else "")
+      (List.length variants * List.length backends)
+      dir;
+    let failed = ref false in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun b ->
+            let show name o =
+              Printf.printf "%-20s %-10s %s\n%!" (v ^ "/" ^ b) name
+                (Store.Kill_check.outcome_to_string o);
+              if o.Store.Kill_check.kc_failures <> [] then failed := true
+            in
+            let scratch = Filename.concat dir (Printf.sprintf "shardkill-%s-%s" v b) in
+            show "kill"
+              (Shard.Shard_check.kill_sweep ~variant:(variant_of_string v)
+                 ~backend:(backend_of_string b) ~sample ~tau ~config ~torn ~stride ~shards
+                 ~dir:scratch ~ops:sweep_ops ());
+            let scratch = Filename.concat dir (Printf.sprintf "shardsplit-%s-%s" v b) in
+            show "split"
+              (Shard.Shard_check.split_kill_sweep ~variant:(variant_of_string v)
+                 ~backend:(backend_of_string b) ~sample ~tau ~config ~torn ~shards ~dir:scratch
+                 ~ops:sweep_ops ()))
+          backends)
+      variants;
+    if !failed then exit 1;
+    Printf.printf
+      "sharded kill-and-recover OK: every crash and split kill point re-served all acked writes \
+       exactly once\n"
   | Some dir ->
     (* kill-and-recover mode: the scheduling faults do not apply here;
        the planted fault is the torn write *)
@@ -552,7 +814,9 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
     in
     let sweep_ops =
       match replay with
-      | Some file -> load_trace file
+      | Some file ->
+        enforce_hint file;
+        load_trace file
       | None -> Opgen.generate ~profile:(profile_of_string profile) ~seed ~ops ()
     in
     let config =
@@ -588,6 +852,86 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
       variants;
     if !failed then exit 1;
     Printf.printf "kill-and-recover OK: every crash point recovered to the model\n"
+  | None when shards > 1 ->
+    (* shard-aware differential matrix: one op stream fanned over
+       K in {1, 2, shards}, every answer compared against the model
+       AND the K=1 baseline index, per selected variant x backend *)
+    if fault <> "none" then
+      die_usage
+        "sharded fuzzing checks the sharding layer itself; planted faults are not supported \
+         with --shards (got --fault %s)"
+        fault;
+    let counts = List.sort_uniq compare [ 1; min 2 shards; shards ] in
+    let pairs = Runner.select_targets ~variant ~backend () in
+    let mk_config tg =
+      {
+        Shard.Shard_check.sc_variant = tg.Runner.tg_variant;
+        sc_backend = tg.Runner.tg_backend;
+        sc_sample = sample;
+        sc_tau = tau;
+        sc_jobs = jobs;
+        sc_readers = readers;
+        sc_shard_counts = counts;
+      }
+    in
+    let fail_with ~seed_used ~config ~pair failure shrunk =
+      Printf.printf "pair   : %s\n" pair;
+      print_string (Shard.Shard_check.report ?seed:seed_used ~failure ~shrunk ());
+      let dir = match trace_dir with Some d -> d | None -> Filename.get_temp_dir_name () in
+      let path =
+        Filename.concat dir
+          (match seed_used with
+          | Some s -> Printf.sprintf "dsdg-fuzz-shard-seed%d.trace" s
+          | None -> "dsdg-fuzz-shard-replay.trace")
+      in
+      Trace.save ~hint:(Shard.Shard_check.hint_of_config config) path shrunk;
+      Printf.printf
+        "minimal trace saved to %s\nreplay: dsdg fuzz --replay %s --shards %d --variant %s \
+         --backend %s%s%s\n"
+        path path shards variant backend
+        (if jobs > 0 then Printf.sprintf " --jobs %d" jobs else "")
+        (if readers > 0 then Printf.sprintf " --readers %d" readers else "");
+      exit 1
+    in
+    let knames = String.concat "," (List.map string_of_int counts) in
+    (match replay with
+    | Some file ->
+      enforce_hint file;
+      let trace = load_trace file in
+      Printf.printf "replaying %d ops over K in {%s}, %d variant/backend pair(s)\n%!"
+        (List.length trace) knames (List.length pairs);
+      List.iter
+        (fun tg ->
+          let config = mk_config tg in
+          match Shard.Shard_check.run_trace ~config trace with
+          | Ok () -> ()
+          | Error f ->
+            let prefix = List.filteri (fun i _ -> i < f.Shard.Shard_check.sf_step) trace in
+            let shrunk = Shard.Shard_check.shrink ~config prefix in
+            fail_with ~seed_used:None ~config ~pair:tg.Runner.tg_name f shrunk)
+        pairs;
+      Printf.printf "replay OK: every shard count agrees with the model and the K=1 baseline\n"
+    | None ->
+      Printf.printf "shard fuzzing %d stream(s) x %d ops, K in {%s}, %d variant/backend pair(s)\n%!"
+        streams ops knames (List.length pairs);
+      let profile = profile_of_string profile in
+      for s = 0 to streams - 1 do
+        let stream_seed = seed + s in
+        List.iter
+          (fun tg ->
+            let config = mk_config tg in
+            match Shard.Shard_check.run_stream ~config ~profile ~seed:stream_seed ~ops () with
+            | Shard.Shard_check.Pass -> ()
+            | Shard.Shard_check.Fail { failure; shrunk; _ } ->
+              fail_with ~seed_used:(Some stream_seed) ~config ~pair:tg.Runner.tg_name failure
+                shrunk)
+          pairs;
+        if streams > 1 then Printf.printf "stream seed=%d: ok\n%!" stream_seed
+      done;
+      Printf.printf
+        "shard fuzz OK: %d stream(s) x %d ops, K in {%s}, byte-identical to the model and the \
+         K=1 baseline\n"
+        streams ops knames)
   | None ->
     let targets = Runner.select_targets ~variant ~backend () in
     let config =
@@ -625,7 +969,14 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
           | Some s -> Printf.sprintf "dsdg-fuzz-seed%d.trace" s
           | None -> "dsdg-fuzz-replay.trace")
       in
-      Trace.save path shrunk;
+      Trace.save
+        ~hint:
+          {
+            Trace.h_shards = None;
+            h_readers = (if readers > 0 then Some readers else None);
+            h_jobs = (if jobs > 0 then Some jobs else None);
+          }
+        path shrunk;
       Printf.printf "minimal trace saved to %s\nreplay: dsdg fuzz --replay %s --variant %s --backend %s%s%s%s\n"
         path path variant backend
         (if config.Runner.fault <> None then " --fault " ^ fault else "")
@@ -635,6 +986,7 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
     in
     (match replay with
     | Some file ->
+      enforce_hint file;
       let trace = load_trace file in
       Printf.printf "replaying %d ops from %s against %s\n%!" (List.length trace) file tnames;
       (match Runner.run_trace ~config ~targets trace with
@@ -658,7 +1010,8 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
 let files_arg = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
 let whole_arg = Arg.(value & flag & info [ "whole" ] ~doc:"Index whole files instead of lines.")
 let variant_arg =
-  Arg.(value & opt string "worst-case" & info [ "variant" ] ~doc:"amortized | loglog | worst-case")
+  Arg.(value & opt string "worst-case"
+       & info [ "variant" ] ~doc:"amortized | loglog (alias: t3, the Transformation 3 doubling schedule) | worst-case")
 let backend_arg = Arg.(value & opt string "fm" & info [ "backend" ] ~doc:"fm | sa | csa")
 let sample_arg = Arg.(value & opt int 8 & info [ "sample" ] ~doc:"SA sampling rate s.")
 let tau_arg = Arg.(value & opt int 8 & info [ "tau" ] ~doc:"Lazy-deletion threshold tau.")
@@ -672,6 +1025,11 @@ let readers_arg =
   Arg.(value & opt int 0
        & info [ "readers" ]
            ~doc:"Reader-pool domains serving queries from the latest published snapshot (0 = queries run on the caller's domain).")
+
+let shards_arg =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"K"
+           ~doc:"Hash-partition documents across $(docv) index shards (each with its own writer path, executor jobs, reader pool and, with --store, durable sub-store); queries scatter-gather across the shard views. For fuzz, fans the op stream over shard counts {1, 2, $(docv)} and differentially compares against the model and the K=1 index (with --store: sharded kill + mid-split kill sweeps). For load, annotates the BENCH row with the dialed server's shard count.")
 
 let store_arg =
   Arg.(value & opt (some string) None
@@ -697,7 +1055,7 @@ let index_t =
   Cmd.v (Cmd.info "index" ~doc:"Index files and answer queries interactively")
     Term.(
       const index_cmd $ files_arg $ whole_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg
-      $ jobs_arg $ readers_arg $ store_arg $ sync_arg $ checkpoint_every_arg)
+      $ jobs_arg $ readers_arg $ shards_arg $ store_arg $ sync_arg $ checkpoint_every_arg)
 
 let save_t =
   Cmd.v
@@ -765,7 +1123,7 @@ let serve_t =
          ])
     Term.(
       const serve_cmd $ store_dir_pos $ socket_arg $ host_arg $ port_arg $ variant_arg
-      $ backend_arg $ sample_arg $ tau_arg $ jobs_arg $ readers_arg $ sync_arg
+      $ backend_arg $ sample_arg $ tau_arg $ jobs_arg $ readers_arg $ shards_arg $ sync_arg
       $ checkpoint_every_arg $ max_batch_arg $ max_frame_arg $ max_conns_arg $ timeout_arg)
 
 let clients_arg =
@@ -803,8 +1161,8 @@ let load_t =
          ])
     Term.(
       const loadgen_cmd $ socket_arg $ host_arg $ port_arg $ clients_arg $ load_ops_arg
-      $ load_seed_arg $ timeout_arg $ w_insert_arg $ w_delete_arg $ w_search_arg $ w_count_arg
-      $ w_extract_arg)
+      $ load_seed_arg $ timeout_arg $ shards_arg $ w_insert_arg $ w_delete_arg $ w_search_arg
+      $ w_count_arg $ w_extract_arg)
 
 let demo_t = Cmd.v (Cmd.info "demo" ~doc:"Synthetic churn demo") Term.(const demo_cmd $ ops_arg)
 
@@ -816,13 +1174,14 @@ let stats_t =
     (Cmd.info "stats" ~doc:"Scripted churn workload + observability dump")
     Term.(
       const stats_cmd $ ops_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg $ no_obs_arg
-      $ jobs_arg $ readers_arg $ store_arg $ sync_arg $ checkpoint_every_arg)
+      $ jobs_arg $ readers_arg $ shards_arg $ store_arg $ sync_arg $ checkpoint_every_arg)
 
 let fuzz_seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed (stream i uses seed+i).")
 let fuzz_ops_arg = Arg.(value & opt int 1000 & info [ "ops" ] ~doc:"Operations per stream.")
 let fuzz_streams_arg = Arg.(value & opt int 1 & info [ "streams" ] ~doc:"Number of independent streams.")
 let fuzz_variant_arg =
-  Arg.(value & opt string "all" & info [ "variant" ] ~doc:"all | amortized | loglog | worst-case")
+  Arg.(value & opt string "all"
+       & info [ "variant" ] ~doc:"all | amortized | loglog (alias: t3) | worst-case")
 let fuzz_backend_arg = Arg.(value & opt string "all" & info [ "backend" ] ~doc:"all | fm | sa | csa")
 let fuzz_sample_arg = Arg.(value & opt int 2 & info [ "sample" ] ~doc:"SA sampling rate s.")
 let fuzz_tau_arg = Arg.(value & opt int 4 & info [ "tau" ] ~doc:"Lazy-deletion threshold tau.")
@@ -847,8 +1206,8 @@ let fuzz_t =
     Term.(
       const fuzz_cmd $ fuzz_seed_arg $ fuzz_ops_arg $ fuzz_streams_arg $ fuzz_variant_arg
       $ fuzz_backend_arg $ fuzz_sample_arg $ fuzz_tau_arg $ fuzz_fault_arg $ fuzz_profile_arg
-      $ fuzz_replay_arg $ fuzz_trace_dir_arg $ jobs_arg $ readers_arg $ store_arg $ sync_arg
-      $ checkpoint_every_arg $ fuzz_kill_stride_arg)
+      $ fuzz_replay_arg $ fuzz_trace_dir_arg $ jobs_arg $ readers_arg $ shards_arg $ store_arg
+      $ sync_arg $ checkpoint_every_arg $ fuzz_kill_stride_arg)
 
 let () =
   let doc = "dynamic compressed document collection index (Munro-Nekrich-Vitter, PODS 2015)" in

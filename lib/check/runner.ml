@@ -238,13 +238,17 @@ let run_trace ?(config = default_config) ~targets ops =
 
 (* --- shrinking: ddmin-style chunk removal, then op simplification --- *)
 
-let shrink ?(config = default_config) ?(max_runs = 500) ~targets ops =
+(* The generic delta-debugger: chunk removal then per-op payload
+   simplification against an arbitrary "still fails" predicate, so any
+   harness that can re-run a trace (the variant matrix here, the shard
+   matrix in [Dsdg_shard.Shard_check], ...) shrinks the same way. *)
+let shrink_ops ~fails ?(max_runs = 500) ops =
   let runs = ref 0 in
   let fails candidate =
     !runs < max_runs
     && begin
          incr runs;
-         match run_trace ~config ~targets candidate with Error _ -> true | Ok () -> false
+         fails candidate
        end
   in
   let current = ref (Array.of_list ops) in
@@ -290,6 +294,10 @@ let shrink ?(config = default_config) ?(max_runs = 500) ~targets ops =
       (Array.copy !current)
   done;
   Array.to_list !current
+
+let shrink ?(config = default_config) ?(max_runs = 500) ~targets ops =
+  shrink_ops ~max_runs ops ~fails:(fun candidate ->
+      match run_trace ~config ~targets candidate with Error _ -> true | Ok () -> false)
 
 type stream_outcome =
   | Pass

@@ -54,6 +54,15 @@ val run_trace : ?config:config -> targets:target list -> Trace.op list -> (unit,
     input must fail under [run_trace] with the same arguments. *)
 val shrink : ?config:config -> ?max_runs:int -> targets:target list -> Trace.op list -> Trace.op list
 
+(** The generic delta-debugger behind {!shrink}: same chunk-removal +
+    payload-simplification passes against an arbitrary [fails]
+    predicate ([true] = candidate still reproduces), so other
+    differential harnesses (the shard matrix in
+    [Dsdg_shard.Shard_check]) shrink identically. [max_runs] bounds
+    [fails] invocations; a candidate offered after the budget is spent
+    counts as passing. *)
+val shrink_ops : fails:(Trace.op list -> bool) -> ?max_runs:int -> Trace.op list -> Trace.op list
+
 type stream_outcome =
   | Pass
   | Fail of { failure : failure; trace : Trace.op list; shrunk : Trace.op list }

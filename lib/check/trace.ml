@@ -66,11 +66,61 @@ let render ops =
   List.iteri (fun i op -> Buffer.add_string buf (Printf.sprintf "%4d  %s\n" (i + 1) (op_to_string op))) ops;
   Buffer.contents buf
 
-let save path ops =
+(* Replay hints ride in '%'-comment headers: old traces (no header)
+   and old readers (comments skipped) both keep working. *)
+type hint = { h_shards : int option; h_readers : int option; h_jobs : int option }
+
+let no_hint = { h_shards = None; h_readers = None; h_jobs = None }
+
+let hint_line hint =
+  let field name = function None -> [] | Some v -> [ Printf.sprintf "%s=%d" name v ] in
+  match
+    field "shards" hint.h_shards @ field "readers" hint.h_readers @ field "jobs" hint.h_jobs
+  with
+  | [] -> None
+  | fields -> Some ("% requires " ^ String.concat " " fields)
+
+let parse_hint_line line =
+  (* "% requires shards=2 readers=1 ..." -- unknown keys are ignored so
+     future hints stay forward compatible *)
+  match String.split_on_char ' ' (String.trim line) with
+  | "%" :: "requires" :: fields ->
+    let get key =
+      List.find_map
+        (fun f ->
+          match String.split_on_char '=' f with
+          | [ k; v ] when k = key -> int_of_string_opt v
+          | _ -> None)
+        fields
+    in
+    Some { h_shards = get "shards"; h_readers = get "readers"; h_jobs = get "jobs" }
+  | _ -> None
+
+let save ?(hint = no_hint) path ops =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> List.iter (fun op -> output_string oc (op_to_string op ^ "\n")) ops)
+    (fun () ->
+      (match hint_line hint with Some l -> output_string oc (l ^ "\n") | None -> ());
+      List.iter (fun op -> output_string oc (op_to_string op ^ "\n")) ops)
+
+let load_hint path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> no_hint
+        | line -> (
+          let line = String.trim line in
+          if line = "" then scan ()
+          else
+            match parse_hint_line line with
+            | Some h -> h
+            | None -> if line.[0] = '%' then scan () else no_hint)
+      in
+      scan ())
 
 let load path =
   let ic = open_in path in

@@ -48,7 +48,23 @@ val op_of_string : string -> op
 (** Numbered, one op per line -- the shape printed with failures. *)
 val render : op list -> string
 
-val save : string -> op list -> unit
+(** A replay hint: the concurrency/sharding shape a recorded failure
+    needs to reproduce. Saved as a ["% requires shards=K readers=N
+    jobs=N"] comment header, so hinted traces remain loadable by any
+    reader (comments are skipped) while hint-aware replayers
+    ([dsdg fuzz --replay]) can refuse to replay under a different
+    shape. *)
+type hint = { h_shards : int option; h_readers : int option; h_jobs : int option }
+
+(** All [None]: no requirements recorded. *)
+val no_hint : hint
+
+val save : ?hint:hint -> string -> op list -> unit
+
+(** The hint header of a saved trace ({!no_hint} for pre-hint traces
+    and traces saved without one). Never raises on parse trouble --
+    unknown keys and malformed headers read as absent fields. *)
+val load_hint : string -> hint
 
 (** Raises {!Parse_error} (with the line number and offending field) on
     parse errors, [Sys_error] if unreadable. Blank lines and

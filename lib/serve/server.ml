@@ -43,6 +43,70 @@ type listen = [ `Unix of string | `Tcp of string * int ]
 
 exception Killed
 
+(* What the server needs from a collection: the group-commit batch
+   apply, view-plane queries, a stats snapshot, and lifecycle. One
+   record instead of a functor so a server can front a plain durable
+   store or a sharded one (or anything else) without the socket/thread
+   machinery knowing. *)
+type engine = {
+  eng_describe : string;
+  eng_apply_batch : Trace.op list -> Durable.batch_result list;
+  eng_search : string -> (int * int) list;
+  eng_count : string -> int;
+  eng_extract : doc:int -> off:int -> len:int -> string option;
+  eng_mem : int -> bool;
+  eng_stats : unit -> (string * int) list;
+  eng_checkpoint : unit -> unit;
+  eng_close : unit -> unit;
+  eng_kill : torn:bool -> unit;
+}
+
+let engine_of_store store =
+  let idx = Durable.index store in
+  {
+    eng_describe = Di.describe idx;
+    eng_apply_batch = (fun ops -> Durable.apply_batch store ops);
+    eng_search = (fun p -> Di.query idx (fun v -> Di.view_search v p));
+    eng_count = (fun p -> Di.query idx (fun v -> Di.view_count v p));
+    eng_extract =
+      (fun ~doc ~off ~len -> Di.query idx (fun v -> Di.view_extract v ~doc ~off ~len));
+    eng_mem = (fun id -> Di.query idx (fun v -> Di.view_mem v id));
+    eng_stats =
+      (fun () ->
+        let v = Di.view idx in
+        [
+          ("docs", Di.view_doc_count v);
+          ("symbols", Di.view_total_symbols v);
+          ("epoch", Di.view_epoch v);
+        ]);
+    eng_checkpoint = (fun () -> Durable.checkpoint store);
+    eng_close = (fun () -> Durable.close store);
+    eng_kill = (fun ~torn -> Durable.kill store ~torn);
+  }
+
+let engine_of_sharded s =
+  let module Sh = Dsdg_shard.Sharded_index in
+  {
+    eng_describe = Sh.describe s;
+    eng_apply_batch = (fun ops -> Sh.apply_batch s ops);
+    eng_search = (fun p -> Sh.search s p);
+    eng_count = (fun p -> Sh.count s p);
+    eng_extract = (fun ~doc ~off ~len -> Sh.extract s ~doc ~off ~len);
+    eng_mem = (fun id -> Sh.mem s id);
+    eng_stats =
+      (fun () ->
+        let ev = Sh.epoch_vector s in
+        [
+          ("docs", Sh.doc_count s);
+          ("symbols", Sh.total_symbols s);
+          ("epoch", Array.fold_left ( + ) 0 ev);
+          ("shards", Sh.shards s);
+        ]);
+    eng_checkpoint = (fun () -> Sh.checkpoint s);
+    eng_close = (fun () -> Sh.close s);
+    eng_kill = (fun ~torn -> Sh.kill s ~torn);
+  }
+
 (* One write request parked in the batching queue: the connection
    thread sleeps on the mailbox until the writer commits its batch. *)
 type wreq = {
@@ -54,8 +118,7 @@ type wreq = {
 
 type t = {
   cfg : config;
-  store : Durable.t;
-  idx : Di.t;
+  engine : engine;
   listen_fd : Unix.file_descr;
   sock_path : string option;
   tcp_port : int option;
@@ -117,10 +180,10 @@ let writer_loop t () =
       else begin
         let t0 = Obs.start () in
         let results =
-          (* one WAL append + one fsync for the whole batch (group
-             commit); a failure fails every request of the batch --
-             none of them was acknowledged *)
-          try List.map Result.ok (Durable.apply_batch t.store (List.map (fun w -> w.w_op) batch))
+          (* one group commit for the whole batch (per shard, one WAL
+             append + one fsync each); a failure fails every request of
+             the batch -- none of them was acknowledged *)
+          try List.map Result.ok (t.engine.eng_apply_batch (List.map (fun w -> w.w_op) batch))
           with e -> List.map (fun _ -> Error e) batch
         in
         Obs.stop h_flush_ns t0;
@@ -158,16 +221,13 @@ let commit_write t op =
 (* --- request dispatch --- *)
 
 let stats_response t =
-  let v = Di.view t.idx in
   Protocol.Stats_of
-    [
-      ("docs", Di.view_doc_count v);
-      ("symbols", Di.view_total_symbols v);
-      ("epoch", Di.view_epoch v);
-      ("served", Atomic.get t.served);
-      ("conns", Obs.gauge_value g_conns);
-      ("batches", Obs.value c_batches);
-    ]
+    (t.engine.eng_stats ()
+    @ [
+        ("served", Atomic.get t.served);
+        ("conns", Obs.gauge_value g_conns);
+        ("batches", Obs.value c_batches);
+      ])
 
 (* [`Reply] keeps the connection; [`Close] hangs up after the reply.
    Semantic errors on well-formed frames (empty pattern, non-service
@@ -188,13 +248,13 @@ let respond t (req : Protocol.request) =
     Obs.incr c_queries;
     try
       match op with
-      | Trace.Search p -> `Reply (Protocol.Hits (Di.query t.idx (fun v -> Di.view_search v p)))
-      | Trace.Count p -> `Reply (Protocol.Int (Di.query t.idx (fun v -> Di.view_count v p)))
+      | Trace.Search p -> `Reply (Protocol.Hits (t.engine.eng_search p))
+      | Trace.Count p -> `Reply (Protocol.Int (t.engine.eng_count p))
       | Trace.Extract { doc; off; len } -> (
-        match Di.query t.idx (fun v -> Di.view_extract v ~doc ~off ~len) with
+        match t.engine.eng_extract ~doc ~off ~len with
         | Some s -> `Reply (Protocol.Text s)
         | None -> `Reply Protocol.No_text)
-      | Trace.Mem id -> `Reply (Protocol.Bool (Di.query t.idx (fun v -> Di.view_mem v id)))
+      | Trace.Mem id -> `Reply (Protocol.Bool (t.engine.eng_mem id))
       | Trace.Drain -> `Reply (Protocol.Err "drain is not a service operation")
       | Trace.Insert _ | Trace.Delete _ -> assert false
     with Invalid_argument reason -> `Reply (Protocol.Err reason))
@@ -299,7 +359,7 @@ let ignore_sigpipe () =
   if not Sys.win32 then
     try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
 
-let start ?(config = default_config) ~store listen =
+let start_engine ?(config = default_config) ~engine listen =
   if config.max_frame < 16 then invalid_arg "Server.start: max_frame < 16";
   if config.max_batch < 1 then invalid_arg "Server.start: max_batch < 1";
   if config.max_conns < 1 then invalid_arg "Server.start: max_conns < 1";
@@ -332,8 +392,7 @@ let start ?(config = default_config) ~store listen =
   let t =
     {
       cfg = config;
-      store;
-      idx = Durable.index store;
+      engine;
       listen_fd;
       sock_path;
       tcp_port;
@@ -360,6 +419,8 @@ let start ?(config = default_config) ~store listen =
   t.writer_thread <- Some (Thread.create (writer_loop t) ());
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
   t
+
+let start ?config ~store listen = start_engine ?config ~engine:(engine_of_store store) listen
 
 let request_stop t =
   if not (Atomic.exchange t.stopping true) then
@@ -414,8 +475,8 @@ let stop t =
   if first then begin
     teardown t;
     (* publish + checkpoint: the next open replays nothing *)
-    Durable.checkpoint t.store;
-    Durable.close t.store
+    t.engine.eng_checkpoint ();
+    t.engine.eng_close ()
   end
 
 let kill t ~torn =
@@ -431,5 +492,5 @@ let kill t ~torn =
        without touching the WAL *)
     Atomic.set t.discard true;
     teardown t;
-    Durable.kill t.store ~torn
+    t.engine.eng_kill ~torn
   end

@@ -43,11 +43,31 @@ type listen = [ `Unix of string | `Tcp of string * int ]
 
 type t
 
+(** What the server fronts: batch apply for the writer thread,
+    view-plane queries, a stats snapshot, lifecycle. Build one with
+    {!engine_of_store} or {!engine_of_sharded}. *)
+type engine
+
+(** A plain single-index durable store. *)
+val engine_of_store : Dsdg_store.Durable.t -> engine
+
+(** A sharded store: the writer thread fans each drained batch across
+    the shard WALs through {!Dsdg_shard.Sharded_index.apply_batch} --
+    placements group-committed to the meta log first, then one WAL
+    append + fsync per shard -- and queries scatter-gather across the
+    shard views. *)
+val engine_of_sharded : Dsdg_shard.Sharded_index.t -> engine
+
 (** [start ~config ~store listen] binds, spawns the accept loop and the
     group-commit writer, and returns immediately. The server owns
     [store] from here on: {!stop} checkpoints and closes it. Raises
     [Unix.Unix_error] if the address cannot be bound. *)
 val start : ?config:config -> store:Dsdg_store.Durable.t -> listen -> t
+
+(** Generalized {!start} over any {!engine} (sharded stores via
+    {!engine_of_sharded}); [start ~store] is
+    [start_engine ~engine:(engine_of_store store)]. *)
+val start_engine : ?config:config -> engine:engine -> listen -> t
 
 (** The bound TCP port ([None] for Unix-socket servers). *)
 val port : t -> int option

@@ -1,0 +1,723 @@
+(* Hash-partitioned sharding over Dynamic_index; contracts documented
+   in sharded_index.mli and DESIGN.md section 12. *)
+
+module Di = Dsdg_core.Dynamic_index
+module Trace = Dsdg_check.Trace
+module Durable = Dsdg_store.Durable
+module Exec = Dsdg_exec.Executor
+open Dsdg_obs
+
+let obs = Obs.scope "shard"
+let c_inserts = Obs.counter obs "inserts"
+let c_deletes = Obs.counter obs "deletes"
+let c_migrations = Obs.counter obs "migrations"
+let c_fixups = Obs.counter obs "recovery_fixups"
+let c_orphans = Obs.counter obs "recovery_orphans"
+let c_scatter = Obs.counter obs "scatter_queries"
+let h_gather_ns = Obs.histogram obs "gather_ns"
+let h_recovery_ns = Obs.histogram obs "recovery_ns"
+
+exception Shard_mismatch of { dir : string; on_disk : int; requested : int }
+
+let () =
+  Printexc.register_printer (function
+    | Shard_mismatch { dir; on_disk; requested } ->
+      Some
+        (Printf.sprintf "Sharded_index.Shard_mismatch: %s holds %d shard(s), %d requested" dir
+           on_disk requested)
+    | _ -> None)
+
+(* --- the partition function --- *)
+
+(* A fixed avalanche mixer over the global id: deterministic across
+   runs and processes (recovery re-derives every placement from the
+   meta log, but fresh routing must also be reproducible), uniform
+   enough that K shards stay balanced under sequential ids. *)
+let mix g =
+  let h = g + 0x1FC64E6DA3BC5C1 in
+  let h = (h lxor (h lsr 33)) * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x9E3779B97F4A7 in
+  (h lxor (h lsr 32)) land max_int
+
+let route k g = mix g mod k
+
+(* --- the global <-> local mapping, epoch-published --- *)
+
+module Imap = Map.Make (Int)
+
+type placement = { pl_shard : int; pl_local : int }
+
+type mapping = {
+  m_g2p : placement Imap.t;  (* global id -> current placement (kept for dead ids) *)
+  m_l2g : int Imap.t array;  (* per shard: local id -> global id, live placements only *)
+  m_next_global : int;
+  m_version : int;
+}
+
+let mapping0 k =
+  { m_g2p = Imap.empty; m_l2g = Array.make k Imap.empty; m_next_global = 0; m_version = 0 }
+
+(* --- the placement meta log (store mode) --- *)
+
+type ev = Ev_insert of int * int | Ev_migrate of int * int * int
+
+let ev_to_line = function
+  | Ev_insert (g, s) -> Printf.sprintf "I %d %d" g s
+  | Ev_migrate (g, src, dst) -> Printf.sprintf "M %d %d %d" g src dst
+
+let ev_of_line line =
+  let scan fmt k = try Some (Scanf.sscanf line fmt k) with _ -> None in
+  if String.length line < 2 then None
+  else
+    match line.[0] with
+    | 'I' -> scan "I %d %d" (fun g s -> Ev_insert (g, s))
+    | 'M' -> scan "M %d %d %d" (fun g a b -> Ev_migrate (g, a, b))
+    | _ -> None
+
+type meta = { mt_path : string; mutable mt_oc : out_channel; mt_fsync : bool }
+
+let meta_file ~dir = Filename.concat dir "shard.meta"
+let header k = Printf.sprintf "dsdg-shard 1 %d" k
+
+let parse_header line =
+  try Some (Scanf.sscanf line "dsdg-shard 1 %d" (fun k -> k)) with _ -> None
+
+let corrupt ~file reason =
+  raise (Dsdg_store.Codec.Corrupt { file; section = "shardmeta"; reason })
+
+(* Read the meta log: header + events.  The final record may be torn
+   (crash mid-append): an unparseable or newline-less last line is
+   dropped; an unparseable interior line is corruption. *)
+let meta_read path =
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  let complete, lines =
+    match String.split_on_char '\n' raw with
+    | [] -> (true, [])
+    | parts ->
+      let rec split acc = function
+        | [ last ] -> (last = "", List.rev acc)
+        | x :: rest -> split (x :: acc) rest
+        | [] -> (true, List.rev acc)
+      in
+      let ended, body = split [] parts in
+      if ended then (true, body)
+      else (false, body @ [ List.nth parts (List.length parts - 1) ])
+  in
+  match lines with
+  | [] -> corrupt ~file:path "empty meta log"
+  | hd :: evs -> (
+    match parse_header hd with
+    | None -> corrupt ~file:path "bad header (expected \"dsdg-shard 1 K\")"
+    | Some k ->
+      let n = List.length evs in
+      let events =
+        List.filteri (fun _ l -> l <> "") evs
+        |> List.mapi (fun i line -> (i, line))
+        |> List.filter_map (fun (i, line) ->
+               match ev_of_line line with
+               | Some ev -> Some ev
+               | None ->
+                 (* only the final record may be garbage, and only when
+                    the file does not end in a newline (torn append) *)
+                 if i = n - 1 && not complete then None
+                 else corrupt ~file:path (Printf.sprintf "unparseable record %S" line))
+      in
+      (k, events))
+
+let meta_open_append ~fsync path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { mt_path = path; mt_oc = oc; mt_fsync = fsync }
+
+let meta_create ~fsync path k =
+  let mt = meta_open_append ~fsync path in
+  output_string mt.mt_oc (header k ^ "\n");
+  flush mt.mt_oc;
+  if fsync then Unix.fsync (Unix.descr_of_out_channel mt.mt_oc);
+  mt
+
+(* Append events with at most one fsync for the whole group -- the
+   meta-log half of the sharded group commit. *)
+let meta_append mt evs =
+  List.iter (fun ev -> output_string mt.mt_oc (ev_to_line ev ^ "\n")) evs;
+  flush mt.mt_oc;
+  if mt.mt_fsync then Unix.fsync (Unix.descr_of_out_channel mt.mt_oc)
+
+(* Compact the log to exactly the surviving events (recovery dropped an
+   unacknowledged tail or adopted orphans): tmp + rename, the same
+   atomic-install idiom as Wal.rewrite. *)
+let meta_rewrite mt k evs =
+  close_out_noerr mt.mt_oc;
+  let tmp = mt.mt_path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (header k ^ "\n");
+  List.iter (fun ev -> output_string oc (ev_to_line ev ^ "\n")) evs;
+  flush oc;
+  if mt.mt_fsync then Unix.fsync (Unix.descr_of_out_channel oc);
+  close_out oc;
+  Unix.rename tmp mt.mt_path;
+  mt.mt_oc <- (meta_open_append ~fsync:mt.mt_fsync mt.mt_path).mt_oc
+
+(* --- the sharded index --- *)
+
+type backing = Mem | Store of { stores : Durable.t array; meta : meta }
+
+type t = {
+  k : int;
+  idxs : Di.t array;
+  backing : backing;
+  mapping : mapping Atomic.t;
+  readers : int;
+  ins_total : int array;  (* inserts ever per shard (local next id); writer-owned *)
+  mutable closed : bool;
+  mutable poisoned : bool;  (* a shard failed mid-batch; refuse further writes *)
+}
+
+let shards t = t.k
+
+let check_open t =
+  if t.closed then invalid_arg "Sharded_index: closed";
+  if t.poisoned then invalid_arg "Sharded_index: poisoned by a failed shard write"
+
+let publish t m = Atomic.set t.mapping m
+
+let set_l2g m s v =
+  let a = Array.copy m.m_l2g in
+  a.(s) <- v;
+  a
+
+let create ?variant ?backend ?sample ?tau ?jobs ?readers ~shards () =
+  if shards < 1 then invalid_arg "Sharded_index.create: shards must be >= 1";
+  let idxs =
+    Array.init shards (fun _ -> Di.create ?variant ?backend ?sample ?tau ?jobs ?readers ())
+  in
+  {
+    k = shards;
+    idxs;
+    backing = Mem;
+    mapping = Atomic.make (mapping0 shards);
+    readers = (match readers with Some r -> r | None -> 0);
+    ins_total = Array.make shards 0;
+    closed = false;
+    poisoned = false;
+  }
+
+let shard_dir dir s = Filename.concat dir (Printf.sprintf "shard-%d" s)
+
+let store_shards ~dir =
+  let path = meta_file ~dir in
+  if not (Sys.file_exists path) then None
+  else
+    match In_channel.with_open_bin path In_channel.input_line with
+    | None -> None
+    | Some line -> parse_header line
+
+let open_store ?(config = Durable.default_config) ?variant ?backend ?sample ?tau ?jobs ?readers
+    ?(recovery_jobs = 0) ~shards ~dir () =
+  if shards < 1 then invalid_arg "Sharded_index.open_store: shards must be >= 1";
+  let t0 = Obs.start () in
+  Dsdg_store.Snapshot.ensure_dir dir;
+  let fsync = config.Durable.sync <> Dsdg_store.Wal.Never in
+  let path = meta_file ~dir in
+  let k, events, meta =
+    if Sys.file_exists path then begin
+      let k, events = meta_read path in
+      if k <> shards then raise (Shard_mismatch { dir; on_disk = k; requested = shards });
+      (k, events, meta_open_append ~fsync path)
+    end
+    else (shards, [], meta_create ~fsync path shards)
+  in
+  (* open the K shard stores -- in parallel on an executor pool when
+     recovery_jobs > 0; each store recovers independently (newest valid
+     snapshot + WAL tail replay) *)
+  let open_one s =
+    Durable.open_ ~config ?variant ?backend ?sample ?tau ?jobs ?readers ~dir:(shard_dir dir s) ()
+  in
+  let pairs =
+    if recovery_jobs > 0 then begin
+      let ex = Exec.create ~obs:(Obs.private_scope "shard/recovery") ~workers:recovery_jobs () in
+      let handles = Array.init k (fun s -> Exec.submit ex ~name:"shard-open" (fun _ -> open_one s)) in
+      let out =
+        Array.map
+          (fun h ->
+            match Exec.await ex h with
+            | `Done r -> Some r
+            | `Failed e ->
+              Exec.shutdown ex;
+              raise e
+            | `Cancelled -> None)
+          handles
+      in
+      Exec.shutdown ex;
+      Array.map (function Some r -> r | None -> failwith "shard open cancelled") out
+    end
+    else Array.init k open_one
+  in
+  let stores = Array.map fst pairs in
+  let infos = Array.map snd pairs in
+  let idxs = Array.map Durable.index stores in
+  (* replay the meta log against the recovered shard insert counts:
+     consume insert events in order per shard; events beyond a shard's
+     durable inserts are an unacknowledged crash tail and are dropped,
+     shard inserts beyond the meta log (possible only under --sync
+     never) are adopted as orphans with fresh global ids *)
+  let totals =
+    Array.map
+      (fun idx ->
+        let next_id, _, _ = Di.dump_scalars idx in
+        next_id)
+      idxs
+  in
+  let consumed = Array.make k 0 in
+  let g2p = ref Imap.empty in
+  let l2g = Array.make k Imap.empty in
+  let next_g = ref 0 in
+  let surviving = ref [] in
+  let changed = ref false in
+  let fixups = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Ev_insert (g, s) ->
+        if s < 0 || s >= k then corrupt ~file:path (Printf.sprintf "shard %d out of range" s);
+        if consumed.(s) < totals.(s) then begin
+          let l = consumed.(s) in
+          consumed.(s) <- l + 1;
+          g2p := Imap.add g { pl_shard = s; pl_local = l } !g2p;
+          if Di.mem idxs.(s) l then l2g.(s) <- Imap.add l g l2g.(s);
+          if g >= !next_g then next_g := g + 1;
+          surviving := ev :: !surviving
+        end
+        else changed := true
+      | Ev_migrate (g, src, dst) -> (
+        if src < 0 || src >= k || dst < 0 || dst >= k then
+          corrupt ~file:path "migration shard out of range";
+        match Imap.find_opt g !g2p with
+        | None -> changed := true (* migration of a dropped insert *)
+        | Some { pl_shard; pl_local } ->
+          if pl_shard <> src then
+            corrupt ~file:path
+              (Printf.sprintf "migration of doc %d from shard %d, but it lives on %d" g src
+                 pl_shard);
+          if consumed.(dst) < totals.(dst) then begin
+            let l' = consumed.(dst) in
+            consumed.(dst) <- l' + 1;
+            l2g.(src) <- Imap.remove pl_local l2g.(src);
+            g2p := Imap.add g { pl_shard = dst; pl_local = l' } !g2p;
+            if Di.mem idxs.(dst) l' then l2g.(dst) <- Imap.add l' g l2g.(dst);
+            surviving := ev :: !surviving;
+            (* the destination insert landed but the source delete did
+               not: finish the migration so the document is served
+               exactly once *)
+            if Di.mem idxs.(src) pl_local then begin
+              ignore (Durable.delete stores.(src) pl_local);
+              incr fixups;
+              Obs.incr c_fixups
+            end
+          end
+          else changed := true (* destination insert never landed; doc stays at src *)))
+    events;
+  (* orphans: shard WAL records with no meta record (meta lost its
+     tail under --sync never); adopt them with fresh global ids *)
+  for s = 0 to k - 1 do
+    while consumed.(s) < totals.(s) do
+      let l = consumed.(s) in
+      consumed.(s) <- l + 1;
+      let g = !next_g in
+      next_g := g + 1;
+      g2p := Imap.add g { pl_shard = s; pl_local = l } !g2p;
+      if Di.mem idxs.(s) l then l2g.(s) <- Imap.add l g l2g.(s);
+      surviving := Ev_insert (g, s) :: !surviving;
+      changed := true;
+      Obs.incr c_orphans
+    done
+  done;
+  if !changed || !fixups > 0 then meta_rewrite meta k (List.rev !surviving);
+  let t =
+    {
+      k;
+      idxs;
+      backing = Store { stores; meta };
+      mapping =
+        Atomic.make
+          { m_g2p = !g2p; m_l2g = l2g; m_next_global = !next_g; m_version = 0 };
+      readers = (match readers with Some r -> r | None -> 0);
+      ins_total = totals;
+      closed = false;
+      poisoned = false;
+    }
+  in
+  Obs.stop h_recovery_ns t0;
+  (t, infos)
+
+(* --- mutations --- *)
+
+let insert t text =
+  check_open t;
+  let m = Atomic.get t.mapping in
+  let g = m.m_next_global in
+  let s = route t.k g in
+  (match t.backing with
+  | Store { meta; _ } -> meta_append meta [ Ev_insert (g, s) ]
+  | Mem -> ());
+  let l =
+    match t.backing with
+    | Store { stores; _ } -> Durable.insert stores.(s) text
+    | Mem -> Di.insert t.idxs.(s) text
+  in
+  t.ins_total.(s) <- t.ins_total.(s) + 1;
+  publish t
+    {
+      m_g2p = Imap.add g { pl_shard = s; pl_local = l } m.m_g2p;
+      m_l2g = set_l2g m s (Imap.add l g m.m_l2g.(s));
+      m_next_global = g + 1;
+      m_version = m.m_version + 1;
+    };
+  Obs.incr c_inserts;
+  g
+
+let delete t id =
+  check_open t;
+  let m = Atomic.get t.mapping in
+  match Imap.find_opt id m.m_g2p with
+  | None -> false
+  | Some { pl_shard = s; pl_local = l } ->
+    let ok =
+      match t.backing with
+      | Store { stores; _ } -> Durable.delete stores.(s) l
+      | Mem -> Di.delete t.idxs.(s) l
+    in
+    if ok then begin
+      publish t
+        {
+          m with
+          m_l2g = set_l2g m s (Imap.remove l m.m_l2g.(s));
+          m_version = m.m_version + 1;
+        };
+      Obs.incr c_deletes
+    end;
+    ok
+
+(* --- queries: scatter across shard views, gather by translation --- *)
+
+let q_view t s f = if t.readers > 0 then Di.query t.idxs.(s) f else f (Di.view t.idxs.(s))
+
+let search t p =
+  check_open t;
+  if p = "" then invalid_arg "Dynamic_index: empty pattern";
+  Obs.incr c_scatter;
+  let t0 = Obs.start () in
+  let m = Atomic.get t.mapping in
+  let acc = ref [] in
+  for s = 0 to t.k - 1 do
+    let l2g = m.m_l2g.(s) in
+    q_view t s (fun v ->
+        Di.view_iter_matches v p ~f:(fun ~doc ~off ->
+            match Imap.find_opt doc l2g with
+            | Some g -> acc := (g, off) :: !acc
+            | None -> () (* unpublished in-flight copy: not yet visible *)))
+  done;
+  let hits = List.sort compare !acc in
+  Obs.stop h_gather_ns t0;
+  hits
+
+let count t p =
+  check_open t;
+  if p = "" then invalid_arg "Dynamic_index: empty pattern";
+  Obs.incr c_scatter;
+  let t0 = Obs.start () in
+  let m = Atomic.get t.mapping in
+  let n = ref 0 in
+  for s = 0 to t.k - 1 do
+    let l2g = m.m_l2g.(s) in
+    q_view t s (fun v ->
+        Di.view_iter_matches v p ~f:(fun ~doc ~off:_ -> if Imap.mem doc l2g then incr n))
+  done;
+  Obs.stop h_gather_ns t0;
+  !n
+
+let extract t ~doc ~off ~len =
+  check_open t;
+  let m = Atomic.get t.mapping in
+  match Imap.find_opt doc m.m_g2p with
+  | None -> None
+  | Some { pl_shard = s; pl_local = l } -> q_view t s (fun v -> Di.view_extract v ~doc:l ~off ~len)
+
+let mem t id =
+  check_open t;
+  let m = Atomic.get t.mapping in
+  match Imap.find_opt id m.m_g2p with
+  | None -> false
+  | Some { pl_shard = s; pl_local = l } ->
+    Imap.mem l m.m_l2g.(s) && q_view t s (fun v -> Di.view_mem v l)
+
+let doc_count t = Array.fold_left (fun acc idx -> acc + Di.doc_count idx) 0 t.idxs
+let total_symbols t = Array.fold_left (fun acc idx -> acc + Di.total_symbols idx) 0 t.idxs
+
+let describe t =
+  Printf.sprintf "sharded(K=%d) over %s" t.k (if t.k = 0 then "-" else Di.describe t.idxs.(0))
+
+let drain t = Array.iter Di.drain t.idxs
+
+(* --- batched mutations (the serve write path) --- *)
+
+(* How one op of a batch resolves. *)
+type plan = P_shard of int (* consume the next result of shard s *) | P_dead_delete
+
+let apply_batch t ops =
+  check_open t;
+  List.iter
+    (function
+      | Trace.Insert _ | Trace.Delete _ -> ()
+      | op ->
+        invalid_arg
+          (Printf.sprintf "Sharded_index.apply_batch: %S is not a mutation"
+             (Trace.op_to_string op)))
+    ops;
+  match t.backing with
+  | Mem ->
+    List.map
+      (function
+        | Trace.Insert text -> Durable.Br_inserted (insert t text)
+        | Trace.Delete id -> Durable.Br_deleted (delete t id)
+        | _ -> assert false)
+      ops
+  | Store { stores; meta } ->
+    (* plan the whole batch against a working copy of the mapping, so
+       a delete later in the batch sees inserts earlier in it *)
+    let m0 = Atomic.get t.mapping in
+    let g2p = ref m0.m_g2p in
+    let l2g = Array.copy m0.m_l2g in
+    let next_g = ref m0.m_next_global in
+    let queued = Array.make t.k 0 in
+    let per_shard = Array.make t.k [] in
+    let metas = ref [] in
+    let globals = ref [] in
+    let plan =
+      List.map
+        (fun op ->
+          match op with
+          | Trace.Insert _ ->
+            let g = !next_g in
+            next_g := g + 1;
+            let s = route t.k g in
+            let l = t.ins_total.(s) + queued.(s) in
+            queued.(s) <- queued.(s) + 1;
+            g2p := Imap.add g { pl_shard = s; pl_local = l } !g2p;
+            l2g.(s) <- Imap.add l g l2g.(s);
+            metas := Ev_insert (g, s) :: !metas;
+            globals := g :: !globals;
+            per_shard.(s) <- op :: per_shard.(s);
+            P_shard s
+          | Trace.Delete id -> (
+            match Imap.find_opt id !g2p with
+            | None -> P_dead_delete
+            | Some { pl_shard = s; pl_local = l } ->
+              l2g.(s) <- Imap.remove l l2g.(s);
+              per_shard.(s) <- op :: per_shard.(s);
+              P_shard s)
+          | _ -> assert false)
+        ops
+    in
+    ignore !globals;
+    (* log-ahead, group committed: all placements reach the meta log
+       (one fsync) before any shard WAL write; then one WAL append +
+       one fsync per shard *)
+    if !metas <> [] then meta_append meta (List.rev !metas);
+    let results = Array.make t.k [] in
+    (try
+       Array.iteri
+         (fun s ops_rev ->
+           if ops_rev <> [] then
+             results.(s) <- Durable.apply_batch stores.(s) (List.rev ops_rev))
+         per_shard
+     with e ->
+       t.poisoned <- true;
+       raise e);
+    (* stitch shard results back into op order; inserts report global ids *)
+    let cursors = results in
+    let out =
+      List.map2
+        (fun op pl ->
+          match (op, pl) with
+          | _, P_dead_delete -> Durable.Br_deleted false
+          | Trace.Insert _, P_shard s -> (
+            match cursors.(s) with
+            | Durable.Br_inserted _ :: rest ->
+              cursors.(s) <- rest;
+              Durable.Br_inserted 0 (* patched below *)
+            | _ ->
+              t.poisoned <- true;
+              failwith "Sharded_index.apply_batch: shard result misalignment")
+          | Trace.Delete _, P_shard s -> (
+            match cursors.(s) with
+            | (Durable.Br_deleted _ as r) :: rest ->
+              cursors.(s) <- rest;
+              r
+            | _ ->
+              t.poisoned <- true;
+              failwith "Sharded_index.apply_batch: shard result misalignment")
+          | _ -> assert false)
+        ops plan
+    in
+    (* second pass: fill in the global ids for inserts, in order *)
+    let g = ref m0.m_next_global in
+    let out =
+      List.map2
+        (fun op r ->
+          match (op, r) with
+          | Trace.Insert _, Durable.Br_inserted _ ->
+            let id = !g in
+            incr g;
+            Obs.incr c_inserts;
+            Durable.Br_inserted id
+          | _, r ->
+            (match r with Durable.Br_deleted true -> Obs.incr c_deletes | _ -> ());
+            r)
+        ops out
+    in
+    Array.iteri (fun s q -> t.ins_total.(s) <- t.ins_total.(s) + q) queued;
+    publish t
+      { m_g2p = !g2p; m_l2g = l2g; m_next_global = !next_g; m_version = m0.m_version + 1 };
+    out
+
+(* --- consistency probes --- *)
+
+let shard_of t id =
+  match Imap.find_opt id (Atomic.get t.mapping).m_g2p with
+  | Some { pl_shard; _ } -> Some pl_shard
+  | None -> None
+
+let epoch_vector t =
+  Array.init (t.k + 1) (fun s ->
+      if s = t.k then (Atomic.get t.mapping).m_version
+      else Di.view_epoch (Di.view t.idxs.(s)))
+
+let wal_serials t =
+  match t.backing with
+  | Mem -> Array.make t.k 0
+  | Store { stores; _ } -> Array.map Durable.wal_serial stores
+
+(* --- rebalancing --- *)
+
+(* Full text of a live local doc, through the index itself: documents
+   have unknown length, so find it by doubling + binary search on
+   extract acceptance. *)
+let doc_text idx l =
+  let ok len = Di.extract idx ~doc:l ~off:0 ~len <> None in
+  if not (ok 0) then None
+  else begin
+    let hi = ref 1 in
+    while ok !hi do
+      hi := !hi * 2
+    done;
+    (* largest accepted length is in [hi/2, hi) *)
+    let lo = ref (!hi / 2) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if ok mid then lo := mid else hi := mid
+    done;
+    Di.extract idx ~doc:l ~off:0 ~len:!lo
+  end
+
+let rebalance ?(hook = fun _ -> ()) t ~src ~dst ~docs =
+  check_open t;
+  if src < 0 || src >= t.k || dst < 0 || dst >= t.k then
+    invalid_arg "Sharded_index.rebalance: shard out of range";
+  if src = dst then invalid_arg "Sharded_index.rebalance: src = dst";
+  let step = ref 0 in
+  let pt () =
+    hook !step;
+    incr step
+  in
+  let moved = ref 0 in
+  List.iter
+    (fun g ->
+      let m = Atomic.get t.mapping in
+      match Imap.find_opt g m.m_g2p with
+      | Some { pl_shard; pl_local } when pl_shard = src && Imap.mem pl_local m.m_l2g.(src) -> (
+        match doc_text t.idxs.(src) pl_local with
+        | None -> () (* died under us; nothing to move *)
+        | Some text ->
+          pt ();
+          (* 1. intent record, durable before any shard write *)
+          (match t.backing with
+          | Store { meta; _ } -> meta_append meta [ Ev_migrate (g, src, dst) ]
+          | Mem -> ());
+          pt ();
+          (* 2. the destination copy, through the WAL *)
+          let l' =
+            match t.backing with
+            | Store { stores; _ } -> Durable.insert stores.(dst) text
+            | Mem -> Di.insert t.idxs.(dst) text
+          in
+          t.ins_total.(dst) <- t.ins_total.(dst) + 1;
+          pt ();
+          (* 3. one atomic publish flips visibility src -> dst *)
+          let m = Atomic.get t.mapping in
+          let l2g = Array.copy m.m_l2g in
+          l2g.(src) <- Imap.remove pl_local l2g.(src);
+          l2g.(dst) <- Imap.add l' g l2g.(dst);
+          publish t
+            {
+              m with
+              m_g2p = Imap.add g { pl_shard = dst; pl_local = l' } m.m_g2p;
+              m_l2g = l2g;
+              m_version = m.m_version + 1;
+            };
+          (* 4. retire the source copy, through the WAL *)
+          ignore
+            (match t.backing with
+            | Store { stores; _ } -> Durable.delete stores.(src) pl_local
+            | Mem -> Di.delete t.idxs.(src) pl_local);
+          pt ();
+          incr moved;
+          Obs.incr c_migrations)
+      | _ -> ())
+    docs;
+  !moved
+
+let rebalance_hottest t =
+  if t.k < 2 then 0
+  else begin
+    let sym s = Di.total_symbols t.idxs.(s) in
+    let src = ref 0 and dst = ref 0 in
+    for s = 1 to t.k - 1 do
+      if sym s > sym !src then src := s;
+      if sym s < sym !dst then dst := s
+    done;
+    if !src = !dst then 0
+    else begin
+      let m = Atomic.get t.mapping in
+      let live = List.rev (Imap.fold (fun _l g acc -> g :: acc) m.m_l2g.(!src) []) in
+      let take = (List.length live + 1) / 2 in
+      let docs = List.filteri (fun i _ -> i < take) live in
+      rebalance t ~src:!src ~dst:!dst ~docs
+    end
+  end
+
+(* --- lifecycle --- *)
+
+let checkpoint t =
+  check_open t;
+  match t.backing with Mem -> () | Store { stores; _ } -> Array.iter Durable.checkpoint stores
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.backing with
+    | Mem -> Array.iter Di.close t.idxs
+    | Store { stores; meta } ->
+      Array.iter Durable.close stores;
+      close_out_noerr meta.mt_oc
+  end
+
+let kill t ~torn =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.backing with
+    | Mem -> Array.iter Di.close t.idxs
+    | Store { stores; meta } ->
+      Array.iter (fun st -> Durable.kill st ~torn) stores;
+      close_out_noerr meta.mt_oc
+  end

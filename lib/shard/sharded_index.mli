@@ -1,0 +1,199 @@
+(** Sharded scale-out: one document collection hash-partitioned across
+    K {!Dsdg_core.Dynamic_index} shards.
+
+    Every shard is a full per-index machine room -- its own writer
+    path, executor jobs, reader pool, and (in store mode) its own
+    durable directory with snapshot + WAL.  The sharded layer preserves
+    the collection's global contract exactly: the k-th insert is
+    assigned global document id [k] (the {!Dsdg_check.Model} contract),
+    queries answer in global ids, and the empty pattern is uniformly
+    rejected -- so a sharded index is byte-identical to the K=1 index
+    and to the naive model under the differential runner.
+
+    {2 Partitioning}
+
+    A global id [g] routes to shard [mix g mod K] where [mix] is a
+    fixed 64-bit integer mixer: deterministic across runs, uniform
+    across shards, and independent of document content.  Inside shard
+    [s] documents get dense local ids in arrival order; the global <->
+    local translation lives in an immutable mapping published through
+    one [Atomic.set] per update, so readers on any domain translate
+    against a consistent snapshot (same discipline as the core
+    read plane).
+
+    {2 Scatter-gather}
+
+    Doc sets are disjoint by construction, so queries merge trivially:
+    [search] concatenates per-shard hits translated to global ids and
+    sorts; [count] sums; [extract]/[mem]/[delete] route point-wise.
+    Per-shard queries go through the epoch-published read plane
+    ([Dynamic_index.query]) whenever the shards own reader pools.  The
+    {!epoch_vector} is the composite of per-shard view epochs plus the
+    mapping version -- two equal vectors bracket a consistent
+    quiescent snapshot.
+
+    {2 Durability}
+
+    Store mode lays out [dir/shard-0 .. dir/shard-K-1] (one
+    {!Dsdg_store.Durable} store each) plus a root [shard.meta] log that
+    records every placement decision ([I g s]) and migration
+    ([M g src dst]) {e before} the corresponding shard-WAL write.
+    Recovery opens the K shard stores in parallel on an executor pool,
+    then replays the meta log against the per-shard insert counts:
+    placements whose shard write never landed (an unacknowledged crash
+    tail) are dropped and the meta log is compacted; a migration whose
+    destination insert landed but whose source delete did not is
+    finished by issuing the missing delete -- so every acknowledged
+    write is re-served exactly once, with no loss and no duplication
+    across shards (the mid-split kill sweep in [Shard_check] pins this
+    down).
+
+    Observability lands in the registered scope ["shard"]:
+    [inserts]/[deletes]/[migrations]/[recovery_fixups] counters, a
+    [scatter_queries] counter, and [gather_ns] / [recovery_ns]
+    histograms. *)
+
+type t
+
+exception
+  Shard_mismatch of {
+    dir : string;
+    on_disk : int;  (** shard count recorded in [dir]'s meta log *)
+    requested : int;  (** shard count the caller asked for *)
+  }
+(** Raised by {!open_store} when an existing store was created with a
+    different shard count than the one requested. *)
+
+(** {1 Construction} *)
+
+val create :
+  ?variant:Dsdg_core.Dynamic_index.variant ->
+  ?backend:Dsdg_core.Dynamic_index.backend ->
+  ?sample:int ->
+  ?tau:int ->
+  ?jobs:int ->
+  ?readers:int ->
+  shards:int ->
+  unit ->
+  t
+(** In-memory sharded index: [shards] independent
+    [Dynamic_index.create]d shards ([jobs] executor workers and
+    [readers] reader-pool domains {e each}).  Raises [Invalid_argument]
+    when [shards < 1]. *)
+
+val open_store :
+  ?config:Dsdg_store.Durable.config ->
+  ?variant:Dsdg_core.Dynamic_index.variant ->
+  ?backend:Dsdg_core.Dynamic_index.backend ->
+  ?sample:int ->
+  ?tau:int ->
+  ?jobs:int ->
+  ?readers:int ->
+  ?recovery_jobs:int ->
+  shards:int ->
+  dir:string ->
+  unit ->
+  t * Dsdg_store.Recovery.info array
+(** Open (or create) a durable sharded store under [dir]: K =
+    [shards] sub-stores [dir/shard-s], each opened through
+    [Durable.open_] with [config], plus the [shard.meta] placement log.
+    [recovery_jobs > 0] opens the shard stores in parallel on that many
+    executor worker domains (default [0]: sequential, deterministic).
+    Returns per-shard recovery reports in shard order.
+
+    Raises {!Shard_mismatch} when [dir] holds a store created with a
+    different shard count, and [Dsdg_store.Codec.Corrupt] when the meta
+    log is corrupt beyond its final (torn) record. *)
+
+val store_shards : dir:string -> int option
+(** The shard count recorded in [dir]'s meta log, if [dir] is a
+    sharded store ([None] for fresh directories and plain single-index
+    stores). *)
+
+(** {1 The collection surface} *)
+
+val shards : t -> int
+(** The shard count K. *)
+
+val insert : t -> string -> int
+(** Insert a document; returns its {e global} id (sequential from 0). *)
+
+val delete : t -> int -> bool
+(** Delete a global id; [false] if it was never live or already dead. *)
+
+val mem : t -> int -> bool
+val search : t -> string -> (int * int) list
+(** All (global doc id, offset) occurrences, sorted -- identical to the
+    K=1 index.  Raises [Invalid_argument] on the empty pattern. *)
+
+val count : t -> string -> int
+val extract : t -> doc:int -> off:int -> len:int -> string option
+val doc_count : t -> int
+val total_symbols : t -> int
+val describe : t -> string
+
+val apply_batch : t -> Dsdg_check.Trace.op list -> Dsdg_store.Durable.batch_result list
+(** Group commit across shards (store mode): placements for the whole
+    batch are appended to the meta log first (one fsync), then each
+    shard's sub-batch goes through [Durable.apply_batch] (one WAL
+    append + one fsync per {e shard}), preserving in-shard op order.
+    Results come back in the original op order, with insert results
+    carrying global ids.  In-memory mode applies the batch directly.
+    Only [Insert]/[Delete] ops are mutations; anything else raises
+    [Invalid_argument]. *)
+
+val drain : t -> unit
+(** Land in-flight background jobs on every shard. *)
+
+(** {1 Consistency probes} *)
+
+val shard_of : t -> int -> int option
+(** Current placement shard of a global id ([None] if never placed). *)
+
+val epoch_vector : t -> int array
+(** Composite epoch: element [s] is shard [s]'s published view epoch;
+    the final element is the mapping version.  Length K+1.  Monotone
+    under updates; two equal vectors bracket a quiescent, consistent
+    read. *)
+
+val wal_serials : t -> int array
+(** Next WAL serial per shard (store mode; all zeros in memory). *)
+
+(** {1 Rebalancing} *)
+
+val rebalance : ?hook:(int -> unit) -> t -> src:int -> dst:int -> docs:int list -> int
+(** Migrate the listed global ids from shard [src] to shard [dst]
+    through the WAL: per document, a meta [M] record, a destination
+    WAL insert, an atomic mapping publish, then a source WAL delete --
+    at every intermediate state exactly one copy is reachable, and a
+    crash at any point recovers to exactly-once (see the module
+    preamble).  Ids not currently live on [src] are skipped.  Returns
+    the number of documents moved.
+
+    [hook] is the kill-point instrument: it is called with an
+    incrementing step number at each crash window boundary (before the
+    meta record, after it, after the destination insert, after the
+    source delete).  A hook that raises aborts the migration
+    mid-flight, leaving on-disk state exactly as a crash there would --
+    pair with {!kill} and {!open_store} to sweep every kill point.
+    Raises [Invalid_argument] if [src = dst] or either is out of
+    range. *)
+
+val rebalance_hottest : t -> int
+(** Move half the documents of the largest shard (by symbols) to the
+    smallest.  Returns the number of documents moved; [0] when K = 1
+    or the collection is empty. *)
+
+(** {1 Lifecycle} *)
+
+val checkpoint : t -> unit
+(** Checkpoint every shard store (snapshot + WAL compaction); no-op in
+    memory. *)
+
+val close : t -> unit
+(** Close every shard (and the meta log).  Idempotent. *)
+
+val kill : t -> torn:bool -> unit
+(** Crash simulation: abandon every shard store with no final fsync
+    ([Durable.kill]); [torn] additionally plants a half-written final
+    record in each shard WAL.  No-op in memory beyond closing. *)

@@ -10,8 +10,10 @@ let () =
       ("exec", Suite_exec.suite);
       ("core", Suite_core.suite);
       ("transform2", Suite_transform2.suite);
+      ("transform3", Suite_transform3.suite);
       ("check", Suite_check.suite);
       ("store", Suite_store.suite);
+      ("shard", Suite_shard.suite);
       ("dynseq", Suite_dynseq.suite);
       ("binrel", Suite_binrel.suite);
       ("workload", Suite_workload.suite);

@@ -166,6 +166,25 @@ let test_planted_fault_caught () =
   in
   hunt base_seed
 
+(* Transformation 3 smoke: bounded streams pinned to the loglog
+   (doubling-schedule) variant across every backend, so tier-1 always
+   differentially checks T3 directly even when FUZZ_STREAMS trims the
+   round-robin matrix below full coverage. *)
+let test_fuzz_t3_streams () =
+  List.iteri
+    (fun i backend ->
+      let targets = Runner.select_targets ~variant:"loglog" ~backend () in
+      for j = 0 to 9 do
+        let seed = base_seed + 4000 + (100 * i) + j in
+        let profile = if j mod 3 = 2 then Opgen.churny else Opgen.default in
+        match
+          Runner.run_stream ~config:base_config ~targets ~profile ~seed ~ops:ops_per_stream ()
+        with
+        | Runner.Pass -> ()
+        | Runner.Fail { failure; shrunk; _ } -> fail_stream ~seed ~failure ~shrunk
+      done)
+    [ "fm"; "sa"; "csa" ]
+
 (* Pooled executor smoke: a bounded batch of streams with worker
    domains on, regardless of DSDG_JOBS, so tier-1 always exercises the
    background-rebuild path (round-robin over the matrix). *)
@@ -305,6 +324,7 @@ let suite =
     ("planted fault caught & shrunk", `Slow, test_planted_fault_caught);
     ("planted worker-crash caught & shrunk", `Slow, test_planted_worker_crash_caught);
     ("planted stale-epoch caught & shrunk", `Slow, test_planted_stale_epoch_caught);
+    ("fuzz t3 (loglog) streams", `Slow, test_fuzz_t3_streams);
     ("fuzz pooled smoke streams", `Slow, test_fuzz_pooled_smoke);
     ("fuzz reader smoke streams", `Slow, test_fuzz_readers_smoke);
     ("fuzz cross-target streams", `Slow, test_fuzz_cross_targets);

@@ -165,8 +165,92 @@ let test_serve_load_roundtrip () =
                 (Dsdg_core.Dynamic_index.doc_count (Durable.index store) > 0);
               Durable.close store)))
 
+(* Regression: a trace recorded under --shards / --readers carries a
+   `% requires ...` hint; replaying it without those flags must be a
+   usage error (124), not a silent run under the wrong configuration.
+   With matching flags the replay runs (and passes). *)
+let test_replay_hint_enforced () =
+  with_bin (fun bin ->
+      let module Trace = Dsdg_check.Trace in
+      let ops = [ Trace.Insert "hinted ab"; Trace.Search "ab"; Trace.Count "ab" ] in
+      let save hint =
+        let path = Filename.temp_file "dsdg-cli-hint" ".trace" in
+        Trace.save ~hint path ops;
+        path
+      in
+      let sharded =
+        save { Trace.no_hint with Trace.h_shards = Some 2; h_readers = Some 1 }
+      in
+      let readers_only = save { Trace.no_hint with Trace.h_readers = Some 1 } in
+      let unhinted = save Trace.no_hint in
+      Fun.protect
+        ~finally:(fun () -> List.iter Sys.remove [ sharded; readers_only; unhinted ])
+        (fun () ->
+          check_exit bin ~what:"sharded trace without flags is usage (124)" ~expect:124
+            [ "fuzz"; "--replay"; sharded ];
+          check_exit bin ~what:"sharded trace with only --shards is usage (124)" ~expect:124
+            [ "fuzz"; "--replay"; sharded; "--shards"; "2" ];
+          check_exit bin ~what:"sharded trace with wrong K is usage (124)" ~expect:124
+            [ "fuzz"; "--replay"; sharded; "--shards"; "4"; "--readers"; "1" ];
+          check_exit bin ~what:"sharded trace with matching flags replays" ~expect:0
+            [ "fuzz"; "--replay"; sharded; "--shards"; "2"; "--readers"; "1" ];
+          check_exit bin ~what:"reader trace without --readers is usage (124)" ~expect:124
+            [ "fuzz"; "--replay"; readers_only ];
+          check_exit bin ~what:"reader trace with --readers replays" ~expect:0
+            [ "fuzz"; "--replay"; readers_only; "--readers"; "1" ];
+          check_exit bin ~what:"unhinted trace still replays bare" ~expect:0
+            [ "fuzz"; "--replay"; unhinted ];
+          check_exit bin ~what:"t3 is an accepted variant alias" ~expect:0
+            [ "fuzz"; "--replay"; unhinted; "--variant"; "t3"; "--backend"; "fm" ]))
+
+(* Sharded service plane: serve a K=2 store, drive dsdg load against
+   it, SIGTERM-drain to exit 0, and reopen the shard stores to confirm
+   the drain checkpointed every shard. *)
+let test_sharded_serve_roundtrip () =
+  with_bin (fun bin ->
+      with_dir "dsdg-cli-shserve" (fun dir ->
+          let sock = Filename.concat (Filename.get_temp_dir_name ()) "dsdg-cli-shserve.sock" in
+          if Sys.file_exists sock then Sys.remove sock;
+          let pid = spawn_serve bin dir sock [ "--shards"; "2"; "--max-batch"; "64" ] in
+          Fun.protect
+            ~finally:(fun () ->
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+            (fun () ->
+              let c = Client.connect (`Unix sock) in
+              let id = Client.insert c "served by two shards ab" in
+              Alcotest.(check int) "first global id" 0 id;
+              let id2 = Client.insert c "second sharded doc ab" in
+              Alcotest.(check int) "sequential global id" 1 id2;
+              Alcotest.(check int) "scatter-gather count" 2 (Client.count c "ab");
+              Client.close c;
+              check_exit bin ~what:"load against sharded server" ~expect:0
+                [ "load"; "--socket"; sock; "--clients"; "2"; "--ops"; "80" ];
+              Unix.kill pid Sys.sigterm;
+              (match snd (Unix.waitpid [] pid) with
+              | Unix.WEXITED 0 -> ()
+              | Unix.WEXITED c -> Alcotest.failf "sharded serve exited %d on SIGTERM" c
+              | _ -> Alcotest.fail "sharded serve killed by signal");
+              Alcotest.(check bool) "socket unlinked on drain" false (Sys.file_exists sock);
+              Alcotest.(check (option int)) "store records K=2" (Some 2)
+                (Dsdg_shard.Sharded_index.store_shards ~dir);
+              (* the drain checkpointed every shard: reopen replays nothing *)
+              let sh, infos = Dsdg_shard.Sharded_index.open_store ~shards:2 ~dir () in
+              Array.iteri
+                (fun s info ->
+                  Alcotest.(check int) (Printf.sprintf "shard %d zero replay" s) 0
+                    info.Recovery.ri_replayed)
+                infos;
+              Alcotest.(check bool) "documents survived" true
+                (Dsdg_shard.Sharded_index.doc_count sh > 0);
+              Dsdg_shard.Sharded_index.close sh)))
+
 let suite =
   [
     Alcotest.test_case "exit codes: 0 / 1 / 2 / 124 scheme" `Slow test_exit_codes;
+    Alcotest.test_case "replay hints: --shards/--readers enforced (124)" `Slow
+      test_replay_hint_enforced;
     Alcotest.test_case "serve + load round-trip, SIGTERM drain" `Slow test_serve_load_roundtrip;
+    Alcotest.test_case "sharded serve (K=2) + load round-trip, SIGTERM drain" `Slow
+      test_sharded_serve_roundtrip;
   ]

@@ -1,0 +1,322 @@
+(* Sharded scale-out suite: the Sharded_index collection contract, the
+   shard-aware differential fuzz matrix (one stream fanned over K in
+   {1, 2, 4} and compared against both the naive model and the K=1
+   baseline), durable kill-and-recover and mid-split kill sweeps, and
+   parallel-recovery equivalence.
+
+   Budget knobs shared with suite_check: FUZZ_STREAMS, FUZZ_OPS,
+   FUZZ_SEED. *)
+
+open Dsdg_shard
+module SI = Sharded_index
+module Trace = Dsdg_check.Trace
+module Model = Dsdg_check.Model
+module Store = Dsdg_store
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+
+let base_seed = env_int "FUZZ_SEED" 42
+let n_streams = env_int "FUZZ_STREAMS" 200
+let ops_per_stream = env_int "FUZZ_OPS" 60
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dsdg-suite-shard-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Store.Kill_check.reset_dir dir;
+  Fun.protect ~finally:(fun () -> Store.Kill_check.reset_dir dir) (fun () -> f dir)
+
+(* --- collection contract --- *)
+
+(* A K=3 collection must behave exactly like the model: sequential
+   global ids, global-id answers, point-wise routing. *)
+let test_collection_contract () =
+  let sh = SI.create ~shards:3 () in
+  Fun.protect ~finally:(fun () -> SI.close sh) @@ fun () ->
+  let m = Model.create () in
+  let texts = [ "banana"; "bandana"; "cabana"; ""; "an an an"; "xyz" ] in
+  List.iter
+    (fun text ->
+      let g = SI.insert sh text in
+      Alcotest.(check int) "sequential global id" (Model.insert m text) g)
+    texts;
+  Alcotest.(check int) "doc_count" (Model.doc_count m) (SI.doc_count sh);
+  Alcotest.(check int) "total_symbols" (Model.total_symbols m) (SI.total_symbols sh);
+  List.iter
+    (fun p ->
+      Alcotest.(check (list (pair int int))) ("search " ^ p) (Model.search m p) (SI.search sh p);
+      Alcotest.(check int) ("count " ^ p) (Model.count m p) (SI.count sh p))
+    [ "an"; "ana"; "a"; "zz" ];
+  Alcotest.(check bool) "delete live" true (SI.delete sh 1 && Model.delete m 1);
+  Alcotest.(check bool) "delete dead" false (SI.delete sh 1 || Model.delete m 1);
+  Alcotest.(check bool) "delete unknown" false (SI.delete sh 424242);
+  Alcotest.(check bool) "mem dead" false (SI.mem sh 1);
+  Alcotest.(check bool) "mem live" true (SI.mem sh 2);
+  Alcotest.(check (list (pair int int))) "search after delete" (Model.search m "an")
+    (SI.search sh "an");
+  Alcotest.(check (option string)) "extract" (Model.extract m ~doc:2 ~off:2 ~len:3)
+    (SI.extract sh ~doc:2 ~off:2 ~len:3);
+  Alcotest.(check (option string)) "extract dead" None (SI.extract sh ~doc:1 ~off:0 ~len:2);
+  Alcotest.check_raises "empty pattern rejected"
+    (Invalid_argument "Dynamic_index: empty pattern") (fun () -> ignore (SI.search sh ""))
+
+(* The router must be deterministic across instances and actually
+   spread documents over all K shards. *)
+let test_routing_spread () =
+  let a = SI.create ~shards:4 () and b = SI.create ~shards:4 () in
+  Fun.protect ~finally:(fun () -> SI.close a; SI.close b) @@ fun () ->
+  let seen = Array.make 4 false in
+  for i = 0 to 99 do
+    let text = Printf.sprintf "doc %d" i in
+    let ga = SI.insert a text and gb = SI.insert b text in
+    Alcotest.(check int) "same global id" ga gb;
+    let sa = Option.get (SI.shard_of a ga) and sb = Option.get (SI.shard_of b gb) in
+    Alcotest.(check int) (Printf.sprintf "same placement for %d" ga) sa sb;
+    seen.(sa) <- true
+  done;
+  Array.iteri
+    (fun s hit -> Alcotest.(check bool) (Printf.sprintf "shard %d populated" s) true hit)
+    seen
+
+(* The composite epoch vector has length K+1 and is component-wise
+   monotone under updates. *)
+let test_epoch_vector_monotone () =
+  let sh = SI.create ~shards:3 () in
+  Fun.protect ~finally:(fun () -> SI.close sh) @@ fun () ->
+  let prev = ref (SI.epoch_vector sh) in
+  Alcotest.(check int) "length K+1" 4 (Array.length !prev);
+  for i = 0 to 39 do
+    (if i mod 5 = 4 then ignore (SI.delete sh (i - 2))
+     else ignore (SI.insert sh (Printf.sprintf "epoch probe %d" i)));
+    let v = SI.epoch_vector sh in
+    Array.iteri
+      (fun j e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "op %d: component %d monotone" i j)
+          true
+          (e >= !prev.(j)))
+      v;
+    prev := v
+  done
+
+(* Rebalancing must be invisible to queries: after moving half of the
+   hottest shard, every answer still matches the model. *)
+let test_rebalance_invisible () =
+  let sh = SI.create ~shards:3 () in
+  Fun.protect ~finally:(fun () -> SI.close sh) @@ fun () ->
+  let m = Model.create () in
+  for i = 0 to 79 do
+    let text = Printf.sprintf "rebalance fodder %d abcab" i in
+    ignore (SI.insert sh text);
+    ignore (Model.insert m text)
+  done;
+  for i = 0 to 19 do
+    ignore (SI.delete sh (4 * i));
+    ignore (Model.delete m (4 * i))
+  done;
+  let moved = SI.rebalance_hottest sh in
+  Alcotest.(check bool) "something moved" true (moved > 0);
+  Alcotest.(check int) "doc_count" (Model.doc_count m) (SI.doc_count sh);
+  Alcotest.(check int) "total_symbols" (Model.total_symbols m) (SI.total_symbols sh);
+  List.iter
+    (fun p ->
+      Alcotest.(check (list (pair int int))) ("search " ^ p) (Model.search m p) (SI.search sh p))
+    [ "abcab"; "fodder"; "7" ];
+  (* moved documents keep their global ids and contents *)
+  for g = 0 to 79 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "extract %d" g)
+      (Model.extract m ~doc:g ~off:0 ~len:30)
+      (SI.extract sh ~doc:g ~off:0 ~len:30)
+  done
+
+(* --- the shard-aware differential fuzz matrix --- *)
+
+let fail_stream ~seed ~failure ~shrunk =
+  let path = Filename.temp_file "dsdg-shard-fuzz" ".trace" in
+  Trace.save ~hint:(Shard_check.hint_of_config Shard_check.default_config) path shrunk;
+  Alcotest.failf "%strace saved to %s\nreplay: dsdg fuzz --replay %s --shards 4"
+    (Shard_check.report ~seed ~failure ~shrunk ())
+    path path
+
+(* The bulk run: every stream is fanned over K in {1, 2, 4} and every
+   answer compared against the model AND the K=1 baseline, with
+   periodic hot-shard rebalance churn inside the checked region.
+   Round-robin over the variant x backend matrix; every third stream
+   delete-heavy. *)
+let test_fuzz_matrix () =
+  let variants =
+    [ Dsdg_core.Dynamic_index.Amortized;
+      Dsdg_core.Dynamic_index.Amortized_loglog;
+      Dsdg_core.Dynamic_index.Worst_case ]
+  in
+  let backends =
+    [ Dsdg_core.Dynamic_index.Fm; Dsdg_core.Dynamic_index.Plain_sa; Dsdg_core.Dynamic_index.Csa ]
+  in
+  let n_pairs = List.length variants * List.length backends in
+  for i = 0 to n_streams - 1 do
+    let seed = base_seed + 5000 + i in
+    let pair = i mod n_pairs in
+    let config =
+      {
+        Shard_check.default_config with
+        Shard_check.sc_variant = List.nth variants (pair / List.length backends);
+        sc_backend = List.nth backends (pair mod List.length backends);
+      }
+    in
+    let profile = if i mod 3 = 2 then Dsdg_check.Opgen.churny else Dsdg_check.Opgen.default in
+    match Shard_check.run_stream ~config ~profile ~seed ~ops:ops_per_stream () with
+    | Shard_check.Pass -> ()
+    | Shard_check.Fail { failure; shrunk; _ } -> fail_stream ~seed ~failure ~shrunk
+  done
+
+(* Reader-routed smoke: the scatter-gather path with every per-shard
+   query served from that shard's reader pool. *)
+let test_fuzz_readers_smoke () =
+  let config = { Shard_check.default_config with Shard_check.sc_readers = 1 } in
+  for i = 0 to 7 do
+    let seed = base_seed + 6000 + i in
+    match Shard_check.run_stream ~config ~seed ~ops:ops_per_stream () with
+    | Shard_check.Pass -> ()
+    | Shard_check.Fail { failure; shrunk; _ } -> fail_stream ~seed ~failure ~shrunk
+  done
+
+(* --- durable sweeps --- *)
+
+(* Crash a K=2 sharded store at every 5th op (completed migrations in
+   the meta log on odd points), recover in parallel, verify against the
+   model, continue the trace, re-verify. *)
+let test_kill_sweep () =
+  with_tmp_dir (fun dir ->
+      let ops = Dsdg_check.Opgen.generate ~seed:(base_seed + 7000) ~ops:60 () in
+      let outcome = Shard_check.kill_sweep ~shards:2 ~stride:5 ~dir ~ops () in
+      Alcotest.(check bool) "points exercised" true (outcome.Store.Kill_check.kc_points > 5);
+      Alcotest.(check string) "no failures" ""
+        (String.concat "; "
+           (List.map
+              (fun f ->
+                Printf.sprintf "point %d: %s" f.Store.Kill_check.kf_point
+                  f.Store.Kill_check.kf_detail)
+              outcome.Store.Kill_check.kc_failures)))
+
+(* Kill at every state-machine point of a live migration: recovery must
+   re-serve each acknowledged write exactly once, no loss and no
+   duplicate across the source and destination shards. *)
+let test_split_kill_sweep () =
+  with_tmp_dir (fun dir ->
+      let ops = Dsdg_check.Opgen.generate ~seed:(base_seed + 7100) ~ops:40 () in
+      let outcome = Shard_check.split_kill_sweep ~shards:3 ~dir ~ops () in
+      Alcotest.(check bool) "points exercised" true (outcome.Store.Kill_check.kc_points > 2);
+      Alcotest.(check string) "no failures" ""
+        (String.concat "; "
+           (List.map
+              (fun f ->
+                Printf.sprintf "point %d: %s" f.Store.Kill_check.kf_point
+                  f.Store.Kill_check.kf_detail)
+              outcome.Store.Kill_check.kc_failures)))
+
+(* Sequential (recovery_jobs=0) and parallel (recovery_jobs=4) recovery
+   of the same crashed K=4 store must agree on everything. *)
+let test_parallel_recovery_equivalence () =
+  with_tmp_dir (fun dir ->
+      let texts = List.init 60 (fun i -> Printf.sprintf "parallel recovery doc %d abab" i) in
+      let build () =
+        let sh, _ = SI.open_store ~shards:4 ~dir () in
+        List.iter (fun t -> ignore (SI.insert sh t)) texts;
+        for i = 0 to 14 do
+          ignore (SI.delete sh (3 * i))
+        done;
+        ignore (SI.rebalance_hottest sh);
+        SI.kill sh ~torn:true
+      in
+      build ();
+      let probe recovery_jobs =
+        let sh, infos = SI.open_store ~recovery_jobs ~shards:4 ~dir () in
+        let replayed =
+          Array.fold_left (fun a i -> a + i.Store.Recovery.ri_replayed) 0 infos
+        in
+        let r =
+          ( SI.doc_count sh,
+            SI.total_symbols sh,
+            SI.search sh "abab",
+            SI.count sh "recovery",
+            replayed )
+        in
+        SI.kill sh ~torn:false;
+        r
+      in
+      let seq = probe 0 in
+      let par = probe 4 in
+      Alcotest.(check bool) "sequential = parallel" true (seq = par);
+      let _, _, hits, _, _ = seq in
+      Alcotest.(check int) "all live docs found" 45 (List.length hits))
+
+(* A store remembers its K: reopening with a different count is a
+   Shard_mismatch, and store_shards reads it back without opening. *)
+let test_shard_mismatch () =
+  with_tmp_dir (fun dir ->
+      let sh, _ = SI.open_store ~shards:2 ~dir () in
+      ignore (SI.insert sh "mismatch probe");
+      SI.close sh;
+      Alcotest.(check (option int)) "store_shards" (Some 2) (SI.store_shards ~dir);
+      Alcotest.check_raises "reopen with wrong K"
+        (SI.Shard_mismatch { dir; on_disk = 2; requested = 3 }) (fun () ->
+          ignore (SI.open_store ~shards:3 ~dir ())))
+
+(* apply_batch through the sharded store: results in op order, insert
+   results carrying global ids, and the landed state byte-identical to
+   the same ops applied one by one in memory. *)
+let test_apply_batch () =
+  with_tmp_dir (fun dir ->
+      let ops =
+        [ Trace.Insert "batch alpha ab";
+          Trace.Insert "batch bravo ab";
+          Trace.Delete 0;
+          Trace.Insert "batch charlie";
+          Trace.Delete 17;
+          Trace.Insert "batch delta ab" ]
+      in
+      let sh, _ = SI.open_store ~shards:3 ~dir () in
+      let results = SI.apply_batch sh ops in
+      let expected =
+        [ Store.Durable.Br_inserted 0;
+          Store.Durable.Br_inserted 1;
+          Store.Durable.Br_deleted true;
+          Store.Durable.Br_inserted 2;
+          Store.Durable.Br_deleted false;
+          Store.Durable.Br_inserted 3 ]
+      in
+      Alcotest.(check bool) "results in op order with global ids" true (results = expected);
+      let reference = SI.create ~shards:1 () in
+      List.iter
+        (function
+          | Trace.Insert s -> ignore (SI.insert reference s)
+          | Trace.Delete id -> ignore (SI.delete reference id)
+          | _ -> ())
+        ops;
+      Alcotest.(check (list (pair int int))) "batched = sequential" (SI.search reference "ab")
+        (SI.search sh "ab");
+      SI.close reference;
+      (* the batch survives a crash: one group commit per shard *)
+      SI.kill sh ~torn:true;
+      let sh2, _ = SI.open_store ~shards:3 ~dir () in
+      Alcotest.(check int) "doc_count after recovery" 3 (SI.doc_count sh2);
+      Alcotest.(check int) "count after recovery" 3 (SI.count sh2 "batch");
+      SI.close sh2)
+
+let suite =
+  [ ("collection contract (K=3)", `Quick, test_collection_contract);
+    ("deterministic routing, all shards populated", `Quick, test_routing_spread);
+    ("epoch vector monotone, length K+1", `Quick, test_epoch_vector_monotone);
+    ("rebalance invisible to queries", `Quick, test_rebalance_invisible);
+    ("shard mismatch detected", `Quick, test_shard_mismatch);
+    ("apply_batch: order, global ids, crash safety", `Quick, test_apply_batch);
+    ("parallel recovery = sequential recovery", `Quick, test_parallel_recovery_equivalence);
+    ("kill-and-recover sweep (K=2)", `Slow, test_kill_sweep);
+    ("mid-split kill sweep (K=3)", `Slow, test_split_kill_sweep);
+    ("fuzz reader-routed smoke", `Slow, test_fuzz_readers_smoke);
+    ("fuzz matrix streams (K in {1,2,4})", `Slow, test_fuzz_matrix) ]
