@@ -26,7 +26,7 @@ module Baseline_rel = struct
     for _ = 1 to objects do
       Dyn_bitvec.push_back n false
     done;
-    { s = Dyn_wavelet.create ~sigma:labels; n; objects }
+    { s = Dyn_wavelet.create ~sigma:labels (); n; objects }
 
   let seg t o =
     let l = if o = 0 then 0 else Dyn_bitvec.rank1 t.n (Dyn_bitvec.select0 t.n (o - 1)) in

@@ -86,6 +86,14 @@ let profile_of_string = function
   | "churny" -> Dsdg_check.Opgen.churny
   | s -> die_usage "unknown profile: %s" s
 
+(* Dynamic-sequence substrate selection (Dyn_bitvec AVL vs Spsi B-tree),
+   a runtime choice like --jobs/--readers: never persisted in store
+   dumps, recorded in replay-trace hints as seq=<name>. *)
+let seq_of_string = function
+  | "avl" -> Dsdg_delbits.Sums.Avl
+  | "spsi" -> Dsdg_delbits.Sums.Spsi
+  | s -> die_usage "unknown --seq-backend: %s (expected avl | spsi)" s
+
 (* Store-mode error envelope: a corrupt snapshot, an interior-corrupt
    WAL or a snapshot/WAL serial gap is a problem with the files on
    disk, not a crash -- report where, and exit 2 like a parse error. *)
@@ -131,11 +139,13 @@ let check_shard_layout ~dir ~shards =
 
 (* Open a sharded store, recovering the K shards in parallel on a
    small executor pool, and report per-shard recovery. *)
-let open_sharded ~config ~variant ~backend ~sample ~tau ~jobs ~readers ~shards ~dir () =
+let open_sharded ?(seq = "avl") ~config ~variant ~backend ~sample ~tau ~jobs ~readers ~shards
+    ~dir () =
   check_shard_layout ~dir ~shards;
   let sh, infos =
     Shard.Sharded_index.open_store ~config ~variant:(variant_of_string variant)
       ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers
+      ~seq_backend:(seq_of_string seq)
       ~recovery_jobs:(if shards > 1 then min shards 4 else 0)
       ~shards ~dir ()
   in
@@ -258,13 +268,14 @@ let index_files ~insert ~whole files =
     files
 
 let index_cmd files whole variant backend sample tau jobs readers shards store sync
-    checkpoint_every =
+    checkpoint_every seq =
   if shards < 1 then die_usage "--shards must be >= 1 (got %d)" shards;
   match (store, shards) with
   | None, 1 ->
     let idx =
       Dynamic_index.create ~variant:(variant_of_string variant)
-        ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ()
+        ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers
+        ~seq_backend:(seq_of_string seq) ()
     in
     index_files ~insert:(Dynamic_index.insert idx) ~whole files;
     Printf.printf "indexed %d document(s) from %d file(s)\n%!" (Dynamic_index.doc_count idx)
@@ -273,7 +284,8 @@ let index_cmd files whole variant backend sample tau jobs readers shards store s
   | None, _ ->
     let sh =
       Shard.Sharded_index.create ~variant:(variant_of_string variant)
-        ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~shards ()
+        ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers
+        ~seq_backend:(seq_of_string seq) ~shards ()
     in
     index_files ~insert:(Shard.Sharded_index.insert sh) ~whole files;
     Printf.printf "indexed %d document(s) from %d file(s) across %d shard(s)\n%!"
@@ -288,7 +300,8 @@ let index_cmd files whole variant backend sample tau jobs readers shards store s
         let config = store_config ~sync ~checkpoint_every ~jobs in
         let d, info =
           Store.Durable.open_ ~config ~variant:(variant_of_string variant)
-            ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~dir ()
+            ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers
+            ~seq_backend:(seq_of_string seq) ~dir ()
         in
         print_endline (Store.Recovery.info_to_string info);
         index_files ~insert:(Store.Durable.insert d) ~whole files;
@@ -306,7 +319,7 @@ let index_cmd files whole variant backend sample tau jobs readers shards store s
     with_store_errors ~dir (fun () ->
         let config = store_config ~sync ~checkpoint_every ~jobs in
         let sh =
-          open_sharded ~config ~variant ~backend ~sample ~tau ~jobs ~readers ~shards ~dir ()
+          open_sharded ~seq ~config ~variant ~backend ~sample ~tau ~jobs ~readers ~shards ~dir ()
         in
         index_files ~insert:(Shard.Sharded_index.insert sh) ~whole files;
         Printf.printf "indexed %d document(s) from %d file(s) into %s across %d shard(s)\n%!"
@@ -551,7 +564,7 @@ let demo_cmd ops =
    scatter/gather and migration counters next to each shard's own
    core/store scopes. *)
 let stats_sharded ~ops ~variant ~backend ~sample ~tau ~no_obs ~jobs ~readers ~shards ~store ~sync
-    ~checkpoint_every =
+    ~checkpoint_every ~seq =
   let open Dsdg_workload in
   let open Dsdg_obs in
   if no_obs then Obs.set_enabled false;
@@ -559,11 +572,12 @@ let stats_sharded ~ops ~variant ~backend ~sample ~tau ~no_obs ~jobs ~readers ~sh
     match store with
     | None ->
       Shard.Sharded_index.create ~variant:(variant_of_string variant)
-        ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~shards ()
+        ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers
+        ~seq_backend:(seq_of_string seq) ~shards ()
     | Some dir ->
       with_store_errors ~dir (fun () ->
           let config = store_config ~sync ~checkpoint_every ~jobs in
-          open_sharded ~config ~variant ~backend ~sample ~tau ~jobs ~readers ~shards ~dir ())
+          open_sharded ~seq ~config ~variant ~backend ~sample ~tau ~jobs ~readers ~shards ~dir ())
   in
   let st = Text_gen.rng 42 in
   let live = ref [] in
@@ -601,11 +615,11 @@ let stats_sharded ~ops ~variant ~backend ~sample ~tau ~no_obs ~jobs ~readers ~sh
   else List.iter (fun s -> print_string (Obs.render s)) (Obs.registered ())
 
 let stats_cmd ops variant backend sample tau no_obs jobs readers shards store sync
-    checkpoint_every =
+    checkpoint_every seq =
   if shards < 1 then die_usage "--shards must be >= 1 (got %d)" shards;
   if shards > 1 then
     stats_sharded ~ops ~variant ~backend ~sample ~tau ~no_obs ~jobs ~readers ~shards ~store ~sync
-      ~checkpoint_every
+      ~checkpoint_every ~seq
   else
   let open Dsdg_workload in
   let open Dsdg_obs in
@@ -619,14 +633,16 @@ let stats_cmd ops variant backend sample tau no_obs jobs readers shards store sy
              let config = store_config ~sync ~checkpoint_every ~jobs in
              fst
                (Store.Durable.open_ ~config ~variant:(variant_of_string variant)
-                  ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~dir ())))
+                  ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers
+                  ~seq_backend:(seq_of_string seq) ~dir ())))
   in
   let idx =
     match durable with
     | Some d -> Store.Durable.index d
     | None ->
       Dynamic_index.create ~variant:(variant_of_string variant)
-        ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ()
+        ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers
+        ~seq_backend:(seq_of_string seq) ()
   in
   let ins, del =
     match durable with
@@ -710,12 +726,13 @@ let stats_cmd ops variant backend sample tau no_obs jobs readers shards store sy
    tearing the final WAL record) at every stride-th op, recover, and
    diff the recovered index against the model. *)
 let fuzz_cmd seed ops streams variant backend sample tau fault profile replay trace_dir jobs
-    readers shards store sync checkpoint_every kill_stride =
+    readers shards store sync checkpoint_every kill_stride seq =
   let open Dsdg_check in
   (* validate enums up front so a typo is a usage error (124), not an
      internal crash from deep inside the runner *)
   if variant <> "all" then ignore (variant_of_string variant);
   if backend <> "all" then ignore (backend_of_string backend);
+  let seq_kind = seq_of_string seq in
   if shards < 1 then die_usage "--shards must be >= 1 (got %d)" shards;
   let variant = normalize_variant variant in
   let load_trace file =
@@ -738,7 +755,14 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
     in
     need "shards" shards h.Trace.h_shards;
     need "readers" readers h.Trace.h_readers;
-    need "jobs" jobs h.Trace.h_jobs
+    need "jobs" jobs h.Trace.h_jobs;
+    match h.Trace.h_seq with
+    | Some want when want <> seq ->
+      die_usage
+        "trace %s was recorded with --seq-backend %s (this invocation has --seq-backend %s); \
+         pass --seq-backend %s"
+        file want seq want
+    | _ -> ()
   in
   match store with
   | Some dir when shards > 1 ->
@@ -789,13 +813,13 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
             let scratch = Filename.concat dir (Printf.sprintf "shardkill-%s-%s" v b) in
             show "kill"
               (Shard.Shard_check.kill_sweep ~variant:(variant_of_string v)
-                 ~backend:(backend_of_string b) ~sample ~tau ~config ~torn ~stride ~shards
-                 ~dir:scratch ~ops:sweep_ops ());
+                 ~backend:(backend_of_string b) ~sample ~tau ~seq_backend:seq_kind ~config ~torn
+                 ~stride ~shards ~dir:scratch ~ops:sweep_ops ());
             let scratch = Filename.concat dir (Printf.sprintf "shardsplit-%s-%s" v b) in
             show "split"
               (Shard.Shard_check.split_kill_sweep ~variant:(variant_of_string v)
-                 ~backend:(backend_of_string b) ~sample ~tau ~config ~torn ~shards ~dir:scratch
-                 ~ops:sweep_ops ()))
+                 ~backend:(backend_of_string b) ~sample ~tau ~seq_backend:seq_kind ~config ~torn
+                 ~shards ~dir:scratch ~ops:sweep_ops ()))
           backends)
       variants;
     if !failed then exit 1;
@@ -844,7 +868,8 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
             let scratch = Filename.concat dir (Printf.sprintf "kill-%s-%s" v b) in
             let o =
               Store.Kill_check.sweep ~variant:(variant_of_string v) ~backend:(backend_of_string b)
-                ~sample ~tau ~config ~torn ~stride ~dir:scratch ~ops:sweep_ops ()
+                ~sample ~tau ~seq_backend:seq_kind ~config ~torn ~stride ~dir:scratch
+                ~ops:sweep_ops ()
             in
             Printf.printf "%-20s %s\n%!" (v ^ "/" ^ b) (Store.Kill_check.outcome_to_string o);
             if o.Store.Kill_check.kc_failures <> [] then failed := true)
@@ -871,6 +896,7 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
         sc_tau = tau;
         sc_jobs = jobs;
         sc_readers = readers;
+        sc_seq = seq_kind;
         sc_shard_counts = counts;
       }
     in
@@ -890,7 +916,8 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
          --backend %s%s%s\n"
         path path shards variant backend
         (if jobs > 0 then Printf.sprintf " --jobs %d" jobs else "")
-        (if readers > 0 then Printf.sprintf " --readers %d" readers else "");
+        ((if readers > 0 then Printf.sprintf " --readers %d" readers else "")
+        ^ if seq <> "avl" then " --seq-backend " ^ seq else "");
       exit 1
     in
     let knames = String.concat "," (List.map string_of_int counts) in
@@ -941,6 +968,7 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
         tau;
         jobs;
         readers;
+        seq = seq_kind;
         fault =
           (match fault with
           | "none" -> None
@@ -975,13 +1003,15 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
             Trace.h_shards = None;
             h_readers = (if readers > 0 then Some readers else None);
             h_jobs = (if jobs > 0 then Some jobs else None);
+            h_seq = (if seq <> "avl" then Some seq else None);
           }
         path shrunk;
-      Printf.printf "minimal trace saved to %s\nreplay: dsdg fuzz --replay %s --variant %s --backend %s%s%s%s\n"
+      Printf.printf "minimal trace saved to %s\nreplay: dsdg fuzz --replay %s --variant %s --backend %s%s%s%s%s\n"
         path path variant backend
         (if config.Runner.fault <> None then " --fault " ^ fault else "")
         (if jobs > 0 then Printf.sprintf " --jobs %d" jobs else "")
-        (if readers > 0 then Printf.sprintf " --readers %d" readers else "");
+        (if readers > 0 then Printf.sprintf " --readers %d" readers else "")
+        (if seq <> "avl" then " --seq-backend " ^ seq else "");
       exit 1
     in
     (match replay with
@@ -1046,6 +1076,11 @@ let checkpoint_every_arg =
        & info [ "checkpoint-every" ] ~docv:"K"
            ~doc:"Snapshot the index and compact the WAL every K updates (0 = never automatically; fuzz --store defaults to 7).")
 
+let seq_backend_arg =
+  Arg.(value & opt string "avl"
+       & info [ "seq-backend" ] ~docv:"NAME"
+           ~doc:"Dynamic-sequence substrate for every index structure: avl (balanced-tree bitvectors) | spsi (B-tree searchable partial sums with word-packed leaves). A runtime choice, never persisted: a store written under one backend reopens under the other.")
+
 let store_dir_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Store directory.")
 
@@ -1055,7 +1090,8 @@ let index_t =
   Cmd.v (Cmd.info "index" ~doc:"Index files and answer queries interactively")
     Term.(
       const index_cmd $ files_arg $ whole_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg
-      $ jobs_arg $ readers_arg $ shards_arg $ store_arg $ sync_arg $ checkpoint_every_arg)
+      $ jobs_arg $ readers_arg $ shards_arg $ store_arg $ sync_arg $ checkpoint_every_arg
+      $ seq_backend_arg)
 
 let save_t =
   Cmd.v
@@ -1174,7 +1210,8 @@ let stats_t =
     (Cmd.info "stats" ~doc:"Scripted churn workload + observability dump")
     Term.(
       const stats_cmd $ ops_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg $ no_obs_arg
-      $ jobs_arg $ readers_arg $ shards_arg $ store_arg $ sync_arg $ checkpoint_every_arg)
+      $ jobs_arg $ readers_arg $ shards_arg $ store_arg $ sync_arg $ checkpoint_every_arg
+      $ seq_backend_arg)
 
 let fuzz_seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed (stream i uses seed+i).")
 let fuzz_ops_arg = Arg.(value & opt int 1000 & info [ "ops" ] ~doc:"Operations per stream.")
@@ -1207,7 +1244,7 @@ let fuzz_t =
       const fuzz_cmd $ fuzz_seed_arg $ fuzz_ops_arg $ fuzz_streams_arg $ fuzz_variant_arg
       $ fuzz_backend_arg $ fuzz_sample_arg $ fuzz_tau_arg $ fuzz_fault_arg $ fuzz_profile_arg
       $ fuzz_replay_arg $ fuzz_trace_dir_arg $ jobs_arg $ readers_arg $ shards_arg $ store_arg
-      $ sync_arg $ checkpoint_every_arg $ fuzz_kill_stride_arg)
+      $ sync_arg $ checkpoint_every_arg $ fuzz_kill_stride_arg $ seq_backend_arg)
 
 let () =
   let doc = "dynamic compressed document collection index (Munro-Nekrich-Vitter, PODS 2015)" in

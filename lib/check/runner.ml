@@ -39,10 +39,19 @@ type config = {
   check_invariants : bool;
   jobs : int; (* executor workers per index under test; 0 = Sync *)
   readers : int; (* reader-pool domains; > 0 routes queries through views *)
+  seq : Dsdg_delbits.Sums.kind; (* dynamic-sequence substrate for every index *)
 }
 
 let default_config =
-  { sample = 2; tau = 4; fault = None; check_invariants = true; jobs = 0; readers = 0 }
+  {
+    sample = 2;
+    tau = 4;
+    fault = None;
+    check_invariants = true;
+    jobs = 0;
+    readers = 0;
+    seq = Dsdg_delbits.Sums.Avl;
+  }
 
 type failure = {
   f_step : int;
@@ -83,7 +92,8 @@ let run_trace ?(config = default_config) ~targets ops =
       (fun tg ->
         ( tg,
           Dynamic_index.create ~variant:tg.tg_variant ~backend:tg.tg_backend ~sample:config.sample
-            ~tau:config.tau ?fault:config.fault ~jobs:config.jobs ~readers:config.readers (),
+            ~tau:config.tau ?fault:config.fault ~jobs:config.jobs ~readers:config.readers
+            ~seq_backend:config.seq (),
           Oracle.create () ))
       targets
   in

@@ -33,6 +33,10 @@ type config = {
           differentially checked -- a stale or incomplete epoch
           publication (e.g. the planted [`Stale_epoch] fault) becomes a
           model disagreement. *)
+  seq : Dsdg_delbits.Sums.kind;
+      (** dynamic-sequence substrate every index under test is created
+          with (default [Avl]); recorded in saved-trace hints as
+          [seq=<name>]. *)
 }
 
 val default_config : config

@@ -68,14 +68,21 @@ let render ops =
 
 (* Replay hints ride in '%'-comment headers: old traces (no header)
    and old readers (comments skipped) both keep working. *)
-type hint = { h_shards : int option; h_readers : int option; h_jobs : int option }
+type hint = {
+  h_shards : int option;
+  h_readers : int option;
+  h_jobs : int option;
+  h_seq : string option;
+}
 
-let no_hint = { h_shards = None; h_readers = None; h_jobs = None }
+let no_hint = { h_shards = None; h_readers = None; h_jobs = None; h_seq = None }
 
 let hint_line hint =
   let field name = function None -> [] | Some v -> [ Printf.sprintf "%s=%d" name v ] in
+  let field_s name = function None -> [] | Some v -> [ Printf.sprintf "%s=%s" name v ] in
   match
     field "shards" hint.h_shards @ field "readers" hint.h_readers @ field "jobs" hint.h_jobs
+    @ field_s "seq" hint.h_seq
   with
   | [] -> None
   | fields -> Some ("% requires " ^ String.concat " " fields)
@@ -93,7 +100,17 @@ let parse_hint_line line =
           | _ -> None)
         fields
     in
-    Some { h_shards = get "shards"; h_readers = get "readers"; h_jobs = get "jobs" }
+    let get_s key =
+      List.find_map
+        (fun f ->
+          match String.split_on_char '=' f with
+          | [ k; v ] when k = key && v <> "" -> Some v
+          | _ -> None)
+        fields
+    in
+    Some
+      { h_shards = get "shards"; h_readers = get "readers"; h_jobs = get "jobs";
+        h_seq = get_s "seq" }
   | _ -> None
 
 let save ?(hint = no_hint) path ops =

@@ -50,11 +50,16 @@ val render : op list -> string
 
 (** A replay hint: the concurrency/sharding shape a recorded failure
     needs to reproduce. Saved as a ["% requires shards=K readers=N
-    jobs=N"] comment header, so hinted traces remain loadable by any
+    jobs=N seq=spsi"] comment header, so hinted traces remain loadable by any
     reader (comments are skipped) while hint-aware replayers
     ([dsdg fuzz --replay]) can refuse to replay under a different
     shape. *)
-type hint = { h_shards : int option; h_readers : int option; h_jobs : int option }
+type hint = {
+  h_shards : int option;
+  h_readers : int option;
+  h_jobs : int option;
+  h_seq : string option;  (** dynamic-sequence backend name ("avl"/"spsi") *)
+}
 
 (** All [None]: no requirements recorded. *)
 val no_hint : hint

@@ -166,7 +166,7 @@ let mk_view ~epoch ~docs ~syms ~census ~search ~count ~extract ~mem ~components 
    is set, each branch rebuilds the transformation from the dump's
    components instead of starting empty -- everything else (closure
    wiring, conventions, reader pool) is identical. *)
-let make ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ?restore_from () : t =
+let make ~variant ~backend ~sample ~tau ~seq ?fault ~jobs ~readers ?restore_from () : t =
   let t1_probe census_full level_capacity nf () =
     {
       pr_census = census_full ();
@@ -196,9 +196,9 @@ let make ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ?restore_from () :
     | Fm ->
       let t =
         match restore_from with
-        | None -> T1_fm.create ~schedule ~sample ~tau ~jobs ()
+        | None -> T1_fm.create ~schedule ~sample ~tau ~jobs ~seq ()
         | Some d ->
-          T1_fm.restore ~schedule ~sample ~tau ~jobs ~next_id:d.dm_next_id ~nf:d.dm_nf
+          T1_fm.restore ~schedule ~sample ~tau ~jobs ~seq ~next_id:d.dm_next_id ~nf:d.dm_nf
             ~epoch:d.dm_epoch ~components:d.dm_components ()
       in
       {
@@ -233,9 +233,9 @@ let make ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ?restore_from () :
     | Plain_sa ->
       let t =
         match restore_from with
-        | None -> T1_sa.create ~schedule ~sample ~tau ~jobs ()
+        | None -> T1_sa.create ~schedule ~sample ~tau ~jobs ~seq ()
         | Some d ->
-          T1_sa.restore ~schedule ~sample ~tau ~jobs ~next_id:d.dm_next_id ~nf:d.dm_nf
+          T1_sa.restore ~schedule ~sample ~tau ~jobs ~seq ~next_id:d.dm_next_id ~nf:d.dm_nf
             ~epoch:d.dm_epoch ~components:d.dm_components ()
       in
       {
@@ -270,9 +270,9 @@ let make ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ?restore_from () :
     | Csa ->
       let t =
         match restore_from with
-        | None -> T1_csa.create ~schedule ~sample ~tau ~jobs ()
+        | None -> T1_csa.create ~schedule ~sample ~tau ~jobs ~seq ()
         | Some d ->
-          T1_csa.restore ~schedule ~sample ~tau ~jobs ~next_id:d.dm_next_id ~nf:d.dm_nf
+          T1_csa.restore ~schedule ~sample ~tau ~jobs ~seq ~next_id:d.dm_next_id ~nf:d.dm_nf
             ~epoch:d.dm_epoch ~components:d.dm_components ()
       in
       {
@@ -316,9 +316,9 @@ let make ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ?restore_from () :
     | Fm ->
       let t =
         match restore_from with
-        | None -> T2_fm.create ~sample ~tau ?fault ~jobs ()
+        | None -> T2_fm.create ~sample ~tau ?fault ~jobs ~seq ()
         | Some d ->
-          T2_fm.restore ~sample ~tau ?fault ~jobs ~next_id:d.dm_next_id ~nf:d.dm_nf
+          T2_fm.restore ~sample ~tau ?fault ~jobs ~seq ~next_id:d.dm_next_id ~nf:d.dm_nf
             ~del_counter:d.dm_del_counter ~epoch:d.dm_epoch ~components:d.dm_components ()
       in
       {
@@ -355,9 +355,9 @@ let make ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ?restore_from () :
     | Plain_sa ->
       let t =
         match restore_from with
-        | None -> T2_sa.create ~sample ~tau ?fault ~jobs ()
+        | None -> T2_sa.create ~sample ~tau ?fault ~jobs ~seq ()
         | Some d ->
-          T2_sa.restore ~sample ~tau ?fault ~jobs ~next_id:d.dm_next_id ~nf:d.dm_nf
+          T2_sa.restore ~sample ~tau ?fault ~jobs ~seq ~next_id:d.dm_next_id ~nf:d.dm_nf
             ~del_counter:d.dm_del_counter ~epoch:d.dm_epoch ~components:d.dm_components ()
       in
       {
@@ -394,9 +394,9 @@ let make ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ?restore_from () :
     | Csa ->
       let t =
         match restore_from with
-        | None -> T2_csa.create ~sample ~tau ?fault ~jobs ()
+        | None -> T2_csa.create ~sample ~tau ?fault ~jobs ~seq ()
         | Some d ->
-          T2_csa.restore ~sample ~tau ?fault ~jobs ~next_id:d.dm_next_id ~nf:d.dm_nf
+          T2_csa.restore ~sample ~tau ?fault ~jobs ~seq ~next_id:d.dm_next_id ~nf:d.dm_nf
             ~del_counter:d.dm_del_counter ~epoch:d.dm_epoch ~components:d.dm_components ()
       in
       {
@@ -442,8 +442,8 @@ let make ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ?restore_from () :
   { ops; readers; variant; backend; sample; tau }
 
 let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fault
-    ?(jobs = 0) ?(readers = 0) () : t =
-  make ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ()
+    ?(jobs = 0) ?(readers = 0) ?(seq_backend = Dsdg_delbits.Sums.Avl) () : t =
+  make ~variant ~backend ~sample ~tau ~seq:seq_backend ?fault ~jobs ~readers ()
 
 (* Insert a document; returns its id. *)
 let insert t text = t.ops.op_insert text
@@ -552,9 +552,10 @@ let checkpoint_header t (v : view) : dump =
 
 let checkpoint_body (d : dump) (v : view) : dump = { d with dm_components = v.vw_components () }
 
-let restore ?fault ?(jobs = 0) ?(readers = 0) (d : dump) : t =
-  make ~variant:d.dm_variant ~backend:d.dm_backend ~sample:d.dm_sample ~tau:d.dm_tau ?fault
-    ~jobs ~readers ~restore_from:d ()
+let restore ?fault ?(jobs = 0) ?(readers = 0) ?(seq_backend = Dsdg_delbits.Sums.Avl)
+    (d : dump) : t =
+  make ~variant:d.dm_variant ~backend:d.dm_backend ~sample:d.dm_sample ~tau:d.dm_tau
+    ~seq:seq_backend ?fault ~jobs ~readers ~restore_from:d ()
 
 (* Run [f] against the latest published view -- on one of the reader
    domains when the index was created with [readers >= 1], inline

@@ -50,6 +50,7 @@ val create :
   ?fault:Transform2.fault ->
   ?jobs:int ->
   ?readers:int ->
+  ?seq_backend:Dsdg_delbits.Sums.kind ->
   unit ->
   t
 
@@ -245,7 +246,13 @@ val checkpoint_body : dump -> view -> dump
     documents are folded into fresh top collections. [fault], [jobs]
     and [readers] are fresh runtime choices, not part of the dump.
     O(n) index construction. *)
-val restore : ?fault:Transform2.fault -> ?jobs:int -> ?readers:int -> dump -> t
+val restore :
+  ?fault:Transform2.fault ->
+  ?jobs:int ->
+  ?readers:int ->
+  ?seq_backend:Dsdg_delbits.Sums.kind ->
+  dump ->
+  t
 
 (** Land every in-flight background job now (each counts as a forced
     completion); no-op for the amortized variants. *)

@@ -22,8 +22,15 @@ module Make (I : Static_index.S) : sig
 
   (** [build ~sample ~tau docs] indexes [(id, text)] pairs. Raises
       [Invalid_argument] on duplicate ids or [tau < 1]. [tick] is called
-      once per O(1) construction work. *)
-  val build : ?tick:(unit -> unit) -> sample:int -> tau:int -> (int * string) array -> t
+      once per O(1) construction work. [seq] picks the partial-sums
+      backend of the liveness Reporter (default [Sums.Avl]). *)
+  val build :
+    ?tick:(unit -> unit) ->
+    ?seq:Dsdg_delbits.Sums.kind ->
+    sample:int ->
+    tau:int ->
+    (int * string) array ->
+    t
 
   (** [false] for dead or absent documents. *)
   val mem : t -> int -> bool
@@ -123,5 +130,11 @@ module Make (I : Static_index.S) : sig
   (** Inverse of {!dump}: rebuild, then replay the deletion bit vector,
       restoring census counters and query answers exactly. Raises
       [Invalid_argument] if the bit vector length does not match. *)
-  val of_dump : sample:int -> tau:int -> (int * string) array -> bool array -> t
+  val of_dump :
+    ?seq:Dsdg_delbits.Sums.kind ->
+    sample:int ->
+    tau:int ->
+    (int * string) array ->
+    bool array ->
+    t
 end

@@ -42,7 +42,14 @@ module Make (I : Static_index.S) : sig
 
   (** [jobs > 0] attaches a worker pool that runs purge / global-rebuild
       index constructions off-thread. *)
-  val create : ?schedule:schedule -> ?sample:int -> ?tau:int -> ?jobs:int -> unit -> t
+  val create :
+    ?schedule:schedule ->
+    ?sample:int ->
+    ?tau:int ->
+    ?jobs:int ->
+    ?seq:Dsdg_delbits.Sums.kind ->
+    unit ->
+    t
 
   (** Returns the fresh document id. *)
   val insert : t -> string -> int
@@ -174,6 +181,7 @@ module Make (I : Static_index.S) : sig
     ?sample:int ->
     ?tau:int ->
     ?jobs:int ->
+    ?seq:Dsdg_delbits.Sums.kind ->
     next_id:int ->
     nf:int ->
     epoch:int ->

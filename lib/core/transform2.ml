@@ -119,6 +119,7 @@ module Make (I : Static_index.S) = struct
   type t = {
     sample : int;
     tau : int;
+    seq : Dsdg_delbits.Sums.kind;
     epsilon : float;
     work_factor : int;
     mutable gst : Gsuffix_tree.t; (* C0 *)
@@ -158,7 +159,7 @@ module Make (I : Static_index.S) = struct
   }
 
   let create ?(sample = 8) ?(tau = 8) ?(epsilon = 0.5) ?(work_factor = 64) ?fault
-      ?(jobs = 0) () =
+      ?(jobs = 0) ?(seq = Dsdg_delbits.Sums.Avl) () =
     let obs = Obs.private_scope ("transform2/" ^ I.name) in
     let gst = Gsuffix_tree.create () in
     let view0 =
@@ -178,6 +179,7 @@ module Make (I : Static_index.S) = struct
       published = Atomic.make view0;
       sample;
       tau;
+      seq;
       epsilon;
       work_factor;
       gst;
@@ -268,7 +270,8 @@ module Make (I : Static_index.S) = struct
 
   (* --- job management --- *)
 
-  let build_ss t ?tick docs = SS.build ?tick ~sample:t.sample ~tau:t.tau (Array.of_list docs)
+  let build_ss t ?tick docs =
+    SS.build ?tick ~seq:t.seq ~sample:t.sample ~tau:t.tau (Array.of_list docs)
 
   let target_name = function
     | `Sub jj -> Printf.sprintf "N%d" jj
@@ -970,9 +973,9 @@ module Make (I : Static_index.S) = struct
      guarantee the deleted-during replay gives a live install.)  The
      first published view continues the dumped epoch, preserving
      epoch = completed updates across a restart. *)
-  let restore ?sample ?tau ?epsilon ?work_factor ?fault ?jobs ~next_id:nid ~nf ~del_counter
-      ~epoch ~components () =
-    let t = create ?sample ?tau ?epsilon ?work_factor ?fault ?jobs () in
+  let restore ?sample ?tau ?epsilon ?work_factor ?fault ?jobs ?seq ~next_id:nid ~nf
+      ~del_counter ~epoch ~components () =
+    let t = create ?sample ?tau ?epsilon ?work_factor ?fault ?jobs ?seq () in
     t.nf <- max 256 nf;
     t.next_id <- nid;
     t.del_counter <- del_counter;
@@ -1002,14 +1005,14 @@ module Make (I : Static_index.S) = struct
         else
           match (level name "C", level name "T") with
           | Some j, _ when j >= 1 && j <= max_slots && t.subs.(j) = None ->
-            let ss = SS.of_dump ~sample:t.sample ~tau:t.tau docs dead in
+            let ss = SS.of_dump ~seq:t.seq ~sample:t.sample ~tau:t.tau docs dead in
             if not (SS.is_empty ss) then begin
               t.subs.(j) <- Some ss;
               t.live <- t.live + SS.live_symbols ss;
               t.doc_count <- t.doc_count + SS.doc_count ss
             end
           | _, Some k ->
-            let ss = SS.of_dump ~sample:t.sample ~tau:t.tau docs dead in
+            let ss = SS.of_dump ~seq:t.seq ~sample:t.sample ~tau:t.tau docs dead in
             if not (SS.is_empty ss) then begin
               t.tops <- (k, ss) :: t.tops;
               t.next_top_key <- max t.next_top_key (k + 1);

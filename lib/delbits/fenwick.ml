@@ -57,8 +57,34 @@ let of_array (a : int array) =
   done;
   t
 
+(* Smallest [i] with [prefix t (i + 1) > k], by binary lifting over the
+   implicit tree: O(log n), no prefix-sum recomputation per probe.
+   Requires all cells non-negative and [0 <= k < total t]. *)
+let search t k =
+  if k < 0 then invalid_arg "Fenwick.search";
+  let log2 =
+    let b = ref 1 and l = ref 0 in
+    while !b * 2 <= t.n do
+      b := !b * 2;
+      incr l
+    done;
+    !l
+  in
+  let pos = ref 0 and rem = ref k in
+  for j = log2 downto 0 do
+    let next = !pos + (1 lsl j) in
+    if next <= t.n && t.tree.(next) <= !rem then begin
+      rem := !rem - t.tree.(next);
+      pos := next
+    end
+  done;
+  if !pos >= t.n then invalid_arg "Fenwick.search";
+  !pos
+
 (* Deep copy, O(n).  Snapshot publication (read-plane views) copies the
    Fenwick summaries of structures whose deletion state keeps mutating. *)
 let copy t = { n = t.n; tree = Array.copy t.tree }
 
-let space_bits t = (Array.length t.tree + 1) * 63
+(* The tree array already includes the unused 1-based slot, so it is the
+   whole footprint; charge payload words of [Popcount.word_bits]. *)
+let space_bits t = Array.length t.tree * Dsdg_bits.Popcount.word_bits

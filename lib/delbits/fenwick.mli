@@ -26,6 +26,11 @@ val range : t -> int -> int -> int
 
 val total : t -> int
 
+(** [search t k] is the smallest [i] with [prefix t (i + 1) > k]: the
+    cell containing the [k]-th unit of mass. Binary lifting, O(log n).
+    Requires non-negative cells and [0 <= k < total t]. *)
+val search : t -> int -> int
+
 (** Deep copy, O(n); used when publishing read-plane snapshots. *)
 val copy : t -> t
 

@@ -1,0 +1,103 @@
+(* Searchable partial sums over a fixed universe of [n] cells, laid out
+   as an implicit B-ary tree: level 0 holds the cells themselves and
+   every higher level holds the sums of [branch]-sized groups of the
+   level below.  Point update touches one slot per level (O(log_B n)
+   cache lines); prefix sum and search scan at most [branch - 1]
+   consecutive slots per level.  This is the flat-array SPSI layout of
+   the B-tree exemplars (Prezza's DYNAMIC, B-tree_plus_alpha) restricted
+   to the fixed-[n] partial-sums case the deletion path needs, trading
+   the Fenwick tree's pointer-free but stride-hostile lowbit walk for
+   strictly sequential probes. *)
+
+open Dsdg_bits
+
+let branch = 32
+
+type t = {
+  n : int;
+  levels : int array array;
+      (* levels.(0).(i) = cell i; levels.(l).(j) = sum of the j-th
+         [branch]-group of level l-1.  The top level has <= branch
+         entries. *)
+}
+
+let groups_for len = if len <= 1 then 1 else (len + branch - 1) / branch
+
+let build_levels level0 =
+  let levels = ref [ level0 ] and cur = ref level0 in
+  while Array.length !cur > branch do
+    let next = Array.make (groups_for (Array.length !cur)) 0 in
+    Array.iteri (fun i x -> next.(i / branch) <- next.(i / branch) + x) !cur;
+    levels := next :: !levels;
+    cur := next
+  done;
+  Array.of_list (List.rev !levels)
+
+let create n =
+  if n < 0 then invalid_arg "Spsi_sums.create";
+  { n; levels = build_levels (Array.make (max 1 n) 0) }
+
+let of_array (a : int array) =
+  { n = Array.length a; levels = build_levels (if Array.length a = 0 then [| 0 |] else Array.copy a) }
+
+let create_ones n =
+  if n < 0 then invalid_arg "Spsi_sums.create_ones";
+  of_array (Array.make n 1)
+
+let length t = t.n
+
+let add t i delta =
+  if i < 0 || i >= t.n then invalid_arg "Spsi_sums.add";
+  let idx = ref i in
+  for l = 0 to Array.length t.levels - 1 do
+    let arr = t.levels.(l) in
+    arr.(!idx) <- arr.(!idx) + delta;
+    idx := !idx / branch
+  done
+
+(* Sum of cells [0, i): within each level, add the slots between the
+   start of [i]'s group and [i] itself, then recurse on the group
+   index.  <= branch - 1 sequential adds per level. *)
+let prefix t i =
+  if i < 0 || i > t.n then invalid_arg "Spsi_sums.prefix";
+  let acc = ref 0 and idx = ref i in
+  let top = Array.length t.levels - 1 in
+  for l = 0 to top do
+    let arr = t.levels.(l) in
+    (* the top level delegates nothing upward, so its scan starts at 0
+       (the group arithmetic would skip it when [idx] lands exactly on
+       [branch]) *)
+    let g = if l = top then 0 else !idx / branch * branch in
+    for j = g to !idx - 1 do
+      acc := !acc + arr.(j)
+    done;
+    idx := !idx / branch
+  done;
+  !acc
+
+let range t l r = prefix t r - prefix t l
+let total t = prefix t t.n
+
+(* Smallest [i] with [prefix t (i + 1) > k]: descend the pyramid,
+   scanning one group per level.  Requires non-negative cells and
+   [0 <= k < total t]. *)
+let search t k =
+  if k < 0 then invalid_arg "Spsi_sums.search";
+  let rem = ref k and start = ref 0 in
+  for l = Array.length t.levels - 1 downto 0 do
+    let arr = t.levels.(l) in
+    let stop = min (Array.length arr) (!start + branch) in
+    let j = ref !start in
+    while !j < stop - 1 && !rem >= arr.(!j) do
+      rem := !rem - arr.(!j);
+      incr j
+    done;
+    start := if l = 0 then !j else !j * branch
+  done;
+  if !rem >= t.levels.(0).(!start) then invalid_arg "Spsi_sums.search";
+  !start
+
+let copy t = { n = t.n; levels = Array.map Array.copy t.levels }
+
+let space_bits t =
+  Array.fold_left (fun acc arr -> acc + Array.length arr) 2 t.levels * Popcount.word_bits

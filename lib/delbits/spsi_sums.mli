@@ -1,0 +1,42 @@
+(** Searchable partial sums over a fixed universe of cells, stored as an
+    implicit B-ary pyramid of flat arrays (the SPSI layout of the B-tree
+    exemplars, specialised to fixed length). Point update writes one
+    slot per level; prefix sum and search scan at most one group per
+    level — all probes are sequential, unlike the Fenwick lowbit walk. *)
+
+type t
+
+(** Group fanout of the pyramid (slots scanned per level). *)
+val branch : int
+
+(** [create n] is an all-zero structure over [n] cells. *)
+val create : int -> t
+
+(** [create_ones n] is pre-filled with 1 in every cell; O(n). *)
+val create_ones : int -> t
+
+(** Linear-time construction from initial cell values. *)
+val of_array : int array -> t
+
+val length : t -> int
+
+(** [add t i delta] adds [delta] to cell [i]; O(log_B n) slot writes. *)
+val add : t -> int -> int -> unit
+
+(** [prefix t i] is the sum of cells [[0, i)]. *)
+val prefix : t -> int -> int
+
+(** [range t l r] is the sum of cells [[l, r)]. *)
+val range : t -> int -> int -> int
+
+val total : t -> int
+
+(** [search t k] is the smallest [i] with [prefix t (i + 1) > k] — one
+    top-down descent, no prefix recomputation. Requires non-negative
+    cells and [0 <= k < total t]. *)
+val search : t -> int -> int
+
+(** Deep copy, O(n); used when publishing read-plane snapshots. *)
+val copy : t -> t
+
+val space_bits : t -> int

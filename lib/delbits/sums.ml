@@ -1,0 +1,41 @@
+(* The searchable-partial-sums seam: every structure that keeps integer
+   counts per position (Reporter word counts, Dyn_fm symbol
+   accumulators) goes through this dispatch so the whole engine can be
+   switched between the incumbent Fenwick tree and the cache-friendly
+   SPSI pyramid with one runtime choice.  [kind] is the same value the
+   dynamic-bitvector seam uses (Seq_backend re-exports it): "avl" names
+   the incumbent family (AVL bitvectors + Fenwick sums), "spsi" the
+   B-tree family. *)
+
+type kind = Avl | Spsi
+
+let kind_to_string = function Avl -> "avl" | Spsi -> "spsi"
+
+let kind_of_string = function
+  | "avl" -> Some Avl
+  | "spsi" -> Some Spsi
+  | _ -> None
+
+let all_kinds = [ Avl; Spsi ]
+
+type t = F of Fenwick.t | S of Spsi_sums.t
+
+let kind = function F _ -> Avl | S _ -> Spsi
+
+let create k n =
+  match k with Avl -> F (Fenwick.create n) | Spsi -> S (Spsi_sums.create n)
+
+let create_ones k n =
+  match k with Avl -> F (Fenwick.create_ones n) | Spsi -> S (Spsi_sums.create_ones n)
+
+let of_array k a =
+  match k with Avl -> F (Fenwick.of_array a) | Spsi -> S (Spsi_sums.of_array a)
+
+let length = function F f -> Fenwick.length f | S s -> Spsi_sums.length s
+let add t i d = match t with F f -> Fenwick.add f i d | S s -> Spsi_sums.add s i d
+let prefix t i = match t with F f -> Fenwick.prefix f i | S s -> Spsi_sums.prefix s i
+let range t l r = match t with F f -> Fenwick.range f l r | S s -> Spsi_sums.range s l r
+let total = function F f -> Fenwick.total f | S s -> Spsi_sums.total s
+let search t k = match t with F f -> Fenwick.search f k | S s -> Spsi_sums.search s k
+let copy = function F f -> F (Fenwick.copy f) | S s -> S (Spsi_sums.copy s)
+let space_bits = function F f -> Fenwick.space_bits f | S s -> Spsi_sums.space_bits s

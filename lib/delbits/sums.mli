@@ -1,0 +1,50 @@
+(** Searchable partial sums behind a runtime backend choice.
+
+    [kind] selects between the incumbent family ([Avl]: Fenwick sums,
+    AVL dynamic bitvectors) and the B-tree family ([Spsi]: implicit
+    B-ary pyramid here, B-tree bitvectors in dynseq). The same [kind]
+    value is threaded from the CLI's [--seq-backend] flag down through
+    [Reporter], [Semi_static] and the dynamic-sequence layer. *)
+
+type kind = Avl | Spsi
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+(** All backends, in matrix order — used to fan differential tests. *)
+val all_kinds : kind list
+
+type t
+
+val kind : t -> kind
+
+(** [create k n] is an all-zero structure over [n] cells. *)
+val create : kind -> int -> t
+
+(** [create_ones k n] is pre-filled with 1 in every cell; O(n). *)
+val create_ones : kind -> int -> t
+
+(** Linear-time construction from initial cell values. *)
+val of_array : kind -> int array -> t
+
+val length : t -> int
+
+(** [add t i delta] adds [delta] to cell [i]. *)
+val add : t -> int -> int -> unit
+
+(** [prefix t i] is the sum of cells [[0, i)]. *)
+val prefix : t -> int -> int
+
+(** [range t l r] is the sum of cells [[l, r)]. *)
+val range : t -> int -> int -> int
+
+val total : t -> int
+
+(** [search t k] is the smallest [i] with [prefix t (i + 1) > k].
+    Requires non-negative cells and [0 <= k < total t]. *)
+val search : t -> int -> int
+
+(** Deep copy; used when publishing read-plane snapshots. *)
+val copy : t -> t
+
+val space_bits : t -> int

@@ -124,18 +124,25 @@ let rebalance t =
 let empty_leaf () = Leaf { len = 0; data = [| 0 |] }
 
 let split_leaf len data =
-  (* split a full chunk into two halves *)
+  (* split a full chunk into two halves: word-level blits, with a
+     shift-and-stitch pass for the right half when the cut is not
+     word-aligned.  Chunk arrays keep bits >= len zero, so only the
+     shared boundary word needs masking. *)
   let half = len / 2 in
-  let left = Array.make ((half + w - 1) / w) 0 in
-  let right = Array.make ((len - half + w - 1) / w) 0 in
-  (* simple O(len) bit copy; chunks are small *)
-  for i = 0 to half - 1 do
-    if chunk_get data i = 1 then left.(i / w) <- left.(i / w) lor (1 lsl (i mod w))
-  done;
-  for i = half to len - 1 do
-    let k = i - half in
-    if chunk_get data i = 1 then right.(k / w) <- right.(k / w) lor (1 lsl (k mod w))
-  done;
+  let nl = max 1 ((half + w - 1) / w) in
+  let nr = max 1 ((len - half + w - 1) / w) in
+  let left = Array.make nl 0 in
+  let right = Array.make nr 0 in
+  let base = half / w and off = half mod w in
+  Array.blit data 0 left 0 (min nl (Array.length data));
+  if off > 0 then left.(nl - 1) <- left.(nl - 1) land Popcount.low_mask off;
+  if off = 0 then Array.blit data base right 0 (min nr (Array.length data - base))
+  else
+    for j = 0 to nr - 1 do
+      let lo = data.(base + j) lsr off in
+      let hi = if base + j + 1 < Array.length data then data.(base + j + 1) else 0 in
+      right.(j) <- (lo lor (hi lsl (w - off))) land Popcount.low_mask w
+    done;
   mk_node (Leaf { len = half; data = left }) (Leaf { len = len - half; data = right })
 
 let rec tree_insert t pos b =
@@ -256,8 +263,24 @@ let snapshot t = { root = t.root }
 
 let to_bools t = List.init (len t) (fun i -> get t i)
 
+(* Testing hook: production splits always cut a 497-bit chunk at the
+   word-aligned midpoint 248, so the shift-and-stitch branch of
+   [split_leaf] is unreachable from the public API.  This packs an
+   arbitrary-length bool array, splits it at len/2 and unpacks both
+   halves, exercising the aligned and unaligned blit paths directly. *)
+let split_chunk_for_tests (bits : bool array) =
+  let n = Array.length bits in
+  if n = 0 then invalid_arg "Dyn_bitvec.split_chunk_for_tests: empty";
+  let data = Array.make ((n + w - 1) / w) 0 in
+  Array.iteri (fun i b -> if b then data.(i / w) <- data.(i / w) lor (1 lsl (i mod w))) bits;
+  match split_leaf n data with
+  | Node { l = Leaf { len = ll; data = ld }; r = Leaf { len = rl; data = rd }; _ } ->
+    ( Array.init ll (fun i -> chunk_get ld i = 1),
+      Array.init rl (fun i -> chunk_get rd i = 1) )
+  | _ -> assert false
+
 let rec space_tree = function
-  | Leaf { data; _ } -> (Array.length data + 2) * 63
-  | Node { l; r; _ } -> space_tree l + space_tree r + (5 * 63)
+  | Leaf { data; _ } -> (Array.length data + 2) * w
+  | Node { l; r; _ } -> space_tree l + space_tree r + (5 * w)
 
 let space_bits t = space_tree t.root

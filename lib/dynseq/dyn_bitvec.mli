@@ -40,3 +40,11 @@ val to_bools : t -> bool list
     while [t] keeps mutating. *)
 val snapshot : t -> t
 val space_bits : t -> int
+
+(**/**)
+
+(** Test-suite hook for {e split_leaf}'s word-level blit paths: split a
+    bool array at [len/2] through the packed-chunk representation.
+    Production splits always cut at a word-aligned midpoint, so the
+    unaligned shift-and-stitch branch is only reachable here. *)
+val split_chunk_for_tests : bool array -> bool array * bool array

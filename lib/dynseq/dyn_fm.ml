@@ -6,13 +6,18 @@
    Every operation on the BWT costs O(log n log sigma) through the
    dynamic rank/select machinery -- this is precisely the Fredman-Saks
    bottleneck the paper's Transformations avoid.  Used as the comparison
-   baseline for Table 2.
+   baseline for Table 2.  The wavelet tree and the symbol accumulator go
+   through the backend seams (Seq_backend / Sums), so the baseline runs
+   on either the AVL or the SPSI substrate.
 
    Conventions: separator/sentinel symbol 1 terminates every document
    (pattern characters are code+2 as elsewhere).  Sentinel rows occupy
-   the prefix [0, ndocs) of the row space; a new document's sentinel is
-   appended as the last of that block, and [sentinel_order] remembers
-   which document owns which sentinel row.
+   the prefix [0, ndocs) of the row space in document-insertion order.
+   That order is tracked indexably: [sent_docs] appends each doc id to
+   the next slot forever, [sent_alive] keeps one liveness bit per slot,
+   and a doc's sentinel row is the rank of its slot among live slots --
+   every lookup is O(log n), where the old list walk was O(ndocs) per
+   insert/delete/locate (quadratic under churn).
 
    Counting queries (backward search) are fully supported.  Locating is
    supported by walking LF to the document start (cost O(off * log n
@@ -20,6 +25,7 @@
    is deliberately not replicated here -- the baseline exists to measure
    count/update costs (see DESIGN.md). *)
 
+open Dsdg_bits
 open Dsdg_delbits
 
 let sep = 1
@@ -27,36 +33,72 @@ let sigma = 258
 let sym_of_char c = Char.code c + 2
 
 type t = {
+  backend : Seq_backend.kind;
   wt : Dyn_wavelet.t; (* the BWT *)
-  alpha : Fenwick.t; (* symbol counts; C(c) = prefix sums *)
-  mutable sentinel_order : int list; (* doc ids in sentinel-row order *)
+  alpha : Sums.t; (* symbol counts; C(c) = prefix sums *)
+  mutable sent_docs : int array; (* slot -> doc id, append-only *)
+  mutable sent_len : int; (* slots used *)
+  sent_alive : Seq_backend.bv; (* one bit per slot: doc still present? *)
+  sent_slot : (int, int) Hashtbl.t; (* doc id -> slot *)
   docs : (int, int) Hashtbl.t; (* doc id -> length *)
 }
 
-let create () =
+let create ?(backend = Seq_backend.Avl) () =
   {
-    wt = Dyn_wavelet.create ~sigma;
-    alpha = Fenwick.create sigma;
-    sentinel_order = [];
+    backend;
+    wt = Dyn_wavelet.create ~backend ~sigma ();
+    alpha = Sums.create backend sigma;
+    sent_docs = Array.make 16 0;
+    sent_len = 0;
+    sent_alive = Seq_backend.create backend;
+    sent_slot = Hashtbl.create 16;
     docs = Hashtbl.create 16;
   }
 
+let backend t = t.backend
 let doc_count t = Hashtbl.length t.docs
 let total_symbols t = Dyn_wavelet.length t.wt
 let mem t id = Hashtbl.mem t.docs id
 
 (* C(c): number of BWT symbols strictly smaller than c. *)
-let c_before t c = Fenwick.prefix t.alpha c
+let c_before t c = Sums.prefix t.alpha c
 
 let wt_insert t pos c =
   Dyn_wavelet.insert t.wt pos c;
-  Fenwick.add t.alpha c 1
+  Sums.add t.alpha c 1
 
 let wt_delete t pos =
   let c = Dyn_wavelet.access t.wt pos in
   Dyn_wavelet.delete t.wt pos;
-  Fenwick.add t.alpha c (-1);
+  Sums.add t.alpha c (-1);
   c
+
+(* Sentinel-row index of a live doc: rank of its slot among live slots. *)
+let sentinel_row t id =
+  match Hashtbl.find_opt t.sent_slot id with
+  | None -> invalid_arg "Dyn_fm.sentinel_row: unknown doc"
+  | Some slot -> Seq_backend.rank1 t.sent_alive slot
+
+(* Doc owning sentinel row [k] (k-th live slot). *)
+let doc_of_sentinel t k = t.sent_docs.(Seq_backend.select1 t.sent_alive k)
+
+let sentinel_append t id =
+  if t.sent_len = Array.length t.sent_docs then begin
+    let nd = Array.make (2 * t.sent_len) 0 in
+    Array.blit t.sent_docs 0 nd 0 t.sent_len;
+    t.sent_docs <- nd
+  end;
+  t.sent_docs.(t.sent_len) <- id;
+  Hashtbl.replace t.sent_slot id t.sent_len;
+  Seq_backend.push_back t.sent_alive true;
+  t.sent_len <- t.sent_len + 1
+
+let sentinel_remove t id =
+  match Hashtbl.find_opt t.sent_slot id with
+  | None -> ()
+  | Some slot ->
+    Seq_backend.set t.sent_alive slot false;
+    Hashtbl.remove t.sent_slot id
 
 (* Insert document [text] with id [id]: standard backward extension.  The
    new sentinel becomes the last sentinel row; we then insert the
@@ -67,7 +109,7 @@ let insert t ~doc (text : string) =
   let m = String.length text in
   let ndocs = doc_count t in
   Hashtbl.replace t.docs doc m;
-  t.sentinel_order <- t.sentinel_order @ [ doc ];
+  sentinel_append t doc;
   (* the sentinel row of the new doc is row [ndocs]; its L-symbol is the
      last character of the text (or the sentinel itself if empty) *)
   let pos = ref ndocs in
@@ -102,15 +144,9 @@ let range t (p : string) : (int * int) option =
 
 let count t p = match range t p with None -> 0 | Some (sp, ep) -> ep - sp
 
-(* First symbol of the suffix in [row]: the c with C(c) <= row < C(c+1). *)
-let first_symbol t row =
-  let lo = ref 0 and hi = ref sigma in
-  (* largest c with C(c) <= row *)
-  while !hi - !lo > 1 do
-    let mid = (!lo + !hi) / 2 in
-    if c_before t mid <= row then lo := mid else hi := mid
-  done;
-  !lo
+(* First symbol of the suffix in [row]: the c with C(c) <= row < C(c+1) —
+   one searchable-partial-sums descent over the symbol counts. *)
+let first_symbol t row = Sums.search t.alpha row
 
 (* One psi step: row of suffix T[j..] -> row of suffix T[j+1..].  This is
    the exact inverse of the LF links the insertion walk created, so it is
@@ -119,22 +155,16 @@ let psi t row =
   let c = first_symbol t row in
   (c, Dyn_wavelet.select t.wt c (row - c_before t c))
 
-(* Delete document [id]: starting from its sentinel row (whose block
-   position is tracked exactly by [sentinel_order]), walk backward through
-   the document with char-LF steps -- these never select within the
-   sentinel class, where L-order and block order may disagree -- collect
-   the m+1 rows, then remove them in decreasing row order so earlier
-   removals do not shift later targets. *)
+(* Delete document [id]: starting from its sentinel row, walk backward
+   through the document with char-LF steps -- these never select within
+   the sentinel class, where L-order and block order may disagree --
+   collect the m+1 rows, then remove them in decreasing row order so
+   earlier removals do not shift later targets. *)
 let delete t id =
   match Hashtbl.find_opt t.docs id with
   | None -> false
   | Some len ->
-    (* sentinel row index = position of id in sentinel_order *)
-    let rec index_of i = function
-      | [] -> invalid_arg "Dyn_fm.delete: corrupt sentinel order"
-      | d :: rest -> if d = id then i else index_of (i + 1) rest
-    in
-    let k = index_of 0 t.sentinel_order in
+    let k = sentinel_row t id in
     let rows = Array.make (len + 1) 0 in
     rows.(0) <- k;
     let cur = ref k in
@@ -147,12 +177,12 @@ let delete t id =
     (* at the end, L[cur] must be the document's sentinel *)
     Array.sort (fun a b -> compare b a) rows;
     Array.iter (fun row -> ignore (wt_delete t row)) rows;
-    t.sentinel_order <- List.filter (fun d -> d <> id) t.sentinel_order;
+    sentinel_remove t id;
     Hashtbl.remove t.docs id;
     true
 
 (* Locate one occurrence: psi-walk forward until the sentinel block
-   (rows [0, ndocs) hold the sentinel-first rotations, in sentinel_order).
+   (rows [0, ndocs) hold the sentinel-first rotations, in slot order).
    Returns (doc, off).  O((len - off) * log n log sigma). *)
 let locate t row =
   let row = ref row and steps = ref 0 in
@@ -162,7 +192,7 @@ let locate t row =
     row := next;
     incr steps
   done;
-  let doc = List.nth t.sentinel_order !row in
+  let doc = doc_of_sentinel t !row in
   let len = Hashtbl.find t.docs doc in
   (doc, len - !steps)
 
@@ -172,16 +202,24 @@ let search t p =
   | Some (sp, ep) -> List.sort compare (List.init (ep - sp) (fun k -> locate t (sp + k)))
 
 (* Read-plane snapshot: O(sigma + ndocs).  The wavelet snapshot shares
-   all bit data (path-copying underneath); alpha and the doc table are
-   small and copied outright; sentinel_order is an immutable list. *)
+   or copies bit data per the backend's snapshot semantics; alpha, the
+   sentinel bookkeeping and the doc tables are small and copied
+   outright. *)
 let snapshot t =
   {
+    backend = t.backend;
     wt = Dyn_wavelet.snapshot t.wt;
-    alpha = Fenwick.copy t.alpha;
-    sentinel_order = t.sentinel_order;
+    alpha = Sums.copy t.alpha;
+    sent_docs = Array.copy t.sent_docs;
+    sent_len = t.sent_len;
+    sent_alive = Seq_backend.snapshot t.sent_alive;
+    sent_slot = Hashtbl.copy t.sent_slot;
     docs = Hashtbl.copy t.docs;
   }
 
 let space_bits t =
-  Dyn_wavelet.space_bits t.wt + Fenwick.space_bits t.alpha
-  + (doc_count t * 2 * 63)
+  let w = Popcount.word_bits in
+  Dyn_wavelet.space_bits t.wt + Sums.space_bits t.alpha
+  + (Array.length t.sent_docs * w)
+  + Seq_backend.space_bits t.sent_alive
+  + (doc_count t * 4 * w)

@@ -6,7 +6,12 @@
 
 type t
 
-val create : unit -> t
+(** [create ?backend ()] — [backend] picks the dynamic-sequence
+    substrate (wavelet-tree bitvectors, symbol accumulator, sentinel
+    liveness); default {!Seq_backend.Avl}. *)
+val create : ?backend:Seq_backend.kind -> unit -> t
+
+val backend : t -> Seq_backend.kind
 val doc_count : t -> int
 
 (** Total symbols including one sentinel per document. *)

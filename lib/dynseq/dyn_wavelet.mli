@@ -3,9 +3,13 @@
 
 type t
 
-val create : sigma:int -> t
+(** [create ?backend ~sigma ()] — [backend] picks the dynamic-bitvector
+    substrate for every node (default {!Seq_backend.Avl}). *)
+val create : ?backend:Seq_backend.kind -> sigma:int -> unit -> t
+
 val length : t -> int
 val sigma : t -> int
+val backend : t -> Seq_backend.kind
 
 (** [insert t pos sym] inserts [sym] at position [pos]. *)
 val insert : t -> int -> int -> unit

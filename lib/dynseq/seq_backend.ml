@@ -1,0 +1,76 @@
+(* The dynamic-bitvector seam: one module type both substrates satisfy,
+   a runtime [kind] (shared with the partial-sums seam in delbits so a
+   single CLI flag switches the whole family), and a packed existential
+   so callers like [Dyn_wavelet] can hold a backend-chosen bitvector in
+   an ordinary field. *)
+
+type kind = Dsdg_delbits.Sums.kind = Avl | Spsi
+
+let kind_to_string = Dsdg_delbits.Sums.kind_to_string
+let kind_of_string = Dsdg_delbits.Sums.kind_of_string
+let all_kinds = Dsdg_delbits.Sums.all_kinds
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+  val len : t -> int
+  val ones : t -> int
+  val zeros : t -> int
+  val get : t -> int -> bool
+  val set : t -> int -> bool -> unit
+  val insert : t -> int -> bool -> unit
+  val delete : t -> int -> unit
+  val rank1 : t -> int -> int
+  val rank0 : t -> int -> int
+  val select1 : t -> int -> int
+  val select0 : t -> int -> int
+  val push_back : t -> bool -> unit
+  val to_bools : t -> bool list
+  val snapshot : t -> t
+  val space_bits : t -> int
+end
+
+module Avl_backend : S = struct
+  include Dyn_bitvec
+
+  let name = "avl"
+end
+
+module Spsi_backend : S = struct
+  include Spsi
+
+  let name = "spsi"
+end
+
+let of_kind : kind -> (module S) = function
+  | Avl -> (module Avl_backend)
+  | Spsi -> (module Spsi_backend)
+
+(* A bitvector packed with its operations: the wavelet tree stores one
+   of these per node and stays backend-agnostic. *)
+type bv = Bv : (module S with type t = 'a) * 'a -> bv
+
+let create kind =
+  let (module B) = of_kind kind in
+  Bv ((module B), B.create ())
+
+let kind_of (Bv ((module B), _)) =
+  match kind_of_string B.name with Some k -> k | None -> assert false
+
+let len (Bv ((module B), v)) = B.len v
+let ones (Bv ((module B), v)) = B.ones v
+let zeros (Bv ((module B), v)) = B.zeros v
+let get (Bv ((module B), v)) i = B.get v i
+let set (Bv ((module B), v)) i b = B.set v i b
+let insert (Bv ((module B), v)) i b = B.insert v i b
+let delete (Bv ((module B), v)) i = B.delete v i
+let rank1 (Bv ((module B), v)) i = B.rank1 v i
+let rank0 (Bv ((module B), v)) i = B.rank0 v i
+let select1 (Bv ((module B), v)) k = B.select1 v k
+let select0 (Bv ((module B), v)) k = B.select0 v k
+let push_back (Bv ((module B), v)) b = B.push_back v b
+let to_bools (Bv ((module B), v)) = B.to_bools v
+let snapshot (Bv ((module B), v)) = Bv ((module B), B.snapshot v)
+let space_bits (Bv ((module B), v)) = B.space_bits v

@@ -1,0 +1,72 @@
+(** The dynamic-bitvector backend seam.
+
+    Two substrates implement the same dynamic-bitvector signature: the
+    incumbent AVL tree ({!Dyn_bitvec}, path-copying, O(1) snapshots) and
+    the SPSI B-tree ({!Spsi}, flat counter arrays and word-packed
+    leaves, cache-friendly updates). [kind] is shared with
+    {!Dsdg_delbits.Sums.kind} so one runtime choice switches bitvectors
+    and partial sums together. *)
+
+type kind = Dsdg_delbits.Sums.kind = Avl | Spsi
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+(** All backends, in matrix order. *)
+val all_kinds : kind list
+
+(** Operations every dynamic-bitvector backend provides; the semantics
+    (including [Invalid_argument] on out-of-range indices) mirror
+    {!Dyn_bitvec}. *)
+module type S = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+  val len : t -> int
+  val ones : t -> int
+  val zeros : t -> int
+  val get : t -> int -> bool
+  val set : t -> int -> bool -> unit
+  val insert : t -> int -> bool -> unit
+  val delete : t -> int -> unit
+  val rank1 : t -> int -> int
+  val rank0 : t -> int -> int
+  val select1 : t -> int -> int
+  val select0 : t -> int -> int
+  val push_back : t -> bool -> unit
+  val to_bools : t -> bool list
+  val snapshot : t -> t
+  val space_bits : t -> int
+end
+
+module Avl_backend : S
+module Spsi_backend : S
+
+val of_kind : kind -> (module S)
+
+(** A bitvector packed with its backend's operations. *)
+type bv = Bv : (module S with type t = 'a) * 'a -> bv
+
+val create : kind -> bv
+val kind_of : bv -> kind
+val len : bv -> int
+val ones : bv -> int
+val zeros : bv -> int
+val get : bv -> int -> bool
+val set : bv -> int -> bool -> unit
+val insert : bv -> int -> bool -> unit
+val delete : bv -> int -> unit
+val rank1 : bv -> int -> int
+val rank0 : bv -> int -> int
+val select1 : bv -> int -> int
+val select0 : bv -> int -> int
+val push_back : bv -> bool -> unit
+val to_bools : bv -> bool list
+
+(** Snapshot semantics differ by backend: O(1) for [Avl] (path-copying
+    tree), a deep O(n/w) copy for [Spsi] (in-place B-tree). Both yield
+    a frozen value isolated from further mutation. *)
+val snapshot : bv -> bv
+
+val space_bits : bv -> int

@@ -16,6 +16,7 @@ type config = {
   sc_tau : int;
   sc_jobs : int;
   sc_readers : int;
+  sc_seq : Dsdg_delbits.Sums.kind;
   sc_shard_counts : int list;
 }
 
@@ -27,6 +28,7 @@ let default_config =
     sc_tau = 4;
     sc_jobs = 0;
     sc_readers = 0;
+    sc_seq = Dsdg_delbits.Sums.Avl;
     sc_shard_counts = [ 1; 2; 4 ];
   }
 
@@ -58,7 +60,8 @@ let run_trace ?(config = default_config) ops =
   let model = Model.create () in
   let mk_baseline () =
     Di.create ~variant:config.sc_variant ~backend:config.sc_backend ~sample:config.sc_sample
-      ~tau:config.sc_tau ~jobs:config.sc_jobs ~readers:config.sc_readers ()
+      ~tau:config.sc_tau ~jobs:config.sc_jobs ~readers:config.sc_readers
+      ~seq_backend:config.sc_seq ()
   in
   let baseline = mk_baseline () in
   let shardeds =
@@ -66,7 +69,8 @@ let run_trace ?(config = default_config) ops =
       (fun k ->
         ( k,
           S.create ~variant:config.sc_variant ~backend:config.sc_backend ~sample:config.sc_sample
-            ~tau:config.sc_tau ~jobs:config.sc_jobs ~readers:config.sc_readers ~shards:k () ))
+            ~tau:config.sc_tau ~jobs:config.sc_jobs ~readers:config.sc_readers
+            ~seq_backend:config.sc_seq ~shards:k () ))
       config.sc_shard_counts
   in
   Fun.protect
@@ -216,6 +220,10 @@ let hint_of_config config =
       (match config.sc_shard_counts with [] -> None | ks -> Some (List.fold_left max 1 ks));
     h_readers = (if config.sc_readers > 0 then Some config.sc_readers else None);
     h_jobs = (if config.sc_jobs > 0 then Some config.sc_jobs else None);
+    h_seq =
+      (if config.sc_seq <> Dsdg_delbits.Sums.Avl then
+         Some (Dsdg_delbits.Sums.kind_to_string config.sc_seq)
+       else None);
   }
 
 let report ?seed ~failure ~shrunk () =
@@ -303,7 +311,8 @@ let apply_op t model op =
     if g <> m then failwith (Printf.sprintf "mem %d -> %b, model %b" id g m)
   | Trace.Drain -> S.drain t
 
-let kill_sweep ?variant ?backend ?sample ?tau ?(config = default_sweep_config) ?(torn = true)
+let kill_sweep ?variant ?backend ?sample ?tau ?seq_backend ?(config = default_sweep_config)
+    ?(torn = true)
     ?(stride = 1) ~shards ~dir ~ops () =
   let ops_arr = Array.of_list ops in
   let n = Array.length ops_arr in
@@ -317,7 +326,7 @@ let kill_sweep ?variant ?backend ?sample ?tau ?(config = default_sweep_config) ?
       Kill_check.reset_dir dir;
       let model = Model.create () in
       let t, _ =
-        S.open_store ~config ?variant ?backend ?sample ?tau ~shards ~dir ()
+        S.open_store ~config ?variant ?backend ?sample ?tau ?seq_backend ~shards ~dir ()
       in
       for i = 0 to k - 1 do
         apply_op t model ops_arr.(i)
@@ -327,7 +336,7 @@ let kill_sweep ?variant ?backend ?sample ?tau ?(config = default_sweep_config) ?
       if k mod 2 = 1 then ignore (S.rebalance_hottest t);
       S.kill t ~torn;
       let t, _ =
-        S.open_store ~config ?variant ?backend ?sample ?tau ~recovery_jobs ~shards ~dir ()
+        S.open_store ~config ?variant ?backend ?sample ?tau ?seq_backend ~recovery_jobs ~shards ~dir ()
       in
       Fun.protect ~finally:(fun () -> S.close t) @@ fun () ->
       verify ~what:(Printf.sprintf "recovery at point %d" k) t model texts;
@@ -348,7 +357,8 @@ let kill_sweep ?variant ?backend ?sample ?tau ?(config = default_sweep_config) ?
 
 exception Killed
 
-let split_kill_sweep ?variant ?backend ?sample ?tau ?(config = default_sweep_config)
+let split_kill_sweep ?variant ?backend ?sample ?tau ?seq_backend
+    ?(config = default_sweep_config)
     ?(torn = false) ~shards ~dir ~ops () =
   if shards < 2 then invalid_arg "Shard_check.split_kill_sweep: needs shards >= 2";
   let texts = insert_texts ops in
@@ -364,7 +374,7 @@ let split_kill_sweep ?variant ?backend ?sample ?tau ?(config = default_sweep_con
     (try
        Kill_check.reset_dir dir;
        let model = Model.create () in
-       let t, _ = S.open_store ~config ?variant ?backend ?sample ?tau ~shards ~dir () in
+       let t, _ = S.open_store ~config ?variant ?backend ?sample ?tau ?seq_backend ~shards ~dir () in
        List.iter (fun op -> apply_op t model op) ops;
        let upper = Array.length texts in
        let src = ref 0 and best = ref (-1) in
@@ -391,7 +401,7 @@ let split_kill_sweep ?variant ?backend ?sample ?tau ?(config = default_sweep_con
         with Killed -> ());
        S.kill t ~torn;
        let t, _ =
-         S.open_store ~config ?variant ?backend ?sample ?tau ~recovery_jobs:2 ~shards ~dir ()
+         S.open_store ~config ?variant ?backend ?sample ?tau ?seq_backend ~recovery_jobs:2 ~shards ~dir ()
        in
        Fun.protect ~finally:(fun () -> S.close t) @@ fun () ->
        verify ~what:(Printf.sprintf "split recovery at kill point %d" k) t model texts;

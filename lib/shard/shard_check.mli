@@ -30,6 +30,9 @@ type config = {
   sc_tau : int;
   sc_jobs : int;  (** executor workers per index/shard (0 = sync) *)
   sc_readers : int;  (** reader-pool domains; > 0 routes queries through views *)
+  sc_seq : Dsdg_delbits.Sums.kind;
+      (** dynamic-sequence substrate for baseline and every shard
+          (default [Avl]); recorded in replay hints as [seq=<name>] *)
   sc_shard_counts : int list;  (** K values under test (default [[1; 2; 4]]) *)
 }
 
@@ -92,6 +95,7 @@ val kill_sweep :
   ?backend:Dsdg_core.Dynamic_index.backend ->
   ?sample:int ->
   ?tau:int ->
+  ?seq_backend:Dsdg_delbits.Sums.kind ->
   ?config:Dsdg_store.Durable.config ->
   ?torn:bool ->
   ?stride:int ->
@@ -116,6 +120,7 @@ val split_kill_sweep :
   ?backend:Dsdg_core.Dynamic_index.backend ->
   ?sample:int ->
   ?tau:int ->
+  ?seq_backend:Dsdg_delbits.Sums.kind ->
   ?config:Dsdg_store.Durable.config ->
   ?torn:bool ->
   shards:int ->

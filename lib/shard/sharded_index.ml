@@ -186,10 +186,11 @@ let set_l2g m s v =
   a.(s) <- v;
   a
 
-let create ?variant ?backend ?sample ?tau ?jobs ?readers ~shards () =
+let create ?variant ?backend ?sample ?tau ?jobs ?readers ?seq_backend ~shards () =
   if shards < 1 then invalid_arg "Sharded_index.create: shards must be >= 1";
   let idxs =
-    Array.init shards (fun _ -> Di.create ?variant ?backend ?sample ?tau ?jobs ?readers ())
+    Array.init shards (fun _ ->
+        Di.create ?variant ?backend ?sample ?tau ?jobs ?readers ?seq_backend ())
   in
   {
     k = shards;
@@ -213,7 +214,7 @@ let store_shards ~dir =
     | Some line -> parse_header line
 
 let open_store ?(config = Durable.default_config) ?variant ?backend ?sample ?tau ?jobs ?readers
-    ?(recovery_jobs = 0) ~shards ~dir () =
+    ?seq_backend ?(recovery_jobs = 0) ~shards ~dir () =
   if shards < 1 then invalid_arg "Sharded_index.open_store: shards must be >= 1";
   let t0 = Obs.start () in
   Dsdg_store.Snapshot.ensure_dir dir;
@@ -231,7 +232,8 @@ let open_store ?(config = Durable.default_config) ?variant ?backend ?sample ?tau
      recovery_jobs > 0; each store recovers independently (newest valid
      snapshot + WAL tail replay) *)
   let open_one s =
-    Durable.open_ ~config ?variant ?backend ?sample ?tau ?jobs ?readers ~dir:(shard_dir dir s) ()
+    Durable.open_ ~config ?variant ?backend ?sample ?tau ?jobs ?readers ?seq_backend
+      ~dir:(shard_dir dir s) ()
   in
   let pairs =
     if recovery_jobs > 0 then begin

@@ -73,6 +73,7 @@ val create :
   ?tau:int ->
   ?jobs:int ->
   ?readers:int ->
+  ?seq_backend:Dsdg_delbits.Sums.kind ->
   shards:int ->
   unit ->
   t
@@ -89,6 +90,7 @@ val open_store :
   ?tau:int ->
   ?jobs:int ->
   ?readers:int ->
+  ?seq_backend:Dsdg_delbits.Sums.kind ->
   ?recovery_jobs:int ->
   shards:int ->
   dir:string ->

@@ -49,9 +49,12 @@ let dir t = t.dir
 let index t = t.idx
 let wal_serial t = Wal.next_serial t.wal
 
-let open_ ?(config = default_config) ?variant ?backend ?sample ?tau ?fault ?jobs ?readers ~dir ()
-    =
-  let idx, info = Recovery.open_or_recover ?variant ?backend ?sample ?tau ?fault ?jobs ?readers ~dir () in
+let open_ ?(config = default_config) ?variant ?backend ?sample ?tau ?fault ?jobs ?readers
+    ?seq_backend ~dir () =
+  let idx, info =
+    Recovery.open_or_recover ?variant ?backend ?sample ?tau ?fault ?jobs ?readers ?seq_backend
+      ~dir ()
+  in
   Snapshot.ensure_dir dir;
   let wal_file = Recovery.wal_path ~dir in
   let wal =

@@ -41,6 +41,7 @@ val open_ :
   ?fault:Dsdg_core.Transform2.fault ->
   ?jobs:int ->
   ?readers:int ->
+  ?seq_backend:Dsdg_delbits.Sums.kind ->
   dir:string ->
   unit ->
   t * Recovery.info

@@ -38,6 +38,7 @@ val sweep :
   ?backend:Dsdg_core.Dynamic_index.backend ->
   ?sample:int ->
   ?tau:int ->
+  ?seq_backend:Dsdg_delbits.Sums.kind ->
   ?config:Durable.config ->
   ?torn:bool ->
   ?stride:int ->

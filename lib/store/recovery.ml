@@ -64,14 +64,14 @@ let load_newest ~dir =
   go [] (Snapshot.list ~dir)
 
 let open_or_recover ?(variant = Di.Worst_case) ?(backend = Di.Fm) ?(sample = 8) ?(tau = 8)
-    ?fault ?(jobs = 0) ?(readers = 0) ~dir () =
+    ?fault ?(jobs = 0) ?(readers = 0) ?seq_backend ~dir () =
   let t0 = Obs.start () in
   let loaded, skipped = load_newest ~dir in
   let idx, snap_path, snap_serial =
     match loaded with
     | Some (path, dump, wal_serial) ->
-      (Di.restore ?fault ~jobs ~readers dump, Some path, wal_serial)
-    | None -> (Di.create ~variant ~backend ~sample ~tau ?fault ~jobs ~readers (), None, 0)
+      (Di.restore ?fault ~jobs ~readers ?seq_backend dump, Some path, wal_serial)
+    | None -> (Di.create ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ?seq_backend (), None, 0)
   in
   let wal = wal_path ~dir in
   let replayed, truncated, next_serial =

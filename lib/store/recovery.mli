@@ -62,6 +62,7 @@ val open_or_recover :
   ?fault:Dsdg_core.Transform2.fault ->
   ?jobs:int ->
   ?readers:int ->
+  ?seq_backend:Dsdg_delbits.Sums.kind ->
   dir:string ->
   unit ->
   Dsdg_core.Dynamic_index.t * info

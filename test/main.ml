@@ -15,6 +15,7 @@ let () =
       ("store", Suite_store.suite);
       ("shard", Suite_shard.suite);
       ("dynseq", Suite_dynseq.suite);
+      ("seq_backend", Suite_seq_backend.suite);
       ("binrel", Suite_binrel.suite);
       ("workload", Suite_workload.suite);
       ("serve", Suite_serve.suite);

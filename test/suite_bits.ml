@@ -25,6 +25,14 @@ let random_bools st n p =
 
 (* --- popcount --- *)
 
+(* Every space figure in the library derives from this constant (an
+   OCaml int carries 62 payload bits on 64-bit platforms); the old
+   accounting hard-coded 63 in several space_bits implementations. *)
+let test_word_bits () =
+  check "word_bits" 62 Popcount.word_bits;
+  check "word_bits = bits of max_int" (Popcount.count max_int) Popcount.word_bits;
+  check "low_mask full" max_int (Popcount.low_mask Popcount.word_bits)
+
 let test_popcount_small () =
   check "0" 0 (Popcount.count 0);
   check "1" 1 (Popcount.count 1);
@@ -245,7 +253,8 @@ let qsuite = List.map Qc.to_alcotest
     prop_elias_fano_rank ]
 
 let suite =
-  [ ("popcount small", `Quick, test_popcount_small);
+  [ ("word_bits constant", `Quick, test_word_bits);
+    ("popcount small", `Quick, test_popcount_small);
     ("popcount select", `Quick, test_popcount_select);
     ("bitvec basic", `Quick, test_bitvec_basic);
     ("bitvec full", `Quick, test_bitvec_full);

@@ -22,7 +22,18 @@ let n_streams = env_int "FUZZ_STREAMS" 200
 let ops_per_stream = env_int "FUZZ_OPS" 60
 let jobs = env_int "DSDG_JOBS" 0
 let readers = env_int "DSDG_READERS" 0
-let base_config = { Runner.default_config with Runner.jobs; Runner.readers }
+
+(* DSDG_SEQ_BACKEND=spsi reruns the whole matrix on the B-tree
+   dynamic-sequence substrate (the CI job does exactly that). *)
+let seq =
+  match Sys.getenv_opt "DSDG_SEQ_BACKEND" with
+  | None -> Dsdg_delbits.Sums.Avl
+  | Some s -> (
+    match Dsdg_delbits.Sums.kind_of_string s with
+    | Some k -> k
+    | None -> failwith ("unknown DSDG_SEQ_BACKEND: " ^ s))
+
+let base_config = { Runner.default_config with Runner.jobs; Runner.readers; seq }
 
 (* On failure, print everything needed to reproduce without rerunning
    the suite: the seed, the saved minimal trace and the replay command. *)
@@ -64,6 +75,21 @@ let test_fuzz_cross_targets () =
       Runner.run_stream ~config:base_config ~targets:Runner.all_targets ~seed
         ~ops:(2 * ops_per_stream) ()
     with
+    | Runner.Pass -> ()
+    | Runner.Fail { failure; shrunk; _ } -> fail_stream ~seed ~failure ~shrunk
+  done
+
+(* A handful of streams forced onto the SPSI substrate regardless of
+   the environment: the differential matrix must hold on both dynamic-
+   sequence backends in every run, not only in the dedicated CI leg. *)
+let test_fuzz_spsi_streams () =
+  let config = { base_config with Runner.seq = Dsdg_delbits.Sums.Spsi } in
+  let n_targets = List.length Runner.all_targets in
+  for i = 0 to 8 do
+    let seed = base_seed + 2000 + i in
+    let targets = [ List.nth Runner.all_targets (i mod n_targets) ] in
+    let profile = if i mod 3 = 2 then Opgen.churny else Opgen.default in
+    match Runner.run_stream ~config ~targets ~profile ~seed ~ops:ops_per_stream () with
     | Runner.Pass -> ()
     | Runner.Fail { failure; shrunk; _ } -> fail_stream ~seed ~failure ~shrunk
   done
@@ -328,4 +354,5 @@ let suite =
     ("fuzz pooled smoke streams", `Slow, test_fuzz_pooled_smoke);
     ("fuzz reader smoke streams", `Slow, test_fuzz_readers_smoke);
     ("fuzz cross-target streams", `Slow, test_fuzz_cross_targets);
+    ("fuzz spsi-substrate streams", `Slow, test_fuzz_spsi_streams);
     ("fuzz matrix streams", `Slow, test_fuzz_matrix) ]

@@ -182,9 +182,11 @@ let test_replay_hint_enforced () =
         save { Trace.no_hint with Trace.h_shards = Some 2; h_readers = Some 1 }
       in
       let readers_only = save { Trace.no_hint with Trace.h_readers = Some 1 } in
+      let spsi_hinted = save { Trace.no_hint with Trace.h_seq = Some "spsi" } in
       let unhinted = save Trace.no_hint in
       Fun.protect
-        ~finally:(fun () -> List.iter Sys.remove [ sharded; readers_only; unhinted ])
+        ~finally:(fun () ->
+          List.iter Sys.remove [ sharded; readers_only; spsi_hinted; unhinted ])
         (fun () ->
           check_exit bin ~what:"sharded trace without flags is usage (124)" ~expect:124
             [ "fuzz"; "--replay"; sharded ];
@@ -198,6 +200,10 @@ let test_replay_hint_enforced () =
             [ "fuzz"; "--replay"; readers_only ];
           check_exit bin ~what:"reader trace with --readers replays" ~expect:0
             [ "fuzz"; "--replay"; readers_only; "--readers"; "1" ];
+          check_exit bin ~what:"spsi trace without --seq-backend is usage (124)" ~expect:124
+            [ "fuzz"; "--replay"; spsi_hinted ];
+          check_exit bin ~what:"spsi trace with --seq-backend spsi replays" ~expect:0
+            [ "fuzz"; "--replay"; spsi_hinted; "--seq-backend"; "spsi" ];
           check_exit bin ~what:"unhinted trace still replays bare" ~expect:0
             [ "fuzz"; "--replay"; unhinted ];
           check_exit bin ~what:"t3 is an accepted variant alias" ~expect:0

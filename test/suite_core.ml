@@ -96,7 +96,13 @@ module SS_csa = Semi_static.Make (Csa_static)
 
 module type SEMI = sig
   type t
-  val build : ?tick:(unit -> unit) -> sample:int -> tau:int -> (int * string) array -> t
+  val build :
+    ?tick:(unit -> unit) ->
+    ?seq:Dsdg_delbits.Sums.kind ->
+    sample:int ->
+    tau:int ->
+    (int * string) array ->
+    t
   val search : t -> string -> f:(doc:int -> off:int -> unit) -> unit
   val count : t -> string -> int
   val delete : t -> int -> bool

@@ -129,7 +129,7 @@ let prop_dwt_matches_model =
     QCheck.(triple (int_bound 10000) (int_range 2 17) (int_range 30 300))
     (fun (seed, sigma, ops) ->
       let st = Random.State.make [| seed; 29 |] in
-      let wt = Dyn_wavelet.create ~sigma in
+      let wt = Dyn_wavelet.create ~sigma () in
       let model = ref [||] in
       for _ = 1 to ops do
         let len = Array.length !model in
@@ -250,6 +250,97 @@ let prop_dynfm_matches_naive =
           Dyn_fm.count fm p = naive_count docs p && Dyn_fm.search fm p = naive_matches docs p)
         [ "a"; "b"; "ab"; "ba"; "ca"; "abc" ])
 
+(* --- split_leaf blit paths (Dyn_bitvec.split_chunk_for_tests) ---
+
+   Production only ever splits a 497-bit chunk (midpoint 248, word
+   aligned); the hook lets us drive the word-level blit + shift-and-
+   stitch rewrite across aligned and unaligned cut points. *)
+
+let test_split_chunk_boundaries () =
+  List.iter
+    (fun n ->
+      let bits = Array.init n (fun i -> i * 7 mod 3 = 0 || i mod 11 = 5) in
+      let l, r = Dyn_bitvec.split_chunk_for_tests bits in
+      let half = n / 2 in
+      check (Printf.sprintf "n=%d left len" n) half (Array.length l);
+      check (Printf.sprintf "n=%d right len" n) (n - half) (Array.length r);
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d contents" n)
+        true
+        (Array.to_list l @ Array.to_list r = Array.to_list bits))
+    (* odd n => unaligned cut (half mod 62 <> 0); 124/496 => aligned *)
+    [ 1; 2; 61; 62; 63; 123; 124; 125; 495; 496; 497; 992 ]
+
+(* --- Dyn_fm on the SPSI substrate: same battery, other backend --- *)
+
+let test_dynfm_spsi_backend () =
+  let fm = Dyn_fm.create ~backend:Seq_backend.Spsi () in
+  Alcotest.(check bool) "backend" true (Dyn_fm.backend fm = Seq_backend.Spsi);
+  Dyn_fm.insert fm ~doc:0 "banana";
+  Dyn_fm.insert fm ~doc:1 "bandana";
+  Dyn_fm.insert fm ~doc:2 "ananas";
+  check "count ana" 5 (Dyn_fm.count fm "ana");
+  let docs = Hashtbl.create 4 in
+  Hashtbl.replace docs 0 "banana";
+  Hashtbl.replace docs 1 "bandana";
+  Hashtbl.replace docs 2 "ananas";
+  Alcotest.(check (list (pair int int)))
+    "locate ana" (naive_matches docs "ana") (Dyn_fm.search fm "ana");
+  Alcotest.(check bool) "delete" true (Dyn_fm.delete fm 1);
+  check "count ana after" 4 (Dyn_fm.count fm "ana");
+  check "count and after" 0 (Dyn_fm.count fm "and")
+
+(* --- Dyn_fm sentinel bookkeeping under heavy churn ---
+
+   Regression for the quadratic list-based sentinel order (append =
+   List.@, row lookup = index_of, locate = List.nth, remove =
+   List.filter -- each O(ndocs)).  5000 live docs * O(ndocs) walks took
+   minutes; with the indexable slot array + liveness bitvector the whole
+   cycle is seconds even in CI.  Correctness is asserted throughout:
+   counts during the build-up, locate at full size, emptiness at the
+   end. *)
+
+let test_dynfm_churn_5k () =
+  let fm = Dyn_fm.create () in
+  let n = 5000 in
+  for d = 0 to n - 1 do
+    Dyn_fm.insert fm ~doc:d (if d mod 3 = 0 then "ab" else "ba")
+  done;
+  check "docs" n (Dyn_fm.doc_count fm);
+  check "count ab at peak" (((n + 2) / 3) + 0) (Dyn_fm.count fm "ab");
+  (* delete the even docs, reinsert a batch, then drain everything --
+     sentinel slots keep appending while liveness toggles *)
+  for d = 0 to n - 1 do
+    if d mod 2 = 0 then ignore (Dyn_fm.delete fm d)
+  done;
+  check "docs after evens" (n / 2) (Dyn_fm.doc_count fm);
+  for d = n to n + 99 do
+    Dyn_fm.insert fm ~doc:d "aa"
+  done;
+  check "count aa" 100 (Dyn_fm.count fm "aa");
+  (match Dyn_fm.search fm "aa" with
+  | (d, 0) :: _ -> Alcotest.(check bool) "locate fresh doc" true (d >= n)
+  | other -> Alcotest.failf "unexpected aa matches: %d" (List.length other));
+  for d = 0 to n + 99 do
+    if Dyn_fm.mem fm d then ignore (Dyn_fm.delete fm d)
+  done;
+  check "empty" 0 (Dyn_fm.total_symbols fm)
+
+(* --- space accounting: every figure derives from word_bits --- *)
+
+let test_dbv_space_word_bits () =
+  let w = Dsdg_bits.Popcount.word_bits in
+  let bv = Dyn_bitvec.create () in
+  for i = 0 to 4999 do
+    Dyn_bitvec.push_back bv (i mod 5 = 0)
+  done;
+  let bits = Dyn_bitvec.space_bits bv in
+  Alcotest.(check bool) "multiple of word_bits" true (bits mod w = 0);
+  Alcotest.(check bool) "covers payload" true (bits >= 5000);
+  (* 8-word leaves at >= half fill plus O(1) words of overhead each:
+     far below the 63-bit-word figure the old accounting inflated *)
+  Alcotest.(check bool) "bounded" true (bits <= 5000 * 6)
+
 let qsuite =
   List.map Qc.to_alcotest
     [ prop_dbv_matches_model; prop_dwt_matches_model; prop_dynfm_matches_naive ]
@@ -259,7 +350,11 @@ let suite =
     ("dyn_bitvec insert middle", `Quick, test_dbv_insert_middle);
     ("dyn_bitvec delete", `Quick, test_dbv_delete);
     ("dyn_bitvec select out of range", `Quick, test_dbv_select_out_of_range);
+    ("dyn_bitvec split_leaf boundaries", `Quick, test_split_chunk_boundaries);
+    ("dyn_bitvec space from word_bits", `Quick, test_dbv_space_word_bits);
     ("dyn_fm basic", `Quick, test_dynfm_basic);
     ("dyn_fm delete", `Quick, test_dynfm_delete);
-    ("dyn_fm empty doc", `Quick, test_dynfm_empty_doc) ]
+    ("dyn_fm empty doc", `Quick, test_dynfm_empty_doc);
+    ("dyn_fm spsi backend", `Quick, test_dynfm_spsi_backend);
+    ("dyn_fm sentinel churn 5k", `Slow, test_dynfm_churn_5k) ]
   @ qsuite

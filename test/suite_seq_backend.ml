@@ -1,0 +1,309 @@
+(* Dynamic-bitvector backend conformance suite: the same harness runs
+   against every backend (the AVL tree, the SPSI B-tree, and a naive
+   bool-array model), driving insert/delete/set/rank/select/snapshot
+   through word boundaries (61/62/63, 495/496/497) and checking
+   snapshot isolation under continued mutation.  A final deep
+   differential pits SPSI against AVL at sizes that force internal
+   B-tree node splits, merges and borrows. *)
+
+open Dsdg_dynseq
+
+let check = Alcotest.(check int)
+
+(* The naive reference: a growable bool array with O(n) everything. *)
+module Model_bv : Seq_backend.S = struct
+  type t = { mutable bits : bool array; mutable n : int }
+
+  let name = "model"
+  let create () = { bits = Array.make 8 false; n = 0 }
+  let len t = t.n
+  let ones t = Array.fold_left (fun a b -> if b then a + 1 else a) 0 (Array.sub t.bits 0 t.n)
+  let zeros t = t.n - ones t
+
+  let get t i =
+    if i < 0 || i >= t.n then invalid_arg "Model_bv.get";
+    t.bits.(i)
+
+  let set t i b =
+    if i < 0 || i >= t.n then invalid_arg "Model_bv.set";
+    t.bits.(i) <- b
+
+  let insert t i b =
+    if i < 0 || i > t.n then invalid_arg "Model_bv.insert";
+    if t.n = Array.length t.bits then begin
+      let nb = Array.make (2 * t.n) false in
+      Array.blit t.bits 0 nb 0 t.n;
+      t.bits <- nb
+    end;
+    Array.blit t.bits i t.bits (i + 1) (t.n - i);
+    t.bits.(i) <- b;
+    t.n <- t.n + 1
+
+  let delete t i =
+    if i < 0 || i >= t.n then invalid_arg "Model_bv.delete";
+    Array.blit t.bits (i + 1) t.bits i (t.n - i - 1);
+    t.n <- t.n - 1
+
+  let rank1 t i =
+    if i < 0 || i > t.n then invalid_arg "Model_bv.rank1";
+    let acc = ref 0 in
+    for j = 0 to i - 1 do
+      if t.bits.(j) then incr acc
+    done;
+    !acc
+
+  let rank0 t i = i - rank1 t i
+
+  let select_gen t b k =
+    let seen = ref 0 and res = ref (-1) in
+    for j = 0 to t.n - 1 do
+      if !res < 0 && t.bits.(j) = b then begin
+        if !seen = k then res := j;
+        incr seen
+      end
+    done;
+    if !res < 0 then invalid_arg "Model_bv.select";
+    !res
+
+  let select1 t k = if k < 0 then invalid_arg "Model_bv.select1" else select_gen t true k
+  let select0 t k = if k < 0 then invalid_arg "Model_bv.select0" else select_gen t false k
+  let push_back t b = insert t t.n b
+  let to_bools t = List.init t.n (fun i -> t.bits.(i))
+  let snapshot t = { bits = Array.copy t.bits; n = t.n }
+  let space_bits t = Array.length t.bits + 128
+end
+
+let backends : (string * (module Seq_backend.S)) list =
+  [ ("avl", (module Seq_backend.Avl_backend));
+    ("spsi", (module Seq_backend.Spsi_backend));
+    ("model", (module Model_bv)) ]
+
+(* Word boundaries for the 62-bit packing plus both backends' leaf-split
+   thresholds (AVL splits at 496, SPSI at 992). *)
+let boundary_sizes = [ 61; 62; 63; 495; 496; 497; 991; 992; 993 ]
+
+(* Deterministic boundary sweep: build to exactly [size] bits, check
+   rank/select/get at every word edge, then insert and delete across the
+   boundary. *)
+let test_boundaries (module B : Seq_backend.S) () =
+  List.iter
+    (fun size ->
+      let bv = B.create () in
+      let expect_ones = ref 0 in
+      for i = 0 to size - 1 do
+        let b = i mod 3 = 0 in
+        B.push_back bv b;
+        if b then incr expect_ones
+      done;
+      check (Printf.sprintf "%s len %d" B.name size) size (B.len bv);
+      check (Printf.sprintf "%s ones %d" B.name size) !expect_ones (B.ones bv);
+      List.iter
+        (fun pos ->
+          if pos >= 0 && pos <= size then begin
+            let expect = (pos + 2) / 3 in
+            check (Printf.sprintf "%s rank1 %d/%d" B.name pos size) expect (B.rank1 bv pos)
+          end)
+        [ 0; 1; 61; 62; 63; 123; 124; 125; 495; 496; 497; size - 1; size ];
+      (* select1 k lands on 3k; select0 round-trips through rank0 *)
+      for k = 0 to min 9 (!expect_ones - 1) do
+        check (Printf.sprintf "%s select1 %d/%d" B.name k size) (3 * k) (B.select1 bv k)
+      done;
+      let z = B.zeros bv in
+      if z > 0 then begin
+        let p = B.select0 bv (z - 1) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s select0 last %d" B.name size)
+          true
+          ((not (B.get bv p)) && B.rank0 bv (p + 1) = z)
+      end;
+      (* punch an insert + delete through every word edge near the end *)
+      List.iter
+        (fun pos ->
+          if pos >= 0 && pos <= B.len bv then begin
+            let before = B.len bv in
+            B.insert bv pos true;
+            check (Printf.sprintf "%s ins len @%d/%d" B.name pos size) (before + 1) (B.len bv);
+            Alcotest.(check bool) (Printf.sprintf "%s ins get @%d/%d" B.name pos size) true (B.get bv pos);
+            B.delete bv pos;
+            check (Printf.sprintf "%s del len @%d/%d" B.name pos size) before (B.len bv)
+          end)
+        [ 0; 61; 62; 63; 495; 496; 497; size ];
+      (* out-of-range raises across the board; message text is
+         backend-specific, the exception constructor is the contract *)
+      let raises f =
+        match f () with exception Invalid_argument _ -> true | _ -> false
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s oob raises %d" B.name size)
+        true
+        (raises (fun () -> B.rank1 bv (B.len bv + 1))
+        && raises (fun () -> B.get bv (B.len bv))
+        && raises (fun () -> B.select1 bv (B.ones bv))
+        && raises (fun () -> B.select0 bv (B.zeros bv))
+        && raises (fun () -> B.insert bv (-1) true)
+        && raises (fun () -> B.delete bv (B.len bv))))
+    boundary_sizes
+
+(* Seeded churn property: every backend against an inline bool-list
+   model, with set/snapshot mixed in.  Snapshots taken mid-stream are
+   re-validated at the end against the model state captured when they
+   were made. *)
+let prop_backend_matches_model (name, (module B : Seq_backend.S)) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "seq_backend %s matches model under churn" name)
+    ~count:(if name = "model" then 10 else 30)
+    QCheck.(pair (int_bound 100000) (int_range 100 1500))
+    (fun (seed, n) ->
+      let st = Random.State.make [| seed; 0x5e71 |] in
+      let bv = B.create () in
+      let model = ref [] in
+      (* (snapshot, frozen model) pairs re-checked after more churn *)
+      let snaps = ref [] in
+      let insert_at l i b =
+        let rec go l i =
+          match (l, i) with xs, 0 -> b :: xs | x :: xs, i -> x :: go xs (i - 1) | [], _ -> [ b ]
+        in
+        go l i
+      in
+      let delete_at l i =
+        let rec go l i =
+          match (l, i) with _ :: xs, 0 -> xs | x :: xs, i -> x :: go xs (i - 1) | [], _ -> []
+        in
+        go l i
+      in
+      let set_at l i b = List.mapi (fun j x -> if j = i then b else x) l in
+      for step = 1 to n do
+        let len = List.length !model in
+        let r = Random.State.float st 1.0 in
+        if r < 0.55 || len = 0 then begin
+          let pos = Random.State.int st (len + 1) in
+          let b = Random.State.bool st in
+          B.insert bv pos b;
+          model := insert_at !model pos b
+        end
+        else if r < 0.75 then begin
+          let pos = Random.State.int st len in
+          B.delete bv pos;
+          model := delete_at !model pos
+        end
+        else if r < 0.9 then begin
+          let pos = Random.State.int st len in
+          let b = Random.State.bool st in
+          B.set bv pos b;
+          model := set_at !model pos b
+        end
+        else if step mod 97 = 0 then snaps := (B.snapshot bv, !model) :: !snaps
+      done;
+      let agrees bv model =
+        let arr = Array.of_list model in
+        let n = Array.length arr in
+        let ones = Array.fold_left (fun a b -> if b then a + 1 else a) 0 arr in
+        B.len bv = n && B.ones bv = ones
+        && List.for_all
+             (fun i ->
+               let naive_rank = ref 0 in
+               for j = 0 to i - 1 do
+                 if arr.(j) then incr naive_rank
+               done;
+               B.rank1 bv i = !naive_rank)
+             (List.filter (fun i -> i <= n) [ 0; n / 3; 61; 62; 63; n - 1; n ])
+        && List.for_all (fun i -> B.get bv i = arr.(i))
+             (List.filter (fun i -> i >= 0 && i < n) [ 0; 1; n / 2; n - 1 ])
+        && (ones = 0
+           || let k = ones - 1 in
+              let p = B.select1 bv k in
+              arr.(p) && B.rank1 bv p = k)
+      in
+      agrees bv !model && List.for_all (fun (s, m) -> agrees s m) !snaps)
+
+(* Snapshot isolation, deterministically: freeze at a boundary length,
+   then hammer the original and confirm the frozen copy never moves. *)
+let test_snapshot_isolation (module B : Seq_backend.S) () =
+  List.iter
+    (fun size ->
+      let bv = B.create () in
+      for i = 0 to size - 1 do
+        B.push_back bv (i land 1 = 1)
+      done;
+      let frozen = B.snapshot bv in
+      let frozen_bits = B.to_bools frozen in
+      for i = 0 to 600 do
+        B.insert bv (i mod (B.len bv + 1)) (i land 1 = 0)
+      done;
+      while B.len bv > size / 2 do
+        B.delete bv (B.len bv / 2)
+      done;
+      check (Printf.sprintf "%s frozen len %d" B.name size) size (B.len frozen);
+      Alcotest.(check (list bool))
+        (Printf.sprintf "%s frozen bits %d" B.name size)
+        frozen_bits (B.to_bools frozen))
+    [ 62; 496; 497; 992 ]
+
+(* Deep differential: SPSI against AVL at sizes that force B-tree
+   internal splits (> fanout * leaf_max bits) and, on the way back
+   down, leaf merges, rebalances and root collapses. *)
+let test_spsi_deep_vs_avl () =
+  let st = Random.State.make [| 0xb7ee |] in
+  let a = Dyn_bitvec.create () and s = Spsi.create () in
+  let target = (Spsi.fanout * Spsi.leaf_max) + 4096 in
+  while Dyn_bitvec.len a < target do
+    let pos = Random.State.int st (Dyn_bitvec.len a + 1) in
+    let b = Random.State.int st 4 = 0 in
+    Dyn_bitvec.insert a pos b;
+    Spsi.insert s pos b
+  done;
+  let agree tag =
+    check (tag ^ " len") (Dyn_bitvec.len a) (Spsi.len s);
+    check (tag ^ " ones") (Dyn_bitvec.ones a) (Spsi.ones s);
+    for _ = 1 to 200 do
+      let i = Random.State.int st (Dyn_bitvec.len a + 1) in
+      check (Printf.sprintf "%s rank1 %d" tag i) (Dyn_bitvec.rank1 a i) (Spsi.rank1 s i)
+    done;
+    let ones = Dyn_bitvec.ones a and zeros = Dyn_bitvec.zeros a in
+    for _ = 1 to 100 do
+      if ones > 0 then begin
+        let k = Random.State.int st ones in
+        check (Printf.sprintf "%s select1 %d" tag k) (Dyn_bitvec.select1 a k) (Spsi.select1 s k)
+      end;
+      if zeros > 0 then begin
+        let k = Random.State.int st zeros in
+        check (Printf.sprintf "%s select0 %d" tag k) (Dyn_bitvec.select0 a k) (Spsi.select0 s k)
+      end
+    done
+  in
+  agree "grown";
+  (* mixed churn at depth *)
+  for _ = 1 to 4000 do
+    let len = Dyn_bitvec.len a in
+    if Random.State.bool st then begin
+      let pos = Random.State.int st (len + 1) in
+      let b = Random.State.bool st in
+      Dyn_bitvec.insert a pos b;
+      Spsi.insert s pos b
+    end
+    else begin
+      let pos = Random.State.int st len in
+      Dyn_bitvec.delete a pos;
+      Spsi.delete s pos
+    end
+  done;
+  agree "churned";
+  (* shrink to almost nothing: forces merges all the way to root *)
+  while Dyn_bitvec.len a > 40 do
+    let pos = Random.State.int st (Dyn_bitvec.len a) in
+    Dyn_bitvec.delete a pos;
+    Spsi.delete s pos
+  done;
+  agree "shrunk";
+  Alcotest.(check (list bool)) "shrunk bits" (Dyn_bitvec.to_bools a) (Spsi.to_bools s)
+
+let qsuite = List.map Qc.to_alcotest (List.map prop_backend_matches_model backends)
+
+let suite =
+  List.concat_map
+    (fun (name, b) ->
+      [ (Printf.sprintf "%s word boundaries" name, `Quick, test_boundaries b);
+        (Printf.sprintf "%s snapshot isolation" name, `Quick, test_snapshot_isolation b) ])
+    backends
+  @ [ ("spsi deep differential vs avl", `Quick, test_spsi_deep_vs_avl) ]
+  @ qsuite
