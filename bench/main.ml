@@ -65,6 +65,7 @@ let experiments =
     ("readers", Bench_readers.run);
     ("store", Bench_store.run);
     ("serve", Bench_serve.run);
+    ("follow", Bench_follow.run);
     ("shard", Bench_shard.run);
     ("ablation_tau", Bench_ablations.ablation_tau);
     ("ablation_s", Bench_ablations.ablation_s);

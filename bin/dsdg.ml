@@ -15,6 +15,11 @@
                                   mutations group-committed to the WAL
                                   (one fsync per batch); SIGTERM/SIGINT
                                   drain, checkpoint and exit 0
+     dsdg follow                  WAL-shipped read replica of a running
+                                  server: bootstrap --store DIR from the
+                                  leader, tail its replication streams,
+                                  optionally serve read-only queries
+                                  locally (writes redirect to the leader)
      dsdg load                    load generator against a running server:
                                   N client sessions, Zipf document
                                   popularity, exact p50/p90/p99/p999
@@ -139,13 +144,13 @@ let check_shard_layout ~dir ~shards =
 
 (* Open a sharded store, recovering the K shards in parallel on a
    small executor pool, and report per-shard recovery. *)
-let open_sharded ?(seq = "avl") ~config ~variant ~backend ~sample ~tau ~jobs ~readers ~shards
-    ~dir () =
+let open_sharded ?(seq = "avl") ?retain_epochs ~config ~variant ~backend ~sample ~tau ~jobs
+    ~readers ~shards ~dir () =
   check_shard_layout ~dir ~shards;
   let sh, infos =
     Shard.Sharded_index.open_store ~config ~variant:(variant_of_string variant)
       ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers
-      ~seq_backend:(seq_of_string seq)
+      ~seq_backend:(seq_of_string seq) ?retain_epochs
       ~recovery_jobs:(if shards > 1 then min shards 4 else 0)
       ~shards ~dir ()
   in
@@ -171,6 +176,9 @@ type repl_ops = {
   r_count : string -> int;
   r_extract : doc:int -> off:int -> len:int -> string option;
   r_stats : unit -> unit;
+  (* as-of queries against a retained epoch (~E ?PAT / ~E #PAT);
+     None = this surface has no epoch retention to query *)
+  r_asof : (epoch:int -> query:string -> unit) option;
 }
 
 let repl_of_index ?insert:ins ?delete:del idx =
@@ -192,6 +200,26 @@ let repl_of_index ?insert:ins ?delete:del idx =
         else Dynamic_index.count idx arg);
     r_extract = (fun ~doc ~off ~len -> Dynamic_index.extract idx ~doc ~off ~len);
     r_stats = (fun () -> print_stats idx);
+    r_asof =
+      Some
+        (fun ~epoch ~query ->
+          match Dynamic_index.view_at idx ~epoch with
+          | None ->
+            Printf.printf "epoch %d is not retained (retained: %s); open with --retain-epochs N\n%!"
+              epoch
+              (String.concat ", "
+                 (List.map string_of_int (Dynamic_index.retained idx)))
+          | Some v ->
+            let arg = String.sub query 1 (String.length query - 1) in
+            (match query.[0] with
+            | ('?' | '#') when arg = "" ->
+              Printf.printf "empty pattern (matches everywhere); give at least one symbol\n%!"
+            | '?' ->
+              let hits = Dynamic_index.view_search v arg in
+              List.iter (fun (d, o) -> Printf.printf "doc %d off %d\n" d o) hits;
+              Printf.printf "%d occurrence(s) as of epoch %d\n%!" (List.length hits) epoch
+            | '#' -> Printf.printf "%d\n%!" (Dynamic_index.view_count v arg)
+            | _ -> Printf.printf "usage: ~EPOCH ?PAT or ~EPOCH #PAT\n%!"));
   }
 
 let print_sharded_stats sh =
@@ -207,6 +235,9 @@ let repl_of_sharded sh =
     r_count = Shard.Sharded_index.count sh;
     r_extract = (fun ~doc ~off ~len -> Shard.Sharded_index.extract sh ~doc ~off ~len);
     r_stats = (fun () -> print_sharded_stats sh);
+    (* sharded as-of needs a composite epoch-vector token, not one
+       scalar; no interactive syntax for that (yet) *)
+    r_asof = None;
   }
 
 let repl r =
@@ -241,8 +272,21 @@ let repl r =
              | Some s -> Printf.printf "%S\n%!" s
              | None -> Printf.printf "out of range or deleted\n%!")
            | _ -> Printf.printf "usage: =ID OFF LEN\n%!")
+         | '~' -> (
+           match r.r_asof with
+           | None -> Printf.printf "as-of queries are not available on this surface\n%!"
+           | Some asof -> (
+             let arg = String.trim arg in
+             match String.index_opt arg ' ' with
+             | Some i -> (
+               let e = String.sub arg 0 i in
+               let q = String.trim (String.sub arg (i + 1) (String.length arg - i - 1)) in
+               match int_of_string_opt e with
+               | Some epoch when epoch >= 0 && q <> "" -> asof ~epoch ~query:q
+               | _ -> Printf.printf "usage: ~EPOCH ?PAT or ~EPOCH #PAT\n%!")
+             | None -> Printf.printf "usage: ~EPOCH ?PAT or ~EPOCH #PAT\n%!"))
          | '.' -> raise Exit
-         | _ -> Printf.printf "commands: ?PAT #PAT +TEXT -ID =ID OFF LEN .\n%!"
+         | _ -> Printf.printf "commands: ?PAT #PAT +TEXT -ID =ID OFF LEN ~EPOCH ?PAT .\n%!"
        end
      done
    with End_of_file | Exit -> ());
@@ -333,7 +377,7 @@ let index_cmd files whole variant backend sample tau jobs readers shards store s
    the next open (dsdg load, or any --store run) starts from the
    snapshot with zero WAL replay. Reuses prior state in the directory
    if there is any -- `save` onto an existing store appends. *)
-let save_cmd dir files whole variant backend sample tau sync =
+let save_cmd dir files whole variant backend sample tau sync pinned =
   with_store_errors ~dir (fun () ->
       let config = store_config ~sync ~checkpoint_every:0 ~jobs:0 in
       let d, info =
@@ -342,8 +386,20 @@ let save_cmd dir files whole variant backend sample tau sync =
       in
       if info.Store.Recovery.ri_snapshot <> None || info.Store.Recovery.ri_replayed > 0 then
         print_endline (Store.Recovery.info_to_string info);
+      (* --pinned: freeze the pre-index state NOW; the pin keeps that
+         view (and its WAL-serial correspondence) alive across the
+         inserts and the checkpoint below, then backs it up -- a
+         consistent backup of "the store as it was before this save" *)
+      let pin = Option.map (fun _ -> Store.Durable.pin d) pinned in
       index_files ~insert:(Store.Durable.insert d) ~whole files;
       Store.Durable.checkpoint d;
+      (match (pinned, pin) with
+      | Some dest, Some p ->
+        let path = Store.Durable.backup d p ~dest in
+        Printf.printf "pinned backup: pre-save state (epoch %d, WAL serial %d) -> %s\n"
+          (Store.Durable.pin_epoch p) (Store.Durable.pin_serial p) path;
+        Store.Durable.unpin d p
+      | _ -> ());
       let docs = Dynamic_index.doc_count (Store.Durable.index d) in
       let serial = Store.Durable.wal_serial d in
       Store.Durable.close d;
@@ -356,13 +412,15 @@ let save_cmd dir files whole variant backend sample tau sync =
 (* dsdg open: crash recovery (newest valid snapshot + WAL tail replay)
    followed by the interactive query loop; mutations made in the loop
    keep flowing through the WAL. *)
-let open_cmd dir variant backend sample tau jobs readers sync checkpoint_every =
+let open_cmd dir variant backend sample tau jobs readers sync checkpoint_every retain =
+  if retain < 0 then die_usage "--retain-epochs must be >= 0 (got %d)" retain;
   with_store_errors ~dir (fun () ->
       check_shard_layout ~dir ~shards:1;
       let config = store_config ~sync ~checkpoint_every ~jobs in
       let d, info =
         Store.Durable.open_ ~config ~variant:(variant_of_string variant)
-          ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~dir ()
+          ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers
+          ~retain_epochs:retain ~dir ()
       in
       print_endline (Store.Recovery.info_to_string info);
       Fun.protect
@@ -378,8 +436,9 @@ let open_cmd dir variant backend sample tau jobs readers sync checkpoint_every =
    the write queue through a final group commit, checkpoints and exits
    0 -- the next open replays nothing. *)
 let serve_cmd dir socket host port variant backend sample tau jobs readers shards sync
-    checkpoint_every max_batch max_frame max_conns timeout =
+    checkpoint_every max_batch max_frame max_conns timeout retain =
   if shards < 1 then die_usage "--shards must be >= 1 (got %d)" shards;
+  if retain < 0 then die_usage "--retain-epochs must be >= 0 (got %d)" retain;
   if max_batch < 1 then die_usage "--max-batch must be >= 1 (got %d)" max_batch;
   if max_frame < 16 then die_usage "--max-frame must be >= 16 bytes (got %d)" max_frame;
   if max_conns < 1 then die_usage "--max-conns must be >= 1 (got %d)" max_conns;
@@ -398,14 +457,16 @@ let serve_cmd dir socket host port variant backend sample tau jobs readers shard
           check_shard_layout ~dir ~shards;
           let store, info =
             Store.Durable.open_ ~config ~variant:(variant_of_string variant)
-              ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers ~dir ()
+              ~backend:(backend_of_string backend) ~sample ~tau ~jobs ~readers
+              ~retain_epochs:retain ~dir ()
           in
           print_endline (Store.Recovery.info_to_string info);
           (Serve.Server.engine_of_store store, fun () -> Store.Durable.close store)
         end
         else begin
           let sh =
-            open_sharded ~config ~variant ~backend ~sample ~tau ~jobs ~readers ~shards ~dir ()
+            open_sharded ~config ~retain_epochs:retain ~variant ~backend ~sample ~tau ~jobs
+              ~readers ~shards ~dir ()
           in
           (Serve.Server.engine_of_sharded sh, fun () -> Shard.Sharded_index.close sh)
         end
@@ -533,6 +594,96 @@ let loadgen_cmd socket host port clients ops seed timeout shards w_insert w_dele
     ];
   if r.Serve.Load_gen.ops = 0 || r.Serve.Load_gen.errors > 0 then exit 1
 
+(* dsdg follow: a WAL-shipped read replica of a running dsdg serve.
+   Bootstraps --store DIR from the leader (snapshot over the wire if
+   the leader compacted; sharded replicas start empty or from a pinned
+   backup copied into DIR), then tails the replication streams.  With
+   --socket/--port the replica also serves the full query grammar
+   locally; mutations get a redirect error naming the leader.  SIGTERM
+   stops tailing and closes the replica store cleanly -- the directory
+   is an ordinary store, promotable with a plain `dsdg serve DIR`. *)
+let follow_cmd from_addr from_socket dir socket host port variant backend sample tau seq retain
+    poll =
+  if retain < 0 then die_usage "--retain-epochs must be >= 0 (got %d)" retain;
+  if poll <= 0. then die_usage "--poll must be > 0 seconds";
+  let leader =
+    match (from_socket, from_addr) with
+    | Some _, Some _ -> die_usage "--from and --from-socket are mutually exclusive"
+    | Some path, None -> `Unix path
+    | None, Some hp -> (
+      match String.rindex_opt hp ':' with
+      | Some i -> (
+        let h = String.sub hp 0 i in
+        match int_of_string_opt (String.sub hp (i + 1) (String.length hp - i - 1)) with
+        | Some p when p > 0 && h <> "" -> `Tcp (h, p)
+        | _ -> die_usage "--from expects HOST:PORT (got %s)" hp)
+      | None -> die_usage "--from expects HOST:PORT (got %s)" hp)
+    | None, None -> die_usage "name the leader: --from HOST:PORT or --from-socket PATH"
+  in
+  with_store_errors ~dir (fun () ->
+      let f =
+        try
+          Serve.Follower.start ~variant:(variant_of_string variant)
+            ~backend:(backend_of_string backend) ~sample ~tau
+            ~seq_backend:(seq_of_string seq) ~retain_epochs:retain ~poll ~leader ~dir ()
+        with Failure msg ->
+          Printf.eprintf "dsdg: %s\n" msg;
+          exit 1
+      in
+      Printf.printf "following %s into %s%s\n%!"
+        (match leader with `Unix p -> p | `Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
+        dir
+        (match Serve.Follower.replica f with
+        | Serve.Follower.R_single _ -> ""
+        | Serve.Follower.R_sharded sh ->
+          Printf.sprintf " (sharded, K=%d)" (Shard.Sharded_index.shards sh));
+      let srv =
+        match (socket, port) with
+        | Some path, _ -> Some (Serve.Server.start_engine ~engine:(Serve.Follower.engine f) (`Unix path))
+        | None, Some p ->
+          Some (Serve.Server.start_engine ~engine:(Serve.Follower.engine f) (`Tcp (host, p)))
+        | None, None -> None
+      in
+      (match (srv, socket) with
+      | Some _, Some path -> Printf.printf "replica serving on unix socket %s (read-only)\n%!" path
+      | Some s, None ->
+        Printf.printf "replica serving on %s:%d (read-only)\n%!" host
+          (match Serve.Server.port s with Some p -> p | None -> 0)
+      | None, _ -> ());
+      let stop = Atomic.make false in
+      List.iter
+        (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set stop true)))
+        [ Sys.sigterm; Sys.sigint ];
+      let teardown () =
+        (* stopping a server built on Follower.engine stops the
+           follower and closes the replica store *)
+        match srv with Some s -> Serve.Server.stop s | None -> Serve.Follower.stop f
+      in
+      let tick = ref 0 in
+      let rec watch () =
+        if Atomic.get stop then ()
+        else
+          match Serve.Follower.error f with
+          | Some e ->
+            Printf.eprintf "dsdg: replication stopped: %s\n" e;
+            teardown ();
+            exit 2
+          | None ->
+            if !tick mod 10 = 0 then begin
+              let lag = Serve.Follower.lag f in
+              Printf.printf "lag: %d record(s), %d epoch(s); applied %d; %s\n%!"
+                lag.Serve.Follower.lg_serials lag.Serve.Follower.lg_epochs
+                lag.Serve.Follower.lg_applied
+                (if lag.Serve.Follower.lg_connected then "connected" else "reconnecting")
+            end;
+            incr tick;
+            Thread.delay 0.2;
+            watch ()
+      in
+      watch ();
+      teardown ();
+      Printf.printf "replica stopped cleanly at %s\n" dir)
+
 let demo_cmd ops =
   let open Dsdg_workload in
   let st = Text_gen.rng 7 in
@@ -609,6 +760,15 @@ let stats_sharded ~ops ~variant ~backend ~sample ~tau ~no_obs ~jobs ~readers ~sh
   Printf.printf "epochs    : [%s]\n"
     (String.concat "; "
        (Array.to_list (Array.map string_of_int (Shard.Sharded_index.epoch_vector sh))));
+  (* store mode: the replication coordinates -- per-shard WAL serials
+     next to the composite epoch vector (the last epoch component is
+     the mapping version) *)
+  if Shard.Sharded_index.backing_stores sh <> None then begin
+    Printf.printf "wal       : [%s] (per-shard serials)\n"
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int (Shard.Sharded_index.wal_serials sh))));
+    Printf.printf "meta      : %d placement record(s)\n" (Shard.Sharded_index.meta_records sh)
+  end;
   print_newline ();
   Shard.Sharded_index.close sh;
   if no_obs then print_endline "observability disabled (--no-obs): no counters recorded"
@@ -726,7 +886,7 @@ let stats_cmd ops variant backend sample tau no_obs jobs readers shards store sy
    tearing the final WAL record) at every stride-th op, recover, and
    diff the recovered index against the model. *)
 let fuzz_cmd seed ops streams variant backend sample tau fault profile replay trace_dir jobs
-    readers shards store sync checkpoint_every kill_stride seq =
+    readers shards store sync checkpoint_every kill_stride seq follow =
   let open Dsdg_check in
   (* validate enums up front so a typo is a usage error (124), not an
      internal crash from deep inside the runner *)
@@ -765,6 +925,122 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
     | _ -> ()
   in
   match store with
+  | _ when follow ->
+    (* leader/follower differential mode: a real cluster per target --
+       leader store + server on an ephemeral port, WAL-shipped replica,
+       convergence checks at quiesce points, then the failover sweep
+       (quiesce, kill the leader, promote the follower, verify every
+       acked write, keep writing on the promoted store) *)
+    let dir =
+      match store with
+      | Some d -> d
+      | None -> die_usage "--follow needs --store DIR as cluster scratch space"
+    in
+    let fault_v =
+      match fault with
+      | "none" -> None
+      | "skip-top-clean" -> Some `Skip_top_clean
+      | s ->
+        die_usage
+          "--follow supports --fault none | skip-top-clean (planted in the replica's index, \
+           proving the divergence oracle has teeth), not %s"
+          s
+    in
+    let sync_v =
+      match Store.Wal.sync_of_string sync with
+      | Ok s -> s
+      | Error msg -> die_usage "--sync: %s" msg
+    in
+    let sweep_ops =
+      match replay with
+      | Some file ->
+        enforce_hint file;
+        load_trace file
+      | None -> Opgen.generate ~profile:(profile_of_string profile) ~seed ~ops ()
+    in
+    let counts = List.sort_uniq compare [ 1; shards ] in
+    let variants =
+      match variant with "all" -> [ "amortized"; "loglog"; "worst-case" ] | v -> [ v ]
+    in
+    let backends = match backend with "all" -> [ "fm"; "sa"; "csa" ] | b -> [ b ] in
+    let n = List.length sweep_ops in
+    let stride = if kill_stride > 0 then kill_stride else max 1 (n / 4) in
+    Printf.printf
+      "leader/follower: %d op(s), K in {%s}, quiesce every 16, failover kill every %d op(s), \
+       %d target(s), scratch under %s\n%!"
+      n
+      (String.concat "," (List.map string_of_int counts))
+      stride
+      (List.length variants * List.length backends * List.length counts)
+      dir;
+    let failed = ref false in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun b ->
+            List.iter
+              (fun k ->
+                let name = Printf.sprintf "%s/%s K=%d" v b k in
+                let scratch = Filename.concat dir (Printf.sprintf "follow-%s-%s-k%d" v b k) in
+                let conv =
+                  Serve.Repl_check.convergence ~variant:(variant_of_string v)
+                    ~backend:(backend_of_string b) ~sample ~tau ~seq_backend:seq_kind
+                    ?fault:fault_v ~shards:k ~sync:sync_v
+                    ~checkpoint_every:(if checkpoint_every > 0 then checkpoint_every else 7)
+                    ~dir:scratch ~ops:sweep_ops ()
+                in
+                Printf.printf "%-24s %-12s %s\n%!" name "converge"
+                  (Serve.Repl_check.outcome_to_string conv);
+                if conv.Serve.Repl_check.rc_failures <> [] then begin
+                  failed := true;
+                  (* a planted fault diverges by design; the shrinker
+                     replays without it, so there is nothing to minimize *)
+                  if k = 1 && fault_v = None then begin
+                    let shrunk =
+                      Serve.Repl_check.shrink ~variant:(variant_of_string v)
+                        ~backend:(backend_of_string b) ~sample ~tau ~seq_backend:seq_kind
+                        ~sync:sync_v ~dir:scratch sweep_ops
+                    in
+                    let tdir =
+                      match trace_dir with Some d -> d | None -> Filename.get_temp_dir_name ()
+                    in
+                    let path = Filename.concat tdir "dsdg-fuzz-follow.trace" in
+                    Trace.save
+                      ~hint:
+                        {
+                          Trace.h_shards = None;
+                          h_readers = None;
+                          h_jobs = None;
+                          h_seq = (if seq <> "avl" then Some seq else None);
+                        }
+                      path shrunk;
+                    Printf.printf
+                      "minimal diverging trace (%d ops) saved to %s\nreplay: dsdg fuzz --follow \
+                       --replay %s --store %s --variant %s --backend %s\n"
+                      (List.length shrunk) path path dir v b
+                  end
+                end
+                (* a planted fault makes failover pointless (the replica
+                   is already known-corrupt); otherwise prove promotion *)
+                else if fault_v = None then begin
+                  let fo =
+                    Serve.Repl_check.failover_sweep ~variant:(variant_of_string v)
+                      ~backend:(backend_of_string b) ~sample ~tau ~seq_backend:seq_kind
+                      ~shards:k ~sync:sync_v
+                      ~checkpoint_every:(if checkpoint_every > 0 then checkpoint_every else 7)
+                      ~torn:true ~stride ~dir:scratch ~ops:sweep_ops ()
+                  in
+                  Printf.printf "%-24s %-12s %s\n%!" name "failover"
+                    (Store.Kill_check.outcome_to_string fo);
+                  if fo.Store.Kill_check.kc_failures <> [] then failed := true
+                end)
+              counts)
+          backends)
+      variants;
+    if !failed then exit 1;
+    Printf.printf
+      "leader/follower OK: every quiesce point converged and every promoted follower re-served \
+       all acked writes\n"
   | Some dir when shards > 1 ->
     (* sharded kill-and-recover: the stride sweep plus the mid-split
        migration sweep, per selected variant x backend *)
@@ -1081,6 +1357,11 @@ let seq_backend_arg =
        & info [ "seq-backend" ] ~docv:"NAME"
            ~doc:"Dynamic-sequence substrate for every index structure: avl (balanced-tree bitvectors) | spsi (B-tree searchable partial sums with word-packed leaves). A runtime choice, never persisted: a store written under one backend reopens under the other.")
 
+let retain_epochs_arg =
+  Arg.(value & opt int 0
+       & info [ "retain-epochs" ] ~docv:"N"
+           ~doc:"Keep the $(docv) most recently published views resolvable for point-in-time reads (interactive ~EPOCH ?PAT / ~EPOCH #PAT); 0 retains only the live view. Pinned views survive eviction regardless.")
+
 let store_dir_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Store directory.")
 
@@ -1093,19 +1374,24 @@ let index_t =
       $ jobs_arg $ readers_arg $ shards_arg $ store_arg $ sync_arg $ checkpoint_every_arg
       $ seq_backend_arg)
 
+let pinned_arg =
+  Arg.(value & opt (some string) None
+       & info [ "pinned" ] ~docv:"DEST"
+           ~doc:"Pin the store's state before indexing the new files, and back that pinned pre-save view up into $(docv) (a fresh store directory recovering to exactly the pinned epoch) -- a consistent backup taken while the save keeps writing.")
+
 let save_t =
   Cmd.v
     (Cmd.info "save" ~doc:"Index files into a durable store directory and checkpoint")
     Term.(
       const save_cmd $ store_dir_pos $ save_files_arg $ whole_arg $ variant_arg $ backend_arg
-      $ sample_arg $ tau_arg $ sync_arg)
+      $ sample_arg $ tau_arg $ sync_arg $ pinned_arg)
 
 let open_t =
   Cmd.v
     (Cmd.info "open" ~doc:"Recover an index from a store directory and answer queries interactively")
     Term.(
       const open_cmd $ store_dir_pos $ variant_arg $ backend_arg $ sample_arg $ tau_arg $ jobs_arg
-      $ readers_arg $ sync_arg $ checkpoint_every_arg)
+      $ readers_arg $ sync_arg $ checkpoint_every_arg $ retain_epochs_arg)
 
 (* --- service plane: serve + load --- *)
 
@@ -1160,7 +1446,57 @@ let serve_t =
     Term.(
       const serve_cmd $ store_dir_pos $ socket_arg $ host_arg $ port_arg $ variant_arg
       $ backend_arg $ sample_arg $ tau_arg $ jobs_arg $ readers_arg $ shards_arg $ sync_arg
-      $ checkpoint_every_arg $ max_batch_arg $ max_frame_arg $ max_conns_arg $ timeout_arg)
+      $ checkpoint_every_arg $ max_batch_arg $ max_frame_arg $ max_conns_arg $ timeout_arg
+      $ retain_epochs_arg)
+
+(* --- follow: WAL-shipped read replica --- *)
+
+let from_arg =
+  Arg.(value & opt (some string) None
+       & info [ "from" ] ~docv:"HOST:PORT" ~doc:"The leader to replicate from, over TCP.")
+
+let from_socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "from-socket" ] ~docv:"PATH"
+           ~doc:"The leader to replicate from, over a Unix-domain socket.")
+
+let follow_store_arg =
+  Arg.(required & opt (some string) None
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Replica store directory: bootstrapped from the leader if fresh (single stores get the newest snapshot over the wire; sharded replicas start empty or from a pinned backup copied here), then kept in sync by WAL tailing.")
+
+let follow_port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"Also serve the replica read-only on this TCP port (0 picks an ephemeral port); mutations get a redirect error naming the leader.")
+
+let follow_poll_arg =
+  Arg.(value & opt float 0.02
+       & info [ "poll" ] ~docv:"SECONDS" ~doc:"Idle delay between empty replication polls.")
+
+let follow_t =
+  Cmd.v
+    (Cmd.info "follow"
+       ~doc:"Tail a running dsdg serve into a local read replica"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Replicate a leader started with $(b,dsdg serve) into $(b,--store) $(i,DIR): \
+              bootstrap (snapshot over the wire if the leader already compacted), then poll \
+              the leader's replication streams and replay shipped WAL records through the \
+              replica's own write path. The leader only ships records below its group-commit \
+              fsync bound, so the replica never observes an unacknowledged write. With \
+              $(b,--socket) or $(b,--port) the replica serves the full query grammar \
+              read-only; writes are refused with a redirect naming the leader. A replication \
+              lag line is printed every ~2s. SIGTERM/SIGINT stops tailing and closes the \
+              replica cleanly -- the directory is an ordinary store, promotable with a plain \
+              $(b,dsdg serve) $(i,DIR).";
+         ])
+    Term.(
+      const follow_cmd $ from_arg $ from_socket_arg $ follow_store_arg $ socket_arg $ host_arg
+      $ follow_port_arg $ variant_arg $ backend_arg $ sample_arg $ tau_arg $ seq_backend_arg
+      $ retain_epochs_arg $ follow_poll_arg)
 
 let clients_arg =
   Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client sessions.")
@@ -1237,6 +1573,11 @@ let fuzz_kill_stride_arg =
        & info [ "kill-stride" ]
            ~doc:"Kill-and-recover mode: crash at every N-th op (0 = auto, about 16 crash points across the stream).")
 
+let fuzz_follow_arg =
+  Arg.(value & flag
+       & info [ "follow" ]
+           ~doc:"Leader/follower differential mode (needs --store DIR as scratch): per variant x backend x shard count {1, --shards}, run the op stream through a real leader server with a WAL-shipped replica, verify convergence at quiesce points, then the failover sweep -- kill the leader, promote the follower, check every acked write survives and the promoted store keeps serving writes. --fault skip-top-clean plants a defect in the replica to prove the oracle catches divergence (exits 1).")
+
 let fuzz_t =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Differential checking with shrinking and invariant oracles")
@@ -1244,7 +1585,8 @@ let fuzz_t =
       const fuzz_cmd $ fuzz_seed_arg $ fuzz_ops_arg $ fuzz_streams_arg $ fuzz_variant_arg
       $ fuzz_backend_arg $ fuzz_sample_arg $ fuzz_tau_arg $ fuzz_fault_arg $ fuzz_profile_arg
       $ fuzz_replay_arg $ fuzz_trace_dir_arg $ jobs_arg $ readers_arg $ shards_arg $ store_arg
-      $ sync_arg $ checkpoint_every_arg $ fuzz_kill_stride_arg $ seq_backend_arg)
+      $ sync_arg $ checkpoint_every_arg $ fuzz_kill_stride_arg $ seq_backend_arg
+      $ fuzz_follow_arg)
 
 let () =
   let doc = "dynamic compressed document collection index (Munro-Nekrich-Vitter, PODS 2015)" in
@@ -1265,4 +1607,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "dsdg" ~doc ~man)
-          [ index_t; save_t; open_t; serve_t; load_t; demo_t; stats_t; fuzz_t ]))
+          [ index_t; save_t; open_t; serve_t; follow_t; load_t; demo_t; stats_t; fuzz_t ]))

@@ -92,6 +92,15 @@ type ops = {
 
 module Exec = Dsdg_exec.Executor
 
+(* Retention/pinning metrics live on a "core" scope so the read-plane
+   time-travel machinery is observable alongside the per-transformation
+   scopes. *)
+let obs_core = Dsdg_obs.Obs.scope "core"
+let c_evictions = Dsdg_obs.Obs.counter obs_core "retention_evictions"
+let c_retained = Dsdg_obs.Obs.counter obs_core "epochs_retained"
+let g_ring = Dsdg_obs.Obs.gauge obs_core "retained_views"
+let g_pinned = Dsdg_obs.Obs.gauge obs_core "pinned_views"
+
 type t = {
   ops : ops;
   readers : Exec.t option;
@@ -100,6 +109,16 @@ type t = {
   backend : backend;
   sample : int;
   tau : int;
+  (* bounded epoch retention: the [retain] most recently published
+     views, newest first, held in an immutable list behind one Atomic so
+     any domain can resolve [view_at] wait-free while the writer pushes.
+     [retain = 0] keeps the ring empty -- the historical behavior. *)
+  retain : int;
+  ring : view list Atomic.t;
+  (* pinned views survive ring eviction until [unpin]; tokens are local
+     to this instance. *)
+  pins : (int * view) list Atomic.t;
+  pin_next : int Atomic.t;
 }
 
 module T1_fm = Transform1.Make (Fm_static)
@@ -166,7 +185,8 @@ let mk_view ~epoch ~docs ~syms ~census ~search ~count ~extract ~mem ~components 
    is set, each branch rebuilds the transformation from the dump's
    components instead of starting empty -- everything else (closure
    wiring, conventions, reader pool) is identical. *)
-let make ~variant ~backend ~sample ~tau ~seq ?fault ~jobs ~readers ?restore_from () : t =
+let make ~variant ~backend ~sample ~tau ~seq ?fault ~jobs ~readers ?(retain_epochs = 0)
+    ?restore_from () : t =
   let t1_probe census_full level_capacity nf () =
     {
       pr_census = census_full ();
@@ -439,17 +459,59 @@ let make ~variant ~backend ~sample ~tau ~seq ?fault ~jobs ~readers ?restore_from
            ~workers:readers ())
     else None
   in
-  { ops; readers; variant; backend; sample; tau }
+  {
+    ops;
+    readers;
+    variant;
+    backend;
+    sample;
+    tau;
+    retain = max 0 retain_epochs;
+    ring = Atomic.make [];
+    pins = Atomic.make [];
+    pin_next = Atomic.make 0;
+  }
 
 let create ?(variant = Worst_case) ?(backend = Fm) ?(sample = 8) ?(tau = 8) ?fault
-    ?(jobs = 0) ?(readers = 0) ?(seq_backend = Dsdg_delbits.Sums.Avl) () : t =
-  make ~variant ~backend ~sample ~tau ~seq:seq_backend ?fault ~jobs ~readers ()
+    ?(jobs = 0) ?(readers = 0) ?(seq_backend = Dsdg_delbits.Sums.Avl) ?retain_epochs () : t =
+  make ~variant ~backend ~sample ~tau ~seq:seq_backend ?fault ~jobs ~readers ?retain_epochs ()
+
+(* Record the newest published view in the retention ring (writer side;
+   called after every update).  Epochs advance by one per successful
+   update, so the ring holds a dense window of recent epochs; entries
+   beyond [retain] fall off the tail and can no longer be named by
+   [view_at] unless pinned. *)
+let retain_note t =
+  if t.retain > 0 then begin
+    let v = t.ops.op_view () in
+    match Atomic.get t.ring with
+    | w :: _ when w.vw_epoch >= v.vw_epoch -> ()
+    | ring ->
+      let rec keep n = function
+        | [] -> []
+        | _ :: _ when n = 0 -> []
+        | x :: tl -> x :: keep (n - 1) tl
+      in
+      let full = v :: ring in
+      let kept = keep t.retain full in
+      let dropped = List.length full - List.length kept in
+      if dropped > 0 then Dsdg_obs.Obs.add c_evictions dropped;
+      Dsdg_obs.Obs.incr c_retained;
+      Dsdg_obs.Obs.set_gauge g_ring (List.length kept);
+      Atomic.set t.ring kept
+  end
 
 (* Insert a document; returns its id. *)
-let insert t text = t.ops.op_insert text
+let insert t text =
+  let id = t.ops.op_insert text in
+  retain_note t;
+  id
 
 (* Delete a document by id; false if absent. *)
-let delete t id = t.ops.op_delete id
+let delete t id =
+  let ok = t.ops.op_delete id in
+  retain_note t;
+  ok
 
 let mem t id = t.ops.op_mem id
 
@@ -493,6 +555,57 @@ let view_search v p =
 
 let view_count v p = v.vw_count p
 let view_extract v ~doc ~off ~len = v.vw_extract ~doc ~off ~len
+
+(* --- epoch retention and pinning --- *)
+
+let retain_epochs t = t.retain
+
+(* Resolve an epoch against the live view, the retention ring, then the
+   pin table.  Wait-free on any domain: each is one Atomic.get over
+   immutable data. *)
+let view_at t ~epoch =
+  let v = t.ops.op_view () in
+  if v.vw_epoch = epoch then Some v
+  else
+    match List.find_opt (fun w -> w.vw_epoch = epoch) (Atomic.get t.ring) with
+    | Some _ as hit -> hit
+    | None -> (
+      match List.find_opt (fun (_, w) -> w.vw_epoch = epoch) (Atomic.get t.pins) with
+      | Some (_, w) -> Some w
+      | None -> None)
+
+let retained t =
+  let v = t.ops.op_view () in
+  let ring = List.map (fun w -> w.vw_epoch) (Atomic.get t.ring) in
+  let pinned = List.map (fun (_, w) -> w.vw_epoch) (Atomic.get t.pins) in
+  List.sort_uniq compare ((v.vw_epoch :: ring) @ pinned)
+
+type pin = { pn_token : int; pn_view : view }
+
+let pin_view p = p.pn_view
+let pin_epoch p = p.pn_view.vw_epoch
+
+let pin ?epoch t =
+  let v =
+    match epoch with
+    | None -> t.ops.op_view ()
+    | Some e -> (
+      match view_at t ~epoch:e with
+      | Some v -> v
+      | None ->
+        invalid_arg (Printf.sprintf "Dynamic_index.pin: epoch %d is not retained or pinned" e))
+  in
+  let token = Atomic.fetch_and_add t.pin_next 1 in
+  let p = { pn_token = token; pn_view = v } in
+  Atomic.set t.pins ((token, v) :: Atomic.get t.pins);
+  Dsdg_obs.Obs.set_gauge g_pinned (List.length (Atomic.get t.pins));
+  p
+
+let unpin t p =
+  Atomic.set t.pins (List.filter (fun (tok, _) -> tok <> p.pn_token) (Atomic.get t.pins));
+  Dsdg_obs.Obs.set_gauge g_pinned (List.length (Atomic.get t.pins))
+
+let pinned_count t = List.length (Atomic.get t.pins)
 
 let readers t =
   match t.readers with
@@ -553,19 +666,31 @@ let checkpoint_header t (v : view) : dump =
 let checkpoint_body (d : dump) (v : view) : dump = { d with dm_components = v.vw_components () }
 
 let restore ?fault ?(jobs = 0) ?(readers = 0) ?(seq_backend = Dsdg_delbits.Sums.Avl)
-    (d : dump) : t =
+    ?retain_epochs (d : dump) : t =
   make ~variant:d.dm_variant ~backend:d.dm_backend ~sample:d.dm_sample ~tau:d.dm_tau
-    ~seq:seq_backend ?fault ~jobs ~readers ~restore_from:d ()
+    ~seq:seq_backend ?fault ~jobs ~readers ?retain_epochs ~restore_from:d ()
 
 (* Run [f] against the latest published view -- on one of the reader
    domains when the index was created with [readers >= 1], inline
    otherwise.  The view is fetched inside the closure, on the reader
    domain, so a pooled query always sees the epoch current at the moment
-   it actually runs.  Exceptions from [f] are re-raised on the caller. *)
-let query t f =
-  match t.readers with
-  | None -> f (view t)
-  | Some ex -> Exec.run ex ~name:"query" (fun _tick -> f (view t))
+   it actually runs.  With [~epoch] the view is resolved against the
+   retention ring / pin table instead, so the query answers as of that
+   point in time.  Exceptions from [f] are re-raised on the caller. *)
+let query ?epoch t f =
+  match epoch with
+  | None -> (
+    match t.readers with
+    | None -> f (view t)
+    | Some ex -> Exec.run ex ~name:"query" (fun _tick -> f (view t)))
+  | Some e -> (
+    match view_at t ~epoch:e with
+    | None ->
+      invalid_arg (Printf.sprintf "Dynamic_index.query: epoch %d is not retained or pinned" e)
+    | Some v -> (
+      match t.readers with
+      | None -> f v
+      | Some ex -> Exec.run ex ~name:"query" (fun _tick -> f v)))
 
 (* Land every in-flight background job now (a forced completion of each;
    no-op for the amortized variants, whose rebuilds are synchronous). *)

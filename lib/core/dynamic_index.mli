@@ -41,7 +41,12 @@ type t
     [readers] (default [0]) sets the reader pool: [n >= 1] spawns [n]
     domains that serve {!query} calls against the latest published
     {!view} while updates stay exclusive on the caller's domain. Call
-    {!close} when done with a pooled index (jobs or readers). *)
+    {!close} when done with a pooled index (jobs or readers).
+
+    [retain_epochs] (default [0]) bounds the epoch-retention ring: the
+    [n] most recently published views stay resolvable by {!view_at} /
+    [query ~epoch] after the writer has moved on. [0] retains nothing
+    beyond the live view -- the historical behavior. *)
 val create :
   ?variant:variant ->
   ?backend:backend ->
@@ -51,6 +56,7 @@ val create :
   ?jobs:int ->
   ?readers:int ->
   ?seq_backend:Dsdg_delbits.Sums.kind ->
+  ?retain_epochs:int ->
   unit ->
   t
 
@@ -185,9 +191,54 @@ val readers : t -> int
 (** [query t f] runs [f] against the latest published view -- on a
     reader-pool domain when the index was created with [readers >= 1],
     inline otherwise. The view is fetched on the serving domain, so a
-    pooled query sees the epoch current when it actually runs.
-    Exceptions from [f] are re-raised on the caller. *)
-val query : t -> (view -> 'a) -> 'a
+    pooled query sees the epoch current when it actually runs. With
+    [~epoch], [f] instead runs against the retained or pinned view of
+    that epoch ({!view_at}); [Invalid_argument] if the epoch is neither
+    the live one, in the retention ring, nor pinned. Exceptions from
+    [f] are re-raised on the caller. *)
+val query : ?epoch:int -> t -> (view -> 'a) -> 'a
+
+(** {1 Epoch retention and pinning}
+
+    With [create ~retain_epochs:n], the [n] most recently published
+    views are kept in an immutable ring (one [Atomic.set] per update on
+    the writer; wait-free [Atomic.get] resolution on any domain), so
+    recent epochs can be named by point-in-time queries. A {!pin}
+    additionally shields one view from ring eviction until {!unpin} --
+    the mechanism behind consistent backups taken while the writer
+    proceeds. *)
+
+(** The [retain_epochs] this instance was created with. *)
+val retain_epochs : t -> int
+
+(** Resolve an epoch: the live view, the retention ring, then the pin
+    table. [None] if the epoch is no longer (or not yet) resolvable. *)
+val view_at : t -> epoch:int -> view option
+
+(** Epochs currently resolvable by {!view_at}, ascending (live view +
+    ring + pins). *)
+val retained : t -> int list
+
+(** A pinned view: survives retention eviction until {!unpin}. *)
+type pin
+
+(** Pin the current view (or, with [~epoch], a retained one --
+    [Invalid_argument] if it is not resolvable). Call on the writer
+    thread; the pin table is published for wait-free readers but
+    mutated single-threaded. *)
+val pin : ?epoch:int -> t -> pin
+
+(** The pinned view itself (immutable, query from any domain). *)
+val pin_view : pin -> view
+
+(** Epoch of the pinned view. *)
+val pin_epoch : pin -> int
+
+(** Release a pin (idempotent). *)
+val unpin : t -> pin -> unit
+
+(** Live pins on this instance. *)
+val pinned_count : t -> int
 
 (** {1 Persistence}
 
@@ -251,6 +302,7 @@ val restore :
   ?jobs:int ->
   ?readers:int ->
   ?seq_backend:Dsdg_delbits.Sums.kind ->
+  ?retain_epochs:int ->
   dump ->
   t
 

@@ -86,6 +86,39 @@ let ping t =
   | Protocol.Pong -> ()
   | resp -> unexpected "pong" resp
 
+type repl_batch = {
+  rb_recs : (int * string) list;
+  rb_snap : (int * string) option;
+  rb_bound : int;
+  rb_epoch : int;
+}
+
+(* One replication poll: drain the hb-terminated frame batch. *)
+let repl t ~stream ~from =
+  if t.closed then raise (Protocol_error "client is closed");
+  Protocol.write_frame t.fd (Protocol.request_to_string (Protocol.Repl { stream; from }));
+  let recs = ref [] and snap = ref None in
+  let rec chunks_loop n acc serial =
+    if n = 0 then snap := Some (serial, String.concat "" (List.rev acc))
+    else
+      match read_response t with
+      | Protocol.Chunk c -> chunks_loop (n - 1) (c :: acc) serial
+      | resp -> unexpected "a snapshot chunk" resp
+  in
+  let rec loop () =
+    match read_response t with
+    | Protocol.Rec (serial, body) ->
+      recs := (serial, body) :: !recs;
+      loop ()
+    | Protocol.Snap { serial; chunks } ->
+      chunks_loop chunks [] serial;
+      loop ()
+    | Protocol.Hb { bound; epoch } ->
+      { rb_recs = List.rev !recs; rb_snap = !snap; rb_bound = bound; rb_epoch = epoch }
+    | resp -> unexpected "a replication frame" resp
+  in
+  loop ()
+
 let raw t line =
   if t.closed then raise (Protocol_error "client is closed");
   Protocol.write_frame t.fd line;

@@ -46,6 +46,21 @@ val stats : t -> (string * int) list
 
 val ping : t -> unit
 
+(** One drained replication poll (see {!repl}). *)
+type repl_batch = {
+  rb_recs : (int * string) list;  (** shipped records: (position, raw line), in order *)
+  rb_snap : (int * string) option;
+      (** snapshot bootstrap instead of records: (aligned WAL serial,
+          reassembled snapshot file bytes) *)
+  rb_bound : int;  (** the stream's shipping bound -- poll from here next *)
+  rb_epoch : int;  (** leader-side epoch of the stream at the bound *)
+}
+
+(** [repl t ~stream ~from] sends one [repl] poll and drains the whole
+    [hb]-terminated reply batch. Raises {!Server_error} on an unknown
+    stream or a compacted-away position with no snapshot to ship. *)
+val repl : t -> stream:string -> from:int -> repl_batch
+
 (** Send a raw request line and return the raw response line --
     the escape hatch the malformed-frame tests use. *)
 val raw : t -> string -> string

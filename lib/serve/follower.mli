@@ -1,0 +1,132 @@
+(** WAL-shipped read replica of a serving leader.
+
+    {!start} dials a leader running the service plane, discovers its
+    shape from [stats] (a [shards] field marks a sharded leader),
+    bootstraps a local replica directory, and spawns a tail thread that
+    polls the leader's replication streams ({!Protocol.Repl}) and
+    replays shipped records through the replica's {e own} durable
+    write path -- identical WAL serials leader/follower, so the replica
+    directory is at all times an ordinary store: killable, recoverable,
+    and promotable by simply serving it.
+
+    Shipping bound: the leader only ships records below its
+    {!Dsdg_store.Wal.durable_serial}, i.e. records that survived the
+    group-commit fsync -- a follower can never observe a write the
+    leader has not acknowledged as durable.
+
+    Bootstrap: a fresh single-store replica that asks for position [0]
+    after the leader compacted receives the leader's newest snapshot
+    file (chunked over the wire) and resumes from its serial.  The
+    same path handles a replica that later falls behind the leader's
+    checkpoint compaction: the tail thread re-seeds in place (close,
+    wipe, install the shipped snapshot, reopen) and keeps tailing --
+    which also means the {!replica} handle can change over a
+    follower's lifetime; re-read it rather than caching it.  A
+    sharded replica is seeded either empty (replaying every stream from
+    position 0) or from a pinned backup ({!Dsdg_shard.Sharded_index.backup})
+    copied into [dir] -- per-shard mid-stream snapshots are refused by
+    the leader because only a pin freezes all K shards and the meta log
+    at one boundary.
+
+    Sharded replay discipline: each poll cycle fetches the K shard
+    streams {e before} the meta stream, so every collected shard record
+    has its placement event inside the meta batch (the leader appends
+    meta first); the cycle then applies placements and drains per-shard
+    record queues to a fixpoint -- a record whose cross-shard
+    prerequisite has not arrived (a migration copy preceding its
+    original insert on another stream) parks at its queue head until
+    progress elsewhere, or a later poll, unblocks it (see
+    {!Dsdg_shard.Sharded_index.replica_op}).
+
+    A fatal divergence (a sharded replica's compacted-away position,
+    serial discontinuity, unparseable record) stops the tail loop and
+    is reported by {!error}; transport failures trigger reconnection
+    with exponential backoff (0.2s doubling to 5s).
+
+    Observability lands in the registered scope ["repl"], shared with
+    the leader's shipping counters: [frames_replayed], [reconnects],
+    [snapshot_bootstraps], and [lag_serials]/[lag_epochs] gauges. *)
+
+type t
+
+(** The local replica store behind a follower. *)
+type replica = R_single of Dsdg_store.Durable.t | R_sharded of Dsdg_shard.Sharded_index.t
+
+(** A replication-lag reading (all monotonic except the gauges). *)
+type lag = {
+  lg_serials : int;  (** records shipped by the leader but not yet applied *)
+  lg_epochs : int;  (** leader composite epoch minus replica composite epoch *)
+  lg_applied : int;  (** records replayed over this follower's lifetime *)
+  lg_connected : bool;
+}
+
+(** [start ~leader ~dir ()] connects (retrying [connect_attempts]
+    times with backoff; raises [Failure] if the leader stays
+    unreachable), bootstraps the replica under [dir], and spawns the
+    tail thread.  [poll] (default 20ms) is the idle delay between
+    empty polls; the index/store parameters mirror
+    {!Dsdg_store.Durable.open_} and apply to the local replica --
+    including [fault], which plants a defect in the {e replica's} index
+    (K=1 only; the replication checkers use it to prove divergence
+    detection works). *)
+val start :
+  ?config:Dsdg_store.Durable.config ->
+  ?variant:Dsdg_core.Dynamic_index.variant ->
+  ?backend:Dsdg_core.Dynamic_index.backend ->
+  ?sample:int ->
+  ?tau:int ->
+  ?fault:Dsdg_core.Transform2.fault ->
+  ?jobs:int ->
+  ?readers:int ->
+  ?seq_backend:Dsdg_delbits.Sums.kind ->
+  ?retain_epochs:int ->
+  ?poll:float ->
+  ?connect_attempts:int ->
+  leader:[ `Unix of string | `Tcp of string * int ] ->
+  dir:string ->
+  unit ->
+  t
+
+val dir : t -> string
+
+(** The live replica handle.  Reading through it (views, queries) is
+    safe from any thread; do not write -- the tail thread is the
+    single writer.  A single-store follower swaps the handle when it
+    re-seeds after falling behind compaction, so re-read this rather
+    than caching the result. *)
+val replica : t -> replica
+
+(** Current lag reading, updated once per poll cycle. *)
+val lag : t -> lag
+
+(** Stream positions fully applied {e and published} to the replica's
+    read plane: shard serials then the meta position for a sharded
+    replica, a 1-element vector for a single store.  Unlike the
+    replica store's own WAL serials -- which advance when a shipped
+    batch is logged, before its index apply finishes -- this moves
+    only at cycle boundaries, so equality with the leader's positions
+    certifies the replica's views reflect every shipped record (the
+    checkers' catch-up predicate). *)
+val watermark : t -> int array
+
+(** The fatal divergence that stopped the tail loop, if any. *)
+val error : t -> string option
+
+(** Stop tailing and hand over the still-open replica -- the promotion
+    path: verify it, serve it, or close it yourself.  The tail thread
+    is joined; the follower must not be reused afterwards. *)
+val detach : t -> replica
+
+(** Stop tailing and close the replica store cleanly. *)
+val stop : t -> unit
+
+(** Stop tailing and crash the replica store ({!Dsdg_store.Durable.kill})
+    -- the follower half of the failover kill sweeps. *)
+val kill : t -> torn:bool -> unit
+
+(** A read-only {!Server} engine over the replica: queries and stats
+    (including the lag fields [lag_serials]/[lag_epochs]/[replayed]/
+    [connected]) serve locally; mutations are refused with a
+    {!Server.Redirect} naming the leader.  [Server.stop] on a server
+    running this engine stops the follower and closes the replica. *)
+val engine : t -> Server.engine

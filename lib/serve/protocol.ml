@@ -3,13 +3,20 @@
 
 module Trace = Dsdg_check.Trace
 
-type request = Op of Trace.op | Stats | Ping | Quit
+type request = Op of Trace.op | Stats | Ping | Quit | Repl of { stream : string; from : int }
 
 let parse_request line =
   match line with
   | "stats" -> Ok Stats
   | "ping" -> Ok Ping
   | "quit" -> Ok Quit
+  | _ when String.length line >= 5 && String.sub line 0 5 = "repl " -> (
+    match String.split_on_char ' ' line with
+    | [ "repl"; stream; from ] when stream <> "" -> (
+      match int_of_string_opt from with
+      | Some from when from >= 0 -> Ok (Repl { stream; from })
+      | _ -> Error (Printf.sprintf "malformed repl position %S" from))
+    | _ -> Error "malformed repl request (want: repl <stream> <from>)")
   | _ -> (
     match Trace.parse_op line with
     | Ok op -> Ok (Op op)
@@ -20,6 +27,7 @@ let request_to_string = function
   | Stats -> "stats"
   | Ping -> "ping"
   | Quit -> "quit"
+  | Repl { stream; from } -> Printf.sprintf "repl %s %d" stream from
 
 type response =
   | Id of int
@@ -32,6 +40,10 @@ type response =
   | Pong
   | Bye
   | Err of string
+  | Rec of int * string
+  | Hb of { bound : int; epoch : int }
+  | Snap of { serial : int; chunks : int }
+  | Chunk of string
 
 (* [Id] and [Int] share the "ok N" spelling deliberately: the client
    knows which verb it sent, so the wire does not repeat it. *)
@@ -51,6 +63,10 @@ let response_to_string = function
   | Pong -> "ok pong"
   | Bye -> "ok bye"
   | Err reason -> Printf.sprintf "err %S" reason
+  | Rec (serial, body) -> Printf.sprintf "rec %d %s" serial body
+  | Hb { bound; epoch } -> Printf.sprintf "hb %d %d" bound epoch
+  | Snap { serial; chunks } -> Printf.sprintf "snap %d %d" serial chunks
+  | Chunk payload -> Printf.sprintf "chunk %S" payload
 
 let parse_response line =
   let fields = String.split_on_char ' ' line in
@@ -63,6 +79,24 @@ let parse_response line =
   | [ "none" ] -> Ok No_text
   | [ "ok"; "pong" ] -> Ok Pong
   | [ "ok"; "bye" ] -> Ok Bye
+  | "rec" :: serial :: _ :: _ -> (
+    match int_of_string_opt serial with
+    | None -> Error (Printf.sprintf "malformed record serial %S" serial)
+    | Some s ->
+      (* the body is the raw record line and may contain spaces *)
+      let prefix = 4 + String.length serial + 1 in
+      Ok (Rec (s, String.sub line prefix (String.length line - prefix))))
+  | [ "hb"; bound; epoch ] -> (
+    match (int_of_string_opt bound, int_of_string_opt epoch) with
+    | Some bound, Some epoch -> Ok (Hb { bound; epoch })
+    | _ -> Error (Printf.sprintf "malformed heartbeat %S" line))
+  | [ "snap"; serial; chunks ] -> (
+    match (int_of_string_opt serial, int_of_string_opt chunks) with
+    | Some serial, Some chunks -> Ok (Snap { serial; chunks })
+    | _ -> Error (Printf.sprintf "malformed snapshot header %S" line))
+  | "chunk" :: _ -> (
+    try Ok (Scanf.sscanf line "chunk %S%!" (fun s -> Chunk s))
+    with Scanf.Scan_failure _ | End_of_file | Failure _ -> Error "malformed snapshot chunk")
   | [ "ok"; n ] -> Result.map (fun n -> Int n) (int_field n ~what:"value")
   | "ok" :: "hits" :: n :: rest -> (
     match int_field n ~what:"hit count" with

@@ -21,6 +21,13 @@ type request =
   | Stats  (** server + index counters *)
   | Ping
   | Quit  (** polite close; the server answers [ok bye] and hangs up *)
+  | Repl of { stream : string; from : int }
+      (** replication poll: ship stream records with position [>= from].
+          Streams are ["wal"] (single store), ["wal0".."walK-1"] and
+          ["meta"] (sharded). The reply is a bounded multi-frame batch:
+          zero or more [rec] frames (or a [snap] header plus its [chunk]
+          frames when [from] predates the leader's compacted log),
+          always terminated by one [hb] frame. *)
 
 (** [parse_request line] -- [Error reason] on an unknown verb or a
     malformed op line (the reasons come from {!Dsdg_check.Trace}). *)
@@ -43,6 +50,19 @@ type response =
   | Pong
   | Bye
   | Err of string
+  | Rec of int * string
+      (** one shipped stream record: (position, raw record line) -- a
+          {!Dsdg_check.Trace} op line for WAL streams, an [I g s] /
+          [M g src dst] event line for the meta stream *)
+  | Hb of { bound : int; epoch : int }
+      (** batch terminator: [bound] is the stream's current shipping
+          bound (ask from here next), [epoch] the leader-side epoch of
+          the stream (view epoch / mapping version) *)
+  | Snap of { serial : int; chunks : int }
+      (** snapshot bootstrap header: the requested position was
+          compacted away; [chunks] [Chunk] frames of the snapshot file
+          aligned with WAL serial [serial] follow *)
+  | Chunk of string  (** one [%S]-escaped span of snapshot file bytes *)
 
 val response_to_string : response -> string
 

@@ -1,0 +1,97 @@
+(** Leader/follower differential checking -- the replication entries of
+    the check matrix.
+
+    {!convergence} spins up a real cluster in [dir] (leader store +
+    {!Server} on an ephemeral TCP port, {!Follower} replica, {!Client}),
+    drives a fuzz mutation stream through the wire while mirroring it
+    in a {!Dsdg_check.Model}, and at quiesce points (every
+    [quiesce_every] mutations, plus once at the end) waits for the
+    replica to catch up to the leader's stream positions and verifies
+    it against the model -- [Kill_check.verify] for K=1, a sharded
+    analogue (census, membership, full-text extraction, sampled
+    searches over global ids) for K>1.  Sharded runs also trigger a
+    {!Dsdg_shard.Sharded_index.rebalance_hottest} migration at each
+    quiesce point so migrate shipping is exercised.
+
+    {!failover_sweep} is the promotion story: at each stride point it
+    replays the prefix through a fresh cluster, quiesces (acked writes
+    under asynchronous shipping are only guaranteed on the leader's
+    disk, so the sweep waits for catch-up before pulling the trigger),
+    kills the leader with {!Server.kill} (optionally planting a torn
+    final WAL record), promotes the follower via {!Follower.detach},
+    verifies every acknowledged write against the model, then drives
+    the remaining operations directly on the promoted store and
+    verifies again -- promotion must yield a fully functional writer.
+
+    Checks run under [sync = Always] by default: the acked = durable =
+    shipped chain is what makes "verify the replica against everything
+    the client saw acknowledged" a sound oracle. *)
+
+type outcome = {
+  rc_points : int;  (** quiesce points exercised *)
+  rc_failures : (int * string) list;
+      (** (ops applied before the point, discrepancy); empty = converged *)
+}
+
+val outcome_to_string : outcome -> string
+
+(** [convergence ~dir ~ops ()] -- non-mutation ops in [ops] are
+    ignored.  [fault] plants a defect in the K=1 {e replica's} index
+    (the leader's WAL stays correct either way, so replica-side
+    corruption is the only kind this oracle can and must catch -- the
+    planted fault is the checker's self-test).  [dir] is wiped
+    first. *)
+val convergence :
+  ?variant:Dsdg_core.Dynamic_index.variant ->
+  ?backend:Dsdg_core.Dynamic_index.backend ->
+  ?sample:int ->
+  ?tau:int ->
+  ?seq_backend:Dsdg_delbits.Sums.kind ->
+  ?fault:Dsdg_core.Transform2.fault ->
+  ?shards:int ->
+  ?sync:Dsdg_store.Wal.sync ->
+  ?checkpoint_every:int ->
+  ?quiesce_every:int ->
+  dir:string ->
+  ops:Dsdg_check.Trace.op list ->
+  unit ->
+  outcome
+
+(** Delta-debug a diverging stream to a near-minimal reproducer: each
+    candidate replays a whole fresh cluster, so [max_runs] (default 24)
+    keeps the budget sane. *)
+val shrink :
+  ?variant:Dsdg_core.Dynamic_index.variant ->
+  ?backend:Dsdg_core.Dynamic_index.backend ->
+  ?sample:int ->
+  ?tau:int ->
+  ?seq_backend:Dsdg_delbits.Sums.kind ->
+  ?shards:int ->
+  ?sync:Dsdg_store.Wal.sync ->
+  ?checkpoint_every:int ->
+  ?quiesce_every:int ->
+  ?max_runs:int ->
+  dir:string ->
+  Dsdg_check.Trace.op list ->
+  Dsdg_check.Trace.op list
+
+(** [failover_sweep ~dir ~ops ()] kills the leader at every [stride]-th
+    prefix (plus the empty and full prefixes) and checks promotion;
+    [torn] (default true) plants a torn final record in the dying
+    leader's WAL.  Returns a {!Dsdg_store.Kill_check.outcome} so it
+    reports like the other kill sweeps. *)
+val failover_sweep :
+  ?variant:Dsdg_core.Dynamic_index.variant ->
+  ?backend:Dsdg_core.Dynamic_index.backend ->
+  ?sample:int ->
+  ?tau:int ->
+  ?seq_backend:Dsdg_delbits.Sums.kind ->
+  ?shards:int ->
+  ?sync:Dsdg_store.Wal.sync ->
+  ?checkpoint_every:int ->
+  ?torn:bool ->
+  ?stride:int ->
+  dir:string ->
+  ops:Dsdg_check.Trace.op list ->
+  unit ->
+  Dsdg_store.Kill_check.outcome

@@ -12,6 +12,8 @@
 module Trace = Dsdg_check.Trace
 module Di = Dsdg_core.Dynamic_index
 module Durable = Dsdg_store.Durable
+module Wal = Dsdg_store.Wal
+module Snapshot = Dsdg_store.Snapshot
 open Dsdg_obs
 
 let obs = Obs.scope "serve"
@@ -28,6 +30,14 @@ let h_batch_size = Obs.histogram obs "batch_size"
 let h_flush_ns = Obs.histogram obs "flush_ns"
 let h_request_ns = Obs.histogram obs "request_ns"
 
+(* Leader-side replication counters; the follower's replay-side
+   counters live in the same registered scope (Obs.scope is
+   get-or-create), so one snapshot shows both halves. *)
+let obs_repl = Obs.scope "repl"
+let c_frames_shipped = Obs.counter obs_repl "frames_shipped"
+let c_snap_ships = Obs.counter obs_repl "snapshots_shipped"
+let c_repl_polls = Obs.counter obs_repl "polls_answered"
+
 type config = {
   max_frame : int;
   max_batch : int;
@@ -43,11 +53,24 @@ type listen = [ `Unix of string | `Tcp of string * int ]
 
 exception Killed
 
+exception Redirect of string
+
+let () =
+  Printexc.register_printer (function Redirect reason -> Some reason | _ -> None)
+
 (* What the server needs from a collection: the group-commit batch
    apply, view-plane queries, a stats snapshot, and lifecycle. One
    record instead of a functor so a server can front a plain durable
    store or a sharded one (or anything else) without the socket/thread
    machinery knowing. *)
+(* Answer to one replication poll: records up to the stream's durable
+   shipping bound, a snapshot bootstrap when the asked-for position was
+   compacted away, or a refusal. *)
+type repl_reply =
+  | Rp_recs of { recs : (int * string) list; bound : int; epoch : int }
+  | Rp_snapshot of { path : string; serial : int; bound : int; epoch : int }
+  | Rp_error of string
+
 type engine = {
   eng_describe : string;
   eng_apply_batch : Trace.op list -> Durable.batch_result list;
@@ -56,10 +79,57 @@ type engine = {
   eng_extract : doc:int -> off:int -> len:int -> string option;
   eng_mem : int -> bool;
   eng_stats : unit -> (string * int) list;
+  eng_repl : stream:string -> from:int -> repl_reply;
   eng_checkpoint : unit -> unit;
   eng_close : unit -> unit;
   eng_kill : torn:bool -> unit;
 }
+
+(* Ship WAL records [from, bound) by tailing the live log file.  A
+   fresh bounded cursor per poll keeps this robust against concurrent
+   compaction (rotation detection is the cursor's job); the log is
+   compacted at every checkpoint so the re-read stays proportional to
+   the WAL tail, not history.  [Tail_gap] means [from] predates the
+   log: first try the bounded {!Wal.archives} ring compaction left
+   behind -- the segment covering [from] still holds the records, so a
+   lagging follower catches up by ordinary record shipping -- and only
+   when [from] predates the archives too fall back to the newest
+   snapshot, whose serial the follower resumes from. *)
+let wal_repl ~wal_path ~dir ~bound ~epoch ~from =
+  if from >= bound then Rp_recs { recs = []; bound; epoch }
+  else
+    match
+      let c = Wal.tail ~from wal_path in
+      Fun.protect ~finally:(fun () -> Wal.tail_close c) (fun () -> Wal.tail_poll ~limit:bound c)
+    with
+    | recs ->
+      Rp_recs { recs = List.map (fun (s, op) -> (s, Trace.op_to_string op)) recs; bound; epoch }
+    | exception Wal.Tail_gap _ -> (
+      (* an archive segment is an ordinary (immutable) log file, so the
+         same cursor machinery reads it; one poll serves what the
+         segment holds and the follower's next poll advances into the
+         next segment or the live log *)
+      let archived =
+        try
+          match List.find_opt (fun (_, e) -> e > from) (Wal.archives wal_path) with
+          | None -> []
+          | Some (path, _) ->
+            let c = Wal.tail ~from path in
+            Fun.protect
+              ~finally:(fun () -> Wal.tail_close c)
+              (fun () -> Wal.tail_poll ~limit:bound c)
+        with Wal.Tail_gap _ -> []
+      in
+      match archived with
+      | _ :: _ as recs ->
+        Rp_recs { recs = List.map (fun (s, op) -> (s, Trace.op_to_string op)) recs; bound; epoch }
+      | [] -> (
+        match Snapshot.list ~dir with
+        | (path, serial) :: _ when serial > from -> Rp_snapshot { path; serial; bound; epoch }
+        | _ ->
+          Rp_error
+            (Printf.sprintf "stream position %d was compacted away and no snapshot covers it" from)
+        ))
 
 let engine_of_store store =
   let idx = Durable.index store in
@@ -79,6 +149,14 @@ let engine_of_store store =
           ("symbols", Di.view_total_symbols v);
           ("epoch", Di.view_epoch v);
         ]);
+    eng_repl =
+      (fun ~stream ~from ->
+        if stream <> "wal" then Rp_error (Printf.sprintf "unknown stream %S" stream)
+        else
+          wal_repl ~wal_path:(Durable.wal_path store) ~dir:(Durable.dir store)
+            ~bound:(Durable.durable_serial store)
+            ~epoch:(Di.view_epoch (Di.view idx))
+            ~from);
     eng_checkpoint = (fun () -> Durable.checkpoint store);
     eng_close = (fun () -> Durable.close store);
     eng_kill = (fun ~torn -> Durable.kill store ~torn);
@@ -102,9 +180,68 @@ let engine_of_sharded s =
           ("epoch", Array.fold_left ( + ) 0 ev);
           ("shards", Sh.shards s);
         ]);
+    eng_repl =
+      (fun ~stream ~from ->
+        match Sh.backing_stores s with
+        | None -> Rp_error "an in-memory index has no replication streams"
+        | Some stores ->
+          if stream = "meta" then begin
+            (* [meta_records] is the shipping bound: events are fsynced
+               at append under any policy but Never, mirroring the WAL
+               durable bound's Never degradation *)
+            let bound = Sh.meta_records s in
+            let lines = Sh.meta_lines_from s ~from in
+            let recs =
+              List.filteri (fun i _ -> from + i < bound) lines
+              |> List.mapi (fun i l -> (from + i, l))
+            in
+            Rp_recs { recs; bound; epoch = (Sh.epoch_vector s).(Sh.shards s) }
+          end
+          else
+            match
+              if String.length stream > 3 && String.sub stream 0 3 = "wal" then
+                int_of_string_opt (String.sub stream 3 (String.length stream - 3))
+              else None
+            with
+            | Some k when k >= 0 && k < Sh.shards s -> (
+              let st = stores.(k) in
+              match
+                wal_repl ~wal_path:(Durable.wal_path st) ~dir:(Durable.dir st)
+                  ~bound:(Durable.durable_serial st)
+                  ~epoch:(Sh.epoch_vector s).(k)
+                  ~from
+              with
+              | Rp_snapshot _ ->
+                (* per-shard snapshots are not mutually consistent with
+                   a meta prefix; only a pinned backup is *)
+                Rp_error
+                  (Printf.sprintf
+                     "shard %d compacted past position %d; seed the replica from a pinned backup"
+                     k from)
+              | reply -> reply)
+            | _ -> Rp_error (Printf.sprintf "unknown stream %S" stream));
     eng_checkpoint = (fun () -> Sh.checkpoint s);
     eng_close = (fun () -> Sh.close s);
     eng_kill = (fun ~torn -> Sh.kill s ~torn);
+  }
+
+(* A replica's engine: queries and stats serve locally, every mutation
+   is refused with a redirect naming the leader, checkpoint is a no-op
+   (the tail thread owns the store's write plane). *)
+let engine_readonly ~describe ~search ~count ~extract ~mem ~stats ~redirect ~close ~kill =
+  {
+    eng_describe = describe;
+    eng_apply_batch = (fun _ -> raise (Redirect redirect));
+    eng_search = search;
+    eng_count = count;
+    eng_extract = extract;
+    eng_mem = mem;
+    eng_stats = stats;
+    eng_repl =
+      (fun ~stream:_ ~from:_ -> Rp_error "replicas do not ship streams; poll the leader");
+    eng_checkpoint = (fun () -> ());
+    eng_close = close;
+    eng_kill = kill;
   }
 
 (* One write request parked in the batching queue: the connection
@@ -229,6 +366,34 @@ let stats_response t =
         ("batches", Obs.value c_batches);
       ])
 
+(* Serve one replication poll as a bounded frame batch, [hb]-terminated.
+   Snapshot files ship in bounded [%S]-escaped chunks (escaping expands
+   at most 4x, so 32 KiB chunks stay far under the 1 MiB frame bound). *)
+let repl_frames t ~stream ~from =
+  Obs.incr c_repl_polls;
+  match t.engine.eng_repl ~stream ~from with
+  | Rp_error reason -> `Reply (Protocol.Err reason)
+  | Rp_recs { recs; bound; epoch } ->
+    Obs.add c_frames_shipped (List.length recs);
+    `Multi
+      (List.map (fun (serial, body) -> Protocol.Rec (serial, body)) recs
+      @ [ Protocol.Hb { bound; epoch } ])
+  | Rp_snapshot { path; serial; bound; epoch } -> (
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error reason -> `Reply (Protocol.Err reason)
+    | raw ->
+      Obs.incr c_snap_ships;
+      let chunk_len = 32768 in
+      let chunks = (String.length raw + chunk_len - 1) / chunk_len in
+      let frames = ref [ Protocol.Hb { bound; epoch } ] in
+      for i = chunks - 1 downto 0 do
+        let off = i * chunk_len in
+        frames :=
+          Protocol.Chunk (String.sub raw off (min chunk_len (String.length raw - off)))
+          :: !frames
+      done;
+      `Multi (Protocol.Snap { serial; chunks } :: !frames))
+
 (* [`Reply] keeps the connection; [`Close] hangs up after the reply.
    Semantic errors on well-formed frames (empty pattern, non-service
    op) reply [err] and keep the connection -- only protocol violations
@@ -238,6 +403,7 @@ let respond t (req : Protocol.request) =
   | Protocol.Ping -> `Reply Protocol.Pong
   | Protocol.Quit -> `Close Protocol.Bye
   | Protocol.Stats -> `Reply (stats_response t)
+  | Protocol.Repl { stream; from } -> repl_frames t ~stream ~from
   | Protocol.Op ((Trace.Insert _ | Trace.Delete _) as op) -> (
     Obs.incr c_writes;
     match commit_write t op with
@@ -297,6 +463,10 @@ let conn_loop t id fd () =
            match respond t req with
            | `Reply resp ->
              send resp;
+             Atomic.incr t.served;
+             Obs.stop h_request_ns t0
+           | `Multi resps ->
+             List.iter send resps;
              Atomic.incr t.served;
              Obs.stop h_request_ns t0
            | `Close resp ->

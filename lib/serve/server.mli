@@ -58,6 +58,28 @@ val engine_of_store : Dsdg_store.Durable.t -> engine
     shard views. *)
 val engine_of_sharded : Dsdg_shard.Sharded_index.t -> engine
 
+(** Raised by a read-only engine's write path; registered to print as
+    its payload, so the wire carries exactly the redirect message. *)
+exception Redirect of string
+
+(** A read-only replica engine ({!Follower} builds one): queries and
+    stats serve locally, every mutation is refused with {!Redirect}
+    [redirect] (name the leader's address in it), [repl] polls are
+    refused (replicas do not ship streams), checkpoint is a no-op --
+    the tail thread owns the store's write plane -- and [close]/[kill]
+    are the caller's teardown hooks. *)
+val engine_readonly :
+  describe:string ->
+  search:(string -> (int * int) list) ->
+  count:(string -> int) ->
+  extract:(doc:int -> off:int -> len:int -> string option) ->
+  mem:(int -> bool) ->
+  stats:(unit -> (string * int) list) ->
+  redirect:string ->
+  close:(unit -> unit) ->
+  kill:(torn:bool -> unit) ->
+  engine
+
 (** [start ~config ~store listen] binds, spawns the accept loop and the
     group-commit writer, and returns immediately. The server owns
     [store] from here on: {!stop} checkpoints and closes it. Raises

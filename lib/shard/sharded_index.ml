@@ -75,7 +75,12 @@ let ev_of_line line =
     | 'M' -> scan "M %d %d %d" (fun g a b -> Ev_migrate (g, a, b))
     | _ -> None
 
-type meta = { mt_path : string; mutable mt_oc : out_channel; mt_fsync : bool }
+type meta = {
+  mt_path : string;
+  mutable mt_oc : out_channel;
+  mt_fsync : bool;
+  mutable mt_records : int; (* events in the file (durable once fsynced) *)
+}
 
 let meta_file ~dir = Filename.concat dir "shard.meta"
 let header k = Printf.sprintf "dsdg-shard 1 %d" k
@@ -127,7 +132,7 @@ let meta_read path =
 
 let meta_open_append ~fsync path =
   let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-  { mt_path = path; mt_oc = oc; mt_fsync = fsync }
+  { mt_path = path; mt_oc = oc; mt_fsync = fsync; mt_records = 0 }
 
 let meta_create ~fsync path k =
   let mt = meta_open_append ~fsync path in
@@ -141,7 +146,8 @@ let meta_create ~fsync path k =
 let meta_append mt evs =
   List.iter (fun ev -> output_string mt.mt_oc (ev_to_line ev ^ "\n")) evs;
   flush mt.mt_oc;
-  if mt.mt_fsync then Unix.fsync (Unix.descr_of_out_channel mt.mt_oc)
+  if mt.mt_fsync then Unix.fsync (Unix.descr_of_out_channel mt.mt_oc);
+  mt.mt_records <- mt.mt_records + List.length evs
 
 (* Compact the log to exactly the surviving events (recovery dropped an
    unacknowledged tail or adopted orphans): tmp + rename, the same
@@ -156,7 +162,8 @@ let meta_rewrite mt k evs =
   if mt.mt_fsync then Unix.fsync (Unix.descr_of_out_channel oc);
   close_out oc;
   Unix.rename tmp mt.mt_path;
-  mt.mt_oc <- (meta_open_append ~fsync:mt.mt_fsync mt.mt_path).mt_oc
+  mt.mt_oc <- (meta_open_append ~fsync:mt.mt_fsync mt.mt_path).mt_oc;
+  mt.mt_records <- List.length evs
 
 (* --- the sharded index --- *)
 
@@ -171,6 +178,20 @@ type t = {
   ins_total : int array;  (* inserts ever per shard (local next id); writer-owned *)
   mutable closed : bool;
   mutable poisoned : bool;  (* a shard failed mid-batch; refuse further writes *)
+  (* as-of retention: recent mappings, newest first, so a composite
+     epoch_vector stays resolvable while each shard's own retention
+     ring holds the matching view.  The mapping version advances once
+     per update (vs ~1/K per shard epoch), so the ring holds
+     [retain * K] entries to cover roughly the same time window. *)
+  retain : int;
+  map_cap : int;
+  map_ring : mapping list Atomic.t;
+  pinned_maps : (int * mapping) list Atomic.t;
+  pin_next : int Atomic.t;
+  (* follower replay: placements shipped from the leader's meta stream,
+     queued per destination shard until the matching shard WAL record
+     arrives and binds the global id *)
+  repl_pending : ev Queue.t array;
 }
 
 let shards t = t.k
@@ -179,19 +200,34 @@ let check_open t =
   if t.closed then invalid_arg "Sharded_index: closed";
   if t.poisoned then invalid_arg "Sharded_index: poisoned by a failed shard write"
 
-let publish t m = Atomic.set t.mapping m
+let publish t m =
+  Atomic.set t.mapping m;
+  if t.retain > 0 then begin
+    let rec keep n = function
+      | [] -> []
+      | _ :: _ when n = 0 -> []
+      | x :: tl -> x :: keep (n - 1) tl
+    in
+    Atomic.set t.map_ring (keep t.map_cap (m :: Atomic.get t.map_ring))
+  end
 
 let set_l2g m s v =
   let a = Array.copy m.m_l2g in
   a.(s) <- v;
   a
 
-let create ?variant ?backend ?sample ?tau ?jobs ?readers ?seq_backend ~shards () =
+let mk_retention ~shards retain_epochs =
+  let retain = max 0 (match retain_epochs with Some r -> r | None -> 0) in
+  (retain, retain * shards)
+
+let create ?variant ?backend ?sample ?tau ?jobs ?readers ?seq_backend ?retain_epochs ~shards ()
+    =
   if shards < 1 then invalid_arg "Sharded_index.create: shards must be >= 1";
   let idxs =
     Array.init shards (fun _ ->
-        Di.create ?variant ?backend ?sample ?tau ?jobs ?readers ?seq_backend ())
+        Di.create ?variant ?backend ?sample ?tau ?jobs ?readers ?seq_backend ?retain_epochs ())
   in
+  let retain, map_cap = mk_retention ~shards retain_epochs in
   {
     k = shards;
     idxs;
@@ -201,6 +237,12 @@ let create ?variant ?backend ?sample ?tau ?jobs ?readers ?seq_backend ~shards ()
     ins_total = Array.make shards 0;
     closed = false;
     poisoned = false;
+    retain;
+    map_cap;
+    map_ring = Atomic.make [];
+    pinned_maps = Atomic.make [];
+    pin_next = Atomic.make 0;
+    repl_pending = Array.init shards (fun _ -> Queue.create ());
   }
 
 let shard_dir dir s = Filename.concat dir (Printf.sprintf "shard-%d" s)
@@ -214,7 +256,7 @@ let store_shards ~dir =
     | Some line -> parse_header line
 
 let open_store ?(config = Durable.default_config) ?variant ?backend ?sample ?tau ?jobs ?readers
-    ?seq_backend ?(recovery_jobs = 0) ~shards ~dir () =
+    ?seq_backend ?retain_epochs ?(recovery_jobs = 0) ~shards ~dir () =
   if shards < 1 then invalid_arg "Sharded_index.open_store: shards must be >= 1";
   let t0 = Obs.start () in
   Dsdg_store.Snapshot.ensure_dir dir;
@@ -233,7 +275,7 @@ let open_store ?(config = Durable.default_config) ?variant ?backend ?sample ?tau
      snapshot + WAL tail replay) *)
   let open_one s =
     Durable.open_ ~config ?variant ?backend ?sample ?tau ?jobs ?readers ?seq_backend
-      ~dir:(shard_dir dir s) ()
+      ?retain_epochs ~dir:(shard_dir dir s) ()
   in
   let pairs =
     if recovery_jobs > 0 then begin
@@ -334,7 +376,9 @@ let open_store ?(config = Durable.default_config) ?variant ?backend ?sample ?tau
       Obs.incr c_orphans
     done
   done;
-  if !changed || !fixups > 0 then meta_rewrite meta k (List.rev !surviving);
+  if !changed || !fixups > 0 then meta_rewrite meta k (List.rev !surviving)
+  else meta.mt_records <- List.length events;
+  let retain, map_cap = mk_retention ~shards:k retain_epochs in
   let t =
     {
       k;
@@ -347,6 +391,12 @@ let open_store ?(config = Durable.default_config) ?variant ?backend ?sample ?tau
       ins_total = totals;
       closed = false;
       poisoned = false;
+      retain;
+      map_cap;
+      map_ring = Atomic.make [];
+      pinned_maps = Atomic.make [];
+      pin_next = Atomic.make 0;
+      repl_pending = Array.init k (fun _ -> Queue.create ());
     }
   in
   Obs.stop h_recovery_ns t0;
@@ -404,16 +454,65 @@ let delete t id =
 
 let q_view t s f = if t.readers > 0 then Di.query t.idxs.(s) f else f (Di.view t.idxs.(s))
 
-let search t p =
+(* Resolve a composite epoch_vector (per-shard epochs + mapping
+   version, the shape {!epoch_vector} reports) into the frozen mapping
+   and the K frozen shard views -- the live state, the retention rings,
+   then the pin tables.  Everything resolved is immutable, so the as-of
+   query runs without touching the live read plane. *)
+let resolve_at t ev =
+  if Array.length ev <> t.k + 1 then
+    invalid_arg
+      (Printf.sprintf "Sharded_index: epoch_vector has %d entries, want %d (K shards + mapping)"
+         (Array.length ev) (t.k + 1));
+  let version = ev.(t.k) in
+  let m =
+    let cur = Atomic.get t.mapping in
+    if cur.m_version = version then Some cur
+    else
+      match List.find_opt (fun m -> m.m_version = version) (Atomic.get t.map_ring) with
+      | Some _ as hit -> hit
+      | None -> (
+        match
+          List.find_opt (fun (_, m) -> m.m_version = version) (Atomic.get t.pinned_maps)
+        with
+        | Some (_, m) -> Some m
+        | None -> None)
+  in
+  match m with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Sharded_index: mapping version %d is not retained or pinned" version)
+  | Some m ->
+    let views =
+      Array.init t.k (fun s ->
+          match Di.view_at t.idxs.(s) ~epoch:ev.(s) with
+          | Some v -> v
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Sharded_index: shard %d epoch %d is not retained or pinned" s
+                 ev.(s)))
+    in
+    (m, views)
+
+(* Run [f] against shard [s] as the (possibly as-of) resolution
+   dictates: the reader pool / live view when [at] is [None], the
+   frozen view otherwise. *)
+let q_at t at s f =
+  match at with None -> q_view t s f | Some (_, views) -> f (views : Di.view array).(s)
+
+let mapping_at t at = match at with None -> Atomic.get t.mapping | Some (m, _) -> m
+
+let search ?epoch_vector t p =
   check_open t;
   if p = "" then invalid_arg "Dynamic_index: empty pattern";
   Obs.incr c_scatter;
   let t0 = Obs.start () in
-  let m = Atomic.get t.mapping in
+  let at = Option.map (resolve_at t) epoch_vector in
+  let m = mapping_at t at in
   let acc = ref [] in
   for s = 0 to t.k - 1 do
     let l2g = m.m_l2g.(s) in
-    q_view t s (fun v ->
+    q_at t at s (fun v ->
         Di.view_iter_matches v p ~f:(fun ~doc ~off ->
             match Imap.find_opt doc l2g with
             | Some g -> acc := (g, off) :: !acc
@@ -423,35 +522,38 @@ let search t p =
   Obs.stop h_gather_ns t0;
   hits
 
-let count t p =
+let count ?epoch_vector t p =
   check_open t;
   if p = "" then invalid_arg "Dynamic_index: empty pattern";
   Obs.incr c_scatter;
   let t0 = Obs.start () in
-  let m = Atomic.get t.mapping in
+  let at = Option.map (resolve_at t) epoch_vector in
+  let m = mapping_at t at in
   let n = ref 0 in
   for s = 0 to t.k - 1 do
     let l2g = m.m_l2g.(s) in
-    q_view t s (fun v ->
+    q_at t at s (fun v ->
         Di.view_iter_matches v p ~f:(fun ~doc ~off:_ -> if Imap.mem doc l2g then incr n))
   done;
   Obs.stop h_gather_ns t0;
   !n
 
-let extract t ~doc ~off ~len =
+let extract ?epoch_vector t ~doc ~off ~len =
   check_open t;
-  let m = Atomic.get t.mapping in
+  let at = Option.map (resolve_at t) epoch_vector in
+  let m = mapping_at t at in
   match Imap.find_opt doc m.m_g2p with
   | None -> None
-  | Some { pl_shard = s; pl_local = l } -> q_view t s (fun v -> Di.view_extract v ~doc:l ~off ~len)
+  | Some { pl_shard = s; pl_local = l } -> q_at t at s (fun v -> Di.view_extract v ~doc:l ~off ~len)
 
-let mem t id =
+let mem ?epoch_vector t id =
   check_open t;
-  let m = Atomic.get t.mapping in
+  let at = Option.map (resolve_at t) epoch_vector in
+  let m = mapping_at t at in
   match Imap.find_opt id m.m_g2p with
   | None -> false
   | Some { pl_shard = s; pl_local = l } ->
-    Imap.mem l m.m_l2g.(s) && q_view t s (fun v -> Di.view_mem v l)
+    Imap.mem l m.m_l2g.(s) && q_at t at s (fun v -> Di.view_mem v l)
 
 let doc_count t = Array.fold_left (fun acc idx -> acc + Di.doc_count idx) 0 t.idxs
 let total_symbols t = Array.fold_left (fun acc idx -> acc + Di.total_symbols idx) 0 t.idxs
@@ -516,7 +618,9 @@ let apply_batch t ops =
             | None -> P_dead_delete
             | Some { pl_shard = s; pl_local = l } ->
               l2g.(s) <- Imap.remove l l2g.(s);
-              per_shard.(s) <- op :: per_shard.(s);
+              (* the shard store (and its WAL) speaks local ids: log the
+                 translated delete, not the global one *)
+              per_shard.(s) <- Trace.Delete l :: per_shard.(s);
               P_shard s)
           | _ -> assert false)
         ops
@@ -599,6 +703,197 @@ let wal_serials t =
   match t.backing with
   | Mem -> Array.make t.k 0
   | Store { stores; _ } -> Array.map Durable.wal_serial stores
+
+let durable_serials t =
+  match t.backing with
+  | Mem -> Array.make t.k 0
+  | Store { stores; _ } -> Array.map Durable.durable_serial stores
+
+(* --- pinned epoch-vector backups --- *)
+
+type pin_kind = Pk_mem of Di.pin array | Pk_store of Durable.pin array
+type pin = { sp_token : int; sp_vector : int array; sp_kind : pin_kind }
+
+(* Pin all K shards plus the mapping at one update boundary: the pinned
+   state is exactly what the composite epoch_vector names, and it stays
+   resolvable (as-of queries, backup) however far retention evicts. *)
+let pin t =
+  check_open t;
+  let m = Atomic.get t.mapping in
+  let kind =
+    match t.backing with
+    | Mem -> Pk_mem (Array.map Di.pin t.idxs)
+    | Store { stores; _ } -> Pk_store (Array.map Durable.pin stores)
+  in
+  let vector =
+    Array.init (t.k + 1) (fun s ->
+        if s = t.k then m.m_version
+        else
+          match kind with
+          | Pk_mem pins -> Di.pin_epoch pins.(s)
+          | Pk_store pins -> Durable.pin_epoch pins.(s))
+  in
+  let token = Atomic.fetch_and_add t.pin_next 1 in
+  Atomic.set t.pinned_maps ((token, m) :: Atomic.get t.pinned_maps);
+  { sp_token = token; sp_vector = vector; sp_kind = kind }
+
+let pin_epoch_vector p = Array.copy p.sp_vector
+
+let unpin t p =
+  (match (p.sp_kind, t.backing) with
+  | Pk_mem pins, _ -> Array.iteri (fun s pn -> Di.unpin t.idxs.(s) pn) pins
+  | Pk_store pins, Store { stores; _ } ->
+    Array.iteri (fun s pn -> Durable.unpin stores.(s) pn) pins
+  | Pk_store _, Mem -> ());
+  Atomic.set t.pinned_maps
+    (List.filter (fun (tok, _) -> tok <> p.sp_token) (Atomic.get t.pinned_maps))
+
+let backup t p ~dest =
+  check_open t;
+  match (t.backing, p.sp_kind) with
+  | Store { stores; meta }, Pk_store pins ->
+    Dsdg_store.Snapshot.ensure_dir dest;
+    Array.iteri
+      (fun s pn -> ignore (Durable.backup stores.(s) pn ~dest:(shard_dir dest s)))
+      pins;
+    (* The meta log is copied whole.  The pin froze every shard at one
+       update boundary, so events beyond the pin consume local ids past
+       the pinned totals and recovery's reconciliation drops exactly
+       that tail -- the copy recovers to the pinned prefix. *)
+    let raw = In_channel.with_open_bin meta.mt_path In_channel.input_all in
+    Out_channel.with_open_bin (meta_file ~dir:dest) (fun oc ->
+        Out_channel.output_string oc raw);
+    dest
+  | _ -> invalid_arg "Sharded_index.backup: store-backed sharded indexes only"
+
+(* --- replication surface --- *)
+
+let backing_stores t =
+  match t.backing with Mem -> None | Store { stores; _ } -> Some stores
+
+let meta_log_path t =
+  match t.backing with Mem -> None | Store { meta; _ } -> Some meta.mt_path
+
+let meta_records t = match t.backing with Mem -> 0 | Store { meta; _ } -> meta.mt_records
+
+(* Leader-side meta tail: events [from, ...) as wire lines.  The meta
+   log is rewritten only by recovery, never while serving, so positional
+   reads against a live leader are stable. *)
+let meta_lines_from t ~from =
+  match t.backing with
+  | Mem -> []
+  | Store { meta; _ } ->
+    let _, events = meta_read meta.mt_path in
+    List.filteri (fun i _ -> i >= from) events |> List.map ev_to_line
+
+(* --- follower replay surface --- *)
+
+(* Apply one shipped meta line: append it to the local meta log first
+   (the leader's meta-before-shard-WAL group-commit discipline, so a
+   killed follower recovers by the same reconciliation) and queue the
+   placement until the matching shard WAL record binds the global id. *)
+let replica_meta t line =
+  check_open t;
+  match t.backing with
+  | Mem -> invalid_arg "Sharded_index.replica_meta: store-backed indexes only"
+  | Store { meta; _ } -> (
+    match ev_of_line line with
+    | None -> invalid_arg (Printf.sprintf "Sharded_index.replica_meta: bad record %S" line)
+    | Some ev ->
+      let dst = match ev with Ev_insert (_, s) -> s | Ev_migrate (_, _, d) -> d in
+      if dst < 0 || dst >= t.k then
+        invalid_arg "Sharded_index.replica_meta: shard out of range";
+      meta_append meta [ ev ];
+      Queue.add ev t.repl_pending.(dst))
+
+(* Apply one shipped shard WAL record through the replica's own durable
+   store (identical serials leader/follower, so the replica is itself
+   recoverable and promotable), then fold the effect into the mapping.
+
+   Returns [false] when the record cannot be applied YET -- its
+   cross-shard prerequisite has not arrived: an insert whose placement
+   event is still in flight on the meta stream, or a migration copy
+   whose document is not yet bound at the source shard because the
+   original insert rides another shard's stream.  The caller must
+   retry the same record (per-shard streams replay strictly in serial
+   order) after making progress elsewhere; prerequisites follow the
+   leader's temporal order, so the dependency graph is acyclic and a
+   record that stays unappliable forever is a divergence, surfacing as
+   replication lag that never drains. *)
+let replica_op t ~shard op =
+  check_open t;
+  if shard < 0 || shard >= t.k then invalid_arg "Sharded_index.replica_op: shard out of range";
+  match t.backing with
+  | Mem -> invalid_arg "Sharded_index.replica_op: store-backed indexes only"
+  | Store { stores; _ } -> (
+    match op with
+    | Trace.Insert text -> (
+      match Queue.peek_opt t.repl_pending.(shard) with
+      | None -> false (* placement still in flight on the meta stream *)
+      | Some ev -> (
+        let apply () =
+          ignore (Queue.pop t.repl_pending.(shard));
+          let l = Durable.insert stores.(shard) text in
+          t.ins_total.(shard) <- t.ins_total.(shard) + 1;
+          (l, Atomic.get t.mapping)
+        in
+        match ev with
+        | Ev_insert (g, s) ->
+          if s <> shard then failwith "Sharded_index.replica_op: placement/shard mismatch";
+          let l, m = apply () in
+          publish t
+            {
+              m_g2p = Imap.add g { pl_shard = shard; pl_local = l } m.m_g2p;
+              m_l2g = set_l2g m shard (Imap.add l g m.m_l2g.(shard));
+              m_next_global = max m.m_next_global (g + 1);
+              m_version = m.m_version + 1;
+            };
+          Obs.incr c_inserts;
+          true
+        | Ev_migrate (g, src, dst) -> (
+          if dst <> shard then failwith "Sharded_index.replica_op: placement/shard mismatch";
+          match Imap.find_opt g (Atomic.get t.mapping).m_g2p with
+          | Some { pl_shard; pl_local } when pl_shard = src ->
+            let l, m = apply () in
+            (* the one atomic flip: visibility moves src -> dst; the
+               source retirement arrives later as a plain delete *)
+            let l2g = Array.copy m.m_l2g in
+            l2g.(src) <- Imap.remove pl_local l2g.(src);
+            l2g.(dst) <- Imap.add l g l2g.(dst);
+            publish t
+              {
+                m with
+                m_g2p = Imap.add g { pl_shard = dst; pl_local = l } m.m_g2p;
+                m_l2g = l2g;
+                m_version = m.m_version + 1;
+              };
+            Obs.incr c_migrations;
+            true
+          | _ -> false (* the source binding rides another shard's stream *))))
+    | Trace.Delete l ->
+      let m = Atomic.get t.mapping in
+      (match Imap.find_opt l m.m_l2g.(shard) with
+      | Some _ ->
+        ignore (Durable.delete stores.(shard) l);
+        publish t
+          {
+            m with
+            m_l2g = set_l2g m shard (Imap.remove l m.m_l2g.(shard));
+            m_version = m.m_version + 1;
+          };
+        Obs.incr c_deletes
+      | None ->
+        (* migration-source retirement (visibility already flipped) or
+           a dead-id replay: shard-local effect only *)
+        ignore (Durable.delete stores.(shard) l));
+      true
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Sharded_index.replica_op: %S is not a mutation" (Trace.op_to_string op)))
+
+(* Placements shipped but not yet bound by a shard record, per shard --
+   zero everywhere at a replication quiesce point. *)
+let replica_pending t = Array.map Queue.length t.repl_pending
 
 (* --- rebalancing --- *)
 

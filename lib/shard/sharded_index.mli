@@ -74,13 +74,18 @@ val create :
   ?jobs:int ->
   ?readers:int ->
   ?seq_backend:Dsdg_delbits.Sums.kind ->
+  ?retain_epochs:int ->
   shards:int ->
   unit ->
   t
 (** In-memory sharded index: [shards] independent
     [Dynamic_index.create]d shards ([jobs] executor workers and
-    [readers] reader-pool domains {e each}).  Raises [Invalid_argument]
-    when [shards < 1]. *)
+    [readers] reader-pool domains {e each}).  [retain_epochs] threads to
+    every shard and additionally retains recent mappings so composite
+    {!epoch_vector}s stay resolvable for as-of queries (the mapping
+    version advances once per update vs roughly [1/K] per shard epoch,
+    so the mapping ring holds [retain_epochs * K] entries).  Raises
+    [Invalid_argument] when [shards < 1]. *)
 
 val open_store :
   ?config:Dsdg_store.Durable.config ->
@@ -91,6 +96,7 @@ val open_store :
   ?jobs:int ->
   ?readers:int ->
   ?seq_backend:Dsdg_delbits.Sums.kind ->
+  ?retain_epochs:int ->
   ?recovery_jobs:int ->
   shards:int ->
   dir:string ->
@@ -123,13 +129,22 @@ val insert : t -> string -> int
 val delete : t -> int -> bool
 (** Delete a global id; [false] if it was never live or already dead. *)
 
-val mem : t -> int -> bool
-val search : t -> string -> (int * int) list
-(** All (global doc id, offset) occurrences, sorted -- identical to the
-    K=1 index.  Raises [Invalid_argument] on the empty pattern. *)
+val mem : ?epoch_vector:int array -> t -> int -> bool
 
-val count : t -> string -> int
-val extract : t -> doc:int -> off:int -> len:int -> string option
+val search : ?epoch_vector:int array -> t -> string -> (int * int) list
+(** All (global doc id, offset) occurrences, sorted -- identical to the
+    K=1 index.  Raises [Invalid_argument] on the empty pattern.
+
+    [epoch_vector] (here and on {!count}/{!extract}/{!mem}) answers
+    as-of the named composite epoch instead of the live state: element
+    [s] resolves shard [s]'s retained or pinned view
+    ([Dynamic_index.view_at]) and the final element resolves the
+    retained or pinned mapping version.  Raises [Invalid_argument] when
+    the vector has the wrong length or any component is no longer
+    resolvable. *)
+
+val count : ?epoch_vector:int array -> t -> string -> int
+val extract : ?epoch_vector:int array -> t -> doc:int -> off:int -> len:int -> string option
 val doc_count : t -> int
 val total_symbols : t -> int
 val describe : t -> string
@@ -160,6 +175,90 @@ val epoch_vector : t -> int array
 
 val wal_serials : t -> int array
 (** Next WAL serial per shard (store mode; all zeros in memory). *)
+
+val durable_serials : t -> int array
+(** Stable WAL prefix bound per shard ([Durable.durable_serial]) -- the
+    per-shard replication shipping bounds.  All zeros in memory. *)
+
+(** {1 Pinned epoch-vector backups}
+
+    {!pin} freezes all K shard views, the mapping, and (store mode) the
+    per-shard WAL serials at one update boundary.  The pinned composite
+    epoch stays resolvable by the as-of query surface however far
+    retention evicts, and {!backup} serializes the frozen state while
+    the writer proceeds. *)
+
+type pin
+
+val pin : t -> pin
+(** Pin the current state.  Call between updates on the writer thread. *)
+
+val pin_epoch_vector : pin -> int array
+(** The composite epoch the pin froze (shape of {!epoch_vector}); pass
+    it to the [?epoch_vector] query surface to read the pinned state. *)
+
+val unpin : t -> pin -> unit
+(** Release every per-shard pin and the pinned mapping. *)
+
+val backup : t -> pin -> dest:string -> string
+(** [backup t p ~dest] writes the pinned state into [dest] as a fresh,
+    immediately openable sharded store: one WAL-less snapshot per
+    [dest/shard-s] at the pinned serial, plus a copy of the meta log
+    (whose post-pin tail recovery reconciliation provably drops).
+    Store mode only; raises [Invalid_argument] in memory.  Returns
+    [dest]. *)
+
+(** {1 Replication surface}
+
+    The leader side ships each shard's WAL plus the placement meta log;
+    a follower applies shipped records through {!replica_meta} /
+    {!replica_op}, preserving the leader's meta-before-shard-WAL
+    discipline so the replica directory is itself recoverable and
+    promotable. *)
+
+val backing_stores : t -> Dsdg_store.Durable.t array option
+(** The K durable stores (store mode), in shard order. *)
+
+val meta_log_path : t -> string option
+(** The live [shard.meta] path (store mode). *)
+
+val meta_records : t -> int
+(** Events currently in the meta log -- the meta stream's shipping
+    bound (events are fsynced at append under any policy but [Never]). *)
+
+val meta_lines_from : t -> from:int -> string list
+(** Leader-side meta tail: events [from, ...) as wire lines ([I g s] /
+    [M g src dst]).  Positional reads are stable while serving (the
+    meta log is only rewritten by recovery). *)
+
+val replica_meta : t -> string -> unit
+(** Follower: apply one shipped meta line -- append it to the local
+    meta log and queue the placement until the matching shard record
+    arrives.  Raises [Invalid_argument] on an unparseable line or in
+    memory mode. *)
+
+val replica_op : t -> shard:int -> Dsdg_check.Trace.op -> bool
+(** Follower: apply one shipped shard-WAL record through the replica's
+    own durable store (identical serials leader/follower) and fold the
+    effect into the global mapping.  Inserts bind the oldest queued
+    placement for [shard].
+
+    Returns [false] -- record NOT applied, retry it later -- when the
+    cross-shard prerequisite has not arrived yet: the insert's
+    placement is still in flight on the meta stream, or a migration
+    copy's document is not yet bound at the source shard (the original
+    insert rides another shard's stream).  Per-shard streams must
+    still replay strictly in serial order, so the caller queues the
+    record and retries after making progress on the other streams;
+    prerequisites follow the leader's temporal order (acyclic), so
+    everything shipped eventually applies, and a record that stays
+    unappliable forever is a divergence, surfacing as lag that never
+    drains.  Raises [Failure] on structural corruption (a placement
+    whose destination disagrees with the stream it arrived on). *)
+
+val replica_pending : t -> int array
+(** Shipped-but-unbound placements per shard; all zeros at a
+    replication quiesce point. *)
 
 (** {1 Rebalancing} *)
 

@@ -19,9 +19,11 @@ type config = {
   checkpoint_every : int;
   checkpoint_jobs : int;
   keep_snapshots : int;
+  wal_archives : int;
 }
 
-let default_config = { sync = Wal.Always; checkpoint_every = 0; checkpoint_jobs = 0; keep_snapshots = 2 }
+let default_config =
+  { sync = Wal.Always; checkpoint_every = 0; checkpoint_jobs = 0; keep_snapshots = 2; wal_archives = 4 }
 
 (* One in-flight background checkpoint: the worker serializes the view
    into [p_tmp]; the writer buffers every mutation logged since the
@@ -48,12 +50,15 @@ type t = {
 let dir t = t.dir
 let index t = t.idx
 let wal_serial t = Wal.next_serial t.wal
+let durable_serial t = Wal.durable_serial t.wal
+let wal_path t = Wal.path t.wal
+let sync_wal t = Wal.sync t.wal
 
 let open_ ?(config = default_config) ?variant ?backend ?sample ?tau ?fault ?jobs ?readers
-    ?seq_backend ~dir () =
+    ?seq_backend ?retain_epochs ~dir () =
   let idx, info =
     Recovery.open_or_recover ?variant ?backend ?sample ?tau ?fault ?jobs ?readers ?seq_backend
-      ~dir ()
+      ?retain_epochs ~dir ()
   in
   Snapshot.ensure_dir dir;
   let wal_file = Recovery.wal_path ~dir in
@@ -90,8 +95,11 @@ let install t ~tmp ~serial ~tail =
   Unix.rename tmp (Snapshot.path_for ~dir:t.dir ~wal_serial:serial);
   Snapshot.prune ~dir:t.dir ~keep:t.cfg.keep_snapshots;
   let old = t.wal in
-  t.wal <- Wal.rewrite ~sync:t.cfg.sync (Wal.path t.wal) ~serial0:serial (List.rev tail);
+  t.wal <-
+    Wal.rewrite ~sync:t.cfg.sync ~archive:(t.cfg.wal_archives > 0) (Wal.path t.wal)
+      ~serial0:serial (List.rev tail);
   Wal.abandon old;
+  Wal.prune_archives (Wal.path t.wal) ~keep:t.cfg.wal_archives;
   Obs.incr c_checkpoints;
   Obs.stop h_install_ns t0
 
@@ -131,8 +139,11 @@ let checkpoint_now t =
   ignore (Snapshot.save ~dir:t.dir ~wal_serial:serial dump);
   Snapshot.prune ~dir:t.dir ~keep:t.cfg.keep_snapshots;
   let old = t.wal in
-  t.wal <- Wal.rewrite ~sync:t.cfg.sync (Wal.path t.wal) ~serial0:serial [];
+  t.wal <-
+    Wal.rewrite ~sync:t.cfg.sync ~archive:(t.cfg.wal_archives > 0) (Wal.path t.wal)
+      ~serial0:serial [];
   Wal.abandon old;
+  Wal.prune_archives (Wal.path t.wal) ~keep:t.cfg.wal_archives;
   t.updates_since_checkpoint <- 0;
   Obs.incr c_checkpoints;
   Obs.stop h_checkpoint_ns t0
@@ -222,6 +233,33 @@ let checkpoint t =
   check_open t;
   await_pending t;
   checkpoint_now t
+
+(* --- pinned-view backups --- *)
+
+(* A pin captures the whole epoch<->serial correspondence at one update
+   boundary on the writer: the immutable view, the WAL serial it is
+   aligned with, and the O(1) writer scalars ([checkpoint_header]) that
+   a consistent dump of that view needs.  The writer can then proceed --
+   the backup serializes the frozen state, not the live one. *)
+type pin = { pv_pin : Di.pin; pv_serial : int; pv_header : Di.dump }
+
+let pin t =
+  check_open t;
+  let p = Di.pin t.idx in
+  let serial = Wal.next_serial t.wal in
+  { pv_pin = p; pv_serial = serial; pv_header = Di.checkpoint_header t.idx (Di.pin_view p) }
+
+let pin_epoch p = Di.pin_epoch p.pv_pin
+let pin_serial p = p.pv_serial
+let unpin t p = Di.unpin t.idx p.pv_pin
+
+(* Write the pinned state as a fresh store directory: one snapshot at
+   the pinned serial, no WAL (recovery of a WAL-less directory starts at
+   the snapshot serial with zero replay).  Returns the snapshot path. *)
+let backup t p ~dest =
+  check_open t;
+  let dump = Di.checkpoint_body p.pv_header (Di.pin_view p.pv_pin) in
+  Snapshot.save ~dir:dest ~wal_serial:p.pv_serial dump
 
 let close t =
   if not t.closed then begin

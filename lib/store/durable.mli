@@ -21,6 +21,10 @@ type config = {
   checkpoint_every : int;  (** updates between checkpoints; [0] = only explicit {!checkpoint} *)
   checkpoint_jobs : int;  (** worker domains for checkpoint serialization; [0] = synchronous *)
   keep_snapshots : int;  (** snapshots retained after a new one installs (>= 1) *)
+  wal_archives : int;
+      (** compacted WAL segments kept as {!Wal.archives} so lagging
+          replicas can still be shipped pre-checkpoint records; [0]
+          disables archiving (default 4) *)
 }
 
 (** [Always] fsync, checkpoint only on demand, synchronous
@@ -42,6 +46,7 @@ val open_ :
   ?jobs:int ->
   ?readers:int ->
   ?seq_backend:Dsdg_delbits.Sums.kind ->
+  ?retain_epochs:int ->
   dir:string ->
   unit ->
   t * Recovery.info
@@ -74,6 +79,47 @@ val apply_batch : t -> Dsdg_check.Trace.op list -> batch_result list
 
 (** Serial the next mutation will be logged under. *)
 val wal_serial : t -> int
+
+(** Exclusive upper bound of the stable WAL prefix
+    ({!Wal.durable_serial}) -- what the replication plane may ship. *)
+val durable_serial : t -> int
+
+(** The live WAL file (the path a replication stream tails; compaction
+    atomically renames a fresh log over it). *)
+val wal_path : t -> string
+
+(** Force an fsync of the WAL now, advancing {!durable_serial} to
+    {!wal_serial} -- the leader's idle-flush hook under lazy sync
+    policies. *)
+val sync_wal : t -> unit
+
+(** {1 Pinned-view backups}
+
+    {!pin} freezes the published view {e and} its WAL serial (and the
+    O(1) writer scalars a consistent dump needs) at one update boundary;
+    {!backup} then serializes that frozen state while the writer keeps
+    mutating. *)
+
+type pin
+
+(** Pin the current state. Call between updates on the writer thread. *)
+val pin : t -> pin
+
+(** Read-plane epoch of the pinned view. *)
+val pin_epoch : pin -> int
+
+(** WAL serial the pinned view is aligned with: the pinned state is
+    exactly the effect of every record with a smaller serial. *)
+val pin_serial : pin -> int
+
+(** Release the pin ({!Dsdg_core.Dynamic_index.unpin}). *)
+val unpin : t -> pin -> unit
+
+(** [backup t p ~dest] writes the pinned state into [dest] as a fresh,
+    immediately openable store directory (one snapshot at the pinned
+    serial, no WAL) and returns the snapshot path. O(n) in the pinned
+    view; safe while the writer proceeds. *)
+val backup : t -> pin -> dest:string -> string
 
 (** Force a checkpoint now, synchronously: any in-flight background
     checkpoint is awaited and installed first, then a fresh snapshot of

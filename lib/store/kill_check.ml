@@ -85,7 +85,7 @@ let verify ~label idx m ~inserts =
   List.rev !errs
 
 let default_sweep_config =
-  { Durable.sync = Wal.Always; checkpoint_every = 7; checkpoint_jobs = 0; keep_snapshots = 2 }
+  { Durable.sync = Wal.Always; checkpoint_every = 7; checkpoint_jobs = 0; keep_snapshots = 2; wal_archives = 4 }
 
 let sweep ?variant ?backend ?sample ?tau ?seq_backend ?(config = default_sweep_config)
     ?(torn = true) ?(stride = 1) ~dir ~ops () =

@@ -50,3 +50,12 @@ val sweep :
 (** Remove a scratch directory tree (no-op if absent). Exposed for the
     CLI and tests that manage their own store directories. *)
 val reset_dir : string -> unit
+
+(** The differential verifier the sweep applies after each recovery:
+    census, membership + full-text extraction of every live document,
+    dead-id resurrection, sampled searches -- all against the model.
+    Returns human-readable discrepancies (empty = converged). Exposed
+    so the replication checkers ([Dsdg_serve.Repl_check]) apply the
+    same oracle to promoted followers. *)
+val verify :
+  label:string -> Dsdg_core.Dynamic_index.t -> Dsdg_check.Model.t -> inserts:int -> string list

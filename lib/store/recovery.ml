@@ -64,14 +64,18 @@ let load_newest ~dir =
   go [] (Snapshot.list ~dir)
 
 let open_or_recover ?(variant = Di.Worst_case) ?(backend = Di.Fm) ?(sample = 8) ?(tau = 8)
-    ?fault ?(jobs = 0) ?(readers = 0) ?seq_backend ~dir () =
+    ?fault ?(jobs = 0) ?(readers = 0) ?seq_backend ?retain_epochs ?(read_only = false) ~dir () =
   let t0 = Obs.start () in
   let loaded, skipped = load_newest ~dir in
   let idx, snap_path, snap_serial =
     match loaded with
     | Some (path, dump, wal_serial) ->
-      (Di.restore ?fault ~jobs ~readers ?seq_backend dump, Some path, wal_serial)
-    | None -> (Di.create ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ?seq_backend (), None, 0)
+      (Di.restore ?fault ~jobs ~readers ?seq_backend ?retain_epochs dump, Some path, wal_serial)
+    | None ->
+      ( Di.create ~variant ~backend ~sample ~tau ?fault ~jobs ~readers ?seq_backend
+          ?retain_epochs (),
+        None,
+        0 )
   in
   let wal = wal_path ~dir in
   let replayed, truncated, next_serial =
@@ -79,7 +83,7 @@ let open_or_recover ?(variant = Di.Worst_case) ?(backend = Di.Fm) ?(sample = 8) 
       let c = Wal.read wal in
       if c.Wal.wc_serial0 > snap_serial then
         raise (Gap { dir; snapshot_serial = snap_serial; wal_serial0 = c.Wal.wc_serial0 });
-      Wal.truncate_torn wal c;
+      if not read_only then Wal.truncate_torn wal c;
       let n = ref 0 in
       List.iter
         (fun (serial, op) ->

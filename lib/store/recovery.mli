@@ -16,7 +16,8 @@
 
     Recovering twice from the same directory yields the same state --
     recovery mutates nothing except the torn-tail truncation, which is
-    itself idempotent. *)
+    itself idempotent (and suppressed entirely under
+    [~read_only:true]). *)
 
 (** The WAL starts after the newest loadable snapshot: records between
     the snapshot serial and the WAL's first record are gone (this can
@@ -48,7 +49,14 @@ val apply_op : Dsdg_core.Dynamic_index.t -> Dsdg_check.Trace.op -> unit
     creation parameters ([variant] .. [tau]) are used only when the
     directory holds no usable snapshot {e and} no WAL -- a genuinely
     fresh store; otherwise the dump's recorded parameters win. [fault],
-    [jobs] and [readers] are fresh runtime choices, never persisted.
+    [jobs], [readers] and [retain_epochs] are fresh runtime choices,
+    never persisted.
+
+    [read_only] (default [false]) guarantees no on-disk mutation: the
+    torn-tail truncation is skipped (the torn record is still dropped
+    from replay, and reported via [ri_truncated]). Inspectors
+    ([dsdg stats --store]) and followers bootstrapping a replica use
+    this path so observing a store never rewrites it.
 
     Raises {!Gap} on a snapshot/WAL serial gap (including the case
     where every snapshot is corrupt but the WAL was already compacted,
@@ -63,6 +71,8 @@ val open_or_recover :
   ?jobs:int ->
   ?readers:int ->
   ?seq_backend:Dsdg_delbits.Sums.kind ->
+  ?retain_epochs:int ->
+  ?read_only:bool ->
   dir:string ->
   unit ->
   Dsdg_core.Dynamic_index.t * info

@@ -16,14 +16,28 @@ let serial_of_name name =
   try Scanf.sscanf name "snap-%d.dsdg%!" (fun s -> Some s)
   with Scanf.Scan_failure _ | End_of_file | Failure _ -> None
 
-let store_section ~wal_serial =
+(* The "store" section is the epoch<->serial correspondence made
+   durable: [wal_serial] names the WAL prefix the snapshot covers,
+   [epoch] the published read-plane epoch at capture time -- so an
+   epoch names a durable prefix, not just an in-memory counter.  Old
+   files carry only the serial; [epoch] then falls back to the dump's
+   [dm_epoch] on full loads and [0] on header-only reads. *)
+let store_section ~wal_serial ~epoch =
   let b = Codec.W.create () in
   Codec.W.int b wal_serial;
+  Codec.W.int b epoch;
   ("store", Codec.W.contents b)
+
+let read_store_section ~path payload =
+  let r = Codec.R.of_string ~file:path ~section:"store" payload in
+  let wal_serial = Codec.R.int r in
+  let epoch = if Codec.R.at_end r then None else Some (Codec.R.int r) in
+  (wal_serial, epoch)
 
 let write ~path ~wal_serial dump =
   let t0 = Obs.start () in
-  Codec.write_file ~path ~kind:"snapshot" (store_section ~wal_serial :: Codec.encode_dump dump);
+  Codec.write_file ~path ~kind:"snapshot"
+    (store_section ~wal_serial ~epoch:dump.Di.dm_epoch :: Codec.encode_dump dump);
   Obs.incr c_saves;
   (try Obs.set_gauge g_bytes (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> ());
   Obs.stop h_save_ns t0
@@ -46,12 +60,20 @@ let load path =
   let wal_serial =
     match List.assoc_opt "store" sections with
     | None -> raise (Codec.Corrupt { file = path; section = "store"; reason = "section missing" })
-    | Some payload -> Codec.R.int (Codec.R.of_string ~file:path ~section:"store" payload)
+    | Some payload -> fst (read_store_section ~path payload)
   in
   let dump = Codec.decode_dump ~file:path sections in
   Obs.incr c_loads;
   Obs.stop h_load_ns t0;
   (dump, wal_serial)
+
+let info path =
+  let sections = Codec.read_file ~path ~kind:"snapshot" in
+  match List.assoc_opt "store" sections with
+  | None -> raise (Codec.Corrupt { file = path; section = "store"; reason = "section missing" })
+  | Some payload ->
+    let wal_serial, epoch = read_store_section ~path payload in
+    (wal_serial, Option.value epoch ~default:0)
 
 let list ~dir =
   match Sys.readdir dir with

@@ -28,6 +28,14 @@ val save : dir:string -> wal_serial:int -> Dsdg_core.Dynamic_index.dump -> strin
     WAL serial. Raises {!Codec.Corrupt} on any integrity failure. *)
 val load : string -> Dsdg_core.Dynamic_index.dump * int
 
+(** [(wal_serial, epoch)] from the ["store"] section -- the durable
+    epoch<->serial correspondence: the snapshot is the state after
+    every WAL record with serial [< wal_serial], published as read-plane
+    epoch [epoch]. Validates the container but does not decode the
+    dump; [epoch] is [0] for files written before the correspondence
+    was recorded. Raises {!Codec.Corrupt} on integrity failure. *)
+val info : string -> int * int
+
 (** All [(path, wal_serial)] snapshots in [dir], newest (highest
     serial) first. Empty if the directory does not exist. *)
 val list : dir:string -> (string * int) list

@@ -32,6 +32,7 @@ type t = {
   sync_policy : sync;
   mutable next_serial : int;
   mutable unsynced : int;
+  mutable synced_serial : int; (* serial covered by the last fsync *)
 }
 
 let header_of serial0 = Printf.sprintf "%% dsdg-wal 1 serial0=%d" serial0
@@ -49,14 +50,23 @@ let create ?(sync = Always) path ~serial0 =
   let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
   output_string oc (header_of serial0 ^ "\n");
   fsync_oc oc;
-  { path; oc; sync_policy = sync; next_serial = serial0; unsynced = 0 }
+  { path; oc; sync_policy = sync; next_serial = serial0; unsynced = 0; synced_serial = serial0 }
 
 let next_serial t = t.next_serial
 let path t = t.path
 
+(* The highest serial known stable: everything below it survived an
+   fsync (or, under [Never], at least reached the OS -- that policy has
+   no durability to offer).  This is the bound the replication plane
+   ships up to, so a follower can never observe a record the leader
+   might lose. *)
+let durable_serial t =
+  match t.sync_policy with Never -> t.next_serial | Always | Every _ -> t.synced_serial
+
 let sync t =
   fsync_oc t.oc;
-  t.unsynced <- 0
+  t.unsynced <- 0;
+  t.synced_serial <- t.next_serial
 
 (* One sync-policy application covering [n] freshly appended records:
    the group-commit primitive. Under [Every k] the pending-append
@@ -65,12 +75,15 @@ let sync t =
    time or in batches. *)
 let apply_sync_policy t ~appended:n =
   match t.sync_policy with
-  | Always -> fsync_oc t.oc
+  | Always ->
+    fsync_oc t.oc;
+    t.synced_serial <- t.next_serial
   | Every k ->
     t.unsynced <- t.unsynced + n;
     if t.unsynced >= k then begin
       fsync_oc t.oc;
-      t.unsynced <- 0
+      t.unsynced <- 0;
+      t.synced_serial <- t.next_serial
     end
   | Never -> ()
 
@@ -203,19 +216,234 @@ let truncate_torn path c =
     Obs.incr c_torn
   end
 
+(* --- tailing --- *)
+
+exception Tail_gap of { wanted : int; serial0 : int }
+
+let () =
+  Printexc.register_printer (function
+    | Tail_gap { wanted; serial0 } ->
+      Some
+        (Printf.sprintf
+           "Wal.Tail_gap: cursor wants serial %d but the log now starts at serial %d -- the \
+            records in between were compacted away"
+           wanted serial0)
+    | _ -> None)
+
+(* A read-side streaming cursor over a live log.  The writer appends
+   (and may compact: rename a fresh file over the path) concurrently;
+   the cursor re-parses incrementally from its byte offset:
+
+   - reads arrive in [buf_size] chunks, so a record straddling a chunk
+     boundary is reassembled in [cur_partial];
+   - a final line with no newline yet is indistinguishable from a torn
+     record and from a write in flight -- either way it is held back
+     until its newline arrives (the reader-side analogue of the
+     torn-write rule);
+   - on EOF the path is re-stat'ed: a changed inode or a shrunken file
+     means compaction/truncation renamed or cut the log, so the cursor
+     reopens from the top, parses the new header, and skips forward to
+     the serial it wants -- raising {!Tail_gap} if the fresh log starts
+     beyond it. *)
+type cursor = {
+  cur_path : string;
+  cur_buf : Bytes.t;
+  mutable cur_fd : Unix.file_descr option;
+  mutable cur_ino : int;
+  mutable cur_read : int; (* bytes consumed from the open fd *)
+  mutable cur_partial : Buffer.t;
+  mutable cur_seen_header : bool;
+  mutable cur_lineno : int;
+  mutable cur_serial : int; (* serial of the next record line in the file *)
+  mutable cur_wanted : int; (* next serial to deliver *)
+  cur_pending : (int * Trace.op) Queue.t; (* parsed, not yet delivered *)
+}
+
+let tail ?(buf_size = 65536) ~from path =
+  {
+    cur_path = path;
+    cur_buf = Bytes.create (max 1 buf_size);
+    cur_fd = None;
+    cur_ino = -1;
+    cur_read = 0;
+    cur_partial = Buffer.create 128;
+    cur_seen_header = false;
+    cur_lineno = 0;
+    cur_serial = 0;
+    cur_wanted = from;
+    cur_pending = Queue.create ();
+  }
+
+let tail_next_serial c = c.cur_wanted
+let tail_pending c = Queue.length c.cur_pending
+
+let tail_close c =
+  match c.cur_fd with
+  | Some fd ->
+    c.cur_fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let tail_reset c =
+  tail_close c;
+  c.cur_ino <- -1;
+  c.cur_read <- 0;
+  Buffer.clear c.cur_partial;
+  c.cur_seen_header <- false;
+  c.cur_lineno <- 0;
+  c.cur_serial <- 0;
+  (* parsed-but-undelivered records re-parse from the fresh file (which
+     must still contain them, or Tail_gap fires on its header) *)
+  Queue.clear c.cur_pending
+
+let tail_line c line =
+  c.cur_lineno <- c.cur_lineno + 1;
+  let line = String.trim line in
+  if not c.cur_seen_header then begin
+    match parse_header line with
+    | Some s0 ->
+      c.cur_seen_header <- true;
+      c.cur_serial <- s0;
+      if s0 > c.cur_wanted then raise (Tail_gap { wanted = c.cur_wanted; serial0 = s0 })
+    | None ->
+      raise
+        (Trace.Parse_error
+           {
+             pe_line = c.cur_lineno;
+             pe_text = line;
+             pe_reason = "missing '% dsdg-wal 1 serial0=N' header";
+           })
+  end
+  else if line = "" || line.[0] = '%' then ()
+  else
+    match Trace.parse_op line with
+    | Ok op ->
+      let serial = c.cur_serial in
+      c.cur_serial <- serial + 1;
+      if serial >= c.cur_wanted then Queue.add (serial, op) c.cur_pending
+    | Error reason ->
+      raise (Trace.Parse_error { pe_line = c.cur_lineno; pe_text = line; pe_reason = reason })
+
+(* Pull whatever the file has beyond our offset into the pending queue.
+   Complete lines only; the trailing newline-less fragment stays in
+   [cur_partial] for the next poll. *)
+let tail_fill c =
+  (match c.cur_fd with
+  | Some _ -> ()
+  | None -> (
+    match Unix.openfile c.cur_path [ Unix.O_RDONLY ] 0 with
+    | fd ->
+      c.cur_fd <- Some fd;
+      c.cur_ino <- (Unix.fstat fd).Unix.st_ino
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()));
+  match c.cur_fd with
+  | None -> false
+  | Some fd ->
+    let reopened = ref false in
+    let continue = ref true in
+    while !continue do
+      let n = Unix.read fd c.cur_buf 0 (Bytes.length c.cur_buf) in
+      if n = 0 then begin
+        continue := false;
+        (* EOF: detect compaction (inode changed) or truncation (file
+           shrank below what we already consumed). *)
+        match Unix.stat c.cur_path with
+        | st ->
+          if st.Unix.st_ino <> c.cur_ino || st.Unix.st_size < c.cur_read then begin
+            tail_reset c;
+            reopened := true
+          end
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+      end
+      else begin
+        c.cur_read <- c.cur_read + n;
+        for i = 0 to n - 1 do
+          let ch = Bytes.get c.cur_buf i in
+          if ch = '\n' then begin
+            let line = Buffer.contents c.cur_partial in
+            Buffer.clear c.cur_partial;
+            tail_line c line
+          end
+          else Buffer.add_char c.cur_partial ch
+        done
+      end
+    done;
+    !reopened
+
+let rec tail_poll ?limit c =
+  if tail_fill c then tail_poll ?limit c
+  else begin
+    let out = ref [] in
+    let stop = ref false in
+    while (not !stop) && not (Queue.is_empty c.cur_pending) do
+      let serial, _ = Queue.peek c.cur_pending in
+      match limit with
+      | Some l when serial >= l -> stop := true
+      | _ ->
+        let item = Queue.pop c.cur_pending in
+        c.cur_wanted <- serial + 1;
+        out := item :: !out
+    done;
+    List.rev !out
+  end
+
 let open_append ?(sync = Always) path ~next_serial =
   let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
-  { path; oc; sync_policy = sync; next_serial; unsynced = 0 }
+  { path; oc; sync_policy = sync; next_serial; unsynced = 0; synced_serial = next_serial }
+
+(* --- archive segments --- *)
+
+(* Compaction with [~archive:true] preserves the outgoing log as an
+   immutable segment named by its exclusive end serial: [wal.arch.N]
+   holds the records below [N] that the live log no longer starts at.
+   This is the replication horizon -- a follower that lags past a
+   checkpoint can still be shipped the compacted-away records from the
+   archive instead of being forced into a snapshot re-seed. *)
+let archive_path path ~serial_end = Printf.sprintf "%s.arch.%d" path serial_end
+
+(* Archive segments next to [path], sorted by ascending end serial. *)
+let archives path =
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ ".arch." in
+  match Sys.readdir dir with
+  | entries ->
+    Array.to_list entries
+    |> List.filter_map (fun name ->
+           if String.starts_with ~prefix name then
+             Option.map
+               (fun e -> (Filename.concat dir name, e))
+               (int_of_string_opt
+                  (String.sub name (String.length prefix)
+                     (String.length name - String.length prefix)))
+           else None)
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  | exception Sys_error _ -> []
+
+let prune_archives path ~keep =
+  let ar = archives path in
+  let excess = List.length ar - max 0 keep in
+  if excess > 0 then
+    List.iteri
+      (fun i (p, _) -> if i < excess then try Sys.remove p with Sys_error _ -> ())
+      ar
 
 (* Compaction: fresh log in a temporary file, fsynced, renamed over the
    old one.  The returned handle holds the (still valid) fd of the
    renamed file. *)
-let rewrite ?(sync = Always) path ~serial0 ops =
+let rewrite ?(sync = Always) ?(archive = false) path ~serial0 ops =
   let tmp = path ^ ".tmp" in
   let t = create ~sync tmp ~serial0 in
   List.iter (fun op -> ignore (append t op)) ops;
   fsync_oc t.oc;
   t.unsynced <- 0;
+  t.synced_serial <- t.next_serial;
+  (* hard-link the outgoing log into the archive before the rename
+     replaces it -- the old records stay reachable without any copy
+     (EEXIST = a zero-update checkpoint reused the end serial: the
+     existing segment already covers it) *)
+  if archive then
+    (try Unix.link path (archive_path path ~serial_end:serial0)
+     with Unix.Unix_error _ -> ());
   Unix.rename tmp path;
   (try
      let dfd = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in

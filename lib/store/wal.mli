@@ -59,6 +59,14 @@ val append_batch : t -> Dsdg_check.Trace.op list -> int
 (** Serial the next {!append} will assign. *)
 val next_serial : t -> int
 
+(** The exclusive upper bound of the {e stable} prefix: every record
+    with a smaller serial has survived an fsync (under [Always] /
+    [Every n]); under [Never] this is {!next_serial} -- that policy has
+    no durability to offer, so "flushed" is the only bound there is.
+    The replication plane ships records strictly below this serial, so
+    a follower can never observe a write the leader could still lose. *)
+val durable_serial : t -> int
+
 (** The log file this handle appends to. *)
 val path : t -> string
 
@@ -109,6 +117,63 @@ val open_append : ?sync:sync -> string -> next_serial:int -> t
 
 (** [rewrite ~sync path ~serial0 ops] atomically replaces the log with
     a fresh one whose header starts at [serial0] and whose records are
-    [ops] -- WAL compaction after a checkpoint installs. Returns the
-    reopened log. *)
-val rewrite : ?sync:sync -> string -> serial0:int -> Dsdg_check.Trace.op list -> t
+    [ops] -- WAL compaction after a checkpoint installs. With
+    [~archive:true] the outgoing log is first hard-linked to
+    [<path>.arch.<serial0>] (see {!archives}), so the compacted-away
+    records stay shippable to lagging replicas. Returns the reopened
+    log. *)
+val rewrite : ?sync:sync -> ?archive:bool -> string -> serial0:int -> Dsdg_check.Trace.op list -> t
+
+(** Archive segments next to [path] as [(file, end_serial)] pairs,
+    ascending: segment [(f, e)] holds records with serials below [e],
+    starting wherever the previous compaction left off (its own header
+    records the exact start). Consecutive segments and the live log
+    are contiguous in serials unless pruning removed a prefix. *)
+val archives : string -> (string * int) list
+
+(** Delete the oldest archive segments, keeping at most [keep]. *)
+val prune_archives : string -> keep:int -> unit
+
+(** {1 Tailing}
+
+    A read-side streaming cursor: follow the records of a live log from
+    a starting serial while a writer appends (and occasionally compacts)
+    concurrently. The reader-side torn-write rule mirrors {!read}'s: a
+    final line with no newline yet -- whether a write in flight or a
+    genuinely torn record -- is held back until its newline arrives. *)
+
+(** The cursor's next wanted serial was compacted away: the log was
+    rewritten to start at a later serial, so the records in between can
+    no longer be streamed. The consumer must re-bootstrap (e.g. from a
+    snapshot). *)
+exception Tail_gap of { wanted : int; serial0 : int }
+
+type cursor
+
+(** [tail ~from path] positions a cursor so the first delivered record
+    has serial [>= from]. Nothing is read until the first {!tail_poll};
+    the file may not even exist yet. [buf_size] (default 64 KiB) is the
+    read-chunk size -- records straddling chunk boundaries are
+    reassembled, so tests shrink it to force the boundary cases. *)
+val tail : ?buf_size:int -> from:int -> string -> cursor
+
+(** Deliver every complete record appended since the last poll, in
+    serial order ([[]] when nothing new). With [~limit], records with
+    serial [>= limit] stay queued inside the cursor for a later poll --
+    the hook for shipping only up to {!durable_serial}. Detects
+    compaction (inode change) and truncation (file shrank) at EOF and
+    transparently reopens, skipping forward to the wanted serial.
+    Raises {!Tail_gap} if the reopened log starts past it,
+    {!Dsdg_check.Trace.Parse_error} on a malformed header or interior
+    record. *)
+val tail_poll : ?limit:int -> cursor -> (int * Dsdg_check.Trace.op) list
+
+(** Serial the next delivered record will have. *)
+val tail_next_serial : cursor -> int
+
+(** Records parsed but held back by [~limit]. *)
+val tail_pending : cursor -> int
+
+(** Release the cursor's descriptor (idempotent; the cursor may be
+    polled again -- it reopens). *)
+val tail_close : cursor -> unit

@@ -12,6 +12,7 @@ let () =
       ("transform2", Suite_transform2.suite);
       ("transform3", Suite_transform3.suite);
       ("check", Suite_check.suite);
+      ("epoch", Suite_epoch.suite);
       ("store", Suite_store.suite);
       ("shard", Suite_shard.suite);
       ("dynseq", Suite_dynseq.suite);
@@ -19,6 +20,7 @@ let () =
       ("binrel", Suite_binrel.suite);
       ("workload", Suite_workload.suite);
       ("serve", Suite_serve.suite);
+      ("repl", Suite_repl.suite);
       ("cli", Suite_cli.suite);
       ("api", Suite_api.suite);
       ("rrr", Suite_rrr.suite);

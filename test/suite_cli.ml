@@ -251,9 +251,142 @@ let test_sharded_serve_roundtrip () =
                 (Dsdg_shard.Sharded_index.doc_count sh > 0);
               Dsdg_shard.Sharded_index.close sh)))
 
+(* Spawn `dsdg follow` against a leader socket and wait for its own
+   serving socket to appear. *)
+let spawn_follow bin ~leader_sock ~store ~sock =
+  let i = dev_null_in () and o = dev_null_out () and e = dev_null_out () in
+  let pid =
+    Unix.create_process bin
+      [| bin; "follow"; "--from-socket"; leader_sock; "--store"; store; "--socket"; sock |]
+      i o e
+  in
+  Unix.close i;
+  Unix.close o;
+  Unix.close e;
+  let deadline = Unix.gettimeofday () +. 15. in
+  let rec wait_sock () =
+    if Sys.file_exists sock then ()
+    else if Unix.gettimeofday () > deadline then begin
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      Alcotest.fail "follow did not create its socket in time"
+    end
+    else begin
+      (match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ -> ()
+      | _, Unix.WEXITED c -> Alcotest.failf "follow exited prematurely (exit %d)" c
+      | _, _ -> Alcotest.fail "follow died prematurely");
+      Thread.delay 0.05;
+      wait_sock ()
+    end
+  in
+  wait_sock ();
+  pid
+
+(* dsdg serve -> dsdg follow: the follower subprocess serves the
+   leader's documents read-only, refuses writes with a redirect, and a
+   SIGTERM leaves its directory as an ordinary promotable store. *)
+let test_follow_smoke () =
+  with_bin (fun bin ->
+      with_dir "dsdg-cli-follow" (fun dir ->
+          Unix.mkdir dir 0o755;
+          let leader_dir = Filename.concat dir "leader" in
+          let replica_dir = Filename.concat dir "replica" in
+          let lsock = Filename.concat (Filename.get_temp_dir_name ()) "dsdg-cli-follow-l.sock" in
+          let fsock = Filename.concat (Filename.get_temp_dir_name ()) "dsdg-cli-follow-f.sock" in
+          List.iter (fun s -> if Sys.file_exists s then Sys.remove s) [ lsock; fsock ];
+          let lpid = spawn_serve bin leader_dir lsock [] in
+          Fun.protect
+            ~finally:(fun () ->
+              (try Unix.kill lpid Sys.sigkill with Unix.Unix_error _ -> ());
+              try ignore (Unix.waitpid [] lpid) with Unix.Unix_error _ -> ())
+            (fun () ->
+              let lc = Client.connect (`Unix lsock) in
+              ignore (Client.insert lc "followed doc one ab");
+              ignore (Client.insert lc "followed doc two ab");
+              let fpid = spawn_follow bin ~leader_sock:lsock ~store:replica_dir ~sock:fsock in
+              Fun.protect
+                ~finally:(fun () ->
+                  (try Unix.kill fpid Sys.sigkill with Unix.Unix_error _ -> ());
+                  try ignore (Unix.waitpid [] fpid) with Unix.Unix_error _ -> ())
+                (fun () ->
+                  let fc = Client.connect (`Unix fsock) in
+                  (* replication is asynchronous: poll until caught up *)
+                  let deadline = Unix.gettimeofday () +. 15. in
+                  while
+                    Client.count fc "ab" < 2
+                    && (Unix.gettimeofday () < deadline
+                       || Alcotest.fail "replica never served the leader's docs")
+                  do
+                    Thread.delay 0.05
+                  done;
+                  Alcotest.(check (list (pair int int))) "replica answers = leader answers"
+                    (Client.search lc "ab") (Client.search fc "ab");
+                  (* writes bounce with a redirect naming the leader *)
+                  (match Client.insert fc "refused" with
+                  | _ -> Alcotest.fail "follower accepted a write"
+                  | exception Client.Server_error reason ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "redirect names leader (%s)" reason)
+                      true
+                      (let nl = String.length lsock and dl = String.length reason in
+                       let rec go i = i + nl <= dl && (String.sub reason i nl = lsock || go (i + 1)) in
+                       go 0));
+                  Client.close fc;
+                  Client.close lc;
+                  (* SIGTERM: clean exit, replica is an ordinary store *)
+                  Unix.kill fpid Sys.sigterm;
+                  (match snd (Unix.waitpid [] fpid) with
+                  | Unix.WEXITED 0 -> ()
+                  | Unix.WEXITED c -> Alcotest.failf "follow exited %d on SIGTERM" c
+                  | _ -> Alcotest.fail "follow killed by signal");
+                  let store, _ = Durable.open_ ~dir:replica_dir () in
+                  Alcotest.(check int) "promoted replica has both docs" 2
+                    (Dsdg_core.Dynamic_index.doc_count (Durable.index store));
+                  Durable.close store))))
+
+(* dsdg save --pinned: the backup holds the pre-save state while the
+   save itself lands the new files in the live store. *)
+let test_save_pinned_smoke () =
+  with_bin (fun bin ->
+      with_dir "dsdg-cli-pinned" (fun dir ->
+          Unix.mkdir dir 0o755;
+          let store_dir = Filename.concat dir "store" in
+          let backup_dir = Filename.concat dir "backup" in
+          let file name text =
+            let p = Filename.concat dir name in
+            Out_channel.with_open_bin p (fun oc -> Out_channel.output_string oc text);
+            p
+          in
+          let f1 = file "one.txt" "the first saved document" in
+          let f2 = file "two.txt" "the second saved document" in
+          check_exit bin ~what:"first save" ~expect:0 [ "save"; store_dir; f1 ];
+          check_exit bin ~what:"save --pinned" ~expect:0
+            [ "save"; store_dir; f2; "--pinned"; backup_dir ];
+          (* live store: both documents; backup: only the pre-save one *)
+          let store, _ = Durable.open_ ~dir:store_dir () in
+          Alcotest.(check int) "live store has both" 2
+            (Dsdg_core.Dynamic_index.doc_count (Durable.index store));
+          Durable.close store;
+          let bk, info = Durable.open_ ~dir:backup_dir () in
+          Alcotest.(check int) "backup replays nothing" 0 info.Recovery.ri_replayed;
+          let idx = Durable.index bk in
+          Alcotest.(check int) "backup holds the pre-save state" 1
+            (Dsdg_core.Dynamic_index.doc_count idx);
+          Alcotest.(check int) "backup finds the first doc" 1
+            (Dsdg_core.Dynamic_index.count idx "first");
+          Durable.close bk;
+          (* sharded stats over a store surfaces the composite epoch *)
+          check_exit bin ~what:"stats --store --shards" ~expect:0
+            [ "stats"; "--store"; Filename.concat dir "shstats"; "--shards"; "2"; "--ops"; "40" ]))
+
 let suite =
   [
     Alcotest.test_case "exit codes: 0 / 1 / 2 / 124 scheme" `Slow test_exit_codes;
+    Alcotest.test_case "follow: read replica subprocess, redirect, SIGTERM" `Slow
+      test_follow_smoke;
+    Alcotest.test_case "save --pinned: pre-save backup + sharded stats" `Slow
+      test_save_pinned_smoke;
     Alcotest.test_case "replay hints: --shards/--readers enforced (124)" `Slow
       test_replay_hint_enforced;
     Alcotest.test_case "serve + load round-trip, SIGTERM drain" `Slow test_serve_load_roundtrip;

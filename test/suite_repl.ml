@@ -1,0 +1,165 @@
+(* Replication tests: leader/follower convergence through a real
+   cluster (K=1 and K=2), failover promotion sweeps, the planted-fault
+   self-test of the divergence oracle, and the read-only replica
+   engine's redirect discipline. *)
+
+module Server = Dsdg_serve.Server
+module Client = Dsdg_serve.Client
+module Follower = Dsdg_serve.Follower
+module Repl_check = Dsdg_serve.Repl_check
+module Durable = Dsdg_store.Durable
+module Kill_check = Dsdg_store.Kill_check
+module Opgen = Dsdg_check.Opgen
+
+let tmp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  d
+
+let with_dir prefix f =
+  let d = tmp_dir prefix in
+  Fun.protect ~finally:(fun () -> Kill_check.reset_dir d) (fun () -> f d)
+
+let check_converged what (o : Repl_check.outcome) =
+  Alcotest.(check bool) (what ^ ": points exercised") true (o.Repl_check.rc_points > 1);
+  Alcotest.(check string) (what ^ ": no divergence") ""
+    (String.concat "; "
+       (List.map (fun (n, d) -> Printf.sprintf "after %d ops: %s" n d) o.Repl_check.rc_failures))
+
+let check_survived what (o : Kill_check.outcome) =
+  Alcotest.(check bool) (what ^ ": points exercised") true (o.Kill_check.kc_points > 1);
+  Alcotest.(check string) (what ^ ": no lost acked write") ""
+    (String.concat "; "
+       (List.map
+          (fun f -> Printf.sprintf "point %d: %s" f.Kill_check.kf_point f.Kill_check.kf_detail)
+          o.Kill_check.kc_failures))
+
+(* --- convergence: every quiesce point, replica = model --- *)
+
+let test_convergence_single () =
+  with_dir "dsdg-repl-conv1" (fun dir ->
+      let ops = Opgen.generate ~seed:42 ~ops:60 () in
+      check_converged "K=1"
+        (Repl_check.convergence ~quiesce_every:16 ~checkpoint_every:24 ~dir ~ops ()))
+
+let test_convergence_sharded () =
+  with_dir "dsdg-repl-conv2" (fun dir ->
+      let ops = Opgen.generate ~seed:43 ~ops:60 () in
+      check_converged "K=2"
+        (Repl_check.convergence ~shards:2 ~quiesce_every:16 ~dir ~ops ()))
+
+(* A replica that falls behind the leader's checkpoint compaction is
+   re-shipped from WAL archives (or re-seeded from a snapshot); either
+   way it must still converge.  Aggressive checkpointing plus a churny
+   stream exercises both paths. *)
+let test_convergence_past_compaction () =
+  with_dir "dsdg-repl-compact" (fun dir ->
+      let ops = Opgen.generate ~profile:Opgen.churny ~seed:44 ~ops:80 () in
+      check_converged "K=1 compacting"
+        (Repl_check.convergence ~quiesce_every:40 ~checkpoint_every:8 ~dir ~ops ()))
+
+(* --- the oracle's self-test: a planted replica fault MUST be caught --- *)
+
+let test_planted_fault_caught () =
+  with_dir "dsdg-repl-fault" (fun dir ->
+      let ops = Opgen.generate ~profile:Opgen.churny ~seed:5 ~ops:600 () in
+      let o =
+        Repl_check.convergence ~fault:`Skip_top_clean ~quiesce_every:100
+          ~dir ~ops ()
+      in
+      Alcotest.(check bool) "planted fault detected" true (o.Repl_check.rc_failures <> []);
+      let detail = String.concat "; " (List.map snd o.Repl_check.rc_failures) in
+      Alcotest.(check bool) "names the cleaning schedule" true
+        (let has needle =
+           let nl = String.length needle and dl = String.length detail in
+           let rec go i = i + nl <= dl && (String.sub detail i nl = needle || go (i + 1)) in
+           go 0
+         in
+         has "cleaning fell behind"))
+
+(* --- failover: kill the leader, promote, every acked write survives --- *)
+
+let test_failover_single () =
+  with_dir "dsdg-repl-fo1" (fun dir ->
+      let ops = Opgen.generate ~seed:45 ~ops:30 () in
+      check_survived "K=1 failover" (Repl_check.failover_sweep ~stride:10 ~dir ~ops ()))
+
+let test_failover_sharded () =
+  with_dir "dsdg-repl-fo2" (fun dir ->
+      let ops = Opgen.generate ~seed:46 ~ops:30 () in
+      check_survived "K=2 failover"
+        (Repl_check.failover_sweep ~shards:2 ~stride:10 ~dir ~ops ()))
+
+(* --- read-only replica serving: queries local, writes redirected --- *)
+
+let test_follower_serves_reads_redirects_writes () =
+  with_dir "dsdg-repl-ro" (fun dir ->
+      let leader_dir = Filename.concat dir "leader" in
+      let replica_dir = Filename.concat dir "replica" in
+      let lsock = Filename.concat dir "leader.sock" in
+      let fsock = Filename.concat dir "replica.sock" in
+      Unix.mkdir dir 0o755;
+      let store, _ = Durable.open_ ~dir:leader_dir () in
+      let leader = Server.start ~store (`Unix lsock) in
+      Fun.protect
+        ~finally:(fun () -> Server.stop leader)
+        (fun () ->
+          let lc = Client.connect (`Unix lsock) in
+          let id = Client.insert lc "banana stand" in
+          ignore (Client.insert lc "cabana");
+          let fol = Follower.start ~leader:(`Unix lsock) ~dir:replica_dir () in
+          let fsrv = Server.start_engine ~engine:(Follower.engine fol) (`Unix fsock) in
+          Fun.protect
+            ~finally:(fun () -> Server.stop fsrv)
+            (fun () ->
+              let fc = Client.connect (`Unix fsock) in
+              (* wait for the replica to catch up through the wire *)
+              let deadline = Unix.gettimeofday () +. 10. in
+              while
+                Client.count fc "ana" < 3
+                && (Unix.gettimeofday () < deadline || Alcotest.fail "replica never caught up")
+              do
+                Thread.delay 0.02
+              done;
+              (* reads answer locally, identically to the leader *)
+              Alcotest.(check bool) "search matches leader" true
+                (Client.search fc "ana" = Client.search lc "ana");
+              Alcotest.(check bool) "extract" true
+                (Client.extract fc ~doc:id ~off:7 ~len:5 = Some "stand");
+              (* stats surface the replication scope *)
+              let stats = Client.stats fc in
+              Alcotest.(check bool) "stats carry connected flag" true
+                (List.mem_assoc "connected" stats);
+              (* mutations are refused with a redirect naming the leader *)
+              (match Client.insert fc "must be refused" with
+              | _ -> Alcotest.fail "follower accepted a write"
+              | exception Client.Server_error reason ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "redirect names the leader (%s)" reason)
+                  true
+                  (let has needle =
+                     let nl = String.length needle and dl = String.length reason in
+                     let rec go i = i + nl <= dl && (String.sub reason i nl = needle || go (i + 1)) in
+                     go 0
+                   in
+                   has lsock && has "read-only"));
+              (* the refused write never reached either side *)
+              Alcotest.(check int) "leader unaffected" 3 (Client.count lc "ana");
+              Client.close fc;
+              Client.close lc)))
+
+let suite =
+  [ Alcotest.test_case "convergence: K=1 cluster, every quiesce point" `Quick
+      test_convergence_single;
+    Alcotest.test_case "convergence: K=2 cluster, migrate shipping" `Quick
+      test_convergence_sharded;
+    Alcotest.test_case "convergence: replica outruns compaction (archives/snapshot)" `Quick
+      test_convergence_past_compaction;
+    Alcotest.test_case "planted replica fault is caught (oracle self-test)" `Slow
+      test_planted_fault_caught;
+    Alcotest.test_case "failover: K=1 promoted follower keeps acked writes" `Quick
+      test_failover_single;
+    Alcotest.test_case "failover: K=2 promoted follower keeps acked writes" `Quick
+      test_failover_sharded;
+    Alcotest.test_case "read-only replica: local reads, redirect on write" `Quick
+      test_follower_serves_reads_redirects_writes ]

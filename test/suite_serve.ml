@@ -94,6 +94,42 @@ let test_protocol_malformed_responses () =
       | Ok _ -> Alcotest.failf "malformed response %S parsed" line)
     [ ""; "ok"; "ok hits 2 1"; "ok hits x"; "ok text noquote"; "ok stats k=v"; "yes" ]
 
+(* The replication frames: repl polls and the rec/hb/snap/chunk batch
+   vocabulary, including binary-safe record and chunk payloads. *)
+let test_protocol_repl_roundtrip () =
+  let req r =
+    match Protocol.parse_request (Protocol.request_to_string r) with
+    | Ok r' -> Alcotest.(check bool) (Protocol.request_to_string r) true (r' = r)
+    | Error e -> Alcotest.failf "repl request round-trip failed: %s" e
+  in
+  req (Protocol.Repl { stream = "wal"; from = 0 });
+  req (Protocol.Repl { stream = "wal3"; from = 712 });
+  req (Protocol.Repl { stream = "meta"; from = 9 });
+  List.iter
+    (fun r -> Alcotest.(check bool) (Protocol.response_to_string r) true (roundtrip_response r = r))
+    [ Protocol.Rec (0, {|+ "doc with \"quotes\" and spaces"|});
+      Protocol.Rec (41, "- 7");
+      Protocol.Rec (3, "I 12 1");
+      Protocol.Hb { bound = 0; epoch = 0 };
+      Protocol.Hb { bound = 917; epoch = 44 };
+      Protocol.Snap { serial = 12; chunks = 3 };
+      Protocol.Chunk "raw\nbytes\x00with newline and nul";
+      Protocol.Chunk "" ];
+  (* a record line is framed verbatim: a raw newline inside one would
+     break framing, so the escaped spelling must survive the trip *)
+  (match roundtrip_response (Protocol.Rec (5, {|+ "line\nbreak"|})) with
+  | Protocol.Rec (5, line) -> Alcotest.(check string) "record verbatim" {|+ "line\nbreak"|} line
+  | _ -> Alcotest.fail "rec frame changed shape");
+  List.iter
+    (fun line ->
+      match Protocol.parse_response line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "malformed repl frame %S parsed" line)
+    [ "rec"; "rec x + \"a\""; "hb 3"; "hb x y"; "snap 1"; "chunk noquote" ];
+  match Protocol.parse_request "repl wal" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "positionless repl poll parsed"
+
 (* The bounded reader, against a socketpair. *)
 let test_reader_bounds () =
   let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -295,6 +331,7 @@ let suite =
     Alcotest.test_case "protocol: response round-trip" `Quick test_protocol_response_roundtrip;
     Alcotest.test_case "protocol: request round-trip" `Quick test_protocol_request_roundtrip;
     Alcotest.test_case "protocol: malformed responses rejected" `Quick test_protocol_malformed_responses;
+    Alcotest.test_case "protocol: replication frames round-trip" `Quick test_protocol_repl_roundtrip;
     Alcotest.test_case "protocol: bounded reader" `Quick test_reader_bounds;
     Alcotest.test_case "serve: basic ops over unix socket" `Quick test_serve_basic_ops;
     Alcotest.test_case "serve: malformed frame kills connection only" `Quick

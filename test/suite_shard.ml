@@ -308,10 +308,109 @@ let test_apply_batch () =
       Alcotest.(check int) "count after recovery" 3 (SI.count sh2 "batch");
       SI.close sh2)
 
+(* --- composite-epoch time travel --- *)
+
+(* An as-of query under a captured epoch vector must answer exactly as
+   the collection did at capture time, however the writer moves on. *)
+let test_epoch_vector_asof () =
+  let sh = SI.create ~shards:3 ~retain_epochs:32 () in
+  Fun.protect ~finally:(fun () -> SI.close sh) @@ fun () ->
+  let m = Model.create () in
+  List.iter
+    (fun t -> Alcotest.(check int) "ids in step" (Model.insert m t) (SI.insert sh t))
+    [ "banana"; "bandana"; "cabana"; "ananas"; "radar" ];
+  ignore (SI.delete sh 1);
+  ignore (Model.delete m 1);
+  let ev = SI.epoch_vector sh in
+  let patterns = [ "an"; "ana"; "a"; "ra"; "zz" ] in
+  let searches = List.map (fun p -> (p, Model.search m p)) patterns in
+  let then_count = Model.doc_count m in
+  (* the writer moves on: more inserts, deletes, and a migration *)
+  for i = 0 to 14 do
+    ignore (SI.insert sh (Printf.sprintf "later doc %d anan" i))
+  done;
+  ignore (SI.delete sh 0);
+  ignore (SI.delete sh 3);
+  ignore (SI.rebalance_hottest sh);
+  (* as-of answers = capture-time model; live answers have moved *)
+  List.iter
+    (fun (p, hits) ->
+      Alcotest.(check (list (pair int int)))
+        ("as-of search " ^ p) hits
+        (SI.search ~epoch_vector:ev sh p);
+      Alcotest.(check int) ("as-of count " ^ p) (List.length hits)
+        (SI.count ~epoch_vector:ev sh p))
+    searches;
+  Alcotest.(check bool) "as-of mem of a doc deleted later" true (SI.mem ~epoch_vector:ev sh 0);
+  Alcotest.(check bool) "as-of mem of the dead doc" false (SI.mem ~epoch_vector:ev sh 1);
+  Alcotest.(check bool) "as-of mem predates later inserts" false (SI.mem ~epoch_vector:ev sh 5);
+  Alcotest.(check (option string)) "as-of extract" (Some "abana") (* of "cabana" *)
+    (SI.extract ~epoch_vector:ev sh ~doc:2 ~off:1 ~len:5);
+  Alcotest.(check bool) "live view moved on" true (SI.doc_count sh <> then_count);
+  (* an epoch vector never published raises *)
+  let bogus = Array.map (fun e -> e + 1000) ev in
+  match SI.search ~epoch_vector:bogus sh "an" with
+  | _ -> Alcotest.fail "unpublished epoch vector answered"
+  | exception Invalid_argument _ -> ()
+
+(* A pin keeps its composite epoch resolvable past ring eviction, and
+   (store mode) backup materializes it as a fresh openable store. *)
+let test_pinned_backup_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let store_dir = Filename.concat dir "store" in
+      let dest = Filename.concat dir "backup" in
+      Unix.mkdir dir 0o755;
+      let sh, _ = SI.open_store ~shards:2 ~dir:store_dir () in
+      let m = Model.create () in
+      for i = 0 to 9 do
+        let t = Printf.sprintf "pinned doc %d banana" i in
+        ignore (SI.insert sh t);
+        ignore (Model.insert m t)
+      done;
+      ignore (SI.delete sh 4);
+      ignore (Model.delete m 4);
+      let pin = SI.pin sh in
+      let ev = SI.pin_epoch_vector pin in
+      Alcotest.(check int) "pin vector shape" (SI.shards sh + 1) (Array.length ev);
+      (* churn far past any retention (default retain_epochs is 0) *)
+      for i = 0 to 24 do
+        ignore (SI.insert sh (Printf.sprintf "post-pin churn %d" i))
+      done;
+      ignore (SI.delete sh 0);
+      (* the pinned composite still answers, exactly as pinned *)
+      Alcotest.(check (list (pair int int))) "pinned search" (Model.search m "ana")
+        (SI.search ~epoch_vector:ev sh "ana");
+      Alcotest.(check bool) "pinned mem" true (SI.mem ~epoch_vector:ev sh 0);
+      (* back it up while the writer keeps going, then open the copy *)
+      ignore (SI.backup sh pin ~dest);
+      ignore (SI.insert sh "written during backup? after it, anyway");
+      SI.unpin sh pin;
+      (match SI.search ~epoch_vector:ev sh "ana" with
+      | _ -> Alcotest.fail "unpinned vector still answers"
+      | exception Invalid_argument _ -> ());
+      Alcotest.(check (option int)) "backup remembers K" (Some 2) (SI.store_shards ~dir:dest);
+      let bk, info = SI.open_store ~shards:2 ~dir:dest () in
+      Alcotest.(check int) "backup replays nothing"
+        0 (Array.fold_left (fun a r -> a + r.Store.Recovery.ri_replayed) 0 info);
+      Alcotest.(check int) "backup doc_count" (Model.doc_count m) (SI.doc_count bk);
+      Alcotest.(check (list (pair int int))) "backup search" (Model.search m "ana")
+        (SI.search bk "ana");
+      Alcotest.(check bool) "backup mem dead" false (SI.mem bk 4);
+      Alcotest.(check (option string)) "backup extract" (Model.extract m ~doc:7 ~off:0 ~len:6)
+        (SI.extract bk ~doc:7 ~off:0 ~len:6);
+      (* the backup is a real store: it takes writes, with ids resuming
+         after the 10 documents ever inserted before the pin *)
+      let g = SI.insert bk "backup grows independently" in
+      Alcotest.(check int) "fresh global id" 10 g;
+      SI.close bk;
+      SI.close sh)
+
 let suite =
   [ ("collection contract (K=3)", `Quick, test_collection_contract);
     ("deterministic routing, all shards populated", `Quick, test_routing_spread);
     ("epoch vector monotone, length K+1", `Quick, test_epoch_vector_monotone);
+    ("as-of queries under a captured epoch vector", `Quick, test_epoch_vector_asof);
+    ("pin -> backup -> reopen round-trip", `Quick, test_pinned_backup_roundtrip);
     ("rebalance invisible to queries", `Quick, test_rebalance_invisible);
     ("shard mismatch detected", `Quick, test_shard_mismatch);
     ("apply_batch: order, global ids, crash safety", `Quick, test_apply_batch);

@@ -330,7 +330,7 @@ let test_trace_load_located_error () =
 (* --- durable store + recovery --- *)
 
 let durable_cfg every =
-  { Durable.sync = Wal.Always; checkpoint_every = every; checkpoint_jobs = 0; keep_snapshots = 2 }
+  { Durable.sync = Wal.Always; checkpoint_every = every; checkpoint_jobs = 0; keep_snapshots = 2; wal_archives = 4 }
 
 let test_durable_reopen () =
   with_dir "dsdg-durable" (fun dir ->
@@ -405,7 +405,7 @@ let test_recovery_idempotent () =
 let test_background_checkpoint () =
   with_dir "dsdg-ckpt-bg" (fun dir ->
       let config =
-        { Durable.sync = Wal.Every 4; checkpoint_every = 6; checkpoint_jobs = 1; keep_snapshots = 2 }
+        { Durable.sync = Wal.Every 4; checkpoint_every = 6; checkpoint_jobs = 1; keep_snapshots = 2; wal_archives = 4 }
       in
       let d, _ = Durable.open_ ~config ~sample:4 ~tau:4 ~dir () in
       let m = Model.create () in
@@ -564,6 +564,189 @@ let test_gap_detected () =
         Alcotest.fail "snapshot/WAL gap not detected"
       | exception Recovery.Gap _ -> ())
 
+(* --- WAL tailing (the replication read side) --- *)
+
+let tail_texts recs = List.map (fun (s, op) -> (s, Trace.op_to_string op)) recs
+
+(* A cursor positioned mid-file delivers exactly the records from its
+   starting serial, and tiny read buffers that split records across
+   chunk boundaries reassemble them byte-identically. *)
+let test_wal_tail_midfile_and_straddle () =
+  with_dir "dsdg-wal-tail" (fun dir ->
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.create path ~serial0:0 in
+      let ops =
+        List.init 9 (fun i ->
+            if i mod 3 = 2 then Trace.Delete (i / 3)
+            else Trace.Insert (Printf.sprintf "document-%d-%s" i (String.make (i * 3) 'x')))
+      in
+      List.iter (fun op -> ignore (Wal.append w op)) ops;
+      (* mid-file start *)
+      let c = Wal.tail ~from:4 path in
+      let got = Wal.tail_poll c in
+      Alcotest.(check int) "mid-file count" 5 (List.length got);
+      Alcotest.(check (list (pair int string)))
+        "mid-file records"
+        (List.filteri (fun i _ -> i >= 4) ops
+        |> List.mapi (fun i op -> (4 + i, Trace.op_to_string op)))
+        (tail_texts got);
+      Wal.tail_close c;
+      (* 7-byte buffer: every record straddles chunk boundaries *)
+      let c = Wal.tail ~buf_size:7 ~from:0 path in
+      let got = Wal.tail_poll c in
+      Alcotest.(check (list (pair int string)))
+        "straddled records"
+        (List.mapi (fun i op -> (i, Trace.op_to_string op)) ops)
+        (tail_texts got);
+      (* appends between polls are picked up by the next poll *)
+      Alcotest.(check (list (pair int string))) "quiet poll" [] (tail_texts (Wal.tail_poll c));
+      ignore (Wal.append w (Trace.Insert "late arrival"));
+      ignore (Wal.append w (Trace.Delete 0));
+      Alcotest.(check (list (pair int string)))
+        "appended between polls"
+        [ (9, {|+ "late arrival"|}); (10, "- 0") ]
+        (tail_texts (Wal.tail_poll c));
+      Wal.tail_close c;
+      Wal.close w)
+
+(* A final line with no newline yet -- a write in flight from a live
+   writer, indistinguishable from a torn record -- is held back until
+   its newline lands, then delivered whole. *)
+let test_wal_tail_torn_final_writer_alive () =
+  with_dir "dsdg-wal-tailtorn" (fun dir ->
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.create path ~serial0:0 in
+      ignore (Wal.append w (Trace.Insert "whole"));
+      let c = Wal.tail ~from:0 path in
+      Alcotest.(check int) "whole record delivered" 1 (List.length (Wal.tail_poll c));
+      (* hand-write a partial record, as if the writer died (or was
+         scheduled out) mid-line *)
+      let oc = Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path in
+      Out_channel.output_string oc {|+ "half-wri|};
+      Out_channel.flush oc;
+      Alcotest.(check (list (pair int string)))
+        "partial line held back" [] (tail_texts (Wal.tail_poll c));
+      Out_channel.output_string oc "tten\"\n";
+      Out_channel.flush oc;
+      Out_channel.close oc;
+      Alcotest.(check (list (pair int string)))
+        "completed line delivered"
+        [ (1, {|+ "half-written"|}) ]
+        (tail_texts (Wal.tail_poll c));
+      Wal.tail_close c;
+      Wal.abandon w)
+
+(* Compaction with archiving keeps the outgoing log as an immutable
+   segment: every pre-checkpoint record stays readable, [archives]
+   lists segments ascending, and pruning drops the oldest first. *)
+let test_wal_archive_roundtrip () =
+  with_dir "dsdg-wal-arch" (fun dir ->
+      let cfg = { (durable_cfg 3) with Durable.wal_archives = 8 } in
+      let d, _ = Durable.open_ ~config:cfg ~sample:4 ~tau:4 ~dir () in
+      for i = 0 to 10 do
+        ignore (Durable.insert d (Printf.sprintf "archived doc %d" i))
+      done;
+      let wal = Durable.wal_path d in
+      let ar = Wal.archives wal in
+      Alcotest.(check bool) "archives exist" true (List.length ar >= 2);
+      let ends = List.map snd ar in
+      Alcotest.(check (list int)) "ends ascending" (List.sort compare ends) ends;
+      (* the archive chain + live log covers every serial exactly once
+         per segment boundary: each segment starts where the previous
+         one did its header, and the oldest starts at 0 *)
+      let first = List.hd ar in
+      let contents = Wal.read (fst first) in
+      Alcotest.(check int) "oldest archive starts at serial 0" 0 contents.Wal.wc_serial0;
+      Alcotest.(check bool)
+        "oldest archive reaches its end serial" true
+        (contents.Wal.wc_serial0 + List.length contents.Wal.wc_ops >= snd first);
+      (* a tail cursor reads an archive segment like any log *)
+      let c = Wal.tail ~from:1 (fst first) in
+      let got = Wal.tail_poll c in
+      Alcotest.(check bool) "archive tail delivers" true (List.length got > 0);
+      Alcotest.(check int) "archive tail from serial 1" 1 (fst (List.hd got));
+      Wal.tail_close c;
+      Wal.prune_archives wal ~keep:1;
+      Alcotest.(check int) "pruned to 1" 1 (List.length (Wal.archives wal));
+      Wal.prune_archives wal ~keep:0;
+      Alcotest.(check (list (pair string int))) "pruned to none" [] (Wal.archives wal);
+      Durable.close d)
+
+(* --- read-only recovery (satellite: observation never mutates) --- *)
+
+let dir_bytes dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.map (fun f ->
+         let p = Filename.concat dir f in
+         (f, if Sys.is_directory p then "<dir>" else read_file p))
+
+let test_recovery_read_only_never_mutates () =
+  with_dir "dsdg-ro" (fun dir ->
+      let d, _ = Durable.open_ ~config:(durable_cfg 4) ~sample:4 ~tau:4 ~dir () in
+      let m = Model.create () in
+      for i = 0 to 9 do
+        let id = Durable.insert d (Printf.sprintf "ro doc %d" i) in
+        Alcotest.(check int) "id" (Model.insert m (Printf.sprintf "ro doc %d" i)) id
+      done;
+      ignore (Durable.delete d 3);
+      ignore (Model.delete m 3);
+      (* crash with a torn final record: the mutating path would
+         truncate it; read-only must not *)
+      Durable.kill d ~torn:true;
+      let before = dir_bytes dir in
+      let idx, info = Recovery.open_or_recover ~read_only:true ~dir () in
+      Alcotest.(check bool) "torn tail reported" true info.Recovery.ri_truncated;
+      assert_matches_model ~label:"read-only recovery" idx m ~inserts:10;
+      Di.close idx;
+      Alcotest.(check bool) "no byte changed on disk" true (dir_bytes dir = before);
+      (* a second read-only pass sees the identical (untruncated) store *)
+      let idx2, info2 = Recovery.open_or_recover ~read_only:true ~dir () in
+      Alcotest.(check bool) "still reported torn" true info2.Recovery.ri_truncated;
+      Di.close idx2;
+      Alcotest.(check bool) "still unchanged" true (dir_bytes dir = before);
+      (* the mutating open truncates (once) and yields the same state *)
+      let d2, _ = Durable.open_ ~config:(durable_cfg 0) ~dir () in
+      assert_matches_model ~label:"mutating recovery" (Durable.index d2) m ~inserts:10;
+      Durable.close d2)
+
+(* --- pinned-view backup --- *)
+
+let test_durable_pin_backup () =
+  with_dir "dsdg-pinback" (fun dir ->
+      let dest = tmp_dir "dsdg-pinback-dest" in
+      Fun.protect
+        ~finally:(fun () -> Kill_check.reset_dir dest)
+        (fun () ->
+          let d, _ = Durable.open_ ~config:(durable_cfg 3) ~sample:4 ~tau:4 ~dir () in
+          let m = Model.create () in
+          for i = 0 to 7 do
+            ignore (Durable.insert d (Printf.sprintf "pinned doc %d" i));
+            ignore (Model.insert m (Printf.sprintf "pinned doc %d" i))
+          done;
+          ignore (Durable.delete d 2);
+          ignore (Model.delete m 2);
+          let p = Durable.pin d in
+          let serial = Durable.pin_serial p in
+          Alcotest.(check int) "pin serial = wal serial" (Durable.wal_serial d) serial;
+          (* the writer moves on; checkpoints may evict the pinned epoch
+             from the retention ring -- the pin must survive *)
+          for i = 8 to 24 do
+            ignore (Durable.insert d (Printf.sprintf "post-pin doc %d" i))
+          done;
+          ignore (Durable.delete d 0);
+          let snap = Durable.backup d p ~dest in
+          Alcotest.(check bool) "backup snapshot in dest" true (Filename.dirname snap = dest);
+          Durable.unpin d p;
+          Durable.close d;
+          (* the backup opens as an ordinary store holding exactly the
+             pinned state *)
+          let b, info = Durable.open_ ~dir:dest () in
+          Alcotest.(check int) "backup replays nothing" 0 info.Recovery.ri_replayed;
+          assert_matches_model ~label:"backup state" (Durable.index b) m ~inserts:8;
+          Durable.close b))
+
 let suite =
   [
     Alcotest.test_case "codec primitives round-trip" `Quick test_codec_primitives;
@@ -590,4 +773,13 @@ let suite =
       test_durable_apply_batch;
     Alcotest.test_case "checkpoint compaction leaks no fds" `Quick test_checkpoint_no_fd_leak;
     Alcotest.test_case "snapshot/wal gap detected" `Quick test_gap_detected;
+    Alcotest.test_case "wal tail: mid-file start + chunk straddle + live appends" `Quick
+      test_wal_tail_midfile_and_straddle;
+    Alcotest.test_case "wal tail: torn final held back while writer alive" `Quick
+      test_wal_tail_torn_final_writer_alive;
+    Alcotest.test_case "wal archive segments round-trip + prune" `Quick test_wal_archive_roundtrip;
+    Alcotest.test_case "read-only recovery never mutates disk" `Quick
+      test_recovery_read_only_never_mutates;
+    Alcotest.test_case "pinned-view backup opens at the pinned state" `Quick
+      test_durable_pin_backup;
   ]
