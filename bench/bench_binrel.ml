@@ -78,6 +78,130 @@ module Baseline_rel = struct
   let space_bits t = Dyn_wavelet.space_bits t.s + Dyn_bitvec.space_bits t.n
 end
 
+(* --- backend x scale matrix over web-crawl streams ---
+
+   The Section 5 graph workload: a crawl-ordered edge stream with
+   Zipf-skewed targets ({!Graph_gen.web_crawl}) ingested into both
+   relation backends behind the {!Rel_backend} seam.  Full mode runs
+   str and k2 at 10^6 edges (the space acceptance point: k2 must come
+   in strictly below str in bits/edge) and pushes k2 alone to 10^7;
+   DSDG_BENCH_QUICK=1 shrinks everything to CI size.  Every row also
+   lands in the BENCH JSON stream. *)
+
+let quick () = Sys.getenv_opt "DSDG_BENCH_QUICK" <> None
+let backend_name = function Rel_backend.Str -> "str" | Rel_backend.K2 -> "k2"
+
+(* Breadth-first traversal from [src], capped at [cap] node visits so
+   a full-mode k2 run stays minutes, not hours; returns visits made. *)
+let bfs_bounded g ~src ~cap =
+  let seen = Hashtbl.create 4096 in
+  let q = Queue.create () in
+  Hashtbl.replace seen src ();
+  Queue.push src q;
+  let visits = ref 0 in
+  while (not (Queue.is_empty q)) && !visits < cap do
+    let u = Queue.pop q in
+    incr visits;
+    Digraph.iter_successors g u ~f:(fun v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.replace seen v ();
+          Queue.push v q
+        end)
+  done;
+  !visits
+
+(* One matrix cell: build the crawl graph on [backend], measure insert
+   and delete throughput, successor+predecessor scan rate, bounded-BFS
+   rate, and bits/edge; returns the printed table row. *)
+let crawl_cell ~backend ~nodes ~edges =
+  let st = Random.State.make [| 47; edges; nodes |] in
+  let stream = Graph_gen.web_crawl st ~nodes ~edges in
+  let n_edges = Array.length stream in
+  let g = Digraph.create ~backend () in
+  let _, build_ns =
+    Bench_util.time_ns (fun () ->
+        Array.iter (fun (u, v) -> ignore (Digraph.add_edge g u v)) stream)
+  in
+  let insert_s = float_of_int n_edges /. (build_ns /. 1e9) in
+  (* delete throughput: remove a stride sample, then restore it *)
+  let stride = max 1 (n_edges / 2000) in
+  let batch = ref [] in
+  let i = ref 0 in
+  while !i < n_edges do
+    batch := stream.(!i) :: !batch;
+    i := !i + stride
+  done;
+  let batch = Array.of_list !batch in
+  let _, del_ns =
+    Bench_util.time_ns (fun () ->
+        Array.iter (fun (u, v) -> ignore (Digraph.remove_edge g u v)) batch)
+  in
+  Array.iter (fun (u, v) -> ignore (Digraph.add_edge g u v)) batch;
+  let delete_s = float_of_int (Array.length batch) /. (del_ns /. 1e9) in
+  (* degree-biased neighbor scans, both directions *)
+  let sources = Graph_gen.neighbor_queries st ~edges:stream ~count:(if quick () then 50 else 200) in
+  let touched = ref 0 in
+  let _, scan_ns =
+    Bench_util.time_ns (fun () ->
+        Array.iter
+          (fun u ->
+            Digraph.iter_successors g u ~f:(fun _ -> incr touched);
+            Digraph.iter_predecessors g u ~f:(fun _ -> incr touched))
+          sources)
+  in
+  let scan_s = float_of_int !touched /. (scan_ns /. 1e9) in
+  (* bounded BFS from connected sources *)
+  let bfs_srcs = Graph_gen.bfs_sources st ~edges:stream ~count:4 in
+  let cap = if quick () then 2_000 else 25_000 in
+  let visits = ref 0 in
+  let _, bfs_ns =
+    Bench_util.time_ns (fun () ->
+        Array.iter (fun s -> visits := !visits + bfs_bounded g ~src:s ~cap) bfs_srcs)
+  in
+  let bfs_s = float_of_int !visits /. (bfs_ns /. 1e9) in
+  let bpe = float_of_int (Digraph.space_bits g) /. float_of_int (Digraph.edge_count g) in
+  Bench_util.(emit_json_row ~bench:"binrel/webcrawl")
+    Bench_util.
+      [ ("backend", S (backend_name backend));
+      ("nodes", I nodes);
+      ("edges", I n_edges);
+      ("insert_ops_s", F insert_s);
+      ("delete_ops_s", F delete_s);
+      ("scan_edges_s", F scan_s);
+        ("bfs_nodes_s", F bfs_s);
+        ("bits_per_edge", F bpe)
+      ];
+  ( bpe,
+    [ backend_name backend;
+      string_of_int nodes;
+      string_of_int n_edges;
+      Printf.sprintf "%.0f" insert_s;
+      Printf.sprintf "%.0f" delete_s;
+      Printf.sprintf "%.0f" scan_s;
+      Printf.sprintf "%.0f" bfs_s;
+      Printf.sprintf "%.1f" bpe ] )
+
+let run_crawl_matrix () =
+  let cells =
+    if quick () then [ (Rel_backend.Str, 4_000, 20_000); (Rel_backend.K2, 4_000, 20_000) ]
+    else
+      [ (Rel_backend.Str, 100_000, 1_000_000);
+        (Rel_backend.K2, 100_000, 1_000_000);
+        (Rel_backend.K2, 1_000_000, 10_000_000) ]
+  in
+  let rows = List.map (fun (b, n, e) -> crawl_cell ~backend:b ~nodes:n ~edges:e) cells in
+  Bench_util.print_table
+    ~title:
+      "Web-crawl matrix: backend x scale [expect k2 bits/edge < str bits/edge at the shared scale]"
+    ~header:[ "backend"; "nodes"; "edges"; "ins/s"; "del/s"; "scan e/s"; "bfs n/s"; "bits/edge" ]
+    (List.map snd rows);
+  match rows with
+  | (str_bpe, _) :: (k2_bpe, _) :: _ ->
+    Printf.printf "space at shared scale: str %.1f bits/edge, k2 %.1f bits/edge (%s)\n" str_bpe
+      k2_bpe
+      (if k2_bpe < str_bpe then "k2 smaller, as required" else "ACCEPTANCE FAILED: k2 not smaller")
+  | _ -> ()
+
 let run () =
   let st = Random.State.make [| 3; 14 |] in
   let objects = 2000 and labels = 200 and pairs = 30000 in
@@ -131,7 +255,8 @@ let run () =
   Printf.printf "space: ours %s bits/pair, baseline %s bits/pair (live pairs: %d)\n"
     (Bench_util.bits_per_sym (Dyn_binrel.space_bits ours) live)
     (Bench_util.bits_per_sym (Baseline_rel.space_bits base) live)
-    live
+    live;
+  run_crawl_matrix ()
 
 let run_graph () =
   let st = Random.State.make [| 2; 72 |] in

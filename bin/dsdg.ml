@@ -58,6 +58,7 @@ open Cmdliner
 module Store = Dsdg_store
 module Serve = Dsdg_serve
 module Shard = Dsdg_shard
+module Binrel = Dsdg_binrel
 
 (* Usage errors that only surface once the command runs (a bad enum
    value, an impossible flag combination) exit like Cmdliner's own
@@ -98,6 +99,16 @@ let seq_of_string = function
   | "avl" -> Dsdg_delbits.Sums.Avl
   | "spsi" -> Dsdg_delbits.Sums.Spsi
   | s -> die_usage "unknown --seq-backend: %s (expected avl | spsi)" s
+
+(* Relation/graph adjacency backend (wavelet-tree pair list vs k2
+   quadtree), the same kind of runtime seam as --seq-backend: never
+   persisted (stores hold the bare pair set), recorded in relation
+   replay-trace hints as rel=<spec>. *)
+let rel_kind_of_string = function
+  | s -> (
+    match Binrel.Rel_backend.kind_of_string s with
+    | Some k -> k
+    | None -> die_usage "unknown --rel-backend: %s (expected str | k2)" s)
 
 (* Store-mode error envelope: a corrupt snapshot, an interior-corrupt
    WAL or a snapshot/WAL serial gap is a problem with the files on
@@ -886,7 +897,7 @@ let stats_cmd ops variant backend sample tau no_obs jobs readers shards store sy
    tearing the final WAL record) at every stride-th op, recover, and
    diff the recovered index against the model. *)
 let fuzz_cmd seed ops streams variant backend sample tau fault profile replay trace_dir jobs
-    readers shards store sync checkpoint_every kill_stride seq follow =
+    readers shards store sync checkpoint_every kill_stride seq follow rel rel_backend =
   let open Dsdg_check in
   (* validate enums up front so a typo is a usage error (124), not an
      internal crash from deep inside the runner *)
@@ -916,6 +927,13 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
     need "shards" shards h.Trace.h_shards;
     need "readers" readers h.Trace.h_readers;
     need "jobs" jobs h.Trace.h_jobs;
+    (match h.Trace.h_rel with
+    | Some want ->
+      die_usage
+        "trace %s is a relation trace (recorded with --rel --rel-backend %s); replay it with \
+         dsdg fuzz --rel --rel-backend %s --replay %s"
+        file want want file
+    | None -> ());
     match h.Trace.h_seq with
     | Some want when want <> seq ->
       die_usage
@@ -925,6 +943,91 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
     | _ -> ()
   in
   match store with
+  | _ when rel ->
+    (* relation-backend differential mode: streams of relation ops
+       fanned over the adjacency backends (str wavelet-tree pair list,
+       k2 quadtree, or both) and cross-checked against the naive
+       pair-set model after every op *)
+    if store <> None || follow then
+      die_usage "--rel is an in-memory differential mode; it does not combine with --store or --follow";
+    let spec =
+      match Rel_check.spec_of_string rel_backend with
+      | Some s -> s
+      | None -> die_usage "unknown --rel-backend: %s (expected str | k2 | both)" rel_backend
+    in
+    let kinds = Rel_check.kinds_of_spec spec in
+    let knames = String.concat "," (List.map Binrel.Rel_backend.kind_to_string kinds) in
+    let fault_v =
+      match fault with
+      | "none" -> None
+      | s -> (
+        match Rel_check.fault_of_string s with
+        | Some f -> Some f
+        | None -> die_usage "--rel supports --fault none | rel-lost-remove, not %s" s)
+    in
+    let fail_with ~seed_used failure shrunk =
+      print_string (Rel_check.report ?seed:seed_used ~failure ~shrunk ());
+      let dir = match trace_dir with Some d -> d | None -> Filename.get_temp_dir_name () in
+      let path =
+        Filename.concat dir
+          (match seed_used with
+          | Some s -> Printf.sprintf "dsdg-fuzz-rel-seed%d.trace" s
+          | None -> "dsdg-fuzz-rel-replay.trace")
+      in
+      Rel_check.save ?fault:fault_v ~spec path shrunk;
+      Printf.printf
+        "minimal trace saved to %s\nreplay: dsdg fuzz --rel --replay %s --rel-backend %s%s\n"
+        path path
+        (Rel_check.spec_to_string spec)
+        (match fault_v with Some f -> " --fault " ^ Rel_check.fault_to_string f | None -> "");
+      exit 1
+    in
+    (match replay with
+    | Some file ->
+      (* a relation trace records which backend shape it diverged
+         under; replaying it against a different one (or as a document
+         trace) would "pass" without testing anything *)
+      (match (Trace.load_hint file).Trace.h_rel with
+      | None ->
+        die_usage
+          "trace %s is not a relation trace (no rel= hint); drop --rel, or replay a trace \
+           saved by dsdg fuzz --rel"
+          file
+      | Some want when want <> Rel_check.spec_to_string spec ->
+        die_usage
+          "trace %s was recorded with --rel-backend %s (this invocation has --rel-backend %s); \
+           pass --rel-backend %s"
+          file want rel_backend want
+      | Some _ -> ());
+      let trace =
+        try Rel_check.load file
+        with Trace.Parse_error e ->
+          prerr_endline (Trace.parse_error_message ~file e);
+          exit 2
+      in
+      Printf.printf "replaying %d relation op(s) over {%s}\n%!" (List.length trace) knames;
+      (match Rel_check.run_ops ?fault:fault_v ~kinds trace with
+      | Ok () ->
+        Printf.printf "replay OK: every backend agrees with the pair-set model after every op\n"
+      | Error f ->
+        let prefix = List.filteri (fun i _ -> i < f.Rel_check.rf_step) trace in
+        let shrunk = Rel_check.shrink ?fault:fault_v ~kinds prefix in
+        fail_with ~seed_used:None f shrunk)
+    | None ->
+      Printf.printf "rel fuzzing %d stream(s) x %d ops over {%s}%s\n%!" streams ops knames
+        (match fault_v with
+        | Some f -> Printf.sprintf " with planted fault %s" (Rel_check.fault_to_string f)
+        | None -> "");
+      for s = 0 to streams - 1 do
+        let stream_seed = seed + s in
+        match Rel_check.run_stream ?fault:fault_v ~kinds ~seed:stream_seed ~ops () with
+        | Rel_check.Pass -> if streams > 1 then Printf.printf "stream seed=%d: ok\n%!" stream_seed
+        | Rel_check.Fail { failure; shrunk; trace = _ } ->
+          fail_with ~seed_used:(Some stream_seed) failure shrunk
+      done;
+      Printf.printf
+        "rel fuzz OK: %d stream(s) x %d ops, backends {%s} byte-identical to the pair-set model\n"
+        streams ops knames)
   | _ when follow ->
     (* leader/follower differential mode: a real cluster per target --
        leader store + server on an ephemeral port, WAL-shipped replica,
@@ -1008,9 +1111,7 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
                     Trace.save
                       ~hint:
                         {
-                          Trace.h_shards = None;
-                          h_readers = None;
-                          h_jobs = None;
+                          Trace.no_hint with
                           h_seq = (if seq <> "avl" then Some seq else None);
                         }
                       path shrunk;
@@ -1276,7 +1377,7 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
       Trace.save
         ~hint:
           {
-            Trace.h_shards = None;
+            Trace.no_hint with
             h_readers = (if readers > 0 then Some readers else None);
             h_jobs = (if jobs > 0 then Some jobs else None);
             h_seq = (if seq <> "avl" then Some seq else None);
@@ -1312,6 +1413,114 @@ let fuzz_cmd seed ops streams variant backend sample tau fault profile replay tr
       done;
       Printf.printf "fuzz OK: %d stream(s) x %d ops, %d target(s), model + invariants clean\n" streams
         ops (List.length targets))
+
+(* Graph workload driver: the CLI face of the compressed dynamic graph
+   (DESIGN.md section 15). Builds a web-crawl-shaped edge stream (or
+   re-ingests a saved pair set) into the chosen adjacency backend, runs
+   neighbor scans and BFS traversals, and prints throughput and
+   bits/edge. The saved artifact is the bare pair set (Codec relation
+   container): like --seq-backend, the adjacency backend is a runtime
+   choice and is never persisted. *)
+let graph_cmd nodes edges seed rel_backend tau queries save_path load_path =
+  let kind = rel_kind_of_string rel_backend in
+  if tau < 1 then die_usage "--tau must be >= 1 (got %d)" tau;
+  if queries < 0 then die_usage "--queries must be >= 0 (got %d)" queries;
+  let module G = Binrel.Digraph in
+  let module Gen = Dsdg_workload.Graph_gen in
+  let st = Random.State.make [| seed; 0x67af |] in
+  let now () = Unix.gettimeofday () in
+  let stream, g, build_s =
+    match load_path with
+    | Some file ->
+      let pairs =
+        try Store.Codec.read_relation file
+        with Store.Codec.Corrupt { file; section; reason } ->
+          Printf.eprintf "%s: corrupt %S section: %s\n" file section reason;
+          exit 2
+      in
+      let t0 = now () in
+      let g = G.of_edges ~tau ~backend:kind pairs in
+      Printf.printf "loaded %d edge(s) from %s\n" (G.edge_count g) file;
+      (Array.of_list pairs, g, now () -. t0)
+    | None ->
+      if nodes < 2 then die_usage "--nodes must be >= 2 (got %d)" nodes;
+      if edges < 1 then die_usage "--edges must be >= 1 (got %d)" edges;
+      let stream = Gen.web_crawl st ~nodes ~edges in
+      let g = G.create ~tau ~backend:kind () in
+      let t0 = now () in
+      Array.iter (fun (u, v) -> ignore (G.add_edge g u v)) stream;
+      (stream, g, now () -. t0)
+  in
+  let live = G.edge_count g in
+  Printf.printf "backend %s: %d live edge(s), built in %.2fs (%.0f inserts/s)\n" rel_backend live
+    build_s
+    (float_of_int (Array.length stream) /. (build_s +. 1e-9));
+  if Array.length stream = 0 then die_usage "empty graph: nothing to query";
+  (* neighbor scans: out-degree-biased sources, forward and reverse *)
+  let nq = Gen.neighbor_queries st ~edges:stream ~count:(max 1 queries) in
+  let scanned = ref 0 in
+  let t0 = now () in
+  Array.iter
+    (fun u ->
+      G.iter_successors g u ~f:(fun _ -> incr scanned);
+      G.iter_predecessors g u ~f:(fun _ -> incr scanned))
+    nq;
+  let scan_s = now () -. t0 in
+  Printf.printf "neighbor scans: %d source(s), %d edge(s) touched, %.0f edges/s\n"
+    (Array.length nq) !scanned
+    (float_of_int !scanned /. (scan_s +. 1e-9));
+  (* BFS over successor lists from edge-biased sources *)
+  let sources = Gen.bfs_sources st ~edges:stream ~count:(max 1 (queries / 10)) in
+  let visited_total = ref 0 in
+  let t0 = now () in
+  Array.iter
+    (fun src ->
+      let seen = Hashtbl.create 256 in
+      let q = Queue.create () in
+      Hashtbl.replace seen src ();
+      Queue.push src q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        incr visited_total;
+        G.iter_successors g u ~f:(fun v ->
+            if not (Hashtbl.mem seen v) then begin
+              Hashtbl.replace seen v ();
+              Queue.push v q
+            end)
+      done)
+    sources;
+  let bfs_s = now () -. t0 in
+  Printf.printf "bfs: %d traversal(s), %d node visit(s), %.0f nodes/s\n" (Array.length sources)
+    !visited_total
+    (float_of_int !visited_total /. (bfs_s +. 1e-9));
+  (* churn: delete then re-insert a stride of the stream *)
+  let stride = max 1 (Array.length stream / 1000) in
+  let churned = ref 0 in
+  let t0 = now () in
+  Array.iteri
+    (fun i (u, v) ->
+      if i mod stride = 0 then begin
+        ignore (G.remove_edge g u v);
+        ignore (G.add_edge g u v);
+        churned := !churned + 2
+      end)
+    stream;
+  let churn_s = now () -. t0 in
+  Printf.printf "churn: %d update(s), %.0f updates/s\n" !churned
+    (float_of_int !churned /. (churn_s +. 1e-9));
+  let bits = G.space_bits g in
+  let s = G.stats g in
+  Printf.printf "space: %d bits total, %.1f bits/edge (merges %d, purges %d, rebuilds %d, grows %d)\n"
+    bits
+    (float_of_int bits /. float_of_int (max 1 live))
+    s.Binrel.Rel_backend.merges s.Binrel.Rel_backend.purges s.Binrel.Rel_backend.global_rebuilds
+    s.Binrel.Rel_backend.grows;
+  match save_path with
+  | Some path ->
+    Store.Codec.write_relation path (G.edges g);
+    Printf.printf "saved %d edge(s) to %s (pair set only; reopen with either --rel-backend)\n"
+      live path
+  | None -> ()
 
 let files_arg = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
 let whole_arg = Arg.(value & flag & info [ "whole" ] ~doc:"Index whole files instead of lines.")
@@ -1538,6 +1747,57 @@ let load_t =
 
 let demo_t = Cmd.v (Cmd.info "demo" ~doc:"Synthetic churn demo") Term.(const demo_cmd $ ops_arg)
 
+let graph_nodes_arg =
+  Arg.(value & opt int 100_000
+       & info [ "nodes" ] ~docv:"N" ~doc:"Page universe of the generated crawl.")
+
+let graph_edges_arg =
+  Arg.(value & opt int 1_000_000
+       & info [ "edges" ] ~docv:"M" ~doc:"Distinct directed edges to generate.")
+
+let graph_queries_arg =
+  Arg.(value & opt int 1000
+       & info [ "queries" ] ~docv:"N"
+           ~doc:"Neighbor-scan sources to draw (BFS runs $(docv)/10 traversals).")
+
+let graph_rel_backend_arg =
+  Arg.(value & opt string "k2"
+       & info [ "rel-backend" ] ~docv:"NAME"
+           ~doc:"Adjacency backend: str (wavelet-tree pair list) | k2 (quadtree over the \
+                 adjacency matrix). A runtime choice, never persisted: a pair set saved under \
+                 one backend reopens under the other.")
+
+let graph_save_arg =
+  Arg.(value & opt (some string) None
+       & info [ "save" ] ~docv:"FILE"
+           ~doc:"After the workload, save the live pair set into $(docv) (Codec relation \
+                 container, backend-agnostic).")
+
+let graph_load_arg =
+  Arg.(value & opt (some file) None
+       & info [ "load" ] ~docv:"FILE"
+           ~doc:"Re-ingest a pair set saved with --save into the chosen backend instead of \
+                 generating a crawl.")
+
+let graph_t =
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Build a web-crawl graph in a compressed adjacency backend and run scan/BFS workloads"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Generate a web-crawl-shaped stream of distinct directed edges (Zipf-skewed \
+              in-degrees over a growing frontier), insert it into the adjacency backend named \
+              by $(b,--rel-backend), then measure neighbor scans (successor + predecessor \
+              enumeration from out-degree-biased sources), BFS traversals, and delete/re-insert \
+              churn, finishing with the structure's measured bits/edge. $(b,--save) persists \
+              the bare pair set; $(b,--load) re-ingests one into either backend.";
+         ])
+    Term.(
+      const graph_cmd $ graph_nodes_arg $ graph_edges_arg $ load_seed_arg $ graph_rel_backend_arg
+      $ tau_arg $ graph_queries_arg $ graph_save_arg $ graph_load_arg)
+
 let no_obs_arg =
   Arg.(value & flag & info [ "no-obs" ] ~doc:"Disable the observability layer (overhead demo).")
 
@@ -1578,6 +1838,22 @@ let fuzz_follow_arg =
        & info [ "follow" ]
            ~doc:"Leader/follower differential mode (needs --store DIR as scratch): per variant x backend x shard count {1, --shards}, run the op stream through a real leader server with a WAL-shipped replica, verify convergence at quiesce points, then the failover sweep -- kill the leader, promote the follower, check every acked write survives and the promoted store keeps serving writes. --fault skip-top-clean plants a defect in the replica to prove the oracle catches divergence (exits 1).")
 
+let fuzz_rel_arg =
+  Arg.(value & flag
+       & info [ "rel" ]
+           ~doc:"Relation-backend differential mode: generate streams of relation operations \
+                 (add/remove/related/successor/predecessor/pair-set snapshots), fan each over \
+                 the adjacency backends named by --rel-backend, and cross-check every answer \
+                 against the naive pair-set model after every op. Failing streams shrink to \
+                 minimal replayable traces with a rel= hint. --fault rel-lost-remove plants a \
+                 defect to prove the oracle has teeth.")
+
+let fuzz_rel_backend_arg =
+  Arg.(value & opt string "both"
+       & info [ "rel-backend" ] ~docv:"SPEC"
+           ~doc:"Adjacency backend(s) under test with --rel: str | k2 | both. Also the value \
+                 recorded in (and enforced from) the rel= hint of saved relation traces.")
+
 let fuzz_t =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Differential checking with shrinking and invariant oracles")
@@ -1586,7 +1862,7 @@ let fuzz_t =
       $ fuzz_backend_arg $ fuzz_sample_arg $ fuzz_tau_arg $ fuzz_fault_arg $ fuzz_profile_arg
       $ fuzz_replay_arg $ fuzz_trace_dir_arg $ jobs_arg $ readers_arg $ shards_arg $ store_arg
       $ sync_arg $ checkpoint_every_arg $ fuzz_kill_stride_arg $ seq_backend_arg
-      $ fuzz_follow_arg)
+      $ fuzz_follow_arg $ fuzz_rel_arg $ fuzz_rel_backend_arg)
 
 let () =
   let doc = "dynamic compressed document collection index (Munro-Nekrich-Vitter, PODS 2015)" in
@@ -1607,4 +1883,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "dsdg" ~doc ~man)
-          [ index_t; save_t; open_t; serve_t; follow_t; load_t; demo_t; stats_t; fuzz_t ]))
+          [ index_t; save_t; open_t; serve_t; follow_t; load_t; demo_t; graph_t; stats_t; fuzz_t ]))

@@ -16,7 +16,11 @@ type stats = {
   global_rebuilds : int;
 }
 
+(** [create ()] is the empty relation; [tau] tunes the lazy-deletion
+    purge threshold 1/tau (default 4). *)
 val create : ?tau:int -> unit -> t
+
+(** Counter snapshot (see {!stats}). *)
 val stats : t -> stats
 
 (** The relation's private observability scope: counters
@@ -37,15 +41,26 @@ val remove : t -> int -> int -> bool
 (** Membership test. *)
 val related : t -> int -> int -> bool
 
+(** Iterate the live labels of object [o]. *)
 val labels_of_object : t -> int -> f:(int -> unit) -> unit
+
+(** Iterate the live objects of label [a]. *)
 val objects_of_label : t -> int -> f:(int -> unit) -> unit
 
 (** Sorted list versions of the iterators. *)
 val labels_of_object_list : t -> int -> int list
 
+(** Sorted objects related to a label. *)
 val objects_of_label_list : t -> int -> int list
+
+(** Number of labels related to [o]. *)
 val count_labels_of_object : t -> int -> int
+
+(** Number of objects related to [a]. *)
 val count_objects_of_label : t -> int -> int
+
+(** Measured resident size in bits, all directory constants included;
+    comparable with {!K2_relation.space_bits}. *)
 val space_bits : t -> int
 
 (** {1 Persistence}

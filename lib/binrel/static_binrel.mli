@@ -9,13 +9,19 @@ type t
 (** Raises [Invalid_argument] on duplicate pairs. *)
 val build : ?tick:(unit -> unit) -> tau:int -> (int * int) array -> t
 
+(** Number of pairs not yet lazily deleted. *)
 val live_pairs : t -> int
+
+(** Number of lazily deleted pairs still resident. *)
 val dead_pairs : t -> int
+
+(** [live_pairs + dead_pairs]. *)
 val total_pairs : t -> int
 
 (** Dead fraction exceeded 1/tau: the owner should rebuild. *)
 val needs_purge : t -> bool
 
+(** No live pairs left. *)
 val is_empty : t -> bool
 
 (** Membership of a live pair; O(log log + rank). *)
@@ -41,4 +47,5 @@ val delete : t -> int -> int -> bool
 (** All live pairs, for rebuilds; [tick] charged per pair. *)
 val live_pairs_list : ?tick:(unit -> unit) -> t -> (int * int) list
 
+(** Measured resident size in bits. *)
 val space_bits : t -> int

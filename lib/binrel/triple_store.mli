@@ -6,8 +6,19 @@
 
 type t
 
-val create : ?tau:int -> unit -> t
+(** [create ()] is the empty store. [tau] tunes the [Str] backend's
+    lazy-deletion schedule; [rel_backend] (default [Str]) picks the
+    {!Rel_backend} representation used by every per-predicate graph
+    and both predicate-link relations. *)
+val create : ?tau:int -> ?rel_backend:Rel_backend.kind -> unit -> t
+
+(** The relation backend this store was created with. *)
+val backend : t -> Rel_backend.kind
+
+(** Number of live triples. *)
 val triple_count : t -> int
+
+(** Membership test for a triple. *)
 val mem : t -> s:int -> p:int -> o:int -> bool
 
 (** [add t ~s ~p ~o]; [false] if present. *)
@@ -16,20 +27,33 @@ val add : t -> s:int -> p:int -> o:int -> bool
 (** [remove t ~s ~p ~o]; [false] if absent. *)
 val remove : t -> s:int -> p:int -> o:int -> bool
 
+(** Sorted predicates under which [s] occurs as a subject. *)
 val predicates_of_subject : t -> int -> int list
+
+(** Sorted predicates under which [o] occurs as an object. *)
 val predicates_of_object : t -> int -> int list
 
 (** All triples with subject [s] (the paper's first example query). *)
 val triples_with_subject : t -> int -> (int * int * int) list
 
+(** All triples with object [o]. *)
 val triples_with_object : t -> int -> (int * int * int) list
 
 (** All triples with subject [s] and predicate [p] (the second example
     query). *)
 val triples_with_subject_predicate : t -> int -> int -> (int * int * int) list
 
+(** All triples with object [o] and predicate [p]. *)
 val triples_with_object_predicate : t -> int -> int -> (int * int * int) list
+
+(** Number of triples with subject [s]. *)
 val count_with_subject : t -> int -> int
+
+(** Number of triples with object [o]. *)
 val count_with_object : t -> int -> int
+
+(** Number of triples with predicate [p]. *)
 val count_with_predicate : t -> int -> int
+
+(** Measured resident size of every graph and relation, in bits. *)
 val space_bits : t -> int

@@ -83,4 +83,5 @@ module Rel = struct
 
   let count_labels_of_object r o = List.length (labels_of_object r o)
   let count_objects_of_label r a = List.length (objects_of_label r a)
+  let pairs r = List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) r [])
 end

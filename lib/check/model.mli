@@ -63,4 +63,8 @@ module Rel : sig
   val objects_of_label : r -> int -> int list
   val count_labels_of_object : r -> int -> int
   val count_objects_of_label : r -> int -> int
+
+  (** Every live pair, sorted -- the snapshot the backends'
+      [pairs_list] must reproduce byte-for-byte. *)
+  val pairs : r -> (int * int) list
 end

@@ -1,0 +1,106 @@
+(** Differential checking for the relation backends: one stream of
+    relation operations fanned over the {!Dsdg_binrel.Rel_backend}
+    matrix and cross-checked answer-by-answer against the naive
+    {!Model.Rel}, with failing streams delta-debugged to minimal
+    replayable traces through the same ddmin core
+    ({!Runner.shrink_ops}) the document and shard harnesses use. *)
+
+(** One relation operation. The textual format is line-based, in the
+    {!Trace} mold: ["> o a"] (add), ["< o a"] (remove), ["~ o a"]
+    (related?), ["$ o"] (labels of object, list + count), ["^ a"]
+    (objects of label, list + count), ["*"] (full pair-set snapshot
+    comparison); blank lines and [%]-comments ignored. *)
+type rop =
+  | Radd of int * int
+  | Rremove of int * int
+  | Rrelated of int * int
+  | Rsucc of int
+  | Rpred of int
+  | Rpairs
+
+(** One line, no newline. *)
+val rop_to_string : rop -> string
+
+(** One-line parse with a field-level reason, mirroring
+    {!Trace.parse_op}. *)
+val parse_rop : string -> (rop, string) result
+
+(** Raises [Invalid_argument] on garbage. *)
+val rop_of_string : string -> rop
+
+(** Numbered, one op per line — the shape printed with failures. *)
+val render : rop list -> string
+
+(** Which backends a stream fans over. *)
+type spec = One of Dsdg_binrel.Rel_backend.kind | Both
+
+(** ["str"], ["k2"] or ["both"] — the CLI flag spelling, and the value
+    of the [rel=] trace-hint key. *)
+val spec_to_string : spec -> string
+
+(** Inverse of {!spec_to_string} (accepts ["all"] for [Both]); [None]
+    on unknown names. *)
+val spec_of_string : string -> spec option
+
+(** The backend kinds a spec denotes. *)
+val kinds_of_spec : spec -> Dsdg_binrel.Rel_backend.kind list
+
+(** A deliberate harness defect for catch/shrink/replay self-tests
+    (the relation-side analogue of [Transform2.fault]): [Lost_remove]
+    silently drops removes of pairs with [(o + a) mod 3 = 0] from the
+    structures under test while the model still applies them. The
+    predicate depends only on the op payload, so shrunk traces keep
+    failing. *)
+type fault = Lost_remove
+
+(** ["rel-lost-remove"]. *)
+val fault_to_string : fault -> string
+
+(** Inverse of {!fault_to_string}. *)
+val fault_of_string : string -> fault option
+
+(** A divergence: the 1-based failing step, the backend name, the op,
+    and a human-readable disagreement. *)
+type failure = { rf_step : int; rf_backend : string; rf_op : rop; rf_message : string }
+
+(** Run a trace over fresh instances of every [kinds] backend;
+    [Error] carries the first disagreement with the model (answers,
+    live-pair census after every op, and pair-set snapshots). *)
+val run_ops :
+  ?fault:fault -> kinds:Dsdg_binrel.Rel_backend.kind list -> rop list -> (unit, failure) result
+
+(** Deterministic bounded stream: a mostly-small id universe with
+    occasional far-out ids (exercising k2 matrix growth), weighted
+    toward updates with queries and snapshots interleaved. *)
+val gen_ops : seed:int -> ops:int -> rop list
+
+(** Delta-debug a failing trace, preserving "still fails", through
+    {!Runner.shrink_ops} ([max_runs] bounds re-executions). *)
+val shrink :
+  ?fault:fault -> ?max_runs:int -> kinds:Dsdg_binrel.Rel_backend.kind list -> rop list -> rop list
+
+(** Outcome of one generated stream. *)
+type outcome = Pass | Fail of { failure : failure; trace : rop list; shrunk : rop list }
+
+(** Generate (from [seed]), run, and on failure shrink before
+    re-running for the final report. *)
+val run_stream :
+  ?fault:fault ->
+  kinds:Dsdg_binrel.Rel_backend.kind list ->
+  seed:int ->
+  ops:int ->
+  unit ->
+  outcome
+
+(** Save a relation trace with a ["% requires rel=<spec>"] hint header
+    (readable back via {!Trace.load_hint}), so replays can refuse a
+    different backend shape. *)
+val save : ?fault:fault -> spec:spec -> string -> rop list -> unit
+
+(** Load a relation trace; raises {!Trace.Parse_error} with the line
+    number and offending field on garbage. *)
+val load : string -> rop list
+
+(** Human-readable failure report: the divergence and the minimal
+    trace. *)
+val report : ?seed:int -> failure:failure -> shrunk:rop list -> unit -> string

@@ -73,16 +73,18 @@ type hint = {
   h_readers : int option;
   h_jobs : int option;
   h_seq : string option;
+  h_rel : string option;
 }
 
-let no_hint = { h_shards = None; h_readers = None; h_jobs = None; h_seq = None }
+let no_hint =
+  { h_shards = None; h_readers = None; h_jobs = None; h_seq = None; h_rel = None }
 
 let hint_line hint =
   let field name = function None -> [] | Some v -> [ Printf.sprintf "%s=%d" name v ] in
   let field_s name = function None -> [] | Some v -> [ Printf.sprintf "%s=%s" name v ] in
   match
     field "shards" hint.h_shards @ field "readers" hint.h_readers @ field "jobs" hint.h_jobs
-    @ field_s "seq" hint.h_seq
+    @ field_s "seq" hint.h_seq @ field_s "rel" hint.h_rel
   with
   | [] -> None
   | fields -> Some ("% requires " ^ String.concat " " fields)
@@ -110,7 +112,7 @@ let parse_hint_line line =
     in
     Some
       { h_shards = get "shards"; h_readers = get "readers"; h_jobs = get "jobs";
-        h_seq = get_s "seq" }
+        h_seq = get_s "seq"; h_rel = get_s "rel" }
   | _ -> None
 
 let save ?(hint = no_hint) path ops =

@@ -59,6 +59,9 @@ type hint = {
   h_readers : int option;
   h_jobs : int option;
   h_seq : string option;  (** dynamic-sequence backend name ("avl"/"spsi") *)
+  h_rel : string option;
+      (** relation backend spec of a relation-stream trace ("str"/"k2"/
+          "both"); absent on document traces *)
 }
 
 (** All [None]: no requirements recorded. *)

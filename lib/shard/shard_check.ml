@@ -216,6 +216,7 @@ let run_stream ?(config = default_config) ?profile ?(shrink_budget = 200) ~seed 
 
 let hint_of_config config =
   {
+    Trace.no_hint with
     Trace.h_shards =
       (match config.sc_shard_counts with [] -> None | ks -> Some (List.fold_left max 1 ks));
     h_readers = (if config.sc_readers > 0 then Some config.sc_readers else None);

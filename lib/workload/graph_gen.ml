@@ -49,6 +49,73 @@ let preferential st ~nodes ~out_deg =
     !edges
   |> Array.of_list
 
+(* Web-crawl-shaped edge stream at scale: pages are discovered in crawl
+   order (sources advance sequentially through [0, nodes)), and each
+   page's out-links mix preferential attachment (a uniform draw from the
+   endpoint log, i.e. proportional to current degree) with Zipf rank
+   skew over the page universe (early pages are the popular ones,
+   P(rank) ~ 1/rank).  Array-based throughout -- O(edges) overall,
+   unlike [preferential]'s list walk -- so it generates the 10^6..10^7
+   edge streams the Section 5 benchmarks need. *)
+let web_crawl st ~nodes ~edges =
+  if nodes < 2 then invalid_arg "Graph_gen.web_crawl: nodes < 2";
+  if edges < 1 then invalid_arg "Graph_gen.web_crawl: edges < 1";
+  let out = Array.make edges (0, 0) in
+  let log = Array.make (2 * edges) 0 in
+  let nlog = ref 0 in
+  let push v =
+    if !nlog < Array.length log then begin
+      log.(!nlog) <- v;
+      incr nlog
+    end
+  in
+  let seen = Hashtbl.create (2 * edges) in
+  let made = ref 0 in
+  let attempts = ref 0 in
+  while !made < edges && !attempts < 50 * edges do
+    incr attempts;
+    (* crawl frontier: the !made-th emitted edge comes from page
+       [!made * nodes / edges]; one draw in ten re-visits an earlier
+       page (a re-crawl). *)
+    let frontier = min (nodes - 1) (!made * nodes / edges) in
+    let u =
+      if frontier > 0 && Random.State.int st 10 = 0 then Random.State.int st frontier
+      else frontier
+    in
+    (* out-links point anywhere in the page universe, Zipf-ranked so the
+       early (low-id) pages are the popular ones; the other half of the
+       draws are preferential, from the endpoint log *)
+    let v =
+      if !nlog > 0 && Random.State.bool st then log.(Random.State.int st !nlog)
+      else Text_gen.zipf st ~max:nodes - 1
+    in
+    if not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.replace seen (u, v) ();
+      out.(!made) <- (u, v);
+      incr made;
+      push v;
+      if Random.State.int st 4 = 0 then push u
+    end
+  done;
+  if !made = edges then out else Array.sub out 0 !made
+
+(* Degree-biased query nodes: the source endpoint of a uniformly random
+   edge -- a node is drawn proportionally to its out-degree, the
+   neighbor-scan mix of a crawler re-walking what it found. *)
+let neighbor_queries st ~edges ~count =
+  let n = Array.length edges in
+  if n = 0 then invalid_arg "Graph_gen.neighbor_queries: empty edge set";
+  Array.init count (fun _ -> fst edges.(Random.State.int st n))
+
+(* BFS start nodes: either endpoint of a random edge, so traversals
+   start from nodes that are actually connected. *)
+let bfs_sources st ~edges ~count =
+  let n = Array.length edges in
+  if n = 0 then invalid_arg "Graph_gen.bfs_sources: empty edge set";
+  Array.init count (fun _ ->
+      let u, v = edges.(Random.State.int st n) in
+      if Random.State.bool st then u else v)
+
 (* RDF-ish triples: few predicates, Zipf-ish subjects/objects.  Returned
    as (subject, predicate, object). *)
 let rdf_triples st ~subjects ~predicates ~count =

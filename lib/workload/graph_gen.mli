@@ -1,12 +1,40 @@
-(** Synthetic graph and triple generators for the Section 5 benchmarks. *)
+(** Synthetic graph and triple generators for the Section 5 benchmarks:
+    classic random digraphs, web-crawl-shaped edge streams at
+    10⁶–10⁷-edge scale, degree-biased query generators, and RDF-ish
+    triple streams. *)
 
+(** Deterministic random source ([Random.State.t]); share one across
+    calls for a reproducible workload. *)
 type rng = Random.State.t
 
 (** Distinct directed edges, uniform endpoints. *)
 val erdos_renyi : rng -> nodes:int -> edges:int -> (int * int) array
 
-(** Preferential attachment: power-law in-degrees (web/RDF-like). *)
+(** Preferential attachment: power-law in-degrees (web/RDF-like).
+    List-based and quadratic — fine up to ~10⁴ edges; use {!web_crawl}
+    for larger streams. *)
 val preferential : rng -> nodes:int -> out_deg:int -> (int * int) array
+
+(** [web_crawl st ~nodes ~edges] is a web-crawl-shaped stream of
+    distinct directed edges: sources advance in crawl order through
+    [0, nodes), targets mix preferential attachment (proportional to
+    current degree) with Zipf rank skew over the page universe
+    (early pages are popular, P(rank) ~ 1/rank). O(edges) time and
+    space; returns exactly [edges] pairs unless the density cap is hit
+    (then fewer). Raises [Invalid_argument] if [nodes < 2] or
+    [edges < 1]. *)
+val web_crawl : rng -> nodes:int -> edges:int -> (int * int) array
+
+(** [neighbor_queries st ~edges ~count] draws [count] query nodes for
+    successor scans, each the source of a uniformly random edge — i.e.
+    out-degree-biased, the re-walk mix of a crawler. Raises
+    [Invalid_argument] on an empty edge set. *)
+val neighbor_queries : rng -> edges:(int * int) array -> count:int -> int array
+
+(** [bfs_sources st ~edges ~count] draws [count] BFS start nodes, each
+    a uniformly random endpoint of a random edge (so traversals start
+    connected). Raises [Invalid_argument] on an empty edge set. *)
+val bfs_sources : rng -> edges:(int * int) array -> count:int -> int array
 
 (** (subject, predicate, object) triples; duplicates possible. *)
 val rdf_triples : rng -> subjects:int -> predicates:int -> count:int -> (int * int * int) array

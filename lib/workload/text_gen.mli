@@ -5,6 +5,7 @@
 
 type rng = Random.State.t
 
+(** Fresh deterministic generator from an integer seed. *)
 val rng : int -> rng
 
 (** i.i.d. symbols over ['a'..'a'+sigma); H0 = log2 sigma. *)

@@ -234,6 +234,232 @@ let prop_graph_vs_shared_model =
       done;
       !ok && Digraph.edge_count g = Rel.size m)
 
+(* --- backend conformance matrix: str vs k2 vs the naive model --- *)
+
+let each_backend f = List.iter f Rel_backend.all_kinds
+
+(* k2 quadrant boundaries: coordinates straddling leaf (8) and quadrant
+   (powers of two) edges, inserted, queried and removed, against the
+   shared model. *)
+let test_k2_quadrant_boundaries () =
+  let coords = [ 0; 1; 7; 8; 9; 15; 16; 31; 32; 63; 64; 65; 127; 128 ] in
+  let r = K2_relation.create () in
+  let m = Rel.create () in
+  List.iter
+    (fun o -> List.iter (fun a -> Alcotest.(check bool) "add agrees"
+        (Rel.add m o a) (K2_relation.add r o a)) coords)
+    coords;
+  check "live" (Rel.size m) (K2_relation.live_pairs r);
+  List.iter
+    (fun o ->
+      check_l (Printf.sprintf "row %d" o) (Rel.labels_of_object m o)
+        (K2_relation.labels_of_object_list r o);
+      check_l (Printf.sprintf "col %d" o) (Rel.objects_of_label m o)
+        (K2_relation.objects_of_label_list r o))
+    coords;
+  (* remove every pair with o >= 16, re-check rows and pruning *)
+  List.iter
+    (fun o ->
+      List.iter
+        (fun a ->
+          if o >= 16 then
+            Alcotest.(check bool) "remove agrees" (Rel.remove m o a) (K2_relation.remove r o a))
+        coords)
+    coords;
+  check "live after" (Rel.size m) (K2_relation.live_pairs r);
+  List.iter
+    (fun o ->
+      check_l (Printf.sprintf "row %d after" o) (Rel.labels_of_object m o)
+        (K2_relation.labels_of_object_list r o))
+    coords;
+  Alcotest.(check (list (pair int int))) "pair set" (Rel.pairs m) (K2_relation.pairs_list r)
+
+(* node-universe growth: the matrix side quadruples on demand, old
+   pairs stay put, and removal prunes the far blocks back out. *)
+let test_k2_universe_growth () =
+  let r = K2_relation.create () in
+  check "initial side" 64 (K2_relation.side r);
+  ignore (K2_relation.add r 0 0);
+  ignore (K2_relation.add r 63 63);
+  check "still 64" 64 (K2_relation.side r);
+  ignore (K2_relation.add r 64 0);
+  check "quadrupled" 256 (K2_relation.side r);
+  Alcotest.(check bool) "old pair intact" true (K2_relation.related r 63 63);
+  ignore (K2_relation.add r 5000 3);
+  check "grown past 5000" 16384 (K2_relation.side r);
+  (* 64 -> 256 earlier, then 256 -> 16384: four quadruplings in total *)
+  check "grows counted" 4 (K2_relation.stats r).K2_relation.grows;
+  Alcotest.(check bool) "far pair" true (K2_relation.related r 5000 3);
+  check_l "col 3" [ 5000 ] (K2_relation.objects_of_label_list r 3);
+  check_l "row 5000" [ 3 ] (K2_relation.labels_of_object_list r 5000);
+  let bits_with = K2_relation.space_bits r in
+  Alcotest.(check bool) "remove far" true (K2_relation.remove r 5000 3);
+  Alcotest.(check bool) "far blocks pruned" true (K2_relation.space_bits r < bits_with);
+  check "live" 3 (K2_relation.live_pairs r);
+  Alcotest.(check (list (pair int int))) "pairs" [ (0, 0); (63, 63); (64, 0) ]
+    (K2_relation.pairs_list r);
+  Alcotest.check_raises "negative id" (Invalid_argument "K2_relation.add: negative id")
+    (fun () -> ignore (K2_relation.add r (-1) 0))
+
+(* one 64x64 block driven through both leaf representations: past the
+   sparse->dense flip (335 pairs) and back down through the hysteresis
+   band, agreeing with the model throughout. *)
+let test_k2_adaptive_leaf () =
+  let r = K2_relation.create () in
+  let m = Rel.create () in
+  let bits_sparse = ref 0 in
+  for i = 0 to 19 do
+    for j = 0 to 19 do
+      if i = 10 && j = 0 then bits_sparse := K2_relation.space_bits r;
+      ignore (K2_relation.add r i j);
+      ignore (Rel.add m i j)
+    done
+  done;
+  (* 400 pairs in one block: dense bitmap, bounded by the 4096-bit leaf *)
+  check "live" 400 (K2_relation.live_pairs r);
+  Alcotest.(check bool) "dense leaf stays within bitmap bounds" true
+    (K2_relation.space_bits r < 4096 + (8 * 64));
+  for i = 0 to 19 do
+    check_l (Printf.sprintf "dense row %d" i) (Rel.labels_of_object m i)
+      (K2_relation.labels_of_object_list r i);
+    check_l (Printf.sprintf "dense col %d" i) (Rel.objects_of_label m i)
+      (K2_relation.objects_of_label_list r i)
+  done;
+  (* drain below the hysteresis floor: back to sparse, still agreeing *)
+  for i = 0 to 19 do
+    for j = 0 to 19 do
+      if (i + j) mod 3 <> 0 then begin
+        ignore (K2_relation.remove r i j);
+        ignore (Rel.remove m i j)
+      end
+    done
+  done;
+  check "live after drain" (Rel.size m) (K2_relation.live_pairs r);
+  for i = 0 to 19 do
+    check_l (Printf.sprintf "sparse row %d" i) (Rel.labels_of_object m i)
+      (K2_relation.labels_of_object_list r i)
+  done;
+  Alcotest.(check (list (pair int int))) "pair set after drain" (Rel.pairs m)
+    (K2_relation.pairs_list r)
+
+(* the same scripted churn through the seam, every backend vs model *)
+let test_backend_matrix_churn () =
+  each_backend (fun kind ->
+      let name = Rel_backend.kind_to_string kind in
+      let r = Rel_backend.create ~tau:4 kind in
+      let m = Rel.create () in
+      let st = Random.State.make [| 7; 31 |] in
+      for _ = 1 to 600 do
+        let o = Random.State.int st 40 and a = Random.State.int st 40 in
+        if Random.State.float st 1.0 < 0.6 then begin
+          if Rel_backend.add r o a <> Rel.add m o a then Alcotest.failf "%s: add" name
+        end
+        else if Rel_backend.remove r o a <> Rel.remove m o a then Alcotest.failf "%s: remove" name
+      done;
+      check (name ^ " live") (Rel.size m) (Rel_backend.live_pairs r);
+      for x = 0 to 39 do
+        if Rel_backend.labels_of_object_list r x <> Rel.labels_of_object m x then
+          Alcotest.failf "%s: labels of %d" name x;
+        if Rel_backend.objects_of_label_list r x <> Rel.objects_of_label m x then
+          Alcotest.failf "%s: objects of %d" name x;
+        if Rel_backend.count_labels_of_object r x <> Rel.count_labels_of_object m x then
+          Alcotest.failf "%s: count labels of %d" name x
+      done;
+      Alcotest.(check (list (pair int int))) (name ^ " pair set") (Rel.pairs m)
+        (Rel_backend.pairs_list r))
+
+(* snapshot isolation: the edge list captured from a graph is immutable
+   data, unaffected by writer churn -- checked from a concurrent reader
+   domain while the writer keeps mutating. *)
+let test_snapshot_isolation_concurrent () =
+  each_backend (fun kind ->
+      let name = Rel_backend.kind_to_string kind in
+      let g = Digraph.create ~tau:4 ~backend:kind () in
+      for u = 0 to 19 do
+        ignore (Digraph.add_edge g u ((u + 3) mod 20))
+      done;
+      let snapshot = Digraph.edges g in
+      let reader =
+        Domain.spawn (fun () ->
+            let ok = ref true in
+            for _ = 1 to 2000 do
+              if snapshot <> List.sort compare snapshot then ok := false;
+              if List.length snapshot <> 20 then ok := false
+            done;
+            !ok)
+      in
+      for u = 0 to 19 do
+        ignore (Digraph.remove_edge g u ((u + 3) mod 20));
+        ignore (Digraph.add_edge g u ((u + 7) mod 20))
+      done;
+      Alcotest.(check bool) (name ^ " reader saw a stable snapshot") true (Domain.join reader);
+      Alcotest.(check bool) (name ^ " snapshot differs from new state") true
+        (snapshot <> Digraph.edges g))
+
+(* graph-level backend equivalence incl. the of_edges recovery path *)
+let test_digraph_backend_roundtrip () =
+  let st = Random.State.make [| 5; 77 |] in
+  let edges = Array.init 300 (fun _ -> (Random.State.int st 50, Random.State.int st 50)) in
+  let mk kind =
+    let g = Digraph.create ~backend:kind () in
+    Array.iter (fun (u, v) -> ignore (Digraph.add_edge g u v)) edges;
+    g
+  in
+  let gs = mk Rel_backend.Str and gk = mk Rel_backend.K2 in
+  Alcotest.(check (list (pair int int))) "edge sets agree" (Digraph.edges gs) (Digraph.edges gk);
+  check "counts agree" (Digraph.edge_count gs) (Digraph.edge_count gk);
+  Alcotest.(check bool) "backends recorded" true
+    (Digraph.backend gs = Rel_backend.Str && Digraph.backend gk = Rel_backend.K2);
+  (* persisted pairs re-ingest into either backend *)
+  let re = Digraph.of_edges ~backend:Rel_backend.K2 (Digraph.edges gs) in
+  Alcotest.(check (list (pair int int))) "of_edges roundtrip" (Digraph.edges gs)
+    (Digraph.edges re);
+  for u = 0 to 49 do
+    check_l (Printf.sprintf "succ %d" u) (Digraph.successors gs u) (Digraph.successors gk u);
+    check_l (Printf.sprintf "pred %d" u) (Digraph.predecessors gs u) (Digraph.predecessors gk u)
+  done
+
+let test_triple_store_k2 () =
+  let ts = Triple_store.create ~tau:4 ~rel_backend:Rel_backend.K2 () in
+  Alcotest.(check bool) "backend" true (Triple_store.backend ts = Rel_backend.K2);
+  Alcotest.(check bool) "add" true (Triple_store.add ts ~s:1 ~p:10 ~o:2);
+  ignore (Triple_store.add ts ~s:1 ~p:10 ~o:3);
+  ignore (Triple_store.add ts ~s:4 ~p:11 ~o:2);
+  Alcotest.(check (list (triple int int int))) "subject 1"
+    [ (1, 10, 2); (1, 10, 3) ]
+    (List.sort compare (Triple_store.triples_with_subject ts 1));
+  check "count object 2" 2 (Triple_store.count_with_object ts 2);
+  Alcotest.(check bool) "remove" true (Triple_store.remove ts ~s:1 ~p:10 ~o:2);
+  check "count" 2 (Triple_store.triple_count ts)
+
+(* QCheck: both backends reproduce the model's pair set byte-for-byte
+   on random streams, including far-out ids (k2 growth). *)
+let prop_backend_pairset_agreement =
+  QCheck.Test.make ~name:"rel backends agree on pair sets under churn" ~count:50
+    QCheck.(pair (int_bound 10000) (int_range 60 300))
+    (fun (seed, ops) ->
+      let st = Random.State.make [| seed; 61 |] in
+      let rels = List.map (fun k -> Rel_backend.create ~tau:4 k) Rel_backend.all_kinds in
+      let m = Rel.create () in
+      let ok = ref true in
+      for _ = 1 to ops do
+        let id () =
+          if Random.State.int st 30 = 0 then Random.State.int st 500 else Random.State.int st 18
+        in
+        let o = id () and a = id () in
+        if Random.State.float st 1.0 < 0.6 then begin
+          let want = Rel.add m o a in
+          List.iter (fun r -> if Rel_backend.add r o a <> want then ok := false) rels
+        end
+        else begin
+          let want = Rel.remove m o a in
+          List.iter (fun r -> if Rel_backend.remove r o a <> want then ok := false) rels
+        end
+      done;
+      let pairs = Rel.pairs m in
+      List.iter (fun r -> if Rel_backend.pairs_list r <> pairs then ok := false) rels;
+      !ok)
+
 (* --- Triple_store --- *)
 
 let test_triples_basic () =
@@ -294,7 +520,7 @@ let prop_triples_vs_model =
 let qsuite =
   List.map Qc.to_alcotest
     [ prop_dyn_matches_model; prop_graph_vs_model; prop_dyn_vs_shared_model;
-      prop_graph_vs_shared_model; prop_triples_vs_model ]
+      prop_graph_vs_shared_model; prop_backend_pairset_agreement; prop_triples_vs_model ]
 
 let suite =
   [ ("static queries", `Quick, test_static_queries);
@@ -304,5 +530,12 @@ let suite =
     ("dyn cascade", `Quick, test_dyn_cascade);
     ("graph basic", `Quick, test_graph_basic);
     ("graph self loops", `Quick, test_graph_self_loops_and_churn);
+    ("k2 quadrant boundaries", `Quick, test_k2_quadrant_boundaries);
+    ("k2 universe growth", `Quick, test_k2_universe_growth);
+    ("k2 adaptive leaf", `Quick, test_k2_adaptive_leaf);
+    ("backend matrix churn", `Quick, test_backend_matrix_churn);
+    ("snapshot isolation across backends", `Quick, test_snapshot_isolation_concurrent);
+    ("digraph backend roundtrip", `Quick, test_digraph_backend_roundtrip);
+    ("triple store on k2", `Quick, test_triple_store_k2);
     ("triple store basic", `Quick, test_triples_basic) ]
   @ qsuite

@@ -341,8 +341,81 @@ let test_sync_vs_pooled_equivalence () =
       Alcotest.(check int) (ctx "total_symbols") (DI.total_symbols a) (DI.total_symbols b))
     ops
 
+(* --- relation-backend differential streams (Rel_check) --- *)
+
+let rel_kinds = Rel_check.kinds_of_spec Rel_check.Both
+
+let test_rel_rop_roundtrip () =
+  let ops =
+    [ Rel_check.Radd (3, 5); Rel_check.Rremove (0, 600); Rel_check.Rrelated (7, 7);
+      Rel_check.Rsucc 12; Rel_check.Rpred 0; Rel_check.Rpairs ]
+  in
+  List.iter
+    (fun op ->
+      let line = Rel_check.rop_to_string op in
+      Alcotest.(check bool) line true (Rel_check.parse_rop line = Ok op))
+    ops;
+  List.iter
+    (fun bad -> Alcotest.(check bool) bad true (Result.is_error (Rel_check.parse_rop bad)))
+    [ ""; "> 1"; "< x y"; "* 3"; "? 1 2" ];
+  (* file round-trip with the rel= hint header *)
+  let path = Filename.temp_file "dsdg-rel-trace" ".trace" in
+  Rel_check.save ~spec:(Rel_check.One Dsdg_binrel.Rel_backend.K2) path ops;
+  let hint = Trace.load_hint path in
+  Alcotest.(check (option string)) "rel hint" (Some "k2") hint.Trace.h_rel;
+  let reloaded = Rel_check.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "ops round-trip" true (reloaded = ops)
+
+(* The acceptance sweep: bounded relation streams fanned over BOTH
+   backends, every answer byte-identical to the model (FUZZ_STREAMS
+   of them -- 200 by default). *)
+let test_rel_fuzz_streams () =
+  for i = 0 to n_streams - 1 do
+    let seed = base_seed + (1000 * i) in
+    match Rel_check.run_stream ~kinds:rel_kinds ~seed ~ops:ops_per_stream () with
+    | Rel_check.Pass -> ()
+    | Rel_check.Fail { failure; shrunk; trace = _ } ->
+      Alcotest.failf "%s" (Rel_check.report ~seed ~failure ~shrunk ())
+  done
+
+(* Plant the lost-remove fault and demand the relation pipeline works
+   end to end: catch, shrink, save with hint, reload, replay to the
+   same failure with the fault, replay clean without it. *)
+let test_rel_planted_fault_caught () =
+  let fault = Rel_check.Lost_remove in
+  let rec hunt seed =
+    if seed > base_seed + 9 then
+      Alcotest.fail "planted rel-lost-remove fault never caught in 10 streams"
+    else
+      match Rel_check.run_stream ~fault ~kinds:rel_kinds ~seed ~ops:200 () with
+      | Rel_check.Pass -> hunt (seed + 1)
+      | Rel_check.Fail { failure = _; trace; shrunk } ->
+        Alcotest.(check bool) "shrunk trace nonempty" true (shrunk <> []);
+        Alcotest.(check bool) "shrinking did not grow the trace" true
+          (List.length shrunk <= List.length trace);
+        Alcotest.(check bool) "shrunk to a handful of ops" true (List.length shrunk <= 4);
+        let path = Filename.temp_file "dsdg-rel-fault" ".trace" in
+        Rel_check.save ~fault ~spec:Rel_check.Both path shrunk;
+        let hint = Trace.load_hint path in
+        Alcotest.(check (option string)) "rel hint survives" (Some "both") hint.Trace.h_rel;
+        let reloaded = Rel_check.load path in
+        Sys.remove path;
+        Alcotest.(check bool) "minimal trace round-trips" true (reloaded = shrunk);
+        (match Rel_check.run_ops ~fault ~kinds:rel_kinds reloaded with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "replayed minimal trace no longer fails under the fault");
+        (match Rel_check.run_ops ~kinds:rel_kinds reloaded with
+        | Ok () -> ()
+        | Error f ->
+          Alcotest.failf "minimal trace fails even without the fault: %s"
+            f.Rel_check.rf_message)
+  in
+  hunt base_seed
+
 let suite =
   [ ("trace round-trip", `Quick, test_trace_roundtrip);
+    ("rel op round-trip", `Quick, test_rel_rop_roundtrip);
     ("opgen deterministic", `Quick, test_opgen_deterministic);
     ("opgen adversarial cases", `Quick, test_opgen_adversarial_cases);
     ("model semantics", `Quick, test_model_semantics);
@@ -350,6 +423,8 @@ let suite =
     ("planted fault caught & shrunk", `Slow, test_planted_fault_caught);
     ("planted worker-crash caught & shrunk", `Slow, test_planted_worker_crash_caught);
     ("planted stale-epoch caught & shrunk", `Slow, test_planted_stale_epoch_caught);
+    ("rel fuzz streams (both backends)", `Slow, test_rel_fuzz_streams);
+    ("rel planted fault caught & shrunk", `Slow, test_rel_planted_fault_caught);
     ("fuzz t3 (loglog) streams", `Slow, test_fuzz_t3_streams);
     ("fuzz pooled smoke streams", `Slow, test_fuzz_pooled_smoke);
     ("fuzz reader smoke streams", `Slow, test_fuzz_readers_smoke);

@@ -209,6 +209,57 @@ let test_replay_hint_enforced () =
           check_exit bin ~what:"t3 is an accepted variant alias" ~expect:0
             [ "fuzz"; "--replay"; unhinted; "--variant"; "t3"; "--backend"; "fm" ]))
 
+(* The relation plane: `dsdg graph` exit codes plus a cross-backend
+   snapshot round-trip, and `fuzz --rel` with its trace hints -- a rel
+   trace names its backend spec, refuses to replay under a different
+   one (124), and never replays through the document-fuzzer path. *)
+let test_graph_rel_cli () =
+  with_bin (fun bin ->
+      let snap = Filename.temp_file "dsdg-cli-graph" ".rel" in
+      let junk = Filename.temp_file "dsdg-cli-junk" ".rel" in
+      let module Rel_check = Dsdg_check.Rel_check in
+      let k2_trace = Filename.temp_file "dsdg-cli-rel" ".trace" in
+      Rel_check.save ~spec:(Rel_check.One Dsdg_binrel.Rel_backend.K2) k2_trace
+        [ Rel_check.Radd (3, 5); Rel_check.Rrelated (3, 5); Rel_check.Rpairs ];
+      let doc_trace = Filename.temp_file "dsdg-cli-doc" ".trace" in
+      Dsdg_check.Trace.save ~hint:Dsdg_check.Trace.no_hint doc_trace
+        [ Dsdg_check.Trace.Insert "plain document ab" ];
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun p -> if Sys.file_exists p then Sys.remove p)
+            [ snap; junk; k2_trace; doc_trace ])
+        (fun () ->
+          (* graph subcommand *)
+          check_exit bin ~what:"graph k2 exits 0 and saves" ~expect:0
+            [ "graph"; "--nodes"; "300"; "--edges"; "1500"; "--queries"; "20"; "--save"; snap ];
+          check_exit bin ~what:"graph str reloads the k2 snapshot" ~expect:0
+            [ "graph"; "--rel-backend"; "str"; "--load"; snap; "--queries"; "10" ];
+          check_exit bin ~what:"unknown graph backend is usage (124)" ~expect:124
+            [ "graph"; "--rel-backend"; "csr" ];
+          check_exit bin ~what:"graph rejects nodes < 2 (124)" ~expect:124
+            [ "graph"; "--nodes"; "1" ];
+          Out_channel.with_open_bin junk (fun oc -> Out_channel.output_string oc "not a rel\n");
+          check_exit bin ~what:"corrupt relation snapshot is data error (2)" ~expect:2
+            [ "graph"; "--load"; junk ];
+          (* fuzz --rel *)
+          check_exit bin ~what:"clean rel fuzz exits 0" ~expect:0
+            [ "fuzz"; "--rel"; "--ops"; "60"; "--seed"; "5" ];
+          check_exit bin ~what:"rel fuzz on one backend exits 0" ~expect:0
+            [ "fuzz"; "--rel"; "--rel-backend"; "k2"; "--ops"; "40" ];
+          check_exit bin ~what:"unknown rel backend is usage (124)" ~expect:124
+            [ "fuzz"; "--rel"; "--rel-backend"; "bogus" ];
+          check_exit bin ~what:"--rel with --follow is usage (124)" ~expect:124
+            [ "fuzz"; "--rel"; "--follow"; "/nonexistent" ];
+          (* hint enforcement, both directions *)
+          check_exit bin ~what:"rel trace through document path is usage (124)" ~expect:124
+            [ "fuzz"; "--replay"; k2_trace ];
+          check_exit bin ~what:"rel trace under the wrong backend is usage (124)" ~expect:124
+            [ "fuzz"; "--rel"; "--rel-backend"; "str"; "--replay"; k2_trace ];
+          check_exit bin ~what:"rel trace with matching backend replays" ~expect:0
+            [ "fuzz"; "--rel"; "--rel-backend"; "k2"; "--replay"; k2_trace ];
+          check_exit bin ~what:"document trace through --rel is usage (124)" ~expect:124
+            [ "fuzz"; "--rel"; "--replay"; doc_trace ]))
+
 (* Sharded service plane: serve a K=2 store, drive dsdg load against
    it, SIGTERM-drain to exit 0, and reopen the shard stores to confirm
    the drain checkpointed every shard. *)
@@ -389,6 +440,7 @@ let suite =
       test_save_pinned_smoke;
     Alcotest.test_case "replay hints: --shards/--readers enforced (124)" `Slow
       test_replay_hint_enforced;
+    Alcotest.test_case "graph subcommand + fuzz --rel hint enforcement" `Slow test_graph_rel_cli;
     Alcotest.test_case "serve + load round-trip, SIGTERM drain" `Slow test_serve_load_roundtrip;
     Alcotest.test_case "sharded serve (K=2) + load round-trip, SIGTERM drain" `Slow
       test_sharded_serve_roundtrip;

@@ -105,6 +105,37 @@ let test_graph_gen () =
   let pref = Graph_gen.preferential st ~nodes:200 ~out_deg:4 in
   Alcotest.(check bool) "pref nonempty" true (Array.length pref > 200)
 
+(* web_crawl must deliver the full edge count even when the per-page
+   out-degree (edges/nodes) is high -- the regression here was the
+   target universe collapsing to the crawl frontier, starving the
+   stream at a handful of edges. *)
+let test_web_crawl () =
+  let st = Random.State.make [| 11 |] in
+  let nodes = 500 and edges = 5000 in
+  let stream = Graph_gen.web_crawl st ~nodes ~edges in
+  check "full edge count" edges (Array.length stream);
+  let seen = Hashtbl.create edges in
+  let in_deg = Array.make nodes 0 in
+  Array.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "endpoints in range" true (u >= 0 && u < nodes && v >= 0 && v < nodes);
+      Alcotest.(check bool) "no dup" false (Hashtbl.mem seen (u, v));
+      Hashtbl.replace seen (u, v) ();
+      in_deg.(v) <- in_deg.(v) + 1)
+    stream;
+  (* skew: the most popular page collects far more than the mean in-degree *)
+  let top = Array.fold_left max 0 in_deg in
+  Alcotest.(check bool) "in-degrees are skewed" true (top > 5 * (edges / nodes));
+  (* query generators draw from the stream *)
+  let nq = Graph_gen.neighbor_queries st ~edges:stream ~count:64 in
+  check "neighbor query count" 64 (Array.length nq);
+  let bs = Graph_gen.bfs_sources st ~edges:stream ~count:16 in
+  check "bfs source count" 16 (Array.length bs);
+  Array.iter (fun u -> Alcotest.(check bool) "query in range" true (u >= 0 && u < nodes)) nq;
+  Alcotest.check_raises "tiny universe rejected"
+    (Invalid_argument "Graph_gen.web_crawl: nodes < 2") (fun () ->
+      ignore (Graph_gen.web_crawl st ~nodes:1 ~edges:5))
+
 let test_query_stream_mix () =
   let st = Random.State.make [| 9 |] in
   let ops =
@@ -135,5 +166,6 @@ let suite =
     ("url log shape", `Quick, test_url_log_shape);
     ("planted pattern occurs", `Quick, test_planted_pattern_occurs);
     ("graph generators", `Quick, test_graph_gen);
+    ("web crawl stream", `Quick, test_web_crawl);
     ("query stream mix", `Quick, test_query_stream_mix) ]
   @ qsuite
